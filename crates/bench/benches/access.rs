@@ -1,0 +1,117 @@
+//! B5 — typed-access overhead (the §1 claim, quantified).
+//!
+//! The same workload — summing `main.temp` over many weather-like
+//! documents — implemented four ways:
+//!
+//! 1. hand-written matching on the parsed `Json` (the paper's "before");
+//! 2. the typed runtime (`tfd-runtime::Node`, what generated code uses);
+//! 3. generated provider structs (via the same Node operations);
+//! 4. the Foo calculus interpreter executing the Fig. 8 provided code
+//!    (the formal model — expected to be orders slower; it exists for
+//!    the theorems, not for production).
+//!
+//! Run with `cargo bench -p tfd-bench --bench access`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tfd_json::Json;
+use tfd_runtime::Node;
+use tfd_value::Value;
+
+fn docs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            tfd_json::parse(&format!(
+                r#"{{ "name": "city-{i}", "main": {{ "temp": {}, "pressure": 1010 }} }}"#,
+                i % 40
+            ))
+            .unwrap()
+            .to_value()
+        })
+        .collect()
+}
+
+fn hand_written_sum(docs: &[Json]) -> f64 {
+    let mut total = 0.0;
+    for doc in docs {
+        if let Json::Object(root) = doc {
+            if let Some((_, Json::Object(main))) = root.iter().find(|(k, _)| k == "main") {
+                match main.iter().find(|(k, _)| k == "temp") {
+                    Some((_, Json::Int(i))) => total += *i as f64,
+                    Some((_, Json::Float(f))) => total += *f,
+                    _ => panic!("incorrect format"),
+                }
+            }
+        }
+    }
+    total
+}
+
+fn runtime_sum(nodes: &[Node]) -> f64 {
+    let mut total = 0.0;
+    for node in nodes {
+        total += node
+            .field("main").unwrap()
+            .field("temp").unwrap()
+            .as_f64().unwrap();
+    }
+    total
+}
+
+fn foo_sum(values: &[Value]) -> f64 {
+    use tfd_foo::{run, Expr, Outcome};
+    let shape = tfd_core::infer_with(&values[0], &tfd_core::InferOptions::formal());
+    let provided = tfd_provider::provide(&shape);
+    let mut total = 0.0;
+    for v in values {
+        let expr = Expr::member(
+            Expr::member(provided.convert(v), "main"),
+            "temp",
+        );
+        match run(&provided.classes, &expr) {
+            Outcome::Value(Expr::Data(Value::Int(i))) => total += i as f64,
+            Outcome::Value(Expr::Data(Value::Float(f))) => total += f,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    total
+}
+
+fn bench_access(c: &mut Criterion) {
+    let n = 1000usize;
+    let values = docs(n);
+    let jsons: Vec<Json> = values.iter().map(Json::from_value).collect();
+    let nodes: Vec<Node> = values.iter().map(|v| Node::new(v.clone())).collect();
+
+    let expected = hand_written_sum(&jsons);
+    assert_eq!(runtime_sum(&nodes), expected);
+    assert_eq!(foo_sum(&values[..10]), hand_written_sum(&jsons[..10]));
+
+    let mut group = c.benchmark_group("access");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("hand-written-match", |b| {
+        b.iter(|| hand_written_sum(black_box(&jsons)));
+    });
+    group.bench_function("typed-runtime", |b| {
+        b.iter(|| runtime_sum(black_box(&nodes)));
+    });
+    // The Foo interpreter is orders of magnitude slower (it exists for
+    // the formal claims); bench a 10x smaller corpus to keep runs short.
+    let small = &values[..100];
+    group.bench_function("foo-interpreter-100", |b| {
+        b.iter(|| foo_sum(black_box(small)));
+    });
+    group.finish();
+}
+
+fn bench_has_shape(c: &mut Criterion) {
+    // The open-world runtime check guarding labelled-top members.
+    let value = docs(1).remove(0);
+    let shape = tfd_core::infer_with(&value, &tfd_core::InferOptions::formal());
+    c.bench_function("access/has-shape", |b| {
+        b.iter(|| tfd_core::conforms(black_box(&shape), black_box(&value)));
+    });
+}
+
+criterion_group!(benches, bench_access, bench_has_shape);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! B3 — the cost of the common-preferred-shape join (Fig. 2/Fig. 4).
+//!
+//! Measures `csh` on record joins of growing width and labelled-top
+//! merges of growing label count. Run with
+//! `cargo bench -p tfd-bench --bench csh`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tfd_core::{csh, is_preferred, Shape};
+
+fn wide_record(width: usize, float_half: bool) -> Shape {
+    Shape::record(
+        "row",
+        (0..width).map(|i| {
+            let shape = if float_half && i % 2 == 0 { Shape::Float } else { Shape::Int };
+            (format!("col{i}"), shape)
+        }),
+    )
+}
+
+fn bench_record_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csh/record-width");
+    for width in [4usize, 16, 64, 256] {
+        let a = wide_record(width, false);
+        let b = wide_record(width, true);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &(a, b), |bench, (a, b)| {
+            bench.iter(|| csh(black_box(a), black_box(b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_top_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csh/top-labels");
+    for labels in [2usize, 8, 32] {
+        // Distinct record names → distinct tags → labelled top of size n.
+        let a = Shape::Top(
+            (0..labels)
+                .map(|i| Shape::record(format!("r{i}"), [("x", Shape::Int)]))
+                .collect(),
+        );
+        let b = Shape::Top(
+            (0..labels)
+                .map(|i| Shape::record(format!("r{i}"), [("y", Shape::Bool)]))
+                .collect(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(labels), &(a, b), |bench, (a, b)| {
+            bench.iter(|| csh(black_box(a), black_box(b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_preference_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csh/preference-check");
+    for width in [16usize, 256] {
+        let narrow = wide_record(width, false);
+        let wide = wide_record(width, true);
+        let joined = csh(&narrow, &wide);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(width),
+            &(narrow, joined),
+            |bench, (narrow, joined)| {
+                bench.iter(|| is_preferred(black_box(narrow), black_box(joined)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_join, bench_top_merge, bench_preference_check);
+criterion_main!(benches);

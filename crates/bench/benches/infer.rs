@@ -1,0 +1,54 @@
+//! B2 — shape-inference cost.
+//!
+//! Sweeps the number of samples and document depth, measuring the
+//! `S(d1, …, dn)` fold (Fig. 3). Run with
+//! `cargo bench -p tfd-bench --bench infer`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tfd_bench::{api_corpus, messy_corpus};
+use tfd_core::{infer_many, InferOptions};
+
+fn bench_sample_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer/sample-count");
+    for n in [1usize, 10, 100, 1000] {
+        let corpus = api_corpus(42, n, 4);
+        let nodes: usize = corpus.iter().map(|d| d.node_count()).sum();
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &corpus, |b, corpus| {
+            b.iter(|| infer_many(black_box(corpus), &InferOptions::json()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("infer/depth");
+    for depth in [2usize, 4, 6] {
+        let corpus = api_corpus(7, 50, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &corpus, |b, corpus| {
+            b.iter(|| infer_many(black_box(corpus), &InferOptions::json()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_options(c: &mut Criterion) {
+    // Ablation-flavoured: the same messy corpus under the formal core vs
+    // the full extension set.
+    let corpus = messy_corpus(11, 200);
+    let mut group = c.benchmark_group("infer/options");
+    group.bench_function("formal", |b| {
+        b.iter(|| infer_many(black_box(&corpus), &InferOptions::formal()));
+    });
+    group.bench_function("json-extensions", |b| {
+        b.iter(|| infer_many(black_box(&corpus), &InferOptions::json()));
+    });
+    group.bench_function("csv-extensions", |b| {
+        b.iter(|| infer_many(black_box(&corpus), &InferOptions::csv()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_count, bench_depth, bench_options);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! B4 — front-end parser throughput (bytes/second) for JSON, XML and
+//! CSV. Run with `cargo bench -p tfd-bench --bench parse`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use tfd_bench::{table, to_json_texts};
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse/json");
+    for rows in [10usize, 100, 1000] {
+        let text = to_json_texts(&[table(3, rows, 8)]).remove(0);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| tfd_json::parse(black_box(text)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn xml_doc(rows: usize) -> String {
+    let mut out = String::from("<table>");
+    for i in 0..rows {
+        let _ = write!(
+            out,
+            "<row id=\"{i}\" name=\"item-{i}\" flag=\"true\"><v>{}</v></row>",
+            i * 3
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse/xml");
+    for rows in [10usize, 100, 1000] {
+        let text = xml_doc(rows);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| tfd_xml::parse(black_box(text)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn csv_doc(rows: usize) -> String {
+    let mut out = String::from("id,name,score,date,flag\n");
+    for i in 0..rows {
+        let _ = writeln!(out, "{i},item-{i},{}.5,2012-05-01,{}", i, i % 2);
+    }
+    out
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse/csv");
+    for rows in [10usize, 100, 1000] {
+        let text = csv_doc(rows);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| tfd_csv::parse(black_box(text)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Parse + infer + provide: the full compile-time pipeline cost that a
+    // macro invocation pays.
+    let text = to_json_texts(&[table(9, 200, 8)]).remove(0);
+    c.bench_function("pipeline/parse-infer-provide", |b| {
+        b.iter(|| {
+            let value = tfd_json::parse(black_box(&text)).unwrap().to_value();
+            let shape = tfd_core::infer(&value);
+            tfd_provider::provide_idiomatic(black_box(&shape), "Root")
+        });
+    });
+}
+
+criterion_group!(benches, bench_json, bench_xml, bench_csv, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! # tfd-bench — shared workload generators for the benchmark harness
+//!
+//! Synthetic corpora used by the Criterion benches and the table/figure
+//! regeneration binaries (see EXPERIMENTS.md). All generators are
+//! deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tfd_value::corpus::{generate_corpus, CorpusConfig};
+use tfd_value::Value;
+
+/// Standard corpus sizes swept by the B2 inference benchmark.
+pub const SAMPLE_COUNTS: [usize; 4] = [1, 10, 100, 1000];
+
+/// Standard nesting depths swept by the B2 inference benchmark.
+pub const DEPTHS: [usize; 3] = [2, 4, 6];
+
+/// A deterministic corpus of API-response-like JSON documents.
+pub fn api_corpus(seed: u64, n: usize, depth: usize) -> Vec<Value> {
+    let config = CorpusConfig { max_depth: depth, ..CorpusConfig::default() };
+    generate_corpus(seed, n, &config)
+}
+
+/// A messy corpus exhibiting the §2.3 real-world problems: missing
+/// fields, nulls, and numbers encoded as strings.
+pub fn messy_corpus(seed: u64, n: usize) -> Vec<Value> {
+    let config = CorpusConfig {
+        missing_field_prob: 0.3,
+        null_prob: 0.15,
+        stringly_number_prob: 0.2,
+        ..CorpusConfig::default()
+    };
+    generate_corpus(seed, n, &config)
+}
+
+/// A wide, flat table (CSV-like) with `rows` rows and `width` columns.
+pub fn table(seed: u64, rows: usize, width: usize) -> Value {
+    tfd_value::corpus::generate_table(seed, rows, width)
+}
+
+/// Serializes a corpus to JSON text for parser benchmarks.
+pub fn to_json_texts(corpus: &[Value]) -> Vec<String> {
+    corpus
+        .iter()
+        .map(|v| tfd_json::to_json_string(&tfd_json::Json::from_value(v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_deterministic() {
+        assert_eq!(api_corpus(1, 5, 4), api_corpus(1, 5, 4));
+        assert_eq!(messy_corpus(2, 5), messy_corpus(2, 5));
+    }
+
+    #[test]
+    fn json_texts_parse_back() {
+        for text in to_json_texts(&api_corpus(3, 5, 3)) {
+            assert!(tfd_json::parse(&text).is_ok());
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Command-line argument handling and subcommands for `tfd`.
+
+use tfd_codegen::{generate, CodegenOptions, SourceFormat};
+use tfd_core::{globalize, infer_many, InferOptions, Shape};
+use tfd_value::Value;
+
+const USAGE: &str = "\
+tfd — types from data (shape inference for JSON/XML/CSV)
+
+USAGE:
+    tfd <COMMAND> [OPTIONS] FILE...
+
+COMMANDS:
+    infer     print the inferred shape in the paper's notation
+    fsharp    print F#-style provided type signatures
+    rust      print generated Rust typed-access code
+    value     dump the universal data value of a document
+
+OPTIONS:
+    --format <json|xml|csv|html>  input format (default: guessed from extension)
+    --global                   XML global (by-name) inference (§6.2)
+    --module <name>            module name for `rust` (default: provided)
+    --root <Name>              root type name (default: Root)
+    --prefix <path>            support-crate path for `rust`
+                               (default: ::types_from_data)
+    --help                     show this help
+";
+
+/// Runs the CLI; returns the text to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        return Ok(USAGE.to_owned());
+    }
+    let command = args[0].as_str();
+    let mut format: Option<Format> = None;
+    let mut global = false;
+    let mut module = "provided".to_owned();
+    let mut root = "Root".to_owned();
+    let mut prefix = "::types_from_data".to_owned();
+    let mut files: Vec<String> = Vec::new();
+
+    let mut i = 1usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                let v = args.get(i).ok_or("--format requires a value")?;
+                format = Some(parse_format(v)?);
+            }
+            "--global" => global = true,
+            "--module" => {
+                i += 1;
+                module = args.get(i).ok_or("--module requires a value")?.clone();
+            }
+            "--root" => {
+                i += 1;
+                root = args.get(i).ok_or("--root requires a value")?.clone();
+            }
+            "--prefix" => {
+                i += 1;
+                prefix = args.get(i).ok_or("--prefix requires a value")?.clone();
+            }
+            "--help" | "-h" => return Ok(USAGE.to_owned()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown option {flag}\n\n{USAGE}"));
+            }
+            file => files.push(file.to_owned()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return Err(format!("no input files\n\n{USAGE}"));
+    }
+
+    let format = match format {
+        Some(f) => f,
+        None => guess_format(&files[0])?,
+    };
+    let values: Vec<Value> = files
+        .iter()
+        .map(|f| read_value(f, format))
+        .collect::<Result<_, _>>()?;
+
+    match command {
+        "value" => {
+            let mut out = String::new();
+            for v in &values {
+                out.push_str(&tfd_value::builder::to_pretty_string(v));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        "infer" => {
+            let shape = infer(&values, format, global);
+            Ok(format!("{shape}\n"))
+        }
+        "fsharp" => {
+            let shape = infer(&values, format, global);
+            let provided = tfd_provider::provide_idiomatic(&shape, &root);
+            Ok(tfd_provider::signature(&provided))
+        }
+        "rust" => {
+            let shape = infer(&values, format, global);
+            let options = CodegenOptions {
+                crate_prefix: prefix,
+                format: match format {
+                    Format::Json => Some(SourceFormat::Json),
+                    Format::Xml => Some(SourceFormat::Xml),
+                    Format::Csv => Some(SourceFormat::Csv),
+                    Format::Html => None,
+                },
+                sample_text: None,
+            };
+            Ok(generate(&shape, &module, &root, &options))
+        }
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Json,
+    Xml,
+    Csv,
+    Html,
+}
+
+fn parse_format(s: &str) -> Result<Format, String> {
+    match s {
+        "json" => Ok(Format::Json),
+        "xml" => Ok(Format::Xml),
+        "csv" => Ok(Format::Csv),
+        "html" => Ok(Format::Html),
+        other => Err(format!("unknown format {other} (expected json, xml, csv or html)")),
+    }
+}
+
+fn guess_format(file: &str) -> Result<Format, String> {
+    let lower = file.to_ascii_lowercase();
+    if lower.ends_with(".json") {
+        Ok(Format::Json)
+    } else if lower.ends_with(".xml") {
+        Ok(Format::Xml)
+    } else if lower.ends_with(".csv") || lower.ends_with(".tsv") {
+        Ok(Format::Csv)
+    } else if lower.ends_with(".html") || lower.ends_with(".htm") {
+        Ok(Format::Html)
+    } else {
+        Err(format!(
+            "cannot guess the format of {file}; pass --format json|xml|csv"
+        ))
+    }
+}
+
+fn read_value(file: &str, format: Format) -> Result<Value, String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    match format {
+        Format::Json => Ok(tfd_json::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
+        Format::Xml => Ok(tfd_xml::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
+        Format::Csv => Ok(tfd_csv::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
+        Format::Html => {
+            let tables = tfd_html::parse_tables(&text);
+            tables
+                .first()
+                .map(tfd_html::HtmlTable::to_value)
+                .ok_or_else(|| format!("{file}: no <table> found"))
+        }
+    }
+}
+
+fn infer(values: &[Value], format: Format, global: bool) -> Shape {
+    let options = match format {
+        Format::Json => InferOptions::json(),
+        Format::Xml => InferOptions::xml(),
+        Format::Csv | Format::Html => InferOptions::csv(),
+    };
+    let shape = infer_many(values, &options);
+    if global {
+        globalize(&shape)
+    } else {
+        shape
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("tfd-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_args(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_is_printed() {
+        assert!(run_args(&[]).unwrap().contains("USAGE"));
+        assert!(run_args(&["--help"]).unwrap().contains("COMMANDS"));
+    }
+
+    #[test]
+    fn infer_prints_shape() {
+        let f = write_temp("a.json", r#"[1, 2.5, null]"#);
+        let out = run_args(&["infer", &f]).unwrap();
+        assert_eq!(out.trim(), "[nullable float]");
+    }
+
+    #[test]
+    fn infer_merges_multiple_files() {
+        let f1 = write_temp("m1.json", r#"{ "x": 1 }"#);
+        let f2 = write_temp("m2.json", r#"{ "x": 2, "y": true }"#);
+        let out = run_args(&["infer", &f1, &f2]).unwrap();
+        assert!(out.contains("y : nullable bool"), "{out}");
+    }
+
+    #[test]
+    fn fsharp_prints_signature() {
+        let f = write_temp("p.json", r#"[{ "name": "Jan", "age": 25 }]"#);
+        let out = run_args(&["fsharp", "--root", "Person", &f]).unwrap();
+        assert!(out.contains("member Name : string"), "{out}");
+        assert!(out.contains("member Age : int"), "{out}");
+    }
+
+    #[test]
+    fn rust_prints_module() {
+        let f = write_temp("r.json", r#"{ "id": 7 }"#);
+        let out = run_args(&["rust", "--module", "gen", "--root", "Thing", &f]).unwrap();
+        assert!(out.contains("pub mod gen"), "{out}");
+        assert!(out.contains("pub struct Thing"), "{out}");
+        assert!(out.contains("pub fn id(&self)"), "{out}");
+    }
+
+    #[test]
+    fn value_dumps_paper_notation() {
+        let f = write_temp("v.xml", r#"<root id="1"/>"#);
+        let out = run_args(&["value", &f]).unwrap();
+        assert!(out.contains("root"), "{out}");
+        assert!(out.contains("id \u{21a6} 1"), "{out}");
+    }
+
+    #[test]
+    fn format_is_guessed_from_extension() {
+        let f = write_temp("g.csv", "a,b\n1,2\n");
+        let out = run_args(&["infer", &f]).unwrap();
+        // Column a contains only 0/1 values → the §6.2 bit shape.
+        assert!(out.contains("a : bit"), "{out}");
+        assert!(out.contains("b : int"), "{out}");
+        let unknown = write_temp("g.dat", "a,b\n1,2\n");
+        assert!(run_args(&["infer", &unknown]).is_err());
+        assert!(run_args(&["infer", "--format", "csv", &unknown]).is_ok());
+    }
+
+    #[test]
+    fn global_flag_applies_xml_global_inference() {
+        let f = write_temp(
+            "g.xml",
+            "<page><a><t x=\"1\"/></a><b><t y=\"2\"/></b></page>",
+        );
+        let plain = run_args(&["infer", &f]).unwrap();
+        let global = run_args(&["infer", "--global", &f]).unwrap();
+        assert_ne!(plain, global);
+        assert_eq!(global.matches("x : nullable int").count(), 2, "{global}");
+    }
+
+    #[test]
+    fn html_tables_infer_like_csv() {
+        let f = write_temp(
+            "t.html",
+            "<table><tr><th>City</th><th>Temp</th></tr>\
+             <tr><td>Prague</td><td>5</td></tr></table>",
+        );
+        let out = run_args(&["infer", &f]).unwrap();
+        assert!(out.contains("City : string"), "{out}");
+        assert!(out.contains("Temp : int"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_args(&["infer", "/nonexistent/x.json"]).is_err());
+        assert!(run_args(&["bogus-command", "x.json"]).is_err());
+        assert!(run_args(&["infer", "--format", "yaml", "x"]).is_err());
+        let bad = write_temp("bad.json", "{");
+        assert!(run_args(&["infer", &bad]).is_err());
+    }
+}

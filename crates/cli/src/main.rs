@@ -1,0 +1,26 @@
+//! `tfd` — quicktype-style command-line shape inference.
+//!
+//! ```text
+//! tfd infer  --format json [--samples N] FILE...   # print the inferred shape
+//! tfd fsharp --format json FILE...                 # print F#-style provided types
+//! tfd rust   --format json --module m --root Root FILE...  # print Rust types
+//! tfd value  --format xml FILE                     # dump the universal data value
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tfd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

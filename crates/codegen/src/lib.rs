@@ -1,0 +1,47 @@
+//! # tfd-codegen — Rust "provided types" from inferred shapes
+//!
+//! The Rust analogue of the paper's type-provider output (§4.2): given an
+//! inferred [`Shape`](tfd_core::Shape), [`generate`] emits the source of
+//! a Rust module with one struct per class-like shape and typed accessor
+//! methods over [`tfd_runtime`](https://docs.rs)'s conversions — the same
+//! architecture as the Fig. 8 mapping, but targeting Rust structs instead
+//! of Foo classes:
+//!
+//! | Fig. 8 rule         | Generated Rust                                  |
+//! |---------------------|-------------------------------------------------|
+//! | primitives          | `as_i64()` / `as_f64()` / … calls               |
+//! | records             | a struct with one accessor per field            |
+//! | collections         | `Vec<T>` via `elements()`                       |
+//! | `nullable σ̂`        | `Option<T>` via `opt()`                         |
+//! | labelled top (§3.5) | option-returning case methods via `case()`      |
+//! | hetero lists (§6.4) | multiplicity-typed case methods via `tagged_*`  |
+//!
+//! The proc-macro crate (`tfd-macros`) compiles this text at the use
+//! site — the Rust equivalent of invoking `JsonProvider<"...">` at
+//! compile time; the `tfd` CLI prints it like `quicktype`.
+//!
+//! # Example
+//!
+//! ```
+//! use tfd_codegen::{generate, CodegenOptions, SourceFormat};
+//! use tfd_core::{infer_with, InferOptions};
+//!
+//! let sample = tfd_json::parse(r#"[{ "name": "Jan", "age": 25 }]"#)?;
+//! let shape = infer_with(&sample.to_value(), &InferOptions::json());
+//! let code = generate(&shape, "people", "Person", &CodegenOptions {
+//!     format: Some(SourceFormat::Json),
+//!     ..CodegenOptions::default()
+//! });
+//! assert!(code.contains("pub struct Person"));
+//! assert!(code.contains("pub fn age(&self)"));
+//! # Ok::<(), tfd_json::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod emit;
+mod rust_names;
+
+pub use emit::{generate, CodegenOptions, SourceFormat};
+pub use rust_names::{snake_case, struct_name};

@@ -1,0 +1,122 @@
+//! Rust-flavoured naming for generated code.
+//!
+//! The §6.3 pipeline targets F# conventions (PascalCase members); Rust
+//! code follows the Rust API Guidelines instead: `UpperCamelCase` types
+//! and `snake_case` methods, with keyword escaping and collision
+//! numbering.
+
+/// Converts a field name to a `snake_case` method name, escaping Rust
+/// keywords by appending `_`.
+///
+/// ```
+/// use tfd_codegen::snake_case;
+/// assert_eq!(snake_case("TempMin"), "temp_min");
+/// assert_eq!(snake_case("user-name"), "user_name");
+/// assert_eq!(snake_case("type"), "type_");
+/// assert_eq!(snake_case("2fast"), "n2fast");
+/// assert_eq!(snake_case("•"), "value");
+/// ```
+pub fn snake_case(name: &str) -> String {
+    if name == tfd_value::BODY_NAME {
+        return "value".to_owned();
+    }
+    let mut out = String::new();
+    let mut prev_lower = false;
+    let mut prev_sep = true;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            if c.is_uppercase() {
+                if prev_lower {
+                    out.push('_');
+                }
+                out.extend(c.to_lowercase());
+                prev_lower = false;
+            } else {
+                out.push(c);
+                prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            }
+            prev_sep = false;
+        } else if !prev_sep {
+            out.push('_');
+            prev_lower = false;
+            prev_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push_str("value");
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'n');
+    }
+    if is_keyword(&out) {
+        out.push('_');
+    }
+    out
+}
+
+/// Rust keywords that cannot be used as method names.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break" | "const" | "continue" | "crate" | "dyn" | "else" | "enum"
+            | "extern" | "false" | "fn" | "for" | "if" | "impl" | "in" | "let" | "loop"
+            | "match" | "mod" | "move" | "mut" | "pub" | "ref" | "return" | "self"
+            | "static" | "struct" | "super" | "trait" | "true" | "type" | "unsafe"
+            | "use" | "where" | "while" | "async" | "await" | "abstract" | "become"
+            | "box" | "do" | "final" | "macro" | "override" | "priv" | "typeof"
+            | "unsized" | "virtual" | "yield" | "try" | "raw" | "gen"
+    )
+}
+
+/// Converts a record/element name to a Rust struct name (UpperCamelCase,
+/// digits prefixed, `•` becomes `Entity`).
+///
+/// ```
+/// use tfd_codegen::struct_name;
+/// assert_eq!(struct_name("person"), "Person");
+/// assert_eq!(struct_name("temp_min"), "TempMin");
+/// assert_eq!(struct_name("•"), "Entity");
+/// ```
+pub fn struct_name(name: &str) -> String {
+    if name == tfd_value::BODY_NAME || name.is_empty() {
+        return "Entity".to_owned();
+    }
+    tfd_provider::naming::pascal_case(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_case_varieties() {
+        assert_eq!(snake_case("name"), "name");
+        assert_eq!(snake_case("Name"), "name");
+        assert_eq!(snake_case("TempMin"), "temp_min");
+        assert_eq!(snake_case("tempMin"), "temp_min");
+        assert_eq!(snake_case("TEMP"), "temp");
+        assert_eq!(snake_case("temp min"), "temp_min");
+        assert_eq!(snake_case("temp.min"), "temp_min");
+        assert_eq!(snake_case("a-b-c"), "a_b_c");
+    }
+
+    #[test]
+    fn snake_case_edge_cases() {
+        assert_eq!(snake_case(""), "value");
+        assert_eq!(snake_case("---"), "value");
+        assert_eq!(snake_case("123"), "n123");
+        assert_eq!(snake_case("fn"), "fn_");
+        assert_eq!(snake_case("match"), "match_");
+        assert_eq!(snake_case("trailing-"), "trailing");
+    }
+
+    #[test]
+    fn struct_name_varieties() {
+        assert_eq!(struct_name("root"), "Root");
+        assert_eq!(struct_name("my-element"), "MyElement");
+        assert_eq!(struct_name(tfd_value::BODY_NAME), "Entity");
+    }
+}

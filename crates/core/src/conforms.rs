@@ -1,0 +1,120 @@
+//! Runtime shape conformance — the semantics of `hasShape(σ, d)`
+//! (Fig. 6, Part I), shared by the Foo interpreter and the Rust runtime.
+
+use crate::tags::{tag_of, Tag};
+use crate::Shape;
+use tfd_value::Value;
+
+/// Does the data value `d` conform to shape σ? This is the `hasShape`
+/// test of Fig. 6, extended compositionally to nullable shapes, labelled
+/// tops, the `bit`/`date` primitives and heterogeneous collections (see
+/// `tfd-foo::ops::has_shape` for the rule-by-rule correspondence).
+///
+/// ```
+/// use tfd_core::{conforms, Shape};
+/// use tfd_value::Value;
+/// assert!(conforms(&Shape::Float, &Value::Int(3))); // float accepts int
+/// assert!(!conforms(&Shape::Bool, &Value::Int(42)));
+/// ```
+pub fn conforms(shape: &Shape, d: &Value) -> bool {
+    match (shape, d) {
+        (Shape::Record(r), Value::Record { name, fields }) => {
+            r.name == *name
+                && r.fields.iter().all(|f| {
+                    match fields.iter().find(|g| g.name == f.name) {
+                        Some(g) => conforms(&f.shape, &g.value),
+                        // A nullable field may be missing entirely.
+                        None => conforms(&f.shape, &Value::Null),
+                    }
+                })
+        }
+        (Shape::List(element), Value::List(items)) => {
+            items.iter().all(|item| conforms(element, item))
+        }
+        (Shape::List(_), Value::Null) => true,
+        (Shape::String, Value::Str(_)) => true,
+        (Shape::Int, Value::Int(_)) => true,
+        (Shape::Bool, Value::Bool(_)) => true,
+        (Shape::Float, Value::Int(_) | Value::Float(_)) => true,
+        (Shape::Nullable(_), Value::Null) => true,
+        (Shape::Nullable(inner), d) => conforms(inner, d),
+        (Shape::Null, Value::Null) => true,
+        (Shape::Top(_), _) => true,
+        (Shape::Bit, Value::Int(i)) => *i == 0 || *i == 1,
+        (Shape::Date, Value::Str(s)) => tfd_csv::parse_date(s).is_some(),
+        (Shape::HeteroList(_), Value::Null) => true,
+        (Shape::HeteroList(cases), Value::List(items)) => {
+            // Null elements read as absent (collections are nullable and
+            // the tagged accessors skip them).
+            items.iter().all(|item| {
+                item.is_null()
+                    || cases.iter().any(|(cs, _)| value_matches_tag(&tag_of(cs), item))
+            }) && cases.iter().all(|(cs, m)| {
+                let count = items
+                    .iter()
+                    .filter(|item| value_matches_tag(&tag_of(cs), item))
+                    .count();
+                m.admits(count)
+            })
+        }
+        _ => false,
+    }
+}
+
+/// Does a data value belong to a shape-tag's family? Used to select
+/// heterogeneous-collection elements (§6.4) and to test labelled-top
+/// cases.
+pub fn value_matches_tag(tag: &Tag, d: &Value) -> bool {
+    match (tag, d) {
+        (Tag::Number, Value::Int(_) | Value::Float(_)) => true,
+        (Tag::Bool, Value::Bool(_)) => true,
+        (Tag::Str, Value::Str(_)) => true,
+        (Tag::Name(n), Value::Record { name, .. }) => n == name,
+        (Tag::Collection, Value::List(_)) => true,
+        (Tag::Null, Value::Null) => true,
+        (Tag::Any, _) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_with, InferOptions};
+    use crate::prefer::is_preferred;
+    use tfd_value::{arr, json_rec, rec};
+
+    #[test]
+    fn conforms_agrees_with_inference_preference_on_samples() {
+        // For a value d and shape σ: S(d) ⊑ σ implies conforms(σ, d) for
+        // the formal fragment (spot-checked here; property-tested in the
+        // integration suite).
+        let docs = [
+            Value::Int(1),
+            Value::Float(2.5),
+            Value::Null,
+            arr([Value::Int(1), Value::Null]),
+            json_rec([("a", Value::Int(1))]),
+            rec("P", [("x", arr([Value::Bool(true)]))]),
+        ];
+        let opts = InferOptions::formal();
+        for d in &docs {
+            for sample in &docs {
+                let shape = infer_with(sample, &opts);
+                if is_preferred(&infer_with(d, &opts), &shape) {
+                    assert!(conforms(&shape, d), "S({d}) ⊑ {shape} but hasShape fails");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tag_matching() {
+        assert!(value_matches_tag(&Tag::Number, &Value::Int(1)));
+        assert!(value_matches_tag(&Tag::Number, &Value::Float(1.0)));
+        assert!(value_matches_tag(&Tag::Name("P".into()), &rec("P", [("x", Value::Int(1))])));
+        assert!(!value_matches_tag(&Tag::Name("P".into()), &rec("Q", [("x", Value::Int(1))])));
+        assert!(value_matches_tag(&Tag::Any, &Value::Null));
+        assert!(!value_matches_tag(&Tag::Bool, &Value::Int(0)));
+    }
+}

@@ -1,0 +1,471 @@
+//! The common preferred shape function `csh` (Definition 2, Fig. 2,
+//! extended with the labelled-top rules of Fig. 4 and the heterogeneous
+//! collections of §6.4).
+//!
+//! `csh(σ1, σ2)` computes the least upper bound of two ground shapes with
+//! respect to the preferred shape relation (Lemma 1). The rules are
+//! matched **top to bottom**, which resolves the ambiguity between
+//! certain rules — "most importantly (any) is used only as the last
+//! resort" (§3.3).
+//!
+//! Rule order implemented here (each corresponds to a Fig. 2/Fig. 4 rule
+//! in the stated priority):
+//!
+//! 1. `(eq)` equal shapes;
+//! 2. `(list)` two collections (including the §6.4 heterogeneous merge);
+//! 3. `(bot)` bottom is the identity;
+//! 4. `(null)` null makes the other side nullable, `⌈σ⌉`;
+//! 5. `(top-merge)`, `(top-incl)`, `(top-add)` — labelled tops (Fig. 4);
+//! 6. `(num)` int ⊔ float = float (plus the bit/date extensions);
+//! 7. `(opt)` nullable distributes, `⌈csh(σ̂1, σ2)⌉`;
+//! 8. `(recd)` same-name records merge field-wise (missing fields become
+//!    nullable — the ground minimal row-variable substitution of Fig. 3);
+//! 9. `(top-any)` anything else joins to `any⟨⌊σ1⌋, ⌊σ2⌋⟩`.
+
+use crate::multiplicity::Multiplicity;
+use crate::shape::{FieldShape, RecordShape};
+use crate::tags::tag_of;
+use crate::Shape;
+
+/// Computes the common preferred shape (least upper bound) of two ground
+/// shapes.
+///
+/// ```
+/// use tfd_core::{csh, Shape};
+/// assert_eq!(csh(&Shape::Int, &Shape::Float), Shape::Float);          // (num)
+/// assert_eq!(csh(&Shape::Null, &Shape::Int), Shape::Int.ceil());      // (null)
+/// assert_eq!(csh(&Shape::Bottom, &Shape::Bool), Shape::Bool);         // (bot)
+/// assert_eq!(
+///     csh(&Shape::Int, &Shape::String),
+///     Shape::Top(vec![Shape::Int, Shape::String])                     // (top-any)
+/// );
+/// ```
+pub fn csh(a: &Shape, b: &Shape) -> Shape {
+    use Shape::*;
+
+    // (eq) — also the base case that keeps csh idempotent.
+    if a == b {
+        return a.clone();
+    }
+
+    match (a, b) {
+        // (list) — two homogeneous collections combine their elements;
+        // any combination involving a heterogeneous collection goes
+        // through the case merge of §6.4.
+        (List(ea), List(eb)) => Shape::list(csh(ea, eb)),
+        (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
+            hetero_join(&to_cases(a), &to_cases(b))
+        }
+
+        // (bot)
+        (Bottom, s) | (s, Bottom) => s.clone(),
+
+        // (null)
+        (Null, s) | (s, Null) => s.clone().ceil(),
+
+        // (top-merge) / (top-incl) / (top-add) — Fig. 4.
+        (Top(la), Top(lb)) => top_merge(la, lb),
+        (Top(labels), s) | (s, Top(labels)) => top_include(labels, s),
+
+        // (num) — and the §6.2 extensions: bit joins into int/bool/float,
+        // date joins into string.
+        (Int | Float, Int | Float) => Float,
+        (Bit, Int) | (Int, Bit) => Int,
+        (Bit, Bool) | (Bool, Bit) => Bool,
+        (Bit, Float) | (Float, Bit) => Float,
+        (Date, String) | (String, Date) => String,
+
+        // (opt)
+        (Nullable(inner), s) | (s, Nullable(inner)) => csh(inner, s).ceil(),
+
+        // (recd) — same-name records merge field-wise; a field present on
+        // only one side gets `⌈σ⌉` (the minimal ground substitution for
+        // the record's row variable, Fig. 3).
+        (Record(ra), Record(rb)) if ra.name == rb.name => {
+            Record(record_join(ra, rb))
+        }
+
+        // (top-any) / (any) — the last resort. Labels are kept in the
+        // canonical tag order so that csh is commutative on the nose.
+        (a, b) => {
+            let mut labels = vec![a.clone().floor(), b.clone().floor()];
+            labels.sort_by_key(tag_of);
+            Top(labels)
+        }
+    }
+}
+
+/// Folds `csh` over any number of shapes, starting from ⊥ — the
+/// `S(d1, …, dn)` accumulation of Fig. 3.
+///
+/// ```
+/// use tfd_core::{csh_all, Shape};
+/// assert_eq!(csh_all([Shape::Int, Shape::Float, Shape::Null]), Shape::Float.ceil());
+/// assert_eq!(csh_all(std::iter::empty()), Shape::Bottom);
+/// ```
+pub fn csh_all<I>(shapes: I) -> Shape
+where
+    I: IntoIterator<Item = Shape>,
+{
+    shapes
+        .into_iter()
+        .fold(Shape::Bottom, |acc, s| csh(&acc, &s))
+}
+
+fn record_join(a: &RecordShape, b: &RecordShape) -> RecordShape {
+    debug_assert_eq!(a.name, b.name);
+    let mut fields: Vec<FieldShape> = Vec::with_capacity(a.fields.len().max(b.fields.len()));
+    for fa in &a.fields {
+        let shape = match b.field(&fa.name) {
+            Some(sb) => csh(&fa.shape, sb),
+            None => fa.shape.clone().ceil(),
+        };
+        fields.push(FieldShape::new(fa.name.clone(), shape));
+    }
+    for fb in &b.fields {
+        if a.field(&fb.name).is_none() {
+            fields.push(FieldShape::new(fb.name.clone(), fb.shape.clone().ceil()));
+        }
+    }
+    RecordShape { name: a.name.clone(), fields }
+}
+
+/// (top-merge): group the labels of two tops by tag; same-tag labels are
+/// joined with `csh`, the rest are concatenated.
+fn top_merge(la: &[Shape], lb: &[Shape]) -> Shape {
+    let mut labels: Vec<Shape> = la.to_vec();
+    for sb in lb {
+        merge_label(&mut labels, sb.clone());
+    }
+    labels.sort_by_key(tag_of);
+    Shape::Top(labels)
+}
+
+/// (top-incl)/(top-add): absorb one non-top shape into a labelled top.
+/// Tops implicitly permit null, so the incoming label is stripped to its
+/// non-nullable core with `⌊−⌋` (and a bare `null`/`⊥` adds no label).
+fn top_include(labels: &[Shape], s: &Shape) -> Shape {
+    let mut labels = labels.to_vec();
+    let core = s.clone().floor();
+    if !matches!(core, Shape::Null | Shape::Bottom) {
+        merge_label(&mut labels, core);
+    }
+    labels.sort_by_key(tag_of);
+    Shape::Top(labels)
+}
+
+fn merge_label(labels: &mut Vec<Shape>, incoming: Shape) {
+    let tag = tag_of(&incoming);
+    if let Some(existing) = labels.iter_mut().find(|l| tag_of(l) == tag) {
+        // csh of two same-tag labels never reaches (top-any): by
+        // construction of tags they join below the top shape. The floor
+        // keeps the invariant that labels are non-nullable.
+        *existing = csh(existing, &incoming).floor();
+    } else {
+        labels.push(incoming);
+    }
+}
+
+/// Views a collection shape as §6.4 cases (see `prefer::to_cases`).
+fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
+    match shape {
+        Shape::HeteroList(cases) => cases.clone(),
+        Shape::List(e) if **e == Shape::Bottom => Vec::new(),
+        Shape::List(e) => vec![((**e).clone(), Multiplicity::Many)],
+        _ => unreachable!("to_cases called on a non-collection shape"),
+    }
+}
+
+/// §6.4: "We merge cases with the same tag (by finding their common
+/// shape) and calculate their new shared multiplicity."
+fn hetero_join(
+    a: &[(Shape, Multiplicity)],
+    b: &[(Shape, Multiplicity)],
+) -> Shape {
+    let mut cases: Vec<(Shape, Multiplicity)> = Vec::new();
+    for (sa, ma) in a {
+        match b.iter().find(|(sb, _)| tag_of(sb) == tag_of(sa)) {
+            Some((sb, mb)) => cases.push((csh(sa, sb), ma.join(*mb))),
+            None => cases.push((sa.clone(), ma.join_absent())),
+        }
+    }
+    for (sb, mb) in b {
+        if !a.iter().any(|(sa, _)| tag_of(sa) == tag_of(sb)) {
+            cases.push((sb.clone(), mb.join_absent()));
+        }
+    }
+    cases.sort_by_key(|(s, _)| tag_of(s));
+    Shape::HeteroList(cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplicity::Multiplicity::{Many, One, ZeroOrOne};
+    use crate::prefer::is_preferred;
+    use Shape::*;
+
+    fn rec(name: &str, fields: Vec<(&str, Shape)>) -> Shape {
+        Shape::record(name, fields)
+    }
+
+    // --- One test per Fig. 2 rule ---
+
+    #[test]
+    fn rule_eq() {
+        for s in [Int, Null, Bottom, Shape::any(), Shape::list(Bool)] {
+            assert_eq!(csh(&s, &s), s);
+        }
+    }
+
+    #[test]
+    fn rule_list() {
+        assert_eq!(
+            csh(&Shape::list(Int), &Shape::list(Float)),
+            Shape::list(Float)
+        );
+        assert_eq!(
+            csh(&Shape::list(Bottom), &Shape::list(Int)),
+            Shape::list(Int)
+        );
+    }
+
+    #[test]
+    fn rule_bot() {
+        assert_eq!(csh(&Bottom, &Int), Int);
+        assert_eq!(csh(&Int, &Bottom), Int);
+        assert_eq!(csh(&Bottom, &Null), Null);
+    }
+
+    #[test]
+    fn rule_null() {
+        assert_eq!(csh(&Null, &Int), Int.ceil());
+        assert_eq!(csh(&Int, &Null), Int.ceil());
+        // ⌈−⌉ leaves already-nullable shapes alone:
+        assert_eq!(csh(&Null, &Shape::list(Int)), Shape::list(Int));
+        assert_eq!(csh(&Null, &Int.ceil()), Int.ceil());
+        assert_eq!(csh(&Null, &Shape::any()), Shape::any());
+    }
+
+    #[test]
+    fn rule_top() {
+        // Fig. 2 (top): csh(any, σ) = any — with Fig. 4 labels recorded.
+        assert!(csh(&Shape::any(), &Int).is_top());
+        assert!(csh(&Int, &Shape::any()).is_top());
+    }
+
+    #[test]
+    fn rule_num() {
+        assert_eq!(csh(&Int, &Float), Float);
+        assert_eq!(csh(&Float, &Int), Float);
+    }
+
+    #[test]
+    fn rule_opt() {
+        // csh(nullable σ̂1, σ2) = ⌈csh(σ̂1, σ2)⌉
+        assert_eq!(csh(&Int.ceil(), &Float), Float.ceil());
+        assert_eq!(csh(&Float, &Int.ceil()), Float.ceil());
+        assert_eq!(csh(&Int.ceil(), &Float.ceil()), Float.ceil());
+    }
+
+    #[test]
+    fn rule_recd() {
+        let a = rec("P", vec![("x", Int), ("y", Int)]);
+        let b = rec("P", vec![("x", Float), ("y", Int)]);
+        assert_eq!(csh(&a, &b), rec("P", vec![("x", Float), ("y", Int)]));
+    }
+
+    #[test]
+    fn rule_recd_missing_fields_become_nullable() {
+        // The §3.1 example: Point {x ↦ 3} ⊔ Point {x ↦ 3, y ↦ 4}
+        // = Point {x : int, y : nullable int}.
+        let narrow = rec("Point", vec![("x", Int)]);
+        let wide = rec("Point", vec![("x", Int), ("y", Int)]);
+        let expected = rec("Point", vec![("x", Int), ("y", Int.ceil())]);
+        assert_eq!(csh(&narrow, &wide), expected);
+        assert_eq!(csh(&wide, &narrow), expected);
+    }
+
+    #[test]
+    fn rule_any_as_last_resort() {
+        assert_eq!(csh(&Int, &String), Top(vec![Int, String]));
+        assert_eq!(csh(&Bool, &String), Top(vec![Bool, String]));
+        // Records with different names do not merge:
+        let p = rec("P", vec![("x", Int)]);
+        let q = rec("Q", vec![("x", Int)]);
+        assert_eq!(csh(&p, &q), Top(vec![p.clone(), q.clone()]));
+    }
+
+    // --- Fig. 4 labelled-top rules ---
+
+    #[test]
+    fn top_any_strips_nullability_of_labels() {
+        // (opt) fires first on nullable int, then (top-any) builds the
+        // labels with ⌊−⌋ applied, and the outer ⌈−⌉ leaves the top
+        // unchanged (tops already permit null): the result is
+        // any⟨int, string⟩, not any⟨nullable int, string⟩.
+        assert_eq!(csh(&Int.ceil(), &String), Top(vec![Int, String]));
+    }
+
+    #[test]
+    fn top_incl_joins_same_tag_label() {
+        let top = Top(vec![Int, Bool]);
+        // float has tag "number" like int: (top-incl) joins them.
+        assert_eq!(csh(&top, &Float), Top(vec![Float, Bool]));
+        assert_eq!(csh(&Float, &top), Top(vec![Float, Bool]));
+    }
+
+    #[test]
+    fn top_add_appends_new_tag() {
+        let top = Top(vec![Int]);
+        assert_eq!(csh(&top, &String), Top(vec![Int, String]));
+    }
+
+    #[test]
+    fn top_merge_groups_by_tag() {
+        let ta = Top(vec![Int, Bool]);
+        let tb = Top(vec![Float, String]);
+        assert_eq!(csh(&ta, &tb), Top(vec![Float, Bool, String]));
+    }
+
+    #[test]
+    fn paper_example_no_nested_tops() {
+        // "Rather than inferring any⟨int, any⟨bool, float⟩⟩, our algorithm
+        // joins int and float and produces any⟨float, bool⟩."
+        let s1 = csh(&Int, &Bool); // any⟨int, bool⟩
+        let s2 = csh(&s1, &Float);
+        assert_eq!(s2, Top(vec![Float, Bool]));
+    }
+
+    #[test]
+    fn top_absorbs_null_without_label() {
+        let top = Top(vec![Int]);
+        assert_eq!(csh(&top, &Null), Top(vec![Int]));
+        assert_eq!(csh(&Null, &top), Top(vec![Int]));
+    }
+
+    #[test]
+    fn top_label_from_nullable_is_floored() {
+        let top = Top(vec![String]);
+        assert_eq!(csh(&top, &Int.ceil()), Top(vec![Int, String]));
+    }
+
+    #[test]
+    fn top_merges_same_name_records() {
+        let p1 = rec("P", vec![("x", Int)]);
+        let p2 = rec("P", vec![("y", Bool)]);
+        let top = Top(vec![p1.clone()]);
+        let joined = csh(&top, &p2);
+        let expected = rec("P", vec![("x", Int.ceil()), ("y", Bool.ceil())]);
+        assert_eq!(joined, Top(vec![expected]));
+    }
+
+    // --- Extensions ---
+
+    #[test]
+    fn bit_joins() {
+        assert_eq!(csh(&Bit, &Bit), Bit);
+        assert_eq!(csh(&Bit, &Int), Int);
+        assert_eq!(csh(&Bit, &Bool), Bool);
+        assert_eq!(csh(&Bit, &Float), Float);
+        assert_eq!(csh(&Bool, &Bit), Bool);
+    }
+
+    #[test]
+    fn date_joins() {
+        assert_eq!(csh(&Date, &Date), Date);
+        assert_eq!(csh(&Date, &String), String);
+        assert_eq!(csh(&String, &Date), String);
+        // date vs number falls to the top:
+        assert_eq!(csh(&Date, &Int), Top(vec![Int, Date]));
+    }
+
+    #[test]
+    fn hetero_merges_same_tag_cases() {
+        let r1 = rec("•", vec![("a", Int)]);
+        let r2 = rec("•", vec![("a", Float)]);
+        let ha = HeteroList(vec![(r1, One)]);
+        let hb = HeteroList(vec![(r2.clone(), One)]);
+        assert_eq!(csh(&ha, &hb), HeteroList(vec![(r2, One)]));
+    }
+
+    #[test]
+    fn hetero_one_and_absent_becomes_zero_or_one() {
+        let r = rec("•", vec![("a", Int)]);
+        let ha = HeteroList(vec![(r.clone(), One)]);
+        let hb = HeteroList(vec![]);
+        assert_eq!(csh(&ha, &hb), HeteroList(vec![(r, ZeroOrOne)]));
+    }
+
+    #[test]
+    fn hetero_absorbs_homogeneous_list() {
+        let r = rec("•", vec![("a", Int)]);
+        let hetero = HeteroList(vec![(r.clone(), One)]);
+        let homog = Shape::list(r.clone());
+        assert_eq!(csh(&hetero, &homog), HeteroList(vec![(r, Many)]));
+    }
+
+    #[test]
+    fn empty_list_is_hetero_identity() {
+        let r = rec("•", vec![("a", Int)]);
+        let hetero = HeteroList(vec![(r.clone(), One)]);
+        let empty = Shape::list(Bottom);
+        assert_eq!(csh(&hetero, &empty), HeteroList(vec![(r, ZeroOrOne)]));
+    }
+
+    // --- Lemma 1: csh is the least upper bound ---
+
+    #[test]
+    fn lemma1_upper_bound_on_samples() {
+        let shapes = [
+            Bottom,
+            Null,
+            Int,
+            Float,
+            Bool,
+            String,
+            Int.ceil(),
+            Shape::list(Int),
+            Shape::list(Float.ceil()),
+            rec("P", vec![("x", Int)]),
+            rec("P", vec![("x", Float), ("y", Bool)]),
+            rec("Q", vec![("z", String)]),
+            Shape::any(),
+            Top(vec![Int, Bool]),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                let j = csh(a, b);
+                assert!(is_preferred(a, &j), "{a} ⋢ csh({a}, {b}) = {j}");
+                assert!(is_preferred(b, &j), "{b} ⋢ csh({a}, {b}) = {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn csh_commutes_on_samples() {
+        let shapes = [
+            Null,
+            Int,
+            Float,
+            String,
+            Int.ceil(),
+            Shape::list(Int),
+            rec("P", vec![("x", Int)]),
+            rec("P", vec![("y", Bool)]),
+            Top(vec![Int]),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                assert_eq!(csh(a, b), csh(b, a), "csh not commutative on {a}, {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn csh_all_folds_from_bottom() {
+        assert_eq!(csh_all([]), Bottom);
+        assert_eq!(csh_all([Int]), Int);
+        assert_eq!(csh_all([Int, Float, Null]), Float.ceil());
+    }
+}

@@ -1,0 +1,216 @@
+//! Global (by-name) record unification for XML (§6.2).
+//!
+//! > "The XML type provider also includes an option to use global
+//! > inference. In that case, the inference from values (§3.4) unifies
+//! > the shapes of all records with the same name. This is useful
+//! > because, for example, in XHTML all `<table>` elements will be
+//! > treated as values of the same type."
+//!
+//! [`globalize`] post-processes an inferred shape: all record shapes with
+//! the same name, anywhere in the shape, are joined with `csh`, and every
+//! occurrence is replaced by the join. Recursive structures (an element
+//! nested inside an element of the same name) are handled by cutting the
+//! expansion at the recursion point — the inner occurrence keeps its
+//! locally inferred shape, since our shape language is finite trees.
+
+use crate::csh::csh;
+use crate::shape::RecordShape;
+use crate::Shape;
+use std::collections::BTreeMap;
+
+/// Applies global by-name record unification to a shape.
+///
+/// ```
+/// use tfd_core::{globalize, infer_with, InferOptions, Shape};
+/// use tfd_value::{arr, rec, Value};
+///
+/// // Two <item> elements with different attributes...
+/// let doc = arr([
+///     rec("item", [("a", Value::Int(1))]),
+///     rec("item", [("b", Value::Bool(true))]),
+/// ]);
+/// let local = infer_with(&doc, &InferOptions::formal());
+/// let global = globalize(&local);
+/// // ...unify into one record with both fields optional? No — they were
+/// // already joined by the collection rule here; globalize matters when
+/// // same-name records appear in *different* positions (see tests).
+/// assert_eq!(global, local);
+/// ```
+pub fn globalize(shape: &Shape) -> Shape {
+    // 1. Collect the join of all record shapes per name.
+    let mut joined: BTreeMap<String, RecordShape> = BTreeMap::new();
+    collect(shape, &mut joined);
+    // 2. Saturate: joining records may expose nested records that also
+    //    need joining into the map (they were collected already since we
+    //    walk the whole tree first, and csh of collected shapes cannot
+    //    invent record names that never occurred).
+    // 3. Rewrite every occurrence, cutting recursion per name.
+    let mut stack = Vec::new();
+    rewrite(shape, &joined, &mut stack)
+}
+
+fn collect(shape: &Shape, joined: &mut BTreeMap<String, RecordShape>) {
+    match shape {
+        Shape::Record(r) => {
+            for f in &r.fields {
+                collect(&f.shape, joined);
+            }
+            match joined.get(&r.name) {
+                Some(existing) => {
+                    let merged = csh(&Shape::Record(existing.clone()), &Shape::Record(r.clone()));
+                    if let Shape::Record(m) = merged {
+                        joined.insert(r.name.clone(), m);
+                    }
+                }
+                None => {
+                    joined.insert(r.name.clone(), r.clone());
+                }
+            }
+        }
+        Shape::Nullable(s) | Shape::List(s) => collect(s, joined),
+        Shape::Top(labels) => {
+            for l in labels {
+                collect(l, joined);
+            }
+        }
+        Shape::HeteroList(cases) => {
+            for (s, _) in cases {
+                collect(s, joined);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite(
+    shape: &Shape,
+    joined: &BTreeMap<String, RecordShape>,
+    stack: &mut Vec<String>,
+) -> Shape {
+    match shape {
+        Shape::Record(r) => {
+            if stack.contains(&r.name) {
+                // Recursion cut: keep the local shape, rewriting children
+                // only (without re-expanding this name).
+                return Shape::Record(RecordShape {
+                    name: r.name.clone(),
+                    fields: r
+                        .fields
+                        .iter()
+                        .map(|f| crate::shape::FieldShape::new(
+                            f.name.clone(),
+                            rewrite(&f.shape, joined, stack),
+                        ))
+                        .collect(),
+                });
+            }
+            let unified = joined.get(&r.name).cloned().unwrap_or_else(|| r.clone());
+            stack.push(r.name.clone());
+            let result = Shape::Record(RecordShape {
+                name: unified.name.clone(),
+                fields: unified
+                    .fields
+                    .iter()
+                    .map(|f| crate::shape::FieldShape::new(
+                        f.name.clone(),
+                        rewrite(&f.shape, joined, stack),
+                    ))
+                    .collect(),
+            });
+            stack.pop();
+            result
+        }
+        Shape::Nullable(s) => rewrite(s, joined, stack).ceil(),
+        Shape::List(s) => Shape::list(rewrite(s, joined, stack)),
+        Shape::Top(labels) => Shape::Top(
+            labels.iter().map(|l| rewrite(l, joined, stack)).collect(),
+        ),
+        Shape::HeteroList(cases) => Shape::HeteroList(
+            cases
+                .iter()
+                .map(|(s, m)| (rewrite(s, joined, stack), *m))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_with, InferOptions};
+    use tfd_value::{arr, rec, Value};
+    use Shape::{Bool, Int};
+
+    #[test]
+    fn same_name_records_in_different_positions_unify() {
+        // <a><t x="1"/></a> ... <b><t y="true"/></b>: the two <t> shapes
+        // sit under different fields, so plain inference keeps them
+        // separate; globalize joins them.
+        let doc = rec(
+            "root",
+            [
+                ("a", rec("t", [("x", Value::Int(1))])),
+                ("b", rec("t", [("y", Value::Bool(true))])),
+            ],
+        );
+        let local = infer_with(&doc, &InferOptions::formal());
+        let global = globalize(&local);
+        let t_unified = Shape::record("t", [("x", Int.ceil()), ("y", Bool.ceil())]);
+        assert_eq!(
+            global,
+            Shape::record("root", [("a", t_unified.clone()), ("b", t_unified)])
+        );
+    }
+
+    #[test]
+    fn globalize_is_identity_without_name_collisions() {
+        let doc = rec("r", [("x", Value::Int(1)), ("y", arr([Value::Bool(true)]))]);
+        let local = infer_with(&doc, &InferOptions::formal());
+        assert_eq!(globalize(&local), local);
+    }
+
+    #[test]
+    fn recursive_elements_terminate() {
+        // <div><div/></div> — a div containing a div.
+        let doc = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
+        let local = infer_with(&doc, &InferOptions::formal());
+        let global = globalize(&local);
+        // Outer div gets the joined shape (child optional, x optional);
+        // the nested div occurrence is cut rather than infinitely
+        // expanded.
+        match &global {
+            Shape::Record(r) => {
+                assert_eq!(r.name, "div");
+                assert!(r.field("child").is_some());
+                assert!(r.field("x").is_some());
+            }
+            other => panic!("expected record, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unification_reaches_into_collections_and_tops() {
+        let doc = arr([
+            rec("w", [("p", rec("t", [("x", Value::Int(1))]))]),
+            rec("v", [("q", rec("t", [("y", Value::Int(2))]))]),
+        ]);
+        let local = infer_with(&doc, &InferOptions::formal());
+        let global = globalize(&local);
+        // Both nested t records now have both (optional) fields.
+        let expected_t = Shape::record("t", [("x", Int.ceil()), ("y", Int.ceil())]);
+        match &global {
+            Shape::List(e) => match e.as_ref() {
+                Shape::Top(labels) => {
+                    for l in labels {
+                        let r = l.as_record().expect("record label");
+                        let inner = r.fields[0].shape.clone();
+                        assert_eq!(inner, expected_t);
+                    }
+                }
+                other => panic!("expected labelled top, got {other}"),
+            },
+            other => panic!("expected list, got {other}"),
+        }
+    }
+}

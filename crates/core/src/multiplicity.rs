@@ -1,0 +1,127 @@
+//! Multiplicities `ψ = 1 | 1? | *` for heterogeneous collections (§6.4).
+
+use std::fmt;
+
+/// How many times a case can occur in a heterogeneous collection.
+///
+/// Ordered by inclusion of the allowed element counts:
+/// `One ({1}) ⊑ ZeroOrOne ({0,1}) ⊑ Many ({0,1,2,…})`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Multiplicity {
+    /// Exactly one occurrence (`1`).
+    One,
+    /// Zero or one occurrence (`1?`).
+    ZeroOrOne,
+    /// Any number of occurrences (`*`).
+    Many,
+}
+
+impl Multiplicity {
+    /// The multiplicity observed for `count` occurrences within a single
+    /// sample collection.
+    pub fn of_count(count: usize) -> Multiplicity {
+        match count {
+            0 => Multiplicity::ZeroOrOne,
+            1 => Multiplicity::One,
+            _ => Multiplicity::Many,
+        }
+    }
+
+    /// Least upper bound: the multiplicity allowing everything either
+    /// side allows. "For example, by turning 1 and 1? into 1?" (§6.4).
+    #[must_use]
+    pub fn join(self, other: Multiplicity) -> Multiplicity {
+        self.max(other)
+    }
+
+    /// Joins with an *absent* case: a case present in one sample but not
+    /// another can occur zero times, so `1` weakens to `1?` and `*`
+    /// stays `*`.
+    #[must_use]
+    pub fn join_absent(self) -> Multiplicity {
+        self.join(Multiplicity::ZeroOrOne)
+    }
+
+    /// `self ⊑ other` in the count-inclusion order.
+    pub fn is_preferred(self, other: Multiplicity) -> bool {
+        self <= other
+    }
+
+    /// Does this multiplicity admit `count` occurrences?
+    pub fn admits(self, count: usize) -> bool {
+        match self {
+            Multiplicity::One => count == 1,
+            Multiplicity::ZeroOrOne => count <= 1,
+            Multiplicity::Many => true,
+        }
+    }
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Multiplicity::One => write!(f, "1"),
+            Multiplicity::ZeroOrOne => write!(f, "1?"),
+            Multiplicity::Many => write!(f, "*"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Multiplicity::{Many, One, ZeroOrOne};
+
+    #[test]
+    fn of_count_maps_counts() {
+        assert_eq!(Multiplicity::of_count(0), ZeroOrOne);
+        assert_eq!(Multiplicity::of_count(1), One);
+        assert_eq!(Multiplicity::of_count(2), Many);
+        assert_eq!(Multiplicity::of_count(100), Many);
+    }
+
+    #[test]
+    fn join_is_max() {
+        // The paper's example: 1 and 1? become 1?.
+        assert_eq!(One.join(ZeroOrOne), ZeroOrOne);
+        assert_eq!(One.join(One), One);
+        assert_eq!(One.join(Many), Many);
+        assert_eq!(ZeroOrOne.join(Many), Many);
+    }
+
+    #[test]
+    fn join_absent_weakens_one() {
+        assert_eq!(One.join_absent(), ZeroOrOne);
+        assert_eq!(ZeroOrOne.join_absent(), ZeroOrOne);
+        assert_eq!(Many.join_absent(), Many);
+    }
+
+    #[test]
+    fn preference_follows_inclusion() {
+        assert!(One.is_preferred(One));
+        assert!(One.is_preferred(ZeroOrOne));
+        assert!(One.is_preferred(Many));
+        assert!(ZeroOrOne.is_preferred(Many));
+        assert!(!Many.is_preferred(ZeroOrOne));
+        assert!(!ZeroOrOne.is_preferred(One));
+    }
+
+    #[test]
+    fn admits_counts() {
+        assert!(One.admits(1));
+        assert!(!One.admits(0));
+        assert!(!One.admits(2));
+        assert!(ZeroOrOne.admits(0));
+        assert!(ZeroOrOne.admits(1));
+        assert!(!ZeroOrOne.admits(2));
+        assert!(Many.admits(0));
+        assert!(Many.admits(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(One.to_string(), "1");
+        assert_eq!(ZeroOrOne.to_string(), "1?");
+        assert_eq!(Many.to_string(), "*");
+    }
+}

@@ -1,0 +1,311 @@
+//! The preferred shape relation `σ1 ⊑ σ2` (Definition 1, Fig. 1).
+//!
+//! The paper defines `⊑` as the transitive-reflexive closure of nine
+//! rules; [`is_preferred`] decides the closure directly by structural
+//! recursion. The record case combines rules (8) covariance and (9) width
+//! with the row-variable convention of Fig. 3: a record lacking a field
+//! of the wider record is still preferred when that field's shape admits
+//! `null` (the minimal ground substitution for the row variable fills the
+//! missing field with an optional shape — this is exactly the condition
+//! under which the provided accessor code works, Lemma 2).
+//!
+//! Extensions beyond the paper's core rules, as discussed in §6.2/§6.4:
+//!
+//! * `bit ⊑ int`, `bit ⊑ bool` (and transitively `bit ⊑ float`);
+//! * `date ⊑ string`;
+//! * heterogeneous collections compare case-wise by tag (see
+//!   [`is_preferred`] source for the exact condition).
+
+use crate::multiplicity::Multiplicity;
+use crate::tags::tag_of;
+use crate::Shape;
+
+/// Decides `a ⊑ b` — "`a` is preferred over `b`" — for ground shapes.
+///
+/// ```
+/// use tfd_core::{is_preferred, Shape};
+/// assert!(is_preferred(&Shape::Int, &Shape::Float));          // rule (1)
+/// assert!(is_preferred(&Shape::Null, &Shape::Int.ceil()));    // rule (2)
+/// assert!(is_preferred(&Shape::Int, &Shape::Int.ceil()));     // rule (3)
+/// assert!(is_preferred(&Shape::Bottom, &Shape::String));      // rule (6)
+/// assert!(is_preferred(&Shape::String, &Shape::any()));       // rule (7)
+/// assert!(!is_preferred(&Shape::Float, &Shape::Int));
+/// ```
+pub fn is_preferred(a: &Shape, b: &Shape) -> bool {
+    use Shape::*;
+    match (a, b) {
+        // Rule (6): ⊥ ⊑ σ for all σ.
+        (Bottom, _) => true,
+        // Rule (7): σ ⊑ any. Labels do not affect the relation (§3.5).
+        (_, Top(_)) => true,
+        // any is only below itself (handled above); nothing else is above it.
+        (Top(_), _) => false,
+        // Rule (2): null ⊑ σ for σ not a non-nullable shape (and not ⊥).
+        (Null, b) => !b.is_non_nullable() && *b != Bottom,
+        (_, Null) => false,
+        // Rule (4) and the (3)+(4) composite: a σ̂ or nullable σ̂ on the
+        // left against nullable σ̂' compares the non-nullable cores.
+        (Nullable(ai), Nullable(bi)) => is_preferred(ai, bi),
+        (a, Nullable(bi)) if a.is_non_nullable() => is_preferred(a, bi),
+        (Nullable(_), _) => false,
+        // Rule (5): collections are covariant; heterogeneous collections
+        // compare case-wise (see below).
+        (List(ae), List(be)) => is_preferred(ae, be),
+        (HeteroList(_), List(be)) if be.is_top() => true,
+        (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
+            hetero_preferred(&to_cases(a), &to_cases(b))
+        }
+        (List(_) | HeteroList(_), _) | (_, List(_) | HeteroList(_)) => false,
+        // Rule (1): int ⊑ float; extensions bit ⊑ int|bool (§6.2) and
+        // date ⊑ string, plus reflexivity on primitives.
+        (Int, Int | Float) => true,
+        (Bit, Bit | Int | Bool | Float) => true,
+        (Date, Date | String) => true,
+        (Float, Float) | (Bool, Bool) | (String, String) => true,
+        // Rules (8)+(9): records are covariant and the preferred record
+        // may have additional fields. A field of `b` missing from `a`
+        // must admit null (row-variable convention, see module docs).
+        (Record(ra), Record(rb)) => {
+            ra.name == rb.name
+                && rb.fields.iter().all(|fb| match ra.field(&fb.name) {
+                    Some(sa) => is_preferred(sa, &fb.shape),
+                    None => is_preferred(&Null, &fb.shape),
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Views any collection shape as heterogeneous cases. A homogeneous
+/// `[σ]` is the single case `σ, *` (the empty collection `[⊥]` has no
+/// cases).
+fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
+    match shape {
+        Shape::HeteroList(cases) => cases.clone(),
+        Shape::List(e) if **e == Shape::Bottom => Vec::new(),
+        Shape::List(e) => vec![((**e).clone(), Multiplicity::Many)],
+        _ => unreachable!("to_cases called on a non-collection shape"),
+    }
+}
+
+/// Case-wise preference for heterogeneous collections:
+///
+/// * every case of `a` must have a same-tag case in `b` with preferred
+///   shape and preferred multiplicity, and
+/// * every *mandatory* case of `b` (multiplicity `1`) must be present in
+///   `a` — an input without that element would break the provided
+///   singleton accessor.
+fn hetero_preferred(a: &[(Shape, Multiplicity)], b: &[(Shape, Multiplicity)]) -> bool {
+    let covered = a.iter().all(|(sa, ma)| {
+        b.iter().any(|(sb, mb)| {
+            tag_of(sa) == tag_of(sb) && is_preferred(sa, sb) && ma.is_preferred(*mb)
+        })
+    });
+    let mandatory_present = b.iter().all(|(sb, mb)| {
+        *mb != Multiplicity::One || a.iter().any(|(sa, _)| tag_of(sa) == tag_of(sb))
+    });
+    covered && mandatory_present
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiplicity::Multiplicity::{Many, One, ZeroOrOne};
+    use Shape::*;
+
+    fn rec(name: &str, fields: Vec<(&str, Shape)>) -> Shape {
+        Shape::record(name, fields)
+    }
+
+    // --- Rules of Definition 1, one by one ---
+
+    #[test]
+    fn rule1_int_preferred_over_float() {
+        assert!(is_preferred(&Int, &Float));
+        assert!(!is_preferred(&Float, &Int));
+    }
+
+    #[test]
+    fn rule2_null_below_all_nullable_shapes() {
+        assert!(is_preferred(&Null, &Null));
+        assert!(is_preferred(&Null, &Int.ceil()));
+        assert!(is_preferred(&Null, &Shape::list(Int)));
+        assert!(is_preferred(&Null, &Shape::any()));
+        assert!(is_preferred(&Null, &HeteroList(vec![])));
+        // ... but not below non-nullable shapes or bottom:
+        assert!(!is_preferred(&Null, &Int));
+        assert!(!is_preferred(&Null, &rec("P", vec![("x", Int)])));
+        assert!(!is_preferred(&Null, &Bottom));
+    }
+
+    #[test]
+    fn rule3_non_nullable_below_its_nullable() {
+        for s in [Int, Float, Bool, String, rec("P", vec![("x", Int)])] {
+            assert!(is_preferred(&s, &s.clone().ceil()), "{s} ⊑ nullable {s}");
+            assert!(!is_preferred(&s.clone().ceil(), &s), "nullable {s} ⋢ {s}");
+        }
+    }
+
+    #[test]
+    fn rule4_nullable_covariant() {
+        assert!(is_preferred(&Int.ceil(), &Float.ceil()));
+        assert!(!is_preferred(&Float.ceil(), &Int.ceil()));
+        // Composite of (3) and (4): int ⊑ nullable float.
+        assert!(is_preferred(&Int, &Float.ceil()));
+    }
+
+    #[test]
+    fn rule5_collections_covariant() {
+        assert!(is_preferred(&Shape::list(Int), &Shape::list(Float)));
+        assert!(!is_preferred(&Shape::list(Float), &Shape::list(Int)));
+        assert!(is_preferred(&Shape::list(Bottom), &Shape::list(Int)));
+    }
+
+    #[test]
+    fn rule6_bottom_below_everything() {
+        for s in [Bottom, Null, Int, Shape::any(), Shape::list(Int), Int.ceil()] {
+            assert!(is_preferred(&Bottom, &s));
+        }
+        assert!(!is_preferred(&Null, &Bottom));
+        assert!(!is_preferred(&Int, &Bottom));
+    }
+
+    #[test]
+    fn rule7_everything_below_any() {
+        for s in [Bottom, Null, Int, Float, String, Shape::list(Int), Int.ceil()] {
+            assert!(is_preferred(&s, &Shape::any()));
+        }
+        // Labels do not matter: any⟨int⟩ is still the top shape.
+        assert!(is_preferred(&String, &Top(vec![Int])));
+        assert!(is_preferred(&Top(vec![Int]), &Top(vec![String])));
+        assert!(!is_preferred(&Shape::any(), &Int));
+    }
+
+    #[test]
+    fn rule8_records_covariant() {
+        let narrow_int = rec("P", vec![("x", Int)]);
+        let narrow_float = rec("P", vec![("x", Float)]);
+        assert!(is_preferred(&narrow_int, &narrow_float));
+        assert!(!is_preferred(&narrow_float, &narrow_int));
+    }
+
+    #[test]
+    fn rule9_record_with_extra_fields_is_preferred() {
+        let wide = rec("P", vec![("x", Int), ("y", Int)]);
+        let narrow = rec("P", vec![("x", Int)]);
+        assert!(is_preferred(&wide, &narrow));
+        assert!(!is_preferred(&narrow, &wide)); // y : int does not admit null
+    }
+
+    #[test]
+    fn record_missing_optional_field_is_preferred() {
+        // Row-variable convention: Point{x} ⊑ Point{x, y : nullable int}.
+        let narrow = rec("P", vec![("x", Int)]);
+        let wide_opt = rec("P", vec![("x", Int), ("y", Int.ceil())]);
+        assert!(is_preferred(&narrow, &wide_opt));
+    }
+
+    #[test]
+    fn record_names_must_match() {
+        let p = rec("P", vec![("x", Int)]);
+        let q = rec("Q", vec![("x", Int)]);
+        assert!(!is_preferred(&p, &q));
+        assert!(!is_preferred(&q, &p));
+    }
+
+    #[test]
+    fn record_field_order_is_irrelevant() {
+        let ab = rec("P", vec![("a", Int), ("b", Bool)]);
+        let ba = rec("P", vec![("b", Bool), ("a", Int)]);
+        assert!(is_preferred(&ab, &ba));
+        assert!(is_preferred(&ba, &ab));
+    }
+
+    // --- Extensions ---
+
+    #[test]
+    fn bit_below_int_and_bool() {
+        assert!(is_preferred(&Bit, &Int));
+        assert!(is_preferred(&Bit, &Bool));
+        assert!(is_preferred(&Bit, &Float)); // transitively via int
+        assert!(!is_preferred(&Int, &Bit));
+        assert!(!is_preferred(&Bool, &Bit));
+    }
+
+    #[test]
+    fn date_below_string() {
+        assert!(is_preferred(&Date, &String));
+        assert!(!is_preferred(&String, &Date));
+    }
+
+    #[test]
+    fn hetero_case_subset_is_preferred() {
+        let r = rec("•", vec![("a", Int)]);
+        let both = HeteroList(vec![(r.clone(), One), (Shape::list(Int), ZeroOrOne)]);
+        let just_r = HeteroList(vec![(r.clone(), One)]);
+        // The optional list case may be absent:
+        assert!(is_preferred(&just_r, &both));
+        // ... but a mandatory case may not:
+        let just_list = HeteroList(vec![(Shape::list(Int), ZeroOrOne)]);
+        assert!(!is_preferred(&just_list, &both));
+    }
+
+    #[test]
+    fn hetero_multiplicity_must_be_preferred() {
+        let r = rec("•", vec![("a", Int)]);
+        let many = HeteroList(vec![(r.clone(), Many)]);
+        let one = HeteroList(vec![(r.clone(), One)]);
+        assert!(is_preferred(&one, &many));
+        assert!(!is_preferred(&many, &one));
+    }
+
+    #[test]
+    fn homogeneous_list_against_hetero() {
+        let r = rec("•", vec![("a", Int)]);
+        let homog = Shape::list(r.clone());
+        let hetero_many = HeteroList(vec![(r.clone(), Many)]);
+        assert!(is_preferred(&homog, &hetero_many));
+        assert!(is_preferred(&hetero_many, &homog));
+        // Empty collection is below any mandatory-free hetero:
+        assert!(is_preferred(&Shape::list(Bottom), &hetero_many));
+    }
+
+    #[test]
+    fn any_list_below_list_of_any() {
+        assert!(is_preferred(&Shape::list(Int), &Shape::list(Shape::any())));
+        let hetero = HeteroList(vec![(rec("r", vec![]), One)]);
+        assert!(is_preferred(&hetero, &Shape::list(Shape::any())));
+    }
+
+    // --- Relation-level sanity (complements the proptests in tests/) ---
+
+    #[test]
+    fn reflexive_on_samples() {
+        let shapes = [
+            Bottom,
+            Null,
+            Int,
+            Float.ceil(),
+            Shape::list(Int.ceil()),
+            rec("P", vec![("x", Int), ("y", Shape::list(Bool))]),
+            Top(vec![Int, Bool]),
+        ];
+        for s in &shapes {
+            assert!(is_preferred(s, s), "{s} not reflexive");
+        }
+    }
+
+    #[test]
+    fn figure1_chain_int_to_nullable_float_to_any() {
+        // The spine of Fig. 1: ⊥ ⊑ int ⊑ float ⊑ nullable float ⊑ any.
+        let chain = [Bottom, Int, Float, Float.ceil(), Shape::any()];
+        for w in chain.windows(2) {
+            assert!(is_preferred(&w[0], &w[1]), "{} ⋢ {}", w[0], w[1]);
+        }
+        for w in chain.windows(2) {
+            if w[0] != w[1] {
+                assert!(!is_preferred(&w[1], &w[0]), "{} ⊑ {} unexpectedly", w[1], w[0]);
+            }
+        }
+    }
+}

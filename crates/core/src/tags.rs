@@ -1,0 +1,132 @@
+//! Shape tags (Fig. 4).
+//!
+//! > "We define shape tags to identify shapes that have a common
+//! > preferred shape which is not the top shape. We use it to limit the
+//! > number of labels and avoid nesting by grouping shapes by the shape
+//! > tag. Rather than inferring `any⟨int, any⟨bool, float⟩⟩`, our
+//! > algorithm joins int and float and produces `any⟨float, bool⟩`."
+//!
+//! ```text
+//! tag = collection | number | nullable | string | ν | any | bool
+//! ```
+//!
+//! The `bit` extension tags as **number** (it joins with int/float below
+//! the top) and `date` tags as **string** (it joins with string).
+
+use crate::Shape;
+use std::fmt;
+
+/// The tag of a shape (Fig. 4), grouping shapes that join below top.
+///
+/// The derived [`Ord`] gives labelled-top labels and heterogeneous-
+/// collection cases a canonical order (numbers, booleans, strings,
+/// records by name, collections, …) which makes `csh` commutative on the
+/// nose, not just up to label permutation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Tag {
+    /// `int`, `float` and the `bit` extension.
+    Number,
+    /// `bool`.
+    Bool,
+    /// `string` and the `date` extension.
+    Str,
+    /// A record, tagged by its name ν.
+    Name(String),
+    /// Collections `[σ]` (and heterogeneous collections).
+    Collection,
+    /// `nullable σ̂`.
+    Nullable,
+    /// The top shape.
+    Any,
+    /// `null` (not listed in Fig. 4 — `null` never becomes a label
+    /// because `⌊−⌋` arguments to the top rules are non-nullable; the
+    /// variant exists so [`tag_of`] is total).
+    Null,
+    /// `⊥` (same remark as for [`Tag::Null`]).
+    Bottom,
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tag::Collection => write!(f, "collection"),
+            Tag::Number => write!(f, "number"),
+            Tag::Nullable => write!(f, "nullable"),
+            Tag::Str => write!(f, "string"),
+            Tag::Name(n) => write!(f, "{n}"),
+            Tag::Any => write!(f, "any"),
+            Tag::Bool => write!(f, "bool"),
+            Tag::Null => write!(f, "null"),
+            Tag::Bottom => write!(f, "\u{22a5}"),
+        }
+    }
+}
+
+/// `tagof(σ)` per Fig. 4 (extended to be total; see [`Tag::Null`]).
+///
+/// ```
+/// use tfd_core::{tag_of, Shape, Tag};
+/// assert_eq!(tag_of(&Shape::Int), Tag::Number);
+/// assert_eq!(tag_of(&Shape::Float), Tag::Number);
+/// assert_eq!(tag_of(&Shape::record("P", [("x", Shape::Int)])), Tag::Name("P".into()));
+/// ```
+pub fn tag_of(shape: &Shape) -> Tag {
+    match shape {
+        Shape::String | Shape::Date => Tag::Str,
+        Shape::Bool => Tag::Bool,
+        Shape::Int | Shape::Float | Shape::Bit => Tag::Number,
+        Shape::Top(_) => Tag::Any,
+        Shape::Record(r) => Tag::Name(r.name.clone()),
+        Shape::Nullable(_) => Tag::Nullable,
+        Shape::List(_) | Shape::HeteroList(_) => Tag::Collection,
+        Shape::Null => Tag::Null,
+        Shape::Bottom => Tag::Bottom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_cases() {
+        assert_eq!(tag_of(&Shape::String), Tag::Str);
+        assert_eq!(tag_of(&Shape::Bool), Tag::Bool);
+        assert_eq!(tag_of(&Shape::Int), Tag::Number);
+        assert_eq!(tag_of(&Shape::Float), Tag::Number);
+        assert_eq!(tag_of(&Shape::any()), Tag::Any);
+        assert_eq!(tag_of(&Shape::Top(vec![Shape::Int])), Tag::Any);
+        assert_eq!(
+            tag_of(&Shape::record("P", [("x", Shape::Int)])),
+            Tag::Name("P".into())
+        );
+        assert_eq!(tag_of(&Shape::Int.ceil()), Tag::Nullable);
+        assert_eq!(tag_of(&Shape::list(Shape::Int)), Tag::Collection);
+    }
+
+    #[test]
+    fn extended_primitives_group_with_their_joins() {
+        assert_eq!(tag_of(&Shape::Bit), Tag::Number);
+        assert_eq!(tag_of(&Shape::Date), Tag::Str);
+    }
+
+    #[test]
+    fn records_tag_by_name() {
+        let p = Shape::record("P", [("x", Shape::Int)]);
+        let q = Shape::record("Q", [("x", Shape::Int)]);
+        assert_ne!(tag_of(&p), tag_of(&q));
+        let p2 = Shape::record("P", [("y", Shape::Bool)]);
+        assert_eq!(tag_of(&p), tag_of(&p2));
+    }
+
+    #[test]
+    fn hetero_lists_are_collections() {
+        assert_eq!(tag_of(&Shape::HeteroList(vec![])), Tag::Collection);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Tag::Number.to_string(), "number");
+        assert_eq!(Tag::Name("doc".into()).to_string(), "doc");
+    }
+}

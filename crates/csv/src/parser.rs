@@ -1,0 +1,297 @@
+//! RFC 4180 CSV parsing.
+//!
+//! Supports quoted fields (with `""` escapes, embedded delimiters and
+//! newlines), CRLF and LF line endings, configurable delimiters, and
+//! optional headerless mode (columns are then named `Column1`, `Column2`,
+//! … as F# Data does).
+
+use crate::CsvFile;
+use std::fmt;
+
+/// CSV parser configuration.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter; defaults to `,`. Use `;` or `\t` for common
+    /// regional/TSV variants.
+    pub delimiter: char,
+    /// When `true` (default) the first row provides column names;
+    /// otherwise columns are named `Column1`, `Column2`, ….
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', has_header: true }
+    }
+}
+
+/// Errors produced by the CSV parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input contained no rows at all (and a header was required).
+    Empty,
+    /// A quoted field was never closed; the payload is the 1-based line
+    /// where the field started.
+    UnterminatedQuote(usize),
+    /// A closing quote was followed by a stray character; payload is the
+    /// 1-based line and the offending character.
+    CharAfterQuote(usize, char),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "input contains no rows"),
+            CsvError::UnterminatedQuote(line) => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::CharAfterQuote(line, c) => {
+                write!(f, "unexpected character {c:?} after closing quote on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text with default [`CsvOptions`] (comma-delimited, first
+/// row is the header).
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for empty input or malformed quoting.
+///
+/// ```
+/// let f = tfd_csv::parse("a,b\n1,\"x,y\"\n")?;
+/// assert_eq!(f.rows()[0], vec!["1".to_owned(), "x,y".to_owned()]);
+/// # Ok::<(), tfd_csv::CsvError>(())
+/// ```
+pub fn parse(input: &str) -> Result<CsvFile, CsvError> {
+    parse_with(input, &CsvOptions::default())
+}
+
+/// Parses CSV text with explicit options.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for empty input (in header mode) or malformed
+/// quoting.
+pub fn parse_with(input: &str, options: &CsvOptions) -> Result<CsvFile, CsvError> {
+    let mut records = split_records(input, options.delimiter)?;
+    if options.has_header {
+        if records.is_empty() {
+            return Err(CsvError::Empty);
+        }
+        // Header names are trimmed: the paper's air-quality sample writes
+        // "Ozone, Temp, ..." yet the provided type has fields Ozone/Temp.
+        let headers = records
+            .remove(0)
+            .into_iter()
+            .map(|h| h.trim().to_owned())
+            .collect();
+        Ok(CsvFile::new(headers, records))
+    } else {
+        let width = records.iter().map(Vec::len).max().unwrap_or(0);
+        let headers = (1..=width).map(|i| format!("Column{i}")).collect();
+        Ok(CsvFile::new(headers, records))
+    }
+}
+
+/// State machine over characters; returns one `Vec<String>` per record.
+fn split_records(input: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    // `started` tracks whether the current record has any content, so a
+    // trailing newline does not produce a phantom empty record.
+    let mut started = false;
+    let mut line = 1usize;
+
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                started = true;
+                let quote_line = line;
+                // Quoted field: consume until the closing quote.
+                loop {
+                    match chars.next() {
+                        None => return Err(CsvError::UnterminatedQuote(quote_line)),
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            field.push('\n');
+                        }
+                        Some(c) => field.push(c),
+                    }
+                }
+                // After the closing quote only a delimiter or line end may follow.
+                match chars.peek() {
+                    None => {}
+                    Some(&c2) if c2 == delimiter || c2 == '\n' || c2 == '\r' => {}
+                    Some(&c2) => return Err(CsvError::CharAfterQuote(line, c2)),
+                }
+            }
+            '\r' => {
+                // Part of CRLF; the '\n' branch finishes the record. A bare
+                // CR is treated as a record separator too.
+                if chars.peek() != Some(&'\n') {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    started = false;
+                    line += 1;
+                }
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+                started = false;
+                line += 1;
+            }
+            c if c == delimiter => {
+                started = true;
+                record.push(std::mem::take(&mut field));
+            }
+            c => {
+                started = true;
+                field.push(c);
+            }
+        }
+    }
+    if started || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(input: &str) -> Vec<Vec<String>> {
+        parse(input).unwrap().rows().to_vec()
+    }
+
+    #[test]
+    fn simple_file() {
+        let f = parse("a,b\n1,2\n3,4\n").unwrap();
+        assert_eq!(f.headers(), &["a", "b"]);
+        assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()], vec!["3".into(), "4".into()]]);
+    }
+
+    #[test]
+    fn no_trailing_newline() {
+        assert_eq!(rows("a\n1"), vec![vec!["1".to_owned()]]);
+    }
+
+    #[test]
+    fn trailing_newline_adds_no_phantom_row() {
+        assert_eq!(rows("a\n1\n"), vec![vec!["1".to_owned()]]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let f = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
+    }
+
+    #[test]
+    fn bare_cr_separates_records() {
+        assert_eq!(rows("a\r1\r2"), vec![vec!["1".to_owned()], vec!["2".into()]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters() {
+        assert_eq!(rows("a\n\"x,y\""), vec![vec!["x,y".to_owned()]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_newlines() {
+        assert_eq!(rows("a\n\"x\ny\""), vec![vec!["x\ny".to_owned()]]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        assert_eq!(rows("a\n\"he said \"\"hi\"\"\""), vec![vec!["he said \"hi\"".to_owned()]]);
+    }
+
+    #[test]
+    fn empty_fields() {
+        assert_eq!(rows("a,b,c\n1,,3"), vec![vec!["1".to_owned(), "".into(), "3".into()]]);
+        assert_eq!(rows("a,b\n,"), vec![vec!["".to_owned(), "".into()]]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        assert_eq!(parse("a\n\"oops"), Err(CsvError::UnterminatedQuote(2)));
+    }
+
+    #[test]
+    fn char_after_quote_is_error() {
+        assert!(matches!(parse("a\n\"x\"y"), Err(CsvError::CharAfterQuote(2, 'y'))));
+    }
+
+    #[test]
+    fn empty_input_is_error_with_header() {
+        assert_eq!(parse(""), Err(CsvError::Empty));
+    }
+
+    #[test]
+    fn headerless_mode_names_columns() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let f = parse_with("1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(f.headers(), &["Column1", "Column2"]);
+        assert_eq!(f.row_count(), 2);
+    }
+
+    #[test]
+    fn headerless_empty_input_is_ok() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let f = parse_with("", &opts).unwrap();
+        assert_eq!(f.row_count(), 0);
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let opts = CsvOptions { delimiter: ';', ..CsvOptions::default() };
+        let f = parse_with("a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
+    }
+
+    #[test]
+    fn tab_delimiter() {
+        let opts = CsvOptions { delimiter: '\t', ..CsvOptions::default() };
+        let f = parse_with("a\tb\n1\t2\n", &opts).unwrap();
+        assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
+    }
+
+    #[test]
+    fn paper_airquality_sample() {
+        // The §6.2 example file.
+        let input = "Ozone, Temp, Date, Autofilled\n\
+                     41, 67, 2012-05-01, 0\n\
+                     36.3, 72, 2012-05-02, 1\n\
+                     12.1, 74, 3 kveten, 0\n\
+                     17.5, #N/A, 2012-05-04, 0\n";
+        let f = parse(input).unwrap();
+        assert_eq!(f.headers(), &["Ozone", "Temp", "Date", "Autofilled"]);
+        assert_eq!(f.row_count(), 4);
+        // Cells keep their raw spacing; literal inference trims.
+        let v = f.to_value();
+        let rows = v.elements().unwrap();
+        use tfd_value::Value;
+        assert_eq!(rows[0].field("Ozone"), Some(&Value::Int(41)));
+        assert_eq!(rows[1].field("Ozone"), Some(&Value::Float(36.3)));
+        assert_eq!(rows[3].field("Temp"), Some(&Value::Null));
+        assert_eq!(rows[2].field("Date"), Some(&Value::str("3 kveten")));
+        assert_eq!(rows[0].field("Autofilled"), Some(&Value::Int(0)));
+    }
+}

@@ -1,0 +1,678 @@
+//! Small-step call-by-value reduction for the Foo calculus (Fig. 6).
+//!
+//! [`step`] performs one reduction `L, e ↝ e′`; [`run`] iterates to a
+//! value, a **stuck state**, or the §6.5 exception. Stuck states arise
+//! only from the dynamic data operations — e.g. `convPrim(bool, 42)` —
+//! exactly as §4.1 describes; the relative-safety theorem characterizes
+//! when they cannot occur.
+//!
+//! The (ctx) rule and the evaluation contexts `E` of the paper are
+//! realized by the recursive descent inside [`step`]: each congruence
+//! case first tries to reduce the left-most non-value sub-expression.
+//! The §6.5 exception propagates through every context (`C[exn] ↝ exn`).
+
+use crate::ast::{subst, Classes, Expr, Op};
+use crate::ops;
+use std::fmt;
+use tfd_value::Value;
+
+/// Why an expression cannot take a step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StuckReason {
+    /// A conversion received data of the wrong shape — the payload names
+    /// the operation and describes the offending value.
+    BadData {
+        /// Which operation got stuck (`convPrim`, `convFloat`, …).
+        operation: &'static str,
+        /// Description of the offending data value.
+        found: String,
+    },
+    /// An unbound variable was reached (ill-formed program).
+    UnboundVariable(String),
+    /// `new C(…)` or `e.N` referenced a missing class or member.
+    UnknownClass(String),
+    /// Member access on a value that is not an object.
+    NotAnObject(String),
+    /// A non-function was applied, a non-boolean tested, etc.
+    IllTyped(String),
+}
+
+impl fmt::Display for StuckReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StuckReason::BadData { operation, found } => {
+                write!(f, "{operation} applied to incompatible data: {found}")
+            }
+            StuckReason::UnboundVariable(x) => write!(f, "unbound variable '{x}'"),
+            StuckReason::UnknownClass(c) => write!(f, "unknown class or member '{c}'"),
+            StuckReason::NotAnObject(e) => write!(f, "member access on non-object {e}"),
+            StuckReason::IllTyped(msg) => write!(f, "ill-typed redex: {msg}"),
+        }
+    }
+}
+
+/// The result of one reduction attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// `e ↝ e′`.
+    Reduced(Expr),
+    /// The expression is already a value.
+    Value,
+    /// The §6.5 exception reached the top.
+    Exception,
+    /// No rule applies.
+    Stuck(StuckReason),
+}
+
+/// The result of running an expression to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Reduced to a value.
+    Value(Expr),
+    /// The §6.5 exception propagated to the top.
+    Exception,
+    /// Evaluation got stuck (the model of a runtime error, §4.1).
+    Stuck(StuckReason),
+    /// The step budget was exhausted (only possible for diverging
+    /// programs; provided code always terminates).
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// Extracts the value, panicking otherwise (test helper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not a value.
+    pub fn unwrap_value(self) -> Expr {
+        match self {
+            Outcome::Value(v) => v,
+            other => panic!("expected a value, got {other:?}"),
+        }
+    }
+
+    /// Is this a stuck outcome?
+    pub fn is_stuck(&self) -> bool {
+        matches!(self, Outcome::Stuck(_))
+    }
+}
+
+/// Performs a single reduction step `L, e ↝ e′`.
+pub fn step(classes: &Classes, e: &Expr) -> Step {
+    if e.is_value() {
+        return Step::Value;
+    }
+    match e {
+        // C[exn] ↝ exn is handled in each congruence case; a bare exn at
+        // the top is the Exception outcome.
+        Expr::Exn => Step::Exception,
+
+        Expr::Var(x) => Step::Stuck(StuckReason::UnboundVariable(x.clone())),
+
+        // (fun) (λx.e) v ↝ e[x ← v], with (ctx) descending into both
+        // positions (v E ordering: function first, then argument).
+        Expr::App(f, a) => match (f.is_value(), a.is_value()) {
+            (false, _) => congr1(classes, f, |f2| Expr::App(Box::new(f2), a.clone())),
+            (true, false) => congr1(classes, a, |a2| Expr::App(f.clone(), Box::new(a2))),
+            (true, true) => match f.as_ref() {
+                Expr::Lam(x, _, body) => Step::Reduced(subst(body, x, a)),
+                other => Step::Stuck(StuckReason::IllTyped(format!(
+                    "application of non-function {other}"
+                ))),
+            },
+        },
+
+        // (member) — look up the member body and substitute constructor
+        // arguments for constructor parameters.
+        Expr::MemberAccess(obj, name) => {
+            if !obj.is_value() {
+                return congr1(classes, obj, |o2| Expr::MemberAccess(Box::new(o2), name.clone()));
+            }
+            match obj.as_ref() {
+                Expr::New(class_name, args) => {
+                    let Some(class) = classes.get(class_name) else {
+                        return Step::Stuck(StuckReason::UnknownClass(class_name.clone()));
+                    };
+                    let Some(member) = class.member(name) else {
+                        return Step::Stuck(StuckReason::UnknownClass(format!(
+                            "{class_name}.{name}"
+                        )));
+                    };
+                    let mut body = member.body.clone();
+                    for ((param, _), arg) in class.params.iter().zip(args) {
+                        body = subst(&body, param, arg);
+                    }
+                    Step::Reduced(body)
+                }
+                other => Step::Stuck(StuckReason::NotAnObject(other.to_string())),
+            }
+        }
+
+        // new C(v̄, E, ē) — reduce constructor arguments left to right.
+        Expr::New(c, args) => {
+            let idx = args.iter().position(|a| !a.is_value());
+            match idx {
+                None => Step::Value, // unreachable: is_value() was false
+                Some(i) => {
+                    let mut args2 = args.clone();
+                    match step(classes, &args[i]) {
+                        Step::Reduced(a2) => {
+                            args2[i] = a2;
+                            Step::Reduced(Expr::New(c.clone(), args2))
+                        }
+                        other => other,
+                    }
+                }
+            }
+        }
+
+        Expr::SomeLit(inner) => congr1(classes, inner, |i2| Expr::SomeLit(Box::new(i2))),
+
+        // (match1) / (match2)
+        Expr::MatchOption { scrutinee, binder, some_branch, none_branch } => {
+            if !scrutinee.is_value() {
+                let binder = binder.clone();
+                let some_branch = some_branch.clone();
+                let none_branch = none_branch.clone();
+                return congr1(classes, scrutinee, move |s2| Expr::MatchOption {
+                    scrutinee: Box::new(s2),
+                    binder: binder.clone(),
+                    some_branch: some_branch.clone(),
+                    none_branch: none_branch.clone(),
+                });
+            }
+            match scrutinee.as_ref() {
+                Expr::NoneLit => Step::Reduced((**none_branch).clone()),
+                Expr::SomeLit(v) => Step::Reduced(subst(some_branch, binder, v)),
+                other => Step::Stuck(StuckReason::IllTyped(format!(
+                    "match-option on {other}"
+                ))),
+            }
+        }
+
+        Expr::Cons(h, t) => match (h.is_value(), t.is_value()) {
+            (false, _) => congr1(classes, h, |h2| Expr::Cons(Box::new(h2), t.clone())),
+            (true, false) => congr1(classes, t, |t2| Expr::Cons(h.clone(), Box::new(t2))),
+            (true, true) => Step::Value, // unreachable
+        },
+
+        // (match3) / (match4)
+        Expr::MatchList { scrutinee, head, tail, cons_branch, nil_branch } => {
+            if !scrutinee.is_value() {
+                let head = head.clone();
+                let tail = tail.clone();
+                let cons_branch = cons_branch.clone();
+                let nil_branch = nil_branch.clone();
+                return congr1(classes, scrutinee, move |s2| Expr::MatchList {
+                    scrutinee: Box::new(s2),
+                    head: head.clone(),
+                    tail: tail.clone(),
+                    cons_branch: cons_branch.clone(),
+                    nil_branch: nil_branch.clone(),
+                });
+            }
+            match scrutinee.as_ref() {
+                Expr::Nil => Step::Reduced((**nil_branch).clone()),
+                Expr::Cons(h, t) => {
+                    let once = subst(cons_branch, head, h);
+                    Step::Reduced(subst(&once, tail, t))
+                }
+                other => Step::Stuck(StuckReason::IllTyped(format!("match-list on {other}"))),
+            }
+        }
+
+        // (eq1) / (eq2) — v = v′ compares values structurally.
+        Expr::Eq(a, b) => match (a.is_value(), b.is_value()) {
+            (false, _) => congr1(classes, a, |a2| Expr::Eq(Box::new(a2), b.clone())),
+            (true, false) => congr1(classes, b, |b2| Expr::Eq(a.clone(), Box::new(b2))),
+            (true, true) => Step::Reduced(Expr::Data(Value::Bool(a == b))),
+        },
+
+        // (cond1) / (cond2)
+        Expr::If(c, t, f) => {
+            if !c.is_value() {
+                let t = t.clone();
+                let f = f.clone();
+                return congr1(classes, c, move |c2| {
+                    Expr::If(Box::new(c2), t.clone(), f.clone())
+                });
+            }
+            match c.as_ref() {
+                Expr::Data(Value::Bool(true)) => Step::Reduced((**t).clone()),
+                Expr::Data(Value::Bool(false)) => Step::Reduced((**f).clone()),
+                other => Step::Stuck(StuckReason::IllTyped(format!(
+                    "if-condition is not a boolean: {other}"
+                ))),
+            }
+        }
+
+        // §6.5 int(e) — truncating float→int coercion.
+        Expr::ToInt(inner) => {
+            if !inner.is_value() {
+                return congr1(classes, inner, |i2| Expr::ToInt(Box::new(i2)));
+            }
+            match inner.as_ref() {
+                Expr::Data(Value::Float(f)) => {
+                    Step::Reduced(Expr::Data(Value::Int(*f as i64)))
+                }
+                Expr::Data(Value::Int(i)) => Step::Reduced(Expr::Data(Value::Int(*i))),
+                other => Step::Stuck(StuckReason::IllTyped(format!(
+                    "int(·) applied to {other}"
+                ))),
+            }
+        }
+
+        // Dynamic data operations (Fig. 6, Part I).
+        Expr::Op(op) => step_op(classes, op),
+
+        Expr::Data(_) | Expr::Lam(..) | Expr::NoneLit | Expr::Nil => Step::Value,
+    }
+}
+
+/// Congruence helper: reduce a sub-expression in evaluation position and
+/// rebuild, propagating exceptions (`C[exn] ↝ exn`) and stuckness.
+fn congr1(
+    classes: &Classes,
+    sub: &Expr,
+    rebuild: impl FnOnce(Expr) -> Expr,
+) -> Step {
+    if matches!(sub, Expr::Exn) {
+        return Step::Reduced(Expr::Exn);
+    }
+    match step(classes, sub) {
+        Step::Reduced(s2) => Step::Reduced(rebuild(s2)),
+        Step::Exception => Step::Reduced(Expr::Exn),
+        other => other,
+    }
+}
+
+/// Extracts the data payload of an operand that must already be a data
+/// value.
+fn as_data(e: &Expr) -> Option<&Value> {
+    match e {
+        Expr::Data(d) => Some(d),
+        _ => None,
+    }
+}
+
+fn step_op(classes: &Classes, op: &Op) -> Step {
+    // Reduce operand positions first (op(v, E, e) ordering).
+    macro_rules! descend {
+        ($e:expr, $rebuild:expr) => {
+            if !$e.is_value() {
+                return congr1(classes, $e, $rebuild);
+            }
+        };
+    }
+
+    match op {
+        Op::HasShape(shape, e) => {
+            descend!(e, {
+                let shape = shape.clone();
+                move |e2| Expr::Op(Op::HasShape(shape, Box::new(e2)))
+            });
+            match as_data(e) {
+                Some(d) => Step::Reduced(Expr::Data(Value::Bool(ops::has_shape(shape, d)))),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "hasShape",
+                    found: e.to_string(),
+                }),
+            }
+        }
+        Op::ConvFloat(shape, e) => {
+            descend!(e, {
+                let shape = shape.clone();
+                move |e2| Expr::Op(Op::ConvFloat(shape, Box::new(e2)))
+            });
+            match as_data(e).and_then(ops::conv_float) {
+                Some(e2) => Step::Reduced(e2),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convFloat",
+                    found: e.to_string(),
+                }),
+            }
+        }
+        Op::ConvPrim(shape, e) => {
+            descend!(e, {
+                let shape = shape.clone();
+                move |e2| Expr::Op(Op::ConvPrim(shape, Box::new(e2)))
+            });
+            match as_data(e).and_then(|d| ops::conv_prim(shape, d)) {
+                Some(e2) => Step::Reduced(e2),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convPrim",
+                    found: e.to_string(),
+                }),
+            }
+        }
+        Op::ConvField(rec_name, field, e1, e2) => {
+            descend!(e1, {
+                let (rec_name, field, e2) = (rec_name.clone(), field.clone(), e2.clone());
+                move |e1b| {
+                    Expr::Op(Op::ConvField(rec_name, field, Box::new(e1b), e2))
+                }
+            });
+            match as_data(e1).and_then(|d| ops::conv_field(rec_name, field, d, e2)) {
+                Some(out) => Step::Reduced(out),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convField",
+                    found: e1.to_string(),
+                }),
+            }
+        }
+        Op::ConvNull(e1, e2) => {
+            descend!(e1, {
+                let e2 = e2.clone();
+                move |e1b| Expr::Op(Op::ConvNull(Box::new(e1b), e2))
+            });
+            match as_data(e1).and_then(|d| ops::conv_null(d, e2)) {
+                Some(out) => Step::Reduced(out),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convNull",
+                    found: e1.to_string(),
+                }),
+            }
+        }
+        Op::ConvElements(e1, e2) => {
+            descend!(e1, {
+                let e2 = e2.clone();
+                move |e1b| Expr::Op(Op::ConvElements(Box::new(e1b), e2))
+            });
+            match as_data(e1).and_then(|d| ops::conv_elements(d, e2)) {
+                Some(out) => Step::Reduced(out),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convElements",
+                    found: e1.to_string(),
+                }),
+            }
+        }
+        Op::ConvTagged(shape, m, e1, e2) => {
+            descend!(e1, {
+                let (shape, m, e2) = (shape.clone(), *m, e2.clone());
+                move |e1b| Expr::Op(Op::ConvTagged(shape, m, Box::new(e1b), e2))
+            });
+            match as_data(e1).and_then(|d| ops::conv_tagged(shape, *m, d, e2)) {
+                Some(out) => Step::Reduced(out),
+                None => Step::Stuck(StuckReason::BadData {
+                    operation: "convTagged",
+                    found: e1.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+/// Default step budget for [`run`]. Provided code is non-recursive, so
+/// its step count is linear in the data size; this bound is generous.
+pub const DEFAULT_FUEL: usize = 1_000_000;
+
+/// Runs an expression to an [`Outcome`] with the default fuel.
+pub fn run(classes: &Classes, e: &Expr) -> Outcome {
+    run_with_fuel(classes, e, DEFAULT_FUEL)
+}
+
+/// Runs an expression to an [`Outcome`], spending at most `fuel` steps.
+pub fn run_with_fuel(classes: &Classes, e: &Expr, fuel: usize) -> Outcome {
+    let mut current = e.clone();
+    for _ in 0..fuel {
+        match step(classes, &current) {
+            Step::Value => return Outcome::Value(current),
+            Step::Exception => return Outcome::Exception,
+            Step::Stuck(r) => return Outcome::Stuck(r),
+            Step::Reduced(next) => current = next,
+        }
+    }
+    Outcome::OutOfFuel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Class, Member, Type};
+    use tfd_core::Shape;
+    use tfd_value::{arr, rec};
+
+    fn empty() -> Classes {
+        Classes::new()
+    }
+
+    fn run0(e: &Expr) -> Outcome {
+        run(&empty(), e)
+    }
+
+    fn int(i: i64) -> Expr {
+        Expr::data(i)
+    }
+
+    // --- One test per Fig. 6 Part II rule ---
+
+    #[test]
+    fn rule_fun_beta_reduction() {
+        let e = Expr::app(Expr::lam("x", Type::Int, Expr::var("x")), int(5));
+        assert_eq!(run0(&e).unwrap_value(), int(5));
+    }
+
+    #[test]
+    fn rule_cond1_cond2() {
+        let t = Expr::if_(Expr::data(true), int(1), int(2));
+        assert_eq!(run0(&t).unwrap_value(), int(1));
+        let f = Expr::if_(Expr::data(false), int(1), int(2));
+        assert_eq!(run0(&f).unwrap_value(), int(2));
+    }
+
+    #[test]
+    fn rule_eq1_eq2() {
+        let e = Expr::Eq(Box::new(int(3)), Box::new(int(3)));
+        assert_eq!(run0(&e).unwrap_value(), Expr::data(true));
+        let e2 = Expr::Eq(Box::new(int(3)), Box::new(int(4)));
+        assert_eq!(run0(&e2).unwrap_value(), Expr::data(false));
+    }
+
+    #[test]
+    fn rule_match_option() {
+        let m = |scrut: Expr| Expr::MatchOption {
+            scrutinee: Box::new(scrut),
+            binder: "x".into(),
+            some_branch: Box::new(Expr::var("x")),
+            none_branch: Box::new(int(0)),
+        };
+        assert_eq!(run0(&m(Expr::some(int(7)))).unwrap_value(), int(7));
+        assert_eq!(run0(&m(Expr::NoneLit)).unwrap_value(), int(0));
+    }
+
+    #[test]
+    fn rule_match_list() {
+        let m = |scrut: Expr| Expr::MatchList {
+            scrutinee: Box::new(scrut),
+            head: "h".into(),
+            tail: "t".into(),
+            cons_branch: Box::new(Expr::var("h")),
+            nil_branch: Box::new(int(0)),
+        };
+        let list = Expr::Cons(Box::new(int(1)), Box::new(Expr::Nil));
+        assert_eq!(run0(&m(list)).unwrap_value(), int(1));
+        assert_eq!(run0(&m(Expr::Nil)).unwrap_value(), int(0));
+    }
+
+    #[test]
+    fn rule_member_substitutes_constructor_args() {
+        let mut classes = Classes::new();
+        classes.add(Class {
+            name: "C".into(),
+            params: vec![("x1".into(), Type::Data)],
+            members: vec![Member {
+                name: "Get".into(),
+                ty: Type::Data,
+                body: Expr::var("x1"),
+            }],
+        });
+        let e = Expr::member(Expr::New("C".into(), vec![int(9)]), "Get");
+        assert_eq!(run(&classes, &e).unwrap_value(), int(9));
+    }
+
+    #[test]
+    fn rule_ctx_reduces_left_to_right() {
+        // new C(E, e): the first argument reduces before the second.
+        let mut classes = Classes::new();
+        classes.add(Class {
+            name: "C".into(),
+            params: vec![("a".into(), Type::Int), ("b".into(), Type::Int)],
+            members: vec![Member {
+                name: "Sum".into(),
+                ty: Type::Bool,
+                body: Expr::Eq(Box::new(Expr::var("a")), Box::new(Expr::var("b"))),
+            }],
+        });
+        let arg1 = Expr::if_(Expr::data(true), int(1), int(2));
+        let arg2 = Expr::if_(Expr::data(false), int(1), int(2));
+        let e = Expr::member(Expr::New("C".into(), vec![arg1, arg2]), "Sum");
+        // 1 vs 2 → false
+        assert_eq!(run(&classes, &e).unwrap_value(), Expr::data(false));
+    }
+
+    // --- Stuck states ---
+
+    #[test]
+    fn conv_prim_bool_42_is_stuck() {
+        // The paper's canonical stuck state (§4.1).
+        let e = Expr::Op(Op::ConvPrim(Shape::Bool, Box::new(int(42))));
+        match run0(&e) {
+            Outcome::Stuck(StuckReason::BadData { operation, .. }) => {
+                assert_eq!(operation, "convPrim");
+            }
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conv_float_null_is_stuck() {
+        let e = Expr::Op(Op::ConvFloat(Shape::Float, Box::new(Expr::data(Value::Null))));
+        assert!(run0(&e).is_stuck());
+    }
+
+    #[test]
+    fn conv_float_42_widens() {
+        let e = Expr::Op(Op::ConvFloat(Shape::Float, Box::new(int(42))));
+        assert_eq!(run0(&e).unwrap_value(), Expr::data(Value::Float(42.0)));
+    }
+
+    #[test]
+    fn unbound_variable_is_stuck() {
+        assert!(matches!(
+            run0(&Expr::var("ghost")),
+            Outcome::Stuck(StuckReason::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn applying_non_function_is_stuck() {
+        let e = Expr::app(int(1), int(2));
+        assert!(matches!(run0(&e), Outcome::Stuck(StuckReason::IllTyped(_))));
+    }
+
+    #[test]
+    fn member_on_unknown_class_is_stuck() {
+        let e = Expr::member(Expr::New("Ghost".into(), vec![]), "M");
+        assert!(matches!(run0(&e), Outcome::Stuck(StuckReason::UnknownClass(_))));
+    }
+
+    // --- Exception propagation (§6.5) ---
+
+    #[test]
+    fn exn_propagates_through_contexts() {
+        let e = Expr::app(
+            Expr::lam("x", Type::Int, Expr::var("x")),
+            Expr::if_(Expr::data(true), Expr::Exn, int(1)),
+        );
+        assert_eq!(run0(&e), Outcome::Exception);
+        let e2 = Expr::Cons(Box::new(Expr::Exn), Box::new(Expr::Nil));
+        assert_eq!(run0(&e2), Outcome::Exception);
+        let e3 = Expr::some(Expr::Exn);
+        assert_eq!(run0(&e3), Outcome::Exception);
+    }
+
+    // --- §6.5 int(·) coercion ---
+
+    #[test]
+    fn to_int_truncates_floats() {
+        let e = Expr::ToInt(Box::new(Expr::data(Value::Float(3.7))));
+        assert_eq!(run0(&e).unwrap_value(), int(3));
+        let e2 = Expr::ToInt(Box::new(int(5)));
+        assert_eq!(run0(&e2).unwrap_value(), int(5));
+        let e3 = Expr::ToInt(Box::new(Expr::data("x")));
+        assert!(run0(&e3).is_stuck());
+    }
+
+    // --- End-to-end data op pipelines ---
+
+    #[test]
+    fn conv_elements_then_match() {
+        // convElements([1;2], λx. convFloat(x)) and take the head.
+        let conv = Expr::Op(Op::ConvElements(
+            Box::new(Expr::data(arr([int_v(1), int_v(2)]))),
+            Box::new(Expr::lam(
+                "x",
+                Type::Data,
+                Expr::Op(Op::ConvFloat(Shape::Float, Box::new(Expr::var("x")))),
+            )),
+        ));
+        let e = Expr::MatchList {
+            scrutinee: Box::new(conv),
+            head: "h".into(),
+            tail: "t".into(),
+            cons_branch: Box::new(Expr::var("h")),
+            nil_branch: Box::new(Expr::data(Value::Float(0.0))),
+        };
+        assert_eq!(run0(&e).unwrap_value(), Expr::data(Value::Float(1.0)));
+    }
+
+    fn int_v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn conv_field_missing_field_flows_null_to_continuation() {
+        // convField(P, y, P{x↦1}, λv. convNull(v, λw. convPrim(int, w)))
+        // should produce None (the missing field reads as null).
+        let d = rec("P", [("x", int_v(1))]);
+        let e = Expr::Op(Op::ConvField(
+            "P".into(),
+            "y".into(),
+            Box::new(Expr::Data(d)),
+            Box::new(Expr::lam(
+                "v",
+                Type::Data,
+                Expr::Op(Op::ConvNull(
+                    Box::new(Expr::var("v")),
+                    Box::new(Expr::lam(
+                        "w",
+                        Type::Data,
+                        Expr::Op(Op::ConvPrim(Shape::Int, Box::new(Expr::var("w")))),
+                    )),
+                )),
+            )),
+        ));
+        assert_eq!(run0(&e).unwrap_value(), Expr::NoneLit);
+    }
+
+    #[test]
+    fn run_out_of_fuel_on_divergence() {
+        // Ω = (λx. x x)(λx. x x) — not typable, but the evaluator is
+        // defensive about it.
+        let omega_half = Expr::lam(
+            "x",
+            Type::Data,
+            Expr::app(Expr::var("x"), Expr::var("x")),
+        );
+        let omega = Expr::app(omega_half.clone(), omega_half);
+        assert_eq!(run_with_fuel(&empty(), &omega, 1000), Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn has_shape_op_reduces_to_bool() {
+        let e = Expr::Op(Op::HasShape(Shape::Int, Box::new(int(3))));
+        assert_eq!(run0(&e).unwrap_value(), Expr::data(true));
+        let e2 = Expr::Op(Op::HasShape(Shape::Bool, Box::new(int(3))));
+        assert_eq!(run0(&e2).unwrap_value(), Expr::data(false));
+    }
+}

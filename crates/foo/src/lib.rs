@@ -1,0 +1,47 @@
+//! # tfd-foo — the Foo calculus (§4.1)
+//!
+//! An executable model of the paper's Foo calculus: "a subset of F# with
+//! objects and properties, extended with operations for working with
+//! weakly typed structured data along the lines of the F# Data runtime."
+//!
+//! * [`Expr`], [`Type`], [`Class`], [`Classes`] — the syntax of Fig. 5
+//!   (plus the §6.5 `exn` value and `int(·)` coercion);
+//! * [`ops`] — the dynamic data operations of Fig. 6 Part I
+//!   (`hasShape`, `convPrim`, `convFloat`, `convField`, `convNull`,
+//!   `convElements`, and the §6.4 `convTagged` extension);
+//! * [`step`] / [`run`] — the small-step CBV reduction of Fig. 6 Part II,
+//!   with stuck-state detection (the model of runtime errors);
+//! * [`type_of`] / [`check_classes`] — the type system of Fig. 7.
+//!
+//! The Foo calculus "does not have null values and data values d are
+//! never directly exposed" — data enters programs only as `Expr::Data`
+//! operands of the dynamic operations, which the type provider (see
+//! `tfd-provider`) generates.
+//!
+//! # Example
+//!
+//! ```
+//! use tfd_foo::{run, Classes, Expr, Outcome, Op};
+//! use tfd_core::Shape;
+//!
+//! // convFloat(float, 42) ↝ 42.0
+//! let e = Expr::Op(Op::ConvFloat(Shape::Float, Box::new(Expr::data(42i64))));
+//! let out = run(&Classes::new(), &e);
+//! assert_eq!(out, Outcome::Value(Expr::data(42.0)));
+//!
+//! // convPrim(bool, 42) is stuck — the paper's canonical runtime error.
+//! let bad = Expr::Op(Op::ConvPrim(Shape::Bool, Box::new(Expr::data(42i64))));
+//! assert!(run(&Classes::new(), &bad).is_stuck());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod eval;
+pub mod ops;
+mod typecheck;
+
+pub use ast::{subst, Class, Classes, Expr, Member, Op, Type};
+pub use eval::{run, run_with_fuel, step, Outcome, Step, StuckReason, DEFAULT_FUEL};
+pub use typecheck::{check_against, check_classes, compatible, type_of, Ctx, TypeError};

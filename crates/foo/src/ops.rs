@@ -1,0 +1,411 @@
+//! Reduction of the dynamic data operations (Fig. 6, Part I).
+//!
+//! Each function returns `Some(e')` when the operation reduces and `None`
+//! when it is **stuck** — e.g. `convPrim(bool, 42)` "represents a stuck
+//! state" (§4.1). Stuck states are how the model represents the runtime
+//! exceptions of the real F# Data library.
+
+use crate::ast::Expr;
+use tfd_core::{tag_of, Multiplicity, Shape, Tag};
+use tfd_value::Value;
+
+/// `hasShape(σ, d)` — the runtime shape test (Fig. 6, Part I).
+///
+/// The paper spells out the record, collection and primitive cases and
+/// closes with a catch-all `false`. We extend it compositionally to the
+/// shapes a provider can actually embed in generated code:
+///
+/// * `nullable σ̂` accepts `null` and anything `σ̂` accepts;
+/// * labelled tops accept everything (they are the top shape);
+/// * `bit` accepts the integers 0 and 1 (§6.2 extension);
+/// * `date` accepts strings that parse as dates (§6.2 extension);
+/// * heterogeneous collections accept collections (and null) whose
+///   elements all match some case tag, with case multiplicities
+///   respected.
+///
+/// ```
+/// use tfd_foo::ops::has_shape;
+/// use tfd_core::Shape;
+/// use tfd_value::Value;
+/// assert!(has_shape(&Shape::Int, &Value::Int(42)));
+/// assert!(has_shape(&Shape::Float, &Value::Int(42))); // float accepts int
+/// assert!(!has_shape(&Shape::Bool, &Value::Int(42)));
+/// ```
+pub fn has_shape(shape: &Shape, d: &Value) -> bool {
+    // The rule-by-rule definition lives in tfd_core::conforms so that the
+    // Rust runtime (tfd-runtime) shares exactly these semantics.
+    tfd_core::conforms(shape, d)
+}
+
+/// Does a data value belong to a shape-tag's family? Used by the §6.4
+/// heterogeneous-collection accessors, which select elements by tag.
+pub fn value_matches_tag(tag: &Tag, d: &Value) -> bool {
+    tfd_core::value_matches_tag(tag, d)
+}
+
+/// `convFloat(float, i) ↝ f` and `convFloat(float, f) ↝ f`.
+pub fn conv_float(d: &Value) -> Option<Expr> {
+    match d {
+        Value::Int(i) => Some(Expr::Data(Value::Float(*i as f64))),
+        Value::Float(f) => Some(Expr::Data(Value::Float(*f))),
+        _ => None,
+    }
+}
+
+/// `convPrim(σ, d) ↝ d` for `(σ, d) ∈ {(int, i), (string, s), (bool, b)}`
+/// — plus the `bit` extension (a 0/1 integer converts to a boolean) and
+/// the `date` extension (a date-formatted string stays a string).
+pub fn conv_prim(shape: &Shape, d: &Value) -> Option<Expr> {
+    match (shape, d) {
+        (Shape::Int, Value::Int(_))
+        | (Shape::String, Value::Str(_))
+        | (Shape::Bool, Value::Bool(_)) => Some(Expr::Data(d.clone())),
+        (Shape::Bit, Value::Int(i)) if *i == 0 || *i == 1 => {
+            Some(Expr::Data(Value::Bool(*i == 1)))
+        }
+        (Shape::Date, Value::Str(s)) => {
+            tfd_csv::parse_date(s).map(|date| Expr::Data(Value::Str(date.to_string())))
+        }
+        _ => None,
+    }
+}
+
+/// `convField(ν, νi, ν{…, νi = di, …}, e) ↝ e di`, or `e null` when the
+/// record has no field named νi. Stuck when the data value is not a
+/// record of name ν.
+pub fn conv_field(rec_name: &str, field: &str, d: &Value, cont: &Expr) -> Option<Expr> {
+    match d {
+        Value::Record { name, fields } if name == rec_name => {
+            let value = fields
+                .iter()
+                .find(|f| f.name == field)
+                .map(|f| f.value.clone())
+                .unwrap_or(Value::Null);
+            Some(Expr::app(cont.clone(), Expr::Data(value)))
+        }
+        _ => None,
+    }
+}
+
+/// `convNull(null, e) ↝ None` and `convNull(d, e) ↝ Some(e d)`.
+pub fn conv_null(d: &Value, cont: &Expr) -> Option<Expr> {
+    match d {
+        Value::Null => Some(Expr::NoneLit),
+        other => Some(Expr::some(Expr::app(cont.clone(), Expr::Data(other.clone())))),
+    }
+}
+
+/// `convElements([d1; …; dn], e) ↝ e d1 :: … :: e dn :: nil` and
+/// `convElements(null, e) ↝ nil`. Stuck on non-collection data.
+pub fn conv_elements(d: &Value, cont: &Expr) -> Option<Expr> {
+    match d {
+        Value::Null => Some(Expr::Nil),
+        Value::List(items) => {
+            let mut out = Expr::Nil;
+            for item in items.iter().rev() {
+                out = Expr::Cons(
+                    Box::new(Expr::app(cont.clone(), Expr::Data(item.clone()))),
+                    Box::new(out),
+                );
+            }
+            Some(out)
+        }
+        _ => None,
+    }
+}
+
+/// The §6.4 extension: select the elements of a collection matching the
+/// case shape's tag and convert them per the case multiplicity.
+///
+/// * `ψ = 1`: exactly one matching element required — reduces to
+///   `e d`; stuck otherwise.
+/// * `ψ = 1?`: `None` for zero matches, `Some(e d)` for one; stuck for
+///   more.
+/// * `ψ = *`: a Foo list of conversions (like `convElements`).
+///
+/// `null` reads as the empty collection throughout.
+pub fn conv_tagged(
+    shape: &Shape,
+    multiplicity: Multiplicity,
+    d: &Value,
+    cont: &Expr,
+) -> Option<Expr> {
+    let items: &[Value] = match d {
+        Value::Null => &[],
+        Value::List(items) => items,
+        _ => return None,
+    };
+    let tag = tag_of(shape);
+    let matching: Vec<&Value> = items
+        .iter()
+        .filter(|item| value_matches_tag(&tag, item))
+        .collect();
+    match multiplicity {
+        Multiplicity::One => match matching.as_slice() {
+            [only] => Some(Expr::app(cont.clone(), Expr::Data((*only).clone()))),
+            _ => None,
+        },
+        Multiplicity::ZeroOrOne => match matching.as_slice() {
+            [] => Some(Expr::NoneLit),
+            [only] => Some(Expr::some(Expr::app(cont.clone(), Expr::Data((*only).clone())))),
+            _ => None,
+        },
+        Multiplicity::Many => {
+            let mut out = Expr::Nil;
+            for item in matching.iter().rev() {
+                out = Expr::Cons(
+                    Box::new(Expr::app(cont.clone(), Expr::Data((*item).clone()))),
+                    Box::new(out),
+                );
+            }
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfd_value::{arr, json_rec, rec};
+
+    fn ident() -> Expr {
+        Expr::lam("x", crate::ast::Type::Data, Expr::var("x"))
+    }
+
+    // --- hasShape, rule by rule ---
+
+    #[test]
+    fn has_shape_primitives() {
+        assert!(has_shape(&Shape::String, &Value::str("s")));
+        assert!(has_shape(&Shape::Int, &Value::Int(1)));
+        assert!(has_shape(&Shape::Bool, &Value::Bool(true)));
+        assert!(has_shape(&Shape::Bool, &Value::Bool(false)));
+        assert!(has_shape(&Shape::Float, &Value::Float(1.5)));
+        assert!(has_shape(&Shape::Float, &Value::Int(1))); // float accepts int
+        assert!(!has_shape(&Shape::Int, &Value::Float(1.5)));
+        assert!(!has_shape(&Shape::Bool, &Value::Int(42)));
+        assert!(!has_shape(&Shape::String, &Value::Int(1)));
+    }
+
+    #[test]
+    fn has_shape_records_require_name_and_fields() {
+        let shape = Shape::record("P", [("x", Shape::Int)]);
+        assert!(has_shape(&shape, &rec("P", [("x", Value::Int(1))])));
+        // Extra fields in the data are fine:
+        assert!(has_shape(
+            &shape,
+            &rec("P", [("x", Value::Int(1)), ("y", Value::Bool(true))])
+        ));
+        // Wrong name, missing field, wrong field shape:
+        assert!(!has_shape(&shape, &rec("Q", [("x", Value::Int(1))])));
+        assert!(!has_shape(&shape, &rec("P", [("y", Value::Int(1))])));
+        assert!(!has_shape(&shape, &rec("P", [("x", Value::str("no"))])));
+    }
+
+    #[test]
+    fn has_shape_record_nullable_field_may_be_missing() {
+        let shape = Shape::record("P", [("x", Shape::Int.ceil())]);
+        assert!(has_shape(&shape, &rec("P", [("x", Value::Int(1))])));
+        assert!(has_shape(&shape, &rec("P", [("x", Value::Null)])));
+        assert!(has_shape(&shape, &rec("P", Vec::<(String, Value)>::new())));
+    }
+
+    #[test]
+    fn has_shape_collections() {
+        let shape = Shape::list(Shape::Int);
+        assert!(has_shape(&shape, &arr([Value::Int(1), Value::Int(2)])));
+        assert!(has_shape(&shape, &arr([])));
+        assert!(has_shape(&shape, &Value::Null)); // null reads as empty
+        assert!(!has_shape(&shape, &arr([Value::str("x")])));
+        assert!(!has_shape(&shape, &Value::Int(1)));
+    }
+
+    #[test]
+    fn has_shape_nullable() {
+        let shape = Shape::Int.ceil();
+        assert!(has_shape(&shape, &Value::Null));
+        assert!(has_shape(&shape, &Value::Int(1)));
+        assert!(!has_shape(&shape, &Value::str("x")));
+    }
+
+    #[test]
+    fn has_shape_top_accepts_everything() {
+        for d in [Value::Null, Value::Int(1), arr([]), rec("R", [("x", Value::Int(1))])] {
+            assert!(has_shape(&Shape::any(), &d));
+            assert!(has_shape(&Shape::Top(vec![Shape::Bool]), &d));
+        }
+    }
+
+    #[test]
+    fn has_shape_extensions() {
+        assert!(has_shape(&Shape::Bit, &Value::Int(0)));
+        assert!(has_shape(&Shape::Bit, &Value::Int(1)));
+        assert!(!has_shape(&Shape::Bit, &Value::Int(2)));
+        assert!(has_shape(&Shape::Date, &Value::str("2012-05-01")));
+        assert!(!has_shape(&Shape::Date, &Value::str("hello")));
+    }
+
+    #[test]
+    fn has_shape_hetero_checks_tags_and_multiplicities() {
+        let shape = Shape::HeteroList(vec![
+            (Shape::record("\u{2022}", [("p", Shape::Int)]), Multiplicity::One),
+            (Shape::list(Shape::Int), Multiplicity::ZeroOrOne),
+        ]);
+        let ok = arr([json_rec([("p", Value::Int(1))]), arr([Value::Int(2)])]);
+        assert!(has_shape(&shape, &ok));
+        // Missing the optional collection case is fine:
+        assert!(has_shape(&shape, &arr([json_rec([("p", Value::Int(1))])])));
+        // Missing the mandatory record case is not:
+        assert!(!has_shape(&shape, &arr([arr([Value::Int(2)])])));
+        // A second record violates multiplicity 1:
+        assert!(!has_shape(
+            &shape,
+            &arr([
+                json_rec([("p", Value::Int(1))]),
+                json_rec([("p", Value::Int(2))])
+            ])
+        ));
+        // An element matching no case:
+        assert!(!has_shape(&shape, &arr([Value::str("stray")])));
+        assert!(has_shape(&shape, &Value::Null));
+    }
+
+    // --- Conversion operations ---
+
+    #[test]
+    fn conv_float_accepts_both_numerics() {
+        assert_eq!(conv_float(&Value::Int(42)), Some(Expr::data(Value::Float(42.0))));
+        assert_eq!(conv_float(&Value::Float(2.5)), Some(Expr::data(Value::Float(2.5))));
+        assert_eq!(conv_float(&Value::str("x")), None); // stuck
+        assert_eq!(conv_float(&Value::Null), None); // the paper's example stuck state
+    }
+
+    #[test]
+    fn conv_prim_identity_on_match() {
+        assert_eq!(conv_prim(&Shape::Int, &Value::Int(1)), Some(Expr::data(1i64)));
+        assert_eq!(
+            conv_prim(&Shape::String, &Value::str("s")),
+            Some(Expr::data("s"))
+        );
+        assert_eq!(
+            conv_prim(&Shape::Bool, &Value::Bool(true)),
+            Some(Expr::data(true))
+        );
+        // convPrim(bool, 42) is the paper's canonical stuck state:
+        assert_eq!(conv_prim(&Shape::Bool, &Value::Int(42)), None);
+        assert_eq!(conv_prim(&Shape::Int, &Value::Float(1.5)), None);
+    }
+
+    #[test]
+    fn conv_prim_bit_and_date_extensions() {
+        assert_eq!(conv_prim(&Shape::Bit, &Value::Int(1)), Some(Expr::data(true)));
+        assert_eq!(conv_prim(&Shape::Bit, &Value::Int(0)), Some(Expr::data(false)));
+        assert_eq!(conv_prim(&Shape::Bit, &Value::Int(2)), None);
+        assert_eq!(
+            conv_prim(&Shape::Date, &Value::str("May 3, 2012")),
+            Some(Expr::data("2012-05-03"))
+        );
+        assert_eq!(conv_prim(&Shape::Date, &Value::str("nope")), None);
+    }
+
+    #[test]
+    fn conv_field_projects_or_passes_null() {
+        let d = rec("P", [("x", Value::Int(1))]);
+        assert_eq!(
+            conv_field("P", "x", &d, &ident()),
+            Some(Expr::app(ident(), Expr::data(1i64)))
+        );
+        assert_eq!(
+            conv_field("P", "missing", &d, &ident()),
+            Some(Expr::app(ident(), Expr::data(Value::Null)))
+        );
+        // Wrong record name or non-record: stuck.
+        assert_eq!(conv_field("Q", "x", &d, &ident()), None);
+        assert_eq!(conv_field("P", "x", &Value::Int(1), &ident()), None);
+    }
+
+    #[test]
+    fn conv_null_branches() {
+        assert_eq!(conv_null(&Value::Null, &ident()), Some(Expr::NoneLit));
+        assert_eq!(
+            conv_null(&Value::Int(1), &ident()),
+            Some(Expr::some(Expr::app(ident(), Expr::data(1i64))))
+        );
+    }
+
+    #[test]
+    fn conv_elements_maps_continuation() {
+        let d = arr([Value::Int(1), Value::Int(2)]);
+        let expected = Expr::Cons(
+            Box::new(Expr::app(ident(), Expr::data(1i64))),
+            Box::new(Expr::Cons(
+                Box::new(Expr::app(ident(), Expr::data(2i64))),
+                Box::new(Expr::Nil),
+            )),
+        );
+        assert_eq!(conv_elements(&d, &ident()), Some(expected));
+        assert_eq!(conv_elements(&Value::Null, &ident()), Some(Expr::Nil));
+        assert_eq!(conv_elements(&arr([]), &ident()), Some(Expr::Nil));
+        assert_eq!(conv_elements(&Value::Int(1), &ident()), None);
+    }
+
+    #[test]
+    fn conv_tagged_multiplicity_one() {
+        let shape = Shape::record("\u{2022}", [("p", Shape::Int)]);
+        let d = arr([json_rec([("p", Value::Int(5))]), arr([Value::Int(1)])]);
+        let got = conv_tagged(&shape, Multiplicity::One, &d, &ident()).unwrap();
+        assert_eq!(
+            got,
+            Expr::app(ident(), Expr::data(json_rec([("p", Value::Int(5))])))
+        );
+        // Zero or two matches: stuck.
+        assert_eq!(conv_tagged(&shape, Multiplicity::One, &arr([]), &ident()), None);
+        let two = arr([
+            json_rec([("p", Value::Int(1))]),
+            json_rec([("p", Value::Int(2))]),
+        ]);
+        assert_eq!(conv_tagged(&shape, Multiplicity::One, &two, &ident()), None);
+    }
+
+    #[test]
+    fn conv_tagged_multiplicity_zero_or_one() {
+        let shape = Shape::record("\u{2022}", [("p", Shape::Int)]);
+        assert_eq!(
+            conv_tagged(&shape, Multiplicity::ZeroOrOne, &arr([]), &ident()),
+            Some(Expr::NoneLit)
+        );
+        let one = arr([json_rec([("p", Value::Int(1))])]);
+        assert!(matches!(
+            conv_tagged(&shape, Multiplicity::ZeroOrOne, &one, &ident()),
+            Some(Expr::SomeLit(_))
+        ));
+    }
+
+    #[test]
+    fn conv_tagged_multiplicity_many() {
+        let shape = Shape::Int;
+        let d = arr([Value::Int(1), Value::str("skip"), Value::Int(2)]);
+        let got = conv_tagged(&shape, Multiplicity::Many, &d, &ident()).unwrap();
+        // Both numbers selected, the string skipped.
+        let expected = Expr::Cons(
+            Box::new(Expr::app(ident(), Expr::data(1i64))),
+            Box::new(Expr::Cons(
+                Box::new(Expr::app(ident(), Expr::data(2i64))),
+                Box::new(Expr::Nil),
+            )),
+        );
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn conv_tagged_null_is_empty() {
+        assert_eq!(
+            conv_tagged(&Shape::Int, Multiplicity::Many, &Value::Null, &ident()),
+            Some(Expr::Nil)
+        );
+        assert_eq!(
+            conv_tagged(&Shape::Int, Multiplicity::One, &Value::Null, &ident()),
+            None
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! # tfd-html — HTML front-end (tables and lists)
+//!
+//! The extension the paper points to in footnote 10:
+//!
+//! > "The same mechanism has later been used by the HTML type provider
+//! > …, which provides similarly easy access to data in HTML tables and
+//! > lists."
+//!
+//! Real-world HTML is not XML — tags go unclosed (`<td>a<td>b`), case
+//! varies, attributes are unquoted — so this crate implements a small
+//! *permissive* scanner tuned to the structures the provider consumes:
+//! `<table>` elements (rows of cells, with `<th>` headers) and
+//! `<ul>`/`<ol>` lists. Extracted cell text goes through the same
+//! literal inference as CSV cells (§6.2), so a column of numbers infers
+//! as numbers.
+//!
+//! # Example
+//!
+//! ```
+//! let html = r#"<html><body>
+//!   <table>
+//!     <tr><th>City</th><th>Temp</th></tr>
+//!     <tr><td>Prague</td><td>5</td></tr>
+//!     <tr><td>London<td>12</tr>
+//!   </table>
+//! </body></html>"#;
+//! let tables = tfd_html::parse_tables(html);
+//! assert_eq!(tables.len(), 1);
+//! assert_eq!(tables[0].headers(), &["City", "Temp"]);
+//! assert_eq!(tables[0].rows().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scanner;
+mod table;
+
+pub use scanner::{scan, HtmlEvent};
+pub use table::{parse_lists, parse_tables, HtmlTable};

@@ -1,0 +1,373 @@
+//! A permissive HTML scanner.
+//!
+//! Produces a flat stream of [`HtmlEvent`]s: open tags (with attributes),
+//! close tags and text runs. It never fails — real-world HTML is messy
+//! and the table extractor downstream only looks for the structure it
+//! understands. Script and style element contents are skipped, comments
+//! and doctypes dropped, and the five standard entities plus numeric
+//! character references are decoded in text and attribute values.
+
+/// One event of the scanned HTML stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtmlEvent {
+    /// An opening tag: lower-cased name, attributes, and whether it was
+    /// self-closing (`<br/>`).
+    Open {
+        /// Lower-cased tag name.
+        name: String,
+        /// Attributes (lower-cased names, decoded values).
+        attributes: Vec<(String, String)>,
+        /// `<name …/>`.
+        self_closing: bool,
+    },
+    /// A closing tag (lower-cased name).
+    Close(String),
+    /// A text run with entities decoded (whitespace preserved).
+    Text(String),
+}
+
+fn decode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        // Collect up to ; or a non-entity character.
+        let mut body = String::new();
+        let mut terminated = false;
+        while let Some(&n) = chars.peek() {
+            if n == ';' {
+                chars.next();
+                terminated = true;
+                break;
+            }
+            if body.len() > 10 || n == '&' || n == '<' || n.is_whitespace() {
+                break;
+            }
+            body.push(n);
+            chars.next();
+        }
+        let decoded = if terminated {
+            match body.as_str() {
+                "lt" => Some('<'),
+                "gt" => Some('>'),
+                "amp" => Some('&'),
+                "quot" => Some('"'),
+                "apos" => Some('\''),
+                "nbsp" => Some(' '),
+                _ => body
+                    .strip_prefix("#x")
+                    .or_else(|| body.strip_prefix("#X"))
+                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                    .or_else(|| body.strip_prefix('#').and_then(|d| d.parse().ok()))
+                    .and_then(char::from_u32),
+            }
+        } else {
+            None
+        };
+        match decoded {
+            Some(ch) => out.push(ch),
+            None => {
+                // Not an entity: emit verbatim.
+                out.push('&');
+                out.push_str(&body);
+                if terminated {
+                    out.push(';');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Void elements that never have closing tags.
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input"
+            | "link" | "meta" | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Scans HTML text into a flat event stream. Never fails; unparseable
+/// stretches are treated as text.
+pub fn scan(input: &str) -> Vec<HtmlEvent> {
+    let mut events = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut text_start = 0usize;
+
+    let flush_text = |events: &mut Vec<HtmlEvent>, from: usize, to: usize| {
+        if from < to {
+            let raw = &input[from..to];
+            if !raw.chars().all(char::is_whitespace) {
+                events.push(HtmlEvent::Text(decode_entities(raw)));
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if input[i..].starts_with("<!--") {
+            flush_text(&mut events, text_start, i);
+            let end = input[i + 4..].find("-->").map(|p| i + 4 + p + 3).unwrap_or(input.len());
+            i = end;
+            text_start = i;
+            continue;
+        }
+        // Doctype / CDATA / other declarations: skip to '>'.
+        if input[i..].starts_with("<!") {
+            flush_text(&mut events, text_start, i);
+            let end = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+            i = end;
+            text_start = i;
+            continue;
+        }
+        // A tag must start with a letter or '/'.
+        let after = input[i + 1..].chars().next();
+        let is_tag = matches!(after, Some(c) if c.is_ascii_alphabetic() || c == '/');
+        if !is_tag {
+            i += 1;
+            continue;
+        }
+        let Some(close_rel) = input[i..].find('>') else {
+            break; // unterminated tag: treat the rest as text
+        };
+        flush_text(&mut events, text_start, i);
+        let tag_body = &input[i + 1..i + close_rel];
+        i += close_rel + 1;
+        text_start = i;
+
+        if let Some(name) = tag_body.strip_prefix('/') {
+            let name = name.trim().to_ascii_lowercase();
+            if !name.is_empty() {
+                events.push(HtmlEvent::Close(name));
+            }
+            continue;
+        }
+
+        let (name, attributes, self_closing) = parse_tag_body(tag_body);
+        if name.is_empty() {
+            continue;
+        }
+        // Raw-text elements: emit the open tag but skip their content.
+        if (name == "script" || name == "style") && !self_closing {
+            events.push(HtmlEvent::Open {
+                name: name.clone(),
+                attributes,
+                self_closing: false,
+            });
+            let end_tag = format!("</{name}");
+            if let Some(p) = input[i..].to_ascii_lowercase().find(&end_tag) {
+                let after_end = input[i + p..].find('>').map(|q| i + p + q + 1).unwrap_or(input.len());
+                i = after_end;
+                text_start = i;
+                events.push(HtmlEvent::Close(name));
+            } else {
+                i = input.len();
+                text_start = i;
+            }
+            continue;
+        }
+        let self_closing = self_closing || is_void(&name);
+        events.push(HtmlEvent::Open { name, attributes, self_closing });
+    }
+    flush_text(&mut events, text_start, input.len());
+    events
+}
+
+fn parse_tag_body(body: &str) -> (String, Vec<(String, String)>, bool) {
+    let body = body.trim();
+    let (body, self_closing) = match body.strip_suffix('/') {
+        Some(b) => (b.trim_end(), true),
+        None => (body, false),
+    };
+    let mut chars = body.char_indices().peekable();
+    // Tag name.
+    let mut name_end = body.len();
+    for (idx, c) in chars.by_ref() {
+        if c.is_whitespace() {
+            name_end = idx;
+            break;
+        }
+    }
+    let name = body[..name_end].to_ascii_lowercase();
+    let mut attributes = Vec::new();
+    let rest = &body[name_end.min(body.len())..];
+    let mut it = rest.char_indices().peekable();
+    while let Some(&(start, c)) = it.peek() {
+        if c.is_whitespace() {
+            it.next();
+            continue;
+        }
+        // Attribute name.
+        let mut eq_pos = None;
+        let mut end = rest.len();
+        for (idx, ch) in rest[start..].char_indices() {
+            let abs = start + idx;
+            if ch == '=' {
+                eq_pos = Some(abs);
+                break;
+            }
+            if ch.is_whitespace() {
+                end = abs;
+                break;
+            }
+        }
+        match eq_pos {
+            None => {
+                // Bare attribute (e.g. `disabled`).
+                let attr = rest[start..end.min(rest.len())].to_ascii_lowercase();
+                if !attr.is_empty() {
+                    attributes.push((attr, String::new()));
+                }
+                // Advance past it.
+                while let Some(&(idx, _)) = it.peek() {
+                    if idx >= end {
+                        break;
+                    }
+                    it.next();
+                }
+                if end == rest.len() {
+                    break;
+                }
+            }
+            Some(eq) => {
+                let attr = rest[start..eq].trim().to_ascii_lowercase();
+                // Value: quoted or bare.
+                let vstart = eq + 1;
+                let value_rest = &rest[vstart..];
+                let (value, consumed) = if let Some(stripped) = value_rest.strip_prefix('"') {
+                    match stripped.find('"') {
+                        Some(p) => (stripped[..p].to_owned(), p + 2),
+                        None => (stripped.to_owned(), value_rest.len()),
+                    }
+                } else if let Some(stripped) = value_rest.strip_prefix('\'') {
+                    match stripped.find('\'') {
+                        Some(p) => (stripped[..p].to_owned(), p + 2),
+                        None => (stripped.to_owned(), value_rest.len()),
+                    }
+                } else {
+                    let p = value_rest
+                        .find(char::is_whitespace)
+                        .unwrap_or(value_rest.len());
+                    (value_rest[..p].to_owned(), p)
+                };
+                if !attr.is_empty() {
+                    attributes.push((attr, decode_entities(&value)));
+                }
+                let consumed_end = vstart + consumed;
+                while let Some(&(idx, _)) = it.peek() {
+                    if idx >= consumed_end {
+                        break;
+                    }
+                    it.next();
+                }
+                if consumed_end >= rest.len() {
+                    break;
+                }
+            }
+        }
+    }
+    (name, attributes, self_closing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open(name: &str) -> HtmlEvent {
+        HtmlEvent::Open { name: name.into(), attributes: vec![], self_closing: false }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let events = scan("<p>Hello</p>");
+        assert_eq!(
+            events,
+            vec![open("p"), HtmlEvent::Text("Hello".into()), HtmlEvent::Close("p".into())]
+        );
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        let events = scan("<TABLE><TR></TR></TABLE>");
+        assert_eq!(events[0], open("table"));
+        assert_eq!(events[1], open("tr"));
+        assert_eq!(events[2], HtmlEvent::Close("tr".into()));
+    }
+
+    #[test]
+    fn attributes_quoted_and_bare() {
+        let events = scan(r#"<td colspan="2" class='x' align=left disabled>"#);
+        let HtmlEvent::Open { attributes, .. } = &events[0] else { panic!() };
+        assert_eq!(
+            attributes,
+            &vec![
+                ("colspan".to_owned(), "2".to_owned()),
+                ("class".to_owned(), "x".to_owned()),
+                ("align".to_owned(), "left".to_owned()),
+                ("disabled".to_owned(), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn void_and_self_closing_elements() {
+        let events = scan("<br><img src=\"x.png\"/><hr >");
+        for e in &events {
+            let HtmlEvent::Open { self_closing, .. } = e else { panic!("{e:?}") };
+            assert!(self_closing);
+        }
+    }
+
+    #[test]
+    fn comments_and_doctype_are_dropped() {
+        let events = scan("<!DOCTYPE html><!-- hi --><p>x</p>");
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0], open("p"));
+    }
+
+    #[test]
+    fn script_and_style_contents_skipped() {
+        let events = scan("<script>if (a < b) { alert('<td>') }</script><p>x</p>");
+        assert_eq!(events[0], open("script"));
+        assert_eq!(events[1], HtmlEvent::Close("script".into()));
+        assert_eq!(events[2], open("p"));
+        // The script body contributed no events (no <td>, no text):
+        assert!(!events.iter().any(|e| matches!(e, HtmlEvent::Open { name, .. } if name == "td")));
+    }
+
+    #[test]
+    fn entities_decode_in_text_and_attributes() {
+        let events = scan("<a title=\"a&amp;b\">x &lt; y &#65; &nbsp;z</a>");
+        let HtmlEvent::Open { attributes, .. } = &events[0] else { panic!() };
+        assert_eq!(attributes[0].1, "a&b");
+        assert_eq!(events[1], HtmlEvent::Text("x < y A  z".into()));
+    }
+
+    #[test]
+    fn stray_ampersands_and_angles_survive() {
+        let events = scan("<p>AT&T, 1 < 2 & done</p>");
+        assert_eq!(events[1], HtmlEvent::Text("AT&T, 1 < 2 & done".into()));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let events = scan("<tr>\n   <td>x</td>\n</tr>");
+        assert_eq!(events.len(), 5);
+    }
+
+    #[test]
+    fn never_panics_on_garbage() {
+        for garbage in ["<", "<<<>>>", "</>", "<a b=\"", "<p", "&#xZZZ;", "< p>"] {
+            let _ = scan(garbage);
+        }
+    }
+}

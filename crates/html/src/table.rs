@@ -1,0 +1,339 @@
+//! Extraction of tables and lists from the scanned event stream.
+
+use crate::scanner::{scan, HtmlEvent};
+use tfd_csv::literal::{parse_literal, LiteralOptions};
+use tfd_value::{Value, BODY_NAME};
+
+/// An extracted HTML table: headers (from `<th>` cells or synthesized
+/// `Column1…` names) and rows of cell text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HtmlTable {
+    id: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl HtmlTable {
+    /// The table's `id` attribute, if present.
+    pub fn id(&self) -> Option<&str> {
+        self.id.as_deref()
+    }
+
+    /// Column names (trimmed `<th>` text, or `Column1…` when the table
+    /// has no header row).
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// Data rows (trimmed cell text).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Converts the table to the universal data value exactly like a CSV
+    /// file (§6.2): a collection of `•` records, one per row, cells run
+    /// through literal inference.
+    pub fn to_value(&self) -> Value {
+        let options = LiteralOptions::default();
+        Value::List(
+            self.rows
+                .iter()
+                .map(|row| {
+                    Value::record(
+                        BODY_NAME,
+                        self.headers.iter().enumerate().map(|(i, h)| {
+                            let cell = row.get(i).map(String::as_str).unwrap_or("");
+                            (h.clone(), parse_literal(cell, &options))
+                        }),
+                    )
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Extracts every `<table>` in the document, in source order. Nested
+/// tables are flattened into separate results (their rows do not leak
+/// into the outer table).
+pub fn parse_tables(html: &str) -> Vec<HtmlTable> {
+    let events = scan(html);
+    let mut tables: Vec<HtmlTable> = Vec::new();
+    // Stack of in-progress tables (for nesting).
+    struct InProgress {
+        id: Option<String>,
+        header: Vec<String>,
+        rows: Vec<Vec<String>>,
+        current_row: Option<Vec<String>>,
+        current_cell: Option<(bool, String)>, // (is_header, text)
+    }
+    let mut stack: Vec<InProgress> = Vec::new();
+
+    fn close_cell(t: &mut InProgress) {
+        if let Some((is_header, text)) = t.current_cell.take() {
+            let text = text.trim().to_owned();
+            if is_header && t.rows.is_empty() && t.current_row.as_ref().is_some_and(Vec::is_empty)
+            {
+                t.header.push(text);
+            } else if let Some(row) = &mut t.current_row {
+                if is_header && row.is_empty() && t.rows.is_empty() && t.header.is_empty() {
+                    t.header.push(text);
+                } else {
+                    row.push(text);
+                }
+            }
+        }
+    }
+
+    fn close_row(t: &mut InProgress) {
+        close_cell(t);
+        if let Some(row) = t.current_row.take() {
+            if !row.is_empty() {
+                t.rows.push(row);
+            }
+        }
+    }
+
+    for event in events {
+        match event {
+            HtmlEvent::Open { name, attributes, self_closing } => match name.as_str() {
+                "table" if !self_closing => {
+                    stack.push(InProgress {
+                        id: attributes
+                            .iter()
+                            .find(|(k, _)| k == "id")
+                            .map(|(_, v)| v.clone()),
+                        header: Vec::new(),
+                        rows: Vec::new(),
+                        current_row: None,
+                        current_cell: None,
+                    });
+                }
+                "tr" => {
+                    if let Some(t) = stack.last_mut() {
+                        close_row(t);
+                        t.current_row = Some(Vec::new());
+                    }
+                }
+                "td" | "th" => {
+                    if let Some(t) = stack.last_mut() {
+                        close_cell(t);
+                        if t.current_row.is_none() {
+                            t.current_row = Some(Vec::new());
+                        }
+                        t.current_cell = Some((name == "th", String::new()));
+                    }
+                }
+                "br" => {
+                    if let Some(t) = stack.last_mut() {
+                        if let Some((_, text)) = &mut t.current_cell {
+                            text.push(' ');
+                        }
+                    }
+                }
+                _ => {}
+            },
+            HtmlEvent::Close(name) => match name.as_str() {
+                "table" => {
+                    if let Some(mut t) = stack.pop() {
+                        close_row(&mut t);
+                        let width = t
+                            .rows
+                            .iter()
+                            .map(Vec::len)
+                            .max()
+                            .unwrap_or(t.header.len())
+                            .max(t.header.len());
+                        let mut headers = t.header;
+                        for i in headers.len()..width {
+                            headers.push(format!("Column{}", i + 1));
+                        }
+                        tables.push(HtmlTable { id: t.id, headers, rows: t.rows });
+                    }
+                }
+                "tr" => {
+                    if let Some(t) = stack.last_mut() {
+                        close_row(t);
+                    }
+                }
+                "td" | "th" => {
+                    if let Some(t) = stack.last_mut() {
+                        close_cell(t);
+                    }
+                }
+                _ => {}
+            },
+            HtmlEvent::Text(text) => {
+                if let Some(t) = stack.last_mut() {
+                    if let Some((_, cell)) = &mut t.current_cell {
+                        cell.push_str(&text);
+                    }
+                }
+            }
+        }
+    }
+    // Unclosed tables at EOF still count (permissive parsing).
+    while let Some(mut t) = stack.pop() {
+        close_row(&mut t);
+        let width = t.rows.iter().map(Vec::len).max().unwrap_or(t.header.len()).max(t.header.len());
+        let mut headers = t.header;
+        for i in headers.len()..width {
+            headers.push(format!("Column{}", i + 1));
+        }
+        tables.push(HtmlTable { id: t.id, headers, rows: t.rows });
+    }
+    tables
+}
+
+/// Extracts every `<ul>`/`<ol>` list as a vector of item texts.
+pub fn parse_lists(html: &str) -> Vec<Vec<String>> {
+    let events = scan(html);
+    let mut lists: Vec<Vec<String>> = Vec::new();
+    let mut stack: Vec<Vec<String>> = Vec::new();
+    let mut current_item: Option<String> = None;
+
+    fn close_item(stack: &mut [Vec<String>], item: &mut Option<String>) {
+        if let Some(text) = item.take() {
+            if let Some(list) = stack.last_mut() {
+                let text = text.trim().to_owned();
+                if !text.is_empty() {
+                    list.push(text);
+                }
+            }
+        }
+    }
+
+    for event in events {
+        match event {
+            HtmlEvent::Open { name, .. } => match name.as_str() {
+                "ul" | "ol" => {
+                    close_item(&mut stack, &mut current_item);
+                    stack.push(Vec::new());
+                }
+                "li" => {
+                    close_item(&mut stack, &mut current_item);
+                    current_item = Some(String::new());
+                }
+                _ => {}
+            },
+            HtmlEvent::Close(name) => match name.as_str() {
+                "ul" | "ol" => {
+                    close_item(&mut stack, &mut current_item);
+                    if let Some(list) = stack.pop() {
+                        lists.push(list);
+                    }
+                }
+                "li" => close_item(&mut stack, &mut current_item),
+                _ => {}
+            },
+            HtmlEvent::Text(text) => {
+                if let Some(item) = &mut current_item {
+                    item.push_str(&text);
+                }
+            }
+        }
+    }
+    while let Some(list) = stack.pop() {
+        lists.push(list);
+    }
+    lists
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        <html><body>
+          <h1>Weather</h1>
+          <table id="cities">
+            <tr><th>City</th><th>Temp</th><th>Rain</th></tr>
+            <tr><td>Prague</td><td>5</td><td>0.5</td></tr>
+            <tr><td>London</td><td>12</td><td>2.5</td></tr>
+          </table>
+          <ul><li>one</li><li>two</li></ul>
+        </body></html>"#;
+
+    #[test]
+    fn extracts_headers_and_rows() {
+        let tables = parse_tables(SAMPLE);
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.id(), Some("cities"));
+        assert_eq!(t.headers(), &["City", "Temp", "Rain"]);
+        assert_eq!(t.rows().len(), 2);
+        assert_eq!(t.rows()[0], vec!["Prague", "5", "0.5"]);
+    }
+
+    #[test]
+    fn to_value_runs_literal_inference() {
+        let tables = parse_tables(SAMPLE);
+        let v = tables[0].to_value();
+        let rows = v.elements().unwrap();
+        assert_eq!(rows[0].field("City"), Some(&Value::str("Prague")));
+        assert_eq!(rows[0].field("Temp"), Some(&Value::Int(5)));
+        assert_eq!(rows[1].field("Rain"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn unclosed_cells_and_rows_are_tolerated() {
+        // The messy-HTML form: <td> and <tr> never closed.
+        let html = "<table><tr><th>A<th>B<tr><td>1<td>2<tr><td>3<td>4</table>";
+        let tables = parse_tables(html);
+        assert_eq!(tables[0].headers(), &["A", "B"]);
+        assert_eq!(tables[0].rows(), &[vec!["1".to_owned(), "2".into()], vec!["3".into(), "4".into()]]);
+    }
+
+    #[test]
+    fn headerless_tables_get_column_names() {
+        let html = "<table><tr><td>1</td><td>2</td></tr></table>";
+        let tables = parse_tables(html);
+        assert_eq!(tables[0].headers(), &["Column1", "Column2"]);
+        assert_eq!(tables[0].rows().len(), 1);
+    }
+
+    #[test]
+    fn nested_tables_do_not_leak_rows() {
+        let html = "<table><tr><th>Outer</th></tr><tr><td>\
+                    <table><tr><td>inner</td></tr></table>\
+                    </td></tr></table>";
+        let tables = parse_tables(html);
+        assert_eq!(tables.len(), 2);
+        // Inner closes first.
+        assert_eq!(tables[0].rows()[0], vec!["inner"]);
+        assert_eq!(tables[1].headers(), &["Outer"]);
+    }
+
+    #[test]
+    fn multiple_tables_in_order() {
+        let html = "<table><tr><td>a</td></tr></table><table><tr><td>b</td></tr></table>";
+        let tables = parse_tables(html);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows()[0], vec!["a"]);
+        assert_eq!(tables[1].rows()[0], vec!["b"]);
+    }
+
+    #[test]
+    fn lists_are_extracted() {
+        let lists = parse_lists(SAMPLE);
+        assert_eq!(lists, vec![vec!["one".to_owned(), "two".into()]]);
+    }
+
+    #[test]
+    fn unclosed_list_items() {
+        let lists = parse_lists("<ol><li>1<li>2<li>3</ol>");
+        assert_eq!(lists[0], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn markup_inside_cells_contributes_text_only() {
+        let html = "<table><tr><td><b>bold</b> text</td></tr></table>";
+        let tables = parse_tables(html);
+        assert_eq!(tables[0].rows()[0], vec!["bold text"]);
+    }
+
+    #[test]
+    fn no_tables_no_panic() {
+        assert!(parse_tables("<p>nothing here</p>").is_empty());
+        assert!(parse_lists("<p>nothing here</p>").is_empty());
+    }
+}

@@ -1,0 +1,590 @@
+//! Tokenizer for the JSON grammar (RFC 8259).
+//!
+//! The lexer tracks byte offset, line and column for every token so the
+//! parser can report precise positions — important in practice because type
+//! providers surface these errors at compile time.
+
+use std::fmt;
+
+/// A source position (0-based byte offset, 1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number (in characters).
+    pub column: usize,
+}
+
+impl Pos {
+    pub(crate) fn start() -> Pos {
+        Pos { offset: 0, line: 1, column: 1 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// A string literal with escapes already decoded.
+    Str(String),
+    /// An integer literal that fits `i64`.
+    Int(i64),
+    /// Any other numeric literal.
+    Float(f64),
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// A short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::LBrace => "'{'".into(),
+            Token::RBrace => "'}'".into(),
+            Token::LBracket => "'['".into(),
+            Token::RBracket => "']'".into(),
+            Token::Colon => "':'".into(),
+            Token::Comma => "','".into(),
+            Token::Str(_) => "string".into(),
+            Token::Int(_) | Token::Float(_) => "number".into(),
+            Token::True | Token::False => "boolean".into(),
+            Token::Null => "'null'".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Lexer errors (turned into `ParseError` by the parser).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexErrorKind {
+    /// A character that cannot start any token.
+    UnexpectedChar(char),
+    /// Input ended inside a string literal.
+    UnterminatedString,
+    /// An invalid escape sequence in a string literal.
+    BadEscape(String),
+    /// A `\uXXXX` escape that is not valid (bad hex or lone surrogate).
+    BadUnicodeEscape,
+    /// A control character appeared raw inside a string literal.
+    ControlCharInString(char),
+    /// A malformed numeric literal.
+    BadNumber(String),
+}
+
+impl fmt::Display for LexErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            LexErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            LexErrorKind::BadEscape(e) => write!(f, "invalid escape sequence '\\{e}'"),
+            LexErrorKind::BadUnicodeEscape => write!(f, "invalid unicode escape"),
+            LexErrorKind::ControlCharInString(c) => {
+                write!(f, "raw control character {:?} in string literal", c)
+            }
+            LexErrorKind::BadNumber(s) => write!(f, "malformed number literal '{s}'"),
+        }
+    }
+}
+
+/// A lexical error with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub kind: LexErrorKind,
+    /// Where it went wrong.
+    pub pos: Pos,
+}
+
+pub(crate) struct Lexer<'a> {
+    input: &'a str,
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    pos: Pos,
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(input: &'a str) -> Lexer<'a> {
+        Lexer { input, chars: input.char_indices().peekable(), pos: Pos::start() }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let (i, c) = self.chars.next()?;
+        self.pos.offset = i + c.len_utf8();
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.column = 1;
+        } else {
+            self.pos.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    /// Produces the next token (with its starting position).
+    pub(crate) fn next_token(&mut self) -> Result<(Token, Pos), LexError> {
+        self.skip_whitespace();
+        let start = self.pos;
+        let Some(c) = self.peek() else {
+            return Ok((Token::Eof, start));
+        };
+        match c {
+            '{' => {
+                self.bump();
+                Ok((Token::LBrace, start))
+            }
+            '}' => {
+                self.bump();
+                Ok((Token::RBrace, start))
+            }
+            '[' => {
+                self.bump();
+                Ok((Token::LBracket, start))
+            }
+            ']' => {
+                self.bump();
+                Ok((Token::RBracket, start))
+            }
+            ':' => {
+                self.bump();
+                Ok((Token::Colon, start))
+            }
+            ',' => {
+                self.bump();
+                Ok((Token::Comma, start))
+            }
+            '"' => self.lex_string(start),
+            c if c == '-' || c.is_ascii_digit() => self.lex_number(start),
+            c if c.is_ascii_alphabetic() => self.lex_keyword(start),
+            c => Err(LexError { kind: LexErrorKind::UnexpectedChar(c), pos: start }),
+        }
+    }
+
+    fn lex_keyword(&mut self, start: Pos) -> Result<(Token, Pos), LexError> {
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphabetic() {
+                word.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match word.as_str() {
+            "true" => Ok((Token::True, start)),
+            "false" => Ok((Token::False, start)),
+            "null" => Ok((Token::Null, start)),
+            _ => Err(LexError {
+                kind: LexErrorKind::UnexpectedChar(word.chars().next().unwrap_or('?')),
+                pos: start,
+            }),
+        }
+    }
+
+    fn lex_hex4(&mut self, start: Pos) -> Result<u16, LexError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let c = self.bump().ok_or(LexError {
+                kind: LexErrorKind::BadUnicodeEscape,
+                pos: start,
+            })?;
+            let d = c.to_digit(16).ok_or(LexError {
+                kind: LexErrorKind::BadUnicodeEscape,
+                pos: start,
+            })?;
+            v = (v << 4) | d as u16;
+        }
+        Ok(v)
+    }
+
+    fn lex_string(&mut self, start: Pos) -> Result<(Token, Pos), LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.bump() else {
+                return Err(LexError { kind: LexErrorKind::UnterminatedString, pos: start });
+            };
+            match c {
+                '"' => return Ok((Token::Str(out), start)),
+                '\\' => {
+                    let esc_pos = self.pos;
+                    let Some(e) = self.bump() else {
+                        return Err(LexError {
+                            kind: LexErrorKind::UnterminatedString,
+                            pos: start,
+                        });
+                    };
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{0008}'),
+                        'f' => out.push('\u{000C}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hi = self.lex_hex4(esc_pos)?;
+                            if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: must be followed by \uXXXX low surrogate.
+                                if self.bump() != Some('\\') || self.bump() != Some('u') {
+                                    return Err(LexError {
+                                        kind: LexErrorKind::BadUnicodeEscape,
+                                        pos: esc_pos,
+                                    });
+                                }
+                                let lo = self.lex_hex4(esc_pos)?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(LexError {
+                                        kind: LexErrorKind::BadUnicodeEscape,
+                                        pos: esc_pos,
+                                    });
+                                }
+                                let cp = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                out.push(char::from_u32(cp).ok_or(LexError {
+                                    kind: LexErrorKind::BadUnicodeEscape,
+                                    pos: esc_pos,
+                                })?);
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                // Lone low surrogate.
+                                return Err(LexError {
+                                    kind: LexErrorKind::BadUnicodeEscape,
+                                    pos: esc_pos,
+                                });
+                            } else {
+                                out.push(char::from_u32(u32::from(hi)).ok_or(LexError {
+                                    kind: LexErrorKind::BadUnicodeEscape,
+                                    pos: esc_pos,
+                                })?);
+                            }
+                        }
+                        other => {
+                            return Err(LexError {
+                                kind: LexErrorKind::BadEscape(other.to_string()),
+                                pos: esc_pos,
+                            })
+                        }
+                    }
+                }
+                c if (c as u32) < 0x20 => {
+                    return Err(LexError {
+                        kind: LexErrorKind::ControlCharInString(c),
+                        pos: start,
+                    })
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, start: Pos) -> Result<(Token, Pos), LexError> {
+        let begin = start.offset;
+        let mut is_float = false;
+
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        // Integer part: either a single 0 or a nonzero digit followed by digits.
+        match self.peek() {
+            Some('0') => {
+                self.bump();
+                // Leading zeros are not allowed: `01` is malformed.
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    let text = self.number_text(begin);
+                    return Err(LexError {
+                        kind: LexErrorKind::BadNumber(text),
+                        pos: start,
+                    });
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            _ => {
+                let text = self.number_text(begin);
+                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+            }
+        }
+        // Fraction.
+        if self.peek() == Some('.') {
+            is_float = true;
+            self.bump();
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                let text = self.number_text(begin);
+                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some('e' | 'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                self.bump();
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                let text = self.number_text(begin);
+                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+
+        let text = self.number_text(begin);
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok((Token::Int(i), start));
+            }
+            // Out-of-range integers degrade to floats (JSON allows
+            // arbitrary precision; we keep the value approximately).
+        }
+        let f: f64 = text.parse().map_err(|_| LexError {
+            kind: LexErrorKind::BadNumber(text.clone()),
+            pos: start,
+        })?;
+        Ok((Token::Float(f), start))
+    }
+
+    fn number_text(&mut self, begin: usize) -> String {
+        let end = self
+            .chars
+            .peek()
+            .map(|&(i, _)| i)
+            .unwrap_or(self.input.len());
+        self.input[begin..end].to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_all(s: &str) -> Result<Vec<Token>, LexError> {
+        let mut lx = Lexer::new(s);
+        let mut out = Vec::new();
+        loop {
+            let (t, _) = lx.next_token()?;
+            let done = t == Token::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        assert_eq!(
+            lex_all("{}[],:").unwrap(),
+            vec![
+                Token::LBrace,
+                Token::RBrace,
+                Token::LBracket,
+                Token::RBracket,
+                Token::Comma,
+                Token::Colon,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords() {
+        assert_eq!(
+            lex_all("true false null").unwrap(),
+            vec![Token::True, Token::False, Token::Null, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_keyword_rejected() {
+        assert!(lex_all("nul").is_err());
+        assert!(lex_all("True").is_err());
+    }
+
+    #[test]
+    fn integers_and_floats() {
+        assert_eq!(lex_all("42").unwrap()[0], Token::Int(42));
+        assert_eq!(lex_all("-7").unwrap()[0], Token::Int(-7));
+        assert_eq!(lex_all("0").unwrap()[0], Token::Int(0));
+        assert_eq!(lex_all("3.5").unwrap()[0], Token::Float(3.5));
+        assert_eq!(lex_all("1e3").unwrap()[0], Token::Float(1000.0));
+        assert_eq!(lex_all("1E+2").unwrap()[0], Token::Float(100.0));
+        assert_eq!(lex_all("-2.5e-1").unwrap()[0], Token::Float(-0.25));
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_float() {
+        match lex_all("123456789012345678901234567890").unwrap()[0] {
+            Token::Float(f) => assert!(f > 1e29),
+            ref t => panic!("expected float, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn leading_zero_rejected() {
+        assert!(matches!(
+            lex_all("01").unwrap_err().kind,
+            LexErrorKind::BadNumber(_)
+        ));
+    }
+
+    #[test]
+    fn bare_minus_rejected() {
+        assert!(matches!(
+            lex_all("-").unwrap_err().kind,
+            LexErrorKind::BadNumber(_)
+        ));
+    }
+
+    #[test]
+    fn dangling_fraction_rejected() {
+        assert!(lex_all("1.").is_err());
+        assert!(lex_all("1.e3").is_err());
+    }
+
+    #[test]
+    fn dangling_exponent_rejected() {
+        assert!(lex_all("1e").is_err());
+        assert!(lex_all("1e+").is_err());
+    }
+
+    #[test]
+    fn simple_strings() {
+        assert_eq!(lex_all(r#""hi""#).unwrap()[0], Token::Str("hi".into()));
+        assert_eq!(lex_all(r#""""#).unwrap()[0], Token::Str(String::new()));
+    }
+
+    #[test]
+    fn escape_sequences() {
+        assert_eq!(
+            lex_all(r#""a\"b\\c\/d\be\ff\ng\rh\ti""#).unwrap()[0],
+            Token::Str("a\"b\\c/d\u{8}e\u{c}f\ng\rh\ti".into())
+        );
+    }
+
+    #[test]
+    fn unicode_escape_bmp() {
+        assert_eq!(lex_all("\"\\u0041\"").unwrap()[0], Token::Str("A".into()));
+        assert_eq!(
+            lex_all("\"\\u00e9\"").unwrap()[0],
+            Token::Str("\u{e9}".into())
+        );
+    }
+
+    #[test]
+    fn unicode_escape_surrogate_pair() {
+        // U+1F600 GRINNING FACE, encoded as a surrogate pair.
+        assert_eq!(
+            lex_all("\"\\uD83D\\uDE00\"").unwrap()[0],
+            Token::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn raw_non_ascii_passes_through() {
+        assert_eq!(
+            lex_all("\"čaj 😀\"").unwrap()[0],
+            Token::Str("čaj 😀".into())
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_rejected() {
+        assert!(lex_all(r#""\uD83D""#).is_err());
+        assert!(lex_all(r#""\uDE00""#).is_err());
+        assert!(lex_all(r#""\uD83Dx""#).is_err());
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert!(lex_all(r#""\u00g1""#).is_err());
+        assert!(lex_all(r#""\u12""#).is_err());
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            lex_all(r#""abc"#).unwrap_err().kind,
+            LexErrorKind::UnterminatedString
+        ));
+    }
+
+    #[test]
+    fn raw_control_char_rejected() {
+        assert!(matches!(
+            lex_all("\"a\nb\"").unwrap_err().kind,
+            LexErrorKind::ControlCharInString('\n')
+        ));
+    }
+
+    #[test]
+    fn bad_escape_rejected() {
+        assert!(matches!(
+            lex_all(r#""\q""#).unwrap_err().kind,
+            LexErrorKind::BadEscape(_)
+        ));
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let mut lx = Lexer::new("{\n  \"a\": 1\n}");
+        let (_, p1) = lx.next_token().unwrap(); // {
+        assert_eq!((p1.line, p1.column), (1, 1));
+        let (_, p2) = lx.next_token().unwrap(); // "a"
+        assert_eq!((p2.line, p2.column), (2, 3));
+        let (_, p3) = lx.next_token().unwrap(); // :
+        assert_eq!((p3.line, p3.column), (2, 6));
+        let (_, p4) = lx.next_token().unwrap(); // 1
+        assert_eq!((p4.line, p4.column), (2, 8));
+        let (_, p5) = lx.next_token().unwrap(); // }
+        assert_eq!((p5.line, p5.column), (3, 1));
+    }
+
+    #[test]
+    fn unexpected_character() {
+        assert!(matches!(
+            lex_all("@").unwrap_err().kind,
+            LexErrorKind::UnexpectedChar('@')
+        ));
+    }
+}

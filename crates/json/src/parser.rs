@@ -1,0 +1,460 @@
+//! Recursive-descent JSON parser with precise error positions.
+
+use crate::lexer::{LexError, Lexer, Pos, Token};
+use crate::Json;
+use std::fmt;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseErrorKind {
+    /// A lexical error (bad literal, bad escape, stray character).
+    Lex(crate::lexer::LexErrorKind),
+    /// A grammatical error: found a token where another was required.
+    Unexpected {
+        /// Description of the offending token.
+        found: String,
+        /// What the parser was looking for.
+        expected: String,
+    },
+    /// Extra content after the end of the top-level document.
+    TrailingContent(String),
+    /// Document nesting exceeded [`ParserOptions::max_depth`].
+    TooDeep(usize),
+}
+
+impl fmt::Display for ParseErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseErrorKind::Lex(e) => write!(f, "{e}"),
+            ParseErrorKind::Unexpected { found, expected } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::TrailingContent(tok) => {
+                write!(f, "unexpected {tok} after end of document")
+            }
+            ParseErrorKind::TooDeep(limit) => {
+                write!(f, "document nesting exceeds limit of {limit}")
+            }
+        }
+    }
+}
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Source position of the error.
+    pub pos: Pos,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { kind: ParseErrorKind::Lex(e.kind), pos: e.pos }
+    }
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct ParserOptions {
+    /// Maximum container nesting depth (guards against stack exhaustion on
+    /// adversarial inputs). Default: 128.
+    pub max_depth: usize,
+}
+
+impl Default for ParserOptions {
+    fn default() -> Self {
+        ParserOptions { max_depth: 128 }
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column information when the input is
+/// not valid JSON (per RFC 8259) or nests deeper than the default limit.
+///
+/// ```
+/// let doc = tfd_json::parse("[1, 2.5, null]")?;
+/// assert_eq!(doc.items().unwrap().len(), 3);
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    parse_with(input, &ParserOptions::default())
+}
+
+/// Parses a complete JSON document under explicit [`ParserOptions`].
+///
+/// # Errors
+///
+/// As [`parse`], plus [`ParseErrorKind::TooDeep`] when nesting exceeds
+/// `options.max_depth`.
+pub fn parse_with(input: &str, options: &ParserOptions) -> Result<Json, ParseError> {
+    let mut p = ParserState::new(input, options.clone())?;
+    let doc = p.parse_value(0)?;
+    p.expect_eof()?;
+    Ok(doc)
+}
+
+/// Parses several newline- or whitespace-separated JSON documents
+/// (JSON-lines style), used when a type provider is given multiple
+/// samples in one file.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// ```
+/// let docs = tfd_json::parse_many("{\"a\":1}\n{\"a\":2}")?;
+/// assert_eq!(docs.len(), 2);
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn parse_many(input: &str) -> Result<Vec<Json>, ParseError> {
+    let options = ParserOptions::default();
+    let mut p = ParserState::new(input, options)?;
+    let mut docs = Vec::new();
+    while p.lookahead != Token::Eof {
+        docs.push(p.parse_value(0)?);
+    }
+    Ok(docs)
+}
+
+struct ParserState<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Token,
+    lookahead_pos: Pos,
+    options: ParserOptions,
+}
+
+impl<'a> ParserState<'a> {
+    fn new(input: &'a str, options: ParserOptions) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(input);
+        let (lookahead, lookahead_pos) = lexer.next_token()?;
+        Ok(ParserState { lexer, lookahead, lookahead_pos, options })
+    }
+
+    fn advance(&mut self) -> Result<(Token, Pos), ParseError> {
+        let (next, next_pos) = self.lexer.next_token()?;
+        let tok = std::mem::replace(&mut self.lookahead, next);
+        let pos = std::mem::replace(&mut self.lookahead_pos, next_pos);
+        Ok((tok, pos))
+    }
+
+    fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            kind: ParseErrorKind::Unexpected {
+                found: self.lookahead.describe(),
+                expected: expected.to_owned(),
+            },
+            pos: self.lookahead_pos,
+        })
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.lookahead == Token::Eof {
+            Ok(())
+        } else {
+            Err(ParseError {
+                kind: ParseErrorKind::TrailingContent(self.lookahead.describe()),
+                pos: self.lookahead_pos,
+            })
+        }
+    }
+
+    fn check_depth(&self, depth: usize) -> Result<(), ParseError> {
+        if depth >= self.options.max_depth {
+            Err(ParseError {
+                kind: ParseErrorKind::TooDeep(self.options.max_depth),
+                pos: self.lookahead_pos,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        match &self.lookahead {
+            Token::LBrace => self.parse_object(depth),
+            Token::LBracket => self.parse_array(depth),
+            Token::Str(_) => {
+                let (tok, _) = self.advance()?;
+                match tok {
+                    Token::Str(s) => Ok(Json::String(s)),
+                    _ => unreachable!("lookahead was a string"),
+                }
+            }
+            Token::Int(i) => {
+                let i = *i;
+                self.advance()?;
+                Ok(Json::Int(i))
+            }
+            Token::Float(f) => {
+                let f = *f;
+                self.advance()?;
+                Ok(Json::Float(f))
+            }
+            Token::True => {
+                self.advance()?;
+                Ok(Json::Bool(true))
+            }
+            Token::False => {
+                self.advance()?;
+                Ok(Json::Bool(false))
+            }
+            Token::Null => {
+                self.advance()?;
+                Ok(Json::Null)
+            }
+            _ => self.unexpected("a JSON value"),
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.check_depth(depth)?;
+        self.advance()?; // consume '{'
+        let mut members = Vec::new();
+        if self.lookahead == Token::RBrace {
+            self.advance()?;
+            return Ok(Json::Object(members));
+        }
+        loop {
+            let key = match &self.lookahead {
+                Token::Str(_) => {
+                    let (tok, _) = self.advance()?;
+                    match tok {
+                        Token::Str(s) => s,
+                        _ => unreachable!("lookahead was a string"),
+                    }
+                }
+                _ => return self.unexpected("an object key (string)"),
+            };
+            if self.lookahead != Token::Colon {
+                return self.unexpected("':'");
+            }
+            self.advance()?;
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            match self.lookahead {
+                Token::Comma => {
+                    self.advance()?;
+                }
+                Token::RBrace => {
+                    self.advance()?;
+                    return Ok(Json::Object(members));
+                }
+                _ => return self.unexpected("',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.check_depth(depth)?;
+        self.advance()?; // consume '['
+        let mut items = Vec::new();
+        if self.lookahead == Token::RBracket {
+            self.advance()?;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.parse_value(depth + 1)?);
+            match self.lookahead {
+                Token::Comma => {
+                    self.advance()?;
+                }
+                Token::RBracket => {
+                    self.advance()?;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.unexpected("',' or ']'"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_primitives() {
+        assert_eq!(parse("42").unwrap(), Json::Int(42));
+        assert_eq!(parse("3.5").unwrap(), Json::Float(3.5));
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(r#""hi""#).unwrap(), Json::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_empty_containers() {
+        assert_eq!(parse("{}").unwrap(), Json::Object(vec![]));
+        assert_eq!(parse("[]").unwrap(), Json::Array(vec![]));
+    }
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = parse(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(
+            doc,
+            Json::Object(vec![
+                (
+                    "a".into(),
+                    Json::Array(vec![
+                        Json::Int(1),
+                        Json::Object(vec![("b".into(), Json::Null)])
+                    ])
+                ),
+                ("c".into(), Json::String("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn preserves_key_order_and_duplicates() {
+        let doc = parse(r#"{"b":1,"a":2,"b":3}"#).unwrap();
+        match doc {
+            Json::Object(m) => {
+                assert_eq!(m.len(), 3);
+                assert_eq!(m[0].0, "b");
+                assert_eq!(m[2], ("b".into(), Json::Int(3)));
+            }
+            _ => panic!("expected object"),
+        }
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let doc = parse(" \t\n{ \"a\" :\r\n [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(
+            doc,
+            Json::Object(vec![(
+                "a".into(),
+                Json::Array(vec![Json::Int(1), Json::Int(2)])
+            )])
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let err = parse("1 2").unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TrailingContent(_)));
+    }
+
+    #[test]
+    fn rejects_trailing_comma_in_array() {
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_comma_in_object() {
+        assert!(parse(r#"{"a":1,}"#).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_colon() {
+        let err = parse(r#"{"a" 1}"#).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::Unexpected { .. }));
+    }
+
+    #[test]
+    fn rejects_nonstring_keys() {
+        assert!(parse("{1: 2}").is_err());
+    }
+
+    #[test]
+    fn rejects_bare_comma() {
+        assert!(parse(",").is_err());
+        assert!(parse("[,]").is_err());
+    }
+
+    #[test]
+    fn rejects_unclosed_containers() {
+        assert!(parse("[1, 2").is_err());
+        assert!(parse(r#"{"a": 1"#).is_err());
+    }
+
+    #[test]
+    fn error_position_is_precise() {
+        let err = parse("{\n  \"a\": @\n}").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.column, 8);
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TooDeep(128)));
+        // And a custom limit: max_depth counts nested containers, so four
+        // nested arrays are allowed and five are not.
+        let opts = ParserOptions { max_depth: 4 };
+        assert!(parse_with("[[[[[1]]]]]", &opts).is_err());
+        assert!(parse_with("[[[[1]]]]", &opts).is_ok());
+    }
+
+    #[test]
+    fn parse_many_reads_json_lines() {
+        let docs = parse_many("{\"a\":1}\n[2]\n\"x\"").unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[1], Json::Array(vec![Json::Int(2)]));
+    }
+
+    #[test]
+    fn parse_many_empty_input() {
+        assert_eq!(parse_many("  \n ").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_many_propagates_errors() {
+        assert!(parse_many("{\"a\":1}\n[2,]").is_err());
+    }
+
+    #[test]
+    fn error_display_mentions_position() {
+        let err = parse("[1, @]").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "got: {msg}");
+    }
+
+    #[test]
+    fn paper_people_sample_parses() {
+        // The §2.1 sample document.
+        let doc = parse(
+            r#"[ { "name":"Jan", "age":25 },
+                { "name":"Tomas" },
+                { "name":"Alexander", "age":3.5 } ]"#,
+        )
+        .unwrap();
+        let items = doc.items().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0].get("age"), Some(&Json::Int(25)));
+        assert_eq!(items[1].get("age"), None);
+        assert_eq!(items[2].get("age"), Some(&Json::Float(3.5)));
+    }
+
+    #[test]
+    fn paper_worldbank_sample_parses() {
+        // The §2.3 sample document.
+        let doc = parse(
+            r#"[ { "pages": 5 },
+                [ { "indicator": "GC.DOD.TOTL.GD.ZS",
+                    "date": "2012", "value": null },
+                  { "indicator": "GC.DOD.TOTL.GD.ZS",
+                    "date": "2010", "value": "35.14229" } ] ]"#,
+        )
+        .unwrap();
+        let items = doc.items().unwrap();
+        assert_eq!(items.len(), 2);
+        assert!(matches!(items[0], Json::Object(_)));
+        assert!(matches!(items[1], Json::Array(_)));
+    }
+}

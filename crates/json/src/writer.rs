@@ -1,0 +1,183 @@
+//! JSON serialization (compact and pretty).
+
+use crate::Json;
+
+/// Serializes a document as compact JSON text.
+///
+/// ```
+/// # use tfd_json::{parse, to_json_string};
+/// let doc = parse(r#"{ "a": [1, 2] }"#)?;
+/// assert_eq!(to_json_string(&doc), r#"{"a":[1,2]}"#);
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn to_json_string(doc: &Json) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, doc);
+    out
+}
+
+/// Serializes a document with two-space indentation.
+pub fn to_json_string_pretty(doc: &Json) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, doc, 0);
+    out
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a float: finite values via Rust's shortest-roundtrip `{}` with
+/// a `.0` appended to whole numbers so they re-parse as floats; non-finite
+/// values (which JSON cannot express) as `null`, the common convention.
+fn write_float(out: &mut String, f: f64) {
+    if !f.is_finite() {
+        out.push_str("null");
+    } else if f.fract() == 0.0 && f.abs() < 1e15 {
+        out.push_str(&format!("{f:.1}"));
+    } else {
+        out.push_str(&format!("{f}"));
+    }
+}
+
+fn write_compact(out: &mut String, doc: &Json) {
+    match doc {
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Float(f) => write_float(out, *f),
+        Json::String(s) => write_string(out, s),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Null => out.push_str("null"),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Json::Object(members) => {
+            out.push('{');
+            for (i, (k, v)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_pretty(out: &mut String, doc: &Json, level: usize) {
+    match doc {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(out, level + 1);
+                write_pretty(out, item, level + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push(']');
+        }
+        Json::Object(members) if !members.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in members.iter().enumerate() {
+                indent(out, level + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, level + 1);
+                if i + 1 < members.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn compact_roundtrip() {
+        let src = r#"{"a":[1,2.5,null,true,"x\n"],"b":{}}"#;
+        let doc = parse(src).unwrap();
+        assert_eq!(to_json_string(&doc), src);
+    }
+
+    #[test]
+    fn floats_keep_float_syntax() {
+        assert_eq!(to_json_string(&Json::Float(5.0)), "5.0");
+        assert_eq!(to_json_string(&Json::Float(0.25)), "0.25");
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        assert_eq!(to_json_string(&Json::Float(f64::NAN)), "null");
+        assert_eq!(to_json_string(&Json::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let s = Json::String("\u{1}\u{1f}".into());
+        assert_eq!(to_json_string(&s), "\"\\u0001\\u001f\"");
+        assert_eq!(parse(&to_json_string(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn named_escapes_roundtrip() {
+        let original = Json::String("a\"b\\c\nd\re\tf\u{8}g\u{c}h".into());
+        let text = to_json_string(&original);
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let doc = parse(r#"{"a":[1],"b":2}"#).unwrap();
+        let pretty = to_json_string_pretty(&doc);
+        assert!(pretty.contains("{\n  \"a\": [\n    1\n  ],\n  \"b\": 2\n}"));
+        // Pretty output must re-parse to the same document.
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn pretty_keeps_empty_containers_inline() {
+        assert_eq!(to_json_string_pretty(&Json::Array(vec![])), "[]");
+        assert_eq!(to_json_string_pretty(&Json::Object(vec![])), "{}");
+    }
+}

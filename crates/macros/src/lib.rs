@@ -1,0 +1,379 @@
+//! # tfd-macros — compile-time type providers for Rust
+//!
+//! The Rust analogue of `JsonProvider<"...">` (§1, §2): procedural macros
+//! that take sample documents at **compile time**, run the paper's shape
+//! inference, and expand to a module of typed accessor structs (generated
+//! by `tfd-codegen`). Like F# type providers, the types come from the
+//! sample data, and changing the sample changes the types at the next
+//! compile — the schema-change detection of §6.1.
+//!
+//! # Grammar
+//!
+//! ```text
+//! json_provider! {
+//!     mod weather;                 // generated module name
+//!     root Weather;                // root struct name hint
+//!     sample r#"{ "temp": 5 }"#;   // one or more inline samples
+//!     sample_file "data/w.json";   // and/or files (relative to the
+//!                                  // crate's CARGO_MANIFEST_DIR)
+//!     prefix ::types_from_data;    // optional support-crate path
+//! }
+//! ```
+//!
+//! `xml_provider!` additionally accepts `global;` to enable the §6.2
+//! global (by-name) inference mode, and any provider accepts
+//! `no_hetero;` to disable §6.4 heterogeneous collections in favour of
+//! the §2.2/§3.5 labelled-top presentation. `csv_provider!` uses the §6.2 CSV
+//! options (bit shapes, date detection, `#N/A` handling).
+//!
+//! # Example
+//!
+//! ```ignore
+//! types_from_data::json_provider! {
+//!     mod people;
+//!     root Person;
+//!     sample r#"[ { "name": "Jan", "age": 25 }, { "name": "Tomas" } ]"#;
+//! }
+//!
+//! let items = people::sample();
+//! for item in items {
+//!     println!("{}", item.name()?);
+//! }
+//! ```
+
+use proc_macro::{TokenStream, TokenTree};
+use tfd_codegen::{generate, CodegenOptions, SourceFormat};
+use tfd_core::{globalize, infer_many, InferOptions};
+use tfd_value::Value;
+
+/// Which provider front-end a macro invocation uses.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Json,
+    Xml,
+    Csv,
+    Html,
+}
+
+struct Request {
+    module: String,
+    root: String,
+    samples: Vec<String>,
+    prefix: String,
+    global: bool,
+    no_hetero: bool,
+    table_index: usize,
+}
+
+/// A JSON type provider: infers types from JSON samples at compile time.
+#[proc_macro]
+pub fn json_provider(input: TokenStream) -> TokenStream {
+    expand(input, Format::Json)
+}
+
+/// An XML type provider: infers types from XML samples at compile time.
+#[proc_macro]
+pub fn xml_provider(input: TokenStream) -> TokenStream {
+    expand(input, Format::Xml)
+}
+
+/// A CSV type provider: infers row types from CSV samples at compile
+/// time (with the §6.2 bit/date/missing-value handling).
+#[proc_macro]
+pub fn csv_provider(input: TokenStream) -> TokenStream {
+    expand(input, Format::Csv)
+}
+
+/// An HTML type provider: infers row types from the first `<table>` in an
+/// HTML sample — the footnote-10 extension ("similarly easy access to
+/// data in HTML tables"). Accepts `table N;` to select a different table
+/// by index.
+#[proc_macro]
+pub fn html_provider(input: TokenStream) -> TokenStream {
+    expand(input, Format::Html)
+}
+
+fn expand(input: TokenStream, format: Format) -> TokenStream {
+    match try_expand(input, format) {
+        Ok(ts) => ts,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error! always parses")
+        }
+    }
+}
+
+fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String> {
+    let request = parse_request(input)?;
+    if request.samples.is_empty() {
+        return Err("provide at least one `sample \"...\";` or `sample_file \"...\";`".into());
+    }
+
+    // Parse every sample with the format's front-end.
+    let mut values: Vec<Value> = Vec::new();
+    for (i, text) in request.samples.iter().enumerate() {
+        let value = match format {
+            Format::Json => tfd_json::parse(text)
+                .map_err(|e| format!("sample {}: invalid JSON: {e}", i + 1))?
+                .to_value(),
+            Format::Xml => tfd_xml::parse(text)
+                .map_err(|e| format!("sample {}: invalid XML: {e}", i + 1))?
+                .to_value(),
+            Format::Csv => tfd_csv::parse(text)
+                .map_err(|e| format!("sample {}: invalid CSV: {e}", i + 1))?
+                .to_value(),
+            Format::Html => {
+                let tables = tfd_html::parse_tables(text);
+                let table = tables.get(request.table_index).ok_or_else(|| {
+                    format!(
+                        "sample {}: HTML contains {} table(s), index {} requested",
+                        i + 1,
+                        tables.len(),
+                        request.table_index
+                    )
+                })?;
+                table.to_value()
+            }
+        };
+        values.push(value);
+    }
+
+    let mut options = match format {
+        Format::Json => InferOptions::json(),
+        Format::Xml => InferOptions::xml(),
+        // HTML tables are CSV-like cell grids (§6.2 inference applies).
+        Format::Csv | Format::Html => InferOptions::csv(),
+    };
+    if request.no_hetero {
+        // §2.2/§3.5 presentation: collections of mixed elements become
+        // collections of a labelled top instead of §6.4 heterogeneous
+        // collections.
+        options.hetero_collections = false;
+        options.singleton_collections = false;
+    }
+    let mut shape = infer_many(&values, &options);
+    if request.global {
+        shape = globalize(&shape);
+    }
+
+    let codegen = CodegenOptions {
+        crate_prefix: request.prefix.clone(),
+        format: match format {
+            Format::Json => Some(SourceFormat::Json),
+            Format::Xml => Some(SourceFormat::Xml),
+            Format::Csv => Some(SourceFormat::Csv),
+            // HTML parse/load need the table index; emitted below.
+            Format::Html => None,
+        },
+        sample_text: Some(request.samples[0].clone()),
+    };
+    let mut code = generate(&shape, &request.module, &request.root, &codegen);
+    if format == Format::Html {
+        // Append HTML-specific parse/load/sample functions inside the
+        // module (codegen is format-agnostic for HTML).
+        let root_ty = root_type_of(&code);
+        let idx = request.table_index;
+        let prefix = &request.prefix;
+        let sample = &request.samples[0];
+        let extra = format!(
+            "    /// Extracts table {idx} of an HTML document and types it like the sample.\n             \x20   ///\n\x20   /// # Errors\n\x20   ///\n\x20   /// Returns an error when              the table is missing or misshapen.\n             \x20   pub fn parse(text: &str) -> Result<{root_ty}, Box<dyn std::error::Error + Send + Sync>> {{\n             \x20       let tables = {prefix}::html::parse_tables(text);\n             \x20       let table = tables.get({idx}).ok_or(\"table index out of range\")?;\n             \x20       Ok(from_value(table.to_value())?)\n             \x20   }}\n\n             \x20   /// Reads and parses an HTML file.\n             \x20   ///\n\x20   /// # Errors\n\x20   ///\n\x20   /// Returns I/O and shape errors.\n             \x20   pub fn load(path: impl AsRef<std::path::Path>) -> Result<{root_ty}, Box<dyn std::error::Error + Send + Sync>> {{\n             \x20       parse(&std::fs::read_to_string(path)?)\n             \x20   }}\n\n             \x20   /// The compile-time sample.\n             \x20   pub const SAMPLE: &str = {sample:?};\n\n             \x20   /// Parses the compile-time sample.\n             \x20   ///\n\x20   /// # Panics\n\x20   ///\n\x20   /// Never: validated at expansion time.\n             \x20   pub fn sample() -> {root_ty} {{\n             \x20       parse(SAMPLE).expect(\"the compile-time sample always parses\")\n             \x20   }}\n"
+        );
+        // Insert before the final closing brace of the module.
+        if let Some(pos) = code.rfind('}') {
+            code.insert_str(pos, &extra);
+        }
+    }
+    code.parse()
+        .map_err(|e| format!("internal error: generated code does not parse: {e}"))
+}
+
+/// Recovers the root type from the generated `from_value` signature.
+fn root_type_of(code: &str) -> String {
+    let marker = "pub fn from_value(value: Value) -> Result<";
+    let start = code.find(marker).expect("from_value is always generated") + marker.len();
+    let rest = &code[start..];
+    let end = rest.find(", AccessError>").expect("from_value returns AccessError");
+    rest[..end].to_owned()
+}
+
+fn parse_request(input: TokenStream) -> Result<Request, String> {
+    let mut request = Request {
+        module: String::new(),
+        root: "Root".to_owned(),
+        samples: Vec::new(),
+        prefix: "::types_from_data".to_owned(),
+        global: false,
+        no_hetero: false,
+        table_index: 0,
+    };
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let key = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a key (mod/root/sample/...), found `{other}`")),
+        };
+        i += 1;
+        match key.as_str() {
+            "mod" => {
+                request.module = expect_ident(&tokens, &mut i)?;
+                expect_semi(&tokens, &mut i)?;
+            }
+            "root" => {
+                request.root = expect_ident(&tokens, &mut i)?;
+                expect_semi(&tokens, &mut i)?;
+            }
+            "sample" => {
+                request.samples.push(expect_string(&tokens, &mut i)?);
+                expect_semi(&tokens, &mut i)?;
+            }
+            "sample_file" => {
+                let rel = expect_string(&tokens, &mut i)?;
+                expect_semi(&tokens, &mut i)?;
+                let base = std::env::var("CARGO_MANIFEST_DIR")
+                    .map_err(|_| "CARGO_MANIFEST_DIR is not set".to_owned())?;
+                let path = std::path::Path::new(&base).join(&rel);
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read sample file {}: {e}", path.display()))?;
+                request.samples.push(text);
+            }
+            "global" => {
+                request.global = true;
+                expect_semi(&tokens, &mut i)?;
+            }
+            "no_hetero" => {
+                request.no_hetero = true;
+                expect_semi(&tokens, &mut i)?;
+            }
+            "table" => {
+                let idx = match tokens.get(i) {
+                    Some(TokenTree::Literal(lit)) => {
+                        let text = lit.to_string();
+                        i += 1;
+                        text.parse::<usize>()
+                            .map_err(|_| format!("`table` expects an index, found {text}"))?
+                    }
+                    other => return Err(format!("`table` expects an index, found {other:?}")),
+                };
+                expect_semi(&tokens, &mut i)?;
+                request.table_index = idx;
+            }
+            "prefix" => {
+                // Collect tokens until the semicolon as a path.
+                let mut path = String::new();
+                while i < tokens.len() {
+                    if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ';') {
+                        break;
+                    }
+                    path.push_str(&tokens[i].to_string());
+                    i += 1;
+                }
+                expect_semi(&tokens, &mut i)?;
+                if path.is_empty() {
+                    return Err("`prefix` requires a path, e.g. `prefix ::types_from_data;`".into());
+                }
+                request.prefix = path;
+            }
+            other => {
+                return Err(format!(
+                    "unknown key `{other}` (expected mod, root, sample, sample_file, global, no_hetero, prefix)"
+                ))
+            }
+        }
+    }
+    if request.module.is_empty() {
+        return Err("missing `mod <name>;`".into());
+    }
+    Ok(request)
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            let name = id.to_string();
+            *i += 1;
+            Ok(name)
+        }
+        other => Err(format!("expected an identifier, found `{other:?}`")),
+    }
+}
+
+fn expect_semi(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            *i += 1;
+            Ok(())
+        }
+        other => Err(format!("expected `;`, found `{other:?}`")),
+    }
+}
+
+fn expect_string(tokens: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            *i += 1;
+            unquote(&text)
+        }
+        other => Err(format!("expected a string literal, found `{other:?}`")),
+    }
+}
+
+/// Decodes a Rust string literal (normal or raw) from its source form.
+fn unquote(src: &str) -> Result<String, String> {
+    if let Some(rest) = src.strip_prefix('r') {
+        // Raw string: r"..."  or  r#"..."#  (any number of #).
+        let hashes = rest.chars().take_while(|&c| c == '#').count();
+        let body = &rest[hashes..];
+        let body = body
+            .strip_prefix('"')
+            .and_then(|b| b.strip_suffix(&format!("\"{}", "#".repeat(hashes))))
+            .ok_or_else(|| format!("malformed raw string literal: {src}"))?;
+        return Ok(body.to_owned());
+    }
+    let body = src
+        .strip_prefix('"')
+        .and_then(|b| b.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a string literal, found {src}"))?;
+    // Unescape.
+    let mut out = String::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('\'') => out.push('\''),
+            Some('u') => {
+                // \u{XXXX}
+                if chars.next() != Some('{') {
+                    return Err("malformed \\u escape in string literal".into());
+                }
+                let mut hex = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    hex.push(c);
+                }
+                let cp = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| "malformed \\u escape in string literal".to_owned())?;
+                out.push(
+                    char::from_u32(cp)
+                        .ok_or_else(|| "invalid unicode escape".to_owned())?,
+                );
+            }
+            other => return Err(format!("unsupported escape \\{other:?} in string literal")),
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,114 @@
+//! F#-style signature printing for provided types.
+//!
+//! Renders generated classes the way the paper's listings do, e.g. §2.1:
+//!
+//! ```text
+//! type Entity =
+//!   member Name : string
+//!   member Age : option<float>
+//! ```
+//!
+//! Used by the examples and the experiment suite to compare the provided
+//! types against the paper's printed expectations.
+
+use crate::mapping::Provided;
+use tfd_foo::Type;
+
+fn type_name(ty: &Type) -> String {
+    match ty {
+        Type::Int => "int".to_owned(),
+        Type::Float => "float".to_owned(),
+        Type::Bool => "bool".to_owned(),
+        Type::String => "string".to_owned(),
+        Type::Data => "Data".to_owned(),
+        Type::Class(c) => c.clone(),
+        Type::Fun(a, b) => format!("{} -> {}", type_name(a), type_name(b)),
+        Type::List(t) => format!("list<{}>", type_name(t)),
+        Type::Option(t) => format!("option<{}>", type_name(t)),
+    }
+}
+
+/// Renders all generated classes as F#-style type signatures, in
+/// generation order (inner classes first, root last).
+///
+/// ```
+/// use tfd_provider::{provide_idiomatic, signature};
+/// use tfd_core::Shape;
+///
+/// let shape = Shape::record("•", [("name", Shape::String), ("age", Shape::Float.ceil())]);
+/// let p = provide_idiomatic(&shape, "Entity");
+/// let sig = signature(&p);
+/// assert!(sig.contains("type Entity ="));
+/// assert!(sig.contains("member Name : string"));
+/// assert!(sig.contains("member Age : option<float>"));
+/// ```
+pub fn signature(provided: &Provided) -> String {
+    let mut out = String::new();
+    for class in provided.classes.iter() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!("type {} =\n", class.name));
+        if class.members.is_empty() {
+            out.push_str("  (no members)\n");
+        }
+        for member in &class.members {
+            out.push_str(&format!(
+                "  member {} : {}\n",
+                member.name,
+                type_name(&member.ty)
+            ));
+        }
+    }
+    if provided.classes.is_empty() {
+        out.push_str(&format!("(* primitive provided type: {} *)\n", type_name(&provided.ty)));
+    }
+    out
+}
+
+/// Renders the root provided type name (e.g. for `Parse`/`Load`
+/// signatures in documentation).
+pub fn root_type_name(provided: &Provided) -> String {
+    type_name(&provided.ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{provide, provide_idiomatic};
+    use tfd_core::Shape;
+
+    #[test]
+    fn paper_entity_signature() {
+        // §2.1's provided type for people.json elements.
+        let shape = Shape::record(
+            tfd_value::BODY_NAME,
+            [("name", Shape::String), ("age", Shape::Float.ceil())],
+        );
+        let p = provide_idiomatic(&shape, "Entity");
+        let sig = signature(&p);
+        assert_eq!(
+            sig,
+            "type Entity =\n  member Name : string\n  member Age : option<float>\n"
+        );
+    }
+
+    #[test]
+    fn primitive_signature_mentions_type() {
+        let p = provide(&Shape::Int);
+        assert!(signature(&p).contains("int"));
+        assert_eq!(root_type_name(&p), "int");
+    }
+
+    #[test]
+    fn list_and_option_names() {
+        let p = provide(&Shape::list(Shape::Float.ceil()));
+        assert_eq!(root_type_name(&p), "list<option<float>>");
+    }
+
+    #[test]
+    fn memberless_class_prints_placeholder() {
+        let p = provide(&Shape::Null);
+        assert!(signature(&p).contains("(no members)"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # tfd-provider — the type providers of *Types from data* (§4.2, §5)
+//!
+//! Links the shape world (`tfd-core`) to the Foo calculus (`tfd-foo`):
+//!
+//! * [`provide`] / [`provide_idiomatic`] — the Fig. 8 mapping
+//!   `⟦σ⟧ = (τ, e, L)` producing a Foo type, a conversion expression and
+//!   generated class declarations; the idiomatic variant adds the §6.3
+//!   naming pipeline (PascalCase, `•` lifting/renaming, collision
+//!   numbering, text-element collapse);
+//! * [`deep_eval`] — the Lemma 2 / Theorem 3 harness that evaluates
+//!   every member of every reachable provided object;
+//! * [`AccessProgram`] / [`migrate`] — the Remark 1 stability
+//!   transformations, executable;
+//! * [`signature`] — F#-style signature printing matching the paper's
+//!   listings;
+//! * [`naming`] — the §6.3 naming rules.
+//!
+//! # Example: the paper's Example 1 (§4.2)
+//!
+//! ```
+//! use tfd_provider::{provide, signature};
+//! use tfd_core::Shape;
+//!
+//! // Person { Age : option⟨int⟩, Name : string }
+//! let shape = Shape::record(
+//!     "Person",
+//!     [("Age", Shape::Int.ceil()), ("Name", Shape::String)],
+//! );
+//! let p = provide(&shape);
+//! let sig = signature(&p);
+//! assert!(sig.contains("member Age : option<int>"));
+//! assert!(sig.contains("member Name : string"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fsharp;
+mod mapping;
+pub mod naming;
+mod safety;
+mod stability;
+
+pub use fsharp::{root_type_name, signature};
+pub use mapping::{provide, provide_idiomatic, Provided};
+pub use safety::{deep_eval, DeepEvalReport, SafetyFailure};
+pub use stability::{apply, migrate, AccessProgram, AccessStep, MigrateError};

@@ -1,0 +1,549 @@
+//! The type-provider mapping `⟦σ⟧ = (τ, e, L)` (Fig. 8).
+//!
+//! Given an inferred shape, produces an F# type τ (a Foo [`Type`]), a
+//! conversion expression `e : Data → τ`, and the generated class
+//! declarations `L`. The conversion turns weakly typed input data into a
+//! strongly typed Foo value; the classes' members perform the dynamic
+//! data operations of Fig. 6.
+//!
+//! Two modes:
+//!
+//! * [`provide`] — the paper's Fig. 8 verbatim: member names are the raw
+//!   field names, every record becomes a class.
+//! * [`provide_idiomatic`] — additionally applies the §6.3
+//!   transformations: text-only XML elements collapse to their primitive
+//!   (implied by the §6.3 `Root`/`Item` example), `•` members whose type
+//!   is a generated class are lifted into the parent, remaining `•`
+//!   members are renamed to `Value`, and all member names are PascalCased
+//!   with `2`, `3`, … appended on collisions.
+
+use crate::naming::{member_name, tag_member_name, ClassNamer, MemberNamer};
+use tfd_core::{Multiplicity, Shape};
+use tfd_foo::{Class, Classes, Expr, Member, Op, Type};
+use tfd_value::{Value, BODY_NAME};
+
+/// The result of running a type provider: `⟦σ⟧ = (τ, e, L)`.
+#[derive(Debug, Clone)]
+pub struct Provided {
+    /// The provided F# type τ.
+    pub ty: Type,
+    /// The conversion expression `e` with `L; ∅ ⊢ e : Data → τ`.
+    pub conv: Expr,
+    /// The generated class declarations `L`.
+    pub classes: Classes,
+}
+
+impl Provided {
+    /// The application `e d` — the typed view of an input document.
+    pub fn convert(&self, d: &Value) -> Expr {
+        Expr::app(self.conv.clone(), Expr::Data(d.clone()))
+    }
+}
+
+/// Runs the Fig. 8 mapping with raw (paper-faithful) naming.
+///
+/// ```
+/// use tfd_provider::provide;
+/// use tfd_core::Shape;
+/// use tfd_foo::Type;
+///
+/// let p = provide(&Shape::record("Point", [("x", Shape::Int)]));
+/// assert_eq!(p.ty, Type::Class("Point".into()));
+/// assert_eq!(p.classes.len(), 1);
+/// ```
+pub fn provide(shape: &Shape) -> Provided {
+    Builder::new(false).build(shape, "Root")
+}
+
+/// Runs the Fig. 8 mapping with the §6.3 idiomatic-naming pipeline.
+/// `root_hint` names the root class when the shape is anonymous.
+pub fn provide_idiomatic(shape: &Shape, root_hint: &str) -> Provided {
+    Builder::new(true).build(shape, root_hint)
+}
+
+/// The constructor parameter name used by all generated classes (the
+/// paper's Fig. 8 uses `x1`).
+const CTOR_PARAM: &str = "x1";
+
+struct Builder {
+    idiomatic: bool,
+    namer: ClassNamer,
+    classes: Classes,
+}
+
+impl Builder {
+    fn new(idiomatic: bool) -> Builder {
+        Builder { idiomatic, namer: ClassNamer::new(), classes: Classes::new() }
+    }
+
+    fn build(mut self, shape: &Shape, root_hint: &str) -> Provided {
+        let (ty, conv) = self.go(shape, root_hint);
+        Provided { ty, conv, classes: self.classes }
+    }
+
+    /// The recursive worker: returns (τ, e) and accumulates classes.
+    fn go(&mut self, shape: &Shape, hint: &str) -> (Type, Expr) {
+        match shape {
+            // ⟦σp⟧ = (τp, λx. op(σp, x), ∅) — primitives; the bit/date
+            // extensions provide bool/string through the extended
+            // convPrim (see tfd-foo::ops).
+            Shape::Bool => prim(Type::Bool, Op::ConvPrim(Shape::Bool, var_box())),
+            Shape::Int => prim(Type::Int, Op::ConvPrim(Shape::Int, var_box())),
+            Shape::String => prim(Type::String, Op::ConvPrim(Shape::String, var_box())),
+            Shape::Float => prim(Type::Float, Op::ConvFloat(Shape::Float, var_box())),
+            Shape::Bit => prim(Type::Bool, Op::ConvPrim(Shape::Bit, var_box())),
+            Shape::Date => prim(Type::String, Op::ConvPrim(Shape::Date, var_box())),
+
+            // ⟦ν{…}⟧ — a class with one member per field.
+            Shape::Record(r) => {
+                // §6.3 collapse: an element with only a `•` body and no
+                // attributes reads as its body (Root's Item : string).
+                if self.idiomatic && r.fields.len() == 1 && r.fields[0].name == BODY_NAME {
+                    let (inner_ty, inner_conv) = self.go(&r.fields[0].shape, hint);
+                    let conv = Expr::lam(
+                        "x",
+                        Type::Data,
+                        Expr::Op(Op::ConvField(
+                            r.name.clone(),
+                            BODY_NAME.to_owned(),
+                            Box::new(Expr::var("x")),
+                            Box::new(inner_conv),
+                        )),
+                    );
+                    return (inner_ty, conv);
+                }
+
+                let class_hint = if r.name == BODY_NAME { hint } else { &r.name };
+                let class_name = self.namer.fresh(class_hint);
+                let mut namer = MemberNamer::new();
+                let mut members = Vec::new();
+                for field in &r.fields {
+                    let (field_ty, field_conv) = self.go(&field.shape, &field.name);
+                    let body = Expr::Op(Op::ConvField(
+                        r.name.clone(),
+                        field.name.clone(),
+                        Box::new(Expr::var(CTOR_PARAM)),
+                        Box::new(field_conv),
+                    ));
+                    if self.idiomatic && field.name == BODY_NAME {
+                        if let Type::Class(inner_name) = &field_ty {
+                            // §6.3 lifting: the members of the `•` class
+                            // move into this class, accessed through the
+                            // body conversion.
+                            let inner = self
+                                .classes
+                                .get(inner_name)
+                                .expect("nested class was just generated")
+                                .clone();
+                            for m in &inner.members {
+                                members.push(Member {
+                                    name: namer.fresh(&m.name),
+                                    ty: m.ty.clone(),
+                                    body: Expr::member(body.clone(), m.name.clone()),
+                                });
+                            }
+                            continue;
+                        }
+                    }
+                    let name = if self.idiomatic {
+                        namer.fresh(&member_name(&field.name))
+                    } else {
+                        field.name.clone()
+                    };
+                    members.push(Member { name, ty: field_ty, body });
+                }
+                self.classes.add(Class {
+                    name: class_name.clone(),
+                    params: vec![(CTOR_PARAM.to_owned(), Type::Data)],
+                    members,
+                });
+                (
+                    Type::Class(class_name.clone()),
+                    Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                )
+            }
+
+            // ⟦[σ]⟧ = (list τ, λx. convElements(x, e′), L).
+            Shape::List(element) => {
+                let (el_ty, el_conv) = self.go(element, hint);
+                (
+                    Type::list(el_ty),
+                    Expr::lam(
+                        "x",
+                        Type::Data,
+                        Expr::Op(Op::ConvElements(
+                            Box::new(Expr::var("x")),
+                            Box::new(el_conv),
+                        )),
+                    ),
+                )
+            }
+
+            // ⟦nullable σ̂⟧ = (option τ, λx. convNull(x, e), L).
+            Shape::Nullable(inner) => {
+                let (inner_ty, inner_conv) = self.go(inner, hint);
+                (
+                    Type::option(inner_ty),
+                    Expr::lam(
+                        "x",
+                        Type::Data,
+                        Expr::Op(Op::ConvNull(
+                            Box::new(Expr::var("x")),
+                            Box::new(inner_conv),
+                        )),
+                    ),
+                )
+            }
+
+            // ⟦any⟨σ1,…,σn⟩⟧ — a class with an option-typed member per
+            // label, guarded by hasShape.
+            Shape::Top(labels) => {
+                let class_name = self.namer.fresh(if hint.is_empty() { "Choice" } else { hint });
+                let mut namer = MemberNamer::new();
+                let mut members = Vec::new();
+                for label in labels {
+                    let base = tag_member_name(label);
+                    let name = namer.fresh(&base);
+                    let (label_ty, label_conv) = self.go(label, &base);
+                    let body = Expr::if_(
+                        Expr::Op(Op::HasShape(
+                            label.clone(),
+                            Box::new(Expr::var(CTOR_PARAM)),
+                        )),
+                        Expr::some(Expr::app(label_conv, Expr::var(CTOR_PARAM))),
+                        Expr::NoneLit,
+                    );
+                    members.push(Member { name, ty: Type::option(label_ty), body });
+                }
+                self.classes.add(Class {
+                    name: class_name.clone(),
+                    params: vec![(CTOR_PARAM.to_owned(), Type::Data)],
+                    members,
+                });
+                (
+                    Type::Class(class_name.clone()),
+                    Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                )
+            }
+
+            // ⟦[σ1,ψ1 | … | σn,ψn]⟧ — §6.4: a class with a member per
+            // case, typed by the case's multiplicity.
+            Shape::HeteroList(cases) => {
+                let class_name = self.namer.fresh(if hint.is_empty() { "Items" } else { hint });
+                let mut namer = MemberNamer::new();
+                let mut members = Vec::new();
+                for (case_shape, multiplicity) in cases {
+                    let base = tag_member_name(case_shape);
+                    let name = namer.fresh(&base);
+                    let (case_ty, case_conv) = self.go(case_shape, &base);
+                    let member_ty = match multiplicity {
+                        Multiplicity::One => case_ty,
+                        Multiplicity::ZeroOrOne => Type::option(case_ty),
+                        Multiplicity::Many => Type::list(case_ty),
+                    };
+                    let body = Expr::Op(Op::ConvTagged(
+                        case_shape.clone(),
+                        *multiplicity,
+                        Box::new(Expr::var(CTOR_PARAM)),
+                        Box::new(case_conv),
+                    ));
+                    members.push(Member { name, ty: member_ty, body });
+                }
+                self.classes.add(Class {
+                    name: class_name.clone(),
+                    params: vec![(CTOR_PARAM.to_owned(), Type::Data)],
+                    members,
+                });
+                (
+                    Type::Class(class_name.clone()),
+                    Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                )
+            }
+
+            // ⟦⊥⟧ = ⟦null⟧ — a memberless class holding the raw value.
+            Shape::Bottom | Shape::Null => {
+                let class_name = self.namer.fresh(if hint.is_empty() { "Unit" } else { hint });
+                self.classes.add(Class {
+                    name: class_name.clone(),
+                    params: vec![("v".to_owned(), Type::Data)],
+                    members: vec![],
+                });
+                (
+                    Type::Class(class_name.clone()),
+                    Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                )
+            }
+        }
+    }
+}
+
+fn var_box() -> Box<Expr> {
+    Box::new(Expr::var("x"))
+}
+
+fn prim(ty: Type, op: Op) -> (Type, Expr) {
+    (ty, Expr::lam("x", Type::Data, Expr::Op(op)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfd_foo::{check_classes, run, type_of, Ctx, Outcome};
+    use tfd_value::{arr, json_rec, rec};
+
+    fn eval(p: &Provided, d: &Value) -> Outcome {
+        run(&p.classes, &p.convert(d))
+    }
+
+    fn eval_member(p: &Provided, d: &Value, member: &str) -> Outcome {
+        run(&p.classes, &Expr::member(p.convert(d), member))
+    }
+
+    // --- Fig. 8, rule by rule ---
+
+    #[test]
+    fn primitives_map_to_conversions() {
+        let p = provide(&Shape::Int);
+        assert_eq!(p.ty, Type::Int);
+        assert!(p.classes.is_empty());
+        assert_eq!(eval(&p, &Value::Int(42)), Outcome::Value(Expr::data(42i64)));
+        // The wrong primitive gets stuck:
+        assert!(eval(&p, &Value::str("no")).is_stuck());
+    }
+
+    #[test]
+    fn float_conversion_widens_ints() {
+        let p = provide(&Shape::Float);
+        assert_eq!(eval(&p, &Value::Int(5)), Outcome::Value(Expr::data(5.0)));
+        assert_eq!(eval(&p, &Value::Float(5.5)), Outcome::Value(Expr::data(5.5)));
+    }
+
+    #[test]
+    fn record_maps_to_class_with_members() {
+        let shape = Shape::record("Point", [("x", Shape::Int), ("y", Shape::Int)]);
+        let p = provide(&shape);
+        assert_eq!(p.ty, Type::Class("Point".into()));
+        let class = p.classes.get("Point").unwrap();
+        assert_eq!(class.members.len(), 2);
+        assert_eq!(class.members[0].name, "x");
+        let d = rec("Point", [("x", Value::Int(1)), ("y", Value::Int(2))]);
+        assert_eq!(eval_member(&p, &d, "y"), Outcome::Value(Expr::data(2i64)));
+    }
+
+    #[test]
+    fn collection_maps_to_list() {
+        let p = provide(&Shape::list(Shape::Int));
+        assert_eq!(p.ty, Type::list(Type::Int));
+        let out = eval(&p, &arr([Value::Int(1), Value::Int(2)])).unwrap_value();
+        assert_eq!(
+            out,
+            Expr::Cons(
+                Box::new(Expr::data(1i64)),
+                Box::new(Expr::Cons(Box::new(Expr::data(2i64)), Box::new(Expr::Nil)))
+            )
+        );
+        // Null reads as the empty collection (design decision D3):
+        assert_eq!(eval(&p, &Value::Null), Outcome::Value(Expr::Nil));
+    }
+
+    #[test]
+    fn nullable_maps_to_option() {
+        let p = provide(&Shape::Int.ceil());
+        assert_eq!(p.ty, Type::option(Type::Int));
+        assert_eq!(eval(&p, &Value::Null), Outcome::Value(Expr::NoneLit));
+        assert_eq!(
+            eval(&p, &Value::Int(3)),
+            Outcome::Value(Expr::some(Expr::data(3i64)))
+        );
+    }
+
+    #[test]
+    fn labelled_top_maps_to_option_members() {
+        let shape = Shape::Top(vec![Shape::Int, Shape::String]);
+        let p = provide(&shape);
+        let class_name = match &p.ty {
+            Type::Class(c) => c.clone(),
+            other => panic!("expected class, got {other}"),
+        };
+        let class = p.classes.get(&class_name).unwrap();
+        assert_eq!(class.members.len(), 2);
+        assert_eq!(class.members[0].name, "Number");
+        assert_eq!(class.members[1].name, "String");
+        // An int input: Number = Some 42, String = None.
+        let d = Value::Int(42);
+        assert_eq!(
+            eval_member(&p, &d, "Number"),
+            Outcome::Value(Expr::some(Expr::data(42i64)))
+        );
+        assert_eq!(eval_member(&p, &d, "String"), Outcome::Value(Expr::NoneLit));
+        // The open world: a record input answers None to both.
+        let stranger = rec("table", [("z", Value::Int(1))]);
+        assert_eq!(eval_member(&p, &stranger, "Number"), Outcome::Value(Expr::NoneLit));
+        assert_eq!(eval_member(&p, &stranger, "String"), Outcome::Value(Expr::NoneLit));
+    }
+
+    #[test]
+    fn bottom_and_null_map_to_memberless_class() {
+        for s in [Shape::Bottom, Shape::Null] {
+            let p = provide(&s);
+            let Type::Class(c) = &p.ty else { panic!("expected class") };
+            assert!(p.classes.get(c).unwrap().members.is_empty());
+            // Conversion accepts anything (it never inspects the data).
+            assert!(matches!(eval(&p, &Value::Null), Outcome::Value(_)));
+        }
+    }
+
+    #[test]
+    fn hetero_collection_maps_multiplicities() {
+        let shape = Shape::HeteroList(vec![
+            (
+                Shape::record(BODY_NAME, [("pages", Shape::Int)]),
+                Multiplicity::One,
+            ),
+            (Shape::list(Shape::Int), Multiplicity::ZeroOrOne),
+        ]);
+        let p = provide(&shape);
+        let Type::Class(c) = &p.ty else { panic!("expected class") };
+        let class = p.classes.get(c).unwrap();
+        assert_eq!(class.members[0].name, "Record");
+        assert_eq!(class.members[1].name, "Array");
+        assert!(matches!(class.members[1].ty, Type::Option(_)));
+
+        let d = arr([json_rec([("pages", Value::Int(5))]), arr([Value::Int(1)])]);
+        // Record has multiplicity 1 → direct access:
+        match eval_member(&p, &d, "Record") {
+            Outcome::Value(Expr::New(name, _)) => {
+                assert_eq!(p.classes.get(&name).unwrap().members[0].name, "pages");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        // Array has multiplicity 1? → Some list:
+        assert!(matches!(
+            eval_member(&p, &d, "Array"),
+            Outcome::Value(Expr::SomeLit(_))
+        ));
+        // Without the array element, Array = None:
+        let d2 = arr([json_rec([("pages", Value::Int(5))])]);
+        assert_eq!(eval_member(&p, &d2, "Array"), Outcome::Value(Expr::NoneLit));
+    }
+
+    // --- Well-typedness of everything we generate (Lemma 4 obligation) ---
+
+    #[test]
+    fn generated_classes_typecheck() {
+        let shapes = [
+            Shape::Int,
+            Shape::Float.ceil(),
+            Shape::list(Shape::record("P", [("a", Shape::Int.ceil())])),
+            Shape::Top(vec![Shape::Int, Shape::record("q", [("b", Shape::Bool)])]),
+            Shape::HeteroList(vec![
+                (Shape::record(BODY_NAME, [("x", Shape::Int)]), Multiplicity::One),
+                (Shape::list(Shape::Float), Multiplicity::Many),
+            ]),
+            Shape::record(
+                "root",
+                [
+                    ("id", Shape::Int),
+                    (BODY_NAME, Shape::list(Shape::record("item", [(BODY_NAME, Shape::String)]))),
+                ],
+            ),
+        ];
+        for shape in &shapes {
+            for provided in [provide(shape), provide_idiomatic(shape, "Root")] {
+                check_classes(&provided.classes)
+                    .unwrap_or_else(|e| panic!("classes for {shape}: {e}"));
+                // The conversion has type Data → τ:
+                let conv_ty =
+                    type_of(&provided.classes, &Ctx::new(), &provided.conv).unwrap();
+                assert_eq!(conv_ty, Type::fun(Type::Data, provided.ty.clone()));
+            }
+        }
+    }
+
+    // --- §6.3 idiomatic naming ---
+
+    #[test]
+    fn idiomatic_names_are_pascal_cased() {
+        let shape = Shape::record(
+            BODY_NAME,
+            [("name", Shape::String), ("temp_min", Shape::Float)],
+        );
+        let p = provide_idiomatic(&shape, "Weather");
+        let class = p.classes.get("Weather").unwrap();
+        let names: Vec<_> = class.members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["Name", "TempMin"]);
+    }
+
+    #[test]
+    fn idiomatic_collision_numbering() {
+        let shape = Shape::record(
+            BODY_NAME,
+            [("value", Shape::Int), ("Value", Shape::Int), ("VALUE", Shape::Int)],
+        );
+        let p = provide_idiomatic(&shape, "C");
+        let class = p.classes.get("C").unwrap();
+        let names: Vec<_> = class.members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["Value", "Value2", "VALUE"]);
+    }
+
+    #[test]
+    fn idiomatic_xml_root_example() {
+        // §6.2/§6.3: root {id ↦ 1, • ↦ [item {• ↦ "Hello!"}]} provides
+        //   type Root = member Id : int; member Item : string
+        // (via the single-element heterogeneous collection).
+        let shape = Shape::record(
+            "root",
+            [
+                ("id", Shape::Int),
+                (
+                    BODY_NAME,
+                    Shape::HeteroList(vec![(
+                        Shape::record("item", [(BODY_NAME, Shape::String)]),
+                        Multiplicity::One,
+                    )]),
+                ),
+            ],
+        );
+        let p = provide_idiomatic(&shape, "Root");
+        let class = p.classes.get("Root").unwrap();
+        let sig: Vec<_> = class
+            .members
+            .iter()
+            .map(|m| format!("{} : {}", m.name, m.ty))
+            .collect();
+        assert_eq!(sig, vec!["Id : int", "Item : string"]);
+
+        // And it evaluates: Item on the paper's document returns "Hello!".
+        let doc = rec(
+            "root",
+            [
+                ("id", Value::Int(1)),
+                (
+                    BODY_NAME,
+                    arr([rec("item", [(BODY_NAME, Value::str("Hello!"))])]),
+                ),
+            ],
+        );
+        assert_eq!(eval_member(&p, &doc, "Item"), Outcome::Value(Expr::data("Hello!")));
+        assert_eq!(eval_member(&p, &doc, "Id"), Outcome::Value(Expr::data(1i64)));
+    }
+
+    #[test]
+    fn idiomatic_bullet_member_renamed_to_value() {
+        // A record with a primitive • field alongside attributes keeps a
+        // Value member (§6.3 rule 2).
+        let shape = Shape::record("n", [("id", Shape::Int), (BODY_NAME, Shape::String)]);
+        let p = provide_idiomatic(&shape, "N");
+        let class = p.classes.get("N").unwrap();
+        let names: Vec<_> = class.members.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["Id", "Value"]);
+    }
+
+    #[test]
+    fn raw_mode_keeps_field_names() {
+        let shape = Shape::record(BODY_NAME, [("temp_min", Shape::Int)]);
+        let p = provide(&shape);
+        let Type::Class(c) = &p.ty else { panic!() };
+        assert_eq!(p.classes.get(c).unwrap().members[0].name, "temp_min");
+    }
+}

@@ -1,0 +1,229 @@
+//! Idiomatic naming (§6.3).
+//!
+//! > "Class members are renamed to follow PascalCase naming convention,
+//! > when a collision occurs, a number is appended to the end as in
+//! > PascalCase2. The provided implementation performs the lookup using
+//! > the original name."
+//!
+//! Plus name sources for members generated from labelled-top labels and
+//! heterogeneous-collection cases: the paper's World Bank example calls
+//! them `Record` and `Array` (§2.3), and the XML example derives
+//! `Heading`/`Paragraph`/`Image` from element names (§2.2).
+
+use tfd_core::{Tag, Shape, tag_of};
+use tfd_value::BODY_NAME;
+
+/// Converts an arbitrary field/element name to PascalCase.
+///
+/// Splits on non-alphanumeric separators and camelCase boundaries;
+/// leading digits are prefixed with `N` so the result is a valid
+/// identifier.
+///
+/// ```
+/// use tfd_provider::naming::pascal_case;
+/// assert_eq!(pascal_case("temp_min"), "TempMin");
+/// assert_eq!(pascal_case("user-name"), "UserName");
+/// assert_eq!(pascal_case("camelCase"), "CamelCase");
+/// assert_eq!(pascal_case("2fast"), "N2fast");
+/// assert_eq!(pascal_case(""), "Value");
+/// ```
+pub fn pascal_case(name: &str) -> String {
+    let mut words: Vec<String> = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            // A lower→upper transition starts a new word (camelCase).
+            if c.is_uppercase() && prev_lower {
+                if !current.is_empty() {
+                    words.push(std::mem::take(&mut current));
+                }
+            }
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            current.push(c);
+        } else {
+            prev_lower = false;
+            if !current.is_empty() {
+                words.push(std::mem::take(&mut current));
+            }
+        }
+    }
+    if !current.is_empty() {
+        words.push(current);
+    }
+    let mut out = String::new();
+    for w in words {
+        let mut chars = w.chars();
+        if let Some(first) = chars.next() {
+            out.extend(first.to_uppercase());
+            out.push_str(chars.as_str());
+        }
+    }
+    if out.is_empty() {
+        return "Value".to_owned();
+    }
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, 'N');
+    }
+    out
+}
+
+/// The §6.3 member name for a record field: PascalCase, with the special
+/// `•` body field renamed to `Value` ("Remaining members named • in the
+/// provided classes … are renamed to Value").
+pub fn member_name(field: &str) -> String {
+    if field == BODY_NAME {
+        "Value".to_owned()
+    } else {
+        pascal_case(field)
+    }
+}
+
+/// Member name for a labelled-top label or heterogeneous-collection case,
+/// derived from the shape tag: records use their name (`•` reads as
+/// `Record`, matching the paper's World Bank type), collections are
+/// `Array`, primitives use their type name.
+pub fn tag_member_name(shape: &Shape) -> String {
+    match tag_of(shape) {
+        Tag::Name(n) if n == BODY_NAME => "Record".to_owned(),
+        Tag::Name(n) => pascal_case(&n),
+        Tag::Collection => "Array".to_owned(),
+        Tag::Number => "Number".to_owned(),
+        Tag::Bool => "Boolean".to_owned(),
+        Tag::Str => "String".to_owned(),
+        Tag::Nullable => "Optional".to_owned(),
+        Tag::Any => "Any".to_owned(),
+        Tag::Null | Tag::Bottom => "Value".to_owned(),
+    }
+}
+
+/// Allocates collision-free member names: the first use of a name is
+/// kept, later uses get `2`, `3`, … appended ("PascalCase2").
+#[derive(Debug, Default)]
+pub struct MemberNamer {
+    used: Vec<String>,
+}
+
+impl MemberNamer {
+    /// Creates a namer with no used names.
+    pub fn new() -> MemberNamer {
+        MemberNamer::default()
+    }
+
+    /// Returns `base` or `base2`, `base3`, … — whichever is free.
+    pub fn fresh(&mut self, base: &str) -> String {
+        if !self.used.iter().any(|u| u == base) {
+            self.used.push(base.to_owned());
+            return base.to_owned();
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{base}{n}");
+            if !self.used.iter().any(|u| u == &candidate) {
+                self.used.push(candidate.clone());
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+}
+
+/// Allocates fresh class names across a whole provider run.
+#[derive(Debug, Default)]
+pub struct ClassNamer {
+    used: Vec<String>,
+}
+
+impl ClassNamer {
+    /// Creates a namer with no used names.
+    pub fn new() -> ClassNamer {
+        ClassNamer::default()
+    }
+
+    /// Returns a fresh class name based on `hint` (PascalCased; the
+    /// anonymous `•` hint becomes `Entity`, following the paper's §2.1
+    /// provided type).
+    pub fn fresh(&mut self, hint: &str) -> String {
+        let base = if hint == BODY_NAME || hint.is_empty() {
+            "Entity".to_owned()
+        } else {
+            pascal_case(hint)
+        };
+        if !self.used.iter().any(|u| u == &base) {
+            self.used.push(base.clone());
+            return base;
+        }
+        let mut n = 2usize;
+        loop {
+            let candidate = format!("{base}{n}");
+            if !self.used.iter().any(|u| u == &candidate) {
+                self.used.push(candidate.clone());
+                return candidate;
+            }
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pascal_case_varieties() {
+        assert_eq!(pascal_case("name"), "Name");
+        assert_eq!(pascal_case("temp_min"), "TempMin");
+        assert_eq!(pascal_case("temp-max"), "TempMax");
+        assert_eq!(pascal_case("TEMP"), "TEMP");
+        assert_eq!(pascal_case("camelCase"), "CamelCase");
+        assert_eq!(pascal_case("with space"), "WithSpace");
+        assert_eq!(pascal_case("dotted.name"), "DottedName");
+        assert_eq!(pascal_case("a"), "A");
+    }
+
+    #[test]
+    fn pascal_case_handles_digits_and_empty() {
+        assert_eq!(pascal_case("2nd"), "N2nd");
+        assert_eq!(pascal_case("x1"), "X1");
+        assert_eq!(pascal_case(""), "Value");
+        assert_eq!(pascal_case("---"), "Value");
+    }
+
+    #[test]
+    fn member_name_renames_bullet_to_value() {
+        assert_eq!(member_name(BODY_NAME), "Value");
+        assert_eq!(member_name("temp"), "Temp");
+    }
+
+    #[test]
+    fn tag_member_names_match_paper_examples() {
+        // §2.3 World Bank: the record and array cases.
+        let rec = Shape::record(BODY_NAME, [("pages", Shape::Int)]);
+        assert_eq!(tag_member_name(&rec), "Record");
+        assert_eq!(tag_member_name(&Shape::list(Shape::Int)), "Array");
+        // §2.2 XML: element records use their element names.
+        let heading = Shape::record("heading", [("x", Shape::Int)]);
+        assert_eq!(tag_member_name(&heading), "Heading");
+        assert_eq!(tag_member_name(&Shape::Int), "Number");
+        assert_eq!(tag_member_name(&Shape::String), "String");
+        assert_eq!(tag_member_name(&Shape::Bool), "Boolean");
+    }
+
+    #[test]
+    fn member_namer_numbers_collisions() {
+        let mut n = MemberNamer::new();
+        assert_eq!(n.fresh("Name"), "Name");
+        assert_eq!(n.fresh("Name"), "Name2");
+        assert_eq!(n.fresh("Name"), "Name3");
+        assert_eq!(n.fresh("Other"), "Other");
+    }
+
+    #[test]
+    fn class_namer_entity_for_anonymous() {
+        let mut n = ClassNamer::new();
+        assert_eq!(n.fresh(BODY_NAME), "Entity");
+        assert_eq!(n.fresh(BODY_NAME), "Entity2");
+        assert_eq!(n.fresh("person"), "Person");
+        assert_eq!(n.fresh("person"), "Person2");
+    }
+}

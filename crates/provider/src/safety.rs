@@ -1,0 +1,210 @@
+//! The relative-safety harness (Lemma 2 / Theorem 3).
+//!
+//! [`deep_eval`] checks the conclusion of Lemma 2 mechanically: the
+//! provided conversion applied to an input reduces to a value, and *all*
+//! members of every provided class instance reachable from it (through
+//! options, lists and nested classes) also reduce to values.
+//!
+//! Theorem 3 then says: if `S(d′) ⊑ S(d1, …, dn)` for the samples the
+//! provider saw, `deep_eval` succeeds on `d′`. The integration test suite
+//! (`tests/relative_safety.rs`) instantiates this with both hand-built
+//! and property-generated documents, and checks the negative direction:
+//! inputs outside the preference relation are *allowed* to fail.
+
+use crate::mapping::Provided;
+use tfd_foo::{run_with_fuel, Classes, Expr, Outcome, StuckReason, Type};
+
+/// How a deep evaluation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SafetyFailure {
+    /// Some member access got stuck — the model of a runtime exception.
+    Stuck {
+        /// Dotted path of members that led to the failure.
+        path: String,
+        /// Why evaluation got stuck.
+        reason: StuckReason,
+    },
+    /// The §6.5 exception value surfaced.
+    Exception {
+        /// Dotted path of members that led to the failure.
+        path: String,
+    },
+    /// Evaluation did not finish within the step budget.
+    OutOfFuel {
+        /// Dotted path of members that led to the failure.
+        path: String,
+    },
+}
+
+impl std::fmt::Display for SafetyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyFailure::Stuck { path, reason } => {
+                write!(f, "stuck at {path}: {reason}")
+            }
+            SafetyFailure::Exception { path } => write!(f, "exception at {path}"),
+            SafetyFailure::OutOfFuel { path } => write!(f, "out of fuel at {path}"),
+        }
+    }
+}
+
+/// Statistics from a successful deep evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeepEvalReport {
+    /// Total member accesses evaluated.
+    pub members_evaluated: usize,
+    /// Total objects (class instances) visited.
+    pub objects_visited: usize,
+}
+
+/// Evaluates `conv d` and then every member of every reachable provided
+/// object, transitively.
+///
+/// # Errors
+///
+/// Returns the first [`SafetyFailure`] encountered, with the member path
+/// that triggered it.
+pub fn deep_eval(provided: &Provided, d: &tfd_value::Value) -> Result<DeepEvalReport, SafetyFailure> {
+    let mut report = DeepEvalReport::default();
+    let root = force(&provided.classes, &provided.convert(d), "<root>")?;
+    explore(&provided.classes, &root, &provided.ty, "<root>", &mut report)?;
+    Ok(report)
+}
+
+fn force(classes: &Classes, e: &Expr, path: &str) -> Result<Expr, SafetyFailure> {
+    match run_with_fuel(classes, e, tfd_foo::DEFAULT_FUEL) {
+        Outcome::Value(v) => Ok(v),
+        Outcome::Stuck(reason) => Err(SafetyFailure::Stuck { path: path.to_owned(), reason }),
+        Outcome::Exception => Err(SafetyFailure::Exception { path: path.to_owned() }),
+        Outcome::OutOfFuel => Err(SafetyFailure::OutOfFuel { path: path.to_owned() }),
+    }
+}
+
+fn explore(
+    classes: &Classes,
+    value: &Expr,
+    ty: &Type,
+    path: &str,
+    report: &mut DeepEvalReport,
+) -> Result<(), SafetyFailure> {
+    match ty {
+        Type::Class(c) => {
+            report.objects_visited += 1;
+            let class = classes.get(c).unwrap_or_else(|| {
+                panic!("provided type references unknown class {c}")
+            });
+            for member in &class.members {
+                let member_path = format!("{path}.{}", member.name);
+                let accessed = Expr::member(value.clone(), member.name.clone());
+                report.members_evaluated += 1;
+                let v = force(classes, &accessed, &member_path)?;
+                explore(classes, &v, &member.ty, &member_path, report)?;
+            }
+            Ok(())
+        }
+        Type::Option(inner) => match value {
+            Expr::SomeLit(v) => explore(classes, v, inner, &format!("{path}?"), report),
+            _ => Ok(()),
+        },
+        Type::List(inner) => {
+            let mut cursor = value;
+            let mut index = 0usize;
+            while let Expr::Cons(head, tail) = cursor {
+                explore(classes, head, inner, &format!("{path}[{index}]"), report)?;
+                cursor = tail;
+                index += 1;
+            }
+            Ok(())
+        }
+        // Primitives, Data and functions need no further exploration.
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{provide, provide_idiomatic};
+    use tfd_core::{infer_with, InferOptions};
+    use tfd_value::{arr, json_rec, Value};
+
+    #[test]
+    fn deep_eval_succeeds_on_the_sample_itself() {
+        let sample = arr([
+            json_rec([("name", Value::str("Jan")), ("age", Value::Int(25))]),
+            json_rec([("name", Value::str("Tomas"))]),
+        ]);
+        let shape = infer_with(&sample, &InferOptions::formal());
+        let p = provide(&shape);
+        let report = deep_eval(&p, &sample).unwrap();
+        // Two records, each with two members (name, age).
+        assert_eq!(report.objects_visited, 2);
+        assert_eq!(report.members_evaluated, 4);
+    }
+
+    #[test]
+    fn deep_eval_fails_on_incompatible_input() {
+        let sample = json_rec([("age", Value::Int(25))]);
+        let shape = infer_with(&sample, &InferOptions::formal());
+        let p = provide(&shape);
+        // An input whose age is a string is NOT a subshape: stuck.
+        let bad = json_rec([("age", Value::str("old"))]);
+        let failure = deep_eval(&p, &bad).unwrap_err();
+        match failure {
+            SafetyFailure::Stuck { path, .. } => assert_eq!(path, "<root>.age"),
+            other => panic!("expected stuck, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deep_eval_reports_nested_paths() {
+        let sample = json_rec([("inner", json_rec([("x", Value::Int(1))]))]);
+        let shape = infer_with(&sample, &InferOptions::formal());
+        let p = provide(&shape);
+        let bad = json_rec([("inner", json_rec([("x", Value::Bool(true))]))]);
+        let failure = deep_eval(&p, &bad).unwrap_err();
+        match failure {
+            SafetyFailure::Stuck { path, .. } => assert_eq!(path, "<root>.inner.x"),
+            other => panic!("expected stuck, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deep_eval_walks_idiomatic_types_too() {
+        let sample = arr([
+            json_rec([("temp", Value::Float(5.0)), ("city", Value::str("Prague"))]),
+        ]);
+        let shape = infer_with(&sample, &InferOptions::json());
+        let p = provide_idiomatic(&shape, "Weather");
+        assert!(deep_eval(&p, &sample).is_ok());
+    }
+
+    #[test]
+    fn subshape_inputs_with_fewer_optional_fields_pass() {
+        // Theorem 3's central case: the sample makes age optional, so an
+        // input without age works.
+        let samples = [
+            json_rec([("name", Value::str("a")), ("age", Value::Int(1))]),
+            json_rec([("name", Value::str("b"))]),
+        ];
+        let shape = tfd_core::infer_many(&samples, &InferOptions::formal());
+        let p = provide(&shape);
+        let input = json_rec([("name", Value::str("c"))]);
+        assert!(deep_eval(&p, &input).is_ok());
+        // And an input with a *smaller numeric type* (int where the
+        // sample had float) also passes:
+        let samples2 = [json_rec([("v", Value::Float(1.5))])];
+        let shape2 = tfd_core::infer_many(&samples2, &InferOptions::formal());
+        let p2 = provide(&shape2);
+        assert!(deep_eval(&p2, &json_rec([("v", Value::Int(3))])).is_ok());
+    }
+
+    #[test]
+    fn extra_fields_in_input_are_ignored() {
+        let sample = json_rec([("a", Value::Int(1))]);
+        let shape = infer_with(&sample, &InferOptions::formal());
+        let p = provide(&shape);
+        let wider = json_rec([("a", Value::Int(2)), ("b", Value::str("extra"))]);
+        assert!(deep_eval(&p, &wider).is_ok());
+    }
+}

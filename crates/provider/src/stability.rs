@@ -1,0 +1,381 @@
+//! Stability of inference (Remark 1, §6.5).
+//!
+//! > "When a new sample is added, the program can be modified to run as
+//! > before with only small local changes. […] Such e′ is obtained by
+//! > transforming sub-expressions of e using one of the following
+//! > translation rules:
+//! >   1. C[e] to C[match e with Some(v) → v | None → exn]
+//! >   2. C[e] to C[e.M] where M = tagof(σ) for some σ
+//! >   3. C[e] to C[int(e)]"
+//!
+//! We model user code as an [`AccessProgram`] — a chain of member
+//! accesses, option unwraps and list indexing against a provided type
+//! (the shape of real client code like `item.Age` or
+//! `root.Doc.[0].Heading`). [`apply`] compiles a program to a Foo
+//! expression; [`migrate`] mechanically rewrites a program written
+//! against `⟦S(d1, …, dn)⟧` into one for `⟦S(d1, …, dn, dn+1)⟧` by
+//! inserting exactly the three transformations above.
+//!
+//! The integration suite (`tests/stability.rs`) verifies the Remark's
+//! conclusion: whenever the original program evaluates to a value on some
+//! input, the migrated program evaluates to the same value under the new
+//! provider.
+
+use crate::naming::tag_member_name;
+use tfd_core::{is_preferred, tag_of, Shape};
+use tfd_foo::Expr;
+
+/// One step of client code against a provided type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessStep {
+    /// `.field` — member access on a provided record class (raw-mode
+    /// member names are the field names).
+    Member(String),
+    /// Transformation 1: `match e with Some(v) → v | None → exn`.
+    Unwrap,
+    /// Index into a provided list (`exn` when out of range).
+    Nth(usize),
+    /// Transformation 2 (+1): select a labelled-top member `.M` where
+    /// `M = tagof(σ)` and unwrap its option.
+    Case(String),
+    /// Transformation 3: `int(e)`.
+    AsInt,
+}
+
+/// A chain of [`AccessStep`]s — the model of user code.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessProgram {
+    /// The steps, applied left to right.
+    pub steps: Vec<AccessStep>,
+}
+
+impl AccessProgram {
+    /// Builds a program from steps.
+    pub fn new(steps: impl IntoIterator<Item = AccessStep>) -> AccessProgram {
+        AccessProgram { steps: steps.into_iter().collect() }
+    }
+
+    /// Convenience: a chain of plain member accesses.
+    pub fn members<'a>(names: impl IntoIterator<Item = &'a str>) -> AccessProgram {
+        AccessProgram::new(names.into_iter().map(|n| AccessStep::Member(n.to_owned())))
+    }
+}
+
+/// Compiles a program applied to a root expression into a Foo expression.
+pub fn apply(program: &AccessProgram, root: Expr) -> Expr {
+    let mut e = root;
+    for step in &program.steps {
+        e = apply_step(step, e);
+    }
+    e
+}
+
+fn unwrap_expr(e: Expr) -> Expr {
+    Expr::MatchOption {
+        scrutinee: Box::new(e),
+        binder: "v".into(),
+        some_branch: Box::new(Expr::var("v")),
+        none_branch: Box::new(Expr::Exn),
+    }
+}
+
+fn apply_step(step: &AccessStep, e: Expr) -> Expr {
+    match step {
+        AccessStep::Member(name) => Expr::member(e, name.clone()),
+        AccessStep::Unwrap => unwrap_expr(e),
+        AccessStep::Nth(i) => {
+            // i tail-matches followed by a head-match; exn on a short list.
+            let mut cur = e;
+            for _ in 0..*i {
+                cur = Expr::MatchList {
+                    scrutinee: Box::new(cur),
+                    head: "h".into(),
+                    tail: "t".into(),
+                    cons_branch: Box::new(Expr::var("t")),
+                    nil_branch: Box::new(Expr::Exn),
+                };
+            }
+            Expr::MatchList {
+                scrutinee: Box::new(cur),
+                head: "h".into(),
+                tail: "t".into(),
+                cons_branch: Box::new(Expr::var("h")),
+                nil_branch: Box::new(Expr::Exn),
+            }
+        }
+        AccessStep::Case(name) => unwrap_expr(Expr::member(e, name.clone())),
+        AccessStep::AsInt => Expr::ToInt(Box::new(e)),
+    }
+}
+
+/// Errors from [`migrate`]: the program does not fit the old shape, or
+/// the shapes are not related by adding samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrateError(pub String);
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot migrate access program: {}", self.0)
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// Rewrites a program written against `old` (the provided type for the
+/// original samples) into one for `new` (after adding a sample), using
+/// only the three Remark 1 transformations.
+///
+/// # Errors
+///
+/// Returns [`MigrateError`] when the program does not navigate `old`, or
+/// when `old ⋢ new` in a way adding samples cannot produce.
+pub fn migrate(
+    program: &AccessProgram,
+    old: &Shape,
+    new: &Shape,
+) -> Result<AccessProgram, MigrateError> {
+    if !is_preferred(old, new) {
+        return Err(MigrateError(format!(
+            "old shape {old} is not preferred over new shape {new} — \
+             adding samples only generalizes"
+        )));
+    }
+    let mut out = Vec::new();
+    let mut cur_old = old.clone();
+    let mut cur_new = new.clone();
+
+    for step in &program.steps {
+        reconcile(&cur_old, &mut cur_new, &mut out)?;
+        match step {
+            AccessStep::Member(name) => {
+                let old_field = record_field(&cur_old, name)?;
+                let new_field = record_field(&cur_new, name)?;
+                out.push(AccessStep::Member(name.clone()));
+                cur_old = old_field;
+                cur_new = new_field;
+            }
+            AccessStep::Unwrap => match (&cur_old, &cur_new) {
+                (Shape::Nullable(o), Shape::Nullable(n)) => {
+                    let (o, n) = ((**o).clone(), (**n).clone());
+                    out.push(AccessStep::Unwrap);
+                    cur_old = o;
+                    cur_new = n;
+                }
+                // A preceding Case insertion (transformation 2) already
+                // unwrapped the option on the new side — the label member
+                // returns `option τ` and Case compiles to member+unwrap —
+                // so the old program's explicit unwrap is dropped.
+                (Shape::Nullable(o), _) => {
+                    cur_old = (**o).clone();
+                }
+                _ => {
+                    return Err(MigrateError(format!(
+                        "unwrap applied at non-nullable shape {cur_old}"
+                    )))
+                }
+            },
+            AccessStep::Nth(i) => {
+                let o = list_element(&cur_old)?;
+                let n = list_element(&cur_new)?;
+                out.push(AccessStep::Nth(*i));
+                cur_old = o;
+                cur_new = n;
+            }
+            AccessStep::Case(name) => {
+                let o = top_label(&cur_old, name)?;
+                let n = top_label(&cur_new, name)?;
+                out.push(AccessStep::Case(name.clone()));
+                cur_old = o;
+                cur_new = n;
+            }
+            AccessStep::AsInt => {
+                out.push(AccessStep::AsInt);
+                cur_old = Shape::Int;
+                cur_new = Shape::Int;
+            }
+        }
+    }
+    // Leaf reconciliation: unwrap/select as needed, then transformation 3
+    // when int generalized to float.
+    reconcile(&cur_old, &mut cur_new, &mut out)?;
+    if cur_old == Shape::Int && cur_new == Shape::Float {
+        out.push(AccessStep::AsInt);
+    }
+    Ok(AccessProgram { steps: out })
+}
+
+/// Inserts Unwrap (transformation 1) when the new shape became nullable,
+/// and Case (transformation 2) when it became a labelled top; updates the
+/// new-side cursor accordingly.
+fn reconcile(
+    cur_old: &Shape,
+    cur_new: &mut Shape,
+    out: &mut Vec<AccessStep>,
+) -> Result<(), MigrateError> {
+    // Became optional: nullable σ̂ where old was non-nullable.
+    if let Shape::Nullable(inner) = cur_new {
+        if cur_old.is_non_nullable() {
+            out.push(AccessStep::Unwrap);
+            *cur_new = (**inner).clone();
+        }
+    }
+    // Became a labelled top: select the label with the old shape's tag.
+    if let Shape::Top(labels) = cur_new {
+        if !cur_old.is_top() && *cur_old != Shape::Bottom && *cur_old != Shape::Null {
+            let want = tag_of(&cur_old.clone().floor());
+            let label = labels
+                .iter()
+                .find(|l| tag_of(l) == want)
+                .cloned()
+                .ok_or_else(|| {
+                    MigrateError(format!(
+                        "labelled top {cur_new} lost the {want} case — \
+                         labels are never removed by adding samples"
+                    ))
+                })?;
+            out.push(AccessStep::Case(tag_member_name(&label)));
+            *cur_new = label;
+            // The old side may itself have been nullable (the label is
+            // non-nullable): nothing further to do — option-ness was
+            // handled by the Case unwrap.
+        }
+    }
+    Ok(())
+}
+
+fn record_field(shape: &Shape, name: &str) -> Result<Shape, MigrateError> {
+    match shape {
+        Shape::Record(r) => r
+            .field(name)
+            .cloned()
+            .ok_or_else(|| MigrateError(format!("record {shape} has no field '{name}'"))),
+        other => Err(MigrateError(format!("member access on non-record shape {other}"))),
+    }
+}
+
+fn list_element(shape: &Shape) -> Result<Shape, MigrateError> {
+    match shape {
+        Shape::List(e) => Ok((**e).clone()),
+        other => Err(MigrateError(format!("indexing into non-collection shape {other}"))),
+    }
+}
+
+fn top_label(shape: &Shape, member: &str) -> Result<Shape, MigrateError> {
+    match shape {
+        Shape::Top(labels) => labels
+            .iter()
+            .find(|l| tag_member_name(l) == member)
+            .cloned()
+            .ok_or_else(|| MigrateError(format!("top {shape} has no case '{member}'"))),
+        other => Err(MigrateError(format!("case selection on non-top shape {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccessStep::{AsInt, Case, Member, Nth, Unwrap};
+
+    #[test]
+    fn apply_builds_member_chains() {
+        let p = AccessProgram::members(["main", "temp"]);
+        let e = apply(&p, Expr::var("w"));
+        assert_eq!(e.to_string(), "w.main.temp");
+    }
+
+    #[test]
+    fn apply_unwrap_compiles_to_match_with_exn() {
+        let p = AccessProgram::new([Member("age".into()), Unwrap]);
+        let e = apply(&p, Expr::var("r"));
+        assert!(e.to_string().contains("match r.age with Some(v)"));
+        assert!(e.to_string().contains("None \u{2192} exn"));
+    }
+
+    #[test]
+    fn migrate_identity_when_shape_unchanged() {
+        let shape = Shape::record("P", [("x", Shape::Int)]);
+        let p = AccessProgram::members(["x"]);
+        let migrated = migrate(&p, &shape, &shape).unwrap();
+        assert_eq!(migrated, p);
+    }
+
+    #[test]
+    fn migrate_inserts_unwrap_for_new_optional_field() {
+        // Old: x : int. New sample lacks x → x : nullable int.
+        let old = Shape::record("P", [("x", Shape::Int)]);
+        let new = Shape::record("P", [("x", Shape::Int.ceil())]);
+        let p = AccessProgram::members(["x"]);
+        let migrated = migrate(&p, &old, &new).unwrap();
+        assert_eq!(
+            migrated,
+            AccessProgram::new([Member("x".into()), Unwrap])
+        );
+    }
+
+    #[test]
+    fn migrate_inserts_as_int_for_widened_number() {
+        // Transformation 3: int became float.
+        let old = Shape::record("P", [("x", Shape::Int)]);
+        let new = Shape::record("P", [("x", Shape::Float)]);
+        let p = AccessProgram::members(["x"]);
+        let migrated = migrate(&p, &old, &new).unwrap();
+        assert_eq!(migrated, AccessProgram::new([Member("x".into()), AsInt]));
+    }
+
+    #[test]
+    fn migrate_inserts_case_for_new_top() {
+        // Transformation 2: the field became any⟨P{...}, string⟩.
+        let inner_old = Shape::record("P", [("y", Shape::Int)]);
+        let old = Shape::record("R", [("x", inner_old.clone())]);
+        let new = Shape::record(
+            "R",
+            [("x", Shape::Top(vec![inner_old, Shape::String]))],
+        );
+        let p = AccessProgram::new([Member("x".into()), Member("y".into())]);
+        let migrated = migrate(&p, &old, &new).unwrap();
+        assert_eq!(
+            migrated,
+            AccessProgram::new([Member("x".into()), Case("P".into()), Member("y".into())])
+        );
+    }
+
+    #[test]
+    fn migrate_combines_optional_and_widening() {
+        let old = Shape::record("P", [("x", Shape::Int)]);
+        let new = Shape::record("P", [("x", Shape::Float.ceil())]);
+        let p = AccessProgram::members(["x"]);
+        let migrated = migrate(&p, &old, &new).unwrap();
+        assert_eq!(
+            migrated,
+            AccessProgram::new([Member("x".into()), Unwrap, AsInt])
+        );
+    }
+
+    #[test]
+    fn migrate_through_lists() {
+        let old = Shape::list(Shape::record("P", [("x", Shape::Int)]));
+        let new = Shape::list(Shape::record("P", [("x", Shape::Int.ceil())]));
+        let p = AccessProgram::new([Nth(0), Member("x".into())]);
+        let migrated = migrate(&p, &old, &new).unwrap();
+        assert_eq!(
+            migrated,
+            AccessProgram::new([Nth(0), Member("x".into()), Unwrap])
+        );
+    }
+
+    #[test]
+    fn migrate_rejects_unrelated_shapes() {
+        // int → string is not something adding samples produces at the
+        // same position without a top.
+        let old = Shape::record("P", [("x", Shape::Int)]);
+        let new = Shape::record("P", [("x", Shape::String)]);
+        assert!(migrate(&AccessProgram::members(["x"]), &old, &new).is_err());
+    }
+
+    #[test]
+    fn migrate_rejects_bad_programs() {
+        let shape = Shape::record("P", [("x", Shape::Int)]);
+        let p = AccessProgram::members(["ghost"]);
+        assert!(migrate(&p, &shape, &shape).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Access errors for the typed runtime.
+//!
+//! Where the Foo calculus models runtime failures as stuck states
+//! (§4.1), the Rust runtime reports a structured [`AccessError`] carrying
+//! the [`Path`] to the offending sub-value — the information a user needs
+//! to add the failing document as another sample (§6.5: "When a program
+//! fails on some input, the input can be added as another sample").
+
+use std::fmt;
+use tfd_value::Path;
+
+/// What went wrong during a typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessErrorKind {
+    /// The value had a different kind than the provided type expected —
+    /// the analogue of a stuck `convPrim`/`convFloat`.
+    ShapeMismatch {
+        /// What the provided type expected (e.g. `"int"`).
+        expected: String,
+        /// What the document contained (e.g. `"string \"old\""`).
+        found: String,
+    },
+    /// A record access on a non-record value — stuck `convField`.
+    NotARecord {
+        /// Kind of the value found instead.
+        found: String,
+    },
+    /// A collection access on a non-collection value — stuck
+    /// `convElements`.
+    NotACollection {
+        /// Kind of the value found instead.
+        found: String,
+    },
+    /// A heterogeneous-collection case with multiplicity `1` (or `1?`)
+    /// matched the wrong number of elements — stuck `convTagged`.
+    CaseCardinality {
+        /// The case's member name.
+        case: String,
+        /// Matching elements found.
+        found: usize,
+        /// What the multiplicity allows, e.g. `"exactly one"`.
+        allowed: &'static str,
+    },
+    /// `null` (or a missing field) where a non-optional value was
+    /// provided — stuck `convPrim(σ, null)`.
+    UnexpectedNull,
+}
+
+impl fmt::Display for AccessErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessErrorKind::ShapeMismatch { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            AccessErrorKind::NotARecord { found } => {
+                write!(f, "expected a record, found {found}")
+            }
+            AccessErrorKind::NotACollection { found } => {
+                write!(f, "expected a collection, found {found}")
+            }
+            AccessErrorKind::CaseCardinality { case, found, allowed } => {
+                write!(f, "case {case} matched {found} elements, allowed {allowed}")
+            }
+            AccessErrorKind::UnexpectedNull => write!(f, "unexpected null value"),
+        }
+    }
+}
+
+/// A typed-access failure at a specific location in the document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessError {
+    /// What went wrong.
+    pub kind: AccessErrorKind,
+    /// Where in the document (JSONPath-like).
+    pub path: Path,
+}
+
+impl AccessError {
+    /// Creates an error at a path.
+    pub fn new(kind: AccessErrorKind, path: Path) -> AccessError {
+        AccessError { kind, path }
+    }
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.kind, self.path)
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let err = AccessError::new(
+            AccessErrorKind::ShapeMismatch { expected: "int".into(), found: "string".into() },
+            Path::root().child_field("age"),
+        );
+        assert_eq!(err.to_string(), "expected int, found string at $.age");
+    }
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(
+            AccessErrorKind::UnexpectedNull.to_string(),
+            "unexpected null value"
+        );
+        assert_eq!(
+            AccessErrorKind::NotARecord { found: "collection".into() }.to_string(),
+            "expected a record, found collection"
+        );
+        assert_eq!(
+            AccessErrorKind::CaseCardinality { case: "Record".into(), found: 2, allowed: "exactly one" }
+                .to_string(),
+            "case Record matched 2 elements, allowed exactly one"
+        );
+    }
+}

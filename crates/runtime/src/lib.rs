@@ -1,0 +1,44 @@
+//! # tfd-runtime — typed access over weakly typed data, in Rust
+//!
+//! The Rust analogue of the F# Data runtime that the paper's Foo calculus
+//! models (§4.1): a small set of conversions that generated code uses to
+//! move from the "dirty" world of structural data into typed values.
+//!
+//! | Foo operation      | Runtime method                                   |
+//! |--------------------|--------------------------------------------------|
+//! | `convPrim(int, ·)` | [`Node::as_i64`]                                 |
+//! | `convFloat`        | [`Node::as_f64`] (widens integers)               |
+//! | `convPrim(bool,·)` | [`Node::as_bool`]                                |
+//! | `convPrim(string,·)`| [`Node::as_str`]                                |
+//! | `convField`        | [`Node::field`] (missing field ⇒ null node)      |
+//! | `convNull`         | [`Node::opt`]                                    |
+//! | `convElements`     | [`Node::elements`] (null ⇒ empty)                |
+//! | `hasShape`         | [`Node::has_shape`] / [`Node::case`]             |
+//! | `convTagged` (§6.4)| [`Node::tagged_one`] / [`tagged_opt`](Node::tagged_opt) / [`tagged_many`](Node::tagged_many) |
+//!
+//! Failures return [`AccessError`] with the document [`path`](Node::path)
+//! — the runtime equivalent of a Foo stuck state, and the information
+//! needed to add the offending document as a new sample (§6.5).
+//!
+//! # Example
+//!
+//! ```
+//! use tfd_runtime::Node;
+//! use tfd_value::{json_rec, Value};
+//!
+//! let doc = json_rec([("main", json_rec([("temp", Value::Int(5))]))]);
+//! let node = Node::new(doc);
+//! let temp = node.field("main")?.field("temp")?.as_f64()?;
+//! assert_eq!(temp, 5.0);
+//! # Ok::<(), tfd_runtime::AccessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod node;
+
+pub use error::{AccessError, AccessErrorKind};
+pub use node::Node;
+pub use tfd_csv::Date;

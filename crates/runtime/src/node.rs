@@ -1,0 +1,505 @@
+//! [`Node`] — a typed cursor over a weakly typed document.
+//!
+//! The generated Rust code (from `tfd-codegen` / the proc-macro
+//! providers) wraps a `Node` and exposes the inferred members as methods;
+//! each method body is one of the conversions below — the Rust analogues
+//! of the Foo calculus' `convPrim`, `convFloat`, `convField`, `convNull`,
+//! `convElements` and `convTagged` (Fig. 6 Part I).
+//!
+//! A `Node` shares the document via [`Arc`] and remembers its [`Path`]
+//! from the root, so access errors point at the exact sub-value.
+
+use crate::error::{AccessError, AccessErrorKind};
+use std::sync::Arc;
+use tfd_core::{conforms, value_matches_tag, Shape, Tag};
+use tfd_csv::Date;
+use tfd_value::{Path, Value};
+
+/// A location inside a shared document.
+///
+/// `resolve` addresses the value within `root`; `path` is the
+/// user-facing location from the original document root. The two differ
+/// only for the synthetic null node a missing record field produces.
+#[derive(Debug, Clone)]
+pub struct Node {
+    root: Arc<Value>,
+    resolve: Path,
+    path: Path,
+}
+
+impl PartialEq for Node {
+    /// Nodes compare by the values they point at.
+    fn eq(&self, other: &Self) -> bool {
+        self.value() == other.value()
+    }
+}
+
+impl Node {
+    /// Wraps a document root.
+    ///
+    /// ```
+    /// use tfd_runtime::Node;
+    /// use tfd_value::Value;
+    /// let node = Node::new(Value::Int(42));
+    /// assert_eq!(node.as_i64().unwrap(), 42);
+    /// ```
+    pub fn new(value: Value) -> Node {
+        Node { root: Arc::new(value), resolve: Path::root(), path: Path::root() }
+    }
+
+    /// The value this node points at.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for nodes produced by this API: paths are only
+    /// extended after checking they resolve.
+    pub fn value(&self) -> &Value {
+        self.root
+            .at(&self.resolve)
+            .expect("node path always resolves within its document")
+    }
+
+    /// The path of this node from the document root.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The raw underlying value — the escape hatch §6.3 describes (the
+    /// `JsonValue`/`XElement` member of the real library).
+    pub fn raw(&self) -> &Value {
+        self.value()
+    }
+
+    fn error(&self, kind: AccessErrorKind) -> AccessError {
+        AccessError::new(kind, self.path.clone())
+    }
+
+    fn mismatch(&self, expected: &str) -> AccessError {
+        self.error(AccessErrorKind::ShapeMismatch {
+            expected: expected.to_owned(),
+            found: describe(self.value()),
+        })
+    }
+
+    // --- convPrim / convFloat analogues ---
+
+    /// `convPrim(int, ·)`: the integer value. Accepts string-encoded
+    /// integers (`"2012"`) — the §2.3 convention "often used to avoid
+    /// non-standard numerical types of JavaScript", which the inference
+    /// mirrors with its `stringly_primitives` option.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] unless the value is an integer.
+    pub fn as_i64(&self) -> Result<i64, AccessError> {
+        match self.value() {
+            Value::Int(i) => Ok(*i),
+            Value::Str(s) => match tfd_csv::literal::infer_primitive(s) {
+                Some(Value::Int(i)) => Ok(i),
+                _ => Err(self.mismatch("int")),
+            },
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("int")),
+        }
+    }
+
+    /// `convFloat(float, ·)`: the numeric value, widening integers —
+    /// "convFloat(float, 42) turns an integer 42 into a floating-point
+    /// numerical value 42.0" (§4.1). Accepts string-encoded numbers
+    /// (`"35.14229"`, §2.3).
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] unless the value is numeric.
+    pub fn as_f64(&self) -> Result<f64, AccessError> {
+        match self.value() {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Str(s) => match tfd_csv::literal::infer_primitive(s) {
+                Some(Value::Int(i)) => Ok(i as f64),
+                Some(Value::Float(f)) => Ok(f),
+                _ => Err(self.mismatch("float")),
+            },
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("float")),
+        }
+    }
+
+    /// `convPrim(bool, ·)`: the boolean value. Accepts string-encoded
+    /// booleans (`"true"`, any capitalization).
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] unless the value is a boolean.
+    pub fn as_bool(&self) -> Result<bool, AccessError> {
+        match self.value() {
+            Value::Bool(b) => Ok(*b),
+            Value::Str(s) => match tfd_csv::literal::infer_primitive(s) {
+                Some(Value::Bool(b)) => Ok(b),
+                _ => Err(self.mismatch("bool")),
+            },
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("bool")),
+        }
+    }
+
+    /// `convPrim(string, ·)`: the string value.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] unless the value is a string.
+    pub fn as_str(&self) -> Result<&str, AccessError> {
+        match self.value() {
+            Value::Str(s) => Ok(s),
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("string")),
+        }
+    }
+
+    /// The `bit` extension (§6.2): a 0/1 integer (or a real boolean) read
+    /// as a boolean — the `Autofilled` column of the paper's CSV example.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] for other values.
+    pub fn as_bit_bool(&self) -> Result<bool, AccessError> {
+        match self.value() {
+            Value::Int(0) => Ok(false),
+            Value::Int(1) => Ok(true),
+            Value::Bool(b) => Ok(*b),
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("bit (0/1)")),
+        }
+    }
+
+    /// The `date` extension (§6.2): a date-formatted string parsed to a
+    /// calendar [`Date`].
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::ShapeMismatch`] unless the value is a string
+    /// in a recognized date format.
+    pub fn as_date(&self) -> Result<Date, AccessError> {
+        match self.value() {
+            Value::Str(s) => {
+                tfd_csv::parse_date(s).ok_or_else(|| self.mismatch("date"))
+            }
+            Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
+            _ => Err(self.mismatch("date")),
+        }
+    }
+
+    // --- convField analogue ---
+
+    /// `convField`: descends into a record field. A *missing* field
+    /// yields a null node (exactly like `convField(ν, ν′, d, e) ↝ e null`
+    /// in Fig. 6) so that optional accessors compose.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::NotARecord`] when the value is not a record.
+    pub fn field(&self, name: &str) -> Result<Node, AccessError> {
+        match self.value() {
+            Value::Record { fields, .. } => {
+                if fields.iter().any(|f| f.name == name) {
+                    Ok(Node {
+                        root: Arc::clone(&self.root),
+                        resolve: self.resolve.child_field(name),
+                        path: self.path.child_field(name),
+                    })
+                } else {
+                    // Missing field reads as null (a fresh null document;
+                    // the display path records where it came from).
+                    Ok(Node {
+                        root: Arc::new(Value::Null),
+                        resolve: Path::root(),
+                        path: self.path.child_field(name),
+                    })
+                }
+            }
+            other => Err(self.error(AccessErrorKind::NotARecord { found: describe(other) })),
+        }
+    }
+
+    // --- convNull analogue ---
+
+    /// `convNull`: `None` when the value is null, otherwise the node
+    /// itself — generated code maps optional members through this.
+    pub fn opt(&self) -> Option<Node> {
+        if self.value().is_null() {
+            None
+        } else {
+            Some(self.clone())
+        }
+    }
+
+    // --- convElements analogue ---
+
+    /// `convElements`: the element nodes of a collection; `null` reads as
+    /// the empty collection (design decision D3, §3.1).
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::NotACollection`] when the value is neither a
+    /// collection nor null.
+    pub fn elements(&self) -> Result<Vec<Node>, AccessError> {
+        match self.value() {
+            Value::Null => Ok(Vec::new()),
+            Value::List(items) => Ok((0..items.len())
+                .map(|i| Node {
+                    root: Arc::clone(&self.root),
+                    resolve: self.resolve.child_index(i),
+                    path: self.path.child_index(i),
+                })
+                .collect()),
+            other => {
+                Err(self.error(AccessErrorKind::NotACollection { found: describe(other) }))
+            }
+        }
+    }
+
+    // --- hasShape analogue ---
+
+    /// `hasShape(σ, ·)` — the runtime shape test used by labelled-top
+    /// members.
+    pub fn has_shape(&self, shape: &Shape) -> bool {
+        conforms(shape, self.value())
+    }
+
+    /// Labelled-top member access: `Some(node)` when the value conforms
+    /// to the label, `None` otherwise (the open-world `table` element of
+    /// §2.2 answers `None` to every statically known label).
+    pub fn case(&self, label: &Shape) -> Option<Node> {
+        if self.has_shape(label) {
+            Some(self.clone())
+        } else {
+            None
+        }
+    }
+
+    // --- convTagged analogues (§6.4 heterogeneous collections) ---
+
+    fn tagged(&self, tag: &Tag) -> Result<Vec<Node>, AccessError> {
+        let nodes = self.elements()?;
+        Ok(nodes
+            .into_iter()
+            .filter(|n| value_matches_tag(tag, n.value()))
+            .collect())
+    }
+
+    /// Multiplicity `1`: exactly one element with the case's tag.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::CaseCardinality`] unless exactly one element
+    /// matches.
+    pub fn tagged_one(&self, case: &str, tag: &Tag) -> Result<Node, AccessError> {
+        let mut matches = self.tagged(tag)?;
+        if matches.len() == 1 {
+            Ok(matches.remove(0))
+        } else {
+            Err(self.error(AccessErrorKind::CaseCardinality {
+                case: case.to_owned(),
+                found: matches.len(),
+                allowed: "exactly one",
+            }))
+        }
+    }
+
+    /// Multiplicity `1?`: at most one element with the case's tag.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::CaseCardinality`] when two or more elements
+    /// match.
+    pub fn tagged_opt(&self, case: &str, tag: &Tag) -> Result<Option<Node>, AccessError> {
+        let mut matches = self.tagged(tag)?;
+        match matches.len() {
+            0 => Ok(None),
+            1 => Ok(Some(matches.remove(0))),
+            n => Err(self.error(AccessErrorKind::CaseCardinality {
+                case: case.to_owned(),
+                found: n,
+                allowed: "at most one",
+            })),
+        }
+    }
+
+    /// Multiplicity `*`: all elements with the case's tag.
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::NotACollection`] when the value is not a
+    /// collection.
+    pub fn tagged_many(&self, tag: &Tag) -> Result<Vec<Node>, AccessError> {
+        self.tagged(tag)
+    }
+
+    /// Descends to an index (convenience for tests and examples).
+    ///
+    /// # Errors
+    ///
+    /// [`AccessErrorKind::NotACollection`] or a
+    /// [`AccessErrorKind::ShapeMismatch`] for out-of-range indexes.
+    pub fn index(&self, i: usize) -> Result<Node, AccessError> {
+        let items = self.elements()?;
+        items.into_iter().nth(i).ok_or_else(|| {
+            self.error(AccessErrorKind::ShapeMismatch {
+                expected: format!("an element at index {i}"),
+                found: "a shorter collection".to_owned(),
+            })
+        })
+    }
+}
+
+fn describe(v: &Value) -> String {
+    match v {
+        Value::Str(s) if s.len() <= 24 => format!("string {s:?}"),
+        Value::Str(_) => "string".to_owned(),
+        other => other.kind().to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfd_value::{arr, json_rec, rec};
+
+    fn node(v: Value) -> Node {
+        Node::new(v)
+    }
+
+    #[test]
+    fn primitive_accessors() {
+        assert_eq!(node(Value::Int(5)).as_i64().unwrap(), 5);
+        assert_eq!(node(Value::Int(5)).as_f64().unwrap(), 5.0);
+        assert_eq!(node(Value::Float(2.5)).as_f64().unwrap(), 2.5);
+        assert!(node(Value::Bool(true)).as_bool().unwrap());
+        assert_eq!(node(Value::str("x")).as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn primitive_mismatches_report_paths() {
+        let doc = json_rec([("age", Value::str("old"))]);
+        let err = node(doc).field("age").unwrap().as_i64().unwrap_err();
+        assert_eq!(err.path.to_string(), "$.age");
+        assert!(matches!(err.kind, AccessErrorKind::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_accessor_rejects_floats_like_conv_prim() {
+        assert!(node(Value::Float(1.5)).as_i64().is_err());
+        // ... but the float accessor accepts ints like convFloat:
+        assert_eq!(node(Value::Int(1)).as_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn null_reports_unexpected_null() {
+        let err = node(Value::Null).as_i64().unwrap_err();
+        assert_eq!(err.kind, AccessErrorKind::UnexpectedNull);
+    }
+
+    #[test]
+    fn bit_accessor() {
+        assert!(!node(Value::Int(0)).as_bit_bool().unwrap());
+        assert!(node(Value::Int(1)).as_bit_bool().unwrap());
+        assert!(node(Value::Bool(true)).as_bit_bool().unwrap());
+        assert!(node(Value::Int(2)).as_bit_bool().is_err());
+    }
+
+    #[test]
+    fn date_accessor() {
+        let d = node(Value::str("2012-05-01")).as_date().unwrap();
+        assert_eq!(d.to_string(), "2012-05-01");
+        assert!(node(Value::str("3 kveten")).as_date().is_err());
+        assert!(node(Value::Int(1)).as_date().is_err());
+    }
+
+    #[test]
+    fn field_access_and_missing_fields() {
+        let doc = json_rec([("a", Value::Int(1))]);
+        let n = node(doc);
+        assert_eq!(n.field("a").unwrap().as_i64().unwrap(), 1);
+        // Missing field reads as null (convField's e null):
+        let missing = n.field("b").unwrap();
+        assert!(missing.value().is_null());
+        assert!(missing.opt().is_none());
+        assert_eq!(missing.path().to_string(), "$.b");
+        // Field access on a non-record:
+        assert!(node(Value::Int(1)).field("a").is_err());
+    }
+
+    #[test]
+    fn opt_mirrors_conv_null() {
+        assert!(node(Value::Null).opt().is_none());
+        assert!(node(Value::Int(1)).opt().is_some());
+    }
+
+    #[test]
+    fn elements_and_null_collection() {
+        let doc = arr([Value::Int(1), Value::Int(2)]);
+        let items = node(doc).elements().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].as_i64().unwrap(), 2);
+        assert_eq!(items[1].path().to_string(), "$[1]");
+        assert!(node(Value::Null).elements().unwrap().is_empty());
+        assert!(node(Value::Int(1)).elements().is_err());
+    }
+
+    #[test]
+    fn case_answers_open_world_queries() {
+        let heading = Shape::record("heading", [("x", Shape::Int)]);
+        let known = rec("heading", [("x", Value::Int(1))]);
+        let unknown = rec("table", [("x", Value::Int(1))]);
+        assert!(node(known).case(&heading).is_some());
+        assert!(node(unknown).case(&heading).is_none());
+    }
+
+    #[test]
+    fn tagged_accessors_respect_multiplicities() {
+        let doc = arr([json_rec([("pages", Value::Int(5))]), arr([Value::Int(1)])]);
+        let n = node(doc);
+        let rec_tag = Tag::Name(tfd_value::BODY_NAME.to_owned());
+        let coll_tag = Tag::Collection;
+        assert!(n.tagged_one("Record", &rec_tag).is_ok());
+        assert!(n.tagged_opt("Array", &coll_tag).unwrap().is_some());
+        assert_eq!(n.tagged_many(&Tag::Number).unwrap().len(), 0);
+
+        let no_array = arr([json_rec([("pages", Value::Int(5))])]);
+        assert!(node(no_array.clone()).tagged_opt("Array", &coll_tag).unwrap().is_none());
+        let two_recs = arr([
+            json_rec([("pages", Value::Int(5))]),
+            json_rec([("pages", Value::Int(6))]),
+        ]);
+        let err = node(two_recs).tagged_one("Record", &rec_tag).unwrap_err();
+        assert!(matches!(err.kind, AccessErrorKind::CaseCardinality { found: 2, .. }));
+    }
+
+    #[test]
+    fn index_access() {
+        let doc = arr([Value::Int(7)]);
+        assert_eq!(node(doc.clone()).index(0).unwrap().as_i64().unwrap(), 7);
+        assert!(node(doc).index(1).is_err());
+    }
+
+    #[test]
+    fn nested_paths_accumulate() {
+        let doc = json_rec([("items", arr([json_rec([("x", Value::Int(1))])]))]);
+        let x = node(doc)
+            .field("items")
+            .unwrap()
+            .index(0)
+            .unwrap()
+            .field("x")
+            .unwrap();
+        assert_eq!(x.path().to_string(), "$.items[0].x");
+        assert_eq!(x.as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn raw_exposes_underlying_value() {
+        let doc = json_rec([("a", Value::Int(1))]);
+        let n = node(doc.clone());
+        assert_eq!(n.raw(), &doc);
+    }
+}

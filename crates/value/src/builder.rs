@@ -1,0 +1,77 @@
+//! Ergonomic constructors for [`Value`] trees.
+//!
+//! Tests, examples and benchmarks build many literal documents; these
+//! helpers keep those call sites close to the paper's notation.
+
+use crate::{Value, BODY_NAME};
+
+pub use crate::print::{to_compact_string, to_pretty_string};
+
+/// Builds a named record: `rec("Point", [("x", 3.into())])`.
+///
+/// ```
+/// use tfd_value::{rec, Value};
+/// let p = rec("Point", [("x", Value::Int(3))]);
+/// assert_eq!(p.record_name(), Some("Point"));
+/// ```
+pub fn rec<N, I, F>(name: N, fields: I) -> Value
+where
+    N: Into<String>,
+    I: IntoIterator<Item = (F, Value)>,
+    F: Into<String>,
+{
+    Value::record(name, fields)
+}
+
+/// Builds a JSON-style record — named [`BODY_NAME`] (`•`), as the paper
+/// prescribes for JSON objects (§3.1).
+///
+/// ```
+/// use tfd_value::{json_rec, Value, BODY_NAME};
+/// let p = json_rec([("name", Value::from("Jan")), ("age", Value::Int(25))]);
+/// assert_eq!(p.record_name(), Some(BODY_NAME));
+/// ```
+pub fn json_rec<I, F>(fields: I) -> Value
+where
+    I: IntoIterator<Item = (F, Value)>,
+    F: Into<String>,
+{
+    Value::record(BODY_NAME, fields)
+}
+
+/// Builds a collection: `arr([Value::Int(1), Value::Int(2)])`.
+///
+/// ```
+/// use tfd_value::{arr, Value};
+/// assert_eq!(arr([Value::Int(1)]).elements().unwrap().len(), 1);
+/// ```
+pub fn arr<I>(items: I) -> Value
+where
+    I: IntoIterator<Item = Value>,
+{
+    Value::List(items.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rec_builds_named_records() {
+        let v = rec("R", [("a", Value::Int(1))]);
+        assert_eq!(v.record_name(), Some("R"));
+        assert_eq!(v.field("a"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn json_rec_uses_body_name() {
+        let v = json_rec([("a", Value::Int(1))]);
+        assert_eq!(v.record_name(), Some(BODY_NAME));
+    }
+
+    #[test]
+    fn arr_collects() {
+        let v = arr(vec![Value::Null, Value::Bool(true)]);
+        assert_eq!(v.elements().unwrap().len(), 2);
+    }
+}

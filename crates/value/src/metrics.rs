@@ -1,0 +1,117 @@
+//! Structural metrics over [`Value`]s, used by the benchmark harness to
+//! characterize generated corpora (depth/width sweeps in experiment B2).
+
+use crate::Value;
+
+impl Value {
+    /// The height of the value tree.
+    ///
+    /// Primitives and `null` have depth 1; a container's depth is one more
+    /// than its deepest child (empty containers have depth 1).
+    ///
+    /// ```
+    /// # use tfd_value::{Value, arr};
+    /// assert_eq!(Value::Int(1).depth(), 1);
+    /// assert_eq!(arr([Value::Int(1)]).depth(), 2);
+    /// ```
+    pub fn depth(&self) -> usize {
+        match self {
+            Value::List(items) => {
+                1 + items.iter().map(Value::depth).max().unwrap_or(0)
+            }
+            Value::Record { fields, .. } => {
+                1 + fields.iter().map(|f| f.value.depth()).max().unwrap_or(0)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Total number of nodes in the value tree (every primitive, `null`,
+    /// list and record counts as one node).
+    ///
+    /// ```
+    /// # use tfd_value::{Value, arr};
+    /// assert_eq!(arr([Value::Int(1), Value::Int(2)]).node_count(), 3);
+    /// ```
+    pub fn node_count(&self) -> usize {
+        match self {
+            Value::List(items) => 1 + items.iter().map(Value::node_count).sum::<usize>(),
+            Value::Record { fields, .. } => {
+                1 + fields.iter().map(|f| f.value.node_count()).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+
+    /// Number of `null` leaves in the value tree.
+    pub fn null_count(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::List(items) => items.iter().map(Value::null_count).sum(),
+            Value::Record { fields, .. } => {
+                fields.iter().map(|f| f.value.null_count()).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Maximum record width (field count) anywhere in the tree.
+    pub fn max_record_width(&self) -> usize {
+        match self {
+            Value::List(items) => {
+                items.iter().map(Value::max_record_width).max().unwrap_or(0)
+            }
+            Value::Record { fields, .. } => fields
+                .len()
+                .max(fields.iter().map(|f| f.value.max_record_width()).max().unwrap_or(0)),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{arr, rec, Value};
+
+    #[test]
+    fn depth_of_primitives_is_one() {
+        assert_eq!(Value::Null.depth(), 1);
+        assert_eq!(Value::Bool(true).depth(), 1);
+        assert_eq!(Value::str("x").depth(), 1);
+    }
+
+    #[test]
+    fn depth_of_empty_containers_is_one() {
+        assert_eq!(Value::List(vec![]).depth(), 1);
+        assert_eq!(Value::record("E", Vec::<(String, Value)>::new()).depth(), 1);
+    }
+
+    #[test]
+    fn depth_nests() {
+        let v = rec("a", [("b", arr([rec("c", [("d", Value::Int(1))])]))]);
+        assert_eq!(v.depth(), 4);
+    }
+
+    #[test]
+    fn node_count_counts_everything() {
+        let v = rec("a", [("b", arr([Value::Int(1), Value::Null]))]);
+        // record + list + int + null
+        assert_eq!(v.node_count(), 4);
+    }
+
+    #[test]
+    fn null_count_finds_nested_nulls() {
+        let v = arr([Value::Null, rec("r", [("x", Value::Null)]), Value::Int(3)]);
+        assert_eq!(v.null_count(), 2);
+    }
+
+    #[test]
+    fn max_record_width_scans_tree() {
+        let wide = rec(
+            "w",
+            [("a", Value::Int(1)), ("b", Value::Int(2)), ("c", Value::Int(3))],
+        );
+        let v = arr([rec("n", [("only", wide)])]);
+        assert_eq!(v.max_record_width(), 3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Paths addressing sub-values inside a [`Value`](crate::Value) tree.
+//!
+//! Paths are produced by the runtime when reporting shape mismatches, so a
+//! user can see *where* in a document an access failed, e.g.
+//! `$.items[2].age`.
+
+use std::fmt;
+
+/// One step of a [`Path`]: either a record field or a collection index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathSegment {
+    /// Descend into the record field with this name.
+    Field(String),
+    /// Descend into the collection element at this index.
+    Index(usize),
+}
+
+impl fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathSegment::Field(name) => write!(f, ".{name}"),
+            PathSegment::Index(i) => write!(f, "[{i}]"),
+        }
+    }
+}
+
+/// A sequence of [`PathSegment`]s from the document root to a sub-value.
+///
+/// Displayed in the JSONPath-like notation `$` / `$.a[0].b`.
+///
+/// ```
+/// use tfd_value::{Path, PathSegment};
+///
+/// let mut p = Path::root();
+/// assert!(p.is_root());
+/// p.push_field("items");
+/// p.push_index(2);
+/// assert_eq!(p.to_string(), "$.items[2]");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    segments: Vec<PathSegment>,
+}
+
+impl Path {
+    /// The empty path, addressing the document root.
+    pub fn root() -> Path {
+        Path::default()
+    }
+
+    /// Returns `true` when the path has no segments.
+    pub fn is_root(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The segments of this path in root-to-leaf order.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Number of segments in the path.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Returns `true` when the path has no segments (alias of
+    /// [`Path::is_root`], provided for the usual `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Appends a field segment in place.
+    pub fn push_field(&mut self, name: impl Into<String>) {
+        self.segments.push(PathSegment::Field(name.into()));
+    }
+
+    /// Appends an index segment in place.
+    pub fn push_index(&mut self, index: usize) {
+        self.segments.push(PathSegment::Index(index));
+    }
+
+    /// Removes and returns the last segment, if any.
+    pub fn pop(&mut self) -> Option<PathSegment> {
+        self.segments.pop()
+    }
+
+    /// Returns a new path extended with a field segment.
+    ///
+    /// ```
+    /// # use tfd_value::Path;
+    /// let p = Path::root().child_field("a").child_index(0);
+    /// assert_eq!(p.to_string(), "$.a[0]");
+    /// ```
+    #[must_use]
+    pub fn child_field(&self, name: impl Into<String>) -> Path {
+        let mut p = self.clone();
+        p.push_field(name);
+        p
+    }
+
+    /// Returns a new path extended with an index segment.
+    #[must_use]
+    pub fn child_index(&self, index: usize) -> Path {
+        let mut p = self.clone();
+        p.push_index(index);
+        p
+    }
+}
+
+impl FromIterator<PathSegment> for Path {
+    fn from_iter<T: IntoIterator<Item = PathSegment>>(iter: T) -> Self {
+        Path { segments: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$")?;
+        for seg in &self.segments {
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_displays_as_dollar() {
+        assert_eq!(Path::root().to_string(), "$");
+        assert!(Path::root().is_root());
+    }
+
+    #[test]
+    fn display_mixes_fields_and_indices() {
+        let p = Path::root().child_field("a").child_index(3).child_field("b");
+        assert_eq!(p.to_string(), "$.a[3].b");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn push_and_pop_roundtrip() {
+        let mut p = Path::root();
+        p.push_field("x");
+        p.push_index(1);
+        assert_eq!(p.pop(), Some(PathSegment::Index(1)));
+        assert_eq!(p.pop(), Some(PathSegment::Field("x".into())));
+        assert_eq!(p.pop(), None);
+    }
+
+    #[test]
+    fn collect_from_segments() {
+        let p: Path = vec![PathSegment::Field("f".into()), PathSegment::Index(0)]
+            .into_iter()
+            .collect();
+        assert_eq!(p.to_string(), "$.f[0]");
+    }
+
+    #[test]
+    fn child_does_not_mutate_parent() {
+        let p = Path::root().child_field("a");
+        let q = p.child_index(0);
+        assert_eq!(p.to_string(), "$.a");
+        assert_eq!(q.to_string(), "$.a[0]");
+    }
+}

@@ -1,0 +1,204 @@
+//! Pretty-printing of [`Value`]s in the paper's mathematical notation.
+//!
+//! §3.4 writes values as `Point {x ↦ 3, y ↦ 4}`, `[1; 2; 3]`, `"s"`,
+//! `null`, etc. The [`Display`](std::fmt::Display) impl of `Value` uses this
+//! module; [`to_compact_string`] and [`to_pretty_string`] offer explicit
+//! single-line and indented renderings.
+
+use crate::{Field, Value};
+use std::fmt;
+
+/// Writes `v` in the paper's compact notation.
+pub(crate) fn write_value(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    let mut out = String::new();
+    compact(&mut out, v);
+    f.write_str(&out)
+}
+
+/// Renders a value on a single line in the paper's notation.
+///
+/// ```
+/// use tfd_value::{Value, rec};
+/// let v = rec("Point", [("x", Value::Int(3)), ("y", Value::Int(4))]);
+/// assert_eq!(
+///     tfd_value::builder::to_compact_string(&v),
+///     "Point {x \u{21a6} 3, y \u{21a6} 4}"
+/// );
+/// ```
+pub fn to_compact_string(v: &Value) -> String {
+    let mut out = String::new();
+    compact(&mut out, v);
+    out
+}
+
+/// Renders a value with two-space indentation, one field/element per line.
+pub fn to_pretty_string(v: &Value) -> String {
+    let mut out = String::new();
+    pretty(&mut out, v, 0);
+    out
+}
+
+fn write_escaped_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float so that it never reads back as an integer literal
+/// (`5` prints as `5.0`), keeping the int/float distinction visible.
+pub(crate) fn float_repr(x: f64) -> String {
+    if x.is_finite() && x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        format!("{x}")
+    }
+}
+
+fn compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => out.push_str(&float_repr(*x)),
+        Value::Str(s) => write_escaped_str(out, s),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Null => out.push_str("null"),
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Record { name, fields } => {
+            out.push_str(name);
+            out.push_str(" {");
+            for (i, Field { name, value }) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(name);
+                out.push_str(" \u{21a6} ");
+                compact(out, value);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn pretty(out: &mut String, v: &Value, level: usize) {
+    match v {
+        Value::List(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(out, level + 1);
+                pretty(out, item, level + 1);
+                if i + 1 < items.len() {
+                    out.push(';');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push(']');
+        }
+        Value::Record { name, fields } if !fields.is_empty() => {
+            out.push_str(name);
+            out.push_str(" {\n");
+            for (i, Field { name, value }) in fields.iter().enumerate() {
+                indent(out, level + 1);
+                out.push_str(name);
+                out.push_str(" \u{21a6} ");
+                pretty(out, value, level + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, level);
+            out.push('}');
+        }
+        other => compact(out, other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arr, rec};
+
+    #[test]
+    fn primitives_render() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(3.5).to_string(), "3.5");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn whole_floats_keep_decimal_point() {
+        assert_eq!(Value::Float(5.0).to_string(), "5.0");
+        assert_eq!(Value::Float(-2.0).to_string(), "-2.0");
+    }
+
+    #[test]
+    fn special_floats_render() {
+        assert_eq!(Value::Float(f64::NAN).to_string(), "NaN");
+        assert_eq!(Value::Float(f64::INFINITY).to_string(), "inf");
+    }
+
+    #[test]
+    fn strings_escape_controls_and_quotes() {
+        assert_eq!(Value::str("a\"b\\c\nd").to_string(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn lists_use_semicolons() {
+        let v = arr([Value::Int(1), Value::Int(2)]);
+        assert_eq!(v.to_string(), "[1; 2]");
+        assert_eq!(Value::List(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn records_use_maplets() {
+        let v = rec("Point", [("x", Value::Int(3)), ("y", Value::Int(4))]);
+        assert_eq!(v.to_string(), "Point {x \u{21a6} 3, y \u{21a6} 4}");
+    }
+
+    #[test]
+    fn empty_record_renders_braces() {
+        let v = Value::record("E", Vec::<(String, Value)>::new());
+        assert_eq!(v.to_string(), "E {}");
+    }
+
+    #[test]
+    fn pretty_indents_nested_structures() {
+        let v = rec("root", [("xs", arr([Value::Int(1)]))]);
+        let s = to_pretty_string(&v);
+        assert!(s.contains("root {\n"));
+        assert!(s.contains("  xs \u{21a6} [\n"));
+        assert!(s.contains("    1\n"));
+    }
+
+    #[test]
+    fn pretty_keeps_empty_containers_compact() {
+        assert_eq!(to_pretty_string(&Value::List(vec![])), "[]");
+    }
+}

@@ -1,0 +1,695 @@
+//! A non-validating XML parser.
+//!
+//! Implements the subset of XML 1.0 needed for data documents: elements,
+//! attributes, text, CDATA, comments, processing instructions, the XML
+//! declaration, DOCTYPE skipping, predefined entities (`&lt; &gt; &amp;
+//! &apos; &quot;`) and numeric character references (`&#65;`, `&#x41;`).
+//! External entities are never resolved.
+
+use crate::{Attribute, Element, XmlNode};
+use std::fmt;
+
+/// Parser configuration.
+#[derive(Debug, Clone)]
+pub struct XmlOptions {
+    /// Maximum element nesting depth. Default: 256.
+    pub max_depth: usize,
+    /// When `true` (default), whitespace-only text nodes between elements
+    /// are dropped, so `<a>\n  <b/>\n</a>` has one child, not three.
+    pub ignore_whitespace_text: bool,
+}
+
+impl Default for XmlOptions {
+    fn default() -> Self {
+        XmlOptions { max_depth: 256, ignore_whitespace_text: true }
+    }
+}
+
+/// What went wrong while parsing XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlErrorKind {
+    /// Input ended unexpectedly.
+    UnexpectedEof(&'static str),
+    /// A character that is not valid at this point.
+    Unexpected {
+        /// The offending character.
+        found: char,
+        /// What the parser was looking for.
+        expected: &'static str },
+    /// `</a>` closed an element opened as `<b>`.
+    MismatchedTag {
+        /// Name in the open tag.
+        open: String,
+        /// Name in the close tag.
+        close: String,
+    },
+    /// No root element was found.
+    NoRoot,
+    /// Extra content after the root element.
+    TrailingContent,
+    /// An unknown named entity such as `&foo;`.
+    UnknownEntity(String),
+    /// A numeric character reference that is not a valid scalar value.
+    BadCharRef(String),
+    /// Nesting exceeded [`XmlOptions::max_depth`].
+    TooDeep(usize),
+}
+
+impl fmt::Display for XmlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlErrorKind::UnexpectedEof(ctx) => write!(f, "unexpected end of input in {ctx}"),
+            XmlErrorKind::Unexpected { found, expected } => {
+                write!(f, "expected {expected}, found {found:?}")
+            }
+            XmlErrorKind::MismatchedTag { open, close } => {
+                write!(f, "mismatched tag: <{open}> closed by </{close}>")
+            }
+            XmlErrorKind::NoRoot => write!(f, "document has no root element"),
+            XmlErrorKind::TrailingContent => write!(f, "content after root element"),
+            XmlErrorKind::UnknownEntity(e) => write!(f, "unknown entity &{e};"),
+            XmlErrorKind::BadCharRef(e) => write!(f, "invalid character reference &#{e};"),
+            XmlErrorKind::TooDeep(limit) => {
+                write!(f, "element nesting exceeds limit of {limit}")
+            }
+        }
+    }
+}
+
+/// An XML parse error with a line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// What went wrong.
+    pub kind: XmlErrorKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses an XML document, returning its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] for malformed input.
+///
+/// ```
+/// let root = tfd_xml::parse("<doc><heading>Hi</heading></doc>")?;
+/// assert_eq!(root.name, "doc");
+/// assert_eq!(root.child_elements().count(), 1);
+/// # Ok::<(), tfd_xml::XmlError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    parse_with(input, &XmlOptions::default())
+}
+
+/// Parses an XML document with explicit [`XmlOptions`].
+///
+/// # Errors
+///
+/// As [`parse`], plus [`XmlErrorKind::TooDeep`] when nesting exceeds the
+/// configured limit.
+pub fn parse_with(input: &str, options: &XmlOptions) -> Result<Element, XmlError> {
+    let mut p = XmlParser::new(input, options.clone());
+    p.skip_prolog()?;
+    let root = p.parse_element(0)?;
+    p.skip_misc()?;
+    if !p.at_eof() {
+        return Err(p.error(XmlErrorKind::TrailingContent));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+    options: XmlOptions,
+}
+
+impl<'a> XmlParser<'a> {
+    fn new(input: &'a str, options: XmlOptions) -> Self {
+        XmlParser { chars: input.chars().peekable(), line: 1, column: 1, options }
+    }
+
+    fn error(&self, kind: XmlErrorKind) -> XmlError {
+        XmlError { kind, line: self.line, column: self.column }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn at_eof(&mut self) -> bool {
+        self.peek().is_none()
+    }
+
+    fn expect(&mut self, want: char, ctx: &'static str) -> Result<(), XmlError> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(XmlErrorKind::Unexpected { found: c, expected: ctx })),
+            None => Err(self.error(XmlErrorKind::UnexpectedEof(ctx))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Consumes `text` if it is next in the input (used after `<`).
+    fn eat(&mut self, text: &str) -> bool {
+        // Clone-based lookahead: cheap because `text` is short.
+        let mut probe = self.chars.clone();
+        for want in text.chars() {
+            if probe.next() != Some(want) {
+                return false;
+            }
+        }
+        for _ in text.chars() {
+            self.bump();
+        }
+        true
+    }
+
+    /// Skips `<?...?>`, `<!--...-->`, `<!DOCTYPE...>` and whitespace before
+    /// the root element.
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('<') => {}
+                Some(found) => {
+                    return Err(self.error(XmlErrorKind::Unexpected { found, expected: "'<'" }))
+                }
+                None => return Err(self.error(XmlErrorKind::NoRoot)),
+            }
+            let mut probe = self.chars.clone();
+            probe.next(); // '<'
+            match probe.next() {
+                Some('?') => self.skip_pi()?,
+                Some('!') => {
+                    let mut probe2 = probe.clone();
+                    if probe2.next() == Some('-') {
+                        self.skip_comment()?;
+                    } else {
+                        self.skip_doctype()?;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Skips comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.at_eof() {
+                return Ok(());
+            }
+            let mut probe = self.chars.clone();
+            if probe.next() != Some('<') {
+                return Ok(());
+            }
+            match probe.next() {
+                Some('?') => self.skip_pi()?,
+                Some('!') => self.skip_comment()?,
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn skip_pi(&mut self) -> Result<(), XmlError> {
+        self.expect('<', "processing instruction")?;
+        self.expect('?', "processing instruction")?;
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("processing instruction"))),
+                Some('?') if self.peek() == Some('>') => {
+                    self.bump();
+                    return Ok(());
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), XmlError> {
+        self.expect('<', "comment")?;
+        self.expect('!', "comment")?;
+        self.expect('-', "comment")?;
+        self.expect('-', "comment")?;
+        let mut dashes = 0usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("comment"))),
+                Some('-') => dashes += 1,
+                Some('>') if dashes >= 2 => return Ok(()),
+                Some(_) => dashes = 0,
+            }
+        }
+    }
+
+    fn skip_doctype(&mut self) -> Result<(), XmlError> {
+        self.expect('<', "DOCTYPE")?;
+        self.expect('!', "DOCTYPE")?;
+        // Consume until the matching '>', tracking nested '[' ... ']' for
+        // internal subsets.
+        let mut bracket_depth = 0usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("DOCTYPE"))),
+                Some('[') => bracket_depth += 1,
+                Some(']') => bracket_depth = bracket_depth.saturating_sub(1),
+                Some('>') if bracket_depth == 0 => return Ok(()),
+                Some(_) => {}
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        Self::is_name_start(c) || c.is_numeric() || c == '-' || c == '.'
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let mut name = String::new();
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {
+                name.push(c);
+                self.bump();
+            }
+            Some(c) => {
+                return Err(self.error(XmlErrorKind::Unexpected { found: c, expected: "a name" }))
+            }
+            None => return Err(self.error(XmlErrorKind::UnexpectedEof("name"))),
+        }
+        while matches!(self.peek(), Some(c) if Self::is_name_char(c)) {
+            name.push(self.bump().expect("peeked"));
+        }
+        Ok(name)
+    }
+
+    fn parse_entity(&mut self) -> Result<char, XmlError> {
+        // Called after consuming '&'.
+        let mut body = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("entity"))),
+                Some(';') => break,
+                Some(c) => body.push(c),
+            }
+            if body.len() > 12 {
+                return Err(self.error(XmlErrorKind::UnknownEntity(body)));
+            }
+        }
+        match body.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "apos" => Ok('\''),
+            "quot" => Ok('"'),
+            _ => {
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16)
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.error(XmlErrorKind::BadCharRef(body.clone())))
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>()
+                        .ok()
+                        .and_then(char::from_u32)
+                        .ok_or_else(|| self.error(XmlErrorKind::BadCharRef(body.clone())))
+                } else {
+                    Err(self.error(XmlErrorKind::UnknownEntity(body)))
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.bump() {
+            Some(c @ ('"' | '\'')) => c,
+            Some(c) => {
+                return Err(self.error(XmlErrorKind::Unexpected {
+                    found: c,
+                    expected: "a quoted attribute value",
+                }))
+            }
+            None => return Err(self.error(XmlErrorKind::UnexpectedEof("attribute value"))),
+        };
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("attribute value"))),
+                Some(c) if c == quote => return Ok(value),
+                Some('&') => value.push(self.parse_entity()?),
+                Some(c) => value.push(c),
+            }
+        }
+    }
+
+    fn parse_element(&mut self, depth: usize) -> Result<Element, XmlError> {
+        if depth >= self.options.max_depth {
+            return Err(self.error(XmlErrorKind::TooDeep(self.options.max_depth)));
+        }
+        self.expect('<', "element")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some('/') => {
+                    self.bump();
+                    self.expect('>', "self-closing tag")?;
+                    return Ok(element);
+                }
+                Some(c) if Self::is_name_start(c) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect('=', "attribute")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push(Attribute { name: attr_name, value });
+                }
+                Some(c) => {
+                    return Err(self.error(XmlErrorKind::Unexpected {
+                        found: c,
+                        expected: "attribute, '>' or '/>'",
+                    }))
+                }
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("start tag"))),
+            }
+        }
+
+        // Content.
+        let mut text_run = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("element content"))),
+                Some('<') => {
+                    let mut probe = self.chars.clone();
+                    probe.next(); // '<'
+                    match probe.next() {
+                        Some('/') => {
+                            self.flush_text(&mut element, &mut text_run);
+                            self.bump(); // '<'
+                            self.bump(); // '/'
+                            let close = self.parse_name()?;
+                            self.skip_ws();
+                            self.expect('>', "end tag")?;
+                            if close != element.name {
+                                return Err(self.error(XmlErrorKind::MismatchedTag {
+                                    open: element.name,
+                                    close,
+                                }));
+                            }
+                            return Ok(element);
+                        }
+                        Some('!') => {
+                            let mut probe2 = probe.clone();
+                            if probe2.next() == Some('[') {
+                                // CDATA section: <![CDATA[ ... ]]>
+                                if !self.eat("<![CDATA[") {
+                                    return Err(self.error(XmlErrorKind::Unexpected {
+                                        found: '[',
+                                        expected: "CDATA section",
+                                    }));
+                                }
+                                self.read_cdata(&mut text_run)?;
+                            } else {
+                                self.flush_text(&mut element, &mut text_run);
+                                self.skip_comment()?;
+                            }
+                        }
+                        Some('?') => {
+                            self.flush_text(&mut element, &mut text_run);
+                            self.skip_pi()?;
+                        }
+                        _ => {
+                            self.flush_text(&mut element, &mut text_run);
+                            let child = self.parse_element(depth + 1)?;
+                            element.children.push(XmlNode::Element(child));
+                        }
+                    }
+                }
+                Some('&') => {
+                    self.bump();
+                    text_run.push(self.parse_entity()?);
+                }
+                Some(_) => {
+                    text_run.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+    }
+
+    fn read_cdata(&mut self, text_run: &mut String) -> Result<(), XmlError> {
+        // Already consumed "<![CDATA[". Read until "]]>".
+        loop {
+            match self.bump() {
+                None => return Err(self.error(XmlErrorKind::UnexpectedEof("CDATA section"))),
+                Some(']') => {
+                    let mut probe = self.chars.clone();
+                    if probe.next() == Some(']') && probe.next() == Some('>') {
+                        self.bump();
+                        self.bump();
+                        return Ok(());
+                    }
+                    text_run.push(']');
+                }
+                Some(c) => text_run.push(c),
+            }
+        }
+    }
+
+    fn flush_text(&mut self, element: &mut Element, text_run: &mut String) {
+        if text_run.is_empty() {
+            return;
+        }
+        let run = std::mem::take(text_run);
+        if self.options.ignore_whitespace_text && run.chars().all(char::is_whitespace) {
+            return;
+        }
+        element.children.push(XmlNode::Text(run));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_element() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.attributes.is_empty());
+        assert!(e.children.is_empty());
+        let e2 = parse("<a></a>").unwrap();
+        assert_eq!(e, e2);
+    }
+
+    #[test]
+    fn attributes_single_and_double_quoted() {
+        let e = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(e.attribute("x"), Some("1"));
+        assert_eq!(e.attribute("y"), Some("two"));
+    }
+
+    #[test]
+    fn attribute_spacing_variants() {
+        let e = parse("<a x = \"1\"  y=\"2\" />").unwrap();
+        assert_eq!(e.attribute("x"), Some("1"));
+        assert_eq!(e.attribute("y"), Some("2"));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let e = parse("<root><item>Hello!</item></root>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        match &e.children[0] {
+            XmlNode::Element(item) => {
+                assert_eq!(item.name, "item");
+                assert_eq!(item.text(), "Hello!");
+            }
+            other => panic!("expected element, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped_by_default() {
+        let e = parse("<a>\n  <b/>\n  <c/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 2);
+    }
+
+    #[test]
+    fn whitespace_text_kept_when_configured() {
+        let opts = XmlOptions { ignore_whitespace_text: false, ..XmlOptions::default() };
+        let e = parse_with("<a> <b/> </a>", &opts).unwrap();
+        assert_eq!(e.children.len(), 3);
+    }
+
+    #[test]
+    fn mixed_content_preserved() {
+        let e = parse("<p>one <b>two</b> three</p>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.text(), "one  three");
+    }
+
+    #[test]
+    fn predefined_entities_decode() {
+        let e = parse("<a x=\"&lt;&amp;&quot;\">&gt;&apos;</a>").unwrap();
+        assert_eq!(e.attribute("x"), Some("<&\""));
+        assert_eq!(e.text(), ">'");
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        let e = parse("<a>&#65;&#x42;&#x1F600;</a>").unwrap();
+        assert_eq!(e.text(), "AB\u{1F600}");
+    }
+
+    #[test]
+    fn unknown_entity_is_error() {
+        let err = parse("<a>&nbsp;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(_)));
+    }
+
+    #[test]
+    fn bad_char_ref_is_error() {
+        let err = parse("<a>&#xD800;</a>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::BadCharRef(_)));
+    }
+
+    #[test]
+    fn cdata_sections() {
+        let e = parse("<a><![CDATA[<not-a-tag> & raw]]></a>").unwrap();
+        assert_eq!(e.text(), "<not-a-tag> & raw");
+    }
+
+    #[test]
+    fn cdata_with_brackets() {
+        let e = parse("<a><![CDATA[x]y]]z]]></a>").unwrap();
+        assert_eq!(e.text(), "x]y]]z");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let e = parse("<a><!-- hi --><b/><!-- --- --></a>").unwrap();
+        assert_eq!(e.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn xml_declaration_and_doctype_skipped() {
+        let e = parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE doc [<!ELEMENT doc ANY>]>\n<doc/>").unwrap();
+        assert_eq!(e.name, "doc");
+    }
+
+    #[test]
+    fn processing_instructions_in_content() {
+        let e = parse("<a><?php echo ?><b/></a>").unwrap();
+        assert_eq!(e.child_elements().count(), 1);
+    }
+
+    #[test]
+    fn namespaced_names_kept_verbatim() {
+        let e = parse(r#"<ns:a xmlns:ns="http://x" ns:attr="1"><ns:b/></ns:a>"#).unwrap();
+        assert_eq!(e.name, "ns:a");
+        assert_eq!(e.attribute("ns:attr"), Some("1"));
+        assert_eq!(e.child_elements().next().unwrap().name, "ns:b");
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::MismatchedTag { .. }));
+    }
+
+    #[test]
+    fn unclosed_element_error() {
+        let err = parse("<a><b>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::UnexpectedEof(_)));
+    }
+
+    #[test]
+    fn trailing_content_error() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::TrailingContent));
+    }
+
+    #[test]
+    fn trailing_comment_ok() {
+        assert!(parse("<a/>\n<!-- done -->\n").is_ok());
+    }
+
+    #[test]
+    fn no_root_error() {
+        let err = parse("   ").unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::NoRoot));
+    }
+
+    #[test]
+    fn depth_limit() {
+        let deep = "<a>".repeat(300) + &"</a>".repeat(300);
+        let err = parse(&deep).unwrap_err();
+        assert!(matches!(err.kind, XmlErrorKind::TooDeep(256)));
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n  <b x=>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn paper_doc_sample_parses() {
+        // The §2.2 example document.
+        let e = parse(
+            "<doc>\n\
+               <heading>Working with JSON</heading>\n\
+               <p>Type providers make this easy.</p>\n\
+               <heading>Working with XML</heading>\n\
+               <p>Processing XML is as easy as JSON.</p>\n\
+               <image source=\"xml.png\" />\n\
+             </doc>",
+        )
+        .unwrap();
+        assert_eq!(e.name, "doc");
+        let names: Vec<_> = e.child_elements().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["heading", "p", "heading", "p", "image"]);
+        assert_eq!(
+            e.child_elements().last().unwrap().attribute("source"),
+            Some("xml.png")
+        );
+    }
+}

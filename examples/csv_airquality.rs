@@ -1,0 +1,51 @@
+//! CSV air quality — the paper's §6.2 example.
+//!
+//! ```text
+//! Ozone, Temp, Date, Autofilled
+//! 41, 67, 2012-05-01, 0
+//! 36.3, 72, 2012-05-02, 1
+//! 12.1, 74, 3 kveten, 0
+//! 17.5, #N/A, 2012-05-04, 0
+//! ```
+//!
+//! CSV literals carry no types, so the provider infers the shape of
+//! every cell (§6.2):
+//!
+//! * `Ozone` mixes `41` and `36.3` → `float`;
+//! * `Temp` has a `#N/A` (missing value) → `Option<i64>`;
+//! * `Date` mixes ISO dates with the Czech "3 kveten" → `String`
+//!   (a consistent column would have been a date);
+//! * `Autofilled` contains only 0/1 → the *bit* shape, provided as
+//!   `bool`.
+//!
+//! Run with: `cargo run --example csv_airquality`
+
+types_from_data::csv_provider! {
+    mod airquality;
+    root Row;
+    sample_file "examples/data/airquality.csv";
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    for row in airquality::sample() {
+        let ozone: f64 = row.ozone()?;
+        let temp: Option<i64> = row.temp()?;
+        let date: String = row.date()?;
+        let autofilled: bool = row.autofilled()?;
+
+        let temp_text = match temp {
+            Some(t) => t.to_string(),
+            None => "?".to_owned(),
+        };
+        let mark = if autofilled { " (autofilled)" } else { "" };
+        println!("{date}: ozone {ozone:>4}, temp {temp_text:>2}{mark}");
+    }
+
+    // Runtime rows of the same shape — including missing values:
+    let more = "Ozone, Temp, Date, Autofilled\n20.1, , 2013-01-05, 1\n";
+    for row in airquality::parse(more)? {
+        assert_eq!(row.temp()?, None);
+        println!("{}: ozone {}", row.date()?, row.ozone()?);
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! HTML tables — the footnote-10 extension.
+//!
+//! > "The same mechanism has later been used by the HTML type provider
+//! > …, which provides similarly easy access to data in HTML tables and
+//! > lists."
+//!
+//! The provider scans a (messy, real-world) HTML page for its tables,
+//! types the selected table like a CSV file (§6.2 literal inference),
+//! and generates row accessors.
+//!
+//! Run with: `cargo run --example html_table`
+
+types_from_data::html_provider! {
+    mod forecast;
+    root Day;
+    sample r#"<html>
+      <head><title>Forecast</title><style>td { padding: 2px }</style></head>
+      <body>
+        <h1>Five-day forecast</h1>
+        <table id="forecast">
+          <tr><th>Day</th><th>High</th><th>Low</th><th>Rain</th></tr>
+          <tr><td>Mon<td>12<td>5<td>0.5</tr>
+          <tr><td>Tue<td>14<td>6<td>0</tr>
+          <tr><td>Wed<td>11<td>4<td>2.5</tr>
+        </table>
+      </body>
+    </html>"#;
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // The compile-time sample (note the unclosed <td>/<tr> tags above —
+    // real-world HTML, handled by the permissive scanner).
+    for day in forecast::sample() {
+        println!(
+            "{}: {}..{} °C, rain {}",
+            day.day()?,
+            day.low()?,
+            day.high()?,
+            day.rain()?
+        );
+    }
+
+    // The same types work for other pages with the same table shape:
+    let other = forecast::parse(
+        "<table><tr><th>Day</th><th>High</th><th>Low</th><th>Rain</th></tr>\
+         <tr><td>Sat</td><td>20</td><td>11</td><td>0</td></tr></table>",
+    )?;
+    println!("weekend: {} up to {} °C", other[0].day()?, other[0].high()?);
+
+    // Lists are extracted too (the library API):
+    let lists = types_from_data::html::parse_lists(
+        "<ul><li>JSON</li><li>XML</li><li>CSV</li><li>HTML</li></ul>",
+    );
+    println!("formats: {}", lists[0].join(", "));
+    Ok(())
+}

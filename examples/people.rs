@@ -1,0 +1,56 @@
+//! People — the paper's §2.1 example.
+//!
+//! The F# original:
+//!
+//! ```fsharp
+//! type People = JsonProvider<"people.json">
+//! for item in People.Parse(data) do
+//!   printf "%s " item.Name
+//!   Option.iter (printf "(%f)") item.Age
+//! ```
+//!
+//! The sample contains a person without an age and ages of both integer
+//! (25) and float (3.5) kinds, so the provider infers
+//! `Age : option<float>` — missing data becomes an `Option`, and the
+//! common numeric shape is `float` (§2.1).
+//!
+//! Run with: `cargo run --example people`
+
+types_from_data::json_provider! {
+    mod people;
+    root Person;
+    sample_file "examples/data/people.json";
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // GetSample(): the compile-time sample itself.
+    for item in people::sample() {
+        print!("{} ", item.name()?);
+        // The paper: Option.iter (printf "(%f)") item.Age
+        if let Some(age) = item.age()? {
+            print!("({age})");
+        }
+        println!();
+    }
+
+    // Parse(data): runtime data of the same shape — including a person
+    // with an extra field the sample never showed (open world: extra
+    // fields are fine, §5) and a missing age.
+    let data = r#"[ { "name": "Grace", "age": 37, "title": "RADM" },
+                    { "name": "Alan" } ]"#;
+    for item in people::parse(data)? {
+        match item.age()? {
+            Some(age) => println!("{} is {}", item.name()?, age),
+            None => println!("{} (age unknown)", item.name()?),
+        }
+    }
+
+    // The relative-safety boundary (§5): data whose shape is NOT
+    // preferred over the sample's shape fails with a precise error
+    // instead of silently producing garbage.
+    let bad = r#"[ { "name": 42 } ]"#;
+    let items = people::parse(bad)?;
+    let err = items[0].name().unwrap_err();
+    println!("bad document rejected: {err}");
+    Ok(())
+}

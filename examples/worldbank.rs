@@ -1,0 +1,54 @@
+//! World Bank — the paper's §2.3 heterogeneous-collection example.
+//!
+//! The government-debt response mixes three real-world problems:
+//!
+//! * `value` is `null` for some records → `Option`;
+//! * numbers are encoded as strings (`"35.14229"`) → inferred as `float`
+//!   from the string content;
+//! * the top-level array mixes a metadata record with a data array →
+//!   a heterogeneous collection (§6.4) provided as `Record` + `Array`
+//!   members rather than a weakly typed list.
+//!
+//! The provided F# type in the paper:
+//!
+//! ```fsharp
+//! type WorldBank =
+//!   member Record : Record   // { Pages : int }
+//!   member Array  : Item[]   // { Date : int; Indicator : string;
+//!                             //   Value : option<float> }
+//! ```
+//!
+//! Run with: `cargo run --example worldbank`
+
+types_from_data::json_provider! {
+    mod worldbank;
+    root WorldBank;
+    sample_file "examples/data/worldbank.json";
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let doc = worldbank::sample();
+
+    // The metadata record (multiplicity 1 → direct access):
+    let meta = doc.record()?;
+    println!("pages: {}", meta.pages()?);
+
+    // The data array (multiplicity 1 → direct access to the collection):
+    for item in doc.array()? {
+        let date = item.date()?; // "2012" → int (content-based inference)
+        match item.value()? {
+            Some(v) => println!("{}: {} = {v}", date, item.indicator()?),
+            None => println!("{}: {} = (no data)", date, item.indicator()?),
+        }
+    }
+
+    // Runtime data with the record and array swapped still works: the
+    // heterogeneous accessors select elements by shape, not by position.
+    let swapped = r#"[ [ { "indicator": "NY.GDP.MKTP.CD",
+                           "date": "2020", "value": "95.5" } ],
+                       { "pages": 1 } ]"#;
+    let doc2 = worldbank::parse(swapped)?;
+    println!("swapped pages: {}", doc2.record()?.pages()?);
+    println!("swapped rows:  {}", doc2.array()?.len());
+    Ok(())
+}

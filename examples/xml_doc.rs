@@ -1,0 +1,59 @@
+//! XML documents — the paper's §2.2 open-world example.
+//!
+//! The F# original:
+//!
+//! ```fsharp
+//! type Document = XmlProvider<"sample.xml">
+//! let root = Document.Load("pldi/another.xml")
+//! for elem in root.Doc do
+//!   Option.iter (printf " - %s") elem.Heading
+//! ```
+//!
+//! The sample shows `<heading>`, `<p>` and `<image>` elements, but XML is
+//! extensible — the runtime document may contain a `<table>` the sample
+//! never mentioned. The inference therefore produces a *labelled top
+//! shape* (§3.5): each element offers `heading()` / `p()` / `image()`
+//! members returning `Option`s, and unknown elements simply answer `None`
+//! to all of them (§2.2: "For a table element, all three properties would
+//! return None").
+//!
+//! Run with: `cargo run --example xml_doc`
+
+types_from_data::xml_provider! {
+    mod document;
+    root Document;
+    no_hetero; // the §2.2 presentation: a collection of labelled-top elements
+    sample_file "examples/data/doc.xml";
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    // The <doc> element has no attributes, so the provider collapses it
+    // to its body (§6.3): `sample()` IS the element collection — the
+    // paper's `root.Doc`.
+    println!("sample headings:");
+    for elem in document::sample() {
+        if let Some(heading) = elem.heading()? {
+            println!(" - {heading}");
+        }
+    }
+
+    // Load a *different* document (the paper's Document.Load): it
+    // contains a <table> element unknown to the sample — open world.
+    let other = document::load("examples/data/another.xml")?;
+    println!("another.xml:");
+    let mut unknown = 0usize;
+    for elem in other {
+        if let Some(heading) = elem.heading()? {
+            println!(" - heading: {heading}");
+        } else if let Some(p) = elem.p()? {
+            println!(" - paragraph: {p}");
+        } else if elem.image()?.is_some() {
+            println!(" - image");
+        } else {
+            // The <table> element: all statically known members are None.
+            unknown += 1;
+        }
+    }
+    println!(" - plus {unknown} element(s) the sample never described");
+    Ok(())
+}

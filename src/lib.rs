@@ -1,0 +1,49 @@
+//! # types-from-data — facade crate
+//!
+//! A comprehensive Rust reproduction of *Types from data: Making structured
+//! data first-class citizens in F#* (Petricek, Guerra, Syme; PLDI 2016).
+//!
+//! This crate re-exports the workspace members under stable module names so
+//! that examples and downstream users need a single dependency:
+//!
+//! * [`value`] — the universal data value `d` (§3.4)
+//! * [`json`] / [`xml`] / [`csv`] — structured-data front-ends (§6.2)
+//! * [`shape`] — shape algebra, preferred-shape relation and inference (§3)
+//! * [`foo`] — the Foo calculus interpreter and type checker (§4.1)
+//! * [`provider`] — the type-provider mapping `⟦σ⟧ = (τ, e, L)` (§4.2)
+//! * [`runtime`] — Rust-side typed access over weakly typed data
+//! * [`codegen`] — Rust struct generation from inferred shapes
+//!
+//! The proc-macro providers live in [`tfd_macros`] and are re-exported at
+//! the crate root.
+//!
+//! # Quickstart
+//!
+//! Infer a type from a sample (the paper's §1 example) and print the
+//! provided type:
+//!
+//! ```
+//! use types_from_data as tfd;
+//!
+//! let sample = r#"{ "main": { "temp": 5 } }"#;
+//! let doc = tfd::json::parse(sample)?;
+//! let shape = tfd::shape::infer(&doc.to_value());
+//! let provided = tfd::provider::provide_idiomatic(&shape, "Weather");
+//! let sig = tfd::provider::signature(&provided);
+//! assert!(sig.contains("member Temp : int"));
+//! # Ok::<(), tfd::json::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use tfd_value as value;
+pub use tfd_json as json;
+pub use tfd_xml as xml;
+pub use tfd_csv as csv;
+pub use tfd_html as html;
+pub use tfd_core as shape;
+pub use tfd_foo as foo;
+pub use tfd_provider as provider;
+pub use tfd_runtime as runtime;
+pub use tfd_codegen as codegen;
+pub use tfd_macros::{csv_provider, html_provider, json_provider, xml_provider};

@@ -1,0 +1,181 @@
+//! Shared generators for the integration test suite.
+//!
+//! * [`value_strategy`] — a proptest strategy for arbitrary data values
+//!   `d` (bounded depth/width, realistic field names);
+//! * [`conforming`] — given a shape σ, deterministically generates a
+//!   value `d′` with `S(d′) ⊑ σ` (used to instantiate Theorem 3);
+//! * [`random_program`] — generates a random access program (client
+//!   code) navigating a shape (used to instantiate Remark 1).
+//!
+//! Each integration-test binary links this module separately, so some
+//! helpers are unused in some binaries.
+#![allow(dead_code)]
+
+use proptest::prelude::*;
+use tfd_core::{Multiplicity, Shape};
+use tfd_provider::{naming::tag_member_name, AccessProgram, AccessStep};
+use tfd_value::corpus::Rng;
+use tfd_value::{Field, Value, BODY_NAME};
+
+const FIELD_NAMES: &[&str] = &["a", "b", "name", "value", "x"];
+const RECORD_NAMES: &[&str] = &[BODY_NAME, "item", "point"];
+
+/// A proptest strategy for structural data values.
+pub fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(|i| Value::Int(i % 1000)),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        any::<bool>().prop_map(Value::Bool),
+        prop_oneof![Just("s"), Just("text"), Just("Jan")]
+            .prop_map(|s| Value::Str(s.to_owned())),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
+            (
+                prop::sample::select(RECORD_NAMES),
+                prop::collection::vec(
+                    (prop::sample::select(FIELD_NAMES), inner),
+                    0..4
+                )
+            )
+                .prop_map(|(name, fields)| {
+                    // Deduplicate field names (records are maps).
+                    let mut seen: Vec<&str> = Vec::new();
+                    let fields = fields
+                        .into_iter()
+                        .filter(|(n, _)| {
+                            if seen.contains(n) {
+                                false
+                            } else {
+                                seen.push(n);
+                                true
+                            }
+                        })
+                        .map(|(n, v)| Field::new(n, v))
+                        .collect();
+                    Value::Record { name: name.to_owned(), fields }
+                }),
+        ]
+    })
+}
+
+/// Deterministically generates a value whose inferred shape is preferred
+/// over σ (i.e. a valid Theorem 3 input for a provider built from σ).
+pub fn conforming(shape: &Shape, rng: &mut Rng) -> Value {
+    match shape {
+        // ⊥ has no inhabitants; it only occurs as an empty-collection
+        // element, which the List case below handles.
+        Shape::Bottom => Value::Null,
+        Shape::Null => Value::Null,
+        Shape::Bool => Value::Bool(rng.below(2) == 0),
+        Shape::Int => Value::Int(rng.below(100) as i64),
+        Shape::Bit => Value::Int(rng.below(2) as i64),
+        // int ⊑ float: produce either encoding.
+        Shape::Float => {
+            if rng.chance(0.5) {
+                Value::Float(rng.below(100) as f64 / 4.0)
+            } else {
+                Value::Int(rng.below(100) as i64)
+            }
+        }
+        Shape::String => Value::Str(format!("s{}", rng.below(10))),
+        Shape::Date => Value::Str(format!("2012-05-{:02}", 1 + rng.below(28))),
+        Shape::Nullable(inner) => {
+            if rng.chance(0.3) {
+                Value::Null
+            } else {
+                conforming(inner, rng)
+            }
+        }
+        Shape::List(element) => {
+            if **element == Shape::Bottom {
+                return Value::List(Vec::new());
+            }
+            if rng.chance(0.1) {
+                return Value::Null; // null ⊑ [σ]
+            }
+            let n = rng.below(4) as usize;
+            Value::List((0..n).map(|_| conforming(element, rng)).collect())
+        }
+        Shape::Record(r) => {
+            let mut fields = Vec::new();
+            for f in &r.fields {
+                // A nullable field may be omitted entirely (row-variable
+                // convention).
+                if matches!(f.shape, Shape::Nullable(_) | Shape::Null) && rng.chance(0.3) {
+                    continue;
+                }
+                fields.push(Field::new(f.name.clone(), conforming(&f.shape, rng)));
+            }
+            // Extra fields are allowed (rule 9).
+            if rng.chance(0.2) {
+                fields.push(Field::new("extra_field", Value::Int(rng.below(10) as i64)));
+            }
+            Value::Record { name: r.name.clone(), fields }
+        }
+        Shape::Top(labels) => {
+            if labels.is_empty() || rng.chance(0.2) {
+                // The open world: any value at all.
+                Value::Str("anything".to_owned())
+            } else {
+                let pick = rng.below(labels.len() as u64) as usize;
+                conforming(&labels[pick], rng)
+            }
+        }
+        Shape::HeteroList(cases) => {
+            let mut items = Vec::new();
+            for (case_shape, multiplicity) in cases {
+                let count = match multiplicity {
+                    Multiplicity::One => 1,
+                    Multiplicity::ZeroOrOne => rng.below(2) as usize,
+                    Multiplicity::Many => rng.below(3) as usize,
+                };
+                for _ in 0..count {
+                    let mut v = conforming(case_shape, rng);
+                    if v.is_null() {
+                        // A null element would not count toward the
+                        // case's tag; only collection cases can produce
+                        // null here, and the empty collection is the
+                        // null-equivalent that does carry the tag.
+                        v = Value::List(Vec::new());
+                    }
+                    items.push(v);
+                }
+            }
+            Value::List(items)
+        }
+    }
+}
+
+/// Generates a random access program navigating `shape` (raw-mode member
+/// names), returning the program and the shape of its result.
+pub fn random_program(shape: &Shape, rng: &mut Rng, max_steps: usize) -> (AccessProgram, Shape) {
+    let mut steps = Vec::new();
+    let mut cur = shape.clone();
+    for _ in 0..max_steps {
+        match &cur {
+            Shape::Record(r) if !r.fields.is_empty() => {
+                let pick = rng.below(r.fields.len() as u64) as usize;
+                steps.push(AccessStep::Member(r.fields[pick].name.clone()));
+                cur = r.fields[pick].shape.clone();
+            }
+            Shape::Nullable(inner) => {
+                steps.push(AccessStep::Unwrap);
+                cur = (**inner).clone();
+            }
+            Shape::List(element) if **element != Shape::Bottom => {
+                steps.push(AccessStep::Nth(rng.below(2) as usize));
+                cur = (**element).clone();
+            }
+            Shape::Top(labels) if !labels.is_empty() => {
+                let pick = rng.below(labels.len() as u64) as usize;
+                steps.push(AccessStep::Case(tag_member_name(&labels[pick])));
+                cur = labels[pick].clone();
+            }
+            _ => break,
+        }
+    }
+    (AccessProgram::new(steps), cur)
+}

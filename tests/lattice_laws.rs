@@ -1,0 +1,262 @@
+//! Order-theoretic laws of the shape algebra (Definition 1, Lemma 1).
+//!
+//! Property-tested on shapes inferred from randomly generated documents
+//! (the shapes that actually arise in the system — ground shapes in the
+//! paper's sense):
+//!
+//! * `⊑` is a partial order: reflexive, transitive, antisymmetric;
+//! * `csh` is an upper bound of its arguments (Lemma 1's first half);
+//! * `csh` is a *least* upper bound: below every competing upper bound
+//!   drawn from the generated population (Lemma 1's second half,
+//!   approximated over the sample);
+//! * `csh` is commutative, idempotent and associative;
+//! * inference is monotone: `S(dᵢ) ⊑ S(d1, …, dn)`;
+//! * `⊑` and `hasShape` cohere: `S(d) ⊑ σ` implies `conforms(σ, d)`.
+
+mod common;
+
+use common::value_strategy;
+use proptest::prelude::*;
+use tfd_core::{conforms, csh, infer_many, infer_with, is_preferred, InferOptions, Shape};
+
+fn shape_of(d: &tfd_value::Value) -> Shape {
+    infer_with(d, &InferOptions::formal())
+}
+
+/// Replaces every labelled top with the plain `any` (footnote 6).
+fn erase_labels(shape: &Shape) -> Shape {
+    match shape {
+        Shape::Top(_) => Shape::any(),
+        Shape::Record(r) => Shape::record(
+            r.name.clone(),
+            r.fields
+                .iter()
+                .map(|f| (f.name.clone(), erase_labels(&f.shape))),
+        ),
+        Shape::Nullable(inner) => erase_labels(inner).ceil(),
+        Shape::List(e) => Shape::list(erase_labels(e)),
+        Shape::HeteroList(cases) => Shape::HeteroList(
+            cases.iter().map(|(s, m)| (erase_labels(s), *m)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn preference_is_reflexive(d in value_strategy()) {
+        let s = shape_of(&d);
+        prop_assert!(is_preferred(&s, &s), "{s} not ⊑ itself");
+    }
+
+    #[test]
+    fn preference_is_transitive(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        // Construct a guaranteed chain via csh: a ⊑ a⊔b ⊑ (a⊔b)⊔c.
+        let sa = shape_of(&a);
+        let sab = csh(&sa, &shape_of(&b));
+        let sabc = csh(&sab, &shape_of(&c));
+        prop_assert!(is_preferred(&sa, &sab));
+        prop_assert!(is_preferred(&sab, &sabc));
+        prop_assert!(is_preferred(&sa, &sabc), "transitivity failed: {sa} ⋢ {sabc}");
+    }
+
+    /// Antisymmetry holds *semantically*: with the row-variable reading
+    /// of the record rules (a missing field reads as null) and footnote
+    /// 6's label-blind tops, `⊑` is a preorder whose equivalence classes
+    /// are "shapes admitting the same data values". Mutually preferred
+    /// shapes must therefore accept exactly the same conforming values.
+    #[test]
+    fn mutual_preference_implies_same_conforming_values(
+        a in value_strategy(),
+        b in value_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let sa = shape_of(&a);
+        let sb = shape_of(&b);
+        if is_preferred(&sa, &sb) && is_preferred(&sb, &sa) {
+            let mut rng = tfd_value::corpus::Rng::new(seed);
+            for _ in 0..8 {
+                let va = common::conforming(&sa, &mut rng);
+                prop_assert!(
+                    conforms(&sb, &va),
+                    "{sa} ≡ {sb} but {va} conforms only to the first"
+                );
+                let vb = common::conforming(&sb, &mut rng);
+                prop_assert!(
+                    conforms(&sa, &vb),
+                    "{sa} ≡ {sb} but {vb} conforms only to the second"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csh_is_upper_bound(a in value_strategy(), b in value_strategy()) {
+        let sa = shape_of(&a);
+        let sb = shape_of(&b);
+        let j = csh(&sa, &sb);
+        prop_assert!(is_preferred(&sa, &j), "{sa} ⋢ csh = {j}");
+        prop_assert!(is_preferred(&sb, &j), "{sb} ⋢ csh = {j}");
+    }
+
+    #[test]
+    fn csh_is_least_among_generated_upper_bounds(
+        a in value_strategy(),
+        b in value_strategy(),
+        candidates in prop::collection::vec(value_strategy(), 1..4),
+    ) {
+        // Lemma 1: csh(a, b) is below every upper bound. We check against
+        // upper bounds constructible from the generated population by
+        // joining in more shapes.
+        let sa = shape_of(&a);
+        let sb = shape_of(&b);
+        let j = csh(&sa, &sb);
+        for c in &candidates {
+            let upper = csh(&j, &shape_of(c));
+            // `upper` is an upper bound of both a and b...
+            prop_assert!(is_preferred(&sa, &upper));
+            prop_assert!(is_preferred(&sb, &upper));
+            // ...and the lub is below it.
+            prop_assert!(
+                is_preferred(&j, &upper),
+                "csh({sa}, {sb}) = {j} ⋢ upper bound {upper}"
+            );
+        }
+    }
+
+    #[test]
+    fn csh_is_commutative(a in value_strategy(), b in value_strategy()) {
+        let sa = shape_of(&a);
+        let sb = shape_of(&b);
+        prop_assert_eq!(csh(&sa, &sb), csh(&sb, &sa));
+    }
+
+    #[test]
+    fn csh_is_idempotent(a in value_strategy()) {
+        let sa = shape_of(&a);
+        prop_assert_eq!(csh(&sa, &sa), sa.clone());
+        // And absorbing with its own join:
+        let j = csh(&sa, &sa);
+        prop_assert_eq!(csh(&j, &sa), j);
+    }
+
+    #[test]
+    fn csh_is_associative(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        let (sa, sb, sc) = (shape_of(&a), shape_of(&b), shape_of(&c));
+        let left = csh(&csh(&sa, &sb), &sc);
+        let right = csh(&sa, &csh(&sb, &sc));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn inference_is_monotone_in_samples(
+        samples in prop::collection::vec(value_strategy(), 1..5),
+    ) {
+        let joined = infer_many(&samples, &InferOptions::formal());
+        for d in &samples {
+            prop_assert!(
+                is_preferred(&shape_of(d), &joined),
+                "S({d}) ⋢ S(samples) = {joined}"
+            );
+        }
+        // Adding a sample only generalizes (the stability precondition):
+        let mut extended = samples.clone();
+        extended.push(samples[0].clone());
+        let joined2 = infer_many(&extended, &InferOptions::formal());
+        prop_assert!(is_preferred(&joined, &joined2));
+    }
+
+    #[test]
+    fn preference_implies_conformance(d in value_strategy(), sample in value_strategy()) {
+        let shape = shape_of(&sample);
+        if is_preferred(&shape_of(&d), &shape) {
+            prop_assert!(
+                conforms(&shape, &d),
+                "S({d}) ⊑ {shape} but hasShape rejects the value"
+            );
+        }
+    }
+
+    #[test]
+    fn bottom_and_top_are_extremes(d in value_strategy()) {
+        let s = shape_of(&d);
+        prop_assert!(is_preferred(&Shape::Bottom, &s));
+        prop_assert!(is_preferred(&s, &Shape::any()));
+        prop_assert_eq!(csh(&s, &Shape::Bottom), s.clone());
+        prop_assert!(csh(&s, &Shape::any()).is_top());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Footnote 6: erasing top labels never changes the relation.
+    #[test]
+    fn labels_do_not_affect_preference(a in value_strategy(), b in value_strategy()) {
+        let sa = shape_of(&a);
+        let sb = shape_of(&b);
+        prop_assert_eq!(
+            is_preferred(&sa, &sb),
+            is_preferred(&erase_labels(&sa), &erase_labels(&sb))
+        );
+    }
+}
+
+#[test]
+fn figure1_hasse_diagram_edges() {
+    // The explicit edges of Fig. 1, bottom part (non-nullable shapes) and
+    // top part (nullable shapes), checked one by one.
+    use Shape::*;
+    let record = Shape::record("P", [("x", Int)]);
+    let edges: Vec<(Shape, Shape)> = vec![
+        (Bottom, Int),
+        (Bottom, Bool),
+        (Bottom, String),
+        (Bottom, record.clone()),
+        (Int, Float),
+        (Bottom, Null),
+        (Null, Int.ceil()),
+        (Null, Float.ceil()),
+        (Null, Bool.ceil()),
+        (Null, String.ceil()),
+        (Null, record.clone().ceil()),
+        (Null, Shape::list(Int)),
+        (Int, Int.ceil()),
+        (Float, Float.ceil()),
+        (Bool, Bool.ceil()),
+        (String, String.ceil()),
+        (record.clone(), record.clone().ceil()),
+        (Int.ceil(), Float.ceil()),
+        (Int.ceil(), Shape::any()),
+        (Shape::list(Int), Shape::any()),
+        (String.ceil(), Shape::any()),
+    ];
+    for (lo, hi) in &edges {
+        assert!(is_preferred(lo, hi), "Fig. 1 edge {lo} ⊑ {hi} missing");
+    }
+    // And some non-edges that the diagram implies:
+    let non_edges: Vec<(Shape, Shape)> = vec![
+        (Float, Int),
+        (String, Int),
+        (Bool, Int),
+        (Int.ceil(), Int),
+        (Shape::any(), Int.ceil()),
+        (Shape::list(Int), Int.ceil()),
+        (record.clone(), String),
+        (Null, Int),
+        (Null, record),
+    ];
+    for (a, b) in &non_edges {
+        assert!(!is_preferred(a, b), "unexpected edge {a} ⊑ {b}");
+    }
+}

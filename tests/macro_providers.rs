@@ -1,0 +1,162 @@
+//! The proc-macro type providers, exercised end to end.
+//!
+//! Each invocation here runs the full pipeline at *compile time*:
+//! sample text → front-end parser → shape inference → Rust code
+//! generation → compilation into this test binary.
+
+// A provider with two samples: the paper's multi-sample workflow (§3.4:
+// "This operation is used when calling a type provider with multiple
+// samples").
+types_from_data::json_provider! {
+    mod multi;
+    root Reading;
+    sample r#"{ "sensor": "t1", "value": 21 }"#;
+    sample r#"{ "sensor": "t2" }"#;
+}
+
+// Inline JSON sample with nested records and arrays.
+types_from_data::json_provider! {
+    mod nested;
+    root Outer;
+    sample r#"{ "items": [ { "id": 1, "tags": ["a", "b"] } ], "total": 1 }"#;
+}
+
+// XML with attributes, nested elements and a numeric body.
+types_from_data::xml_provider! {
+    mod config;
+    root Config;
+    sample r#"<config version="2"><timeout>30</timeout><verbose>true</verbose></config>"#;
+}
+
+// CSV with the §6.2 inference (bit column, missing values, dates).
+types_from_data::csv_provider! {
+    mod readings;
+    root Reading;
+    sample "when,level,ok\n2021-01-01,3.5,1\n2021-01-02,,0\n";
+}
+
+// Keyword-colliding and unicode field names.
+types_from_data::json_provider! {
+    mod awkward;
+    root Awkward;
+    sample r#"{ "type": "x", "fn": 1, "Víc slov": true }"#;
+}
+
+#[test]
+fn multi_sample_merges_field_presence() {
+    // `value` is missing in the second sample → Option<i64>.
+    let rows = multi::parse(r#"{ "sensor": "t9", "value": 7 }"#).unwrap();
+    assert_eq!(rows.sensor().unwrap(), "t9");
+    assert_eq!(rows.value().unwrap(), Some(7));
+    let rows = multi::parse(r#"{ "sensor": "t0" }"#).unwrap();
+    assert_eq!(rows.value().unwrap(), None);
+}
+
+#[test]
+fn nested_records_and_arrays() {
+    let outer = nested::sample();
+    assert_eq!(outer.total().unwrap(), 1);
+    let items = outer.items().unwrap();
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].id().unwrap(), 1);
+    assert_eq!(items[0].tags().unwrap(), vec!["a".to_owned(), "b".to_owned()]);
+}
+
+#[test]
+fn xml_attributes_and_text_elements() {
+    let c = config::sample();
+    // version="2" literal-infers to an int; <timeout>30</timeout> is a
+    // text-only element collapsed to its content (§6.3).
+    assert_eq!(c.version().unwrap(), 2);
+    assert_eq!(c.timeout().unwrap(), 30);
+    assert!(c.verbose().unwrap());
+}
+
+#[test]
+fn csv_columns_with_bit_and_missing() {
+    let rows = readings::sample();
+    assert_eq!(rows.len(), 2);
+    // `when` is a consistent date column → Date.
+    assert_eq!(rows[0].when().unwrap().to_string(), "2021-01-01");
+    // `level` has a missing cell → Option<f64>.
+    assert_eq!(rows[0].level().unwrap(), Some(3.5));
+    assert_eq!(rows[1].level().unwrap(), None);
+    // `ok` is 0/1 → bool via the bit shape.
+    assert!(rows[0].ok().unwrap());
+    assert!(!rows[1].ok().unwrap());
+}
+
+#[test]
+fn awkward_names_are_escaped() {
+    let a = awkward::sample();
+    // Rust keywords get a trailing underscore; the data lookup still uses
+    // the original JSON keys. Non-ASCII identifier characters are legal
+    // Rust and survive the snake_case transformation.
+    assert_eq!(a.type_().unwrap(), "x");
+    assert_eq!(a.fn_().unwrap(), 1);
+    assert!(a.víc_slov().unwrap());
+}
+
+#[test]
+fn sample_constant_is_embedded() {
+    assert!(multi::SAMPLE.contains("t1"));
+    assert!(config::SAMPLE.contains("<config"));
+}
+
+#[test]
+fn load_reads_files() {
+    let people = std::path::Path::new("examples/data/people.json");
+    assert!(people.exists());
+    // Reuse the nested provider's load on a type mismatch: parse errors
+    // surface as Err, not panics.
+    assert!(nested::load("examples/data/doc.xml").is_err());
+}
+
+#[test]
+fn parse_rejects_malformed_input() {
+    assert!(multi::parse("{").is_err());
+    assert!(config::parse("<a>").is_err());
+    assert!(readings::parse("").is_err());
+}
+
+#[test]
+fn schema_change_detection_at_access_time() {
+    // §6.1: if the data shape drifts from the sample, access fails with a
+    // precise error (the runtime analogue of re-compilation failing).
+    let drifted = multi::parse(r#"{ "sensor": { "id": "t1" } }"#).unwrap();
+    let err = drifted.sensor().unwrap_err();
+    assert_eq!(err.path.to_string(), "$.sensor");
+}
+
+// The footnote-10 HTML provider: a table from a web page.
+types_from_data::html_provider! {
+    mod cities;
+    root City;
+    sample r#"<html><body><h1>ignored</h1>
+        <table id="t">
+          <tr><th>City</th><th>Temp</th><th>Rain</th></tr>
+          <tr><td>Prague</td><td>5</td><td>0.5</td></tr>
+          <tr><td>London<td>12<td>2.5</tr>
+        </table></body></html>"#;
+}
+
+#[test]
+fn html_provider_types_table_columns() {
+    let rows = cities::sample();
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0].city().unwrap(), "Prague");
+    // Temp column is all ints, Rain all floats (CSV-style inference):
+    assert_eq!(rows[1].temp().unwrap(), 12);
+    assert_eq!(rows[1].rain().unwrap(), 2.5);
+}
+
+#[test]
+fn html_provider_parse_types_other_pages() {
+    let page = r#"<table><tr><th>City</th><th>Temp</th><th>Rain</th></tr>
+                  <tr><td>Oslo</td><td>-3</td><td>1.0</td></tr></table>"#;
+    let rows = cities::parse(page).unwrap();
+    assert_eq!(rows[0].city().unwrap(), "Oslo");
+    assert_eq!(rows[0].temp().unwrap(), -3);
+    // And a page without tables errors cleanly:
+    assert!(cities::parse("<p>no tables</p>").is_err());
+}

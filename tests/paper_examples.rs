@@ -1,0 +1,273 @@
+//! The paper's worked examples, end to end (experiments E1–E5).
+//!
+//! Each test parses the exact sample document printed in the paper, runs
+//! inference and the provider, and checks the result against the types
+//! and values the paper reports.
+
+use tfd_core::{globalize, infer_with, InferOptions, Multiplicity, Shape};
+use tfd_provider::{provide_idiomatic, signature};
+use tfd_runtime::Node;
+use tfd_value::{Value, BODY_NAME};
+
+fn load(name: &str) -> String {
+    std::fs::read_to_string(format!("examples/data/{name}")).unwrap()
+}
+
+// --- E1: §1 + Appendix A, the weather service ---
+
+#[test]
+fn e1_weather_main_temp_is_5() {
+    let doc = tfd_json::parse(&load("weather.json")).unwrap().to_value();
+    let node = Node::new(doc.clone());
+    // The §1 access path: root.Main.Temp == 5 (as a float in the paper's
+    // printf "%f").
+    let temp = node
+        .field("main").unwrap()
+        .field("temp").unwrap()
+        .as_f64().unwrap();
+    assert_eq!(temp, 5.0);
+
+    // The inferred type makes Main a nested record with Temp : int (the
+    // sample value is the literal 5).
+    let shape = infer_with(&doc, &InferOptions::json());
+    let provided = provide_idiomatic(&shape, "Weather");
+    let sig = signature(&provided);
+    assert!(sig.contains("type Weather ="), "{sig}");
+    assert!(sig.contains("member Main : Main"), "{sig}");
+    assert!(sig.contains("member Temp : int"), "{sig}");
+    assert!(sig.contains("member Humidity : int"), "{sig}");
+    // Floats in the sample stay floats:
+    assert!(sig.contains("member Lon : float"), "{sig}");
+    // And snake_cased JSON keys become PascalCase members (§6.3):
+    assert!(sig.contains("member TempMin : int"), "{sig}");
+}
+
+// --- E2: §2.1, people.json ---
+
+#[test]
+fn e2_people_entity_type_matches_paper() {
+    let doc = tfd_json::parse(&load("people.json")).unwrap().to_value();
+    let shape = infer_with(&doc, &InferOptions::json());
+    // The paper's shape: a collection of records with name : string and
+    // age : nullable float.
+    let Shape::List(element) = &shape else {
+        panic!("expected a collection, got {shape}");
+    };
+    assert_eq!(
+        **element,
+        Shape::record(
+            BODY_NAME,
+            [("name", Shape::String), ("age", Shape::Float.ceil())]
+        )
+    );
+    // The provided type printed in §2.1:
+    let provided = provide_idiomatic(element, "Entity");
+    assert_eq!(
+        signature(&provided),
+        "type Entity =\n  member Name : string\n  member Age : option<float>\n"
+    );
+}
+
+#[test]
+fn e2_people_runtime_access() {
+    let doc = tfd_json::parse(&load("people.json")).unwrap().to_value();
+    let node = Node::new(doc);
+    let items = node.elements().unwrap();
+    let names: Vec<String> = items
+        .iter()
+        .map(|i| i.field("name").unwrap().as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(names, vec!["Jan", "Tomas", "Alexander"]);
+    let ages: Vec<Option<f64>> = items
+        .iter()
+        .map(|i| {
+            i.field("age")
+                .unwrap()
+                .opt()
+                .map(|n| n.as_f64().unwrap())
+        })
+        .collect();
+    assert_eq!(ages, vec![Some(25.0), None, Some(3.5)]);
+}
+
+// --- E3: §2.2, the XML document format ---
+
+#[test]
+fn e3_xml_doc_element_type_matches_paper() {
+    let root = tfd_xml::parse(&load("doc.xml")).unwrap();
+    let value = root.to_value();
+    // §2.2 presentation: without §6.4 hetero collections the children
+    // infer as a collection of a labelled top with the three statically
+    // known cases.
+    let options = InferOptions {
+        hetero_collections: false,
+        singleton_collections: false,
+        detect_dates: true,
+        infer_bits: false,
+        stringly_primitives: false,
+    };
+    let shape = infer_with(&value, &options);
+    let Shape::Record(doc_record) = &shape else {
+        panic!("expected doc record, got {shape}")
+    };
+    let body = doc_record.field(BODY_NAME).unwrap();
+    let Shape::List(element) = body else {
+        panic!("expected element collection, got {body}")
+    };
+    let Shape::Top(labels) = element.as_ref() else {
+        panic!("expected labelled top, got {element}")
+    };
+    let label_names: Vec<String> = labels
+        .iter()
+        .map(|l| l.as_record().unwrap().name.clone())
+        .collect();
+    assert_eq!(label_names, vec!["heading", "image", "p"]);
+
+    // The provided Element type of §2.2: three option-typed members.
+    let provided = provide_idiomatic(element, "Element");
+    let sig = signature(&provided);
+    assert!(sig.contains("member Heading : option<string>"), "{sig}");
+    assert!(sig.contains("member P : option<string>"), "{sig}");
+    assert!(sig.contains("member Image : option<Image>"), "{sig}");
+}
+
+#[test]
+fn e3_open_world_table_answers_none() {
+    // "For a table element, all three properties would return None."
+    let element_shape = Shape::Top(vec![
+        Shape::record("heading", [(BODY_NAME, Shape::String)]),
+        Shape::record("image", [("source", Shape::String)]),
+        Shape::record("p", [(BODY_NAME, Shape::String)]),
+    ]);
+    let table = tfd_xml::parse("<table><tr/></table>").unwrap().to_value();
+    let node = Node::new(table);
+    let Shape::Top(labels) = &element_shape else { unreachable!() };
+    for label in labels {
+        assert!(node.case(label).is_none(), "table matched {label}");
+    }
+}
+
+// --- E4: §2.3, the World Bank response ---
+
+#[test]
+fn e4_worldbank_type_matches_paper() {
+    let doc = tfd_json::parse(&load("worldbank.json")).unwrap().to_value();
+    let shape = infer_with(&doc, &InferOptions::json());
+    // A heterogeneous collection with one record and one collection case,
+    // both with multiplicity 1 (§2.3: "As there is exactly one record and
+    // one array, the provided type WorldBank exposes them as properties
+    // Record and Array").
+    let Shape::HeteroList(cases) = &shape else {
+        panic!("expected heterogeneous collection, got {shape}")
+    };
+    assert_eq!(cases.len(), 2);
+    assert_eq!(cases[0].1, Multiplicity::One);
+    assert_eq!(cases[1].1, Multiplicity::One);
+
+    let provided = provide_idiomatic(&shape, "WorldBank");
+    let sig = signature(&provided);
+    // The paper's printed type:
+    //   Record : { Pages : int }
+    //   Item   : { Date : int, Indicator : string, Value : option float }
+    assert!(sig.contains("member Record : Record"), "{sig}");
+    assert!(sig.contains("member Array : list<"), "{sig}");
+    assert!(sig.contains("member Pages : int"), "{sig}");
+    assert!(sig.contains("member Date : int"), "{sig}");
+    assert!(sig.contains("member Indicator : string"), "{sig}");
+    assert!(sig.contains("member Value : option<float>"), "{sig}");
+}
+
+#[test]
+fn e4_worldbank_runtime_values() {
+    let doc = tfd_json::parse(&load("worldbank.json")).unwrap().to_value();
+    let node = Node::new(doc);
+    let record_tag = tfd_core::Tag::Name(BODY_NAME.to_owned());
+    let meta = node.tagged_one("Record", &record_tag).unwrap();
+    assert_eq!(meta.field("pages").unwrap().as_i64().unwrap(), 5);
+
+    let array = node.tagged_one("Array", &tfd_core::Tag::Collection).unwrap();
+    let rows = array.elements().unwrap();
+    assert_eq!(rows.len(), 2);
+    // "2012" reads as the int 2012 (content-based inference, §2.3):
+    assert_eq!(rows[0].field("date").unwrap().as_i64().unwrap(), 2012);
+    // null value → None; "35.14229" → Some float:
+    assert!(rows[0].field("value").unwrap().opt().is_none());
+    let v = rows[1].field("value").unwrap().as_f64().unwrap();
+    assert!((v - 35.14229).abs() < 1e-9);
+}
+
+// --- E5: §6.2, the CSV air-quality file ---
+
+#[test]
+fn e5_airquality_columns_match_paper() {
+    let file = tfd_csv::parse(&load("airquality.csv")).unwrap();
+    let value = file.to_value();
+    let shape = infer_with(&value, &InferOptions::csv());
+    let Shape::List(row) = &shape else { panic!("expected rows, got {shape}") };
+    let row = row.as_record().expect("row record");
+    // Ozone: int(41) ⊔ float(36.3) → float.
+    assert_eq!(row.field("Ozone"), Some(&Shape::Float));
+    // Temp: ints with a #N/A → nullable int.
+    assert_eq!(row.field("Temp"), Some(&Shape::Int.ceil()));
+    // Date: mixed formats → string (would be date if consistent).
+    assert_eq!(row.field("Date"), Some(&Shape::String));
+    // Autofilled: only 0/1 → bit ("we also infer Autofilled as Boolean").
+    assert_eq!(row.field("Autofilled"), Some(&Shape::Bit));
+}
+
+#[test]
+fn e5_consistent_date_column_infers_date() {
+    let csv = "When\n2012-05-01\nMay 3, 2012\n2012/06/07\n";
+    let value = tfd_csv::parse(csv).unwrap().to_value();
+    let shape = infer_with(&value, &InferOptions::csv());
+    let Shape::List(row) = &shape else { panic!() };
+    assert_eq!(row.as_record().unwrap().field("When"), Some(&Shape::Date));
+}
+
+// --- §6.2: the XML root/item encoding and global inference ---
+
+#[test]
+fn xml_root_item_encoding_matches_paper() {
+    let root = tfd_xml::parse(r#"<root id="1"><item>Hello!</item></root>"#).unwrap();
+    let v = root.to_value();
+    // root {id ↦ 1, • ↦ [item {• ↦ "Hello!"}]}
+    assert_eq!(v.record_name(), Some("root"));
+    assert_eq!(v.field("id"), Some(&Value::Int(1)));
+    let body = v.field(BODY_NAME).unwrap().elements().unwrap().to_vec();
+    assert_eq!(body[0].record_name(), Some("item"));
+    assert_eq!(body[0].field(BODY_NAME), Some(&Value::str("Hello!")));
+
+    // The §6.3 provided type: Root with Id : int and Item : string.
+    let shape = infer_with(&v, &InferOptions::xml());
+    let provided = provide_idiomatic(&shape, "Root");
+    let sig = signature(&provided);
+    assert!(sig.contains("member Id : int"), "{sig}");
+    assert!(sig.contains("member Item : string"), "{sig}");
+}
+
+#[test]
+fn xml_global_inference_unifies_same_name_elements() {
+    // §6.2: "in XHTML all <table> elements will be treated as values of
+    // the same type".
+    let doc = tfd_xml::parse(
+        "<page>\
+           <section><t a=\"1\"/></section>\
+           <aside><t b=\"2\"/></aside>\
+         </page>",
+    )
+    .unwrap()
+    .to_value();
+    let options = InferOptions {
+        hetero_collections: false,
+        singleton_collections: false,
+        ..InferOptions::xml()
+    };
+    let local = infer_with(&doc, &options);
+    let global = globalize(&local);
+    // After globalization both <t> occurrences have both optional fields
+    // (field order depends on join order and is not significant).
+    let text = global.to_string();
+    assert_eq!(text.matches("t {").count(), 2, "{text}");
+    assert_eq!(text.matches("a : nullable int").count(), 2, "{text}");
+    assert_eq!(text.matches("b : nullable int").count(), 2, "{text}");
+}

@@ -1,0 +1,138 @@
+//! Parser round-trips and failure injection for the three front-ends.
+
+mod common;
+
+use common::value_strategy;
+use proptest::prelude::*;
+use tfd_json::Json;
+use tfd_value::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// JSON: `parse ∘ print = id` on arbitrary documents.
+    #[test]
+    fn json_print_parse_roundtrip(v in value_strategy()) {
+        let doc = Json::from_value(&v);
+        let compact = tfd_json::to_json_string(&doc);
+        prop_assert_eq!(tfd_json::parse(&compact).unwrap(), doc.clone());
+        let pretty = tfd_json::to_json_string_pretty(&doc);
+        prop_assert_eq!(tfd_json::parse(&pretty).unwrap(), doc);
+    }
+
+    /// JSON: the value round-trip also preserves the universal value
+    /// (record names are all `•` for JSON, so nothing is lost).
+    #[test]
+    fn json_value_roundtrip(v in value_strategy()) {
+        // Only JSON-expressible values: rename all records to `•` and
+        // drop non-finite floats.
+        let j = Json::from_value(&v);
+        let v2 = j.to_value();
+        let j2 = Json::from_value(&v2);
+        prop_assert_eq!(j, j2);
+    }
+
+    /// The CSV parser splits what the writer joins (cells containing
+    /// delimiters, quotes and newlines).
+    #[test]
+    fn csv_quoting_roundtrip(cells in prop::collection::vec("[a-z,\"\n ]{0,8}", 1..5)) {
+        // Write one data row with full quoting.
+        let header: Vec<String> = (0..cells.len()).map(|i| format!("c{i}")).collect();
+        let quoted: Vec<String> = cells
+            .iter()
+            .map(|c| format!("\"{}\"", c.replace('"', "\"\"")))
+            .collect();
+        let text = format!("{}\n{}\n", header.join(","), quoted.join(","));
+        let parsed = tfd_csv::parse(&text).unwrap();
+        prop_assert_eq!(parsed.rows().len(), 1);
+        prop_assert_eq!(&parsed.rows()[0], &cells);
+    }
+}
+
+// --- Failure injection: every malformed input is rejected with an error,
+// never a panic or a wrong document. ---
+
+#[test]
+fn json_malformed_corpus() {
+    let bad = [
+        "", "{", "}", "[", "]", "{]", "[}", "nul", "tru", "+1", "01", "1.",
+        ".5", "1e", "--1", "\"", "\"\\q\"", "\"\\u12\"", "{\"a\"}", "{\"a\":}",
+        "{a:1}", "[1,]", "{\"a\":1,}", "[1 2]", "{\"a\":1 \"b\":2}", "1 1",
+        "\u{0}",
+    ];
+    for input in bad {
+        assert!(
+            tfd_json::parse(input).is_err(),
+            "JSON parser accepted malformed input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn xml_malformed_corpus() {
+    let bad = [
+        "", "<", "<>", "<a", "<a>", "</a>", "<a></b>", "<a x></a>",
+        "<a x=1/>", "<a x=\"1/>", "<a>&nope;</a>", "<a>&#xD800;</a>",
+        "<a/><b/>", "text", "<a><!-- </a>", "<a><![CDATA[x</a>",
+    ];
+    for input in bad {
+        assert!(
+            tfd_xml::parse(input).is_err(),
+            "XML parser accepted malformed input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn csv_malformed_corpus() {
+    let bad = ["", "a\n\"unterminated", "a\n\"x\"y"];
+    for input in bad {
+        assert!(
+            tfd_csv::parse(input).is_err(),
+            "CSV parser accepted malformed input {input:?}"
+        );
+    }
+}
+
+#[test]
+fn json_deep_nesting_is_rejected_not_overflowed() {
+    let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+    assert!(tfd_json::parse(&deep).is_err());
+    let deep_obj = "{\"a\":".repeat(50_000) + "1" + &"}".repeat(50_000);
+    assert!(tfd_json::parse(&deep_obj).is_err());
+}
+
+#[test]
+fn xml_deep_nesting_is_rejected_not_overflowed() {
+    let deep = "<a>".repeat(100_000) + &"</a>".repeat(100_000);
+    assert!(tfd_xml::parse(&deep).is_err());
+}
+
+#[test]
+fn unicode_survives_all_three_parsers() {
+    let json = tfd_json::parse("{\"č\": \"žluťoučký 😀\"}").unwrap();
+    assert_eq!(
+        json.get("č"),
+        Some(&Json::String("žluťoučký 😀".into()))
+    );
+    let xml = tfd_xml::parse("<č>žluťoučký &#x1F600;</č>").unwrap();
+    assert_eq!(xml.text(), "žluťoučký 😀");
+    let csv = tfd_csv::parse("sloupec\nžluťoučký\n").unwrap();
+    assert_eq!(csv.rows()[0][0], "žluťoučký");
+}
+
+#[test]
+fn large_flat_document_parses() {
+    // A 10k-element array exercises the non-recursive paths.
+    let text = format!(
+        "[{}]",
+        (0..10_000).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+    );
+    let doc = tfd_json::parse(&text).unwrap();
+    assert_eq!(doc.items().unwrap().len(), 10_000);
+    let value = doc.to_value();
+    assert_eq!(value.elements().unwrap().len(), 10_000);
+    // And infers in one pass:
+    let shape = tfd_core::infer(&value);
+    assert_eq!(shape, tfd_core::Shape::list(tfd_core::Shape::Int));
+}

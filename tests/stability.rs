@@ -1,0 +1,216 @@
+//! Stability of inference (Remark 1, §6.5), mechanically.
+//!
+//! The Remark: given samples `d1, …, dn`, user code `e` against
+//! `⟦S(d1, …, dn)⟧`, and a new sample `dn+1`, there exists `e′` (obtained
+//! by the three local transformations) such that whenever
+//! `e[x ← e1 d] ↝ v`, also `e′[x ← e2 d] ↝ v`.
+//!
+//! User code is modelled as an access program (member chains with
+//! unwraps, indexing and case selections); `migrate` inserts exactly the
+//! Remark's transformations. The property test runs the original program
+//! against the old provider and the migrated program against the new
+//! provider on the *same* input and compares results.
+
+mod common;
+
+use common::{random_program, value_strategy};
+use proptest::prelude::*;
+use tfd_core::{infer_many, is_preferred, InferOptions};
+use tfd_foo::{run, Outcome};
+use tfd_provider::{apply, migrate, provide, AccessProgram, AccessStep};
+use tfd_value::corpus::Rng;
+use tfd_value::Value;
+
+/// Runs an access program against a provider on an input document.
+fn execute(program: &AccessProgram, shape: &tfd_core::Shape, d: &Value) -> Outcome {
+    let provided = provide(shape);
+    let expr = apply(program, provided.convert(d));
+    run(&provided.classes, &expr)
+}
+
+/// Normalizes a result value for comparison across two providers: the
+/// generated class *names* differ between ⟦σ_old⟧ and ⟦σ_new⟧, but the
+/// observable content (the wrapped data values) must agree.
+fn normalize(e: &tfd_foo::Expr) -> tfd_foo::Expr {
+    use tfd_foo::Expr;
+    match e {
+        Expr::New(_, args) => Expr::New("_".into(), args.iter().map(normalize).collect()),
+        Expr::SomeLit(inner) => Expr::some(normalize(inner)),
+        Expr::Cons(h, t) => Expr::Cons(Box::new(normalize(h)), Box::new(normalize(t))),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Remark 1, end to end: migrated programs preserve the results of
+    /// the original program on all inputs where the original succeeded.
+    #[test]
+    fn remark1_migration_preserves_results(
+        samples in prop::collection::vec(value_strategy(), 1..3),
+        new_sample in value_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let options = InferOptions::formal();
+        let old_shape = infer_many(&samples, &options);
+        let mut extended = samples.clone();
+        extended.push(new_sample);
+        let new_shape = infer_many(&extended, &options);
+        prop_assert!(is_preferred(&old_shape, &new_shape));
+
+        // A random program over the old provided type.
+        let (program, final_shape) = random_program(&old_shape, &mut Rng::new(seed), 4);
+        // A program ending at the uninhabited-by-observation shapes
+        // (null/⊥ map to memberless classes, Fig. 8 last rule) yields an
+        // opaque wrapper on the old side and possibly a widened value on
+        // the new side; the Remark's value preservation is about
+        // observable results, so such programs are skipped.
+        prop_assume!(!matches!(final_shape, tfd_core::Shape::Null | tfd_core::Shape::Bottom));
+
+        let migrated = match migrate(&program, &old_shape, &new_shape) {
+            Ok(m) => m,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "migration failed for {program:?} from {old_shape} to {new_shape}: {e}"
+                )));
+            }
+        };
+
+        // Evaluate on each original sample (inputs where the old program
+        // may succeed).
+        for d in &samples {
+            let old_out = execute(&program, &old_shape, d);
+            if let Outcome::Value(v) = old_out {
+                let new_out = execute(&migrated, &new_shape, d);
+                let Outcome::Value(v2) = &new_out else {
+                    return Err(TestCaseError::fail(format!(
+                        "migrated program failed on {d} (old {program:?} gave {v}, \
+                         new {migrated:?} gave {new_out:?}; shapes {old_shape} → {new_shape})"
+                    )));
+                };
+                prop_assert_eq!(
+                    normalize(v2),
+                    normalize(&v),
+                    "migrated program changed the result on {} (old {:?}, new {:?}, shapes {} → {})",
+                    d, &program, &migrated, &old_shape, &new_shape
+                );
+            }
+        }
+    }
+
+    /// Migration is the identity when the new sample does not change the
+    /// inferred shape (predictability, §6.5).
+    #[test]
+    fn remark1_identity_when_shape_stable(
+        sample in value_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let options = InferOptions::formal();
+        let shape = infer_many([&sample], &options);
+        // Re-adding the same sample never changes the shape...
+        let shape2 = infer_many([&sample, &sample], &options);
+        prop_assert_eq!(&shape, &shape2);
+        // ...so programs migrate to themselves.
+        let (program, _) = random_program(&shape, &mut Rng::new(seed), 4);
+        let migrated = migrate(&program, &shape, &shape2).unwrap();
+        prop_assert_eq!(program, migrated);
+    }
+}
+
+// --- The three §6.5 scenarios, concretely ---
+
+fn json(text: &str) -> Value {
+    tfd_json::parse(text).unwrap().to_value()
+}
+
+#[test]
+fn scenario_field_becomes_optional() {
+    // Samples all had "age"; the new sample lacks it → transformation 1.
+    let s1 = json(r#"{ "name": "Jan", "age": 25 }"#);
+    let old_shape = infer_many([&s1], &InferOptions::formal());
+    let s2 = json(r#"{ "name": "Tomas" }"#);
+    let new_shape = infer_many([&s1, &s2], &InferOptions::formal());
+
+    let program = AccessProgram::members(["age"]);
+    let migrated = migrate(&program, &old_shape, &new_shape).unwrap();
+    assert_eq!(
+        migrated,
+        AccessProgram::new([AccessStep::Member("age".into()), AccessStep::Unwrap])
+    );
+    // Old program on the old data: 25. Migrated on the same data: 25.
+    assert_eq!(
+        execute(&migrated, &new_shape, &s1),
+        Outcome::Value(tfd_foo::Expr::data(25i64))
+    );
+    // Migrated on the new (age-less) data raises the §6.5 exception —
+    // the paper: "a variation of (i) that uses an appropriate default
+    // value rather than throwing an exception" is the user's choice.
+    assert_eq!(execute(&migrated, &new_shape, &s2), Outcome::Exception);
+}
+
+#[test]
+fn scenario_int_becomes_float() {
+    // Transformation 3: int(e).
+    let s1 = json(r#"{ "count": 5 }"#);
+    let old_shape = infer_many([&s1], &InferOptions::formal());
+    let s2 = json(r#"{ "count": 5.5 }"#);
+    let new_shape = infer_many([&s1, &s2], &InferOptions::formal());
+
+    let program = AccessProgram::members(["count"]);
+    let migrated = migrate(&program, &old_shape, &new_shape).unwrap();
+    assert_eq!(
+        migrated,
+        AccessProgram::new([AccessStep::Member("count".into()), AccessStep::AsInt])
+    );
+    assert_eq!(
+        execute(&migrated, &new_shape, &s1),
+        Outcome::Value(tfd_foo::Expr::data(5i64))
+    );
+}
+
+#[test]
+fn scenario_shape_becomes_top() {
+    // Transformation 2: a field that was a record in all old samples
+    // becomes any⟨record, string⟩ when a string sample arrives.
+    let s1 = json(r#"{ "payload": { "x": 1 } }"#);
+    let old_shape = infer_many([&s1], &InferOptions::formal());
+    let s2 = json(r#"{ "payload": "raw" }"#);
+    let new_shape = infer_many([&s1, &s2], &InferOptions::formal());
+
+    let program = AccessProgram::new([
+        AccessStep::Member("payload".into()),
+        AccessStep::Member("x".into()),
+    ]);
+    let migrated = migrate(&program, &old_shape, &new_shape).unwrap();
+    // A case selection was inserted between the two member accesses.
+    assert_eq!(migrated.steps.len(), 3);
+    assert!(matches!(&migrated.steps[1], AccessStep::Case(_)));
+    assert_eq!(
+        execute(&migrated, &new_shape, &s1),
+        Outcome::Value(tfd_foo::Expr::data(1i64))
+    );
+    // On the string payload the case selection raises the exception:
+    assert_eq!(execute(&migrated, &new_shape, &s2), Outcome::Exception);
+}
+
+#[test]
+fn error_handling_workflow_add_failing_input_as_sample() {
+    // §6.5: "When a program fails on some input, the input can be added
+    // as another sample. This makes some fields optional and the code can
+    // be updated accordingly."
+    let sample = json(r#"{ "value": 1 }"#);
+    let options = InferOptions::formal();
+    let shape = infer_many([&sample], &options);
+    let provided = provide(&shape);
+
+    // A new input fails (value is null here):
+    let failing = json(r#"{ "value": null }"#);
+    assert!(tfd_provider::deep_eval(&provided, &failing).is_err());
+
+    // Adding it as a sample fixes the failure:
+    let new_shape = infer_many([&sample, &failing], &options);
+    let new_provided = provide(&new_shape);
+    assert!(tfd_provider::deep_eval(&new_provided, &failing).is_ok());
+    assert!(tfd_provider::deep_eval(&new_provided, &sample).is_ok());
+}
