@@ -6,7 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tfd_core::{csh, is_preferred, Shape};
+use criterion::BatchSize;
+use tfd_core::{csh, csh_ref, is_preferred, Shape};
 
 fn wide_record(width: usize, float_half: bool) -> Shape {
     Shape::record(
@@ -24,7 +25,11 @@ fn bench_record_join(c: &mut Criterion) {
         let a = wide_record(width, false);
         let b = wide_record(width, true);
         group.bench_with_input(BenchmarkId::from_parameter(width), &(a, b), |bench, (a, b)| {
-            bench.iter(|| csh(black_box(a), black_box(b)));
+            bench.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| csh(black_box(a), black_box(b)),
+                BatchSize::SmallInput,
+            );
         });
     }
     group.finish();
@@ -45,7 +50,11 @@ fn bench_top_merge(c: &mut Criterion) {
                 .collect(),
         );
         group.bench_with_input(BenchmarkId::from_parameter(labels), &(a, b), |bench, (a, b)| {
-            bench.iter(|| csh(black_box(a), black_box(b)));
+            bench.iter_batched(
+                || (a.clone(), b.clone()),
+                |(a, b)| csh(black_box(a), black_box(b)),
+                BatchSize::SmallInput,
+            );
         });
     }
     group.finish();
@@ -56,7 +65,7 @@ fn bench_preference_check(c: &mut Criterion) {
     for width in [16usize, 256] {
         let narrow = wide_record(width, false);
         let wide = wide_record(width, true);
-        let joined = csh(&narrow, &wide);
+        let joined = csh_ref(&narrow, &wide);
         group.bench_with_input(
             BenchmarkId::from_parameter(width),
             &(narrow, joined),

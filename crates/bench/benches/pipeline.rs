@@ -1,0 +1,88 @@
+//! B1 — end-to-end **parse→infer** pipeline throughput (rows/second) for
+//! JSON, XML and CSV corpora of 10 / 1 000 / 100 000 rows.
+//!
+//! This measures the path a production type provider pays per sample set:
+//! front-end parse into the universal value `d` (§6.2), then the
+//! `S(d1, …, dn)` shape-inference fold (Fig. 3).
+//!
+//! Two JSON variants are measured so the zero-allocation work stays
+//! honest:
+//!
+//! * `pipeline/json` — the byte-level [`tfd_json::parse_value`] path
+//!   (borrowed strings, interned names, no token values);
+//! * `pipeline/json-reference` — the retained tokenizing path
+//!   ([`tfd_json::reference`]) through `Json::to_value`.
+//!
+//! Run with `cargo bench -p tfd-bench --bench pipeline`; the committed
+//! baseline lives in `BENCH_PR1.json` (regenerate with
+//! `cargo run --release -p tfd-bench --bin pipeline_baseline`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tfd_bench::{csv_rows_text, json_rows_text, xml_rows_text};
+use tfd_core::{infer_with, InferOptions};
+
+const SIZES: [usize; 3] = [10, 1_000, 100_000];
+
+fn bench_json(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/json");
+    for rows in SIZES {
+        let text = json_rows_text(3, rows, 8);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_json::parse_value(black_box(text)).unwrap();
+                infer_with(&value, &InferOptions::json())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_json_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/json-reference");
+    for rows in SIZES {
+        let text = json_rows_text(3, rows, 8);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_json::reference::parse(black_box(text)).unwrap().to_value();
+                infer_with(&value, &InferOptions::json())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/xml");
+    for rows in SIZES {
+        let text = xml_rows_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_xml::parse(black_box(text)).unwrap().to_value();
+                infer_with(&value, &InferOptions::xml())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/csv");
+    for rows in SIZES {
+        let text = csv_rows_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_csv::parse(black_box(text)).unwrap().to_value();
+                infer_with(&value, &InferOptions::csv())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_json, bench_json_reference, bench_xml, bench_csv);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Records the parse→infer pipeline baseline to a JSON file
+//! (`BENCH_PR1.json` at the repository root when run from there).
+//!
+//! The same workloads as `benches/pipeline.rs`, measured with a fixed
+//! protocol (best-of-N batches) so re-runs are comparable across PRs:
+//!
+//! ```text
+//! cargo run --release -p tfd-bench --bin pipeline_baseline [out.json]
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use tfd_bench::{csv_rows_text, json_rows_text, xml_rows_text};
+use tfd_core::{infer_with, InferOptions, Shape};
+
+const SIZES: [usize; 3] = [10, 1_000, 100_000];
+
+/// Best-of-batches seconds per iteration of `f`, budgeted by `budget_s`.
+fn best_time<F: FnMut() -> Shape>(mut f: F, budget_s: f64) -> f64 {
+    // Warm-up + calibration.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64();
+    let batch = (0.02 / once.max(1e-9)).clamp(1.0, 10_000.0) as usize;
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut runs = 0usize;
+    while start.elapsed().as_secs_f64() < budget_s || runs < 3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+        runs += 1;
+    }
+    best
+}
+
+struct Entry {
+    id: String,
+    rows: usize,
+    seconds: f64,
+}
+
+impl Entry {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows as f64 / self.seconds
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let mut entries: Vec<Entry> = Vec::new();
+    let budget = 0.5;
+
+    for rows in SIZES {
+        let text = json_rows_text(3, rows, 8);
+        let secs = best_time(
+            || infer_with(&tfd_json::parse_value(&text).unwrap(), &InferOptions::json()),
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/json/{rows}"), rows, seconds: secs });
+
+        let secs = best_time(
+            || {
+                infer_with(
+                    &tfd_json::reference::parse(&text).unwrap().to_value(),
+                    &InferOptions::json(),
+                )
+            },
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/json-reference/{rows}"), rows, seconds: secs });
+    }
+
+    for rows in SIZES {
+        let text = xml_rows_text(rows);
+        let secs = best_time(
+            || infer_with(&tfd_xml::parse(&text).unwrap().to_value(), &InferOptions::xml()),
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/xml/{rows}"), rows, seconds: secs });
+    }
+
+    for rows in SIZES {
+        let text = csv_rows_text(rows);
+        let secs = best_time(
+            || infer_with(&tfd_csv::parse(&text).unwrap().to_value(), &InferOptions::csv()),
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/csv/{rows}"), rows, seconds: secs });
+    }
+
+    // Parse-only speedup of the byte-level JSON path over the retained
+    // tokenizing reference, on the largest corpus.
+    let text = json_rows_text(3, 100_000, 8);
+    let new_parse = best_time(
+        || {
+            tfd_json::parse_value(&text).unwrap();
+            Shape::Bottom
+        },
+        budget,
+    );
+    let ref_parse = best_time(
+        || {
+            tfd_json::reference::parse(&text).unwrap().to_value();
+            Shape::Bottom
+        },
+        budget,
+    );
+    let speedup = ref_parse / new_parse;
+
+    let mut json = String::from("{\n  \"benchmark\": \"pipeline parse+infer (rows/sec)\",\n");
+    let _ = writeln!(json, "  \"protocol\": \"best-of-batches, {budget}s budget per entry\",");
+    let _ = writeln!(
+        json,
+        "  \"parse_json_speedup_vs_reference\": {{\"bytes_path_s\": {new_parse:e}, \"token_path_s\": {ref_parse:e}, \"speedup\": {speedup:.2}}},"
+    );
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"rows\": {}, \"seconds_per_iter\": {:e}, \"rows_per_sec\": {:.0}}}{}\n",
+            e.id,
+            e.rows,
+            e.seconds,
+            e.rows_per_sec(),
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write baseline file");
+    println!("{json}");
+    println!("baseline written to {out_path}");
+    println!("json parse speedup (bytes vs tokens): {speedup:.2}x");
+}

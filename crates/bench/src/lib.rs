@@ -47,6 +47,38 @@ pub fn to_json_texts(corpus: &[Value]) -> Vec<String> {
         .collect()
 }
 
+/// JSON text for a row-shaped table: `rows` flat records of `width`
+/// fields — the pipeline-benchmark workload.
+pub fn json_rows_text(seed: u64, rows: usize, width: usize) -> String {
+    to_json_texts(&[table(seed, rows, width)]).remove(0)
+}
+
+/// XML text for a row-shaped table (attributes + one nested element per
+/// row), sized like [`json_rows_text`].
+pub fn xml_rows_text(rows: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("<table>");
+    for i in 0..rows {
+        let _ = write!(
+            out,
+            "<row id=\"{i}\" name=\"item-{i}\" flag=\"true\"><v>{}</v></row>",
+            i * 3
+        );
+    }
+    out.push_str("</table>");
+    out
+}
+
+/// CSV text for a row-shaped table, sized like [`json_rows_text`].
+pub fn csv_rows_text(rows: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("id,name,score,date,flag\n");
+    for i in 0..rows {
+        let _ = writeln!(out, "{i},item-{i},{}.5,2012-05-01,{}", i, i % 2);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,7 +155,7 @@ fn guess_format(file: &str) -> Result<Format, String> {
 fn read_value(file: &str, format: Format) -> Result<Value, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     match format {
-        Format::Json => Ok(tfd_json::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
+        Format::Json => Ok(tfd_json::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
         Format::Xml => Ok(tfd_xml::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
         Format::Csv => Ok(tfd_csv::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
         Format::Html => {

@@ -21,47 +21,64 @@
 //! 8. `(recd)` same-name records merge field-wise (missing fields become
 //!    nullable — the ground minimal row-variable substitution of Fig. 3);
 //! 9. `(top-any)` anything else joins to `any⟨⌊σ1⌋, ⌊σ2⌋⟩`.
+//!
+//! # Allocation discipline
+//!
+//! `csh` **consumes** its arguments and merges their parts in place — it
+//! performs no deep clones. The `S(d1, …, dn)` fold of Fig. 3 builds each
+//! per-sample shape exactly once and the accumulator is recycled into the
+//! result, so inference over a million rows allocates shape nodes
+//! proportional to the *schema*, not the corpus. Record fields merge
+//! through a hash index keyed by interned [`Name`]s (O(1) pointer
+//! hashing) instead of the previous O(n²) linear scans. Callers that only
+//! hold references use [`csh_ref`], which pays for its own clones.
 
 use crate::multiplicity::Multiplicity;
 use crate::shape::{FieldShape, RecordShape};
 use crate::tags::tag_of;
 use crate::Shape;
+use std::collections::{HashMap, HashSet};
+use tfd_value::Name;
 
 /// Computes the common preferred shape (least upper bound) of two ground
-/// shapes.
+/// shapes, consuming both and reusing their allocations.
 ///
 /// ```
 /// use tfd_core::{csh, Shape};
-/// assert_eq!(csh(&Shape::Int, &Shape::Float), Shape::Float);          // (num)
-/// assert_eq!(csh(&Shape::Null, &Shape::Int), Shape::Int.ceil());      // (null)
-/// assert_eq!(csh(&Shape::Bottom, &Shape::Bool), Shape::Bool);         // (bot)
+/// assert_eq!(csh(Shape::Int, Shape::Float), Shape::Float);          // (num)
+/// assert_eq!(csh(Shape::Null, Shape::Int), Shape::Int.ceil());      // (null)
+/// assert_eq!(csh(Shape::Bottom, Shape::Bool), Shape::Bool);         // (bot)
 /// assert_eq!(
-///     csh(&Shape::Int, &Shape::String),
-///     Shape::Top(vec![Shape::Int, Shape::String])                     // (top-any)
+///     csh(Shape::Int, Shape::String),
+///     Shape::Top(vec![Shape::Int, Shape::String])                   // (top-any)
 /// );
 /// ```
-pub fn csh(a: &Shape, b: &Shape) -> Shape {
+pub fn csh(a: Shape, b: Shape) -> Shape {
     use Shape::*;
 
     // (eq) — also the base case that keeps csh idempotent.
     if a == b {
-        return a.clone();
+        return a;
     }
 
     match (a, b) {
-        // (list) — two homogeneous collections combine their elements;
-        // any combination involving a heterogeneous collection goes
-        // through the case merge of §6.4.
-        (List(ea), List(eb)) => Shape::list(csh(ea, eb)),
-        (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
-            hetero_join(&to_cases(a), &to_cases(b))
+        // (list) — two homogeneous collections combine their elements,
+        // recycling the left box; any combination involving a
+        // heterogeneous collection goes through the case merge of §6.4.
+        (List(mut ea), List(eb)) => {
+            let joined = csh(std::mem::replace(&mut *ea, Bottom), *eb);
+            *ea = joined;
+            List(ea)
+        }
+        (a @ (HeteroList(_) | List(_)), b @ (HeteroList(_) | List(_))) => {
+            hetero_join(to_cases(a), to_cases(b))
         }
 
         // (bot)
-        (Bottom, s) | (s, Bottom) => s.clone(),
+        (Bottom, s) | (s, Bottom) => s,
 
         // (null)
-        (Null, s) | (s, Null) => s.clone().ceil(),
+        (Null, s) | (s, Null) => s.ceil(),
 
         // (top-merge) / (top-incl) / (top-add) — Fig. 4.
         (Top(la), Top(lb)) => top_merge(la, lb),
@@ -76,19 +93,17 @@ pub fn csh(a: &Shape, b: &Shape) -> Shape {
         (Date, String) | (String, Date) => String,
 
         // (opt)
-        (Nullable(inner), s) | (s, Nullable(inner)) => csh(inner, s).ceil(),
+        (Nullable(inner), s) | (s, Nullable(inner)) => csh(*inner, s).ceil(),
 
         // (recd) — same-name records merge field-wise; a field present on
         // only one side gets `⌈σ⌉` (the minimal ground substitution for
         // the record's row variable, Fig. 3).
-        (Record(ra), Record(rb)) if ra.name == rb.name => {
-            Record(record_join(ra, rb))
-        }
+        (Record(ra), Record(rb)) if ra.name == rb.name => Record(record_join(ra, rb)),
 
         // (top-any) / (any) — the last resort. Labels are kept in the
         // canonical tag order so that csh is commutative on the nose.
         (a, b) => {
-            let mut labels = vec![a.clone().floor(), b.clone().floor()];
+            let mut labels = vec![a.floor(), b.floor()];
             labels.sort_by_key(tag_of);
             Top(labels)
         }
@@ -107,35 +122,50 @@ pub fn csh_all<I>(shapes: I) -> Shape
 where
     I: IntoIterator<Item = Shape>,
 {
-    shapes
-        .into_iter()
-        .fold(Shape::Bottom, |acc, s| csh(&acc, &s))
+    shapes.into_iter().fold(Shape::Bottom, csh)
 }
 
-fn record_join(a: &RecordShape, b: &RecordShape) -> RecordShape {
+/// Field-wise record merge. Consumes both records; the right side's
+/// fields are located through a hash index over interned names, so a
+/// width-w join is O(w) rather than the O(w²) of repeated linear scans.
+fn record_join(a: RecordShape, b: RecordShape) -> RecordShape {
     debug_assert_eq!(a.name, b.name);
-    let mut fields: Vec<FieldShape> = Vec::with_capacity(a.fields.len().max(b.fields.len()));
-    for fa in &a.fields {
-        let shape = match b.field(&fa.name) {
-            Some(sb) => csh(&fa.shape, sb),
-            None => fa.shape.clone().ceil(),
-        };
-        fields.push(FieldShape::new(fa.name.clone(), shape));
+    let name = a.name;
+    // Index b's fields by name; each b-field is consumed by at most one
+    // a-field. Records with *duplicate* field names (degenerate, but
+    // constructible from JSON duplicate keys) join the first duplicate
+    // against b's field and treat later duplicates as a-only (they come
+    // out nullable).
+    let mut b_index: HashMap<Name, usize> = HashMap::with_capacity(b.fields.len());
+    for (i, fb) in b.fields.iter().enumerate() {
+        b_index.entry(fb.name).or_insert(i);
     }
-    for fb in &b.fields {
-        if a.field(&fb.name).is_none() {
-            fields.push(FieldShape::new(fb.name.clone(), fb.shape.clone().ceil()));
+    let mut b_fields: Vec<Option<FieldShape>> = b.fields.into_iter().map(Some).collect();
+    let mut a_names: HashSet<Name> = HashSet::with_capacity(a.fields.len());
+
+    let mut fields: Vec<FieldShape> = Vec::with_capacity(a.fields.len().max(b_fields.len()));
+    for fa in a.fields {
+        a_names.insert(fa.name);
+        let shape = match b_index.get(&fa.name).and_then(|&i| b_fields[i].take()) {
+            Some(fb) => csh(fa.shape, fb.shape),
+            None => fa.shape.ceil(),
+        };
+        fields.push(FieldShape { name: fa.name, shape });
+    }
+    for fb in b_fields.into_iter().flatten() {
+        if !a_names.contains(&fb.name) {
+            fields.push(FieldShape { name: fb.name, shape: fb.shape.ceil() });
         }
     }
-    RecordShape { name: a.name.clone(), fields }
+    RecordShape { name, fields }
 }
 
 /// (top-merge): group the labels of two tops by tag; same-tag labels are
 /// joined with `csh`, the rest are concatenated.
-fn top_merge(la: &[Shape], lb: &[Shape]) -> Shape {
-    let mut labels: Vec<Shape> = la.to_vec();
+fn top_merge(la: Vec<Shape>, lb: Vec<Shape>) -> Shape {
+    let mut labels = la;
     for sb in lb {
-        merge_label(&mut labels, sb.clone());
+        merge_label(&mut labels, sb);
     }
     labels.sort_by_key(tag_of);
     Shape::Top(labels)
@@ -144,9 +174,9 @@ fn top_merge(la: &[Shape], lb: &[Shape]) -> Shape {
 /// (top-incl)/(top-add): absorb one non-top shape into a labelled top.
 /// Tops implicitly permit null, so the incoming label is stripped to its
 /// non-nullable core with `⌊−⌋` (and a bare `null`/`⊥` adds no label).
-fn top_include(labels: &[Shape], s: &Shape) -> Shape {
-    let mut labels = labels.to_vec();
-    let core = s.clone().floor();
+fn top_include(labels: Vec<Shape>, s: Shape) -> Shape {
+    let mut labels = labels;
+    let core = s.floor();
     if !matches!(core, Shape::Null | Shape::Bottom) {
         merge_label(&mut labels, core);
     }
@@ -160,18 +190,20 @@ fn merge_label(labels: &mut Vec<Shape>, incoming: Shape) {
         // csh of two same-tag labels never reaches (top-any): by
         // construction of tags they join below the top shape. The floor
         // keeps the invariant that labels are non-nullable.
-        *existing = csh(existing, &incoming).floor();
+        let old = std::mem::replace(existing, Shape::Bottom);
+        *existing = csh(old, incoming).floor();
     } else {
         labels.push(incoming);
     }
 }
 
-/// Views a collection shape as §6.4 cases (see `prefer::to_cases`).
-fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
+/// Views a collection shape as §6.4 cases (see `prefer::to_cases`),
+/// consuming it.
+fn to_cases(shape: Shape) -> Vec<(Shape, Multiplicity)> {
     match shape {
-        Shape::HeteroList(cases) => cases.clone(),
-        Shape::List(e) if **e == Shape::Bottom => Vec::new(),
-        Shape::List(e) => vec![((**e).clone(), Multiplicity::Many)],
+        Shape::HeteroList(cases) => cases,
+        Shape::List(e) if *e == Shape::Bottom => Vec::new(),
+        Shape::List(e) => vec![(*e, Multiplicity::Many)],
         _ => unreachable!("to_cases called on a non-collection shape"),
     }
 }
@@ -179,20 +211,26 @@ fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
 /// §6.4: "We merge cases with the same tag (by finding their common
 /// shape) and calculate their new shared multiplicity."
 fn hetero_join(
-    a: &[(Shape, Multiplicity)],
-    b: &[(Shape, Multiplicity)],
+    a: Vec<(Shape, Multiplicity)>,
+    b: Vec<(Shape, Multiplicity)>,
 ) -> Shape {
-    let mut cases: Vec<(Shape, Multiplicity)> = Vec::new();
+    let mut b_slots: Vec<Option<(Shape, Multiplicity)>> = b.into_iter().map(Some).collect();
+    let mut cases: Vec<(Shape, Multiplicity)> = Vec::with_capacity(a.len() + b_slots.len());
     for (sa, ma) in a {
-        match b.iter().find(|(sb, _)| tag_of(sb) == tag_of(sa)) {
-            Some((sb, mb)) => cases.push((csh(sa, sb), ma.join(*mb))),
-            None => cases.push((sa.clone(), ma.join_absent())),
+        let tag = tag_of(&sa);
+        let hit = b_slots
+            .iter_mut()
+            .find(|slot| slot.as_ref().is_some_and(|(sb, _)| tag_of(sb) == tag));
+        match hit {
+            Some(slot) => {
+                let (sb, mb) = slot.take().expect("slot checked non-empty");
+                cases.push((csh(sa, sb), ma.join(mb)));
+            }
+            None => cases.push((sa, ma.join_absent())),
         }
     }
-    for (sb, mb) in b {
-        if !a.iter().any(|(sa, _)| tag_of(sa) == tag_of(sb)) {
-            cases.push((sb.clone(), mb.join_absent()));
-        }
+    for (sb, mb) in b_slots.into_iter().flatten() {
+        cases.push((sb, mb.join_absent()));
     }
     cases.sort_by_key(|(s, _)| tag_of(s));
     Shape::HeteroList(cases)
@@ -201,6 +239,13 @@ fn hetero_join(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csh_ref;
+
+    /// Tests build shapes from this instead of cloning, keeping this
+    /// file free of `clone` calls (the production join performs none).
+    fn dup(s: &Shape) -> Shape {
+        s.to_owned()
+    }
     use crate::multiplicity::Multiplicity::{Many, One, ZeroOrOne};
     use crate::prefer::is_preferred;
     use Shape::*;
@@ -214,65 +259,65 @@ mod tests {
     #[test]
     fn rule_eq() {
         for s in [Int, Null, Bottom, Shape::any(), Shape::list(Bool)] {
-            assert_eq!(csh(&s, &s), s);
+            assert_eq!(csh_ref(&s, &s), s);
         }
     }
 
     #[test]
     fn rule_list() {
         assert_eq!(
-            csh(&Shape::list(Int), &Shape::list(Float)),
+            csh_ref(&Shape::list(Int), &Shape::list(Float)),
             Shape::list(Float)
         );
         assert_eq!(
-            csh(&Shape::list(Bottom), &Shape::list(Int)),
+            csh_ref(&Shape::list(Bottom), &Shape::list(Int)),
             Shape::list(Int)
         );
     }
 
     #[test]
     fn rule_bot() {
-        assert_eq!(csh(&Bottom, &Int), Int);
-        assert_eq!(csh(&Int, &Bottom), Int);
-        assert_eq!(csh(&Bottom, &Null), Null);
+        assert_eq!(csh_ref(&Bottom, &Int), Int);
+        assert_eq!(csh_ref(&Int, &Bottom), Int);
+        assert_eq!(csh_ref(&Bottom, &Null), Null);
     }
 
     #[test]
     fn rule_null() {
-        assert_eq!(csh(&Null, &Int), Int.ceil());
-        assert_eq!(csh(&Int, &Null), Int.ceil());
+        assert_eq!(csh_ref(&Null, &Int), Int.ceil());
+        assert_eq!(csh_ref(&Int, &Null), Int.ceil());
         // ⌈−⌉ leaves already-nullable shapes alone:
-        assert_eq!(csh(&Null, &Shape::list(Int)), Shape::list(Int));
-        assert_eq!(csh(&Null, &Int.ceil()), Int.ceil());
-        assert_eq!(csh(&Null, &Shape::any()), Shape::any());
+        assert_eq!(csh_ref(&Null, &Shape::list(Int)), Shape::list(Int));
+        assert_eq!(csh_ref(&Null, &Int.ceil()), Int.ceil());
+        assert_eq!(csh_ref(&Null, &Shape::any()), Shape::any());
     }
 
     #[test]
     fn rule_top() {
         // Fig. 2 (top): csh(any, σ) = any — with Fig. 4 labels recorded.
-        assert!(csh(&Shape::any(), &Int).is_top());
-        assert!(csh(&Int, &Shape::any()).is_top());
+        assert!(csh_ref(&Shape::any(), &Int).is_top());
+        assert!(csh_ref(&Int, &Shape::any()).is_top());
     }
 
     #[test]
     fn rule_num() {
-        assert_eq!(csh(&Int, &Float), Float);
-        assert_eq!(csh(&Float, &Int), Float);
+        assert_eq!(csh_ref(&Int, &Float), Float);
+        assert_eq!(csh_ref(&Float, &Int), Float);
     }
 
     #[test]
     fn rule_opt() {
         // csh(nullable σ̂1, σ2) = ⌈csh(σ̂1, σ2)⌉
-        assert_eq!(csh(&Int.ceil(), &Float), Float.ceil());
-        assert_eq!(csh(&Float, &Int.ceil()), Float.ceil());
-        assert_eq!(csh(&Int.ceil(), &Float.ceil()), Float.ceil());
+        assert_eq!(csh_ref(&Int.ceil(), &Float), Float.ceil());
+        assert_eq!(csh_ref(&Float, &Int.ceil()), Float.ceil());
+        assert_eq!(csh_ref(&Int.ceil(), &Float.ceil()), Float.ceil());
     }
 
     #[test]
     fn rule_recd() {
         let a = rec("P", vec![("x", Int), ("y", Int)]);
         let b = rec("P", vec![("x", Float), ("y", Int)]);
-        assert_eq!(csh(&a, &b), rec("P", vec![("x", Float), ("y", Int)]));
+        assert_eq!(csh_ref(&a, &b), rec("P", vec![("x", Float), ("y", Int)]));
     }
 
     #[test]
@@ -282,18 +327,18 @@ mod tests {
         let narrow = rec("Point", vec![("x", Int)]);
         let wide = rec("Point", vec![("x", Int), ("y", Int)]);
         let expected = rec("Point", vec![("x", Int), ("y", Int.ceil())]);
-        assert_eq!(csh(&narrow, &wide), expected);
-        assert_eq!(csh(&wide, &narrow), expected);
+        assert_eq!(csh_ref(&narrow, &wide), expected);
+        assert_eq!(csh_ref(&wide, &narrow), expected);
     }
 
     #[test]
     fn rule_any_as_last_resort() {
-        assert_eq!(csh(&Int, &String), Top(vec![Int, String]));
-        assert_eq!(csh(&Bool, &String), Top(vec![Bool, String]));
+        assert_eq!(csh_ref(&Int, &String), Top(vec![Int, String]));
+        assert_eq!(csh_ref(&Bool, &String), Top(vec![Bool, String]));
         // Records with different names do not merge:
         let p = rec("P", vec![("x", Int)]);
         let q = rec("Q", vec![("x", Int)]);
-        assert_eq!(csh(&p, &q), Top(vec![p.clone(), q.clone()]));
+        assert_eq!(csh_ref(&p, &q), Top(vec![dup(&p), dup(&q)]));
     }
 
     // --- Fig. 4 labelled-top rules ---
@@ -304,58 +349,58 @@ mod tests {
         // labels with ⌊−⌋ applied, and the outer ⌈−⌉ leaves the top
         // unchanged (tops already permit null): the result is
         // any⟨int, string⟩, not any⟨nullable int, string⟩.
-        assert_eq!(csh(&Int.ceil(), &String), Top(vec![Int, String]));
+        assert_eq!(csh_ref(&Int.ceil(), &String), Top(vec![Int, String]));
     }
 
     #[test]
     fn top_incl_joins_same_tag_label() {
         let top = Top(vec![Int, Bool]);
         // float has tag "number" like int: (top-incl) joins them.
-        assert_eq!(csh(&top, &Float), Top(vec![Float, Bool]));
-        assert_eq!(csh(&Float, &top), Top(vec![Float, Bool]));
+        assert_eq!(csh_ref(&top, &Float), Top(vec![Float, Bool]));
+        assert_eq!(csh_ref(&Float, &top), Top(vec![Float, Bool]));
     }
 
     #[test]
     fn top_add_appends_new_tag() {
         let top = Top(vec![Int]);
-        assert_eq!(csh(&top, &String), Top(vec![Int, String]));
+        assert_eq!(csh_ref(&top, &String), Top(vec![Int, String]));
     }
 
     #[test]
     fn top_merge_groups_by_tag() {
         let ta = Top(vec![Int, Bool]);
         let tb = Top(vec![Float, String]);
-        assert_eq!(csh(&ta, &tb), Top(vec![Float, Bool, String]));
+        assert_eq!(csh_ref(&ta, &tb), Top(vec![Float, Bool, String]));
     }
 
     #[test]
     fn paper_example_no_nested_tops() {
         // "Rather than inferring any⟨int, any⟨bool, float⟩⟩, our algorithm
         // joins int and float and produces any⟨float, bool⟩."
-        let s1 = csh(&Int, &Bool); // any⟨int, bool⟩
-        let s2 = csh(&s1, &Float);
+        let s1 = csh_ref(&Int, &Bool); // any⟨int, bool⟩
+        let s2 = csh_ref(&s1, &Float);
         assert_eq!(s2, Top(vec![Float, Bool]));
     }
 
     #[test]
     fn top_absorbs_null_without_label() {
         let top = Top(vec![Int]);
-        assert_eq!(csh(&top, &Null), Top(vec![Int]));
-        assert_eq!(csh(&Null, &top), Top(vec![Int]));
+        assert_eq!(csh_ref(&top, &Null), Top(vec![Int]));
+        assert_eq!(csh_ref(&Null, &top), Top(vec![Int]));
     }
 
     #[test]
     fn top_label_from_nullable_is_floored() {
         let top = Top(vec![String]);
-        assert_eq!(csh(&top, &Int.ceil()), Top(vec![Int, String]));
+        assert_eq!(csh_ref(&top, &Int.ceil()), Top(vec![Int, String]));
     }
 
     #[test]
     fn top_merges_same_name_records() {
         let p1 = rec("P", vec![("x", Int)]);
         let p2 = rec("P", vec![("y", Bool)]);
-        let top = Top(vec![p1.clone()]);
-        let joined = csh(&top, &p2);
+        let top = Top(vec![dup(&p1)]);
+        let joined = csh_ref(&top, &p2);
         let expected = rec("P", vec![("x", Int.ceil()), ("y", Bool.ceil())]);
         assert_eq!(joined, Top(vec![expected]));
     }
@@ -364,20 +409,20 @@ mod tests {
 
     #[test]
     fn bit_joins() {
-        assert_eq!(csh(&Bit, &Bit), Bit);
-        assert_eq!(csh(&Bit, &Int), Int);
-        assert_eq!(csh(&Bit, &Bool), Bool);
-        assert_eq!(csh(&Bit, &Float), Float);
-        assert_eq!(csh(&Bool, &Bit), Bool);
+        assert_eq!(csh_ref(&Bit, &Bit), Bit);
+        assert_eq!(csh_ref(&Bit, &Int), Int);
+        assert_eq!(csh_ref(&Bit, &Bool), Bool);
+        assert_eq!(csh_ref(&Bit, &Float), Float);
+        assert_eq!(csh_ref(&Bool, &Bit), Bool);
     }
 
     #[test]
     fn date_joins() {
-        assert_eq!(csh(&Date, &Date), Date);
-        assert_eq!(csh(&Date, &String), String);
-        assert_eq!(csh(&String, &Date), String);
+        assert_eq!(csh_ref(&Date, &Date), Date);
+        assert_eq!(csh_ref(&Date, &String), String);
+        assert_eq!(csh_ref(&String, &Date), String);
         // date vs number falls to the top:
-        assert_eq!(csh(&Date, &Int), Top(vec![Int, Date]));
+        assert_eq!(csh_ref(&Date, &Int), Top(vec![Int, Date]));
     }
 
     #[test]
@@ -385,32 +430,32 @@ mod tests {
         let r1 = rec("•", vec![("a", Int)]);
         let r2 = rec("•", vec![("a", Float)]);
         let ha = HeteroList(vec![(r1, One)]);
-        let hb = HeteroList(vec![(r2.clone(), One)]);
-        assert_eq!(csh(&ha, &hb), HeteroList(vec![(r2, One)]));
+        let hb = HeteroList(vec![(dup(&r2), One)]);
+        assert_eq!(csh_ref(&ha, &hb), HeteroList(vec![(r2, One)]));
     }
 
     #[test]
     fn hetero_one_and_absent_becomes_zero_or_one() {
         let r = rec("•", vec![("a", Int)]);
-        let ha = HeteroList(vec![(r.clone(), One)]);
+        let ha = HeteroList(vec![(dup(&r), One)]);
         let hb = HeteroList(vec![]);
-        assert_eq!(csh(&ha, &hb), HeteroList(vec![(r, ZeroOrOne)]));
+        assert_eq!(csh_ref(&ha, &hb), HeteroList(vec![(r, ZeroOrOne)]));
     }
 
     #[test]
     fn hetero_absorbs_homogeneous_list() {
         let r = rec("•", vec![("a", Int)]);
-        let hetero = HeteroList(vec![(r.clone(), One)]);
-        let homog = Shape::list(r.clone());
-        assert_eq!(csh(&hetero, &homog), HeteroList(vec![(r, Many)]));
+        let hetero = HeteroList(vec![(dup(&r), One)]);
+        let homog = Shape::list(dup(&r));
+        assert_eq!(csh_ref(&hetero, &homog), HeteroList(vec![(r, Many)]));
     }
 
     #[test]
     fn empty_list_is_hetero_identity() {
         let r = rec("•", vec![("a", Int)]);
-        let hetero = HeteroList(vec![(r.clone(), One)]);
+        let hetero = HeteroList(vec![(dup(&r), One)]);
         let empty = Shape::list(Bottom);
-        assert_eq!(csh(&hetero, &empty), HeteroList(vec![(r, ZeroOrOne)]));
+        assert_eq!(csh_ref(&hetero, &empty), HeteroList(vec![(r, ZeroOrOne)]));
     }
 
     // --- Lemma 1: csh is the least upper bound ---
@@ -435,7 +480,7 @@ mod tests {
         ];
         for a in &shapes {
             for b in &shapes {
-                let j = csh(a, b);
+                let j = csh_ref(a, b);
                 assert!(is_preferred(a, &j), "{a} ⋢ csh({a}, {b}) = {j}");
                 assert!(is_preferred(b, &j), "{b} ⋢ csh({a}, {b}) = {j}");
             }
@@ -457,7 +502,7 @@ mod tests {
         ];
         for a in &shapes {
             for b in &shapes {
-                assert_eq!(csh(a, b), csh(b, a), "csh not commutative on {a}, {b}");
+                assert_eq!(csh_ref(a, b), csh_ref(b, a), "csh not commutative on {a}, {b}");
             }
         }
     }

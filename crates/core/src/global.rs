@@ -17,6 +17,7 @@ use crate::csh::csh;
 use crate::shape::RecordShape;
 use crate::Shape;
 use std::collections::BTreeMap;
+use tfd_value::Name;
 
 /// Applies global by-name record unification to a shape.
 ///
@@ -38,7 +39,7 @@ use std::collections::BTreeMap;
 /// ```
 pub fn globalize(shape: &Shape) -> Shape {
     // 1. Collect the join of all record shapes per name.
-    let mut joined: BTreeMap<String, RecordShape> = BTreeMap::new();
+    let mut joined: BTreeMap<Name, RecordShape> = BTreeMap::new();
     collect(shape, &mut joined);
     // 2. Saturate: joining records may expose nested records that also
     //    need joining into the map (they were collected already since we
@@ -49,7 +50,7 @@ pub fn globalize(shape: &Shape) -> Shape {
     rewrite(shape, &joined, &mut stack)
 }
 
-fn collect(shape: &Shape, joined: &mut BTreeMap<String, RecordShape>) {
+fn collect(shape: &Shape, joined: &mut BTreeMap<Name, RecordShape>) {
     match shape {
         Shape::Record(r) => {
             for f in &r.fields {
@@ -57,13 +58,13 @@ fn collect(shape: &Shape, joined: &mut BTreeMap<String, RecordShape>) {
             }
             match joined.get(&r.name) {
                 Some(existing) => {
-                    let merged = csh(&Shape::Record(existing.clone()), &Shape::Record(r.clone()));
+                    let merged = csh(Shape::Record(existing.clone()), Shape::Record(r.clone()));
                     if let Shape::Record(m) = merged {
-                        joined.insert(r.name.clone(), m);
+                        joined.insert(r.name, m);
                     }
                 }
                 None => {
-                    joined.insert(r.name.clone(), r.clone());
+                    joined.insert(r.name, r.clone());
                 }
             }
         }
@@ -84,8 +85,8 @@ fn collect(shape: &Shape, joined: &mut BTreeMap<String, RecordShape>) {
 
 fn rewrite(
     shape: &Shape,
-    joined: &BTreeMap<String, RecordShape>,
-    stack: &mut Vec<String>,
+    joined: &BTreeMap<Name, RecordShape>,
+    stack: &mut Vec<Name>,
 ) -> Shape {
     match shape {
         Shape::Record(r) => {
@@ -93,26 +94,26 @@ fn rewrite(
                 // Recursion cut: keep the local shape, rewriting children
                 // only (without re-expanding this name).
                 return Shape::Record(RecordShape {
-                    name: r.name.clone(),
+                    name: r.name,
                     fields: r
                         .fields
                         .iter()
                         .map(|f| crate::shape::FieldShape::new(
-                            f.name.clone(),
+                            f.name,
                             rewrite(&f.shape, joined, stack),
                         ))
                         .collect(),
                 });
             }
             let unified = joined.get(&r.name).cloned().unwrap_or_else(|| r.clone());
-            stack.push(r.name.clone());
+            stack.push(r.name);
             let result = Shape::Record(RecordShape {
-                name: unified.name.clone(),
+                name: unified.name,
                 fields: unified
                     .fields
                     .iter()
                     .map(|f| crate::shape::FieldShape::new(
-                        f.name.clone(),
+                        f.name,
                         rewrite(&f.shape, joined, stack),
                     ))
                     .collect(),

@@ -155,10 +155,10 @@ pub fn infer_with(sample: &Value, options: &InferOptions) -> Shape {
         Value::Null => Shape::Null,
         Value::List(items) => infer_collection(items, options),
         Value::Record { name, fields } => Shape::record(
-            name.clone(),
+            *name,
             fields
                 .iter()
-                .map(|f| (f.name.clone(), infer_with(&f.value, options))),
+                .map(|f| (f.name, infer_with(&f.value, options))),
         ),
     }
 }
@@ -178,7 +178,7 @@ where
 {
     samples
         .into_iter()
-        .fold(Shape::Bottom, |acc, d| csh(&acc, &infer_with(d, options)))
+        .fold(Shape::Bottom, |acc, d| csh(acc, infer_with(d, options)))
 }
 
 /// Collection inference. In formal mode this is Fig. 3's
@@ -190,7 +190,7 @@ fn infer_collection(items: &[Value], options: &InferOptions) -> Shape {
     if !options.hetero_collections {
         let element = items
             .iter()
-            .fold(Shape::Bottom, |acc, d| csh(&acc, &infer_with(d, options)));
+            .fold(Shape::Bottom, |acc, d| csh(acc, infer_with(d, options)));
         return Shape::list(element);
     }
 
@@ -209,7 +209,8 @@ fn infer_collection(items: &[Value], options: &InferOptions) -> Shape {
         let tag = tag_of(&s);
         match cases.iter_mut().find(|(cs, _)| tag_of(cs) == tag) {
             Some((cs, count)) => {
-                *cs = csh(cs, &s);
+                let old = std::mem::replace(cs, Shape::Bottom);
+                *cs = csh(old, s);
                 *count += 1;
             }
             None => cases.push((s, 1)),

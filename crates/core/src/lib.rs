@@ -51,6 +51,13 @@ mod tags;
 
 pub use conforms::{conforms, value_matches_tag};
 pub use csh::{csh, csh_all};
+
+/// [`csh`] for callers that only hold references: clones both arguments
+/// and delegates. Tests and diagnostic tooling use this; the inference
+/// hot path consumes shapes with [`csh`] directly and never clones.
+pub fn csh_ref(a: &Shape, b: &Shape) -> Shape {
+    csh(a.clone(), b.clone())
+}
 pub use global::globalize;
 pub use infer::{infer, infer_many, infer_with, InferOptions};
 pub use multiplicity::Multiplicity;

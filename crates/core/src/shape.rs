@@ -17,19 +17,20 @@
 
 use crate::multiplicity::Multiplicity;
 use std::fmt;
+use tfd_value::Name;
 
 /// A record field shape: a name `νᵢ` with its shape `σᵢ`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FieldShape {
-    /// Field name.
-    pub name: String,
+    /// Field name (interned — copying a field name is free).
+    pub name: Name,
     /// Field shape.
     pub shape: Shape,
 }
 
 impl FieldShape {
     /// Creates a field shape.
-    pub fn new(name: impl Into<String>, shape: Shape) -> FieldShape {
+    pub fn new(name: impl Into<Name>, shape: Shape) -> FieldShape {
         FieldShape { name: name.into(), shape }
     }
 }
@@ -45,8 +46,8 @@ impl FieldShape {
 /// because "record fields can be freely reordered" (§3.1).
 #[derive(Debug, Clone, Eq)]
 pub struct RecordShape {
-    /// Record name `ν`.
-    pub name: String,
+    /// Record name `ν` (interned).
+    pub name: Name,
     /// Fields in first-seen order.
     pub fields: Vec<FieldShape>,
 }
@@ -86,9 +87,9 @@ impl RecordShape {
     /// Creates a record shape from `(name, shape)` pairs.
     pub fn new<N, I, F>(name: N, fields: I) -> RecordShape
     where
-        N: Into<String>,
+        N: Into<Name>,
         I: IntoIterator<Item = (F, Shape)>,
-        F: Into<String>,
+        F: Into<Name>,
     {
         RecordShape {
             name: name.into(),
@@ -173,9 +174,9 @@ impl Shape {
     /// ```
     pub fn record<N, I, F>(name: N, fields: I) -> Shape
     where
-        N: Into<String>,
+        N: Into<Name>,
         I: IntoIterator<Item = (F, Shape)>,
-        F: Into<String>,
+        F: Into<Name>,
     {
         Shape::Record(RecordShape::new(name, fields))
     }

@@ -15,6 +15,7 @@
 
 use crate::Shape;
 use std::fmt;
+use tfd_value::Name;
 
 /// The tag of a shape (Fig. 4), grouping shapes that join below top.
 ///
@@ -30,8 +31,8 @@ pub enum Tag {
     Bool,
     /// `string` and the `date` extension.
     Str,
-    /// A record, tagged by its name ν.
-    Name(String),
+    /// A record, tagged by its (interned) name ν.
+    Name(Name),
     /// Collections `[σ]` (and heterogeneous collections).
     Collection,
     /// `nullable σ̂`.
@@ -76,7 +77,7 @@ pub fn tag_of(shape: &Shape) -> Tag {
         Shape::Bool => Tag::Bool,
         Shape::Int | Shape::Float | Shape::Bit => Tag::Number,
         Shape::Top(_) => Tag::Any,
-        Shape::Record(r) => Tag::Name(r.name.clone()),
+        Shape::Record(r) => Tag::Name(r.name),
         Shape::Nullable(_) => Tag::Nullable,
         Shape::List(_) | Shape::HeteroList(_) => Tag::Collection,
         Shape::Null => Tag::Null,

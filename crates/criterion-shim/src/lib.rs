@@ -1,0 +1,410 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, API-compatible with the subset this workspace uses.
+//!
+//! The build container has no network access to crates.io, so the real
+//! criterion cannot be vendored; this shim keeps the bench sources
+//! unchanged and provides honest wall-clock measurements: per benchmark
+//! it warms up, then runs timed batches until a time budget is reached
+//! and reports the median per-iteration time (plus min/mean) and derived
+//! throughput.
+//!
+//! Supported flags (subset of criterion's CLI):
+//!
+//! * `--test` — smoke mode: run every benchmark body exactly once.
+//! * `--bench` — ignored (passed by `cargo bench`).
+//! * `--save-json <path>` — append machine-readable results to a JSON file.
+//! * a positional `<filter>` substring selecting benchmark ids.
+
+use std::time::{Duration, Instant};
+
+/// How measured throughput is derived from per-iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iteration processes this many bytes.
+    Bytes(u64),
+    /// Iteration processes this many elements.
+    Elements(u64),
+}
+
+/// A benchmark identifier, rendered as `group/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// An id that is just the parameter (the group name prefixes it).
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+/// One measured result, kept for optional JSON export.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/param`).
+    pub id: String,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Fastest observed seconds per iteration.
+    pub min_s: f64,
+    /// Declared per-iteration workload, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Derived throughput in units/second, when a workload was declared.
+    pub fn per_second(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Bytes(n)) | Some(Throughput::Elements(n)) => {
+                Some(n as f64 / self.median_s)
+            }
+            None => None,
+        }
+    }
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    warm_up: Duration,
+    measure: Duration,
+    save_json: Option<String>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        let mut save_json = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                "--save-json" => save_json = args.next(),
+                s if s.starts_with('-') => {
+                    // Swallow `--flag value` style options we don't know.
+                    if matches!(s, "--sample-size" | "--measurement-time" | "--warm-up-time") {
+                        let _ = args.next();
+                    }
+                }
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filter,
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(900),
+            save_json,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configures the measurement time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Configures the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for compatibility; the shim sizes samples by time.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, None, |b| f(b));
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| id.contains(f))
+    }
+
+    fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(&id) {
+            return;
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Warm-up: run the body repeatedly until the warm-up budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            f(&mut b);
+        }
+        // Measurement: collect per-iteration timings until the budget is spent.
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.measure || samples.len() < 10 {
+            let mut b = Bencher { mode: Mode::Timed, samples: Vec::new() };
+            f(&mut b);
+            samples.extend(b.samples);
+            if samples.len() >= 5_000_000 {
+                break;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let median_s = samples[samples.len() / 2];
+        let mean_s = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min_s = samples[0];
+        let m = Measurement { id: id.clone(), median_s, mean_s, min_s, throughput };
+        match m.per_second() {
+            Some(rate) => {
+                let unit = match throughput {
+                    Some(Throughput::Bytes(_)) => "B/s",
+                    _ => "elem/s",
+                };
+                println!(
+                    "{id:<40} median {:>12}  ({} {unit})",
+                    fmt_time(median_s),
+                    fmt_rate(rate)
+                );
+            }
+            None => println!("{id:<40} median {:>12}", fmt_time(median_s)),
+        }
+        self.results.push(m);
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Writes results as JSON when `--save-json` was passed.
+    pub fn finalize(&self) {
+        let Some(path) = &self.save_json else { return };
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_s\": {:e}, \"mean_s\": {:e}, \"min_s\": {:e}{}}}",
+                m.id.replace('"', "\\\""),
+                m.median_s,
+                m.mean_s,
+                m.min_s,
+                match m.per_second() {
+                    Some(r) => format!(", \"per_second\": {r:.1}"),
+                    None => String::new(),
+                }
+            ));
+        }
+        out.push_str("\n]\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("criterion-shim: could not write {path}: {e}");
+        }
+    }
+}
+
+fn fmt_time(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.1}k", r / 1e3)
+    } else {
+        format!("{r:.0}")
+    }
+}
+
+/// A benchmark group (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.c.run_one(full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.c.run_one(full, throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Once,
+    Timed,
+}
+
+/// The per-benchmark timer handle (shim of `criterion::Bencher`).
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(routine());
+            }
+            Mode::Timed => {
+                // One calibration run, then a small timed batch; per-call
+                // cost is batched to keep Instant overhead negligible.
+                let t0 = Instant::now();
+                std::hint::black_box(routine());
+                let once = t0.elapsed();
+                let batch = if once < Duration::from_micros(5) {
+                    64
+                } else if once < Duration::from_millis(1) {
+                    8
+                } else {
+                    1
+                };
+                let t1 = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                let per = t1.elapsed().as_secs_f64() / batch as f64;
+                self.samples.push(per);
+            }
+        }
+    }
+
+    /// Times runs over batches of a setup-produced input (compat subset).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            Mode::Once => {
+                std::hint::black_box(routine(setup()));
+            }
+            Mode::Timed => {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                self.samples.push(t.elapsed().as_secs_f64());
+            }
+        }
+    }
+}
+
+/// Batch sizing hint (accepted for compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Re-export used by `criterion_main!` expansions.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}

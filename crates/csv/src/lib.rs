@@ -37,7 +37,7 @@ mod parser;
 pub use literal::{parse_date, parse_literal, Date, LiteralOptions};
 pub use parser::{parse, parse_with, CsvError, CsvOptions};
 
-use tfd_value::{Value, BODY_NAME};
+use tfd_value::{body_name, Name, Value};
 
 /// A parsed CSV file: a header row and data rows of raw cell text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,16 +79,22 @@ impl CsvFile {
 
     /// Converts the file to the universal data value with explicit
     /// literal-inference options.
+    ///
+    /// Column names are interned once for the whole file, so each of the
+    /// (possibly millions of) rows copies `Name` symbols instead of
+    /// allocating one `String` per cell.
     pub fn to_value_with(&self, options: &LiteralOptions) -> Value {
+        let row_name = body_name();
+        let columns: Vec<Name> = self.headers.iter().map(Name::from).collect();
         Value::List(
             self.rows
                 .iter()
                 .map(|row| {
                     Value::record(
-                        BODY_NAME,
-                        self.headers.iter().enumerate().map(|(i, h)| {
+                        row_name,
+                        columns.iter().enumerate().map(|(i, &h)| {
                             let cell = row.get(i).map(String::as_str).unwrap_or("");
-                            (h.clone(), parse_literal(cell, options))
+                            (h, parse_literal(cell, options))
                         }),
                     )
                 })
@@ -100,6 +106,7 @@ impl CsvFile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tfd_value::BODY_NAME;
 
     #[test]
     fn to_value_builds_row_records() {

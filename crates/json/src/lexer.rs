@@ -581,6 +581,21 @@ mod tests {
     }
 
     #[test]
+    fn columns_count_characters_not_bytes() {
+        // "čaj" is 3 characters / 4 bytes and "😀" is 1 character /
+        // 4 bytes: columns must advance per character so error positions
+        // match what an editor shows for UTF-8 input.
+        let mut lx = Lexer::new("\"čaj\" 😀");
+        let (tok, p1) = lx.next_token().unwrap();
+        assert_eq!(tok, Token::Str("čaj".into()));
+        assert_eq!((p1.line, p1.column), (1, 1));
+        let err = lx.next_token().unwrap_err();
+        assert_eq!(err.pos.column, 7, "column after a 5-char token + space");
+        // Byte offsets still measure bytes (for slicing):
+        assert_eq!(err.pos.offset, 7);
+    }
+
+    #[test]
     fn unexpected_character() {
         assert!(matches!(
             lex_all("@").unwrap_err().kind,

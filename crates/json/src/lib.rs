@@ -34,12 +34,16 @@
 
 mod lexer;
 mod parser;
+pub mod reference;
 mod writer;
 
-pub use parser::{parse, parse_many, parse_with, ParseError, ParseErrorKind, ParserOptions};
+pub use parser::{
+    parse, parse_many, parse_value, parse_value_with, parse_with, ParseError, ParseErrorKind,
+    ParserOptions,
+};
 pub use writer::{to_json_string, to_json_string_pretty};
 
-use tfd_value::{Value, BODY_NAME};
+use tfd_value::{Name, Value};
 
 /// A parsed JSON document.
 ///
@@ -56,8 +60,10 @@ pub enum Json {
     String(String),
     /// A boolean literal.
     Bool(bool),
-    /// An object; key order is preserved.
-    Object(Vec<(String, Json)>),
+    /// An object; key order is preserved. Keys are interned at parse
+    /// time — object keys repeat across arrays of records, so a `Name`
+    /// per key avoids one `String` per occurrence.
+    Object(Vec<(Name, Json)>),
     /// An array.
     Array(Vec<Json>),
     /// The `null` literal.
@@ -105,8 +111,8 @@ impl Json {
                 Value::List(items.iter().map(Json::to_value).collect())
             }
             Json::Object(members) => Value::record(
-                BODY_NAME,
-                members.iter().map(|(k, v)| (k.clone(), v.to_value())),
+                tfd_value::body_name(),
+                members.iter().map(|(k, v)| (*k, v.to_value())),
             ),
         }
     }
@@ -128,7 +134,7 @@ impl Json {
             Value::Record { fields, .. } => Json::Object(
                 fields
                     .iter()
-                    .map(|f| (f.name.clone(), Json::from_value(&f.value)))
+                    .map(|f| (f.name, Json::from_value(&f.value)))
                     .collect(),
             ),
         }
@@ -153,6 +159,7 @@ impl std::str::FromStr for Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tfd_value::BODY_NAME;
 
     #[test]
     fn get_on_non_object_is_none() {

@@ -1,14 +1,38 @@
-//! Recursive-descent JSON parser with precise error positions.
+//! Single-pass, byte-level JSON parsing with precise error positions.
+//!
+//! This is the hot path of the whole pipeline: a type provider parses
+//! every sample document through here before inference runs. The parser
+//! therefore works directly on the input bytes with **no intermediate
+//! token values**:
+//!
+//! * escape-free string literals are returned as *borrowed* slices of the
+//!   input (`Cow::Borrowed`) — the overwhelmingly common case for both
+//!   keys and values — and only strings containing escapes allocate;
+//! * object keys are interned into [`Name`] symbols straight from the
+//!   borrowed slice, so a million-row array of records allocates its key
+//!   strings once, not a million times;
+//! * numbers parse straight from the input span (shared int/float fast
+//!   path), with no per-token `String`;
+//! * line/column positions are not tracked per character: the parser
+//!   keeps only the current line number and the byte offset of its start,
+//!   and an error **computes** its column by counting characters (not
+//!   bytes — multi-byte UTF-8 input reports the same columns an editor
+//!   shows) only when the error is actually raised.
+//!
+//! The previous lexer+parser pipeline is retained unchanged as
+//! [`crate::reference`] so benchmarks can quantify the difference.
 
-use crate::lexer::{LexError, Lexer, Pos, Token};
+use crate::lexer::{LexErrorKind, Pos};
 use crate::Json;
+use std::borrow::Cow;
 use std::fmt;
+use tfd_value::{body_name, Field, Name, Value};
 
 /// What went wrong while parsing.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseErrorKind {
     /// A lexical error (bad literal, bad escape, stray character).
-    Lex(crate::lexer::LexErrorKind),
+    Lex(LexErrorKind),
     /// A grammatical error: found a token where another was required.
     Unexpected {
         /// Description of the offending token.
@@ -56,8 +80,8 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-impl From<LexError> for ParseError {
-    fn from(e: LexError) -> Self {
+impl From<crate::lexer::LexError> for ParseError {
+    fn from(e: crate::lexer::LexError) -> Self {
         ParseError { kind: ParseErrorKind::Lex(e.kind), pos: e.pos }
     }
 }
@@ -77,6 +101,14 @@ impl Default for ParserOptions {
 }
 
 /// Parses a complete JSON document.
+///
+/// Object keys are interned into the process-global [`Name`] table,
+/// which only grows (see `tfd_value::intern`). That is the right trade
+/// for schema-shaped data — keys repeat across rows — but a long-running
+/// process parsing documents whose keys are themselves *data* (objects
+/// used as maps with unbounded key vocabularies) will grow the interner
+/// for each distinct key. See ROADMAP for the planned per-corpus arena
+/// mode.
 ///
 /// # Errors
 ///
@@ -99,15 +131,46 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 /// As [`parse`], plus [`ParseErrorKind::TooDeep`] when nesting exceeds
 /// `options.max_depth`.
 pub fn parse_with(input: &str, options: &ParserOptions) -> Result<Json, ParseError> {
-    let mut p = ParserState::new(input, options.clone())?;
-    let doc = p.parse_value(0)?;
+    let mut p = Parser::new(input, options.max_depth);
+    p.skip_ws();
+    let doc = p.parse_value(&mut JsonSink, 0)?;
     p.expect_eof()?;
     Ok(doc)
 }
 
-/// Parses several newline- or whitespace-separated JSON documents
-/// (JSON-lines style), used when a type provider is given multiple
-/// samples in one file.
+/// Parses a document straight into the universal data [`Value`] of §3.4,
+/// skipping the [`Json`] intermediate entirely: objects become `•`-named
+/// records with interned field names, arrays become collections.
+///
+/// This is the parse→infer hot path — one pass over the bytes, one
+/// allocation per container or escaped/owned string, zero per name.
+///
+/// ```
+/// let v = tfd_json::parse_value(r#"{ "a": 1 }"#)?;
+/// assert_eq!(v.record_name(), Some(tfd_value::BODY_NAME));
+/// assert_eq!(v.field("a"), Some(&tfd_value::Value::Int(1)));
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn parse_value(input: &str) -> Result<Value, ParseError> {
+    parse_value_with(input, &ParserOptions::default())
+}
+
+/// [`parse_value`] under explicit [`ParserOptions`].
+///
+/// # Errors
+///
+/// As [`parse_value`], plus [`ParseErrorKind::TooDeep`] when nesting
+/// exceeds `options.max_depth`.
+pub fn parse_value_with(input: &str, options: &ParserOptions) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input, options.max_depth);
+    p.skip_ws();
+    let doc = p.parse_value(&mut ValueSink { body: body_name() }, 0)?;
+    p.expect_eof()?;
+    Ok(doc)
+}
+
+/// Parses several whitespace-separated JSON documents (JSON-lines style),
+/// used when a type provider is given multiple samples in one file.
 ///
 /// # Errors
 ///
@@ -119,164 +182,542 @@ pub fn parse_with(input: &str, options: &ParserOptions) -> Result<Json, ParseErr
 /// # Ok::<(), tfd_json::ParseError>(())
 /// ```
 pub fn parse_many(input: &str) -> Result<Vec<Json>, ParseError> {
-    let options = ParserOptions::default();
-    let mut p = ParserState::new(input, options)?;
+    let mut p = Parser::new(input, ParserOptions::default().max_depth);
     let mut docs = Vec::new();
-    while p.lookahead != Token::Eof {
-        docs.push(p.parse_value(0)?);
+    p.skip_ws();
+    while !p.at_eof() {
+        docs.push(p.parse_value(&mut JsonSink, 0)?);
+        p.skip_ws();
     }
     Ok(docs)
 }
 
-struct ParserState<'a> {
-    lexer: Lexer<'a>,
-    lookahead: Token,
-    lookahead_pos: Pos,
-    options: ParserOptions,
+/// How parsed pieces are assembled into an output document. Two
+/// instantiations exist: [`JsonSink`] (the [`Json`] tree) and
+/// [`ValueSink`] (the universal [`Value`] with interned names). The
+/// parser is generic over the sink so both outputs share the single
+/// byte-level pass.
+trait Sink {
+    type Out;
+    type Obj;
+
+    fn int(&mut self, i: i64) -> Self::Out;
+    fn float(&mut self, f: f64) -> Self::Out;
+    fn boolean(&mut self, b: bool) -> Self::Out;
+    fn null(&mut self) -> Self::Out;
+    fn string(&mut self, s: Cow<'_, str>) -> Self::Out;
+    fn obj_new(&mut self) -> Self::Obj;
+    fn obj_push(&mut self, obj: &mut Self::Obj, key: Name, value: Self::Out);
+    fn obj_finish(&mut self, obj: Self::Obj) -> Self::Out;
+    fn arr_finish(&mut self, items: Vec<Self::Out>) -> Self::Out;
 }
 
-impl<'a> ParserState<'a> {
-    fn new(input: &'a str, options: ParserOptions) -> Result<Self, ParseError> {
-        let mut lexer = Lexer::new(input);
-        let (lookahead, lookahead_pos) = lexer.next_token()?;
-        Ok(ParserState { lexer, lookahead, lookahead_pos, options })
+struct JsonSink;
+
+impl Sink for JsonSink {
+    type Out = Json;
+    type Obj = Vec<(Name, Json)>;
+
+    fn int(&mut self, i: i64) -> Json {
+        Json::Int(i)
+    }
+    fn float(&mut self, f: f64) -> Json {
+        Json::Float(f)
+    }
+    fn boolean(&mut self, b: bool) -> Json {
+        Json::Bool(b)
+    }
+    fn null(&mut self) -> Json {
+        Json::Null
+    }
+    fn string(&mut self, s: Cow<'_, str>) -> Json {
+        Json::String(s.into_owned())
+    }
+    fn obj_new(&mut self) -> Self::Obj {
+        Vec::new()
+    }
+    fn obj_push(&mut self, obj: &mut Self::Obj, key: Name, value: Json) {
+        obj.push((key, value));
+    }
+    fn obj_finish(&mut self, obj: Self::Obj) -> Json {
+        Json::Object(obj)
+    }
+    fn arr_finish(&mut self, items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+struct ValueSink {
+    body: Name,
+}
+
+impl Sink for ValueSink {
+    type Out = Value;
+    type Obj = Vec<Field>;
+
+    fn int(&mut self, i: i64) -> Value {
+        Value::Int(i)
+    }
+    fn float(&mut self, f: f64) -> Value {
+        Value::Float(f)
+    }
+    fn boolean(&mut self, b: bool) -> Value {
+        Value::Bool(b)
+    }
+    fn null(&mut self) -> Value {
+        Value::Null
+    }
+    fn string(&mut self, s: Cow<'_, str>) -> Value {
+        Value::Str(s.into_owned())
+    }
+    fn obj_new(&mut self) -> Self::Obj {
+        Vec::new()
+    }
+    fn obj_push(&mut self, obj: &mut Self::Obj, key: Name, value: Value) {
+        obj.push(Field { name: key, value });
+    }
+    fn obj_finish(&mut self, obj: Self::Obj) -> Value {
+        Value::Record { name: self.body, fields: obj }
+    }
+    fn arr_finish(&mut self, items: Vec<Value>) -> Value {
+        Value::List(items)
+    }
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    /// Current byte offset.
+    pos: usize,
+    /// Current 1-based line.
+    line: usize,
+    /// Byte offset where the current line starts (columns are computed
+    /// from it, in characters, only when an error is raised).
+    line_start: usize,
+    max_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str, max_depth: usize) -> Parser<'a> {
+        Parser { input, bytes: input.as_bytes(), pos: 0, line: 1, line_start: 0, max_depth }
     }
 
-    fn advance(&mut self) -> Result<(Token, Pos), ParseError> {
-        let (next, next_pos) = self.lexer.next_token()?;
-        let tok = std::mem::replace(&mut self.lookahead, next);
-        let pos = std::mem::replace(&mut self.lookahead_pos, next_pos);
-        Ok((tok, pos))
+    /// The source position of `offset`, with the column counted in
+    /// *characters* since the start of the current line. Only called on
+    /// error paths; the happy path never counts columns.
+    fn pos_of(&self, offset: usize) -> Pos {
+        Pos {
+            offset,
+            line: self.line,
+            column: self.input[self.line_start..offset].chars().count() + 1,
+        }
+    }
+
+    fn cur_pos(&self) -> Pos {
+        self.pos_of(self.pos)
+    }
+
+    fn err(&self, kind: LexErrorKind, at: usize) -> ParseError {
+        ParseError { kind: ParseErrorKind::Lex(kind), pos: self.pos_of(at) }
+    }
+
+    fn at_eof(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.line_start = self.pos;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// A short description of whatever starts at the current position,
+    /// used in "found ..." error messages.
+    fn describe_here(&self) -> String {
+        match self.bytes.get(self.pos) {
+            None => "end of input".to_owned(),
+            Some(b'{') => "'{'".to_owned(),
+            Some(b'}') => "'}'".to_owned(),
+            Some(b'[') => "'['".to_owned(),
+            Some(b']') => "']'".to_owned(),
+            Some(b':') => "':'".to_owned(),
+            Some(b',') => "','".to_owned(),
+            Some(b'"') => "string".to_owned(),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => "number".to_owned(),
+            Some(b't' | b'f') => "boolean".to_owned(),
+            Some(b'n') => "'null'".to_owned(),
+            Some(_) => {
+                let c = self.input[self.pos..].chars().next().unwrap_or('?');
+                format!("{c:?}")
+            }
+        }
     }
 
     fn unexpected<T>(&self, expected: &str) -> Result<T, ParseError> {
-        Err(ParseError {
-            kind: ParseErrorKind::Unexpected {
-                found: self.lookahead.describe(),
-                expected: expected.to_owned(),
-            },
-            pos: self.lookahead_pos,
-        })
+        // A stray character that cannot start any token is a lexical
+        // error (matching the reference tokenizer); a well-formed token
+        // in the wrong place is a grammatical one.
+        match self.bytes.get(self.pos) {
+            Some(b) if !b"{}[]:,\"-0123456789tfn".contains(b) => {
+                let c = self.input[self.pos..].chars().next().unwrap_or('?');
+                Err(self.err(LexErrorKind::UnexpectedChar(c), self.pos))
+            }
+            _ => Err(ParseError {
+                kind: ParseErrorKind::Unexpected {
+                    found: self.describe_here(),
+                    expected: expected.to_owned(),
+                },
+                pos: self.cur_pos(),
+            }),
+        }
     }
 
     fn expect_eof(&mut self) -> Result<(), ParseError> {
-        if self.lookahead == Token::Eof {
+        self.skip_ws();
+        if self.at_eof() {
             Ok(())
         } else {
             Err(ParseError {
-                kind: ParseErrorKind::TrailingContent(self.lookahead.describe()),
-                pos: self.lookahead_pos,
+                kind: ParseErrorKind::TrailingContent(self.describe_here()),
+                pos: self.cur_pos(),
             })
         }
     }
 
-    fn check_depth(&self, depth: usize) -> Result<(), ParseError> {
-        if depth >= self.options.max_depth {
-            Err(ParseError {
-                kind: ParseErrorKind::TooDeep(self.options.max_depth),
-                pos: self.lookahead_pos,
-            })
-        } else {
-            Ok(())
-        }
-    }
-
-    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
-        match &self.lookahead {
-            Token::LBrace => self.parse_object(depth),
-            Token::LBracket => self.parse_array(depth),
-            Token::Str(_) => {
-                let (tok, _) = self.advance()?;
-                match tok {
-                    Token::Str(s) => Ok(Json::String(s)),
-                    _ => unreachable!("lookahead was a string"),
-                }
+    /// Parses one value; the caller must have skipped leading whitespace.
+    fn parse_value<S: Sink>(&mut self, sink: &mut S, depth: usize) -> Result<S::Out, ParseError> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.parse_object(sink, depth),
+            Some(b'[') => self.parse_array(sink, depth),
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                Ok(sink.string(s))
             }
-            Token::Int(i) => {
-                let i = *i;
-                self.advance()?;
-                Ok(Json::Int(i))
+            Some(b) if *b == b'-' || b.is_ascii_digit() => self.parse_number(sink),
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(sink.boolean(true))
             }
-            Token::Float(f) => {
-                let f = *f;
-                self.advance()?;
-                Ok(Json::Float(f))
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(sink.boolean(false))
             }
-            Token::True => {
-                self.advance()?;
-                Ok(Json::Bool(true))
-            }
-            Token::False => {
-                self.advance()?;
-                Ok(Json::Bool(false))
-            }
-            Token::Null => {
-                self.advance()?;
-                Ok(Json::Null)
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(sink.null())
             }
             _ => self.unexpected("a JSON value"),
         }
     }
 
-    fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
+    fn expect_keyword(&mut self, word: &'static str) -> Result<(), ParseError> {
+        let end = self.pos + word.len();
+        let matches = self.bytes.get(self.pos..end) == Some(word.as_bytes())
+            && !matches!(self.bytes.get(end), Some(b) if b.is_ascii_alphabetic());
+        if matches {
+            self.pos = end;
+            Ok(())
+        } else {
+            let c = self.input[self.pos..].chars().next().unwrap_or('?');
+            Err(self.err(LexErrorKind::UnexpectedChar(c), self.pos))
+        }
+    }
+
+    fn check_depth(&self, depth: usize) -> Result<(), ParseError> {
+        if depth >= self.max_depth {
+            Err(ParseError {
+                kind: ParseErrorKind::TooDeep(self.max_depth),
+                pos: self.cur_pos(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn parse_object<S: Sink>(&mut self, sink: &mut S, depth: usize) -> Result<S::Out, ParseError> {
         self.check_depth(depth)?;
-        self.advance()?; // consume '{'
-        let mut members = Vec::new();
-        if self.lookahead == Token::RBrace {
-            self.advance()?;
-            return Ok(Json::Object(members));
+        self.pos += 1; // '{'
+        self.skip_ws();
+        let mut obj = sink.obj_new();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(sink.obj_finish(obj));
         }
         loop {
-            let key = match &self.lookahead {
-                Token::Str(_) => {
-                    let (tok, _) = self.advance()?;
-                    match tok {
-                        Token::Str(s) => s,
-                        _ => unreachable!("lookahead was a string"),
-                    }
-                }
-                _ => return self.unexpected("an object key (string)"),
-            };
-            if self.lookahead != Token::Colon {
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return self.unexpected("an object key (string)");
+            }
+            // Keys intern straight from the (usually borrowed) slice:
+            // no String materializes for escape-free keys.
+            let key = Name::new(self.parse_string()?);
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
                 return self.unexpected("':'");
             }
-            self.advance()?;
-            let value = self.parse_value(depth + 1)?;
-            members.push((key, value));
-            match self.lookahead {
-                Token::Comma => {
-                    self.advance()?;
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.parse_value(sink, depth + 1)?;
+            sink.obj_push(&mut obj, key, value);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
                 }
-                Token::RBrace => {
-                    self.advance()?;
-                    return Ok(Json::Object(members));
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(sink.obj_finish(obj));
                 }
                 _ => return self.unexpected("',' or '}'"),
             }
         }
     }
 
-    fn parse_array(&mut self, depth: usize) -> Result<Json, ParseError> {
+    fn parse_array<S: Sink>(&mut self, sink: &mut S, depth: usize) -> Result<S::Out, ParseError> {
         self.check_depth(depth)?;
-        self.advance()?; // consume '['
+        self.pos += 1; // '['
+        self.skip_ws();
         let mut items = Vec::new();
-        if self.lookahead == Token::RBracket {
-            self.advance()?;
-            return Ok(Json::Array(items));
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(sink.arr_finish(items));
         }
         loop {
-            items.push(self.parse_value(depth + 1)?);
-            match self.lookahead {
-                Token::Comma => {
-                    self.advance()?;
+            items.push(self.parse_value(sink, depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
                 }
-                Token::RBracket => {
-                    self.advance()?;
-                    return Ok(Json::Array(items));
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(sink.arr_finish(items));
                 }
                 _ => return self.unexpected("',' or ']'"),
             }
         }
+    }
+
+    /// Parses a string literal. Escape-free contents — the common case —
+    /// are returned as a borrowed slice of the input; only strings with
+    /// escapes allocate (once, seeded with the scanned prefix).
+    fn parse_string(&mut self) -> Result<Cow<'a, str>, ParseError> {
+        let quote = self.pos;
+        self.pos += 1; // opening '"'
+        let start = self.pos;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err(LexErrorKind::UnterminatedString, quote)),
+                Some(b'"') => {
+                    let s = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(Cow::Borrowed(s));
+                }
+                Some(b'\\') => {
+                    // Escape found: switch to the owned slow path, seeded
+                    // with everything scanned so far.
+                    let mut out = String::with_capacity(self.pos - start + 16);
+                    out.push_str(&self.input[start..self.pos]);
+                    return self.parse_string_owned(quote, out).map(Cow::Owned);
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(self.err(
+                        LexErrorKind::ControlCharInString(b as char),
+                        quote,
+                    ));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// Continues a string literal from its first escape.
+    fn parse_string_owned(&mut self, quote: usize, mut out: String) -> Result<String, ParseError> {
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err(LexErrorKind::UnterminatedString, quote)),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.pos;
+                    self.pos += 1;
+                    let Some(&e) = self.bytes.get(self.pos) else {
+                        return Err(self.err(LexErrorKind::UnterminatedString, quote));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.parse_unicode_escape(esc)?),
+                        other => {
+                            return Err(self.err(
+                                LexErrorKind::BadEscape((other as char).to_string()),
+                                esc,
+                            ));
+                        }
+                    }
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(self.err(
+                        LexErrorKind::ControlCharInString(b as char),
+                        quote,
+                    ));
+                }
+                Some(_) => {
+                    // Copy a maximal escape-free run in one push.
+                    let run_start = self.pos;
+                    while matches!(
+                        self.bytes.get(self.pos),
+                        Some(&b) if b != b'"' && b != b'\\' && b >= 0x20
+                    ) {
+                        self.pos += 1;
+                    }
+                    out.push_str(&self.input[run_start..self.pos]);
+                }
+            }
+        }
+    }
+
+    /// Parses the `XXXX` of a `\uXXXX` escape (after `\u` is consumed),
+    /// combining surrogate pairs.
+    fn parse_unicode_escape(&mut self, esc: usize) -> Result<char, ParseError> {
+        let hi = self.parse_hex4(esc)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: must be followed by a \uXXXX low surrogate.
+            if self.bytes.get(self.pos) != Some(&b'\\')
+                || self.bytes.get(self.pos + 1) != Some(&b'u')
+            {
+                return Err(self.err(LexErrorKind::BadUnicodeEscape, esc));
+            }
+            self.pos += 2;
+            let lo = self.parse_hex4(esc)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err(LexErrorKind::BadUnicodeEscape, esc));
+            }
+            let cp = 0x10000 + ((u32::from(hi) - 0xD800) << 10) + (u32::from(lo) - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| self.err(LexErrorKind::BadUnicodeEscape, esc))
+        } else if (0xDC00..0xE000).contains(&hi) {
+            Err(self.err(LexErrorKind::BadUnicodeEscape, esc))
+        } else {
+            char::from_u32(u32::from(hi))
+                .ok_or_else(|| self.err(LexErrorKind::BadUnicodeEscape, esc))
+        }
+    }
+
+    fn parse_hex4(&mut self, esc: usize) -> Result<u16, ParseError> {
+        let mut v: u16 = 0;
+        for _ in 0..4 {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err(LexErrorKind::BadUnicodeEscape, esc));
+            };
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err(LexErrorKind::BadUnicodeEscape, esc))?;
+            v = (v << 4) | d as u16;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    /// Parses a number straight from the input span: one scan validates
+    /// the RFC 8259 grammar, then integers take a no-allocation
+    /// accumulation fast path and everything else (and out-of-range
+    /// integers) parses as `f64` from the borrowed span.
+    fn parse_number<S: Sink>(&mut self, sink: &mut S) -> Result<S::Out, ParseError> {
+        let start = self.pos;
+        let negative = self.bytes.get(self.pos) == Some(&b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        match self.bytes.get(self.pos) {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                    return Err(self.bad_number(start));
+                }
+            }
+            Some(b) if b.is_ascii_digit() => {
+                while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.bad_number(start)),
+        }
+        let int_end = self.pos;
+        let mut is_float = false;
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                return Err(self.bad_number(start));
+            }
+            while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                return Err(self.bad_number(start));
+            }
+            while matches!(self.bytes.get(self.pos), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+
+        if !is_float {
+            // Fast path: ≤18 digits always fit an i64; accumulate
+            // directly from the bytes with no intermediate text.
+            let digits = &self.bytes[int_start..int_end];
+            if digits.len() <= 18 {
+                let mut v: i64 = 0;
+                for &d in digits {
+                    v = v * 10 + i64::from(d - b'0');
+                }
+                return Ok(sink.int(if negative { -v } else { v }));
+            }
+            if let Ok(i) = self.input[start..self.pos].parse::<i64>() {
+                return Ok(sink.int(i));
+            }
+            // Out-of-range integers degrade to floats (JSON allows
+            // arbitrary precision; we keep the value approximately).
+        }
+        let span = &self.input[start..self.pos];
+        span.parse::<f64>()
+            .map(|f| sink.float(f))
+            .map_err(|_| self.bad_number(start))
+    }
+
+    fn bad_number(&self, start: usize) -> ParseError {
+        let end = (self.pos + 1).min(self.input.len());
+        // Snap to a character boundary for the error payload.
+        let end = (end..=self.input.len())
+            .find(|&i| self.input.is_char_boundary(i))
+            .unwrap_or(self.input.len());
+        self.err(LexErrorKind::BadNumber(self.input[start..end].trim_end().to_owned()), start)
     }
 }
 
@@ -344,6 +785,83 @@ mod tests {
     }
 
     #[test]
+    fn escape_sequences_decode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\be\ff\ng\rh\ti""#).unwrap(),
+            Json::String("a\"b\\c/d\u{8}e\u{c}f\ng\rh\ti".into())
+        );
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Json::String("A".into()));
+        assert_eq!(
+            parse("\"\\u00e9\"").unwrap(),
+            Json::String("\u{e9}".into())
+        );
+        assert_eq!(
+            parse("\"\\uD83D\\uDE00\"").unwrap(),
+            Json::String("\u{1F600}".into())
+        );
+        // Escapes mid-string keep both the prefix and the tail:
+        assert_eq!(
+            parse(r#""pre\nmid\tpost""#).unwrap(),
+            Json::String("pre\nmid\tpost".into())
+        );
+    }
+
+    #[test]
+    fn raw_non_ascii_passes_through() {
+        assert_eq!(parse("\"čaj 😀\"").unwrap(), Json::String("čaj 😀".into()));
+    }
+
+    #[test]
+    fn string_errors_are_lexical() {
+        assert!(matches!(
+            parse(r#""abc"#).unwrap_err().kind,
+            ParseErrorKind::Lex(LexErrorKind::UnterminatedString)
+        ));
+        assert!(matches!(
+            parse("\"a\nb\"").unwrap_err().kind,
+            ParseErrorKind::Lex(LexErrorKind::ControlCharInString('\n'))
+        ));
+        assert!(matches!(
+            parse(r#""\q""#).unwrap_err().kind,
+            ParseErrorKind::Lex(LexErrorKind::BadEscape(_))
+        ));
+        assert!(parse(r#""\uD83D""#).is_err());
+        assert!(parse(r#""\uDE00""#).is_err());
+        assert!(parse(r#""\uD83Dx""#).is_err());
+        assert!(parse(r#""\u00g1""#).is_err());
+        assert!(parse(r#""\u12""#).is_err());
+    }
+
+    #[test]
+    fn number_grammar_enforced() {
+        assert_eq!(parse("-7").unwrap(), Json::Int(-7));
+        assert_eq!(parse("0").unwrap(), Json::Int(0));
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(parse("1E+2").unwrap(), Json::Float(100.0));
+        assert_eq!(parse("-2.5e-1").unwrap(), Json::Float(-0.25));
+        for bad in ["01", "-", "1.", "1.e3", "1e", "1e+"] {
+            assert!(
+                matches!(
+                    parse(bad).unwrap_err().kind,
+                    ParseErrorKind::Lex(LexErrorKind::BadNumber(_))
+                ),
+                "{bad} should be a bad number"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_integer_degrades_to_float() {
+        match parse("123456789012345678901234567890").unwrap() {
+            Json::Float(f) => assert!(f > 1e29),
+            t => panic!("expected float, got {t:?}"),
+        }
+        // 19 digits that still fit i64 stay exact:
+        assert_eq!(parse("9223372036854775807").unwrap(), Json::Int(i64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Json::Int(i64::MIN));
+    }
+
+    #[test]
     fn rejects_trailing_content() {
         let err = parse("1 2").unwrap_err();
         assert!(matches!(err.kind, ParseErrorKind::TrailingContent(_)));
@@ -383,10 +901,30 @@ mod tests {
     }
 
     #[test]
+    fn rejects_bad_keywords() {
+        assert!(parse("nul").is_err());
+        assert!(parse("True").is_err());
+        assert!(parse("truex").is_err());
+    }
+
+    #[test]
     fn error_position_is_precise() {
         let err = parse("{\n  \"a\": @\n}").unwrap_err();
         assert_eq!(err.pos.line, 2);
         assert_eq!(err.pos.column, 8);
+    }
+
+    #[test]
+    fn error_column_counts_characters_not_bytes() {
+        // "čaj" is 3 characters but 4 bytes: the error column after it
+        // must count characters, exactly as an editor displays them.
+        let err = parse("{ \"čaj\": @ }").unwrap_err();
+        assert_eq!(err.pos.line, 1);
+        assert_eq!(err.pos.column, 10, "column must be in characters");
+        // On a later line only the current line's characters count:
+        let err = parse("{\n  \"日本語キー\": @\n}").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.pos.column, 12);
     }
 
     #[test]
@@ -423,6 +961,41 @@ mod tests {
         let err = parse("[1, @]").unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 1"), "got: {msg}");
+    }
+
+    #[test]
+    fn parse_value_goes_straight_to_records() {
+        let v = parse_value(r#"{ "name": "Jan", "age": 25 }"#).unwrap();
+        assert_eq!(v.record_name(), Some(tfd_value::BODY_NAME));
+        assert_eq!(v.field("name"), Some(&Value::str("Jan")));
+        assert_eq!(v.field("age"), Some(&Value::Int(25)));
+    }
+
+    #[test]
+    fn parse_value_agrees_with_parse_to_value() {
+        let docs = [
+            r#"{"a": [1, 2.5, null, {"b": true}], "c": "x"}"#,
+            r#"[ { "name":"Jan", "age":25 }, { "name":"Tomas" } ]"#,
+            "[]",
+            "{}",
+            r#""just a string""#,
+            "-17",
+            r#"{"esc": "a\nb\u0041"}"#,
+        ];
+        for doc in docs {
+            assert_eq!(
+                parse_value(doc).unwrap(),
+                parse(doc).unwrap().to_value(),
+                "mismatch on {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_value_depth_limit() {
+        let opts = ParserOptions { max_depth: 4 };
+        assert!(parse_value_with("[[[[[1]]]]]", &opts).is_err());
+        assert!(parse_value_with("[[[[1]]]]", &opts).is_ok());
     }
 
     #[test]

@@ -115,9 +115,8 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
     let mut values: Vec<Value> = Vec::new();
     for (i, text) in request.samples.iter().enumerate() {
         let value = match format {
-            Format::Json => tfd_json::parse(text)
-                .map_err(|e| format!("sample {}: invalid JSON: {e}", i + 1))?
-                .to_value(),
+            Format::Json => tfd_json::parse_value(text)
+                .map_err(|e| format!("sample {}: invalid JSON: {e}", i + 1))?,
             Format::Xml => tfd_xml::parse(text)
                 .map_err(|e| format!("sample {}: invalid XML: {e}", i + 1))?
                 .to_value(),

@@ -1,0 +1,205 @@
+//! A minimal, dependency-free stand-in for the `proptest` property
+//! testing framework, API-compatible with the subset this workspace uses.
+//!
+//! The build container cannot reach crates.io, so the real proptest
+//! cannot be vendored. This shim keeps the property-test sources
+//! unchanged and runs each property over a stream of deterministically
+//! generated random inputs (seeded from the test name, so failures are
+//! reproducible). It does not implement shrinking: a failing case is
+//! reported as-is.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{SFn, Strategy};
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s with a length drawn from `len` and elements
+    /// drawn from `element`.
+    pub fn vec<S>(element: S, len: Range<usize>) -> SFn<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        SFn::new(move |rng| {
+            let span = (len.end - len.start).max(1) as u64;
+            let n = len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+/// `prop::sample` — sampling strategies.
+pub mod sample {
+    use crate::strategy::SFn;
+
+    /// A strategy drawing one element of a slice, cloned.
+    pub fn select<T: Clone + 'static>(options: &'static [T]) -> SFn<T> {
+        assert!(!options.is_empty(), "select requires a non-empty slice");
+        SFn::new(move |rng| {
+            let i = (rng.next_u64() % options.len() as u64) as usize;
+            options[i].clone()
+        })
+    }
+
+    /// Owned-vector variant of [`select`].
+    pub fn select_vec<T: Clone + 'static>(options: Vec<T>) -> SFn<T> {
+        assert!(!options.is_empty(), "select requires a non-empty vec");
+        SFn::new(move |rng| {
+            let i = (rng.next_u64() % options.len() as u64) as usize;
+            options[i].clone()
+        })
+    }
+}
+
+/// The usual proptest prelude: strategies, `any`, macros and the `prop`
+/// module alias.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, SFn, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Module alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs properties over deterministic random inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$attr:meta])* fn $name:ident ( $($pname:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut __rejected: u64 = 0;
+                let mut __ran: u64 = 0;
+                while __ran < u64::from(__cfg.cases) {
+                    $(
+                        let $pname =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => { __ran += 1; }
+                        Err($crate::test_runner::TestCaseError::Reject) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < 20 * u64::from(__cfg.cases).max(100),
+                                "property {}: too many rejected cases", stringify!($name)
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} != {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{:?} == {:?}", __l, __r),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// A strategy choosing uniformly between the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,329 @@
+//! Value-generation strategies (the shim analogue of
+//! `proptest::strategy`).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Something that can generate values of an associated type from a
+/// deterministic RNG.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> SFn<U>
+    where
+        Self: Sized + 'static,
+        U: 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        SFn::new(move |rng| f(self.generate(rng)))
+    }
+
+    /// Discards generated values failing the predicate (regenerating up
+    /// to a bound; the last value is returned unconditionally after it).
+    fn prop_filter<F>(self, _why: &'static str, f: F) -> SFn<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        SFn::new(move |rng| {
+            for _ in 0..64 {
+                let v = self.generate(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            self.generate(rng)
+        })
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf; `grow` wraps a
+    /// strategy for the previous depth level into the next one. Each
+    /// level chooses between a leaf and a grown value, recursing at most
+    /// `depth` times.
+    fn prop_recursive<S2, F>(self, depth: u32, _desired: u32, _branch: u32, grow: F) -> SFn<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(SFn<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = union(vec![leaf.clone(), grow(level).boxed()]);
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> SFn<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        SFn::new(move |rng| self.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy (the shim's `BoxedStrategy`).
+pub struct SFn<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+/// Alias matching proptest's name for a type-erased strategy.
+pub type BoxedStrategy<V> = SFn<V>;
+
+impl<V> Clone for SFn<V> {
+    fn clone(&self) -> Self {
+        SFn(Rc::clone(&self.0))
+    }
+}
+
+impl<V> SFn<V> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> V + 'static) -> SFn<V> {
+        SFn(Rc::new(f))
+    }
+}
+
+impl<V> Strategy for SFn<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Chooses uniformly among the given strategies.
+pub fn union<V: 'static>(arms: Vec<SFn<V>>) -> SFn<V> {
+    assert!(!arms.is_empty(), "union requires at least one arm");
+    SFn::new(move |rng| {
+        let i = (rng.next_u64() % arms.len() as u64) as usize;
+        arms[i].generate(rng)
+    })
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+
+int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, human-scale floats: property tests here never need the
+        // full bit-pattern space.
+        (rng.next_u64() % 2_000_000) as f64 / 1000.0 - 1000.0
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32(0x20 + (rng.next_u64() % 0x5e) as u32).unwrap_or('?')
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary + 'static>() -> SFn<T> {
+    SFn::new(T::arbitrary)
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        let span = (self.end - self.start).max(1) as u64;
+        self.start + (rng.next_u64() % span) as i64
+    }
+}
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        let span = (self.end - self.start).max(1) as u64;
+        self.start + (rng.next_u64() % span) as i32
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        let span = (self.end - self.start).max(1) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// String-literal strategies are interpreted as a small regex subset:
+/// one character class with an optional `{m,n}` repetition, e.g.
+/// `"[a-z0-9 ]{0,8}"`. Anything else generates the literal itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_pattern(self) {
+            Some((chars, lo, hi)) if !chars.is_empty() => {
+                let span = (hi - lo + 1).max(1) as u64;
+                let n = lo + (rng.next_u64() % span) as usize;
+                (0..n)
+                    .map(|_| chars[(rng.next_u64() % chars.len() as u64) as usize])
+                    .collect()
+            }
+            _ => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[class]{m,n}` (or `[class]`) into (alphabet, min, max).
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = find_unescaped_close(rest)?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        let c = class[i];
+        if c == '\\' && i + 1 < class.len() {
+            alphabet.push(match class[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < class.len() && class[i + 1] == '-' {
+            let (a, b) = (c, class[i + 2]);
+            for u in a as u32..=b as u32 {
+                if let Some(ch) = char::from_u32(u) {
+                    alphabet.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            alphabet.push(c);
+            i += 1;
+        }
+    }
+    let tail = &rest[close + 1..];
+    if tail.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((l, h)) => (l.trim().parse().ok()?, h.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+fn find_unescaped_close(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b']' => return Some(i),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (chars, lo, hi) = parse_class_pattern("[a-c,\n ]{0,8}").unwrap();
+        assert!(chars.contains(&'a') && chars.contains(&'c'));
+        assert!(chars.contains(&',') && chars.contains(&'\n') && chars.contains(&' '));
+        assert_eq!((lo, hi), (0, 8));
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..200 {
+            let s = "[a-z]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "bad length: {s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..200 {
+            let v = (10i64..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..10).boxed();
+        let nested = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(|v| v.iter().sum::<i64>())
+        });
+        let mut rng = TestRng::deterministic("recursion");
+        for _ in 0..100 {
+            let _ = nested.generate(&mut rng);
+        }
+    }
+}

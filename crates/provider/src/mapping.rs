@@ -104,8 +104,8 @@ impl Builder {
                         "x",
                         Type::Data,
                         Expr::Op(Op::ConvField(
-                            r.name.clone(),
-                            BODY_NAME.to_owned(),
+                            r.name,
+                            tfd_value::body_name(),
                             Box::new(Expr::var("x")),
                             Box::new(inner_conv),
                         )),
@@ -120,8 +120,8 @@ impl Builder {
                 for field in &r.fields {
                     let (field_ty, field_conv) = self.go(&field.shape, &field.name);
                     let body = Expr::Op(Op::ConvField(
-                        r.name.clone(),
-                        field.name.clone(),
+                        r.name,
+                        field.name,
                         Box::new(Expr::var(CTOR_PARAM)),
                         Box::new(field_conv),
                     ));
@@ -148,7 +148,7 @@ impl Builder {
                     let name = if self.idiomatic {
                         namer.fresh(&member_name(&field.name))
                     } else {
-                        field.name.clone()
+                        field.name.as_str().to_owned()
                     };
                     members.push(Member { name, ty: field_ty, body });
                 }

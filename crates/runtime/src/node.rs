@@ -459,7 +459,7 @@ mod tests {
     fn tagged_accessors_respect_multiplicities() {
         let doc = arr([json_rec([("pages", Value::Int(5))]), arr([Value::Int(1)])]);
         let n = node(doc);
-        let rec_tag = Tag::Name(tfd_value::BODY_NAME.to_owned());
+        let rec_tag = Tag::Name(tfd_value::body_name());
         let coll_tag = Tag::Collection;
         assert!(n.tagged_one("Record", &rec_tag).is_ok());
         assert!(n.tagged_opt("Array", &coll_tag).unwrap().is_some());

@@ -3,7 +3,7 @@
 //! Tests, examples and benchmarks build many literal documents; these
 //! helpers keep those call sites close to the paper's notation.
 
-use crate::{Value, BODY_NAME};
+use crate::{Name, Value, BODY_NAME};
 
 pub use crate::print::{to_compact_string, to_pretty_string};
 
@@ -16,9 +16,9 @@ pub use crate::print::{to_compact_string, to_pretty_string};
 /// ```
 pub fn rec<N, I, F>(name: N, fields: I) -> Value
 where
-    N: Into<String>,
+    N: Into<Name>,
     I: IntoIterator<Item = (F, Value)>,
-    F: Into<String>,
+    F: Into<Name>,
 {
     Value::record(name, fields)
 }
@@ -34,7 +34,7 @@ where
 pub fn json_rec<I, F>(fields: I) -> Value
 where
     I: IntoIterator<Item = (F, Value)>,
-    F: Into<String>,
+    F: Into<Name>,
 {
     Value::record(BODY_NAME, fields)
 }

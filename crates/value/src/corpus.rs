@@ -7,7 +7,7 @@
 //! use a small self-contained SplitMix64 PRNG so this crate stays
 //! dependency-free and corpora are reproducible from a seed.
 
-use crate::{Field, Value, BODY_NAME};
+use crate::{body_name, Field, Value};
 
 /// A tiny deterministic PRNG (SplitMix64), sufficient for corpus
 /// generation. Not cryptographic.
@@ -164,7 +164,7 @@ fn gen_value(rng: &mut Rng, config: &CorpusConfig, depth: usize) -> Value {
                 let name = FIELD_NAMES[i % FIELD_NAMES.len()];
                 fields.push(Field::new(name, gen_value(rng, config, depth - 1)));
             }
-            Value::Record { name: BODY_NAME.to_owned(), fields }
+            Value::Record { name: body_name(), fields }
         }
     }
 }
@@ -184,7 +184,7 @@ pub fn generate_table(seed: u64, rows: usize, width: usize) -> Value {
                         Field::new(name, gen_primitive(&mut rng, &config))
                     })
                     .collect();
-                Value::Record { name: BODY_NAME.to_owned(), fields }
+                Value::Record { name: body_name(), fields }
             })
             .collect(),
     )

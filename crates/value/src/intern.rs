@@ -1,0 +1,319 @@
+//! Global name interning — the allocation-free representation of record
+//! and field names.
+//!
+//! Structured-data corpora repeat the same handful of names millions of
+//! times: every CSV row re-states its column names, every JSON object in
+//! an array re-states its keys, every XML element its tag. Materializing
+//! an owned `String` per occurrence made names the dominant allocation of
+//! the parse→infer hot path. [`Name`] replaces them with a small `Copy`
+//! symbol backed by a process-wide interner:
+//!
+//! * **O(1) equality and hashing** — interning canonicalizes spelling, so
+//!   two `Name`s are equal iff they point at the same interned bytes;
+//!   equality is a pointer comparison and hashing hashes the pointer.
+//! * **Zero-cost resolution** — a `Name` *is* a `&'static str` (the
+//!   interner leaks each distinct spelling once), so [`Name::as_str`],
+//!   [`Deref`] and `Display` never take a lock.
+//! * **Deterministic ordering** — [`Ord`] compares string contents, so
+//!   sorted output is stable across runs even though pointer identities
+//!   are not.
+//!
+//! The interner only grows: memory is bounded by the number of *distinct*
+//! names ever seen (the schema vocabulary), not by corpus size. Interning
+//! takes a read lock on the fast path and a write lock only for
+//! never-before-seen spellings.
+
+use std::borrow::Cow;
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::{OnceLock, RwLock};
+
+fn interner() -> &'static RwLock<HashSet<&'static str>> {
+    static INTERNER: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// An interned record/field name: a small `Copy` symbol with O(1)
+/// equality and hashing and free resolution to `&'static str`.
+///
+/// ```
+/// use tfd_value::Name;
+/// let a = Name::new("temperature");
+/// let b = Name::new(String::from("temperature"));
+/// assert_eq!(a, b);                 // pointer equality after interning
+/// assert_eq!(a.as_str(), "temperature");
+/// assert_eq!(a, "temperature");     // compares against plain strings too
+/// assert!(a < Name::new("wind"));   // ordered by contents
+/// ```
+#[derive(Clone, Copy)]
+pub struct Name(&'static str);
+
+impl Name {
+    /// Interns a spelling, returning its canonical symbol.
+    pub fn new(s: impl AsRef<str>) -> Name {
+        let s = s.as_ref();
+        if let Some(&hit) = interner().read().expect("interner poisoned").get(s) {
+            return Name(hit);
+        }
+        let mut w = interner().write().expect("interner poisoned");
+        if let Some(&hit) = w.get(s) {
+            return Name(hit);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        w.insert(leaked);
+        Name(leaked)
+    }
+
+    /// Looks a spelling up without interning it. `None` means no name
+    /// with this spelling exists anywhere in the process — useful to
+    /// answer negative lookups without growing the interner.
+    pub fn lookup(s: &str) -> Option<Name> {
+        interner().read().expect("interner poisoned").get(s).map(|&hit| Name(hit))
+    }
+
+    /// The interned spelling. Never locks.
+    pub fn as_str(self) -> &'static str {
+        self.0
+    }
+
+    /// Number of distinct names interned so far (diagnostics/tests).
+    pub fn interned_count() -> usize {
+        interner().read().expect("interner poisoned").len()
+    }
+}
+
+impl Deref for Name {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.0
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        self.0
+    }
+}
+
+impl PartialEq for Name {
+    /// O(1): interning canonicalizes, so pointer identity decides.
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.0, other.0)
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    /// O(1): hashes the interned pointer, not the string bytes.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (self.0.as_ptr() as usize).hash(state);
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Content order (deterministic across runs), with an identity fast
+    /// path.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if std::ptr::eq(self.0, other.0) {
+            std::cmp::Ordering::Equal
+        } else {
+            self.0.cmp(other.0)
+        }
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.0, f)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<&String> for Name {
+    fn from(s: &String) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<Cow<'_, str>> for Name {
+    fn from(s: Cow<'_, str>) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<Name> for String {
+    fn from(n: Name) -> String {
+        n.0.to_owned()
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<String> for Name {
+    fn eq(&self, other: &String) -> bool {
+        self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<Name> for str {
+    fn eq(&self, other: &Name) -> bool {
+        self == other.0
+    }
+}
+
+impl PartialEq<Name> for &str {
+    fn eq(&self, other: &Name) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialEq<Name> for String {
+    fn eq(&self, other: &Name) -> bool {
+        self.as_str() == other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn interning_canonicalizes() {
+        let a = Name::new("alpha-test-name");
+        let b = Name::new(String::from("alpha-test-name"));
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn distinct_spellings_differ() {
+        assert_ne!(Name::new("left-name"), Name::new("right-name"));
+    }
+
+    #[test]
+    fn ordering_is_by_content() {
+        let mut names = vec![Name::new("zeta"), Name::new("beta"), Name::new("eta")];
+        names.sort();
+        let spellings: Vec<&str> = names.iter().map(|n| n.as_str()).collect();
+        assert_eq!(spellings, vec!["beta", "eta", "zeta"]);
+    }
+
+    #[test]
+    fn display_and_debug_roundtrip() {
+        let n = Name::new("display-roundtrip");
+        assert_eq!(n.to_string(), "display-roundtrip");
+        assert_eq!(format!("{n:?}"), "\"display-roundtrip\"");
+        assert_eq!(Name::new(n.to_string()), n);
+    }
+
+    #[test]
+    fn compares_against_plain_strings() {
+        let n = Name::new("plain-compare");
+        assert_eq!(n, "plain-compare");
+        assert_eq!("plain-compare", n);
+        assert_eq!(n, String::from("plain-compare"));
+        assert_ne!(n, "other");
+    }
+
+    #[test]
+    fn deref_exposes_str_methods() {
+        let n = Name::new("deref-methods");
+        assert_eq!(n.len(), "deref-methods".len());
+        assert!(n.starts_with("deref"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        assert!(Name::lookup("never-interned-spelling-xyzzy").is_none());
+        let n = Name::new("looked-up-spelling");
+        assert_eq!(Name::lookup("looked-up-spelling"), Some(n));
+    }
+
+    #[test]
+    fn record_equality_stays_order_insensitive_across_name_sources() {
+        // Field names entering through different spellings' sources
+        // (&str, String, concatenation) intern to the same symbols, and
+        // record equality on Value stays order-insensitive.
+        use crate::Value;
+        let a = Value::record(
+            "P",
+            vec![("x", Value::Int(3)), ("y", Value::Int(4))],
+        );
+        let b = Value::record(
+            String::from("P"),
+            vec![
+                (format!("{}{}", "y", ""), Value::Int(4)),
+                (String::from("x"), Value::Int(3)),
+            ],
+        );
+        assert_eq!(a, b);
+        assert_ne!(a, Value::record("P", vec![("x", Value::Int(3))]));
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let names: Vec<String> = (0..64).map(|i| format!("concurrent-{i}")).collect();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let names = names.clone();
+                std::thread::spawn(move || {
+                    names.iter().map(Name::new).collect::<Vec<Name>>()
+                })
+            })
+            .collect();
+        let results: Vec<Vec<Name>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for per_thread in &results[1..] {
+            assert_eq!(per_thread, &results[0]);
+        }
+        // All threads resolved each spelling to the same interned pointer.
+        for (i, name) in results[0].iter().enumerate() {
+            assert!(std::ptr::eq(name.as_str(), Name::new(&names[i]).as_str()));
+        }
+    }
+}

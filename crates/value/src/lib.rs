@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod intern;
 mod path;
 mod print;
 mod metrics;
@@ -53,6 +54,7 @@ pub mod builder;
 pub mod corpus;
 
 pub use builder::{arr, json_rec, rec};
+pub use intern::Name;
 pub use path::{Path, PathSegment};
 
 use std::borrow::Cow;
@@ -71,14 +73,20 @@ pub const BODY_NAME: &str = "\u{2022}";
 /// call sites self-describing.
 pub const BODY_FIELD: &str = "\u{2022}";
 
+/// The interned [`Name`] of [`BODY_NAME`] (`•`). Cheaper than re-interning
+/// the constant at every use in a hot loop.
+pub fn body_name() -> Name {
+    Name::new(BODY_NAME)
+}
+
 /// A record field: a name paired with a value.
 ///
 /// Field order is preserved as parsed (the paper allows free reordering of
 /// record fields; equality on [`Value`] is order-insensitive for records).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Field {
-    /// The field name `νᵢ`.
-    pub name: String,
+    /// The field name `νᵢ` (interned — copying a field name is free).
+    pub name: Name,
     /// The field value `dᵢ`.
     pub value: Value,
 }
@@ -91,7 +99,7 @@ impl Field {
     /// let f = Field::new("age", Value::Int(25));
     /// assert_eq!(f.name, "age");
     /// ```
-    pub fn new(name: impl Into<String>, value: Value) -> Self {
+    pub fn new(name: impl Into<Name>, value: Value) -> Self {
         Field { name: name.into(), value }
     }
 }
@@ -117,8 +125,9 @@ pub enum Value {
     List(Vec<Value>),
     /// A named record `ν {ν1 ↦ d1, ..., νn ↦ dn}`.
     Record {
-        /// The record name `ν` ([`BODY_NAME`] for JSON objects / CSV rows).
-        name: String,
+        /// The record name `ν` ([`BODY_NAME`] for JSON objects / CSV rows),
+        /// interned.
+        name: Name,
         /// The record fields in source order.
         fields: Vec<Field>,
     },
@@ -144,9 +153,9 @@ impl Value {
     /// ```
     pub fn record<N, I, F>(name: N, fields: I) -> Value
     where
-        N: Into<String>,
+        N: Into<Name>,
         I: IntoIterator<Item = (F, Value)>,
-        F: Into<String>,
+        F: Into<Name>,
     {
         Value::Record {
             name: name.into(),
@@ -180,7 +189,15 @@ impl Value {
     /// The record name `ν`, if this value is a record.
     pub fn record_name(&self) -> Option<&str> {
         match self {
-            Value::Record { name, .. } => Some(name),
+            Value::Record { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The record name as an interned [`Name`], if this value is a record.
+    pub fn record_name_sym(&self) -> Option<Name> {
+        match self {
+            Value::Record { name, .. } => Some(*name),
             _ => None,
         }
     }
@@ -277,7 +294,7 @@ impl Value {
 
     /// Renames this record (no-op for non-records). Used by the XML
     /// front-end when applying element naming rules.
-    pub fn with_record_name(self, new_name: impl Into<String>) -> Value {
+    pub fn with_record_name(self, new_name: impl Into<Name>) -> Value {
         match self {
             Value::Record { fields, .. } => Value::Record { name: new_name.into(), fields },
             other => other,

@@ -4,13 +4,14 @@
 //! user can see *where* in a document an access failed, e.g.
 //! `$.items[2].age`.
 
+use crate::Name;
 use std::fmt;
 
 /// One step of a [`Path`]: either a record field or a collection index.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PathSegment {
-    /// Descend into the record field with this name.
-    Field(String),
+    /// Descend into the record field with this name (interned).
+    Field(Name),
     /// Descend into the collection element at this index.
     Index(usize),
 }
@@ -70,7 +71,7 @@ impl Path {
     }
 
     /// Appends a field segment in place.
-    pub fn push_field(&mut self, name: impl Into<String>) {
+    pub fn push_field(&mut self, name: impl Into<Name>) {
         self.segments.push(PathSegment::Field(name.into()));
     }
 
@@ -92,7 +93,7 @@ impl Path {
     /// assert_eq!(p.to_string(), "$.a[0]");
     /// ```
     #[must_use]
-    pub fn child_field(&self, name: impl Into<String>) -> Path {
+    pub fn child_field(&self, name: impl Into<Name>) -> Path {
         let mut p = self.clone();
         p.push_field(name);
         p

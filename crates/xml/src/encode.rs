@@ -14,7 +14,7 @@
 
 use crate::Element;
 use tfd_csv::literal::{parse_literal, LiteralOptions};
-use tfd_value::{Value, BODY_FIELD};
+use tfd_value::{body_name, Name, Value};
 
 /// Options for the element→value encoding.
 #[derive(Debug, Clone, Default)]
@@ -49,10 +49,10 @@ pub struct EncodeOptions {
 /// # Ok::<(), tfd_xml::XmlError>(())
 /// ```
 pub fn element_to_value(element: &Element, options: &EncodeOptions) -> Value {
-    let mut fields: Vec<(String, Value)> = element
+    let mut fields: Vec<(Name, Value)> = element
         .attributes
         .iter()
-        .map(|a| (a.name.clone(), parse_literal(&a.value, &options.literals)))
+        .map(|a| (Name::from(&a.name), parse_literal(&a.value, &options.literals)))
         .collect();
 
     let child_elements: Vec<&Element> = element.child_elements().collect();
@@ -61,20 +61,17 @@ pub fn element_to_value(element: &Element, options: &EncodeOptions) -> Value {
         let text = element.text();
         let trimmed = text.trim();
         if !trimmed.is_empty() {
-            fields.push((
-                BODY_FIELD.to_owned(),
-                parse_literal(trimmed, &options.literals),
-            ));
+            fields.push((body_name(), parse_literal(trimmed, &options.literals)));
         }
     } else {
         let children: Vec<Value> = child_elements
             .iter()
             .map(|c| element_to_value(c, options))
             .collect();
-        fields.push((BODY_FIELD.to_owned(), Value::List(children)));
+        fields.push((body_name(), Value::List(children)));
     }
 
-    Value::record(element.name.clone(), fields)
+    Value::record(Name::from(&element.name), fields)
 }
 
 #[cfg(test)]

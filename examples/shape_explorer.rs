@@ -28,10 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // 2. The csh lattice: joins prefer records and use the top shape
     //    only as the last resort (§3.3).
-    println!("csh(int, float)         = {}", csh(&Shape::Int, &Shape::Float));
-    println!("csh(null, int)          = {}", csh(&Shape::Null, &Shape::Int));
-    println!("csh(int, bool)          = {}", csh(&Shape::Int, &Shape::Bool));
-    let with_float = csh(&csh(&Shape::Int, &Shape::Bool), &Shape::Float);
+    println!("csh(int, float)         = {}", csh(Shape::Int, Shape::Float));
+    println!("csh(null, int)          = {}", csh(Shape::Null, Shape::Int));
+    println!("csh(int, bool)          = {}", csh(Shape::Int, Shape::Bool));
+    let with_float = csh(csh(Shape::Int, Shape::Bool), Shape::Float);
     println!("csh(any(int,bool), float) = {with_float}");
 
     // 3. The type provider (Fig. 8 + §6.3 naming) on the people sample.

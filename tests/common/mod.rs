@@ -55,7 +55,7 @@ pub fn value_strategy() -> impl Strategy<Value = Value> {
                         })
                         .map(|(n, v)| Field::new(n, v))
                         .collect();
-                    Value::Record { name: name.to_owned(), fields }
+                    Value::Record { name: name.into(), fields }
                 }),
         ]
     })
@@ -158,7 +158,7 @@ pub fn random_program(shape: &Shape, rng: &mut Rng, max_steps: usize) -> (Access
         match &cur {
             Shape::Record(r) if !r.fields.is_empty() => {
                 let pick = rng.below(r.fields.len() as u64) as usize;
-                steps.push(AccessStep::Member(r.fields[pick].name.clone()));
+                steps.push(AccessStep::Member(r.fields[pick].name.as_str().to_owned()));
                 cur = r.fields[pick].shape.clone();
             }
             Shape::Nullable(inner) => {

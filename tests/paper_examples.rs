@@ -119,7 +119,7 @@ fn e3_xml_doc_element_type_matches_paper() {
     };
     let label_names: Vec<String> = labels
         .iter()
-        .map(|l| l.as_record().unwrap().name.clone())
+        .map(|l| l.as_record().unwrap().name.to_string())
         .collect();
     assert_eq!(label_names, vec!["heading", "image", "p"]);
 
@@ -181,7 +181,7 @@ fn e4_worldbank_type_matches_paper() {
 fn e4_worldbank_runtime_values() {
     let doc = tfd_json::parse(&load("worldbank.json")).unwrap().to_value();
     let node = Node::new(doc);
-    let record_tag = tfd_core::Tag::Name(BODY_NAME.to_owned());
+    let record_tag = tfd_core::Tag::Name(tfd_value::body_name());
     let meta = node.tagged_one("Record", &record_tag).unwrap();
     assert_eq!(meta.field("pages").unwrap().as_i64().unwrap(), 5);
 

@@ -5,7 +5,6 @@ mod common;
 use common::value_strategy;
 use proptest::prelude::*;
 use tfd_json::Json;
-use tfd_value::Value;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
