@@ -5,16 +5,24 @@
 //! front-end parse into the universal value `d` (§6.2), then the
 //! `S(d1, …, dn)` shape-inference fold (Fig. 3).
 //!
-//! Two JSON variants are measured so the zero-allocation work stays
+//! Every format is measured in two variants so the byte-level work stays
 //! honest:
 //!
 //! * `pipeline/json` — the byte-level [`tfd_json::parse_value`] path
 //!   (borrowed strings, interned names, no token values);
 //! * `pipeline/json-reference` — the retained tokenizing path
-//!   ([`tfd_json::reference`]) through `Json::to_value`.
+//!   ([`tfd_json::reference`]) through `Json::to_value`;
+//! * `pipeline/xml` vs `pipeline/xml-reference` — the byte-level
+//!   [`tfd_xml::parse_value`] path (offset probing, slice-interned names,
+//!   no `Element` tree) vs the retained char-iterator parser
+//!   ([`tfd_xml::reference`]) through `element_to_value`;
+//! * `pipeline/csv` vs `pipeline/csv-reference` — the byte-level
+//!   [`tfd_csv::parse_value`] path (streaming splitter, borrowed cells,
+//!   no row `String`s) vs the retained per-char state machine
+//!   ([`tfd_csv::reference`]) through `CsvFile::to_value`.
 //!
 //! Run with `cargo bench -p tfd-bench --bench pipeline`; the committed
-//! baseline lives in `BENCH_PR1.json` (regenerate with
+//! baseline lives in `BENCH_PR2.json` (regenerate with
 //! `cargo run --release -p tfd-bench --bin pipeline_baseline`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -61,7 +69,22 @@ fn bench_xml(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
             b.iter(|| {
-                let value = tfd_xml::parse(black_box(text)).unwrap().to_value();
+                let value = tfd_xml::parse_value(black_box(text)).unwrap();
+                infer_with(&value, &InferOptions::xml())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_xml_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/xml-reference");
+    for rows in SIZES {
+        let text = xml_rows_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_xml::reference::parse(black_box(text)).unwrap().to_value();
                 infer_with(&value, &InferOptions::xml())
             });
         });
@@ -76,7 +99,7 @@ fn bench_csv(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
             b.iter(|| {
-                let value = tfd_csv::parse(black_box(text)).unwrap().to_value();
+                let value = tfd_csv::parse_value(black_box(text)).unwrap();
                 infer_with(&value, &InferOptions::csv())
             });
         });
@@ -84,5 +107,28 @@ fn bench_csv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_json, bench_json_reference, bench_xml, bench_csv);
+fn bench_csv_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/csv-reference");
+    for rows in SIZES {
+        let text = csv_rows_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let value = tfd_csv::reference::parse(black_box(text)).unwrap().to_value();
+                infer_with(&value, &InferOptions::csv())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_json,
+    bench_json_reference,
+    bench_xml,
+    bench_xml_reference,
+    bench_csv,
+    bench_csv_reference
+);
 criterion_main!(benches);

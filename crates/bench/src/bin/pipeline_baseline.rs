@@ -1,5 +1,5 @@
 //! Records the parse→infer pipeline baseline to a JSON file
-//! (`BENCH_PR1.json` at the repository root when run from there).
+//! (`BENCH_PR2.json` at the repository root when run from there).
 //!
 //! The same workloads as `benches/pipeline.rs`, measured with a fixed
 //! protocol (best-of-N batches) so re-runs are comparable across PRs:
@@ -7,6 +7,12 @@
 //! ```text
 //! cargo run --release -p tfd-bench --bin pipeline_baseline [out.json]
 //! ```
+//!
+//! Beyond the per-entry rows/sec sweep, the file records the **parse-only
+//! speedup** of each byte-level front-end over its retained char-level
+//! `reference` twin (JSON tokens, XML char iterators, CSV per-char state
+//! machine) on the 100k-row corpus — the honesty number for the
+//! byte-level work of PR 1 (JSON) and PR 2 (XML, CSV).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,8 +54,21 @@ impl Entry {
     }
 }
 
+/// Parse-only byte-vs-reference timing pair on the 100k-row corpus.
+struct Speedup {
+    format: &'static str,
+    bytes_s: f64,
+    reference_s: f64,
+}
+
+impl Speedup {
+    fn ratio(&self) -> f64 {
+        self.reference_s / self.bytes_s
+    }
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR1.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR2.json".to_owned());
     let mut entries: Vec<Entry> = Vec::new();
     let budget = 0.5;
 
@@ -76,51 +95,123 @@ fn main() {
     for rows in SIZES {
         let text = xml_rows_text(rows);
         let secs = best_time(
-            || infer_with(&tfd_xml::parse(&text).unwrap().to_value(), &InferOptions::xml()),
+            || infer_with(&tfd_xml::parse_value(&text).unwrap(), &InferOptions::xml()),
             budget,
         );
         entries.push(Entry { id: format!("pipeline/xml/{rows}"), rows, seconds: secs });
+
+        let secs = best_time(
+            || {
+                infer_with(
+                    &tfd_xml::reference::parse(&text).unwrap().to_value(),
+                    &InferOptions::xml(),
+                )
+            },
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/xml-reference/{rows}"), rows, seconds: secs });
     }
 
     for rows in SIZES {
         let text = csv_rows_text(rows);
         let secs = best_time(
-            || infer_with(&tfd_csv::parse(&text).unwrap().to_value(), &InferOptions::csv()),
+            || infer_with(&tfd_csv::parse_value(&text).unwrap(), &InferOptions::csv()),
             budget,
         );
         entries.push(Entry { id: format!("pipeline/csv/{rows}"), rows, seconds: secs });
+
+        let secs = best_time(
+            || {
+                infer_with(
+                    &tfd_csv::reference::parse(&text).unwrap().to_value(),
+                    &InferOptions::csv(),
+                )
+            },
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/csv-reference/{rows}"), rows, seconds: secs });
     }
 
-    // Parse-only speedup of the byte-level JSON path over the retained
-    // tokenizing reference, on the largest corpus.
-    let text = json_rows_text(3, 100_000, 8);
-    let new_parse = best_time(
-        || {
-            tfd_json::parse_value(&text).unwrap();
-            Shape::Bottom
+    // Parse-only speedups of each byte-level front-end over its retained
+    // char-level reference, on the largest corpus. (`Shape::Bottom` keeps
+    // `best_time`'s signature; only the parse is timed.)
+    let json_text = json_rows_text(3, 100_000, 8);
+    let xml_text = xml_rows_text(100_000);
+    let csv_text = csv_rows_text(100_000);
+    let speedups = [
+        Speedup {
+            format: "json",
+            bytes_s: best_time(
+                || {
+                    tfd_json::parse_value(&json_text).unwrap();
+                    Shape::Bottom
+                },
+                budget,
+            ),
+            reference_s: best_time(
+                || {
+                    tfd_json::reference::parse(&json_text).unwrap().to_value();
+                    Shape::Bottom
+                },
+                budget,
+            ),
         },
-        budget,
-    );
-    let ref_parse = best_time(
-        || {
-            tfd_json::reference::parse(&text).unwrap().to_value();
-            Shape::Bottom
+        Speedup {
+            format: "xml",
+            bytes_s: best_time(
+                || {
+                    tfd_xml::parse_value(&xml_text).unwrap();
+                    Shape::Bottom
+                },
+                budget,
+            ),
+            reference_s: best_time(
+                || {
+                    tfd_xml::reference::parse(&xml_text).unwrap().to_value();
+                    Shape::Bottom
+                },
+                budget,
+            ),
         },
-        budget,
-    );
-    let speedup = ref_parse / new_parse;
+        Speedup {
+            format: "csv",
+            bytes_s: best_time(
+                || {
+                    tfd_csv::parse_value(&csv_text).unwrap();
+                    Shape::Bottom
+                },
+                budget,
+            ),
+            reference_s: best_time(
+                || {
+                    tfd_csv::reference::parse(&csv_text).unwrap().to_value();
+                    Shape::Bottom
+                },
+                budget,
+            ),
+        },
+    ];
 
     let mut json = String::from("{\n  \"benchmark\": \"pipeline parse+infer (rows/sec)\",\n");
     let _ = writeln!(json, "  \"protocol\": \"best-of-batches, {budget}s budget per entry\",");
-    let _ = writeln!(
-        json,
-        "  \"parse_json_speedup_vs_reference\": {{\"bytes_path_s\": {new_parse:e}, \"token_path_s\": {ref_parse:e}, \"speedup\": {speedup:.2}}},"
-    );
+    json.push_str("  \"parse_speedup_vs_reference\": {\n");
+    for (i, s) in speedups.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"bytes_path_s\": {:e}, \"char_path_s\": {:e}, \"speedup\": {:.2}}}{}",
+            s.format,
+            s.bytes_s,
+            s.reference_s,
+            s.ratio(),
+            if i + 1 < speedups.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
-        let _ = write!(
+        let _ = writeln!(
             json,
-            "    {{\"id\": \"{}\", \"rows\": {}, \"seconds_per_iter\": {:e}, \"rows_per_sec\": {:.0}}}{}\n",
+            "    {{\"id\": \"{}\", \"rows\": {}, \"seconds_per_iter\": {:e}, \"rows_per_sec\": {:.0}}}{}",
             e.id,
             e.rows,
             e.seconds,
@@ -133,5 +224,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write baseline file");
     println!("{json}");
     println!("baseline written to {out_path}");
-    println!("json parse speedup (bytes vs tokens): {speedup:.2}x");
+    for s in &speedups {
+        println!("{} parse speedup (bytes vs chars): {:.2}x", s.format, s.ratio());
+    }
 }

@@ -156,8 +156,8 @@ fn read_value(file: &str, format: Format) -> Result<Value, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
     match format {
         Format::Json => Ok(tfd_json::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
-        Format::Xml => Ok(tfd_xml::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
-        Format::Csv => Ok(tfd_csv::parse(&text).map_err(|e| format!("{file}: {e}"))?.to_value()),
+        Format::Xml => Ok(tfd_xml::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
+        Format::Csv => Ok(tfd_csv::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
         Format::Html => {
             let tables = tfd_html::parse_tables(&text);
             tables
@@ -176,7 +176,7 @@ fn infer(values: &[Value], format: Format, global: bool) -> Shape {
     };
     let shape = infer_many(values, &options);
     if global {
-        globalize(&shape)
+        globalize(shape)
     } else {
         shape
     }

@@ -12,14 +12,40 @@
 //! nested inside an element of the same name) are handled by cutting the
 //! expansion at the recursion point — the inner occurrence keeps its
 //! locally inferred shape, since our shape language is finite trees.
+//!
+//! # Allocation discipline
+//!
+//! Like [`csh`](crate::csh), `globalize` **consumes** its argument
+//! (callers holding references use [`globalize_ref`], which pays for the
+//! clone). Names that occur once — the overwhelmingly common case outside
+//! XHTML-style documents — are never cloned at all: an occurrence-count
+//! pre-pass keeps them out of the join map, and the rewrite reuses their
+//! nodes in place. Colliding names clone each occurrence once into the
+//! running join (the accumulator itself is moved, never re-cloned) plus
+//! once per occurrence site when the join is written back — that last
+//! copy is the output itself and cannot be avoided, since the same joined
+//! shape materializes at several positions.
+//!
+//! # Saturation
+//!
+//! A single collect pass suffices — there is no need to iterate the
+//! collect→join step to a fixed point. Joining two same-name records can
+//! expose *nested* records whose shapes differ from anything that occurs
+//! in the tree (e.g. the field-wise `csh` of two differently-shaped
+//! nested `<t>`s), but the rewrite never copies those nested joins from
+//! the map entry verbatim: every nested record occurrence is itself
+//! replaced by *its* map entry during rewriting (or, at a recursion cut,
+//! kept as a local shape that the map entry already subsumes — `csh` is a
+//! least upper bound, Lemma 1, so re-joining a cut occurrence is a
+//! no-op). The `globalize_is_idempotent_*` tests below pin this down.
 
 use crate::csh::csh;
-use crate::shape::RecordShape;
+use crate::shape::{FieldShape, RecordShape};
 use crate::Shape;
 use std::collections::BTreeMap;
 use tfd_value::Name;
 
-/// Applies global by-name record unification to a shape.
+/// Applies global by-name record unification to a shape, consuming it.
 ///
 /// ```
 /// use tfd_core::{globalize, infer_with, InferOptions, Shape};
@@ -31,35 +57,79 @@ use tfd_value::Name;
 ///     rec("item", [("b", Value::Bool(true))]),
 /// ]);
 /// let local = infer_with(&doc, &InferOptions::formal());
-/// let global = globalize(&local);
+/// let global = globalize(local.clone());
 /// // ...unify into one record with both fields optional? No — they were
 /// // already joined by the collection rule here; globalize matters when
 /// // same-name records appear in *different* positions (see tests).
 /// assert_eq!(global, local);
 /// ```
-pub fn globalize(shape: &Shape) -> Shape {
-    // 1. Collect the join of all record shapes per name.
+pub fn globalize(shape: Shape) -> Shape {
+    // 1. Count record occurrences per name; only colliding names need a
+    //    join (and hence any cloning) at all.
+    let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
+    count(&shape, &mut counts);
+    if counts.values().all(|&n| n <= 1) {
+        // No name occurs twice: globalization is the identity.
+        return shape;
+    }
+    // 2. Collect the join of all record shapes per colliding name.
     let mut joined: BTreeMap<Name, RecordShape> = BTreeMap::new();
-    collect(shape, &mut joined);
-    // 2. Saturate: joining records may expose nested records that also
-    //    need joining into the map (they were collected already since we
-    //    walk the whole tree first, and csh of collected shapes cannot
-    //    invent record names that never occurred).
-    // 3. Rewrite every occurrence, cutting recursion per name.
+    collect(&shape, &counts, &mut joined);
+    // 3. Rewrite every occurrence, consuming the tree and cutting
+    //    recursion per name. (No further saturation is needed — see the
+    //    module docs.)
     let mut stack = Vec::new();
     rewrite(shape, &joined, &mut stack)
 }
 
-fn collect(shape: &Shape, joined: &mut BTreeMap<Name, RecordShape>) {
+/// [`globalize`] for callers that only hold a reference; clones once.
+pub fn globalize_ref(shape: &Shape) -> Shape {
+    globalize(shape.clone())
+}
+
+fn count(shape: &Shape, counts: &mut BTreeMap<Name, usize>) {
+    match shape {
+        Shape::Record(r) => {
+            *counts.entry(r.name).or_insert(0) += 1;
+            for f in &r.fields {
+                count(&f.shape, counts);
+            }
+        }
+        Shape::Nullable(s) | Shape::List(s) => count(s, counts),
+        Shape::Top(labels) => {
+            for l in labels {
+                count(l, counts);
+            }
+        }
+        Shape::HeteroList(cases) => {
+            for (s, _) in cases {
+                count(s, counts);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect(
+    shape: &Shape,
+    counts: &BTreeMap<Name, usize>,
+    joined: &mut BTreeMap<Name, RecordShape>,
+) {
     match shape {
         Shape::Record(r) => {
             for f in &r.fields {
-                collect(&f.shape, joined);
+                collect(&f.shape, counts, joined);
             }
-            match joined.get(&r.name) {
+            if counts.get(&r.name).copied().unwrap_or(0) < 2 {
+                return; // singleton: never cloned, rewritten in place
+            }
+            // Move the accumulator out of the map and merge the (cloned)
+            // occurrence into it — the running join is never re-cloned.
+            match joined.remove(&r.name) {
                 Some(existing) => {
-                    let merged = csh(Shape::Record(existing.clone()), Shape::Record(r.clone()));
-                    if let Shape::Record(m) = merged {
+                    if let Shape::Record(m) =
+                        csh(Shape::Record(existing), Shape::Record(r.clone()))
+                    {
                         joined.insert(r.name, m);
                     }
                 }
@@ -68,15 +138,15 @@ fn collect(shape: &Shape, joined: &mut BTreeMap<Name, RecordShape>) {
                 }
             }
         }
-        Shape::Nullable(s) | Shape::List(s) => collect(s, joined),
+        Shape::Nullable(s) | Shape::List(s) => collect(s, counts, joined),
         Shape::Top(labels) => {
             for l in labels {
-                collect(l, joined);
+                collect(l, counts, joined);
             }
         }
         Shape::HeteroList(cases) => {
             for (s, _) in cases {
-                collect(s, joined);
+                collect(s, counts, joined);
             }
         }
         _ => {}
@@ -84,7 +154,7 @@ fn collect(shape: &Shape, joined: &mut BTreeMap<Name, RecordShape>) {
 }
 
 fn rewrite(
-    shape: &Shape,
+    shape: Shape,
     joined: &BTreeMap<Name, RecordShape>,
     stack: &mut Vec<Name>,
 ) -> Shape {
@@ -97,42 +167,46 @@ fn rewrite(
                     name: r.name,
                     fields: r
                         .fields
-                        .iter()
-                        .map(|f| crate::shape::FieldShape::new(
-                            f.name,
-                            rewrite(&f.shape, joined, stack),
-                        ))
+                        .into_iter()
+                        .map(|f| FieldShape::new(f.name, rewrite(f.shape, joined, stack)))
                         .collect(),
                 });
             }
-            let unified = joined.get(&r.name).cloned().unwrap_or_else(|| r.clone());
-            stack.push(r.name);
+            // Colliding names materialize their join (one clone per
+            // occurrence site — this is the output); singletons reuse
+            // their own nodes.
+            let unified = match joined.get(&r.name) {
+                Some(u) => u.clone(),
+                None => r,
+            };
+            stack.push(unified.name);
             let result = Shape::Record(RecordShape {
                 name: unified.name,
                 fields: unified
                     .fields
-                    .iter()
-                    .map(|f| crate::shape::FieldShape::new(
-                        f.name,
-                        rewrite(&f.shape, joined, stack),
-                    ))
+                    .into_iter()
+                    .map(|f| FieldShape::new(f.name, rewrite(f.shape, joined, stack)))
                     .collect(),
             });
             stack.pop();
             result
         }
-        Shape::Nullable(s) => rewrite(s, joined, stack).ceil(),
-        Shape::List(s) => Shape::list(rewrite(s, joined, stack)),
+        Shape::Nullable(s) => rewrite(*s, joined, stack).ceil(),
+        Shape::List(mut s) => {
+            // Reuse the box in place.
+            *s = rewrite(std::mem::replace(&mut *s, Shape::Bottom), joined, stack);
+            Shape::List(s)
+        }
         Shape::Top(labels) => Shape::Top(
-            labels.iter().map(|l| rewrite(l, joined, stack)).collect(),
+            labels.into_iter().map(|l| rewrite(l, joined, stack)).collect(),
         ),
         Shape::HeteroList(cases) => Shape::HeteroList(
             cases
-                .iter()
-                .map(|(s, m)| (rewrite(s, joined, stack), *m))
+                .into_iter()
+                .map(|(s, m)| (rewrite(s, joined, stack), m))
                 .collect(),
         ),
-        other => other.clone(),
+        other => other,
     }
 }
 
@@ -156,7 +230,7 @@ mod tests {
             ],
         );
         let local = infer_with(&doc, &InferOptions::formal());
-        let global = globalize(&local);
+        let global = globalize(local);
         let t_unified = Shape::record("t", [("x", Int.ceil()), ("y", Bool.ceil())]);
         assert_eq!(
             global,
@@ -168,7 +242,7 @@ mod tests {
     fn globalize_is_identity_without_name_collisions() {
         let doc = rec("r", [("x", Value::Int(1)), ("y", arr([Value::Bool(true)]))]);
         let local = infer_with(&doc, &InferOptions::formal());
-        assert_eq!(globalize(&local), local);
+        assert_eq!(globalize_ref(&local), local);
     }
 
     #[test]
@@ -176,7 +250,7 @@ mod tests {
         // <div><div/></div> — a div containing a div.
         let doc = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
         let local = infer_with(&doc, &InferOptions::formal());
-        let global = globalize(&local);
+        let global = globalize(local);
         // Outer div gets the joined shape (child optional, x optional);
         // the nested div occurrence is cut rather than infinitely
         // expanded.
@@ -197,7 +271,7 @@ mod tests {
             rec("v", [("q", rec("t", [("y", Value::Int(2))]))]),
         ]);
         let local = infer_with(&doc, &InferOptions::formal());
-        let global = globalize(&local);
+        let global = globalize(local);
         // Both nested t records now have both (optional) fields.
         let expected_t = Shape::record("t", [("x", Int.ceil()), ("y", Int.ceil())]);
         match &global {
@@ -212,6 +286,92 @@ mod tests {
                 other => panic!("expected labelled top, got {other}"),
             },
             other => panic!("expected list, got {other}"),
+        }
+    }
+
+    // --- Saturation: a single collect pass is a fixed point. ---
+
+    /// The `csh` of the two `a` occurrences exposes a nested `t` join
+    /// (`t {x?, y?}`) that never occurs in the input tree. The rewrite
+    /// must still produce the fully unified output in one pass, and a
+    /// second `globalize` must change nothing.
+    #[test]
+    fn globalize_is_idempotent_when_joins_expose_nested_records() {
+        let doc = rec(
+            "root",
+            [
+                ("p", rec("a", [("x", rec("t", [("m", Value::Int(1))]))])),
+                ("q", rec("a", [("x", rec("t", [("n", Value::Bool(true))]))])),
+                // A third t, outside any a, with yet another field:
+                ("r", rec("t", [("o", Value::Float(1.5))])),
+            ],
+        );
+        let local = infer_with(&doc, &InferOptions::formal());
+        let once = globalize(local);
+        // Every t occurrence — including those inside the joined a —
+        // carries all three optional fields.
+        let text = once.to_string();
+        assert_eq!(text.matches(": t {").count(), 3, "{text}");
+        assert_eq!(text.matches("m : nullable int").count(), 3, "{text}");
+        assert_eq!(text.matches("n : nullable bool").count(), 3, "{text}");
+        assert_eq!(text.matches("o : nullable float").count(), 3, "{text}");
+        let twice = globalize_ref(&once);
+        assert_eq!(twice, once, "second globalize pass changed the shape");
+    }
+
+    /// Recursion cuts keep locally inferred shapes; re-globalizing the
+    /// output re-joins those cut occurrences with the map entry, which
+    /// must be a no-op because `csh` is a least upper bound (Lemma 1).
+    #[test]
+    fn globalize_is_idempotent_under_recursion_cuts() {
+        let docs = [
+            // Self-nested, two levels:
+            rec("div", [("child", rec("div", [("x", Value::Int(1))]))]),
+            // Self-nested, three levels, widening on the way down:
+            rec(
+                "div",
+                [(
+                    "child",
+                    rec(
+                        "div",
+                        [
+                            ("child", rec("div", [("x", Value::Int(1))])),
+                            ("y", Value::Bool(true)),
+                        ],
+                    ),
+                )],
+            ),
+            // A recursive name that also occurs in a non-nested position:
+            rec(
+                "root",
+                [
+                    ("a", rec("div", [("child", rec("div", [("x", Value::Int(1))]))])),
+                    ("b", rec("div", [("z", Value::str("s"))])),
+                ],
+            ),
+        ];
+        for doc in docs {
+            let local = infer_with(&doc, &InferOptions::formal());
+            let once = globalize_ref(&local);
+            let twice = globalize_ref(&once);
+            assert_eq!(twice, once, "not idempotent for {local}");
+        }
+    }
+
+    /// Idempotence over machine-generated corpora: infer a shape from
+    /// each document of a deterministic corpus and check that one
+    /// globalize pass saturates it.
+    #[test]
+    fn globalize_is_idempotent_on_generated_corpora() {
+        use tfd_value::corpus::{generate_corpus, CorpusConfig};
+        for seed in 0..20 {
+            let config = CorpusConfig { max_depth: 5, ..CorpusConfig::default() };
+            for value in generate_corpus(seed, 5, &config) {
+                let local = infer_with(&value, &InferOptions::xml());
+                let once = globalize_ref(&local);
+                let twice = globalize_ref(&once);
+                assert_eq!(twice, once, "not idempotent for seed {seed}: {local}");
+            }
         }
     }
 }

@@ -58,7 +58,7 @@ pub use csh::{csh, csh_all};
 pub fn csh_ref(a: &Shape, b: &Shape) -> Shape {
     csh(a.clone(), b.clone())
 }
-pub use global::globalize;
+pub use global::{globalize, globalize_ref};
 pub use infer::{infer, infer_many, infer_with, InferOptions};
 pub use multiplicity::Multiplicity;
 pub use prefer::is_preferred;

@@ -18,6 +18,10 @@
 //! makes `2012-05-01` a date but the mixed-format column of the paper's
 //! example a `string`.
 //!
+//! [`parse`] runs the single-pass byte-level splitter; the previous
+//! char-level state machine is retained as [`reference`] (bugs and all)
+//! so benchmarks and regression tests can compare against it.
+//!
 //! # Example
 //!
 //! ```
@@ -33,9 +37,10 @@
 
 pub mod literal;
 mod parser;
+pub mod reference;
 
 pub use literal::{parse_date, parse_literal, Date, LiteralOptions};
-pub use parser::{parse, parse_with, CsvError, CsvOptions};
+pub use parser::{parse, parse_value, parse_value_with, parse_with, CsvError, CsvOptions};
 
 use tfd_value::{body_name, Name, Value};
 

@@ -227,10 +227,11 @@ pub fn infer_primitive(text: &str) -> Option<Value> {
     if t.is_empty() {
         return None;
     }
-    match t.to_ascii_lowercase().as_str() {
-        "true" => return Some(Value::Bool(true)),
-        "false" => return Some(Value::Bool(false)),
-        _ => {}
+    if t.eq_ignore_ascii_case("true") {
+        return Some(Value::Bool(true));
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Some(Value::Bool(false));
     }
     if let Some(i) = parse_int(t) {
         return Some(Value::Int(i));
@@ -259,10 +260,14 @@ pub fn parse_literal(text: &str, options: &LiteralOptions) -> Value {
     if options.missing_values.iter().any(|m| m == t) {
         return Value::Null;
     }
-    match t.to_ascii_lowercase().as_str() {
-        "true" => return Value::Bool(true),
-        "false" => return Value::Bool(false),
-        _ => {}
+    // Allocation-free case-insensitive boolean check: this runs once per
+    // CSV cell / XML attribute, so a `to_ascii_lowercase` String here
+    // dominated whole-file parse profiles.
+    if t.eq_ignore_ascii_case("true") {
+        return Value::Bool(true);
+    }
+    if t.eq_ignore_ascii_case("false") {
+        return Value::Bool(false);
     }
     if let Some(i) = parse_int(t) {
         return Value::Int(i);

@@ -1,12 +1,38 @@
-//! RFC 4180 CSV parsing.
+//! RFC 4180 CSV parsing — single-pass, byte-level.
 //!
 //! Supports quoted fields (with `""` escapes, embedded delimiters and
-//! newlines), CRLF and LF line endings, configurable delimiters, and
-//! optional headerless mode (columns are then named `Column1`, `Column2`,
-//! … as F# Data does).
+//! newlines), CRLF, LF and bare-CR line endings, configurable delimiters,
+//! and optional headerless mode (columns are then named `Column1`,
+//! `Column2`, … as F# Data does).
+//!
+//! Like the byte-level JSON parser (`tfd_json::parser`), this is hot-path
+//! code: a type provider pushes every sample file through here before
+//! inference runs. The splitter therefore works directly on the input
+//! bytes:
+//!
+//! * unquoted fields and quoted fields without `""` escapes are *borrowed*
+//!   slices of the input (`Cow::Borrowed`) — one bulk copy materializes
+//!   the owned row cell, instead of a per-character `String::push` loop;
+//! * only fields containing `""` escapes build an owned buffer (seeded
+//!   with the scanned escape-free prefix);
+//! * the record/field structure is discovered in the same single pass —
+//!   there is no separate tokenize step and no lookahead clone.
+//!
+//! Two RFC 4180 deviations of the previous char-level implementation are
+//! fixed here (the old behavior survives unchanged in
+//! [`crate::reference`]):
+//!
+//! 1. a quote is only special at **field start** — `ab"c,d"e` parses as
+//!    the two literal fields `ab"c` and `d"e` instead of swallowing the
+//!    delimiter;
+//! 2. a bare `\r` inside a quoted field counts as a line break, so error
+//!    positions are right on classic-Mac line endings.
 
+use crate::literal::{parse_literal, LiteralOptions};
 use crate::CsvFile;
+use std::borrow::Cow;
 use std::fmt;
+use tfd_value::{body_name, Name, Value};
 
 /// CSV parser configuration.
 #[derive(Debug, Clone)]
@@ -77,99 +103,250 @@ pub fn parse(input: &str) -> Result<CsvFile, CsvError> {
 /// Returns [`CsvError`] for empty input (in header mode) or malformed
 /// quoting.
 pub fn parse_with(input: &str, options: &CsvOptions) -> Result<CsvFile, CsvError> {
-    let mut records = split_records(input, options.delimiter)?;
+    let mut splitter = RecordSplitter::new(input, options.delimiter);
+    let mut fields: Vec<Cow<'_, str>> = Vec::new();
+    let mut records: Vec<Vec<String>> = Vec::new();
     if options.has_header {
-        if records.is_empty() {
+        if !splitter.next_record(&mut fields)? {
             return Err(CsvError::Empty);
         }
         // Header names are trimmed: the paper's air-quality sample writes
         // "Ozone, Temp, ..." yet the provided type has fields Ozone/Temp.
-        let headers = records
-            .remove(0)
-            .into_iter()
-            .map(|h| h.trim().to_owned())
-            .collect();
+        let headers = fields.iter().map(|h| h.trim().to_owned()).collect();
+        while splitter.next_record(&mut fields)? {
+            records.push(fields.drain(..).map(Cow::into_owned).collect());
+        }
         Ok(CsvFile::new(headers, records))
     } else {
+        while splitter.next_record(&mut fields)? {
+            records.push(fields.drain(..).map(Cow::into_owned).collect());
+        }
         let width = records.iter().map(Vec::len).max().unwrap_or(0);
         let headers = (1..=width).map(|i| format!("Column{i}")).collect();
         Ok(CsvFile::new(headers, records))
     }
 }
 
-/// State machine over characters; returns one `Vec<String>` per record.
-fn split_records(input: &str, delimiter: char) -> Result<Vec<Vec<String>>, CsvError> {
-    let mut records: Vec<Vec<String>> = Vec::new();
-    let mut record: Vec<String> = Vec::new();
-    let mut field = String::new();
-    // `started` tracks whether the current record has any content, so a
-    // trailing newline does not produce a phantom empty record.
-    let mut started = false;
-    let mut line = 1usize;
+/// Parses CSV text straight into the universal data [`Value`] of §2.3
+/// ("We treat CSV files as lists of records"), skipping the [`CsvFile`]
+/// intermediate entirely — the parse→infer hot path, mirroring
+/// `tfd_json::parse_value`.
+///
+/// One pass over the bytes: column names are interned once per file,
+/// each cell feeds [`parse_literal`] directly from its (usually
+/// borrowed) slice, so cells holding numbers, booleans, dates or `#N/A`
+/// allocate nothing at all.
+///
+/// # Errors
+///
+/// As [`parse`].
+///
+/// ```
+/// use tfd_value::Value;
+/// let v = tfd_csv::parse_value("a,b\n1,x\n")?;
+/// assert_eq!(v.elements().unwrap()[0].field("a"), Some(&Value::Int(1)));
+/// # Ok::<(), tfd_csv::CsvError>(())
+/// ```
+pub fn parse_value(input: &str) -> Result<Value, CsvError> {
+    parse_value_with(input, &CsvOptions::default(), &LiteralOptions::default())
+}
 
-    let mut chars = input.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '"' => {
-                started = true;
-                let quote_line = line;
-                // Quoted field: consume until the closing quote.
-                loop {
-                    match chars.next() {
-                        None => return Err(CsvError::UnterminatedQuote(quote_line)),
-                        Some('"') => {
-                            if chars.peek() == Some(&'"') {
-                                chars.next();
-                                field.push('"');
-                            } else {
-                                break;
-                            }
-                        }
-                        Some('\n') => {
-                            line += 1;
-                            field.push('\n');
-                        }
-                        Some(c) => field.push(c),
+/// [`parse_value`] under explicit CSV and literal-inference options.
+///
+/// Produces exactly the same value as
+/// `parse_with(input, options)?.to_value_with(literals)` (the round-trip
+/// suite asserts this), without materializing row `String`s.
+///
+/// # Errors
+///
+/// As [`parse_with`].
+pub fn parse_value_with(
+    input: &str,
+    options: &CsvOptions,
+    literals: &LiteralOptions,
+) -> Result<Value, CsvError> {
+    let mut splitter = RecordSplitter::new(input, options.delimiter);
+    let mut fields: Vec<Cow<'_, str>> = Vec::new();
+    let row_name = body_name();
+    if options.has_header {
+        if !splitter.next_record(&mut fields)? {
+            return Err(CsvError::Empty);
+        }
+        let headers: Vec<Name> = fields.iter().map(|h| Name::new(h.trim())).collect();
+        let mut rows = Vec::new();
+        while splitter.next_record(&mut fields)? {
+            rows.push(Value::record(
+                row_name,
+                headers.iter().enumerate().map(|(i, &h)| {
+                    let cell = fields.get(i).map(Cow::as_ref).unwrap_or("");
+                    (h, parse_literal(cell, literals))
+                }),
+            ));
+        }
+        Ok(Value::List(rows))
+    } else {
+        // Headerless mode needs the max width before columns can be
+        // named; parse cells eagerly, name and pad afterwards.
+        let mut raw_rows: Vec<Vec<Value>> = Vec::new();
+        let mut width = 0usize;
+        while splitter.next_record(&mut fields)? {
+            width = width.max(fields.len());
+            raw_rows.push(fields.iter().map(|c| parse_literal(c, literals)).collect());
+        }
+        let headers: Vec<Name> = (1..=width).map(|i| Name::new(format!("Column{i}"))).collect();
+        let missing = parse_literal("", literals);
+        Ok(Value::List(
+            raw_rows
+                .into_iter()
+                .map(|mut row| {
+                    row.resize(width, missing.clone());
+                    Value::record(row_name, headers.iter().copied().zip(row))
+                })
+                .collect(),
+        ))
+    }
+}
+
+/// Streaming byte-level record splitter: one pass over the input,
+/// borrowed cells wherever the source text needs no unescaping, and a
+/// caller-owned field buffer reused across records.
+///
+/// Slicing at delimiter/quote/CR/LF positions is UTF-8-safe: ASCII bytes
+/// only occur as standalone characters, and a multi-byte delimiter is
+/// matched from its lead byte, which likewise only occurs at a character
+/// boundary.
+struct RecordSplitter<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    delim_buf: [u8; 4],
+    delim_len: usize,
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> RecordSplitter<'a> {
+    fn new(input: &'a str, delimiter: char) -> RecordSplitter<'a> {
+        let mut delim_buf = [0u8; 4];
+        let delim_len = delimiter.encode_utf8(&mut delim_buf).len();
+        RecordSplitter { input, bytes: input.as_bytes(), delim_buf, delim_len, pos: 0, line: 1 }
+    }
+
+    /// Clears `fields` and reads the next record into it. `Ok(false)`
+    /// signals end of input (with `fields` left empty).
+    fn next_record(&mut self, fields: &mut Vec<Cow<'a, str>>) -> Result<bool, CsvError> {
+        fields.clear();
+        if self.pos >= self.bytes.len() {
+            return Ok(false);
+        }
+        let delim: [u8; 4] = self.delim_buf;
+        let delim = &delim[..self.delim_len];
+        let d0 = delim[0];
+        loop {
+            // --- One field, starting at `self.pos`. ---
+            let field: Cow<'a, str> = if self.bytes[self.pos] == b'"' {
+                self.quoted_field(delim)?
+            } else {
+                let start = self.pos;
+                while self.pos < self.bytes.len() {
+                    let b = self.bytes[self.pos];
+                    if b == b'\n' || b == b'\r' || (b == d0 && self.bytes[self.pos..].starts_with(delim)) {
+                        break;
+                    }
+                    // Mid-field quotes are literal content (RFC 4180 fix 1).
+                    self.pos += 1;
+                }
+                Cow::Borrowed(&self.input[start..self.pos])
+            };
+            fields.push(field);
+
+            // --- Terminator: delimiter continues the record, a line
+            // ending or EOF finishes it. ---
+            match self.bytes.get(self.pos) {
+                Some(&b) if b == d0 && self.bytes[self.pos..].starts_with(delim) => {
+                    self.pos += delim.len();
+                    // EOF right after a delimiter means one last empty
+                    // field ends both the record and the input.
+                    if self.pos == self.bytes.len() {
+                        fields.push(Cow::Borrowed(""));
+                        return Ok(true);
                     }
                 }
-                // After the closing quote only a delimiter or line end may follow.
-                match chars.peek() {
-                    None => {}
-                    Some(&c2) if c2 == delimiter || c2 == '\n' || c2 == '\r' => {}
-                    Some(&c2) => return Err(CsvError::CharAfterQuote(line, c2)),
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    return Ok(true);
                 }
-            }
-            '\r' => {
-                // Part of CRLF; the '\n' branch finishes the record. A bare
-                // CR is treated as a record separator too.
-                if chars.peek() != Some(&'\n') {
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                    started = false;
-                    line += 1;
+                Some(b'\r') => {
+                    self.pos += if self.bytes.get(self.pos + 1) == Some(&b'\n') { 2 } else { 1 };
+                    self.line += 1;
+                    return Ok(true);
                 }
-            }
-            '\n' => {
-                record.push(std::mem::take(&mut field));
-                records.push(std::mem::take(&mut record));
-                started = false;
-                line += 1;
-            }
-            c if c == delimiter => {
-                started = true;
-                record.push(std::mem::take(&mut field));
-            }
-            c => {
-                started = true;
-                field.push(c);
+                None => return Ok(true),
+                Some(_) => unreachable!("field scan stops only at delimiter, CR, LF or EOF"),
             }
         }
     }
-    if started || !field.is_empty() || !record.is_empty() {
-        record.push(field);
-        records.push(record);
+
+    /// Parses a `"`-opened field. Escape-free contents — the common case
+    /// — are returned as a borrowed slice; a `""` escape switches to an
+    /// owned buffer seeded with the prefix scanned so far.
+    fn quoted_field(&mut self, delim: &[u8]) -> Result<Cow<'a, str>, CsvError> {
+        let quote_line = self.line;
+        self.pos += 1; // opening '"'
+        let start = self.pos;
+        let mut owned: Option<String> = None;
+        let mut run_start = start;
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(CsvError::UnterminatedQuote(quote_line)),
+                Some(b'"') => {
+                    if self.bytes.get(self.pos + 1) == Some(&b'"') {
+                        // Escaped quote: flush the run plus one '"', then
+                        // continue after the pair.
+                        let out = owned
+                            .get_or_insert_with(|| String::with_capacity(self.pos - start + 16));
+                        out.push_str(&self.input[run_start..self.pos]);
+                        out.push('"');
+                        self.pos += 2;
+                        run_start = self.pos;
+                    } else {
+                        let content = match owned {
+                            Some(mut out) => {
+                                out.push_str(&self.input[run_start..self.pos]);
+                                Cow::Owned(out)
+                            }
+                            None => Cow::Borrowed(&self.input[start..self.pos]),
+                        };
+                        self.pos += 1; // closing '"'
+                        // After the closing quote only a delimiter, a line
+                        // ending or EOF may follow.
+                        match self.bytes.get(self.pos) {
+                            None | Some(b'\n' | b'\r') => {}
+                            Some(_) if self.bytes[self.pos..].starts_with(delim) => {}
+                            Some(_) => {
+                                let c = self.input[self.pos..].chars().next().expect("in-bounds");
+                                return Err(CsvError::CharAfterQuote(self.line, c));
+                            }
+                        }
+                        return Ok(content);
+                    }
+                }
+                Some(b'\n') => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                Some(b'\r') => {
+                    // A bare CR is a line break too (RFC 4180 fix 2); CRLF
+                    // counts once, via the '\n' arm.
+                    if self.bytes.get(self.pos + 1) != Some(&b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
     }
-    Ok(records)
 }
 
 #[cfg(test)]
@@ -271,6 +448,133 @@ mod tests {
         let opts = CsvOptions { delimiter: '\t', ..CsvOptions::default() };
         let f = parse_with("a\tb\n1\t2\n", &opts).unwrap();
         assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
+    }
+
+    #[test]
+    fn multibyte_delimiter() {
+        let opts = CsvOptions { delimiter: '§', ..CsvOptions::default() };
+        let f = parse_with("a§b\n1§\"x§y\"\n", &opts).unwrap();
+        assert_eq!(f.headers(), &["a", "b"]);
+        assert_eq!(f.rows(), &[vec!["1".to_owned(), "x§y".into()]]);
+    }
+
+    // --- Regression tests for the two RFC 4180 fixes. Both inputs are
+    // mis-parsed by the retained char-level `crate::reference` parser
+    // (see the `bug_*` tests there). ---
+
+    /// Fix 1: a quote appearing mid-field is literal content; only a
+    /// quote at field start opens a quoted field.
+    #[test]
+    fn midfield_quote_is_literal() {
+        assert_eq!(
+            rows("h1,h2\nab\"c,d\"e"),
+            vec![vec!["ab\"c".to_owned(), "d\"e".into()]]
+        );
+        // The reference parser swallows the delimiter (EOF variant) or
+        // rejects the row outright:
+        assert_eq!(
+            crate::reference::parse("h1,h2\nab\"c,d\"").unwrap().rows(),
+            &[vec!["abc,d".to_owned()]]
+        );
+        assert_eq!(
+            crate::reference::parse("h1,h2\nab\"c,d\"e"),
+            Err(CsvError::CharAfterQuote(2, 'e'))
+        );
+    }
+
+    /// Fix 1 corollary: a field that merely *ends* with content after a
+    /// leading non-quote keeps its quotes verbatim.
+    #[test]
+    fn trailing_and_inner_quotes_stay_literal() {
+        assert_eq!(rows("h\na\"b\"\n"), vec![vec!["a\"b\"".to_owned()]]);
+        assert_eq!(rows("h\nab\"\n"), vec![vec!["ab\"".to_owned()]]);
+        assert_eq!(rows("h\n x\"y\n"), vec![vec![" x\"y".to_owned()]]);
+    }
+
+    /// Fix 2: a bare `\r` inside a quoted field advances the line
+    /// counter, so errors after it report the right line.
+    #[test]
+    fn bare_cr_in_quoted_field_counts_lines() {
+        // `x` sits on physical line 3: after `h\n` and the quoted `\r`.
+        assert_eq!(parse("h\n\"a\rb\"x"), Err(CsvError::CharAfterQuote(3, 'x')));
+        // The reference parser reports line 2 for the same input:
+        assert_eq!(
+            crate::reference::parse("h\n\"a\rb\"x"),
+            Err(CsvError::CharAfterQuote(2, 'x'))
+        );
+        // A CRLF inside quotes still counts once:
+        assert_eq!(parse("h\n\"a\r\nb\"x"), Err(CsvError::CharAfterQuote(3, 'x')));
+        // And a later unterminated quote reports its true start line.
+        assert_eq!(
+            parse("h\n\"a\rb\",ok\n\"oops"),
+            Err(CsvError::UnterminatedQuote(4))
+        );
+    }
+
+    /// Quoted-field content keeps its line endings verbatim.
+    #[test]
+    fn quoted_line_endings_preserved_verbatim() {
+        assert_eq!(rows("a\n\"x\r\ny\""), vec![vec!["x\r\ny".to_owned()]]);
+        assert_eq!(rows("a\n\"x\ry\""), vec![vec!["x\ry".to_owned()]]);
+    }
+
+    #[test]
+    fn quoted_field_at_eof() {
+        assert_eq!(rows("a\n\"x\""), vec![vec!["x".to_owned()]]);
+        assert_eq!(rows("a,b\n1,\"x\""), vec![vec!["1".to_owned(), "x".into()]]);
+        assert_eq!(rows("a\n\"\""), vec![vec!["".to_owned()]]);
+    }
+
+    #[test]
+    fn empty_line_yields_single_empty_cell_record() {
+        // Matches the char-level reference: an empty line is a record
+        // with one empty field, not nothing.
+        assert_eq!(rows("a\n\n1"), vec![vec!["".to_owned()], vec!["1".into()]]);
+    }
+
+    #[test]
+    fn utf8_in_cells_and_headers() {
+        let f = parse("sloupec,météo\nžluťoučký,🌧\n").unwrap();
+        assert_eq!(f.headers(), &["sloupec", "météo"]);
+        assert_eq!(f.rows(), &[vec!["žluťoučký".to_owned(), "🌧".into()]]);
+    }
+
+    #[test]
+    fn parse_value_agrees_with_parse_to_value() {
+        let docs = [
+            "a,b\n1,x\n2,y\n",
+            "a,b\n1\n2,y,z\n",                       // ragged rows
+            "a\n\"x,y\"\n\"he said \"\"hi\"\"\"\n", // quoting
+            "Ozone, Temp\n41, 67\n17.5, #N/A\n",    // trimmed headers, nulls
+            "a,b\r\n1,2\r\n",
+            "a\n",
+        ];
+        for doc in docs {
+            assert_eq!(
+                parse_value(doc).unwrap(),
+                parse(doc).unwrap().to_value(),
+                "mismatch on {doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_value_headerless_agrees_with_parse_to_value() {
+        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let lits = LiteralOptions::default();
+        for doc in ["1,2\n3,4,5\n", "", "x\n"] {
+            assert_eq!(
+                parse_value_with(doc, &opts, &lits).unwrap(),
+                parse_with(doc, &opts).unwrap().to_value_with(&lits),
+                "mismatch on {doc:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_value_propagates_errors() {
+        assert_eq!(parse_value(""), Err(CsvError::Empty));
+        assert_eq!(parse_value("a\n\"oops"), Err(CsvError::UnterminatedQuote(2)));
     }
 
     #[test]

@@ -117,12 +117,10 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
         let value = match format {
             Format::Json => tfd_json::parse_value(text)
                 .map_err(|e| format!("sample {}: invalid JSON: {e}", i + 1))?,
-            Format::Xml => tfd_xml::parse(text)
-                .map_err(|e| format!("sample {}: invalid XML: {e}", i + 1))?
-                .to_value(),
-            Format::Csv => tfd_csv::parse(text)
-                .map_err(|e| format!("sample {}: invalid CSV: {e}", i + 1))?
-                .to_value(),
+            Format::Xml => tfd_xml::parse_value(text)
+                .map_err(|e| format!("sample {}: invalid XML: {e}", i + 1))?,
+            Format::Csv => tfd_csv::parse_value(text)
+                .map_err(|e| format!("sample {}: invalid CSV: {e}", i + 1))?,
             Format::Html => {
                 let tables = tfd_html::parse_tables(text);
                 let table = tables.get(request.table_index).ok_or_else(|| {
@@ -154,7 +152,7 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
     }
     let mut shape = infer_many(&values, &options);
     if request.global {
-        shape = globalize(&shape);
+        shape = globalize(shape);
     }
 
     let codegen = CodegenOptions {

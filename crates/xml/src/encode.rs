@@ -49,10 +49,12 @@ pub struct EncodeOptions {
 /// # Ok::<(), tfd_xml::XmlError>(())
 /// ```
 pub fn element_to_value(element: &Element, options: &EncodeOptions) -> Value {
+    // Attribute and element names are already interned by the parser;
+    // encoding copies the `Name` symbols, allocating nothing.
     let mut fields: Vec<(Name, Value)> = element
         .attributes
         .iter()
-        .map(|a| (Name::from(&a.name), parse_literal(&a.value, &options.literals)))
+        .map(|a| (a.name, parse_literal(&a.value, &options.literals)))
         .collect();
 
     let child_elements: Vec<&Element> = element.child_elements().collect();
@@ -71,7 +73,7 @@ pub fn element_to_value(element: &Element, options: &EncodeOptions) -> Value {
         fields.push((body_name(), Value::List(children)));
     }
 
-    Value::record(Name::from(&element.name), fields)
+    Value::record(element.name, fields)
 }
 
 #[cfg(test)]

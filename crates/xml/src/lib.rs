@@ -21,6 +21,11 @@
 //! (which also makes the parser immune to XXE-style attacks by
 //! construction).
 //!
+//! [`parse`] is a single-pass byte-level parser that interns element and
+//! attribute names straight from borrowed input slices; the previous
+//! char-level implementation is retained as [`reference`] for benchmarks
+//! and agreement tests.
+//!
 //! Like the paper's implementation, primitive values that appear in
 //! attributes and text content are *re-inferred* from their string form
 //! ("As with CSV, we infer shape of primitive values", §6.2): `"1"`
@@ -42,17 +47,22 @@
 
 mod encode;
 mod parser;
+pub mod reference;
 
 pub use encode::{element_to_value, EncodeOptions};
-pub use parser::{parse, parse_with, XmlError, XmlErrorKind, XmlOptions};
+pub use parser::{
+    parse, parse_value, parse_value_with, parse_with, XmlError, XmlErrorKind, XmlOptions,
+};
 
-use tfd_value::Value;
+use tfd_value::{Name, Value};
 
 /// An XML attribute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Attribute {
-    /// Attribute name (possibly namespace-prefixed, kept verbatim).
-    pub name: String,
+    /// Attribute name (possibly namespace-prefixed, kept verbatim),
+    /// interned: tag and attribute vocabularies are tiny compared to
+    /// document sizes, so each distinct spelling allocates once.
+    pub name: Name,
     /// Attribute value with entities decoded.
     pub value: String,
 }
@@ -69,8 +79,9 @@ pub enum XmlNode {
 /// An XML element: name, attributes and body nodes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Element {
-    /// Element name (possibly namespace-prefixed, kept verbatim).
-    pub name: String,
+    /// Element name (possibly namespace-prefixed, kept verbatim),
+    /// interned straight from the input slice at parse time.
+    pub name: Name,
     /// Attributes in source order.
     pub attributes: Vec<Attribute>,
     /// Child nodes in source order.
@@ -79,7 +90,7 @@ pub struct Element {
 
 impl Element {
     /// Creates an element with no attributes or children.
-    pub fn new(name: impl Into<String>) -> Element {
+    pub fn new(name: impl Into<Name>) -> Element {
         Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
     }
 

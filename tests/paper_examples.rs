@@ -263,7 +263,7 @@ fn xml_global_inference_unifies_same_name_elements() {
         ..InferOptions::xml()
     };
     let local = infer_with(&doc, &options);
-    let global = globalize(&local);
+    let global = globalize(local);
     // After globalization both <t> occurrences have both optional fields
     // (field order depends on join order and is not significant).
     let text = global.to_string();

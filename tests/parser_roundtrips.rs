@@ -48,6 +48,237 @@ proptest! {
     }
 }
 
+// --- Byte-level vs retained char-level (`reference`) front-ends: the new
+// single-pass parsers must agree with the old ones on valid inputs, and
+// the direct-to-Value paths must agree with parse-then-encode. ---
+
+const XML_NAMES: &[&str] = &["a", "item", "ns:tag", "čaj", "x-1", "_u"];
+
+fn xml_name() -> impl Strategy<Value = String> {
+    prop::sample::select(XML_NAMES).prop_map(str::to_owned)
+}
+
+fn xml_attrs() -> impl Strategy<Value = Vec<tfd_xml::Attribute>> {
+    // Attribute names are made distinct (`Value`'s record equality is a
+    // by-name lookup, so duplicate field names never compare equal —
+    // even to themselves).
+    prop::collection::vec("[a-z<>&\"' é0-9]{0,6}", 0..3).prop_map(|values| {
+        values
+            .into_iter()
+            .enumerate()
+            .map(|(i, value)| tfd_xml::Attribute {
+                name: tfd_value::Name::new(format!("at{i}")),
+                value,
+            })
+            .collect()
+    })
+}
+
+fn xml_text() -> impl Strategy<Value = String> {
+    "[a-z <>&;é0-9\\n\\r]{0,8}"
+}
+
+/// Arbitrary element trees (attributes, mixed content, namespacey and
+/// non-ASCII names) used to drive the serializer below.
+fn xml_element_strategy() -> impl Strategy<Value = tfd_xml::Element> {
+    let leaf = (xml_name(), xml_attrs(), xml_text()).prop_map(|(name, attributes, text)| {
+        let mut e = tfd_xml::Element::new(name);
+        e.attributes = attributes;
+        if !text.is_empty() {
+            e.children.push(tfd_xml::XmlNode::Text(text));
+        }
+        e
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        ((xml_name(), xml_attrs()), (xml_text(), prop::collection::vec(inner, 0..3))).prop_map(
+            |((name, attributes), (text, children))| {
+                let mut e = tfd_xml::Element::new(name);
+                e.attributes = attributes;
+                if !text.is_empty() {
+                    e.children.push(tfd_xml::XmlNode::Text(text));
+                }
+                e.children.extend(children.into_iter().map(tfd_xml::XmlNode::Element));
+                e
+            },
+        )
+    })
+}
+
+/// Serializes a tree with minimal escaping (`& < "` in attributes,
+/// `& <` in text).
+fn write_xml(e: &tfd_xml::Element, out: &mut String) {
+    out.push('<');
+    out.push_str(e.name.as_str());
+    for a in &e.attributes {
+        out.push(' ');
+        out.push_str(a.name.as_str());
+        out.push_str("=\"");
+        for c in a.value.chars() {
+            match c {
+                '&' => out.push_str("&amp;"),
+                '<' => out.push_str("&lt;"),
+                '"' => out.push_str("&quot;"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    for node in &e.children {
+        match node {
+            tfd_xml::XmlNode::Element(c) => write_xml(c, out),
+            tfd_xml::XmlNode::Text(t) => {
+                for c in t.chars() {
+                    match c {
+                        '&' => out.push_str("&amp;"),
+                        '<' => out.push_str("&lt;"),
+                        c => out.push(c),
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(e.name.as_str());
+    out.push('>');
+}
+
+fn quote_csv_cell(cell: &str) -> String {
+    format!("\"{}\"", cell.replace('"', "\"\""))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte-level and reference CSV parsers agree on fully-quoted valid
+    /// input — cells containing delimiters, quotes, LF and bare CR.
+    #[test]
+    fn csv_byte_and_reference_agree_on_quoted(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z,\"\\n\\r é0-9]{0,8}", 1..4),
+            1..5,
+        )
+    ) {
+        let text = rows
+            .iter()
+            .map(|r| r.iter().map(|c| quote_csv_cell(c)).collect::<Vec<_>>().join(","))
+            .collect::<Vec<_>>()
+            .join("\r\n");
+        prop_assert_eq!(tfd_csv::parse(&text), tfd_csv::reference::parse(&text));
+    }
+
+    /// Same, for unquoted cells under mixed LF / CRLF / CR line endings.
+    #[test]
+    fn csv_byte_and_reference_agree_on_line_ending_mixes(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z é0-9]{0,6}", 1..4),
+            1..6,
+        ),
+        seps in prop::collection::vec(0usize..3, 1..6),
+    ) {
+        let endings = ["\n", "\r\n", "\r"];
+        let mut text = String::new();
+        for (i, row) in rows.iter().enumerate() {
+            text.push_str(&row.join(","));
+            text.push_str(endings[seps[i % seps.len()]]);
+        }
+        prop_assert_eq!(tfd_csv::parse(&text), tfd_csv::reference::parse(&text));
+    }
+
+    /// The direct-to-Value CSV path agrees with parse-then-encode.
+    /// Headers are distinct `c0..cn` (record equality is a by-name
+    /// lookup, so duplicate columns never compare equal, even to
+    /// themselves); data cells are arbitrary quoted text.
+    #[test]
+    fn csv_parse_value_agrees_with_parse_to_value(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z,\"\\n é0-9.#/-]{0,8}", 1..4),
+            1..5,
+        )
+    ) {
+        let width = rows.iter().map(Vec::len).max().unwrap_or(1);
+        let header = (0..width).map(|i| format!("c{i}")).collect::<Vec<_>>().join(",");
+        let mut text = header;
+        for r in &rows {
+            text.push('\n');
+            text.push_str(&r.iter().map(|c| quote_csv_cell(c)).collect::<Vec<_>>().join(","));
+        }
+        prop_assert_eq!(
+            tfd_csv::parse_value(&text).unwrap(),
+            tfd_csv::parse(&text).unwrap().to_value()
+        );
+    }
+
+    /// Ragged headerless rows: byte, reference and direct-value paths
+    /// all agree (columns named `Column1..ColumnN` from the widest row).
+    #[test]
+    fn csv_headerless_ragged_rows_agree(
+        rows in prop::collection::vec(
+            prop::collection::vec("[a-z 0-9]{0,6}", 0..4),
+            0..5,
+        )
+    ) {
+        let text = rows.iter().map(|r| r.join(",")).collect::<Vec<_>>().join("\n");
+        let opts = tfd_csv::CsvOptions { has_header: false, ..tfd_csv::CsvOptions::default() };
+        let lits = tfd_csv::LiteralOptions::default();
+        let byte = tfd_csv::parse_with(&text, &opts).unwrap();
+        prop_assert_eq!(&byte, &tfd_csv::reference::parse_with(&text, &opts).unwrap());
+        prop_assert_eq!(
+            tfd_csv::parse_value_with(&text, &opts, &lits).unwrap(),
+            byte.to_value_with(&lits)
+        );
+    }
+
+    /// Byte-level and reference XML parsers agree on arbitrary serialized
+    /// trees, and the direct-to-Value path agrees with parse-then-encode.
+    #[test]
+    fn xml_byte_and_reference_agree(root in xml_element_strategy()) {
+        let mut text = String::new();
+        write_xml(&root, &mut text);
+        let byte = tfd_xml::parse(&text).unwrap();
+        let reference = tfd_xml::reference::parse(&text).unwrap();
+        prop_assert_eq!(&byte, &reference);
+        prop_assert_eq!(tfd_xml::parse_value(&text).unwrap(), byte.to_value());
+    }
+}
+
+#[test]
+fn csv_quoted_field_at_eof_agrees() {
+    for text in ["a\n\"x\"", "a,b\n1,\"x\"", "a\n\"\"", "a\n\"x\ny\"", "a\n1,"] {
+        assert_eq!(
+            tfd_csv::parse(text),
+            tfd_csv::reference::parse(text),
+            "disagreement on {text:?}"
+        );
+    }
+}
+
+#[test]
+fn csv_utf8_headers_and_cells_agree() {
+    let text = "sloupec,météo\nžluťoučký,🌧\n\"žluťoučký\",\"🌧,🌧\"\n";
+    let byte = tfd_csv::parse(text).unwrap();
+    assert_eq!(byte, tfd_csv::reference::parse(text).unwrap());
+    assert_eq!(byte.headers(), &["sloupec", "météo"]);
+    assert_eq!(
+        tfd_csv::parse_value(text).unwrap(),
+        byte.to_value()
+    );
+}
+
+#[test]
+fn xml_utf8_names_and_attribute_values_agree() {
+    let text = "<čaj típ=\"zelený &amp; černý\"><položka>42</položka></čaj>";
+    let byte = tfd_xml::parse(text).unwrap();
+    assert_eq!(byte, tfd_xml::reference::parse(text).unwrap());
+    assert_eq!(byte.name, "čaj");
+    assert_eq!(byte.attribute("típ"), Some("zelený & černý"));
+    assert_eq!(tfd_xml::parse_value(text).unwrap(), byte.to_value());
+}
+
 // --- Failure injection: every malformed input is rejected with an error,
 // never a panic or a wrong document. ---
 
