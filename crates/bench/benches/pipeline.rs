@@ -21,14 +21,24 @@
 //!   no row `String`s) vs the retained per-char state machine
 //!   ([`tfd_csv::reference`]) through `CsvFile::to_value`.
 //!
+//! A second axis compares **whole-buffer vs chunk-fed streaming** on the
+//! same record sequences (`pipeline/jsonl` vs `pipeline/jsonl-stream`,
+//! `pipeline/xml-docs` vs `pipeline/xml-stream`, `pipeline/csv` vs
+//! `pipeline/csv-stream`): the streaming side drives the resumable
+//! front-end scanners plus the `InferAccumulator` fold, record values
+//! dropped as soon as their shape is joined.
+//!
 //! Run with `cargo bench -p tfd-bench --bench pipeline`; the committed
-//! baseline lives in `BENCH_PR2.json` (regenerate with
+//! baseline lives in `BENCH_PR3.json` (regenerate with
 //! `cargo run --release -p tfd-bench --bin pipeline_baseline`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use tfd_bench::{csv_rows_text, json_rows_text, xml_rows_text};
-use tfd_core::{infer_with, InferOptions};
+use tfd_bench::{
+    csv_rows_text, json_lines_text, json_rows_text, stream_csv_pipeline, stream_json_pipeline,
+    stream_xml_pipeline, xml_docs_text, xml_rows_text,
+};
+use tfd_core::{infer_many, infer_with, InferOptions};
 
 const SIZES: [usize; 3] = [10, 1_000, 100_000];
 
@@ -122,6 +132,75 @@ fn bench_csv_reference(c: &mut Criterion) {
     group.finish();
 }
 
+// --- Streaming vs one-shot: the same record sequences, whole-buffer
+// parse+fold vs chunk-fed incremental parse+fold. ---
+
+fn bench_jsonl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/jsonl");
+    for rows in SIZES {
+        let text = json_lines_text(3, rows, 8);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let docs = tfd_json::parse_many_values(black_box(text)).unwrap();
+                infer_many(&docs, &InferOptions::json())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_jsonl_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/jsonl-stream");
+    for rows in SIZES {
+        let text = json_lines_text(3, rows, 8);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| stream_json_pipeline(black_box(text)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_xml_docs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/xml-docs");
+    for rows in SIZES {
+        let text = xml_docs_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| {
+                let docs = tfd_xml::parse_many_values(black_box(text)).unwrap();
+                infer_many(&docs, &InferOptions::xml())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_xml_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/xml-stream");
+    for rows in SIZES {
+        let text = xml_docs_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| stream_xml_pipeline(black_box(text)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_csv_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/csv-stream");
+    for rows in SIZES {
+        let text = csv_rows_text(rows);
+        group.throughput(Throughput::Elements(rows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
+            b.iter(|| stream_csv_pipeline(black_box(text)));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_json,
@@ -129,6 +208,11 @@ criterion_group!(
     bench_xml,
     bench_xml_reference,
     bench_csv,
-    bench_csv_reference
+    bench_csv_reference,
+    bench_jsonl,
+    bench_jsonl_stream,
+    bench_xml_docs,
+    bench_xml_stream,
+    bench_csv_stream
 );
 criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Records the parse→infer pipeline baseline to a JSON file
-//! (`BENCH_PR2.json` at the repository root when run from there).
+//! (`BENCH_PR3.json` at the repository root when run from there).
 //!
 //! The same workloads as `benches/pipeline.rs`, measured with a fixed
 //! protocol (best-of-N batches) so re-runs are comparable across PRs:
@@ -8,16 +8,25 @@
 //! cargo run --release -p tfd-bench --bin pipeline_baseline [out.json]
 //! ```
 //!
-//! Beyond the per-entry rows/sec sweep, the file records the **parse-only
-//! speedup** of each byte-level front-end over its retained char-level
-//! `reference` twin (JSON tokens, XML char iterators, CSV per-char state
-//! machine) on the 100k-row corpus — the honesty number for the
-//! byte-level work of PR 1 (JSON) and PR 2 (XML, CSV).
+//! Beyond the per-entry rows/sec sweep, the file records:
+//!
+//! * the **parse-only speedup** of each byte-level front-end over its
+//!   retained char-level `reference` twin (JSON tokens, XML char
+//!   iterators, CSV per-char state machine) on the 100k-row corpus —
+//!   the honesty number for the byte-level work of PR 1–2;
+//! * the **streaming cost**: chunk-fed parse→infer (resumable scanner +
+//!   `InferAccumulator` fold, `O(1 record)` peak memory) relative to the
+//!   whole-buffer one-shot path on the same 100k-record sequences — the
+//!   honesty number for the streaming work of PR 3 (target: within
+//!   ~15%, i.e. ratio ≲ 1.15).
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use tfd_bench::{csv_rows_text, json_rows_text, xml_rows_text};
-use tfd_core::{infer_with, InferOptions, Shape};
+use tfd_bench::{
+    csv_rows_text, json_lines_text, json_rows_text, stream_csv_pipeline, stream_json_pipeline,
+    stream_xml_pipeline, xml_docs_text, xml_rows_text,
+};
+use tfd_core::{infer_many, infer_with, InferOptions, Shape};
 
 const SIZES: [usize; 3] = [10, 1_000, 100_000];
 
@@ -67,8 +76,21 @@ impl Speedup {
     }
 }
 
+/// Streaming vs whole-buffer timing pair on a 100k-record sequence.
+struct StreamCost {
+    format: &'static str,
+    stream_s: f64,
+    oneshot_s: f64,
+}
+
+impl StreamCost {
+    fn ratio(&self) -> f64 {
+        self.stream_s / self.oneshot_s
+    }
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR2.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_PR3.json".to_owned());
     let mut entries: Vec<Entry> = Vec::new();
     let budget = 0.5;
 
@@ -131,6 +153,69 @@ fn main() {
         );
         entries.push(Entry { id: format!("pipeline/csv-reference/{rows}"), rows, seconds: secs });
     }
+
+    // Streaming vs whole-buffer, on per-record workloads.
+    for rows in SIZES {
+        let text = json_lines_text(3, rows, 8);
+        let secs = best_time(
+            || {
+                let docs = tfd_json::parse_many_values(&text).unwrap();
+                infer_many(&docs, &InferOptions::json())
+            },
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/jsonl/{rows}"), rows, seconds: secs });
+        let secs = best_time(|| stream_json_pipeline(&text), budget);
+        entries.push(Entry { id: format!("pipeline/jsonl-stream/{rows}"), rows, seconds: secs });
+    }
+
+    for rows in SIZES {
+        let text = xml_docs_text(rows);
+        let secs = best_time(
+            || {
+                let docs = tfd_xml::parse_many_values(&text).unwrap();
+                infer_many(&docs, &InferOptions::xml())
+            },
+            budget,
+        );
+        entries.push(Entry { id: format!("pipeline/xml-docs/{rows}"), rows, seconds: secs });
+        let secs = best_time(|| stream_xml_pipeline(&text), budget);
+        entries.push(Entry { id: format!("pipeline/xml-stream/{rows}"), rows, seconds: secs });
+    }
+
+    for rows in SIZES {
+        let text = csv_rows_text(rows);
+        let secs = best_time(|| stream_csv_pipeline(&text), budget);
+        entries.push(Entry { id: format!("pipeline/csv-stream/{rows}"), rows, seconds: secs });
+    }
+
+    // Streaming cost at 100k records: chunk-fed parse→infer relative to
+    // the whole-buffer one-shot on the same record sequence, taken from
+    // the entries just measured (one measurement, one story).
+    let secs_of = |id: &str| -> f64 {
+        entries
+            .iter()
+            .find(|e| e.id == id)
+            .unwrap_or_else(|| panic!("missing entry {id}"))
+            .seconds
+    };
+    let stream_costs = [
+        StreamCost {
+            format: "json",
+            stream_s: secs_of("pipeline/jsonl-stream/100000"),
+            oneshot_s: secs_of("pipeline/jsonl/100000"),
+        },
+        StreamCost {
+            format: "xml",
+            stream_s: secs_of("pipeline/xml-stream/100000"),
+            oneshot_s: secs_of("pipeline/xml-docs/100000"),
+        },
+        StreamCost {
+            format: "csv",
+            stream_s: secs_of("pipeline/csv-stream/100000"),
+            oneshot_s: secs_of("pipeline/csv/100000"),
+        },
+    ];
 
     // Parse-only speedups of each byte-level front-end over its retained
     // char-level reference, on the largest corpus. (`Shape::Bottom` keeps
@@ -207,6 +292,19 @@ fn main() {
         );
     }
     json.push_str("  },\n");
+    json.push_str("  \"streaming_vs_oneshot_100k\": {\n");
+    for (i, s) in stream_costs.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"stream_s\": {:e}, \"oneshot_s\": {:e}, \"ratio\": {:.3}}}{}",
+            s.format,
+            s.stream_s,
+            s.oneshot_s,
+            s.ratio(),
+            if i + 1 < stream_costs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
@@ -226,5 +324,12 @@ fn main() {
     println!("baseline written to {out_path}");
     for s in &speedups {
         println!("{} parse speedup (bytes vs chars): {:.2}x", s.format, s.ratio());
+    }
+    for s in &stream_costs {
+        println!(
+            "{} streaming cost (chunk-fed vs whole-buffer parse→infer): {:.3}x",
+            s.format,
+            s.ratio()
+        );
     }
 }

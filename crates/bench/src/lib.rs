@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tfd_core::stream::{infer_reader, StreamFormat, DEFAULT_CHUNK_SIZE};
+use tfd_core::{InferOptions, Shape};
 use tfd_value::corpus::{generate_corpus, CorpusConfig};
 use tfd_value::Value;
 
@@ -53,6 +55,39 @@ pub fn json_rows_text(seed: u64, rows: usize, width: usize) -> String {
     to_json_texts(&[table(seed, rows, width)]).remove(0)
 }
 
+/// JSON-lines text for a row-shaped table: the same `rows` flat records
+/// as [`json_rows_text`], one document per line — the chunk-fed
+/// streaming workload (each line is one record for
+/// `tfd_json::stream::Streamer`, and `tfd_json::parse_many_values` is
+/// its one-shot twin).
+pub fn json_lines_text(seed: u64, rows: usize, width: usize) -> String {
+    let table = table(seed, rows, width);
+    let rows = table.elements().expect("generate_table yields a list");
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&tfd_json::to_json_string(&tfd_json::Json::from_value(row)));
+        out.push('\n');
+    }
+    out
+}
+
+/// Concatenated single-`<row/>` XML documents with the same per-row
+/// content as [`xml_rows_text`] — the chunk-fed streaming workload (each
+/// root element is one record for `tfd_xml::stream::Streamer`, and
+/// `tfd_xml::parse_many_values` is its one-shot twin).
+pub fn xml_docs_text(rows: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for i in 0..rows {
+        let _ = writeln!(
+            out,
+            "<row id=\"{i}\" name=\"item-{i}\" flag=\"true\"><v>{}</v></row>",
+            i * 3
+        );
+    }
+    out
+}
+
 /// XML text for a row-shaped table (attributes + one nested element per
 /// row), sized like [`json_rows_text`].
 pub fn xml_rows_text(rows: usize) -> String {
@@ -79,6 +114,37 @@ pub fn csv_rows_text(rows: usize) -> String {
     out
 }
 
+// --- Chunk-fed streaming parse→infer pipelines, shared by the pipeline
+// --- bench and the baseline bin so both always measure the same code —
+// --- and driven through `infer_reader`, the exact path the CLI's
+// --- `--stream` ships (including the per-chunk reader copy).
+
+/// Streams JSON-lines text through
+/// [`infer_reader`](tfd_core::stream::infer_reader) in
+/// [`DEFAULT_CHUNK_SIZE`] reads, folding each record into the
+/// accumulator and dropping it.
+pub fn stream_json_pipeline(text: &str) -> Shape {
+    infer_reader(text.as_bytes(), StreamFormat::Json, &InferOptions::json(), DEFAULT_CHUNK_SIZE)
+        .expect("bench corpus is valid")
+        .shape
+}
+
+/// [`stream_json_pipeline`] for concatenated XML documents.
+pub fn stream_xml_pipeline(text: &str) -> Shape {
+    infer_reader(text.as_bytes(), StreamFormat::Xml, &InferOptions::xml(), DEFAULT_CHUNK_SIZE)
+        .expect("bench corpus is valid")
+        .shape
+}
+
+/// [`stream_json_pipeline`] for CSV text; the row fold is re-wrapped as
+/// a collection to match the one-shot front-end's corpus shape.
+pub fn stream_csv_pipeline(text: &str) -> Shape {
+    let summary =
+        infer_reader(text.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), DEFAULT_CHUNK_SIZE)
+            .expect("bench corpus is valid");
+    Shape::list(summary.shape)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +160,16 @@ mod tests {
         for text in to_json_texts(&api_corpus(3, 5, 3)) {
             assert!(tfd_json::parse(&text).is_ok());
         }
+    }
+
+    #[test]
+    fn streaming_workloads_match_their_oneshot_twins() {
+        let jsonl = json_lines_text(3, 20, 8);
+        let docs = tfd_json::parse_many_values(&jsonl).unwrap();
+        assert_eq!(docs.len(), 20);
+        assert_eq!(docs, table(3, 20, 8).elements().unwrap());
+
+        let xml = xml_docs_text(20);
+        assert_eq!(tfd_xml::parse_many_values(&xml).unwrap().len(), 20);
     }
 }

@@ -1,7 +1,7 @@
 //! Command-line argument handling and subcommands for `tfd`.
 
 use tfd_codegen::{generate, CodegenOptions, SourceFormat};
-use tfd_core::{globalize, infer_many, InferOptions, Shape};
+use tfd_core::{csh, globalize, infer_many, infer_reader, InferOptions, Shape, StreamFormat};
 use tfd_value::Value;
 
 const USAGE: &str = "\
@@ -19,6 +19,10 @@ COMMANDS:
 OPTIONS:
     --format <json|xml|csv|html>  input format (default: guessed from extension)
     --global                   XML global (by-name) inference (§6.2)
+    --stream                   chunk-fed parse→infer: records are folded
+                               into the shape as they complete, so corpora
+                               larger than RAM work (not with value/html)
+    --chunk-size <bytes>       read size for --stream (default: 65536)
     --module <name>            module name for `rust` (default: provided)
     --root <Name>              root type name (default: Root)
     --prefix <path>            support-crate path for `rust`
@@ -34,6 +38,8 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let command = args[0].as_str();
     let mut format: Option<Format> = None;
     let mut global = false;
+    let mut stream = false;
+    let mut chunk_size = tfd_core::stream::DEFAULT_CHUNK_SIZE;
     let mut module = "provided".to_owned();
     let mut root = "Root".to_owned();
     let mut prefix = "::types_from_data".to_owned();
@@ -48,6 +54,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 format = Some(parse_format(v)?);
             }
             "--global" => global = true,
+            "--stream" => stream = true,
+            "--chunk-size" => {
+                i += 1;
+                let v = args.get(i).ok_or("--chunk-size requires a value")?;
+                chunk_size = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--chunk-size must be a positive integer, got {v}"))?;
+            }
             "--module" => {
                 i += 1;
                 module = args.get(i).ok_or("--module requires a value")?.clone();
@@ -76,31 +92,37 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some(f) => f,
         None => guess_format(&files[0])?,
     };
-    let values: Vec<Value> = files
-        .iter()
-        .map(|f| read_value(f, format))
-        .collect::<Result<_, _>>()?;
+
+    if command == "value" {
+        if stream {
+            return Err(
+                "--stream is not supported with the value command (records are \
+                 folded into the shape and dropped, never materialized)"
+                    .to_owned(),
+            );
+        }
+        let values = read_values(&files, format)?;
+        let mut out = String::new();
+        for v in &values {
+            out.push_str(&tfd_value::builder::to_pretty_string(v));
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+
+    let shape = if stream {
+        stream_shape(&files, format, global, chunk_size)?
+    } else {
+        infer(&read_values(&files, format)?, format, global)
+    };
 
     match command {
-        "value" => {
-            let mut out = String::new();
-            for v in &values {
-                out.push_str(&tfd_value::builder::to_pretty_string(v));
-                out.push('\n');
-            }
-            Ok(out)
-        }
-        "infer" => {
-            let shape = infer(&values, format, global);
-            Ok(format!("{shape}\n"))
-        }
+        "infer" => Ok(format!("{shape}\n")),
         "fsharp" => {
-            let shape = infer(&values, format, global);
             let provided = tfd_provider::provide_idiomatic(&shape, &root);
             Ok(tfd_provider::signature(&provided))
         }
         "rust" => {
-            let shape = infer(&values, format, global);
             let options = CodegenOptions {
                 crate_prefix: prefix,
                 format: match format {
@@ -115,6 +137,48 @@ pub fn run(args: &[String]) -> Result<String, String> {
         }
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
+}
+
+fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, String> {
+    files.iter().map(|f| read_value(f, format)).collect()
+}
+
+/// The `--stream` pipeline: each file is read in chunks through the
+/// format's incremental front-end and folded record-by-record into the
+/// running shape — corpora never need to fit in memory. Per-file folds
+/// merge with `csh`, which is exactly the `infer_many` fold over the
+/// concatenated record sequence.
+fn stream_shape(
+    files: &[String],
+    format: Format,
+    global: bool,
+    chunk_size: usize,
+) -> Result<Shape, String> {
+    let (sformat, options) = match format {
+        Format::Json => (StreamFormat::Json, InferOptions::json()),
+        Format::Xml => (StreamFormat::Xml, InferOptions::xml()),
+        Format::Csv => (StreamFormat::Csv, InferOptions::csv()),
+        Format::Html => return Err("--stream supports json, xml and csv inputs".to_owned()),
+    };
+    let mut combined = Shape::Bottom;
+    for f in files {
+        let file = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
+        let summary =
+            infer_reader(file, sformat, &options, chunk_size).map_err(|e| format!("{f}: {e}"))?;
+        // Match the non-stream path (and the CSV front-end), which
+        // reject record-free input rather than inferring ⊥ from it.
+        if summary.records == 0 {
+            return Err(format!("{f}: input contains no records"));
+        }
+        combined = csh(combined, summary.shape);
+    }
+    // The one-shot CSV front-end yields the corpus as a collection of
+    // rows; the streamer folds the rows themselves. Re-wrap so both
+    // modes print the same shape.
+    if format == Format::Csv {
+        combined = Shape::list(combined);
+    }
+    Ok(if global { globalize(combined) } else { combined })
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,6 +342,82 @@ mod tests {
         let out = run_args(&["infer", &f]).unwrap();
         assert!(out.contains("City : string"), "{out}");
         assert!(out.contains("Temp : int"), "{out}");
+    }
+
+    #[test]
+    fn stream_mode_matches_in_memory_inference() {
+        // The same file must print the same shape with and without
+        // --stream, for every format and tiny chunk sizes included.
+        let cases = [
+            ("s.csv", "id,name,score\n1,a,2.5\n2,b,\n"),
+            ("s.xml", "<row id=\"1\"><v>x</v></row>"),
+            ("s.json", r#"{"a": 1, "b": [true, null]}"#),
+        ];
+        for (name, content) in cases {
+            let f = write_temp(name, content);
+            let plain = run_args(&["infer", &f]).unwrap();
+            for chunk in ["1", "7", "65536"] {
+                let streamed =
+                    run_args(&["infer", "--stream", "--chunk-size", chunk, &f]).unwrap();
+                assert_eq!(streamed, plain, "{name} at chunk size {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_mode_merges_multiple_files() {
+        let f1 = write_temp("sm1.json", r#"{ "x": 1 }"#);
+        let f2 = write_temp("sm2.json", r#"{ "x": 2, "y": true }"#);
+        let plain = run_args(&["infer", &f1, &f2]).unwrap();
+        let streamed = run_args(&["infer", "--stream", &f1, &f2]).unwrap();
+        assert_eq!(streamed, plain);
+    }
+
+    #[test]
+    fn stream_mode_works_for_codegen_commands() {
+        let f = write_temp("sg.csv", "a,b\n1,x\n");
+        assert_eq!(
+            run_args(&["fsharp", "--stream", &f]).unwrap(),
+            run_args(&["fsharp", &f]).unwrap()
+        );
+        assert_eq!(
+            run_args(&["rust", "--stream", "--module", "gen", &f]).unwrap(),
+            run_args(&["rust", "--module", "gen", &f]).unwrap()
+        );
+    }
+
+    #[test]
+    fn stream_mode_rejects_value_and_html() {
+        let f = write_temp("sv.json", "1");
+        assert!(run_args(&["value", "--stream", &f]).is_err());
+        let h = write_temp("sv.html", "<table><tr><td>1</td></tr></table>");
+        assert!(run_args(&["infer", "--stream", &h]).is_err());
+        assert!(run_args(&["infer", "--stream", "--chunk-size", "0", &f]).is_err());
+        assert!(run_args(&["infer", "--stream", "--chunk-size", "x", &f]).is_err());
+    }
+
+    #[test]
+    fn stream_mode_reports_parse_errors_with_positions() {
+        let f = write_temp("se.json", "{\"a\": 1}\n{\"b\": @}\n");
+        let err = run_args(&["infer", "--stream", &f]).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn stream_mode_rejects_record_free_input_like_the_oneshot_path() {
+        // Both modes must reject input with nothing to infer from,
+        // rather than --stream silently printing ⊥.
+        for (name, content) in
+            [("e.json", "  \n "), ("e.xml", "<!-- only a comment -->"), ("e.csv", "")]
+        {
+            let f = write_temp(name, content);
+            assert!(run_args(&["infer", &f]).is_err(), "{name} (one-shot)");
+            let err = run_args(&["infer", "--stream", &f]).unwrap_err();
+            assert!(
+                err.contains("no records") || err.contains("no rows"),
+                "{name} (stream): {err}"
+            );
+        }
     }
 
     #[test]

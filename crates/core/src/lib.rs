@@ -47,6 +47,7 @@ mod infer;
 mod multiplicity;
 mod prefer;
 mod shape;
+pub mod stream;
 mod tags;
 
 pub use conforms::{conforms, value_matches_tag};
@@ -60,6 +61,7 @@ pub fn csh_ref(a: &Shape, b: &Shape) -> Shape {
 }
 pub use global::{globalize, globalize_ref};
 pub use infer::{infer, infer_many, infer_with, InferOptions};
+pub use stream::{infer_reader, InferAccumulator, StreamFormat, StreamSummary};
 pub use multiplicity::Multiplicity;
 pub use prefer::is_preferred;
 pub use shape::{FieldShape, RecordShape, Shape};

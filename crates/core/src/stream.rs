@@ -1,0 +1,308 @@
+//! Streaming inference — the Fig. 3 fold, one record at a time.
+//!
+//! The paper defines multi-sample inference as a fold:
+//! `S(d1, …, dn) = σn where σ0 = ⊥, σi = csh(σi−1, S(di))`. Nothing in
+//! that definition needs the corpus in memory — only the running shape
+//! `σi` and the record in hand. [`InferAccumulator`] is that fold made
+//! incremental: push a record's [`Value`], its shape is joined into the
+//! accumulator, and the record can be dropped immediately. Peak memory
+//! for a whole corpus is one record plus one shape, independent of
+//! corpus size.
+//!
+//! [`infer_reader`] wires any [`Read`] source through a chunk-fed
+//! front-end streamer (`tfd_json::stream`, `tfd_xml::stream`,
+//! `tfd_csv::stream`) into the accumulator, which is how the CLI's
+//! `--stream` mode processes larger-than-RAM corpora.
+
+use crate::csh::csh;
+use crate::infer::{infer_with, InferOptions};
+use crate::Shape;
+use std::fmt;
+use std::io::Read;
+use tfd_value::Value;
+
+/// The incremental `S(d1, …, dn)` fold: `σi = csh(σi−1, S(di))`.
+///
+/// Pushing records one at a time yields exactly the shape
+/// [`infer_many`](crate::infer_many) computes on the whole sequence (the
+/// unit suite asserts this for all four [`InferOptions`] presets), while
+/// holding only the running shape.
+///
+/// ```
+/// use tfd_core::{stream::InferAccumulator, InferOptions, Shape};
+/// use tfd_value::Value;
+///
+/// let mut acc = InferAccumulator::new(InferOptions::formal());
+/// acc.push(&Value::Int(1));
+/// acc.push(&Value::Float(2.5));
+/// acc.push(&Value::Null);
+/// assert_eq!(acc.finish(), Shape::Float.ceil());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InferAccumulator {
+    options: InferOptions,
+    shape: Shape,
+    records: usize,
+}
+
+impl InferAccumulator {
+    /// An empty fold: `σ0 = ⊥`.
+    pub fn new(options: InferOptions) -> InferAccumulator {
+        InferAccumulator { options, shape: Shape::Bottom, records: 0 }
+    }
+
+    /// Folds one record in — `σi = csh(σi−1, S(di))` — after which the
+    /// record can be dropped.
+    pub fn push(&mut self, record: &Value) {
+        let prev = std::mem::replace(&mut self.shape, Shape::Bottom);
+        self.shape = csh(prev, infer_with(record, &self.options));
+        self.records += 1;
+    }
+
+    /// The running shape `σi`.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Records folded so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// True when nothing has been pushed (`σ0 = ⊥`).
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// The inference options this fold runs under.
+    pub fn options(&self) -> &InferOptions {
+        &self.options
+    }
+
+    /// Consumes the accumulator, yielding `σn`.
+    pub fn finish(self) -> Shape {
+        self.shape
+    }
+}
+
+/// Which front-end a byte stream is parsed with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// Whitespace-separated JSON documents (JSON-lines included); each
+    /// document is one record.
+    Json,
+    /// A sequence of XML documents laid end to end; each root element is
+    /// one record.
+    Xml,
+    /// CSV with a header row; each data row is one record.
+    Csv,
+}
+
+/// An error from the streaming parse→infer pipeline: a front-end parse
+/// error or an I/O failure from the reader.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The JSON front-end rejected the stream.
+    Json(tfd_json::ParseError),
+    /// The XML front-end rejected the stream.
+    Xml(tfd_xml::XmlError),
+    /// The CSV front-end rejected the stream.
+    Csv(tfd_csv::CsvError),
+    /// The reader failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Json(e) => write!(f, "{e}"),
+            StreamError::Xml(e) => write!(f, "{e}"),
+            StreamError::Csv(e) => write!(f, "{e}"),
+            StreamError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// What [`infer_reader`] found in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSummary {
+    /// The folded shape `σn` (`⊥` for an empty stream). For CSV this is
+    /// the *row* shape: wrap it in [`Shape::list`] to match the one-shot
+    /// front-end, which returns the corpus as a collection of rows.
+    pub shape: Shape,
+    /// Records folded.
+    pub records: usize,
+    /// Bytes consumed from the reader.
+    pub bytes: u64,
+}
+
+/// Default chunk size for [`infer_reader`] callers that have no reason
+/// to pick one (64 KiB: large enough that most records never straddle a
+/// boundary, small enough to stay cache-friendly).
+pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
+
+/// Streams `reader` through the `format` front-end, folding every record
+/// into an [`InferAccumulator`] — the whole parse→infer pipeline in
+/// `O(1 record)` memory. Records are parsed incrementally from
+/// `chunk_size`-byte reads and dropped as soon as their shape is joined.
+///
+/// # Errors
+///
+/// The first parse error (with stream-global positions) or I/O error.
+///
+/// ```
+/// use tfd_core::{stream::{infer_reader, StreamFormat}, InferOptions, Shape};
+///
+/// let jsonl = b"{\"a\": 1}\n{\"a\": 2.5, \"b\": true}\n" as &[u8];
+/// let summary = infer_reader(jsonl, StreamFormat::Json, &InferOptions::json(), 7)?;
+/// assert_eq!(summary.records, 2);
+/// assert!(matches!(summary.shape, Shape::Record(_)));
+/// # Ok::<(), tfd_core::stream::StreamError>(())
+/// ```
+pub fn infer_reader<R: Read>(
+    mut reader: R,
+    format: StreamFormat,
+    options: &InferOptions,
+    chunk_size: usize,
+) -> Result<StreamSummary, StreamError> {
+    let mut acc = InferAccumulator::new(options.clone());
+    let mut chunk = vec![0u8; chunk_size.max(1)];
+    let mut bytes = 0u64;
+    macro_rules! drive {
+        ($streamer:expr, $wrap:path) => {{
+            let mut s = $streamer;
+            loop {
+                let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
+                if n == 0 {
+                    break;
+                }
+                bytes += n as u64;
+                s.feed(&chunk[..n], &mut |v| acc.push(&v)).map_err($wrap)?;
+            }
+            s.finish(&mut |v| acc.push(&v)).map_err($wrap)?;
+        }};
+    }
+    match format {
+        StreamFormat::Json => drive!(tfd_json::stream::Streamer::new(), StreamError::Json),
+        StreamFormat::Xml => drive!(tfd_xml::stream::Streamer::new(), StreamError::Xml),
+        StreamFormat::Csv => drive!(tfd_csv::stream::Streamer::new(), StreamError::Csv),
+    }
+    let records = acc.records();
+    Ok(StreamSummary { shape: acc.finish(), records, bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_many;
+    use tfd_value::{arr, json_rec, rec};
+
+    fn sample_corpus() -> Vec<Value> {
+        vec![
+            json_rec([("name", Value::str("Jan")), ("age", Value::Int(25))]),
+            json_rec([("name", Value::str("Tomas"))]),
+            json_rec([("name", Value::str("Alexander")), ("age", Value::Float(3.5))]),
+            Value::Null,
+            arr([Value::Int(0), Value::Int(1)]),
+            rec("row", [("d", Value::str("2012-05-01")), ("n", Value::str("35.14"))]),
+        ]
+    }
+
+    #[test]
+    fn fold_matches_infer_many_for_all_presets() {
+        let corpus = sample_corpus();
+        for options in [
+            InferOptions::formal(),
+            InferOptions::json(),
+            InferOptions::csv(),
+            InferOptions::xml(),
+        ] {
+            let mut acc = InferAccumulator::new(options.clone());
+            for d in &corpus {
+                acc.push(d);
+            }
+            assert_eq!(acc.records(), corpus.len());
+            assert_eq!(*acc.shape(), infer_many(&corpus, &options), "{options:?}");
+        }
+    }
+
+    #[test]
+    fn empty_fold_is_bottom() {
+        let acc = InferAccumulator::new(InferOptions::formal());
+        assert!(acc.is_empty());
+        assert_eq!(acc.finish(), Shape::Bottom);
+    }
+
+    #[test]
+    fn refolding_the_same_corpus_is_idempotent() {
+        // csh is a least upper bound: S(di) ⊑ σn, so pushing the corpus
+        // a second time must leave the shape fixed.
+        let corpus = sample_corpus();
+        for options in [InferOptions::formal(), InferOptions::json(), InferOptions::csv()] {
+            let mut acc = InferAccumulator::new(options.clone());
+            for d in &corpus {
+                acc.push(d);
+            }
+            let first = acc.shape().clone();
+            for d in &corpus {
+                acc.push(d);
+            }
+            assert_eq!(*acc.shape(), first, "{options:?}");
+        }
+    }
+
+    #[test]
+    fn infer_reader_small_chunks_match_in_memory_inference() {
+        let jsonl = "{\"a\": 1}\n{\"a\": 2, \"b\": [1, null]}\n{\"a\": 3.5}\n";
+        let docs = tfd_json::parse_many_values(jsonl).unwrap();
+        let expected = infer_many(&docs, &InferOptions::json());
+        for chunk_size in [1, 3, 16, 4096] {
+            let summary = infer_reader(
+                jsonl.as_bytes(),
+                StreamFormat::Json,
+                &InferOptions::json(),
+                chunk_size,
+            )
+            .unwrap();
+            assert_eq!(summary.shape, expected);
+            assert_eq!(summary.records, 3);
+            assert_eq!(summary.bytes, jsonl.len() as u64);
+        }
+    }
+
+    #[test]
+    fn infer_reader_csv_gives_the_row_shape() {
+        let csv = "a,b\n1,x\n2,y\n";
+        let summary =
+            infer_reader(csv.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), 4).unwrap();
+        assert_eq!(summary.records, 2);
+        let oneshot = crate::infer_with(
+            &tfd_csv::parse_value(csv).unwrap(),
+            &InferOptions::csv(),
+        );
+        assert_eq!(Shape::list(summary.shape), oneshot);
+    }
+
+    #[test]
+    fn infer_reader_xml_single_document() {
+        let xml = r#"<root id="1"><item>Hello!</item></root>"#;
+        let summary =
+            infer_reader(xml.as_bytes(), StreamFormat::Xml, &InferOptions::xml(), 5).unwrap();
+        assert_eq!(summary.records, 1);
+        let oneshot = crate::infer_with(
+            &tfd_xml::parse_value(xml).unwrap(),
+            &InferOptions::xml(),
+        );
+        assert_eq!(summary.shape, oneshot);
+    }
+
+    #[test]
+    fn infer_reader_propagates_parse_errors() {
+        let r = infer_reader(&b"[1,]"[..], StreamFormat::Json, &InferOptions::json(), 2);
+        assert!(matches!(r, Err(StreamError::Json(_))));
+        let r = infer_reader(&b""[..], StreamFormat::Csv, &InferOptions::csv(), 2);
+        assert!(matches!(r, Err(StreamError::Csv(tfd_csv::CsvError::Empty))));
+    }
+}

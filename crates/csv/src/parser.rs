@@ -62,6 +62,11 @@ pub enum CsvError {
     /// A closing quote was followed by a stray character; payload is the
     /// 1-based line and the offending character.
     CharAfterQuote(usize, char),
+    /// The byte stream is not valid UTF-8; the payload is the 1-based
+    /// line where the invalid sequence starts. Only the chunk-fed
+    /// [`Streamer`](crate::stream::Streamer) reports this: the one-shot
+    /// entry points take `&str` and cannot observe it.
+    InvalidUtf8(usize),
 }
 
 impl fmt::Display for CsvError {
@@ -73,6 +78,9 @@ impl fmt::Display for CsvError {
             }
             CsvError::CharAfterQuote(line, c) => {
                 write!(f, "unexpected character {c:?} after closing quote on line {line}")
+            }
+            CsvError::InvalidUtf8(line) => {
+                write!(f, "input is not valid UTF-8 on line {line}")
             }
         }
     }
@@ -215,7 +223,7 @@ pub fn parse_value_with(
 /// only occur as standalone characters, and a multi-byte delimiter is
 /// matched from its lead byte, which likewise only occurs at a character
 /// boundary.
-struct RecordSplitter<'a> {
+pub(crate) struct RecordSplitter<'a> {
     input: &'a str,
     bytes: &'a [u8],
     delim_buf: [u8; 4],
@@ -225,7 +233,7 @@ struct RecordSplitter<'a> {
 }
 
 impl<'a> RecordSplitter<'a> {
-    fn new(input: &'a str, delimiter: char) -> RecordSplitter<'a> {
+    pub(crate) fn new(input: &'a str, delimiter: char) -> RecordSplitter<'a> {
         let mut delim_buf = [0u8; 4];
         let delim_len = delimiter.encode_utf8(&mut delim_buf).len();
         RecordSplitter { input, bytes: input.as_bytes(), delim_buf, delim_len, pos: 0, line: 1 }
@@ -233,8 +241,24 @@ impl<'a> RecordSplitter<'a> {
 
     /// Clears `fields` and reads the next record into it. `Ok(false)`
     /// signals end of input (with `fields` left empty).
-    fn next_record(&mut self, fields: &mut Vec<Cow<'a, str>>) -> Result<bool, CsvError> {
+    pub(crate) fn next_record(&mut self, fields: &mut Vec<Cow<'a, str>>) -> Result<bool, CsvError> {
         fields.clear();
+        self.next_record_each(|f| fields.push(f))
+    }
+
+    /// Byte offset of the next unread record (the chunk-fed streamer
+    /// uses it to know how much a speculative record parse consumed).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the next record, handing each field to `push` as it
+    /// completes (no intermediate collection). `Ok(false)` signals end
+    /// of input.
+    pub(crate) fn next_record_each(
+        &mut self,
+        mut push: impl FnMut(Cow<'a, str>),
+    ) -> Result<bool, CsvError> {
         if self.pos >= self.bytes.len() {
             return Ok(false);
         }
@@ -257,7 +281,7 @@ impl<'a> RecordSplitter<'a> {
                 }
                 Cow::Borrowed(&self.input[start..self.pos])
             };
-            fields.push(field);
+            push(field);
 
             // --- Terminator: delimiter continues the record, a line
             // ending or EOF finishes it. ---
@@ -267,7 +291,7 @@ impl<'a> RecordSplitter<'a> {
                     // EOF right after a delimiter means one last empty
                     // field ends both the record and the input.
                     if self.pos == self.bytes.len() {
-                        fields.push(Cow::Borrowed(""));
+                        push(Cow::Borrowed(""));
                         return Ok(true);
                     }
                 }

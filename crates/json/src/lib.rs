@@ -35,12 +35,15 @@
 mod lexer;
 mod parser;
 pub mod reference;
+pub mod stream;
 mod writer;
 
+pub use lexer::Pos;
 pub use parser::{
-    parse, parse_many, parse_value, parse_value_with, parse_with, ParseError, ParseErrorKind,
-    ParserOptions,
+    parse, parse_many, parse_many_values, parse_many_values_with, parse_value, parse_value_with,
+    parse_with, ParseError, ParseErrorKind, ParserOptions,
 };
+pub use stream::Streamer;
 pub use writer::{to_json_string, to_json_string_pretty};
 
 use tfd_value::{Name, Value};

@@ -44,6 +44,10 @@ pub enum ParseErrorKind {
     TrailingContent(String),
     /// Document nesting exceeded [`ParserOptions::max_depth`].
     TooDeep(usize),
+    /// The byte stream is not valid UTF-8. Only the chunk-fed
+    /// [`Streamer`](crate::stream::Streamer) reports this: the one-shot
+    /// entry points take `&str` and cannot observe it.
+    InvalidUtf8,
 }
 
 impl fmt::Display for ParseErrorKind {
@@ -59,6 +63,7 @@ impl fmt::Display for ParseErrorKind {
             ParseErrorKind::TooDeep(limit) => {
                 write!(f, "document nesting exceeds limit of {limit}")
             }
+            ParseErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
         }
     }
 }
@@ -192,6 +197,76 @@ pub fn parse_many(input: &str) -> Result<Vec<Json>, ParseError> {
     Ok(docs)
 }
 
+/// Parses several whitespace-separated JSON documents straight into
+/// universal [`Value`]s — the one-shot counterpart of the chunk-fed
+/// [`Streamer`](crate::stream::Streamer), and the reference the streaming
+/// differential suite compares against.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// ```
+/// let docs = tfd_json::parse_many_values("{\"a\":1}\n{\"a\":2}")?;
+/// assert_eq!(docs.len(), 2);
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn parse_many_values(input: &str) -> Result<Vec<Value>, ParseError> {
+    parse_many_values_with(input, &ParserOptions::default())
+}
+
+/// [`parse_many_values`] under explicit [`ParserOptions`].
+///
+/// # Errors
+///
+/// As [`parse_many_values`], plus [`ParseErrorKind::TooDeep`] when any
+/// document nests past `options.max_depth`.
+pub fn parse_many_values_with(
+    input: &str,
+    options: &ParserOptions,
+) -> Result<Vec<Value>, ParseError> {
+    let mut p = Parser::new(input, options.max_depth);
+    let mut sink = ValueSink { body: body_name() };
+    let mut docs = Vec::new();
+    p.skip_ws();
+    while !p.at_eof() {
+        docs.push(p.parse_value(&mut sink, 0)?);
+        p.skip_ws();
+    }
+    Ok(docs)
+}
+
+/// Parses exactly one document through a caller-held [`ValueSink`] — the
+/// chunk-fed streamer's per-record entry point, kept separate from
+/// [`parse_value_with`] so the hot path pays no per-record sink setup.
+pub(crate) fn parse_value_record(
+    input: &str,
+    max_depth: usize,
+    sink: &mut ValueSink,
+) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input, max_depth);
+    p.skip_ws();
+    let doc = p.parse_value(sink, 0)?;
+    p.expect_eof()?;
+    Ok(doc)
+}
+
+/// Parses one value from the *front* of `input` (which must start at a
+/// value, no leading whitespace) and returns it with the byte length
+/// consumed. The streamer uses this to parse a self-delimiting record
+/// (object/array/string) straight out of a chunk without first scanning
+/// for its boundary; on failure the caller falls back to the resumable
+/// scanner and this error is discarded.
+pub(crate) fn parse_one_value(
+    input: &str,
+    max_depth: usize,
+    sink: &mut ValueSink,
+) -> Result<(Value, usize), ParseError> {
+    let mut p = Parser::new(input, max_depth);
+    let doc = p.parse_value(sink, 0)?;
+    Ok((doc, p.pos))
+}
+
 /// How parsed pieces are assembled into an output document. Two
 /// instantiations exist: [`JsonSink`] (the [`Json`] tree) and
 /// [`ValueSink`] (the universal [`Value`] with interned names). The
@@ -247,8 +322,8 @@ impl Sink for JsonSink {
     }
 }
 
-struct ValueSink {
-    body: Name,
+pub(crate) struct ValueSink {
+    pub(crate) body: Name,
 }
 
 impl Sink for ValueSink {

@@ -1,0 +1,740 @@
+//! Chunk-fed, incremental JSON parsing — the streaming front-end.
+//!
+//! [`Streamer`] accepts arbitrary `feed(&[u8])` slices — a corpus may be
+//! split at **any** byte boundary, including mid-UTF-8-sequence and
+//! mid-escape — and emits one universal [`Value`] per completed
+//! whitespace-separated top-level document, exactly the documents the
+//! one-shot [`parse_many_values`](crate::parse_many_values) returns.
+//! Peak memory is one record (plus the fixed scanner state), independent
+//! of corpus size: completed records are parsed and handed to the sink
+//! immediately, and only a record that spans a chunk boundary is ever
+//! copied into the carry-over tail buffer.
+//!
+//! The design splits the work in two:
+//!
+//! 1. a **resumable boundary scanner** — an explicit state machine
+//!    ([`Mode`]/[`NumState`], one small enum step per byte, no recursion)
+//!    that tracks just enough structure (bracket depth, string/escape
+//!    state, the RFC 8259 number grammar, keyword runs) to find the byte
+//!    range of each top-level record, wherever chunk boundaries fall;
+//! 2. the existing byte-level [`parse_value_with`] run on each completed
+//!    record (borrowed straight from the chunk when the record does not
+//!    cross a boundary), so the streaming path produces **byte-identical
+//!    values and errors** to the one-shot path by construction.
+//!
+//! Error positions are translated from record-local to stream-global
+//! coordinates (`offset`/`line`/char-correct `column`), so a malformed
+//! record reports exactly the position the one-shot parser would —
+//! regardless of how the input was chunked. The differential suite
+//! (`tests/streaming_agreement.rs`) asserts this agreement under
+//! adversarial splits, 1-byte feeds included.
+
+use crate::lexer::Pos;
+use crate::parser::{
+    parse_one_value, parse_value_record, ParseError, ParseErrorKind, ParserOptions, ValueSink,
+};
+use tfd_value::{body_name, Value};
+
+/// Scanner state between two consumed bytes. Every variant is resumable:
+/// a chunk may end (and the next begin) in any of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Between documents; whitespace is consumed without buffering.
+    Between,
+    /// Inside a container record (`depth ≥ 1`), outside any string.
+    Container,
+    /// Inside a string literal (a top-level string document when
+    /// `depth == 0`, otherwise within a container).
+    Str,
+    /// Inside a string literal, immediately after a backslash.
+    StrEsc,
+    /// Inside a top-level number document.
+    Num(NumState),
+    /// A number-grammar violation was found mid-token: the record must
+    /// still take one more character (the parser's `bad_number` payload
+    /// extends one character past the failure point). `None` = the next
+    /// lead byte is still awaited; `Some(n)` = `n` continuation bytes of
+    /// that character remain.
+    NumTail(Option<u8>),
+    /// Inside a top-level `true`/`false`/`null`-ish bare word.
+    Keyword,
+    /// A single non-ASCII character forming a one-char junk record;
+    /// `0` continuation bytes remaining completes it.
+    JunkChar(u8),
+}
+
+/// Where the scanner stands inside the RFC 8259 number grammar — the
+/// states of [`crate::parser`]'s `parse_number`, made explicit so the
+/// token can be suspended at any byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NumState {
+    /// Seen `-`; an integer digit is required.
+    Minus,
+    /// The integer part is exactly `0` (accepting).
+    IntZero,
+    /// In `1-9` integer digits (accepting).
+    IntDigits,
+    /// Seen `.`; a fraction digit is required.
+    Dot,
+    /// In fraction digits (accepting).
+    Frac,
+    /// Seen `e`/`E`; a sign or exponent digit is required.
+    Exp,
+    /// Seen an exponent sign; a digit is required.
+    ExpSign,
+    /// In exponent digits (accepting).
+    ExpDigits,
+}
+
+impl NumState {
+    /// States where the token forms a complete number (the one-shot
+    /// parser would return successfully were the input to stop here).
+    fn accepting(self) -> bool {
+        matches!(self, NumState::IntZero | NumState::IntDigits | NumState::Frac | NumState::ExpDigits)
+    }
+}
+
+/// What the scanner decided for the current byte.
+enum Step {
+    /// Consume the byte; the record (if any) continues.
+    Consume(Mode),
+    /// Consume the byte and complete the record *including* it.
+    ConsumeEnd,
+    /// Complete the record *before* this byte, then re-examine the byte
+    /// as the potential start of the next record.
+    CutBefore,
+}
+
+/// A chunk-fed incremental JSON parser.
+///
+/// Feed arbitrary byte slices; each completed top-level document is
+/// parsed with the byte-level [`parse_value_with`] and handed to the
+/// sink. Call [`finish`](Streamer::finish) after the last chunk.
+///
+/// ```
+/// use tfd_value::Value;
+/// let mut s = tfd_json::stream::Streamer::new();
+/// let mut out = Vec::new();
+/// // A record split mid-escape and mid-number:
+/// s.feed(br#"{"a": "x\"#, &mut |v| out.push(v))?;
+/// s.feed(br#"ny", "b": 4"#, &mut |v| out.push(v))?;
+/// s.feed(b"2} 7 ", &mut |v| out.push(v))?;
+/// s.finish(&mut |v| out.push(v))?;
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].field("b"), Some(&Value::Int(42)));
+/// assert_eq!(out[1], Value::Int(7));
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub struct Streamer {
+    max_depth: usize,
+    /// Reused across records: one sink, one cached `•` name.
+    vsink: ValueSink,
+    mode: Mode,
+    /// Container nesting depth of the current record.
+    depth: usize,
+    /// Carry-over bytes of a record that spans chunk boundaries.
+    buf: Vec<u8>,
+    /// Global position of the current record's start (bytes inside a
+    /// record are accounted in bulk when it completes — the hot scanner
+    /// loops never touch these).
+    offset: usize,
+    line: usize,
+    /// 1-based char column of the next character on the current line.
+    col: usize,
+    /// Snapshot of (offset, line, col) where the current record starts.
+    start: (usize, usize, usize),
+    /// A previously reported error; the stream is poisoned after it,
+    /// mirroring the one-shot parsers (first error wins).
+    failed: Option<ParseError>,
+}
+
+impl Default for Streamer {
+    fn default() -> Self {
+        Streamer::new()
+    }
+}
+
+impl Streamer {
+    /// A streamer with default [`ParserOptions`].
+    pub fn new() -> Streamer {
+        Streamer::with_options(ParserOptions::default())
+    }
+
+    /// A streamer with explicit [`ParserOptions`] (applied to every
+    /// record).
+    pub fn with_options(options: ParserOptions) -> Streamer {
+        Streamer {
+            max_depth: options.max_depth,
+            vsink: ValueSink { body: body_name() },
+            mode: Mode::Between,
+            depth: 0,
+            buf: Vec::new(),
+            offset: 0,
+            line: 1,
+            col: 1,
+            start: (0, 1, 1),
+            failed: None,
+        }
+    }
+
+    /// Feeds one chunk; every record completed within it is parsed and
+    /// passed to `sink` in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed record poisons the streamer: the error is
+    /// returned now and again from any later call.
+    pub fn feed(
+        &mut self,
+        chunk: &[u8],
+        sink: &mut impl FnMut(Value),
+    ) -> Result<(), ParseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let r = self.feed_inner(chunk, sink);
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    /// Signals end of input: a pending unterminated record is parsed
+    /// (reporting exactly the error the one-shot parser gives at EOF, or
+    /// emitting the record when it is complete, e.g. a number awaiting
+    /// its delimiter).
+    ///
+    /// # Errors
+    ///
+    /// As [`feed`](Streamer::feed).
+    pub fn finish(&mut self, sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if matches!(self.mode, Mode::Between) {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let r = self.parse_record(&buf, 0, buf.len()).map(|v| sink(v));
+        self.buf = buf;
+        self.buf.clear();
+        self.mode = Mode::Between;
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    fn feed_inner(
+        &mut self,
+        chunk: &[u8],
+        sink: &mut impl FnMut(Value),
+    ) -> Result<(), ParseError> {
+        let n = chunk.len();
+        // The chunk's valid-UTF-8 prefix, validated once: records that
+        // start inside it and are self-delimiting can be parsed straight
+        // off the chunk, with no boundary pre-scan.
+        let text: &str = match std::str::from_utf8(chunk) {
+            Ok(t) => t,
+            Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix"),
+        };
+        // Index in `chunk` where the unbuffered part of the current
+        // record starts (0 while a record carried over in `buf` is open).
+        let mut rec_start = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            match self.mode {
+                Mode::Between => {
+                    // Not inside a record: skip whitespace, or open a
+                    // record at this byte.
+                    let b = chunk[i];
+                    match b {
+                        b' ' | b'\t' | b'\r' | b'\n' => {
+                            self.advance_ws(b);
+                            i += 1;
+                        }
+                        _ => {
+                            self.start = (self.offset, self.line, self.col);
+                            rec_start = i;
+                            debug_assert!(self.buf.is_empty());
+                            // Fast path: objects, arrays and strings are
+                            // self-delimiting, so a successful parse from
+                            // the chunk front IS the record — wherever it
+                            // ends. Failures (straddling the chunk end,
+                            // or truly malformed) are discarded; the
+                            // resumable scanner below re-derives them
+                            // from the exact record slice.
+                            if matches!(b, b'{' | b'[' | b'"') && i < text.len() {
+                                if let Ok((v, consumed)) =
+                                    parse_one_value(&text[i..], self.max_depth, &mut self.vsink)
+                                {
+                                    sink(v);
+                                    self.advance_over(&chunk[i..i + consumed]);
+                                    i += consumed;
+                                    continue;
+                                }
+                            }
+                            match self.open_record(b) {
+                                Step::Consume(mode) => {
+                                    self.mode = mode;
+                                    i += 1;
+                                }
+                                Step::ConsumeEnd => {
+                                    i += 1;
+                                    self.complete(chunk, rec_start, i, sink)?;
+                                }
+                                Step::CutBefore => unreachable!("a record start consumes"),
+                            }
+                        }
+                    }
+                }
+                // Hot loop: inside a container only brackets and quotes
+                // matter — positions are settled in bulk at completion.
+                Mode::Container => loop {
+                    if i >= n {
+                        break;
+                    }
+                    let b = chunk[i];
+                    i += 1;
+                    match b {
+                        b'"' => {
+                            self.mode = Mode::Str;
+                            break;
+                        }
+                        b'{' | b'[' => self.depth += 1,
+                        b'}' | b']' => {
+                            self.depth -= 1;
+                            if self.depth == 0 {
+                                self.complete(chunk, rec_start, i, sink)?;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                },
+                // Hot loop: inside a string only `"` and `\` matter.
+                Mode::Str => loop {
+                    if i >= n {
+                        break;
+                    }
+                    let b = chunk[i];
+                    i += 1;
+                    match b {
+                        b'"' => {
+                            if self.depth == 0 {
+                                self.complete(chunk, rec_start, i, sink)?;
+                            } else {
+                                self.mode = Mode::Container;
+                            }
+                            break;
+                        }
+                        b'\\' => {
+                            self.mode = Mode::StrEsc;
+                            break;
+                        }
+                        _ => {}
+                    }
+                },
+                // Cold modes (escapes, top-level scalars, junk): one
+                // explicit transition per byte.
+                _ => match self.step(chunk[i]) {
+                    Step::Consume(mode) => {
+                        self.mode = mode;
+                        i += 1;
+                    }
+                    Step::ConsumeEnd => {
+                        i += 1;
+                        self.complete(chunk, rec_start, i, sink)?;
+                    }
+                    Step::CutBefore => {
+                        self.complete(chunk, rec_start, i, sink)?;
+                        // Re-examine the byte in `Between` mode.
+                    }
+                },
+            }
+        }
+        if !matches!(self.mode, Mode::Between) {
+            self.buf.extend_from_slice(&chunk[rec_start..]);
+        }
+        Ok(())
+    }
+
+    /// Classifies the first byte of a record (the one-shot `parse_value`
+    /// dispatch, minus whitespace, which `Between` already consumed).
+    fn open_record(&mut self, b: u8) -> Step {
+        match b {
+            b'{' | b'[' => {
+                self.depth = 1;
+                Step::Consume(Mode::Container)
+            }
+            b'"' => {
+                self.depth = 0;
+                Step::Consume(Mode::Str)
+            }
+            b'-' => Step::Consume(Mode::Num(NumState::Minus)),
+            b'0' => Step::Consume(Mode::Num(NumState::IntZero)),
+            b'1'..=b'9' => Step::Consume(Mode::Num(NumState::IntDigits)),
+            b't' | b'f' | b'n' => Step::Consume(Mode::Keyword),
+            // Multi-byte character: a one-char junk record (the parser
+            // reports `UnexpectedChar` for it; it needs all its bytes).
+            0xC2..=0xF4 => Step::Consume(Mode::JunkChar(utf8_len(b) - 1)),
+            // Any other single byte — `} ] : ,`, stray ASCII, or an
+            // invalid UTF-8 lead — is a one-byte junk record whose parse
+            // reproduces the one-shot error.
+            _ => Step::ConsumeEnd,
+        }
+    }
+
+    /// One scanner transition for a byte inside a record.
+    fn step(&mut self, b: u8) -> Step {
+        match self.mode {
+            Mode::Between => unreachable!("handled by the caller"),
+            Mode::Container => match b {
+                b'"' => Step::Consume(Mode::Str),
+                b'{' | b'[' => {
+                    self.depth += 1;
+                    Step::Consume(Mode::Container)
+                }
+                b'}' | b']' => {
+                    self.depth -= 1;
+                    if self.depth == 0 {
+                        Step::ConsumeEnd
+                    } else {
+                        Step::Consume(Mode::Container)
+                    }
+                }
+                _ => Step::Consume(Mode::Container),
+            },
+            Mode::Str => match b {
+                b'"' => {
+                    if self.depth == 0 {
+                        Step::ConsumeEnd
+                    } else {
+                        Step::Consume(Mode::Container)
+                    }
+                }
+                b'\\' => Step::Consume(Mode::StrEsc),
+                _ => Step::Consume(Mode::Str),
+            },
+            Mode::StrEsc => Step::Consume(Mode::Str),
+            Mode::Num(st) => self.step_number(st, b),
+            Mode::NumTail(pending) => match pending {
+                None => match b {
+                    0xC2..=0xF4 => Step::Consume(Mode::NumTail(Some(utf8_len(b) - 1))),
+                    _ => Step::ConsumeEnd,
+                },
+                Some(1) => Step::ConsumeEnd,
+                Some(n) => Step::Consume(Mode::NumTail(Some(n - 1))),
+            },
+            Mode::Keyword => {
+                if b.is_ascii_alphabetic() {
+                    Step::Consume(Mode::Keyword)
+                } else {
+                    Step::CutBefore
+                }
+            }
+            Mode::JunkChar(remaining) => {
+                if remaining <= 1 {
+                    Step::ConsumeEnd
+                } else {
+                    Step::Consume(Mode::JunkChar(remaining - 1))
+                }
+            }
+        }
+    }
+
+    /// The number grammar, byte at a time. On a violation the record
+    /// keeps the violating character — and, in the leading-zero case,
+    /// one character beyond it — so the record parse reproduces the
+    /// one-shot `BadNumber` payload exactly.
+    fn step_number(&mut self, st: NumState, b: u8) -> Step {
+        use NumState::*;
+        let next = match (st, b) {
+            (Minus, b'0') => Some(IntZero),
+            (Minus, b'1'..=b'9') => Some(IntDigits),
+            (IntZero, b'0'..=b'9') => {
+                // `0` followed by a digit: the parser consumes the digit
+                // and its payload extends one more character.
+                return Step::Consume(Mode::NumTail(None));
+            }
+            (IntZero | IntDigits, b'.') => Some(Dot),
+            (IntZero | IntDigits | Frac, b'e' | b'E') => Some(Exp),
+            (IntDigits, b'0'..=b'9') => Some(IntDigits),
+            (Dot | Frac, b'0'..=b'9') => Some(Frac),
+            (Exp, b'+' | b'-') => Some(ExpSign),
+            (Exp | ExpSign | ExpDigits, b'0'..=b'9') => Some(ExpDigits),
+            _ => None,
+        };
+        match next {
+            Some(st2) => Step::Consume(Mode::Num(st2)),
+            None if st.accepting() => Step::CutBefore,
+            // Violation mid-token: include the violating character.
+            None => match b {
+                0xC2..=0xF4 => Step::Consume(Mode::NumTail(Some(utf8_len(b) - 1))),
+                _ => Step::ConsumeEnd,
+            },
+        }
+    }
+
+    /// Completes the current record, whose bytes are `buf` (carry-over)
+    /// followed by `chunk[rec_start..end]`, parses it and emits the
+    /// value.
+    fn complete(
+        &mut self,
+        chunk: &[u8],
+        rec_start: usize,
+        end: usize,
+        sink: &mut impl FnMut(Value),
+    ) -> Result<(), ParseError> {
+        self.mode = Mode::Between;
+        let r = if self.buf.is_empty() {
+            // The record lies wholly within this chunk: parse it
+            // borrowed, no copy.
+            let v = self.parse_record(chunk, rec_start, end);
+            self.advance_over(&chunk[rec_start..end]);
+            v
+        } else {
+            let mut buf = std::mem::take(&mut self.buf);
+            buf.extend_from_slice(&chunk[rec_start..end]);
+            let v = self.parse_record(&buf, 0, buf.len());
+            self.advance_over(&buf);
+            buf.clear();
+            self.buf = buf; // keep the allocation for the next carry-over
+            v
+        };
+        r.map(|v| sink(v))
+    }
+
+    /// Parses the complete record `bytes[from..to]` and translates any
+    /// error position from record-local to stream-global coordinates.
+    fn parse_record(&mut self, bytes: &[u8], from: usize, to: usize) -> Result<Value, ParseError> {
+        let bytes = &bytes[from..to];
+        let text = std::str::from_utf8(bytes).map_err(|e| ParseError {
+            kind: ParseErrorKind::InvalidUtf8,
+            pos: self.compose(local_pos(&bytes[..e.valid_up_to()])),
+        })?;
+        parse_value_record(text, self.max_depth, &mut self.vsink).map_err(|e| ParseError {
+            kind: e.kind,
+            pos: self.compose(e.pos),
+        })
+    }
+
+    /// Lifts a record-local position into the stream-global frame.
+    fn compose(&self, local: Pos) -> Pos {
+        let (offset, line, col) = self.start;
+        Pos {
+            offset: offset + local.offset,
+            line: line + local.line - 1,
+            column: if local.line == 1 { col + local.column - 1 } else { local.column },
+        }
+    }
+
+    /// Advances the global position over one whitespace byte between
+    /// records (always ASCII; only `\n` ends a line, matching the
+    /// one-shot parser).
+    fn advance_ws(&mut self, b: u8) {
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    /// Settles the global position over a completed record's bytes in
+    /// one bulk pass (the hot scanner loops never track positions).
+    /// Columns count characters: continuation bytes (`10xxxxxx`) extend
+    /// the previous character.
+    fn advance_over(&mut self, bytes: &[u8]) {
+        self.offset += bytes.len();
+        // Branchless counts: LLVM vectorizes `filter().count()` and
+        // `is_ascii`, so the common all-ASCII single-line record costs a
+        // fraction of a cycle per byte.
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        let tail = if newlines == 0 {
+            bytes
+        } else {
+            self.line += newlines;
+            self.col = 1;
+            let last = bytes.iter().rposition(|&b| b == b'\n').expect("newlines > 0");
+            &bytes[last + 1..]
+        };
+        self.col += if tail.is_ascii() {
+            tail.len()
+        } else {
+            tail.iter().filter(|&&b| b & 0xC0 != 0x80).count()
+        };
+    }
+}
+
+/// Byte length of the UTF-8 character introduced by lead byte `b`.
+fn utf8_len(b: u8) -> u8 {
+    match b {
+        0xC2..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// The record-local position of the end of a valid UTF-8 `prefix` of a
+/// record (used to place `InvalidUtf8` errors).
+fn local_pos(prefix: &[u8]) -> Pos {
+    let mut line = 1usize;
+    let mut col = 1usize;
+    for &b in prefix {
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else if b & 0xC0 != 0x80 {
+            col += 1;
+        }
+    }
+    Pos { offset: prefix.len(), line, column: col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_many_values;
+
+    /// Streams `text` in chunks of `size` bytes; returns the values.
+    fn stream_chunked(text: &str, size: usize) -> Result<Vec<Value>, ParseError> {
+        let mut s = Streamer::new();
+        let mut out = Vec::new();
+        for chunk in text.as_bytes().chunks(size.max(1)) {
+            s.feed(chunk, &mut |v| out.push(v))?;
+        }
+        s.finish(&mut |v| out.push(v))?;
+        Ok(out)
+    }
+
+    /// Asserts streaming at several chunk sizes agrees with the one-shot
+    /// multi-document parse, values and errors alike.
+    fn assert_agrees(text: &str) {
+        let oneshot = parse_many_values(text);
+        for size in [1, 2, 3, 5, 7, 64, 4096] {
+            let streamed = stream_chunked(text, size);
+            assert_eq!(streamed, oneshot, "chunk size {size} on {text:?}");
+        }
+    }
+
+    #[test]
+    fn documents_stream_with_any_split() {
+        assert_agrees(r#"{"a": 1} {"a": 2, "b": [1, 2.5, null]}"#);
+        assert_agrees("1 2 3");
+        assert_agrees("[1][2][3]");
+        assert_agrees("\"x\"\"y\"");
+        assert_agrees("true false null");
+        assert_agrees("  \n\t ");
+        assert_agrees("");
+        assert_agrees("{\"nested\": {\"deep\": [[[1]]]}}\n-2.5e-1");
+    }
+
+    #[test]
+    fn splits_inside_escapes_and_utf8() {
+        assert_agrees(r#""a\nbA\\" "čaj 😀""#);
+        assert_agrees(r#"{"kĺíč": "hodnota", "日本": "語"}"#);
+    }
+
+    #[test]
+    fn adjacent_tokens_split_like_oneshot() {
+        // Numbers and keywords end exactly where the one-shot grammar
+        // ends them, even without separating whitespace.
+        assert_agrees("12-3");
+        assert_agrees("1e3[2]");
+        assert_agrees("0 1");
+        assert_agrees("true\"s\"");
+        assert_agrees("null{}");
+    }
+
+    #[test]
+    fn errors_agree_with_oneshot() {
+        for bad in [
+            "[1, 2",
+            "{\"a\": 1",
+            "\"unterminated",
+            "[1,]",
+            "{,}",
+            "01",
+            "012",
+            "1.",
+            "1.x",
+            "1e+",
+            "-",
+            "tru",
+            "truex",
+            "nul",
+            "@",
+            "]",
+            ",",
+            "{\n  \"a\": @\n}",
+            "{ \"čaj\": @ }",
+            "\"a\nb\"",
+            "[1, \"x\\q\"]",
+            "{\"a\" 1}",
+            "1 2 x",
+            "{\"ok\":1} [2,]",
+            "12-",
+            "1.5.2",
+        ] {
+            assert_agrees(bad);
+        }
+    }
+
+    #[test]
+    fn error_positions_translate_across_records() {
+        // The error sits in the third document, on line 2 of the stream.
+        let text = "{\"a\":1} {\"b\":2}\n{\"c\": @}";
+        let oneshot = parse_many_values(text).unwrap_err();
+        let streamed = stream_chunked(text, 1).unwrap_err();
+        assert_eq!(streamed, oneshot);
+        assert_eq!(streamed.pos.line, 2);
+        assert_eq!(streamed.pos.offset, text.find('@').unwrap());
+    }
+
+    #[test]
+    fn stream_is_poisoned_after_error() {
+        let mut s = Streamer::new();
+        let mut out = Vec::new();
+        let err = s.feed(b"[1,] [2]", &mut |v| out.push(v)).unwrap_err();
+        assert_eq!(s.feed(b"[3]", &mut |v| out.push(v)), Err(err.clone()));
+        assert_eq!(s.finish(&mut |v| out.push(v)), Err(err));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn depth_limit_applies_per_record() {
+        let mut s = Streamer::with_options(ParserOptions { max_depth: 4 });
+        let mut n = 0usize;
+        s.feed(b"[[[1]]] ", &mut |_| n += 1).unwrap();
+        assert_eq!(n, 1);
+        let err = s.feed(b"[[[[[1]]]]]", &mut |_| n += 1).unwrap_err();
+        assert!(matches!(err.kind, ParseErrorKind::TooDeep(4)));
+    }
+
+    #[test]
+    fn invalid_utf8_is_reported_with_position() {
+        let mut s = Streamer::new();
+        s.feed(b"{\"a\": \"", &mut |_| ()).unwrap();
+        s.feed(&[0xFF, 0xFE], &mut |_| ()).unwrap();
+        // The bad bytes are inside a string: the error surfaces when the
+        // record completes and is parsed as a whole.
+        let err = s.feed(b"\"}", &mut |_| ()).unwrap_err();
+        assert_eq!(err.kind, ParseErrorKind::InvalidUtf8);
+        assert_eq!(err.pos.offset, 7);
+    }
+
+    #[test]
+    fn records_borrow_when_within_one_chunk() {
+        // Smoke: a large single-chunk feed emits all records without
+        // touching the carry-over buffer (observable as capacity 0).
+        let text: String = (0..100).map(|i| format!("{{\"i\": {i}}} ")).collect();
+        let mut s = Streamer::new();
+        let mut n = 0usize;
+        s.feed(text.as_bytes(), &mut |_| n += 1).unwrap();
+        s.finish(&mut |_| n += 1).unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(s.buf.capacity(), 0, "no record crossed a boundary");
+    }
+}

@@ -48,11 +48,14 @@
 mod encode;
 mod parser;
 pub mod reference;
+pub mod stream;
 
 pub use encode::{element_to_value, EncodeOptions};
 pub use parser::{
-    parse, parse_value, parse_value_with, parse_with, XmlError, XmlErrorKind, XmlOptions,
+    parse, parse_many_values, parse_many_values_with, parse_value, parse_value_with, parse_with,
+    XmlError, XmlErrorKind, XmlOptions,
 };
+pub use stream::Streamer;
 
 use tfd_value::{Name, Value};
 

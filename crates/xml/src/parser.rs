@@ -77,6 +77,10 @@ pub enum XmlErrorKind {
     BadCharRef(String),
     /// Nesting exceeded [`XmlOptions::max_depth`].
     TooDeep(usize),
+    /// The byte stream is not valid UTF-8. Only the chunk-fed
+    /// [`Streamer`](crate::stream::Streamer) reports this: the one-shot
+    /// entry points take `&str` and cannot observe it.
+    InvalidUtf8,
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -96,6 +100,7 @@ impl fmt::Display for XmlErrorKind {
             XmlErrorKind::TooDeep(limit) => {
                 write!(f, "element nesting exceeds limit of {limit}")
             }
+            XmlErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
         }
     }
 }
@@ -209,6 +214,86 @@ pub fn parse_value_with(
     Ok(root)
 }
 
+/// Parses a *sequence* of XML documents laid end to end — each with its
+/// own optional prolog (declaration, DOCTYPE, comments, PIs) — into one
+/// [`Value`] per root element. This is the one-shot counterpart of the
+/// chunk-fed [`Streamer`](crate::stream::Streamer), and the reference
+/// the streaming differential suite compares against. Empty (or
+/// misc-only) input yields an empty vector.
+///
+/// # Errors
+///
+/// Returns the first [`XmlError`] encountered.
+///
+/// ```
+/// let docs = tfd_xml::parse_many_values("<a i=\"1\"/>\n<!-- x -->\n<a i=\"2\"/>")?;
+/// assert_eq!(docs.len(), 2);
+/// # Ok::<(), tfd_xml::XmlError>(())
+/// ```
+pub fn parse_many_values(input: &str) -> Result<Vec<Value>, XmlError> {
+    parse_many_values_with(input, &XmlOptions::default(), &EncodeOptions::default())
+}
+
+/// [`parse_many_values`] under explicit parser and encoding options.
+///
+/// # Errors
+///
+/// As [`parse_many_values`].
+pub fn parse_many_values_with(
+    input: &str,
+    options: &XmlOptions,
+    encode: &EncodeOptions,
+) -> Result<Vec<Value>, XmlError> {
+    let mut p = XmlParser::new(input, options.clone());
+    let mut sink = ValueSink { options: encode.clone(), body: body_name() };
+    let mut docs = Vec::new();
+    while p.skip_prolog_opt()? {
+        docs.push(p.parse_element(&mut sink, 0)?);
+    }
+    Ok(docs)
+}
+
+/// Parses exactly one document through a caller-held [`ValueSink`] — the
+/// chunk-fed streamer's per-record entry point, kept separate from
+/// [`parse_value_with`] so the hot path pays no per-record
+/// [`EncodeOptions`] clone.
+pub(crate) fn parse_value_record(
+    input: &str,
+    options: &XmlOptions,
+    sink: &mut ValueSink,
+) -> Result<Value, XmlError> {
+    let mut p = XmlParser::new(input, options.clone());
+    p.skip_prolog()?;
+    let root = p.parse_element(sink, 0)?;
+    p.skip_misc()?;
+    if !p.at_eof() {
+        return Err(p.error(XmlErrorKind::TrailingContent));
+    }
+    Ok(root)
+}
+
+/// Parses one document (prolog + root element) from the *front* of
+/// `input` — which must start at a `<` — and returns its value with the
+/// byte length consumed. The streamer uses this to parse a record
+/// straight out of a chunk without first scanning for its boundary: a
+/// root element is self-delimiting, so success is definitive wherever
+/// the document ends. On failure the caller falls back to the resumable
+/// scanner and this error is discarded.
+pub(crate) fn parse_one_document(
+    input: &str,
+    options: &XmlOptions,
+    sink: &mut ValueSink,
+) -> Result<(Value, usize), XmlError> {
+    let mut p = XmlParser::new(input, options.clone());
+    if !p.skip_prolog_opt()? {
+        // Misc-only input is ambiguous from a chunk front (a comment may
+        // continue in the next chunk): never definitive.
+        return Err(p.error(XmlErrorKind::NoRoot));
+    }
+    let root = p.parse_element(sink, 0)?;
+    Ok((root, p.pos))
+}
+
 /// How parsed pieces are assembled into an output document. Two
 /// instantiations exist: [`ElementSink`] (the [`Element`] tree) and
 /// [`ValueSink`] (the §6.2 encoding into the universal [`Value`], with
@@ -252,9 +337,9 @@ impl Sink for ElementSink {
     }
 }
 
-struct ValueSink {
-    options: EncodeOptions,
-    body: Name,
+pub(crate) struct ValueSink {
+    pub(crate) options: EncodeOptions,
+    pub(crate) body: Name,
 }
 
 /// Accumulator for one element being encoded as a value: attribute
@@ -395,6 +480,18 @@ impl<'a> XmlParser<'a> {
     /// the root element. Dispatch probes `bytes[pos + 1]` directly — no
     /// iterator clones.
     fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        if self.skip_prolog_opt()? {
+            Ok(())
+        } else {
+            Err(self.error(XmlErrorKind::NoRoot))
+        }
+    }
+
+    /// [`skip_prolog`], but end of input yields `Ok(false)` instead of a
+    /// `NoRoot` error — the multi-document entry points use this to stop
+    /// cleanly after the last document. `Ok(true)` means the parser is
+    /// positioned at an element's `<`.
+    fn skip_prolog_opt(&mut self) -> Result<bool, XmlError> {
         loop {
             self.skip_ws();
             match self.bytes.get(self.pos) {
@@ -403,7 +500,7 @@ impl<'a> XmlParser<'a> {
                     let found = self.peek_char().expect("in-bounds");
                     return Err(self.error(XmlErrorKind::Unexpected { found, expected: "'<'" }));
                 }
-                None => return Err(self.error(XmlErrorKind::NoRoot)),
+                None => return Ok(false),
             }
             match self.bytes.get(self.pos + 1) {
                 Some(b'?') => self.skip_pi()?,
@@ -414,7 +511,7 @@ impl<'a> XmlParser<'a> {
                         self.skip_doctype()?;
                     }
                 }
-                _ => return Ok(()),
+                _ => return Ok(true),
             }
         }
     }

@@ -1,0 +1,547 @@
+//! Streaming-vs-batch differential suite.
+//!
+//! The chunk-fed front-ends (`tfd_json::stream`, `tfd_xml::stream`,
+//! `tfd_csv::stream`) promise to be *observationally identical* to the
+//! one-shot byte parsers, no matter where chunk boundaries fall: the
+//! same `Value` sequence, the same final `Shape` through the
+//! `InferAccumulator` fold, and — for malformed input — the same error
+//! kind at the same line/char-correct column. This suite drives that
+//! promise with generated corpora under adversarial chunkings (1-byte
+//! feeds, splits inside multi-byte UTF-8 sequences, escapes, CRLF pairs
+//! and quoted CSV fields), plus mutation-based error agreement and the
+//! named regressions the differential work shook out.
+
+mod common;
+
+use common::value_strategy;
+use proptest::prelude::*;
+use std::fmt::Write as _;
+use tfd_core::stream::{infer_reader, InferAccumulator, StreamFormat};
+use tfd_core::{csh_ref, globalize, infer_many, infer_with, InferOptions, Shape};
+use tfd_value::Value;
+
+// --- Chunked drivers: feed `text` split into pieces whose sizes cycle
+// --- through `sizes` (so a generated size vector exercises many split
+// --- positions), then finish.
+
+fn stream_json(text: &str, sizes: &[usize]) -> Result<Vec<Value>, tfd_json::ParseError> {
+    let bytes = text.as_bytes();
+    let mut s = tfd_json::stream::Streamer::new();
+    let mut out = Vec::new();
+    let (mut pos, mut k) = (0usize, 0usize);
+    while pos < bytes.len() {
+        let step = sizes.get(k % sizes.len()).copied().unwrap_or(1).max(1);
+        k += 1;
+        let end = (pos + step).min(bytes.len());
+        s.feed(&bytes[pos..end], &mut |v| out.push(v))?;
+        pos = end;
+    }
+    s.finish(&mut |v| out.push(v))?;
+    Ok(out)
+}
+
+fn stream_xml(text: &str, sizes: &[usize]) -> Result<Vec<Value>, tfd_xml::XmlError> {
+    let bytes = text.as_bytes();
+    let mut s = tfd_xml::stream::Streamer::new();
+    let mut out = Vec::new();
+    let (mut pos, mut k) = (0usize, 0usize);
+    while pos < bytes.len() {
+        let step = sizes.get(k % sizes.len()).copied().unwrap_or(1).max(1);
+        k += 1;
+        let end = (pos + step).min(bytes.len());
+        s.feed(&bytes[pos..end], &mut |v| out.push(v))?;
+        pos = end;
+    }
+    s.finish(&mut |v| out.push(v))?;
+    Ok(out)
+}
+
+fn stream_csv(text: &str, sizes: &[usize]) -> Result<Vec<Value>, tfd_csv::CsvError> {
+    let bytes = text.as_bytes();
+    let mut s = tfd_csv::stream::Streamer::new();
+    let mut out = Vec::new();
+    let (mut pos, mut k) = (0usize, 0usize);
+    while pos < bytes.len() {
+        let step = sizes.get(k % sizes.len()).copied().unwrap_or(1).max(1);
+        k += 1;
+        let end = (pos + step).min(bytes.len());
+        s.feed(&bytes[pos..end], &mut |v| out.push(v))?;
+        pos = end;
+    }
+    s.finish(&mut |v| out.push(v))?;
+    Ok(out)
+}
+
+/// Folds records through the incremental `σi = csh(σi−1, S(di))`.
+fn fold_shape(records: &[Value], options: &InferOptions) -> Shape {
+    let mut acc = InferAccumulator::new(options.clone());
+    for r in records {
+        acc.push(r);
+    }
+    acc.finish()
+}
+
+/// Replaces the char at (position % len) with `c`, staying valid UTF-8.
+fn mutate(text: &str, position: usize, c: char) -> String {
+    if text.is_empty() {
+        return c.to_string();
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let at = position % chars.len();
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, &orig)| if i == at { c } else { orig })
+        .collect()
+}
+
+/// Truncates to the first (length % (chars+1)) characters.
+fn truncate(text: &str, length: usize) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    chars[..length % (chars.len() + 1)].iter().collect()
+}
+
+// --- JSON ---
+
+/// A document whose serialization exercises escapes, raw multi-byte
+/// UTF-8 and control-character escapes — appended to every generated
+/// JSON corpus so chunk splits land inside `\"`-escapes and mid-char.
+fn nasty_json_doc() -> Value {
+    Value::record(
+        tfd_value::BODY_NAME,
+        [
+            ("esc", Value::str("a\"b\\c\nd\te\u{7}")),
+            ("utf", Value::str("čaj 😀 日本語")),
+            ("num", Value::Float(-2.5e-3)),
+        ],
+    )
+}
+
+fn json_corpus_text(docs: &[Value], seps: &[&str]) -> String {
+    let mut text = String::new();
+    for (i, d) in docs.iter().enumerate() {
+        text.push_str(&tfd_json::to_json_string(&tfd_json::Json::from_value(d)));
+        text.push_str(seps.get(i % seps.len().max(1)).copied().unwrap_or(" "));
+    }
+    text
+}
+
+// Separators for valid corpora are non-empty: two adjacent keyword or
+// number documents would otherwise fuse into one (or invalid) token. The
+// mutation property additionally uses "" — self-delimiting documents may
+// legally abut, and for the rest only *agreement* matters there.
+const JSON_SEPS: &[&str] = &[" ", "\n", "\t\r\n "];
+const JSON_SEPS_ALL: &[&str] = &[" ", "\n", "\t\r\n ", ""];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Values and shapes agree with `parse_many_values` under arbitrary
+    /// chunk splits, 1-byte feeds included.
+    #[test]
+    fn json_streaming_agrees_on_valid_corpora(
+        docs in prop::collection::vec(value_strategy(), 0..5),
+        seps in prop::collection::vec(prop::sample::select(JSON_SEPS), 1..4),
+        sizes in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let mut docs = docs;
+        docs.push(nasty_json_doc());
+        let text = json_corpus_text(&docs, &seps);
+        let oneshot = tfd_json::parse_many_values(&text).expect("generated corpus is valid");
+        let streamed = stream_json(&text, &sizes).expect("streaming must accept valid corpora");
+        prop_assert_eq!(&streamed, &oneshot);
+        // And with straight 1-byte feeds:
+        prop_assert_eq!(&stream_json(&text, &[1]).unwrap(), &oneshot);
+        // The incremental fold equals the batch fold.
+        let opts = InferOptions::json();
+        prop_assert_eq!(fold_shape(&streamed, &opts), infer_many(&oneshot, &opts));
+    }
+
+    /// Mutated (usually invalid) corpora: the streaming outcome —
+    /// values, or error kind *and* position — is identical to the
+    /// one-shot outcome wherever the chunks fall.
+    #[test]
+    fn json_error_agreement_under_mutation(
+        docs in prop::collection::vec(value_strategy(), 1..4),
+        seps in prop::collection::vec(prop::sample::select(JSON_SEPS_ALL), 1..3),
+        sizes in prop::collection::vec(1usize..7, 1..5),
+        position in 0usize..500,
+        c in prop::sample::select(&['@', '"', '{', '}', ']', ',', 'x', '0', '\\', 'é'][..]),
+        cut in 0usize..500,
+        do_truncate in proptest::strategy::any::<bool>(),
+    ) {
+        let mut docs = docs;
+        docs.push(nasty_json_doc());
+        let base = json_corpus_text(&docs, &seps);
+        let text = if do_truncate { truncate(&base, cut) } else { mutate(&base, position, c) };
+        let oneshot = tfd_json::parse_many_values(&text);
+        let streamed = stream_json(&text, &sizes);
+        match (&oneshot, &streamed) {
+            // Mutation may create duplicate object keys, whose records
+            // compare unequal even to themselves; compare the rendering.
+            (Ok(a), Ok(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            _ => prop_assert_eq!(&streamed, &oneshot),
+        }
+    }
+}
+
+// --- XML ---
+
+const XML_NAMES: &[&str] = &["a", "item", "ns:tag", "čaj", "x-1"];
+const XML_SEPS: &[&str] = &[" ", "\n", "", "<!-- gap -->", "<?pi data?>", "\r\n"];
+
+fn xml_attrs() -> SFn<String> {
+    prop::collection::vec("[a-z 0-9é]{0,4}", 0..3)
+        .prop_map(|vals| {
+            vals.into_iter()
+                .enumerate()
+                .map(|(i, v)| format!(" at{i}=\"{v}\""))
+                .collect::<String>()
+        })
+        .boxed()
+}
+
+fn xml_content_piece() -> SFn<String> {
+    prop_oneof![
+        "[a-z 0-9éž]{0,6}",
+        Just("&amp;".to_owned()),
+        Just("&#x41;".to_owned()),
+        Just("&quot;".to_owned()),
+        Just("<![CDATA[ <raw> & ]]>".to_owned()),
+        Just("<!-- note -->".to_owned()),
+    ]
+}
+
+fn xml_doc_strategy() -> SFn<String> {
+    let attrs = xml_attrs();
+    let leaf_attrs = attrs.clone();
+    let leaf = (prop::sample::select(XML_NAMES), leaf_attrs, xml_content_piece()).prop_map(
+        |(n, a, t)| {
+            if t.is_empty() {
+                format!("<{n}{a}/>")
+            } else {
+                format!("<{n}{a}>{t}</{n}>")
+            }
+        },
+    );
+    leaf.prop_recursive(3, 12, 3, move |inner| {
+        let kids = prop::collection::vec(prop_oneof![xml_content_piece(), inner], 0..3);
+        (prop::sample::select(XML_NAMES), attrs.clone(), kids)
+            .prop_map(|(n, a, kids)| format!("<{n}{a}>{}</{n}>", kids.concat()))
+    })
+}
+
+fn xml_corpus_text(prolog: bool, docs: &[String], seps: &[&str]) -> String {
+    let mut text = String::new();
+    if prolog {
+        text.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n");
+    }
+    for (i, d) in docs.iter().enumerate() {
+        text.push_str(d);
+        text.push_str(seps.get(i % seps.len().max(1)).copied().unwrap_or(" "));
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Values and shapes agree with `parse_many_values` under arbitrary
+    /// chunk splits — including splits inside entities, CDATA/comment
+    /// terminators and multi-byte tag names.
+    #[test]
+    fn xml_streaming_agrees_on_valid_corpora(
+        prolog in proptest::strategy::any::<bool>(),
+        docs in prop::collection::vec(xml_doc_strategy(), 0..4),
+        seps in prop::collection::vec(prop::sample::select(XML_SEPS), 1..4),
+        sizes in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let text = xml_corpus_text(prolog, &docs, &seps);
+        let oneshot = tfd_xml::parse_many_values(&text).expect("generated corpus is valid");
+        let streamed = stream_xml(&text, &sizes).expect("streaming must accept valid corpora");
+        prop_assert_eq!(&streamed, &oneshot);
+        prop_assert_eq!(&stream_xml(&text, &[1]).unwrap(), &oneshot);
+        let opts = InferOptions::xml();
+        prop_assert_eq!(fold_shape(&streamed, &opts), infer_many(&oneshot, &opts));
+    }
+
+    /// Mutated/truncated XML: identical outcomes — error kind, line and
+    /// char-correct column — under arbitrary chunking.
+    #[test]
+    fn xml_error_agreement_under_mutation(
+        docs in prop::collection::vec(xml_doc_strategy(), 1..3),
+        seps in prop::collection::vec(prop::sample::select(XML_SEPS), 1..3),
+        sizes in prop::collection::vec(1usize..7, 1..5),
+        position in 0usize..500,
+        c in prop::sample::select(&['<', '>', '&', ';', '@', '/', '"', 'é'][..]),
+        cut in 0usize..500,
+        do_truncate in proptest::strategy::any::<bool>(),
+    ) {
+        let base = xml_corpus_text(false, &docs, &seps);
+        let text = if do_truncate { truncate(&base, cut) } else { mutate(&base, position, c) };
+        let oneshot = tfd_xml::parse_many_values(&text);
+        let streamed = stream_xml(&text, &sizes);
+        match (&oneshot, &streamed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            _ => prop_assert_eq!(&streamed, &oneshot),
+        }
+    }
+}
+
+// --- CSV ---
+
+fn csv_cell() -> SFn<String> {
+    prop_oneof![
+        "[a-z0-9]{0,4}",
+        Just("#N/A".to_owned()),
+        Just("42".to_owned()),
+        Just("2.5".to_owned()),
+        Just("2012-05-01".to_owned()),
+        Just("1".to_owned()),
+        // Quoted cells with embedded delimiters, quotes, line endings
+        // and multi-byte characters.
+        "[a-z,\"\n\réž ]{0,6}".prop_map(|c| format!("\"{}\"", c.replace('"', "\"\""))),
+    ]
+}
+
+fn csv_corpus_text(rows: &[Vec<String>], endings: &[&str], final_ending: bool) -> String {
+    let mut text = String::from("h1,h2,h3");
+    text.push_str(endings.first().copied().unwrap_or("\n"));
+    for (i, row) in rows.iter().enumerate() {
+        text.push_str(&row.join(","));
+        if i + 1 < rows.len() || final_ending {
+            text.push_str(endings.get(i % endings.len().max(1)).copied().unwrap_or("\n"));
+        }
+    }
+    text
+}
+
+const CSV_ENDINGS: &[&str] = &["\n", "\r\n", "\r"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rows and shapes agree with the one-shot `parse_value` under
+    /// arbitrary chunk splits — including splits inside `""` escapes,
+    /// CRLF pairs, quoted fields and multi-byte cell characters.
+    #[test]
+    fn csv_streaming_agrees_on_valid_corpora(
+        rows in prop::collection::vec(prop::collection::vec(csv_cell(), 0..5), 0..5),
+        endings in prop::collection::vec(prop::sample::select(CSV_ENDINGS), 1..4),
+        final_ending in proptest::strategy::any::<bool>(),
+        sizes in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let text = csv_corpus_text(&rows, &endings, final_ending);
+        let oneshot = match tfd_csv::parse_value(&text).expect("generated corpus is valid") {
+            Value::List(rows) => rows,
+            other => panic!("expected row list, got {other}"),
+        };
+        let streamed = stream_csv(&text, &sizes).expect("streaming must accept valid corpora");
+        prop_assert_eq!(&streamed, &oneshot);
+        prop_assert_eq!(&stream_csv(&text, &[1]).unwrap(), &oneshot);
+        // list(incremental fold) == one-shot collection inference.
+        let opts = InferOptions::csv();
+        prop_assert_eq!(
+            Shape::list(fold_shape(&streamed, &opts)),
+            infer_with(&Value::List(oneshot), &opts)
+        );
+    }
+
+    /// Raw random CSV-ish text (stray quotes, ragged rows, bare CRs):
+    /// identical outcomes — rows, or error kind and line — under
+    /// arbitrary chunking.
+    #[test]
+    fn csv_error_agreement_over_random_text(
+        text in "[a-c,\"\n\r ]{0,60}",
+        sizes in prop::collection::vec(1usize..7, 1..5),
+    ) {
+        let oneshot = tfd_csv::parse_value(&text).map(|v| match v {
+            Value::List(rows) => rows,
+            other => panic!("expected row list, got {other}"),
+        });
+        let streamed = stream_csv(&text, &sizes);
+        match (&oneshot, &streamed) {
+            // Random headers may repeat ("a,a"), and records with
+            // duplicate field names compare unequal even to themselves;
+            // compare the rendering.
+            (Ok(a), Ok(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            _ => prop_assert_eq!(&streamed, &oneshot),
+        }
+    }
+}
+
+// --- InferAccumulator: the incremental fold vs `infer_many` (satellite
+// --- suite; the core crate's unit tests cover the reader driver).
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `σi = csh(σi−1, S(di))` pushed one record at a time equals
+    /// `infer_many` on the same sequence, for all four presets.
+    #[test]
+    fn accumulator_fold_matches_infer_many(
+        corpus in prop::collection::vec(value_strategy(), 0..8),
+    ) {
+        for opts in [
+            InferOptions::formal(),
+            InferOptions::json(),
+            InferOptions::csv(),
+            InferOptions::xml(),
+        ] {
+            prop_assert_eq!(
+                fold_shape(&corpus, &opts),
+                infer_many(&corpus, &opts),
+                "preset {:?}", opts
+            );
+        }
+    }
+
+    /// Idempotence after `globalize`, at the fold level: the globalized
+    /// shape is a sound generalization of the fold, so re-folding the
+    /// corpus (or the fold itself, or the globalized shape) into it via
+    /// `csh` is a no-op — streaming more of the same data after a
+    /// `--global` inference cannot change the answer. (`globalize` itself
+    /// is deliberately not idempotent on union-folds of mutually
+    /// recursive names; `tfd_core::global` documents why, with its own
+    /// regression test.)
+    #[test]
+    fn fold_is_stable_after_globalize(
+        corpus in prop::collection::vec(value_strategy(), 0..6),
+    ) {
+        // σ1 ≡ σ2 — mutual preference. Joins are stable only up to
+        // heterogeneous-collection case order (`csh` keeps first-seen
+        // order, so joining in a different argument order may permute
+        // the cases of an `any⟨…⟩`).
+        fn equivalent(a: &Shape, b: &Shape) -> bool {
+            tfd_core::is_preferred(a, b) && tfd_core::is_preferred(b, a)
+        }
+        let folded = fold_shape(&corpus, &InferOptions::xml());
+        let g = globalize(folded.clone());
+        prop_assert!(
+            tfd_core::is_preferred(&folded, &g),
+            "globalize must generalize the fold: {} vs {}", folded, g
+        );
+        prop_assert_eq!(&csh_ref(&g, &g), &g, "self-join must be a no-op");
+        let rejoined = csh_ref(&g, &folded);
+        prop_assert!(
+            equivalent(&rejoined, &g),
+            "re-joining the fold must be a no-op: {} vs {}", rejoined, g
+        );
+        let mut acc = InferAccumulator::new(InferOptions::xml());
+        for d in &corpus {
+            acc.push(d);
+        }
+        let restreamed = csh_ref(&g, acc.shape());
+        prop_assert!(
+            equivalent(&restreamed, &g),
+            "re-streaming the corpus after globalize must be a no-op: {} vs {}", restreamed, g
+        );
+    }
+}
+
+// --- Named regressions from driving the differential suite at 1-byte
+// --- feeds (satellite: entity-length limit and CSV quote handling).
+
+/// The XML entity-length limit counts *bytes* but must only fire at
+/// character boundaries; under 1-byte feeds the scanner replicates that
+/// exactly (the record is cut at the overflow point so the parse
+/// reproduces the one-shot `UnknownEntity` — never a slice panic, never
+/// a different error).
+#[test]
+fn regression_xml_entity_limit_under_single_byte_feeds() {
+    for doc in [
+        "<a>&ééééééé;</a>",
+        "<a>&aaaaaaaaaaaaaaaaaaaa;</a>",
+        "<a x=\"&ééééééé;\"/>",
+        "<a>&日本語キーです;</a>",
+        "<a>&#x1F600;&#x1F600;</a>", // long but legal char refs
+    ] {
+        let oneshot = tfd_xml::parse_many_values(doc);
+        assert_eq!(stream_xml(doc, &[1]), oneshot, "{doc}");
+        assert_eq!(stream_xml(doc, &[2]), oneshot, "{doc}");
+    }
+}
+
+/// CSV `""` escapes, closing quotes and CRLF pairs split across 1-byte
+/// feeds must not change field contents, row boundaries or error lines.
+#[test]
+fn regression_csv_quote_handling_under_single_byte_feeds() {
+    for doc in [
+        "a\n\"he said \"\"hi\"\"\"\n",  // escape split between the two quotes
+        "a\n\"x\"\r\n2\n",              // closing quote then split CRLF
+        "h1,h2\nab\"c,d\"e\n",          // mid-field quotes stay literal
+        "a\n\"x\ry\"\n",                // bare CR inside quotes
+        "a\n\"x\"y\n",                  // stray char after closing quote
+        "a\n\"oops",                    // unterminated at EOF
+    ] {
+        let oneshot = tfd_csv::parse_value(doc).map(|v| match v {
+            Value::List(rows) => rows,
+            other => panic!("expected row list, got {other}"),
+        });
+        assert_eq!(stream_csv(doc, &[1]), oneshot, "{doc:?}");
+    }
+}
+
+/// A JSON `\u` escape and a multi-byte character split across 1-byte
+/// feeds; error columns stay char-correct when multi-byte characters
+/// precede the error on the same line.
+#[test]
+fn regression_json_escape_and_utf8_splits() {
+    let ok = r#"{"k": "😀 čaj"}"#;
+    assert_eq!(stream_json(ok, &[1]), tfd_json::parse_many_values(ok));
+    let bad = "{ \"čaj\": @ }";
+    let err = stream_json(bad, &[1]).unwrap_err();
+    let oneshot = tfd_json::parse_many_values(bad).unwrap_err();
+    assert_eq!(err, oneshot);
+    assert_eq!(err.pos.column, 10, "column counts characters, not bytes");
+}
+
+/// Error positions in the Nth record of a stream translate exactly:
+/// line numbers continue across records, columns restart per line.
+#[test]
+fn error_positions_translate_across_records_all_formats() {
+    let json = "{\"a\":1}\n{\"b\":2} {\"c\": @}";
+    let je = stream_json(json, &[3]).unwrap_err();
+    assert_eq!(je, tfd_json::parse_many_values(json).unwrap_err());
+    assert_eq!((je.pos.line, je.pos.column), (2, 15));
+
+    let xml = "<ok/>\n<ok/>\n<bad @></bad>";
+    let xe = stream_xml(xml, &[2]).unwrap_err();
+    assert_eq!(xe, tfd_xml::parse_many_values(xml).unwrap_err());
+    assert_eq!((xe.line, xe.column), (3, 6));
+
+    let csv = "h\nok\n\"a\rb\"x";
+    let ce = stream_csv(csv, &[1]).unwrap_err();
+    assert_eq!(Err(ce.clone()), tfd_csv::parse_value(csv).map(|_| ()));
+    assert_eq!(ce, tfd_csv::CsvError::CharAfterQuote(4, 'x'));
+}
+
+// --- Large-corpus smoke (release-only: ~50 MB of CSV through the
+// --- reader driver with a small chunk size — the O(1 record) pipeline).
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "large-corpus smoke runs in release mode (CI)")]
+fn large_corpus_csv_streams_with_small_chunks() {
+    let mut text = String::with_capacity(51 << 20);
+    text.push_str("id,name,score,date,flag\n");
+    let mut rows = 0u64;
+    while text.len() < 50 << 20 {
+        let _ = writeln!(text, "{rows},item-{rows},{}.5,2012-05-01,{}", rows % 977, rows % 2);
+        rows += 1;
+    }
+    let summary =
+        infer_reader(text.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), 4096).unwrap();
+    assert_eq!(summary.records as u64, rows);
+    assert_eq!(summary.bytes as usize, text.len());
+    let expected = Shape::record(
+        tfd_value::BODY_NAME,
+        [
+            ("id", Shape::Int),
+            ("name", Shape::String),
+            ("score", Shape::Float),
+            ("date", Shape::Date),
+            ("flag", Shape::Bit),
+        ],
+    );
+    assert_eq!(summary.shape, expected);
+}
