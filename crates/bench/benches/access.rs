@@ -51,9 +51,12 @@ fn runtime_sum(nodes: &[Node]) -> f64 {
     let mut total = 0.0;
     for node in nodes {
         total += node
-            .field("main").unwrap()
-            .field("temp").unwrap()
-            .as_f64().unwrap();
+            .field("main")
+            .unwrap()
+            .field("temp")
+            .unwrap()
+            .as_f64()
+            .unwrap();
     }
     total
 }
@@ -64,10 +67,7 @@ fn foo_sum(values: &[Value]) -> f64 {
     let provided = tfd_provider::provide(&shape);
     let mut total = 0.0;
     for v in values {
-        let expr = Expr::member(
-            Expr::member(provided.convert(v), "main"),
-            "temp",
-        );
+        let expr = Expr::member(Expr::member(provided.convert(v), "main"), "temp");
         match run(&provided.classes, &expr) {
             Outcome::Value(Expr::Data(Value::Int(i))) => total += i as f64,
             Outcome::Value(Expr::Data(Value::Float(f))) => total += f,

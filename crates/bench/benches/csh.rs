@@ -4,16 +4,20 @@
 //! merges of growing label count. Run with
 //! `cargo bench -p tfd-bench --bench csh`.
 
+use criterion::BatchSize;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use criterion::BatchSize;
 use tfd_core::{csh, csh_ref, is_preferred, Shape};
 
 fn wide_record(width: usize, float_half: bool) -> Shape {
     Shape::record(
         "row",
         (0..width).map(|i| {
-            let shape = if float_half && i % 2 == 0 { Shape::Float } else { Shape::Int };
+            let shape = if float_half && i % 2 == 0 {
+                Shape::Float
+            } else {
+                Shape::Int
+            };
             (format!("col{i}"), shape)
         }),
     )
@@ -24,13 +28,17 @@ fn bench_record_join(c: &mut Criterion) {
     for width in [4usize, 16, 64, 256] {
         let a = wide_record(width, false);
         let b = wide_record(width, true);
-        group.bench_with_input(BenchmarkId::from_parameter(width), &(a, b), |bench, (a, b)| {
-            bench.iter_batched(
-                || (a.clone(), b.clone()),
-                |(a, b)| csh(black_box(a), black_box(b)),
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(width),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter_batched(
+                    || (a.clone(), b.clone()),
+                    |(a, b)| csh(black_box(a), black_box(b)),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -49,13 +57,17 @@ fn bench_top_merge(c: &mut Criterion) {
                 .map(|i| Shape::record(format!("r{i}"), [("y", Shape::Bool)]))
                 .collect(),
         );
-        group.bench_with_input(BenchmarkId::from_parameter(labels), &(a, b), |bench, (a, b)| {
-            bench.iter_batched(
-                || (a.clone(), b.clone()),
-                |(a, b)| csh(black_box(a), black_box(b)),
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(labels),
+            &(a, b),
+            |bench, (a, b)| {
+                bench.iter_batched(
+                    || (a.clone(), b.clone()),
+                    |(a, b)| csh(black_box(a), black_box(b)),
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -77,5 +89,10 @@ fn bench_preference_check(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_record_join, bench_top_merge, bench_preference_check);
+criterion_group!(
+    benches,
+    bench_record_join,
+    bench_top_merge,
+    bench_preference_check
+);
 criterion_main!(benches);

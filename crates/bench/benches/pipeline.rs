@@ -29,7 +29,7 @@
 //! dropped as soon as their shape is joined.
 //!
 //! Run with `cargo bench -p tfd-bench --bench pipeline`; the committed
-//! baseline lives in `BENCH_PR3.json` (regenerate with
+//! baseline lives in `BENCH_PR4.json` (regenerate with
 //! `cargo run --release -p tfd-bench --bin pipeline_baseline`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -64,7 +64,9 @@ fn bench_json_reference(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
             b.iter(|| {
-                let value = tfd_json::reference::parse(black_box(text)).unwrap().to_value();
+                let value = tfd_json::reference::parse(black_box(text))
+                    .unwrap()
+                    .to_value();
                 infer_with(&value, &InferOptions::json())
             });
         });
@@ -94,7 +96,9 @@ fn bench_xml_reference(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
             b.iter(|| {
-                let value = tfd_xml::reference::parse(black_box(text)).unwrap().to_value();
+                let value = tfd_xml::reference::parse(black_box(text))
+                    .unwrap()
+                    .to_value();
                 infer_with(&value, &InferOptions::xml())
             });
         });
@@ -124,7 +128,9 @@ fn bench_csv_reference(c: &mut Criterion) {
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
             b.iter(|| {
-                let value = tfd_csv::reference::parse(black_box(text)).unwrap().to_value();
+                let value = tfd_csv::reference::parse(black_box(text))
+                    .unwrap()
+                    .to_value();
                 infer_with(&value, &InferOptions::csv())
             });
         });

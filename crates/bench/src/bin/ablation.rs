@@ -24,7 +24,11 @@ fn count_top_collections(shape: &Shape) -> usize {
         Shape::List(e) if e.is_top() => 1,
         Shape::List(e) => count_top_collections(e),
         Shape::Top(labels) => labels.iter().map(count_top_collections).sum(),
-        Shape::Record(r) => r.fields.iter().map(|f| count_top_collections(&f.shape)).sum(),
+        Shape::Record(r) => r
+            .fields
+            .iter()
+            .map(|f| count_top_collections(&f.shape))
+            .sum(),
         Shape::Nullable(s) => count_top_collections(s),
         Shape::HeteroList(cases) => cases.iter().map(|(s, _)| count_top_collections(s)).sum(),
         _ => 0,
@@ -77,7 +81,10 @@ fn d2_bit() {
             .collect(),
     );
     for bits in [false, true] {
-        let options = InferOptions { infer_bits: bits, ..InferOptions::formal() };
+        let options = InferOptions {
+            infer_bits: bits,
+            ..InferOptions::formal()
+        };
         let shape = infer_with(&table, &options);
         println!("infer_bits={bits}: {shape}");
     }
@@ -115,9 +122,17 @@ fn d3_null_collections() {
         }
     }
     println!("documents: {}, null collections: {nulls}", docs.len());
-    println!("accesses surviving with null→[] (paper's choice): {survived}/{}", docs.len());
-    println!("would-be failures if null were rejected instead:  {nulls}/{}", docs.len());
-    println!("(§3.1: \"a null collection is usually handled as an empty collection by client code\")\n");
+    println!(
+        "accesses surviving with null→[] (paper's choice): {survived}/{}",
+        docs.len()
+    );
+    println!(
+        "would-be failures if null were rejected instead:  {nulls}/{}",
+        docs.len()
+    );
+    println!(
+        "(§3.1: \"a null collection is usually handled as an empty collection by client code\")\n"
+    );
 }
 
 fn d2b_stringly() {

@@ -20,7 +20,10 @@ pub const DEPTHS: [usize; 3] = [2, 4, 6];
 
 /// A deterministic corpus of API-response-like JSON documents.
 pub fn api_corpus(seed: u64, n: usize, depth: usize) -> Vec<Value> {
-    let config = CorpusConfig { max_depth: depth, ..CorpusConfig::default() };
+    let config = CorpusConfig {
+        max_depth: depth,
+        ..CorpusConfig::default()
+    };
     generate_corpus(seed, n, &config)
 }
 
@@ -124,24 +127,38 @@ pub fn csv_rows_text(rows: usize) -> String {
 /// [`DEFAULT_CHUNK_SIZE`] reads, folding each record into the
 /// accumulator and dropping it.
 pub fn stream_json_pipeline(text: &str) -> Shape {
-    infer_reader(text.as_bytes(), StreamFormat::Json, &InferOptions::json(), DEFAULT_CHUNK_SIZE)
-        .expect("bench corpus is valid")
-        .shape
+    infer_reader(
+        text.as_bytes(),
+        StreamFormat::Json,
+        &InferOptions::json(),
+        DEFAULT_CHUNK_SIZE,
+    )
+    .expect("bench corpus is valid")
+    .shape
 }
 
 /// [`stream_json_pipeline`] for concatenated XML documents.
 pub fn stream_xml_pipeline(text: &str) -> Shape {
-    infer_reader(text.as_bytes(), StreamFormat::Xml, &InferOptions::xml(), DEFAULT_CHUNK_SIZE)
-        .expect("bench corpus is valid")
-        .shape
+    infer_reader(
+        text.as_bytes(),
+        StreamFormat::Xml,
+        &InferOptions::xml(),
+        DEFAULT_CHUNK_SIZE,
+    )
+    .expect("bench corpus is valid")
+    .shape
 }
 
 /// [`stream_json_pipeline`] for CSV text; the row fold is re-wrapped as
 /// a collection to match the one-shot front-end's corpus shape.
 pub fn stream_csv_pipeline(text: &str) -> Shape {
-    let summary =
-        infer_reader(text.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), DEFAULT_CHUNK_SIZE)
-            .expect("bench corpus is valid");
+    let summary = infer_reader(
+        text.as_bytes(),
+        StreamFormat::Csv,
+        &InferOptions::csv(),
+        DEFAULT_CHUNK_SIZE,
+    )
+    .expect("bench corpus is valid");
     Shape::list(summary.shape)
 }
 

@@ -1,7 +1,9 @@
 //! Command-line argument handling and subcommands for `tfd`.
 
-use tfd_codegen::{generate, CodegenOptions, SourceFormat};
-use tfd_core::{csh, globalize, infer_many, infer_reader, InferOptions, Shape, StreamFormat};
+use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
+use tfd_core::{
+    csh, globalize_env, infer_many, infer_reader, GlobalShape, InferOptions, Shape, StreamFormat,
+};
 use tfd_value::Value;
 
 const USAGE: &str = "\
@@ -58,11 +60,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
             "--chunk-size" => {
                 i += 1;
                 let v = args.get(i).ok_or("--chunk-size requires a value")?;
-                chunk_size = v
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n > 0)
-                    .ok_or_else(|| format!("--chunk-size must be a positive integer, got {v}"))?;
+                chunk_size =
+                    v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--chunk-size must be a positive integer, got {v}")
+                    })?;
             }
             "--module" => {
                 i += 1;
@@ -111,15 +112,28 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
 
     let shape = if stream {
-        stream_shape(&files, format, global, chunk_size)?
+        stream_shape(&files, format, chunk_size)?
     } else {
-        infer(&read_values(&files, format)?, format, global)
+        infer(&read_values(&files, format)?, format)
+    };
+    // The §6.2 global mode goes through the env-carrying form
+    // (`GlobalShape`): recursion is represented by μ-references into the
+    // definitions table, so `--global` reaches a true fixed point even
+    // on mutually recursive corpora.
+    let global_shape = if global {
+        globalize_env(shape)
+    } else {
+        GlobalShape::plain(shape)
     };
 
     match command {
-        "infer" => Ok(format!("{shape}\n")),
+        "infer" => Ok(format!("{}\n", global_shape.inline())),
         "fsharp" => {
-            let provided = tfd_provider::provide_idiomatic(&shape, &root);
+            let provided = if global {
+                tfd_provider::provide_global(&global_shape, &root)
+            } else {
+                tfd_provider::provide_idiomatic(&global_shape.root, &root)
+            };
             Ok(tfd_provider::signature(&provided))
         }
         "rust" => {
@@ -133,7 +147,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 },
                 sample_text: None,
             };
-            Ok(generate(&shape, &module, &root, &options))
+            Ok(generate_global(&global_shape, &module, &root, &options))
         }
         other => Err(format!("unknown command {other}\n\n{USAGE}")),
     }
@@ -148,12 +162,7 @@ fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, String> {
 /// running shape — corpora never need to fit in memory. Per-file folds
 /// merge with `csh`, which is exactly the `infer_many` fold over the
 /// concatenated record sequence.
-fn stream_shape(
-    files: &[String],
-    format: Format,
-    global: bool,
-    chunk_size: usize,
-) -> Result<Shape, String> {
+fn stream_shape(files: &[String], format: Format, chunk_size: usize) -> Result<Shape, String> {
     let (sformat, options) = match format {
         Format::Json => (StreamFormat::Json, InferOptions::json()),
         Format::Xml => (StreamFormat::Xml, InferOptions::xml()),
@@ -178,7 +187,7 @@ fn stream_shape(
     if format == Format::Csv {
         combined = Shape::list(combined);
     }
-    Ok(if global { globalize(combined) } else { combined })
+    Ok(combined)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,7 +204,9 @@ fn parse_format(s: &str) -> Result<Format, String> {
         "xml" => Ok(Format::Xml),
         "csv" => Ok(Format::Csv),
         "html" => Ok(Format::Html),
-        other => Err(format!("unknown format {other} (expected json, xml, csv or html)")),
+        other => Err(format!(
+            "unknown format {other} (expected json, xml, csv or html)"
+        )),
     }
 }
 
@@ -232,18 +243,13 @@ fn read_value(file: &str, format: Format) -> Result<Value, String> {
     }
 }
 
-fn infer(values: &[Value], format: Format, global: bool) -> Shape {
+fn infer(values: &[Value], format: Format) -> Shape {
     let options = match format {
         Format::Json => InferOptions::json(),
         Format::Xml => InferOptions::xml(),
         Format::Csv | Format::Html => InferOptions::csv(),
     };
-    let shape = infer_many(values, &options);
-    if global {
-        globalize(shape)
-    } else {
-        shape
-    }
+    infer_many(values, &options)
 }
 
 #[cfg(test)]
@@ -357,8 +363,7 @@ mod tests {
             let f = write_temp(name, content);
             let plain = run_args(&["infer", &f]).unwrap();
             for chunk in ["1", "7", "65536"] {
-                let streamed =
-                    run_args(&["infer", "--stream", "--chunk-size", chunk, &f]).unwrap();
+                let streamed = run_args(&["infer", "--stream", "--chunk-size", chunk, &f]).unwrap();
                 assert_eq!(streamed, plain, "{name} at chunk size {chunk}");
             }
         }
@@ -407,9 +412,11 @@ mod tests {
     fn stream_mode_rejects_record_free_input_like_the_oneshot_path() {
         // Both modes must reject input with nothing to infer from,
         // rather than --stream silently printing ⊥.
-        for (name, content) in
-            [("e.json", "  \n "), ("e.xml", "<!-- only a comment -->"), ("e.csv", "")]
-        {
+        for (name, content) in [
+            ("e.json", "  \n "),
+            ("e.xml", "<!-- only a comment -->"),
+            ("e.csv", ""),
+        ] {
             let f = write_temp(name, content);
             assert!(run_args(&["infer", &f]).is_err(), "{name} (one-shot)");
             let err = run_args(&["infer", "--stream", &f]).unwrap_err();

@@ -10,8 +10,9 @@
 use crate::rust_names::{snake_case, struct_name};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use tfd_core::{tag_of, Multiplicity, Shape, Tag};
+use tfd_core::{tag_of, GlobalShape, Multiplicity, Shape, ShapeEnv, Tag};
 use tfd_provider::naming::ClassNamer;
+use tfd_value::Name;
 
 /// Which front-end the generated `parse`/`load` functions use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,35 @@ pub fn generate(
     root_hint: &str,
     options: &CodegenOptions,
 ) -> String {
+    generate_global(
+        &GlobalShape::plain(shape.clone()),
+        module_name,
+        root_hint,
+        options,
+    )
+}
+
+/// Generates a Rust module providing typed access for a [`GlobalShape`]
+/// — the §6.2 global-inference result.
+///
+/// Every environment definition becomes **one struct**, emitted in
+/// topological order (dependencies first, cycles broken at the back
+/// edge), and every [`Shape::Ref`] maps to that struct — so recursive
+/// XML name classes come out as genuinely recursive Rust types. The
+/// indirection recursion needs is already there: provided structs wrap a
+/// runtime [`Node`](https://docs.rs) (a `Box`-like handle over the
+/// document), collections come back as `Vec<T>`, and optional nesting as
+/// `Option<T>` — an accessor on `Div` can therefore return
+/// `Option<Div>` without constructing an infinite type. When the
+/// environment is non-empty, a `SHAPE_ENV` static is emitted and the
+/// labelled-top case checks run env-aware (`case_in`), so `hasShape`
+/// tests unfold μ-references all the way down.
+pub fn generate_global(
+    global: &GlobalShape,
+    module_name: &str,
+    root_hint: &str,
+    options: &CodegenOptions,
+) -> String {
     let mut emitter = Emitter {
         prefix: options.crate_prefix.clone(),
         items: Vec::new(),
@@ -79,15 +109,32 @@ pub fn generate(
         memo: HashMap::new(),
         namer: ClassNamer::new(),
         static_count: 0,
+        env: global.env.clone(),
+        ref_structs: HashMap::new(),
+        env_static_emitted: false,
     };
-    let root_ty = emitter.ty_of(shape, root_hint);
-    let root_conv = emitter.conv(shape, "node", root_hint);
+    // One struct per environment definition, topologically ordered:
+    // reserve all names first (mutual recursion), then emit bodies.
+    let ordered = topo_order(global);
+    for &name in &ordered {
+        let struct_for_def = emitter.namer.fresh(&name);
+        emitter.ref_structs.insert(name, struct_for_def);
+    }
+    for &name in &ordered {
+        if let Some(def) = global.env.get(name) {
+            let def_struct = emitter.ref_structs[&name].clone();
+            let body = emitter.record_struct(&def_struct, def);
+            emitter.items.push(body);
+        }
+    }
+    let root_ty = emitter.ty_of(&global.root, root_hint);
+    let root_conv = emitter.conv(&global.root, "node", root_hint);
 
     let p = &options.crate_prefix;
     let mut out = String::new();
     let _ = writeln!(out, "/// Typed access module generated by types-from-data.");
     let _ = writeln!(out, "///");
-    let _ = writeln!(out, "/// Inferred shape: `{shape}`");
+    let _ = writeln!(out, "/// Inferred shape: `{global}`");
     let _ = writeln!(out, "pub mod {module_name} {{");
     let _ = writeln!(out, "    #![allow(dead_code, clippy::all)]");
     let _ = writeln!(out, "    use {p}::runtime::{{AccessError, Node}};");
@@ -211,6 +258,62 @@ fn is_text_only(r: &tfd_core::RecordShape) -> bool {
     r.fields.len() == 1 && r.fields[0].name == tfd_value::BODY_NAME
 }
 
+/// Orders the environment definitions dependencies-first (post-order
+/// DFS from the root's references; cycles are broken at the back edge,
+/// which is where the recursion genuinely lives). Definitions unreachable
+/// from the root follow in table order.
+fn topo_order(global: &GlobalShape) -> Vec<Name> {
+    fn refs_of(shape: &Shape, out: &mut Vec<Name>) {
+        match shape {
+            Shape::Ref(n) => out.push(*n),
+            Shape::Record(r) => {
+                for f in &r.fields {
+                    refs_of(&f.shape, out);
+                }
+            }
+            Shape::Nullable(s) | Shape::List(s) => refs_of(s, out),
+            Shape::Top(labels) => {
+                for l in labels {
+                    refs_of(l, out);
+                }
+            }
+            Shape::HeteroList(cases) => {
+                for (s, _) in cases {
+                    refs_of(s, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn visit(name: Name, global: &GlobalShape, seen: &mut Vec<Name>, out: &mut Vec<Name>) {
+        if seen.contains(&name) {
+            return; // already placed, or a cycle's back edge
+        }
+        seen.push(name);
+        if let Some(def) = global.env.get(name) {
+            let mut deps = Vec::new();
+            for f in &def.fields {
+                refs_of(&f.shape, &mut deps);
+            }
+            for dep in deps {
+                visit(dep, global, seen, out);
+            }
+            out.push(name);
+        }
+    }
+    let mut seen = Vec::new();
+    let mut out = Vec::new();
+    let mut root_refs = Vec::new();
+    refs_of(&global.root, &mut root_refs);
+    for r in root_refs {
+        visit(r, global, &mut seen, &mut out);
+    }
+    for name in global.env.names() {
+        visit(name, global, &mut seen, &mut out);
+    }
+    out
+}
+
 struct Emitter {
     prefix: String,
     items: Vec<String>,
@@ -218,6 +321,13 @@ struct Emitter {
     memo: HashMap<Shape, String>,
     namer: ClassNamer,
     static_count: usize,
+    /// The definitions table of the [`GlobalShape`] being emitted.
+    env: ShapeEnv,
+    /// Struct name reserved for each definition (μ-references resolve
+    /// here).
+    ref_structs: HashMap<Name, String>,
+    /// Whether the `SHAPE_ENV` static has been emitted yet.
+    env_static_emitted: bool,
 }
 
 impl Emitter {
@@ -235,9 +345,13 @@ impl Emitter {
             // §6.3 collapse: a text-only element (a record whose only
             // field is the `•` body) reads as its content.
             Shape::Record(r) if is_text_only(r) => self.ty_of(&r.fields[0].shape, hint),
-            Shape::Record(_) | Shape::Top(_) | Shape::HeteroList(_) => {
-                self.struct_for(shape, hint)
-            }
+            Shape::Record(_) | Shape::Top(_) | Shape::HeteroList(_) => self.struct_for(shape, hint),
+            // A μ-reference is its definition's struct — recursion in
+            // the shape becomes recursion between generated types.
+            Shape::Ref(n) => match self.ref_structs.get(n) {
+                Some(name) => name.clone(),
+                None => "Node".to_owned(), // dangling: raw escape hatch
+            },
         }
     }
 
@@ -276,6 +390,10 @@ impl Emitter {
                 let name = self.struct_for(shape, hint);
                 format!("{name}::from_node({node})")
             }
+            Shape::Ref(n) => match self.ref_structs.get(n) {
+                Some(name) => format!("{name}::from_node({node})"),
+                None => format!("({node})"),
+            },
         }
     }
 
@@ -314,13 +432,12 @@ impl Emitter {
     fn record_struct(&mut self, name: &str, r: &tfd_core::RecordShape) -> String {
         let mut out = self.struct_header(
             name,
-            &format!("Provided type for the record shape `{}`.", Shape::Record(r.clone())),
+            &format!(
+                "Provided type for the record shape `{}`.",
+                Shape::Record(r.clone())
+            ),
         );
-        let mut used: Vec<String> = vec![
-            "from_node".into(),
-            "raw".into(),
-            "node".into(),
-        ];
+        let mut used: Vec<String> = vec!["from_node".into(), "raw".into(), "node".into()];
         for field in &r.fields {
             // §6.3 lifting: members of a labelled-top / heterogeneous
             // body (`•` field) are exposed directly on this struct.
@@ -346,7 +463,11 @@ impl Emitter {
             let ty = self.ty_of(&field.shape, &field.name);
             let conv = self.conv(&field.shape, "node", &field.name);
             let _ = writeln!(out);
-            let _ = writeln!(out, "    /// Accesses the `{}` field.", field.name.escape_debug());
+            let _ = writeln!(
+                out,
+                "    /// Accesses the `{}` field.",
+                field.name.escape_debug()
+            );
             let _ = writeln!(out, "    ///");
             let _ = writeln!(out, "    /// # Errors");
             let _ = writeln!(out, "    ///");
@@ -359,7 +480,11 @@ impl Emitter {
                 out,
                 "    pub fn {method}(&self) -> Result<{ty}, AccessError> {{"
             );
-            let _ = writeln!(out, "        let node = self.node.field({:?})?;", field.name);
+            let _ = writeln!(
+                out,
+                "        let node = self.node.field({:?})?;",
+                field.name
+            );
             let _ = writeln!(out, "        Ok({conv})");
             let _ = writeln!(out, "    }}");
         }
@@ -397,6 +522,15 @@ impl Emitter {
             let shape_static = self.shape_static(label);
             let ty = self.ty_of(label, &method);
             let conv = self.conv(label, "node", &method);
+            // μ-references inside case shapes need the definitions
+            // table: route the hasShape test through the env-aware
+            // checker whenever one is in play.
+            let case_call = if self.env.is_empty() {
+                format!("({base}).case(&{shape_static})")
+            } else {
+                let env_static = self.env_static();
+                format!("({base}).case_in(&{shape_static}, &{env_static})")
+            };
             let _ = writeln!(out);
             let _ = writeln!(
                 out,
@@ -405,12 +539,15 @@ impl Emitter {
             let _ = writeln!(out, "    ///");
             let _ = writeln!(out, "    /// # Errors");
             let _ = writeln!(out, "    ///");
-            let _ = writeln!(out, "    /// Fails only when the matched value cannot convert.");
+            let _ = writeln!(
+                out,
+                "    /// Fails only when the matched value cannot convert."
+            );
             let _ = writeln!(
                 out,
                 "    pub fn {method}(&self) -> Result<Option<{ty}>, AccessError> {{"
             );
-            let _ = writeln!(out, "        match ({base}).case(&{shape_static}) {{");
+            let _ = writeln!(out, "        match {case_call} {{");
             let _ = writeln!(out, "            Some(node) => Ok(Some({conv})),");
             let _ = writeln!(out, "            None => Ok(None),");
             let _ = writeln!(out, "        }}");
@@ -419,10 +556,8 @@ impl Emitter {
     }
 
     fn hetero_struct(&mut self, name: &str, cases: &[(Shape, Multiplicity)]) -> String {
-        let mut out = self.struct_header(
-            name,
-            "Provided type for a heterogeneous collection (§6.4).",
-        );
+        let mut out =
+            self.struct_header(name, "Provided type for a heterogeneous collection (§6.4).");
         let mut used: Vec<String> = vec!["from_node".into(), "raw".into(), "node".into()];
         self.emit_hetero_methods(&mut out, &mut used, cases, "self.node.clone()");
         out.push_str("}\n");
@@ -510,6 +645,39 @@ impl Emitter {
         }
     }
 
+    /// Emits (once) a `LazyLock<ShapeEnv>` static holding the
+    /// definitions table; returns its name.
+    fn env_static(&mut self) -> String {
+        let name = "SHAPE_ENV".to_owned();
+        if self.env_static_emitted {
+            return name;
+        }
+        self.env_static_emitted = true;
+        let p = self.prefix.clone();
+        let defs: Vec<String> = self
+            .env
+            .iter()
+            .map(|(n, def)| {
+                let fields: Vec<String> = def
+                    .fields
+                    .iter()
+                    .map(|f| format!("({:?}, {})", f.name, self.shape_expr(&f.shape)))
+                    .collect();
+                format!(
+                    "({p}::value::Name::new({:?}), {p}::shape::RecordShape::new({:?}, vec![{}]))",
+                    n.as_str(),
+                    def.name,
+                    fields.join(", ")
+                )
+            })
+            .collect();
+        self.statics.push(format!(
+            "static {name}: std::sync::LazyLock<{p}::shape::ShapeEnv> =\n    std::sync::LazyLock::new(|| {p}::shape::ShapeEnv::from_defs(vec![{}]));",
+            defs.join(", ")
+        ));
+        name
+    }
+
     /// Emits a `LazyLock<Shape>` static for a label shape; returns its name.
     fn shape_static(&mut self, shape: &Shape) -> String {
         self.static_count += 1;
@@ -561,9 +729,7 @@ impl Emitter {
                 let fields: Vec<String> = r
                     .fields
                     .iter()
-                    .map(|f| {
-                        format!("({:?}, {})", f.name, self.shape_expr(&f.shape))
-                    })
+                    .map(|f| format!("({:?}, {})", f.name, self.shape_expr(&f.shape)))
                     .collect();
                 format!(
                     "{p}::shape::Shape::record({:?}, vec![{}])",
@@ -594,6 +760,12 @@ impl Emitter {
                     })
                     .collect();
                 format!("{p}::shape::Shape::HeteroList(vec![{}])", items.join(", "))
+            }
+            Shape::Ref(n) => {
+                format!(
+                    "{p}::shape::Shape::Ref({p}::value::Name::new({:?}))",
+                    n.as_str()
+                )
             }
         }
     }
@@ -631,10 +803,7 @@ mod tests {
     #[test]
     fn nested_structs_are_emitted_once() {
         let inner = Shape::record("point", [("x", Shape::Int)]);
-        let shape = Shape::record(
-            "pair",
-            [("a", inner.clone()), ("b", inner)],
-        );
+        let shape = Shape::record("pair", [("a", inner.clone()), ("b", inner)]);
         let code = gen(&shape);
         assert_eq!(code.matches("pub struct Point").count(), 1);
     }
@@ -667,7 +836,10 @@ mod tests {
 
     #[test]
     fn top_struct_has_case_methods() {
-        let shape = Shape::Top(vec![Shape::Int, Shape::record("heading", [("x", Shape::Int)])]);
+        let shape = Shape::Top(vec![
+            Shape::Int,
+            Shape::record("heading", [("x", Shape::Int)]),
+        ]);
         let code = gen(&shape);
         assert!(code.contains("pub fn number(&self) -> Result<Option<i64>, AccessError>"));
         assert!(code.contains("pub fn heading(&self) -> Result<Option<Heading>, AccessError>"));
@@ -723,17 +895,108 @@ mod tests {
     #[test]
     fn custom_crate_prefix() {
         let shape = Shape::record("r", [("a", Shape::Int)]);
-        let opts = CodegenOptions { crate_prefix: "crate".to_owned(), ..Default::default() };
+        let opts = CodegenOptions {
+            crate_prefix: "crate".to_owned(),
+            ..Default::default()
+        };
         let code = generate(&shape, "m", "Root", &opts);
         assert!(code.contains("use crate::runtime::{AccessError, Node};"));
         assert!(!code.contains("::types_from_data"));
+    }
+
+    fn ul_li_global() -> tfd_core::GlobalShape {
+        use tfd_core::{RecordShape, ShapeEnv};
+        let env = ShapeEnv::from_defs([
+            (
+                Name::new("ul"),
+                RecordShape::new(
+                    "ul",
+                    [
+                        ("id", Shape::Int),
+                        ("item", Shape::list(Shape::Ref("li".into()))),
+                    ],
+                ),
+            ),
+            (
+                Name::new("li"),
+                RecordShape::new("li", [("sub", Shape::Ref("ul".into()).ceil())]),
+            ),
+        ]);
+        tfd_core::GlobalShape {
+            root: Shape::Ref("ul".into()),
+            env,
+        }
+    }
+
+    #[test]
+    fn global_emits_one_struct_per_definition_topologically() {
+        let g = ul_li_global();
+        let code = generate_global(&g, "m", "Root", &CodegenOptions::default());
+        assert_eq!(code.matches("pub struct Ul").count(), 1, "{code}");
+        assert_eq!(code.matches("pub struct Li").count(), 1, "{code}");
+        // Dependencies first: the root's class (Ul) depends on Li, so Li
+        // is emitted before Ul (the cycle is broken at the back edge).
+        let li_pos = code.find("pub struct Li").unwrap();
+        let ul_pos = code.find("pub struct Ul").unwrap();
+        assert!(li_pos < ul_pos, "definitions must be topologically ordered");
+        // Mutually recursive accessors, typed by each other's structs:
+        assert!(
+            code.contains("pub fn item(&self) -> Result<Vec<Li>, AccessError>"),
+            "{code}"
+        );
+        assert!(
+            code.contains("pub fn sub(&self) -> Result<Option<Ul>, AccessError>"),
+            "{code}"
+        );
+        // The root conversion produces the Ul struct:
+        assert!(code.contains("-> Result<Ul, AccessError>"), "{code}");
+        // Deterministic:
+        assert_eq!(
+            code,
+            generate_global(&g, "m", "Root", &CodegenOptions::default())
+        );
+    }
+
+    #[test]
+    fn global_case_shapes_check_through_the_env_static() {
+        use tfd_core::{RecordShape, ShapeEnv};
+        // A labelled top whose case is a μ-reference: hasShape needs the
+        // definitions table at runtime.
+        let env = ShapeEnv::from_defs([(
+            Name::new("div"),
+            RecordShape::new("div", [("child", Shape::Ref("div".into()).ceil())]),
+        )]);
+        let g = tfd_core::GlobalShape {
+            root: Shape::Top(vec![Shape::Int, Shape::Ref("div".into())]),
+            env,
+        };
+        let code = generate_global(&g, "m", "Root", &CodegenOptions::default());
+        assert!(code.contains("static SHAPE_ENV"), "{code}");
+        assert!(code.contains("ShapeEnv::from_defs"), "{code}");
+        assert!(code.contains("case_in(&SHAPE_"), "{code}");
+        assert!(
+            !code.contains(").case(&"),
+            "plain case must not be used: {code}"
+        );
+        assert!(code.contains("Shape::Ref("), "{code}");
+    }
+
+    #[test]
+    fn plain_generate_never_emits_the_env_static() {
+        let shape = Shape::Top(vec![Shape::Int, Shape::record("r", [("a", Shape::Int)])]);
+        let code = gen(&shape);
+        assert!(!code.contains("SHAPE_ENV"), "{code}");
+        assert!(code.contains(").case(&SHAPE_"), "{code}");
     }
 
     #[test]
     fn shape_expr_roundtrip_forms() {
         // The emitted shape expressions mention every constructor.
         let shape = Shape::Top(vec![
-            Shape::record("r", [("a", Shape::Int.ceil()), ("b", Shape::list(Shape::Date))]),
+            Shape::record(
+                "r",
+                [("a", Shape::Int.ceil()), ("b", Shape::list(Shape::Date))],
+            ),
             Shape::String,
         ]);
         let code = gen(&shape);

@@ -43,5 +43,5 @@
 mod emit;
 mod rust_names;
 
-pub use emit::{generate, CodegenOptions, SourceFormat};
+pub use emit::{generate, generate_global, CodegenOptions, SourceFormat};
 pub use rust_names::{snake_case, struct_name};

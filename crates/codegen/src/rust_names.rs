@@ -61,13 +61,57 @@ pub fn snake_case(name: &str) -> String {
 fn is_keyword(s: &str) -> bool {
     matches!(
         s,
-        "as" | "break" | "const" | "continue" | "crate" | "dyn" | "else" | "enum"
-            | "extern" | "false" | "fn" | "for" | "if" | "impl" | "in" | "let" | "loop"
-            | "match" | "mod" | "move" | "mut" | "pub" | "ref" | "return" | "self"
-            | "static" | "struct" | "super" | "trait" | "true" | "type" | "unsafe"
-            | "use" | "where" | "while" | "async" | "await" | "abstract" | "become"
-            | "box" | "do" | "final" | "macro" | "override" | "priv" | "typeof"
-            | "unsized" | "virtual" | "yield" | "try" | "raw" | "gen"
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "async"
+            | "await"
+            | "abstract"
+            | "become"
+            | "box"
+            | "do"
+            | "final"
+            | "macro"
+            | "override"
+            | "priv"
+            | "typeof"
+            | "unsized"
+            | "virtual"
+            | "yield"
+            | "try"
+            | "raw"
+            | "gen"
     )
 }
 

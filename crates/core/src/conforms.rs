@@ -1,6 +1,15 @@
 //! Runtime shape conformance — the semantics of `hasShape(σ, d)`
 //! (Fig. 6, Part I), shared by the Foo interpreter and the Rust runtime.
+//!
+//! [`conforms_in`] decides conformance under a shape environment:
+//! μ-references unfold to their record definitions on demand. No memo is
+//! needed for termination — every unfolding is immediately followed by a
+//! record-vs-value comparison, and data values are finite trees that
+//! strictly shrink (a missing field compares the definition against
+//! `null`, which records reject without further unfolding).
 
+use crate::env::ShapeEnv;
+use crate::shape::RecordShape;
 use crate::tags::{tag_of, Tag};
 use crate::Shape;
 use tfd_value::Value;
@@ -10,6 +19,10 @@ use tfd_value::Value;
 /// tops, the `bit`/`date` primitives and heterogeneous collections (see
 /// `tfd-foo::ops::has_shape` for the rule-by-rule correspondence).
 ///
+/// A [`Shape::Ref`] without an environment degrades to a record-name
+/// check (the reference's tag); use [`conforms_in`] to check the full
+/// definition.
+///
 /// ```
 /// use tfd_core::{conforms, Shape};
 /// use tfd_value::Value;
@@ -17,19 +30,44 @@ use tfd_value::Value;
 /// assert!(!conforms(&Shape::Bool, &Value::Int(42)));
 /// ```
 pub fn conforms(shape: &Shape, d: &Value) -> bool {
+    conforms_in(shape, d, None)
+}
+
+/// [`conforms`] under an optional shape environment: μ-references unfold
+/// through `env`, so recursive provided types can check their values all
+/// the way down.
+///
+/// ```
+/// use tfd_core::{conforms_in, RecordShape, Shape, ShapeEnv};
+/// use tfd_value::{rec, Value};
+///
+/// let env = ShapeEnv::from_defs([(
+///     "div".into(),
+///     RecordShape::new("div", [("child", Shape::Ref("div".into()).ceil())]),
+/// )]);
+/// let d = rec("div", [("child", rec("div", [] as [(&str, Value); 0]))]);
+/// assert!(conforms_in(&Shape::Ref("div".into()), &d, Some(&env)));
+/// assert!(!conforms_in(&Shape::Ref("div".into()), &Value::Int(1), Some(&env)));
+/// ```
+pub fn conforms_in(shape: &Shape, d: &Value, env: Option<&ShapeEnv>) -> bool {
     match (shape, d) {
-        (Shape::Record(r), Value::Record { name, fields }) => {
-            r.name == *name
-                && r.fields.iter().all(|f| {
-                    match fields.iter().find(|g| g.name == f.name) {
-                        Some(g) => conforms(&f.shape, &g.value),
-                        // A nullable field may be missing entirely.
-                        None => conforms(&f.shape, &Value::Null),
-                    }
-                })
+        (Shape::Ref(n), Value::Record { name, .. }) => {
+            if n != name {
+                return false;
+            }
+            match env.and_then(|e| e.get(*n)) {
+                // Unfold the definition; `d` shrinks at every record
+                // step, so recursion terminates.
+                Some(def) => record_conforms(def, d, env),
+                // No definition in scope: the name match is all we know.
+                None => true,
+            }
         }
+        (Shape::Ref(_), _) => false,
+        (Shape::Record(r), Value::Record { .. }) => record_conforms(r, d, env),
+        (Shape::Record(_), _) => false,
         (Shape::List(element), Value::List(items)) => {
-            items.iter().all(|item| conforms(element, item))
+            items.iter().all(|item| conforms_in(element, item, env))
         }
         (Shape::List(_), Value::Null) => true,
         (Shape::String, Value::Str(_)) => true,
@@ -37,7 +75,7 @@ pub fn conforms(shape: &Shape, d: &Value) -> bool {
         (Shape::Bool, Value::Bool(_)) => true,
         (Shape::Float, Value::Int(_) | Value::Float(_)) => true,
         (Shape::Nullable(_), Value::Null) => true,
-        (Shape::Nullable(inner), d) => conforms(inner, d),
+        (Shape::Nullable(inner), d) => conforms_in(inner, d, env),
         (Shape::Null, Value::Null) => true,
         (Shape::Top(_), _) => true,
         (Shape::Bit, Value::Int(i)) => *i == 0 || *i == 1,
@@ -48,7 +86,9 @@ pub fn conforms(shape: &Shape, d: &Value) -> bool {
             // the tagged accessors skip them).
             items.iter().all(|item| {
                 item.is_null()
-                    || cases.iter().any(|(cs, _)| value_matches_tag(&tag_of(cs), item))
+                    || cases
+                        .iter()
+                        .any(|(cs, _)| value_matches_tag(&tag_of(cs), item))
             }) && cases.iter().all(|(cs, m)| {
                 let count = items
                     .iter()
@@ -59,6 +99,22 @@ pub fn conforms(shape: &Shape, d: &Value) -> bool {
         }
         _ => false,
     }
+}
+
+/// The record rule on a record view (shared by inline records and
+/// unfolded μ-definitions).
+fn record_conforms(r: &RecordShape, d: &Value, env: Option<&ShapeEnv>) -> bool {
+    let Value::Record { name, fields } = d else {
+        return false;
+    };
+    r.name == *name
+        && r.fields.iter().all(|f| {
+            match fields.iter().find(|g| g.name == f.name) {
+                Some(g) => conforms_in(&f.shape, &g.value, env),
+                // A nullable field may be missing entirely.
+                None => conforms_in(&f.shape, &Value::Null, env),
+            }
+        })
 }
 
 /// Does a data value belong to a shape-tag's family? Used to select
@@ -112,9 +168,61 @@ mod tests {
     fn tag_matching() {
         assert!(value_matches_tag(&Tag::Number, &Value::Int(1)));
         assert!(value_matches_tag(&Tag::Number, &Value::Float(1.0)));
-        assert!(value_matches_tag(&Tag::Name("P".into()), &rec("P", [("x", Value::Int(1))])));
-        assert!(!value_matches_tag(&Tag::Name("P".into()), &rec("Q", [("x", Value::Int(1))])));
+        assert!(value_matches_tag(
+            &Tag::Name("P".into()),
+            &rec("P", [("x", Value::Int(1))])
+        ));
+        assert!(!value_matches_tag(
+            &Tag::Name("P".into()),
+            &rec("Q", [("x", Value::Int(1))])
+        ));
         assert!(value_matches_tag(&Tag::Any, &Value::Null));
         assert!(!value_matches_tag(&Tag::Bool, &Value::Int(0)));
+    }
+
+    /// Cycle-cut termination proof: conformance of arbitrarily deep
+    /// recursive values against a self-referential definition terminates
+    /// (data is finite; every unfolding consumes a record level).
+    #[test]
+    fn recursive_ref_conformance_unfolds_through_the_env() {
+        let env = ShapeEnv::from_defs([(
+            "div".into(),
+            RecordShape::new(
+                "div",
+                [
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Shape::Int.ceil()),
+                ],
+            ),
+        )]);
+        let shape = Shape::Ref("div".into());
+        // Three levels of nesting, all conforming:
+        let deep = rec(
+            "div",
+            [(
+                "child",
+                rec("div", [("child", rec("div", [("x", Value::Int(1))]))]),
+            )],
+        );
+        assert!(conforms_in(&shape, &deep, Some(&env)));
+        // A violation deep inside is found (x must be int-ish):
+        let bad = rec("div", [("child", rec("div", [("x", Value::Bool(true))]))]);
+        assert!(!conforms_in(&shape, &bad, Some(&env)));
+        // Wrong record name fails at the top:
+        assert!(!conforms_in(
+            &shape,
+            &rec("span", [("x", Value::Int(1))]),
+            Some(&env)
+        ));
+    }
+
+    #[test]
+    fn env_free_ref_checks_the_name_only() {
+        let shape = Shape::Ref("div".into());
+        assert!(conforms(&shape, &rec("div", [("anything", Value::Int(1))])));
+        assert!(!conforms(&shape, &rec("span", [] as [(&str, Value); 0])));
+        assert!(!conforms(&shape, &Value::Null));
+        // nullable ref admits null:
+        assert!(conforms(&shape.ceil(), &Value::Null));
     }
 }

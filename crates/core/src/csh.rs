@@ -100,6 +100,15 @@ pub fn csh(a: Shape, b: Shape) -> Shape {
         // the record's row variable, Fig. 3).
         (Record(ra), Record(rb)) if ra.name == rb.name => Record(record_join(ra, rb)),
 
+        // (μ-absorb) — a same-name μ-reference absorbs an inline record
+        // occurrence. Env-free, a reference reads as the top of its name
+        // class (`is_preferred` agrees: any same-name record is below
+        // it), so the reference is the least upper bound here. Callers
+        // holding an environment should prefer [`csh_in`], which
+        // *widens* the definition with the occurrence instead of
+        // appealing to the class-top reading.
+        (Ref(n), Record(r)) | (Record(r), Ref(n)) if r.name == n => Ref(n),
+
         // (top-any) / (any) — the last resort. Labels are kept in the
         // canonical tag order so that csh is commutative on the nose.
         (a, b) => {
@@ -108,6 +117,44 @@ pub fn csh(a: Shape, b: Shape) -> Shape {
             Top(labels)
         }
     }
+}
+
+/// [`csh`] under a shape environment, consuming both shapes and widening
+/// the environment in place.
+///
+/// Both arguments are first absorbed into `env` ([`ShapeEnv::absorb`]):
+/// every record whose name has a definition is joined into that
+/// definition and replaced by a [`Shape::Ref`]. The plain join then only
+/// ever meets references of equal names (`(eq)`) or of different tags
+/// (`(top-any)`), so the μ-unfolding never loops: the join side
+/// terminates by canonicalizing first, and the relation side is
+/// name-decided for reference pairs (see `prefer`'s module docs).
+///
+/// ```
+/// use tfd_core::{csh_in, RecordShape, Shape, ShapeEnv};
+///
+/// let mut env = ShapeEnv::from_defs([(
+///     "div".into(),
+///     RecordShape::new("div", [("x", Shape::Int)]),
+/// )]);
+/// let fresh = Shape::record("div", [("y", Shape::Bool)]);
+/// let joined = csh_in(Shape::Ref("div".into()), fresh, &mut env);
+/// assert_eq!(joined, Shape::Ref("div".into()));
+/// // The definition widened to carry both (now optional) fields:
+/// let def = env.get("div".into()).unwrap();
+/// assert_eq!(def.field("y"), Some(&Shape::Bool.ceil()));
+/// ```
+pub fn csh_in(a: Shape, b: Shape, env: &mut crate::ShapeEnv) -> Shape {
+    // References without a definition get one seeded (empty) first, so
+    // a same-name record on the other side widens the new definition
+    // rather than vanishing into the env-free class-top rule — the join
+    // stays an upper bound even when a hand-built shape's references
+    // outrun the table.
+    env.seed_dangling(&a);
+    env.seed_dangling(&b);
+    let a = env.absorb(a);
+    let b = env.absorb(b);
+    csh(a, b)
 }
 
 /// Folds `csh` over any number of shapes, starting from ⊥ — the
@@ -150,11 +197,17 @@ fn record_join(a: RecordShape, b: RecordShape) -> RecordShape {
             Some(fb) => csh(fa.shape, fb.shape),
             None => fa.shape.ceil(),
         };
-        fields.push(FieldShape { name: fa.name, shape });
+        fields.push(FieldShape {
+            name: fa.name,
+            shape,
+        });
     }
     for fb in b_fields.into_iter().flatten() {
         if !a_names.contains(&fb.name) {
-            fields.push(FieldShape { name: fb.name, shape: fb.shape.ceil() });
+            fields.push(FieldShape {
+                name: fb.name,
+                shape: fb.shape.ceil(),
+            });
         }
     }
     RecordShape { name, fields }
@@ -210,10 +263,7 @@ fn to_cases(shape: Shape) -> Vec<(Shape, Multiplicity)> {
 
 /// §6.4: "We merge cases with the same tag (by finding their common
 /// shape) and calculate their new shared multiplicity."
-fn hetero_join(
-    a: Vec<(Shape, Multiplicity)>,
-    b: Vec<(Shape, Multiplicity)>,
-) -> Shape {
+fn hetero_join(a: Vec<(Shape, Multiplicity)>, b: Vec<(Shape, Multiplicity)>) -> Shape {
     let mut b_slots: Vec<Option<(Shape, Multiplicity)>> = b.into_iter().map(Some).collect();
     let mut cases: Vec<(Shape, Multiplicity)> = Vec::with_capacity(a.len() + b_slots.len());
     for (sa, ma) in a {
@@ -502,7 +552,11 @@ mod tests {
         ];
         for a in &shapes {
             for b in &shapes {
-                assert_eq!(csh_ref(a, b), csh_ref(b, a), "csh not commutative on {a}, {b}");
+                assert_eq!(
+                    csh_ref(a, b),
+                    csh_ref(b, a),
+                    "csh not commutative on {a}, {b}"
+                );
             }
         }
     }
@@ -512,5 +566,77 @@ mod tests {
         assert_eq!(csh_all([]), Bottom);
         assert_eq!(csh_all([Int]), Int);
         assert_eq!(csh_all([Int, Float, Null]), Float.ceil());
+    }
+
+    // --- μ-references ---
+
+    #[test]
+    fn refs_join_by_eq_and_absorb_same_name_records() {
+        let r = Ref("div".into());
+        assert_eq!(csh_ref(&r, &r), r);
+        // Same-name record occurrences collapse into the reference:
+        let occ = rec("div", vec![("x", Int)]);
+        assert_eq!(csh_ref(&r, &occ), r);
+        assert_eq!(csh_ref(&occ, &r), r);
+        // null makes the reference nullable like any record:
+        assert_eq!(csh_ref(&Null, &r), dup(&r).ceil());
+        // Different names tag apart and fall to the labelled top:
+        let s = Ref("span".into());
+        let joined = csh_ref(&r, &s);
+        assert_eq!(joined, Top(vec![dup(&r), dup(&s)]));
+    }
+
+    #[test]
+    fn refs_group_with_same_name_records_in_tops() {
+        let r = Ref("div".into());
+        let top = Top(vec![Int, dup(&r)]);
+        let occ = rec("div", vec![("x", Int)]);
+        // (top-incl): the record merges into the same-tag ref label.
+        assert_eq!(csh_ref(&top, &occ), Top(vec![Int, dup(&r)]));
+    }
+
+    /// A reference whose name has no definition yet: `csh_in` seeds an
+    /// empty definition first, so the same-name record's fields widen
+    /// the new class instead of vanishing into the env-free class-top
+    /// rule — the join stays an upper bound (regression for a review
+    /// finding).
+    #[test]
+    fn csh_in_seeds_dangling_refs_instead_of_dropping_fields() {
+        use crate::{csh_in, is_preferred_in, ShapeEnv};
+        let mut env = ShapeEnv::new();
+        let occurrence = rec("b", vec![("x", Int)]);
+        let joined = csh_in(Ref("b".into()), dup(&occurrence), &mut env);
+        assert_eq!(joined, Ref("b".into()));
+        let def = env.get("b".into()).expect("dangling ref got a definition");
+        assert_eq!(def.field("x"), Some(&Int.ceil()), "fields must not vanish");
+        assert!(
+            is_preferred_in(&occurrence, &joined, Some(&env)),
+            "the join must remain an upper bound of the record side"
+        );
+    }
+
+    /// Cycle-cut termination proof for the join side: absorbing a deep
+    /// recursive spelling into a self-referential definition terminates
+    /// and widens the definition exactly once per field.
+    #[test]
+    fn csh_in_terminates_on_recursive_spellings() {
+        use crate::{csh_in, RecordShape, ShapeEnv};
+        let mut env = ShapeEnv::from_defs([(
+            "div".into(),
+            RecordShape::new("div", [("child", Ref("div".into()).ceil())]),
+        )]);
+        // div{child: div{child: div{y}}} — three nested occurrences.
+        let deep = rec(
+            "div",
+            vec![(
+                "child",
+                rec("div", vec![("child", rec("div", vec![("y", Bool)]))]),
+            )],
+        );
+        let out = csh_in(Ref("div".into()), deep, &mut env);
+        assert_eq!(out, Ref("div".into()));
+        let def = env.get("div".into()).unwrap();
+        assert_eq!(def.field("child"), Some(&Ref("div".into()).ceil()));
+        assert_eq!(def.field("y"), Some(&Bool.ceil()));
     }
 }

@@ -1,0 +1,541 @@
+//! The shape environment — a named, ordered definitions table that makes
+//! recursive (μ-style) shapes representable.
+//!
+//! The finite-tree shape algebra of §3.1 cannot express recursion: an
+//! element nested inside an element of the same name (`<ul>` containing
+//! `<li>` containing `<ul>`) forces the old `globalize` to cut the
+//! expansion, and PR 3's differential suite proved that no finite-tree
+//! iteration of that cut converges. The fix — exactly how F# Data's
+//! provided types and λDL's concept definitions work — is to make a
+//! nested occurrence a *reference* to its name class rather than an
+//! inline expansion:
+//!
+//! * [`ShapeEnv`] is the ordered `Name → RecordShape` definitions table;
+//! * [`Shape::Ref`] is the back-reference into it;
+//! * [`GlobalShape`] pairs a root shape with its environment — the result
+//!   type of [`globalize_env`](crate::globalize_env), the redesigned
+//!   global-inference entry point.
+//!
+//! The algebra is extended env-aware: [`is_preferred_in`]
+//! (crate::is_preferred_in), [`csh_in`](crate::csh_in),
+//! [`conforms_in`](crate::conforms_in) and [`tag_of_in`]
+//! (crate::tag_of_in) take the environment and handle `Ref`
+//! coinductively — and because references are nominal, the coinduction
+//! is name-decided for reference pairs and one-definition-per-level
+//! unfolding everywhere else (see `prefer`'s module docs for the
+//! termination argument).
+
+use crate::csh::csh;
+use crate::shape::{FieldShape, RecordShape, Shape};
+use std::fmt;
+use tfd_value::Name;
+
+/// An ordered `Name → RecordShape` definitions table.
+///
+/// Each entry defines the record shape of one global name class (§6.2):
+/// a [`Shape::Ref`] with that name, anywhere under the same environment,
+/// denotes this definition. Entry bodies may refer to each other (and to
+/// themselves) through further `Ref`s — mutual recursion is the point.
+///
+/// Equality and hashing are order-insensitive (the table is a map;
+/// definition order only matters for deterministic printing and code
+/// generation, where entries are kept in name order).
+#[derive(Debug, Clone, Default, Eq)]
+pub struct ShapeEnv {
+    defs: Vec<(Name, RecordShape)>,
+}
+
+impl PartialEq for ShapeEnv {
+    fn eq(&self, other: &Self) -> bool {
+        self.defs.len() == other.defs.len()
+            && self
+                .defs
+                .iter()
+                .all(|(n, d)| other.get(*n).is_some_and(|o| o == d))
+    }
+}
+
+impl std::hash::Hash for ShapeEnv {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use std::hash::Hasher;
+        self.defs.len().hash(state);
+        let mut acc: u64 = 0;
+        for (n, d) in &self.defs {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            n.hash(&mut h);
+            d.hash(&mut h);
+            acc ^= h.finish();
+        }
+        acc.hash(state);
+    }
+}
+
+impl ShapeEnv {
+    /// An empty environment (under which `Ref`s are dangling and the
+    /// env-aware algebra degrades to the plain one).
+    pub fn new() -> ShapeEnv {
+        ShapeEnv::default()
+    }
+
+    /// Builds an environment from `(name, definition)` pairs, keeping
+    /// the given order. Later duplicates replace earlier ones.
+    pub fn from_defs<I>(defs: I) -> ShapeEnv
+    where
+        I: IntoIterator<Item = (Name, RecordShape)>,
+    {
+        let mut env = ShapeEnv::new();
+        for (name, def) in defs {
+            env.define(name, def);
+        }
+        env
+    }
+
+    /// Looks up the definition of `name`.
+    pub fn get(&self, name: Name) -> Option<&RecordShape> {
+        self.defs.iter().find(|(n, _)| *n == name).map(|(_, d)| d)
+    }
+
+    /// Returns `true` when `name` has a definition.
+    pub fn contains(&self, name: Name) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Inserts or replaces the definition of `name`.
+    pub fn define(&mut self, name: Name, def: RecordShape) {
+        match self.defs.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, d)) => *d = def,
+            None => self.defs.push((name, def)),
+        }
+    }
+
+    /// Iterates the definitions in table order.
+    pub fn iter(&self) -> impl Iterator<Item = (Name, &RecordShape)> {
+        self.defs.iter().map(|(n, d)| (*n, d))
+    }
+
+    /// Consumes the table, yielding the definitions in order.
+    pub fn into_defs(self) -> Vec<(Name, RecordShape)> {
+        self.defs
+    }
+
+    /// The defined names, in table order.
+    pub fn names(&self) -> impl Iterator<Item = Name> + '_ {
+        self.defs.iter().map(|(n, _)| *n)
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `true` when the table has no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Rewrites `shape` into this environment, consuming it: every
+    /// record whose name is defined here is replaced by a [`Shape::Ref`]
+    /// after its (recursively rewritten) body is joined into the
+    /// definition with [`csh`]. This is the widening half of the
+    /// μ-discipline — absorbing fresh sample data into an existing
+    /// global shape can only generalize the definitions (Lemma 1), so a
+    /// fold that re-absorbs data it has already seen is a no-op.
+    ///
+    /// Records whose names are *not* defined here pass through untouched
+    /// (promotion of newly colliding names is
+    /// [`globalize_env`](crate::globalize_env)'s job, not `absorb`'s).
+    pub fn absorb(&mut self, shape: Shape) -> Shape {
+        match shape {
+            Shape::Record(r) if self.contains(r.name) => {
+                let name = r.name;
+                let fields: Vec<FieldShape> = r
+                    .fields
+                    .into_iter()
+                    .map(|f| FieldShape::new(f.name, self.absorb(f.shape)))
+                    .collect();
+                let occurrence = RecordShape { name, fields };
+                let joined = match self.get(name) {
+                    Some(def) => match csh(Shape::Record(def.clone()), Shape::Record(occurrence)) {
+                        Shape::Record(m) => m,
+                        other => unreachable!("same-name record join left records: {other}"),
+                    },
+                    None => occurrence,
+                };
+                self.define(name, joined);
+                Shape::Ref(name)
+            }
+            Shape::Record(r) => Shape::Record(RecordShape {
+                name: r.name,
+                fields: r
+                    .fields
+                    .into_iter()
+                    .map(|f| FieldShape::new(f.name, self.absorb(f.shape)))
+                    .collect(),
+            }),
+            Shape::Nullable(mut s) => {
+                *s = self.absorb(std::mem::replace(&mut *s, Shape::Bottom));
+                // The invariant that `Nullable` wraps non-nullable shapes
+                // is preserved: absorb maps records to refs, both σ̂.
+                Shape::Nullable(s)
+            }
+            Shape::List(mut s) => {
+                *s = self.absorb(std::mem::replace(&mut *s, Shape::Bottom));
+                Shape::List(s)
+            }
+            Shape::Top(labels) => Shape::Top(labels.into_iter().map(|l| self.absorb(l)).collect()),
+            Shape::HeteroList(cases) => Shape::HeteroList(
+                cases
+                    .into_iter()
+                    .map(|(s, m)| (self.absorb(s), m))
+                    .collect(),
+            ),
+            other => other,
+        }
+    }
+
+    /// Gives every dangling [`Shape::Ref`] in `shape` an (empty) record
+    /// definition. A dangling reference stands for a name class with no
+    /// fields known yet; seeding it before a join lets same-name record
+    /// occurrences *widen* the class instead of being silently absorbed
+    /// by the env-free class-top rule — [`csh_in`](crate::csh_in) calls
+    /// this so its result stays an upper bound even on hand-built
+    /// shapes whose references outrun the table.
+    pub fn seed_dangling(&mut self, shape: &Shape) {
+        let mut missing: Vec<Name> = Vec::new();
+        collect_refs(shape, &mut |n| {
+            if !self.contains(n) && !missing.contains(&n) {
+                missing.push(n);
+            }
+        });
+        for n in missing {
+            self.define(
+                n,
+                RecordShape {
+                    name: n,
+                    fields: Vec::new(),
+                },
+            );
+        }
+    }
+
+    /// Expands `shape` into a finite tree under this environment: every
+    /// [`Shape::Ref`] is replaced by its definition, recursively, except
+    /// at recursion points (a name already being expanded), where the
+    /// reference is kept. Dangling references stay as they are.
+    pub fn inline(&self, shape: &Shape) -> Shape {
+        let mut stack = Vec::new();
+        self.inline_shape(shape, &mut stack)
+    }
+
+    fn inline_shape(&self, shape: &Shape, stack: &mut Vec<Name>) -> Shape {
+        match shape {
+            Shape::Ref(n) => {
+                if stack.contains(n) {
+                    return Shape::Ref(*n); // recursion point: keep the reference
+                }
+                match self.get(*n) {
+                    Some(def) => {
+                        stack.push(*n);
+                        let out = Shape::Record(RecordShape {
+                            name: def.name,
+                            fields: def
+                                .fields
+                                .iter()
+                                .map(|f| {
+                                    FieldShape::new(f.name, self.inline_shape(&f.shape, stack))
+                                })
+                                .collect(),
+                        });
+                        stack.pop();
+                        out
+                    }
+                    None => Shape::Ref(*n), // dangling: nothing to expand
+                }
+            }
+            Shape::Record(r) => Shape::Record(RecordShape {
+                name: r.name,
+                fields: r
+                    .fields
+                    .iter()
+                    .map(|f| FieldShape::new(f.name, self.inline_shape(&f.shape, stack)))
+                    .collect(),
+            }),
+            Shape::Nullable(s) => self.inline_shape(s, stack).ceil(),
+            Shape::List(s) => Shape::list(self.inline_shape(s, stack)),
+            Shape::Top(labels) => {
+                Shape::Top(labels.iter().map(|l| self.inline_shape(l, stack)).collect())
+            }
+            Shape::HeteroList(cases) => Shape::HeteroList(
+                cases
+                    .iter()
+                    .map(|(s, m)| (self.inline_shape(s, stack), *m))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for ShapeEnv {
+    /// Formats the definitions as `ν1 {…}, ν2 {…}` in table order.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (_, def)) in self.defs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", Shape::Record(def.clone()))?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of global (by-name) inference: a root shape together with
+/// the environment its [`Shape::Ref`]s point into.
+///
+/// This is the redesigned §6.2 entry point's return type (see
+/// [`globalize_env`](crate::globalize_env)); the legacy
+/// [`globalize`](crate::globalize) is a thin wrapper that inlines
+/// non-recursive definitions via [`GlobalShape::inline`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GlobalShape {
+    /// The root shape; records of globalized name classes appear as
+    /// [`Shape::Ref`]s into `env`.
+    pub root: Shape,
+    /// The definitions table the root's references resolve in.
+    pub env: ShapeEnv,
+}
+
+impl GlobalShape {
+    /// Wraps a plain (environment-free) shape.
+    pub fn plain(root: Shape) -> GlobalShape {
+        GlobalShape {
+            root,
+            env: ShapeEnv::new(),
+        }
+    }
+
+    /// Folds one more sample shape into the global shape — the
+    /// env-carrying form of the Fig. 3 fold. The shape is absorbed into
+    /// the environment (existing definitions widen by `csh`), joined
+    /// into the root, and newly colliding names are promoted to
+    /// definitions, so incremental streaming reaches the same fixed
+    /// point as a one-shot [`globalize_env`](crate::globalize_env) over
+    /// the whole corpus (the streaming suite asserts this).
+    pub fn absorb(&mut self, shape: Shape) {
+        let root = std::mem::replace(&mut self.root, Shape::Bottom);
+        let mut env = std::mem::take(&mut self.env);
+        // `csh_in` seeds dangling references and widens the definitions;
+        // `saturate` then promotes any newly colliding names.
+        let joined = crate::csh::csh_in(root, shape, &mut env);
+        *self = crate::global::saturate(joined, env);
+    }
+
+    /// The names whose definitions are (transitively) self-referential —
+    /// the classes that genuinely need μ-treatment. Non-recursive names
+    /// can be inlined away (and [`GlobalShape::inline`] does).
+    pub fn recursive_names(&self) -> Vec<Name> {
+        self.env
+            .names()
+            .filter(|&n| self.reachable_from(n).contains(&n))
+            .collect()
+    }
+
+    /// Names reachable from `start`'s definition through `Ref`s
+    /// (transitively; `start` itself is included only when reached).
+    fn reachable_from(&self, start: Name) -> Vec<Name> {
+        let mut seen: Vec<Name> = Vec::new();
+        let mut stack = vec![start];
+        while let Some(m) = stack.pop() {
+            if let Some(def) = self.env.get(m) {
+                for f in &def.fields {
+                    collect_refs(&f.shape, &mut |r| {
+                        if !seen.contains(&r) {
+                            seen.push(r);
+                            stack.push(r);
+                        }
+                    });
+                }
+            }
+        }
+        seen
+    }
+
+    /// Expands the environment back into a finite shape tree: every
+    /// [`Shape::Ref`] is replaced by its definition, recursively, except
+    /// at recursion points (a name already being expanded), where the
+    /// reference is kept — the finite-tree rendering of the μ-shape.
+    /// Non-recursive definitions disappear entirely; this is what the
+    /// legacy [`globalize`](crate::globalize) wrapper returns.
+    pub fn inline(&self) -> Shape {
+        self.env.inline(&self.root)
+    }
+}
+
+/// Calls `f` for every [`Shape::Ref`] name in `shape`.
+fn collect_refs(shape: &Shape, f: &mut impl FnMut(Name)) {
+    match shape {
+        Shape::Ref(n) => f(*n),
+        Shape::Record(r) => {
+            for field in &r.fields {
+                collect_refs(&field.shape, f);
+            }
+        }
+        Shape::Nullable(s) | Shape::List(s) => collect_refs(s, f),
+        Shape::Top(labels) => {
+            for l in labels {
+                collect_refs(l, f);
+            }
+        }
+        Shape::HeteroList(cases) => {
+            for (s, _) in cases {
+                collect_refs(s, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+impl fmt::Display for GlobalShape {
+    /// `root where ν1 {…}, ν2 {…}` — or just the root when the
+    /// environment is empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        if !self.env.is_empty() {
+            write!(f, " where {}", self.env)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn div_env() -> ShapeEnv {
+        ShapeEnv::from_defs([(
+            Name::new("div"),
+            RecordShape::new(
+                "div",
+                [
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Shape::Int.ceil()),
+                ],
+            ),
+        )])
+    }
+
+    #[test]
+    fn env_lookup_and_order() {
+        let env = div_env();
+        assert_eq!(env.len(), 1);
+        assert!(env.contains("div".into()));
+        assert!(!env.contains("ul".into()));
+        assert_eq!(env.get("div".into()).unwrap().fields.len(), 2);
+        assert_eq!(env.names().collect::<Vec<_>>(), vec![Name::new("div")]);
+    }
+
+    #[test]
+    fn env_equality_is_order_insensitive() {
+        let a = ShapeEnv::from_defs([
+            (Name::new("a"), RecordShape::new("a", [("x", Shape::Int)])),
+            (Name::new("b"), RecordShape::new("b", [("y", Shape::Bool)])),
+        ]);
+        let b = ShapeEnv::from_defs([
+            (Name::new("b"), RecordShape::new("b", [("y", Shape::Bool)])),
+            (Name::new("a"), RecordShape::new("a", [("x", Shape::Int)])),
+        ]);
+        assert_eq!(a, b);
+        let c =
+            ShapeEnv::from_defs([(Name::new("a"), RecordShape::new("a", [("x", Shape::Float)]))]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn absorb_widens_definitions_and_returns_refs() {
+        let mut env = div_env();
+        let fresh = Shape::record("div", [("y", Shape::Bool)]);
+        let out = env.absorb(fresh);
+        assert_eq!(out, Shape::Ref("div".into()));
+        let def = env.get("div".into()).unwrap();
+        assert!(def.field("y").is_some(), "absorb must widen the definition");
+        assert!(def.field("child").is_some());
+    }
+
+    #[test]
+    fn absorb_leaves_unrelated_records_alone() {
+        let mut env = div_env();
+        let other = Shape::record("span", [("z", Shape::Int)]);
+        assert_eq!(env.absorb(other.clone()), other);
+        assert_eq!(env.len(), 1);
+    }
+
+    #[test]
+    fn inline_cuts_at_recursion_points() {
+        let g = GlobalShape {
+            root: Shape::Ref("div".into()),
+            env: div_env(),
+        };
+        let inlined = g.inline();
+        let r = inlined.as_record().expect("root expands to a record");
+        assert_eq!(r.name, "div");
+        // The self-reference inside the expansion stays a reference:
+        assert_eq!(
+            r.field("child"),
+            Some(&Shape::Ref("div".into()).ceil()),
+            "{inlined}"
+        );
+    }
+
+    #[test]
+    fn inline_expands_non_recursive_definitions_fully() {
+        let env =
+            ShapeEnv::from_defs([(Name::new("t"), RecordShape::new("t", [("x", Shape::Int)]))]);
+        let g = GlobalShape {
+            root: Shape::record(
+                "root",
+                [("a", Shape::Ref("t".into())), ("b", Shape::Ref("t".into()))],
+            ),
+            env,
+        };
+        let t = Shape::record("t", [("x", Shape::Int)]);
+        assert_eq!(
+            g.inline(),
+            Shape::record("root", [("a", t.clone()), ("b", t)])
+        );
+    }
+
+    #[test]
+    fn recursive_names_detects_mutual_recursion() {
+        let env = ShapeEnv::from_defs([
+            (
+                Name::new("ul"),
+                RecordShape::new("ul", [("li", Shape::Ref("li".into()).ceil())]),
+            ),
+            (
+                Name::new("li"),
+                RecordShape::new("li", [("ul", Shape::Ref("ul".into()).ceil())]),
+            ),
+            (Name::new("t"), RecordShape::new("t", [("x", Shape::Int)])),
+        ]);
+        let g = GlobalShape {
+            root: Shape::Ref("ul".into()),
+            env,
+        };
+        let rec = g.recursive_names();
+        assert!(rec.contains(&Name::new("ul")));
+        assert!(rec.contains(&Name::new("li")));
+        assert!(!rec.contains(&Name::new("t")));
+    }
+
+    #[test]
+    fn display_shows_root_and_definitions() {
+        let g = GlobalShape {
+            root: Shape::Ref("div".into()),
+            env: div_env(),
+        };
+        let text = g.to_string();
+        assert!(text.starts_with("\u{21ba}div where div {"), "{text}");
+        assert!(text.contains("child : nullable \u{21ba}div"), "{text}");
+        assert_eq!(GlobalShape::plain(Shape::Int).to_string(), "int");
+    }
+}

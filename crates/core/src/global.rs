@@ -1,4 +1,6 @@
-//! Global (by-name) record unification for XML (§6.2).
+//! Global (by-name) record unification for XML (§6.2) — redesigned
+//! around a shape environment so that recursion is representable and
+//! globalization is a true, tested fixed point.
 //!
 //! > "The XML type provider also includes an option to use global
 //! > inference. In that case, the inference from values (§3.4) unifies
@@ -6,59 +8,88 @@
 //! > because, for example, in XHTML all `<table>` elements will be
 //! > treated as values of the same type."
 //!
-//! [`globalize`] post-processes an inferred shape: all record shapes with
-//! the same name, anywhere in the shape, are joined with `csh`, and every
-//! occurrence is replaced by the join. Recursive structures (an element
-//! nested inside an element of the same name) are handled by cutting the
-//! expansion at the recursion point — the inner occurrence keeps its
-//! locally inferred shape, since our shape language is finite trees.
+//! # The μ-redesign
+//!
+//! The previous implementation rewrote every occurrence of a colliding
+//! name to an *inline copy* of the name-class join, cutting the expansion
+//! at recursion points. PR 3's differential suite proved that cut
+//! unsound as a fixed point: on shapes folded from several documents
+//! (unions of same-named records reached through different, mutually
+//! recursive paths) a second pass computed strictly larger joins, and no
+//! finite-tree iteration converges — the cut occurrences embed stale
+//! spellings that every pass re-expands.
+//!
+//! [`globalize_env`] fixes this the way F# Data's provided types (and
+//! λDL's concept definitions) do: a nested occurrence becomes a
+//! **reference** to its name class, not an expansion. The result is a
+//! [`GlobalShape`]: a root shape whose colliding-name records appear as
+//! [`Shape::Ref`]s into a [`ShapeEnv`] — an ordered `Name → RecordShape`
+//! definitions table whose bodies may refer to each other (and to
+//! themselves). One collect→join pass reaches the fixed point, because
+//! after absorption there is exactly one spelling of every name class —
+//! the definition — and re-running the pass re-derives it unchanged
+//! (`globalize_env_is_a_fixed_point*` below; the old counterexample now
+//! converges too, see `saturation_reaches_a_fixed_point_on_folded_unions`).
+//!
+//! The legacy [`globalize`] survives as a thin wrapper:
+//! [`GlobalShape::inline`] expands non-recursive definitions back into
+//! the tree (identical output to the old implementation on
+//! recursion-free shapes) and keeps references at recursion points —
+//! which makes even the finite-tree rendering idempotent, since a cut is
+//! now a canonical reference instead of a stale spelling.
 //!
 //! # Allocation discipline
 //!
-//! Like [`csh`](crate::csh), `globalize` **consumes** its argument
+//! Like [`csh`](crate::csh), `globalize_env` **consumes** its argument
 //! (callers holding references use [`globalize_ref`], which pays for the
 //! clone). Names that occur once — the overwhelmingly common case outside
 //! XHTML-style documents — are never cloned at all: an occurrence-count
-//! pre-pass keeps them out of the join map, and the rewrite reuses their
-//! nodes in place. Colliding names clone each occurrence once into the
-//! running join (the accumulator itself is moved, never re-cloned) plus
-//! once per occurrence site when the join is written back — that last
-//! copy is the output itself and cannot be avoided, since the same joined
-//! shape materializes at several positions.
-//!
-//! # Saturation
-//!
-//! `globalize` runs a **single** collect→join→rewrite pass. The output
-//! is always a *sound generalization* — every record occurrence is
-//! replaced by the join of its name class (⊒ the local shape, Lemma 1)
-//! or kept as-is at a recursion cut — and on document-shaped inputs one
-//! pass is also a fixed point (the `globalize_is_idempotent_*` tests
-//! pin several such classes down).
-//!
-//! It is **not** a fixed point in general. The streaming differential
-//! suite found the counterexample class: on shapes *folded from several
-//! documents* (unions of same-named records reached through different,
-//! mutually recursive paths), a second pass computes strictly larger
-//! joins, because the first rewrite made the tree's occurrences richer
-//! than the map that produced them while recursion cuts still embed the
-//! pre-expansion spellings. Iterating does not converge either: each
-//! pass deepens what the cut occurrences embed, so a finite-tree shape
-//! language has no idempotent fixed point here at all — that would need
-//! recursive (μ-style) shapes, where a nested occurrence is a
-//! *reference* to its name class rather than an inline expansion (F#
-//! Data's provided types work exactly that way). Until the shape
-//! language grows such references (see ROADMAP), `globalize` stays
-//! single-pass: sound, terminating, and monotone under re-application —
-//! `saturation_is_monotone_on_folded_unions` below documents the
-//! counterexample and pins those three properties.
+//! pre-pass keeps them out of the definitions table and the absorption
+//! walk reuses their nodes in place. Colliding names move each
+//! occurrence's body once into the running definition join (the
+//! accumulator is moved, never re-cloned); occurrence sites shrink to
+//! `Copy` references instead of materializing the join per site.
 
 use crate::csh::csh;
+use crate::env::{GlobalShape, ShapeEnv};
 use crate::shape::{FieldShape, RecordShape};
 use crate::Shape;
 use std::collections::BTreeMap;
 use tfd_value::Name;
 
+/// The redesigned global-inference entry point: unifies all record
+/// shapes with the same name into one definition per name, consuming the
+/// shape, and returns the root together with the definitions table.
+///
+/// Names that occur only once stay inline; names that occur twice or
+/// more (including an element nested inside an element of the same name
+/// — recursion) get a [`ShapeEnv`] entry, and every occurrence becomes a
+/// [`Shape::Ref`]. The result is a fixed point: re-running
+/// `globalize_env` on it (or [absorbing](GlobalShape::absorb) any sample
+/// the shape was inferred from) changes nothing.
+///
+/// ```
+/// use tfd_core::{globalize_env, infer_with, InferOptions, Shape};
+/// use tfd_value::{rec, Value};
+///
+/// // <div><div x="1"/></div> — recursion, representable at last:
+/// let doc = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
+/// let local = infer_with(&doc, &InferOptions::formal());
+/// let global = globalize_env(local);
+/// assert_eq!(global.root, Shape::Ref("div".into()));
+/// let def = global.env.get("div".into()).unwrap();
+/// assert_eq!(def.field("child"), Some(&Shape::Ref("div".into()).ceil()));
+/// ```
+pub fn globalize_env(shape: Shape) -> GlobalShape {
+    saturate(shape, ShapeEnv::new())
+}
+
 /// Applies global by-name record unification to a shape, consuming it.
+///
+/// A thin wrapper over [`globalize_env`]: non-recursive definitions are
+/// inlined back into the tree (so recursion-free callers see exactly the
+/// shapes they always did), and recursion points keep their
+/// [`Shape::Ref`] — the finite-tree rendering of the μ-shape.
 ///
 /// ```
 /// use tfd_core::{globalize, infer_with, InferOptions, Shape};
@@ -77,22 +108,7 @@ use tfd_value::Name;
 /// assert_eq!(global, local);
 /// ```
 pub fn globalize(shape: Shape) -> Shape {
-    // 1. Count record occurrences per name; only colliding names need a
-    //    join (and hence any cloning) at all.
-    let mut counts: BTreeMap<Name, usize> = BTreeMap::new();
-    count(&shape, &mut counts);
-    if counts.values().all(|&n| n <= 1) {
-        // No name occurs twice: globalization is the identity.
-        return shape;
-    }
-    // 2. Collect the join of all record shapes per colliding name.
-    let mut joined: BTreeMap<Name, RecordShape> = BTreeMap::new();
-    collect(&shape, &counts, &mut joined);
-    // 3. Rewrite every occurrence, consuming the tree and cutting
-    //    recursion per name. Deliberately a single pass — see the module
-    //    docs on saturation.
-    let mut stack = Vec::new();
-    rewrite(shape, &joined, &mut stack)
+    globalize_env(shape).inline()
 }
 
 /// [`globalize`] for callers that only hold a reference; clones once.
@@ -100,14 +116,84 @@ pub fn globalize_ref(shape: &Shape) -> Shape {
     globalize(shape.clone())
 }
 
-fn count(shape: &Shape, counts: &mut BTreeMap<Name, usize>) {
+/// Per-name occurrence tally: inline records and μ-references count
+/// separately because any reference at all forces a definition.
+#[derive(Default, Clone, Copy)]
+struct Occurrences {
+    records: usize,
+    refs: usize,
+}
+
+/// The collect→join pass shared by [`globalize_env`] and
+/// [`GlobalShape::absorb`]: promotes colliding names to definitions,
+/// absorbs every occurrence into its definition, and rewrites occurrence
+/// sites to references. Takes an existing environment so that absorption
+/// can *extend* a previous result; existing definitions always stay
+/// definitions.
+pub(crate) fn saturate(root: Shape, env: ShapeEnv) -> GlobalShape {
+    // 1. Count occurrences per name over the root and every definition
+    //    body. Only colliding names need a definition (and hence any
+    //    cloning) at all.
+    let mut counts: BTreeMap<Name, Occurrences> = BTreeMap::new();
+    count(&root, &mut counts);
+    for (_, def) in env.iter() {
+        for f in &def.fields {
+            count(&f.shape, &mut counts);
+        }
+    }
+    let needs_def = |name: Name, occ: &Occurrences| {
+        occ.refs > 0 || occ.records + occ.refs >= 2 || env.contains(name)
+    };
+    if env.is_empty() && !counts.iter().any(|(n, o)| needs_def(*n, o)) {
+        // No name occurs twice: globalization is the identity.
+        return GlobalShape { root, env };
+    }
+    let colliding: Vec<Name> = {
+        let mut names: Vec<Name> = counts
+            .iter()
+            .filter(|(n, o)| needs_def(**n, o))
+            .map(|(n, _)| *n)
+            .collect();
+        for n in env.names() {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        names.sort();
+        names
+    };
+
+    // 2. Absorb: existing definitions enter the join first (their bodies
+    //    may mention newly colliding names, which must become references
+    //    too), then the root. `joined` accumulates one RecordShape per
+    //    definition; the running join is moved, never re-cloned.
+    let mut joined: BTreeMap<Name, RecordShape> = BTreeMap::new();
+    for (name, def) in env.into_defs() {
+        let fields: Vec<FieldShape> = def
+            .fields
+            .into_iter()
+            .map(|f| FieldShape::new(f.name, absorb(f.shape, &colliding, &mut joined)))
+            .collect();
+        join_into(&mut joined, RecordShape { name, fields });
+    }
+    let root = absorb(root, &colliding, &mut joined);
+
+    // 3. The definitions table, in canonical (name) order.
+    GlobalShape {
+        root,
+        env: ShapeEnv::from_defs(joined),
+    }
+}
+
+fn count(shape: &Shape, counts: &mut BTreeMap<Name, Occurrences>) {
     match shape {
         Shape::Record(r) => {
-            *counts.entry(r.name).or_insert(0) += 1;
+            counts.entry(r.name).or_default().records += 1;
             for f in &r.fields {
                 count(&f.shape, counts);
             }
         }
+        Shape::Ref(n) => counts.entry(*n).or_default().refs += 1,
         Shape::Nullable(s) | Shape::List(s) => count(s, counts),
         Shape::Top(labels) => {
             for l in labels {
@@ -123,103 +209,66 @@ fn count(shape: &Shape, counts: &mut BTreeMap<Name, usize>) {
     }
 }
 
-fn collect(
-    shape: &Shape,
-    counts: &BTreeMap<Name, usize>,
-    joined: &mut BTreeMap<Name, RecordShape>,
-) {
+/// Rewrites `shape` bottom-up: every record of a colliding name has its
+/// (already rewritten) body joined into `joined` and shrinks to a
+/// [`Shape::Ref`]; singletons reuse their nodes in place.
+fn absorb(shape: Shape, colliding: &[Name], joined: &mut BTreeMap<Name, RecordShape>) -> Shape {
     match shape {
         Shape::Record(r) => {
-            for f in &r.fields {
-                collect(&f.shape, counts, joined);
+            let name = r.name;
+            let fields: Vec<FieldShape> = r
+                .fields
+                .into_iter()
+                .map(|f| FieldShape::new(f.name, absorb(f.shape, colliding, joined)))
+                .collect();
+            if colliding.binary_search(&name).is_err() {
+                return Shape::Record(RecordShape { name, fields });
             }
-            if counts.get(&r.name).copied().unwrap_or(0) < 2 {
-                return; // singleton: never cloned, rewritten in place
-            }
-            // Move the accumulator out of the map and merge the (cloned)
-            // occurrence into it — the running join is never re-cloned.
-            match joined.remove(&r.name) {
-                Some(existing) => {
-                    if let Shape::Record(m) =
-                        csh(Shape::Record(existing), Shape::Record(r.clone()))
-                    {
-                        joined.insert(r.name, m);
-                    }
-                }
-                None => {
-                    joined.insert(r.name, r.clone());
-                }
-            }
+            join_into(joined, RecordShape { name, fields });
+            Shape::Ref(name)
         }
-        Shape::Nullable(s) | Shape::List(s) => collect(s, counts, joined),
-        Shape::Top(labels) => {
-            for l in labels {
-                collect(l, counts, joined);
-            }
+        Shape::Ref(n) => Shape::Ref(n),
+        Shape::Nullable(mut s) => {
+            *s = absorb(std::mem::replace(&mut *s, Shape::Bottom), colliding, joined);
+            Shape::Nullable(s)
         }
-        Shape::HeteroList(cases) => {
-            for (s, _) in cases {
-                collect(s, counts, joined);
-            }
-        }
-        _ => {}
-    }
-}
-
-fn rewrite(
-    shape: Shape,
-    joined: &BTreeMap<Name, RecordShape>,
-    stack: &mut Vec<Name>,
-) -> Shape {
-    match shape {
-        Shape::Record(r) => {
-            if stack.contains(&r.name) {
-                // Recursion cut: keep the local shape, rewriting children
-                // only (without re-expanding this name).
-                return Shape::Record(RecordShape {
-                    name: r.name,
-                    fields: r
-                        .fields
-                        .into_iter()
-                        .map(|f| FieldShape::new(f.name, rewrite(f.shape, joined, stack)))
-                        .collect(),
-                });
-            }
-            // Colliding names materialize their join (one clone per
-            // occurrence site — this is the output); singletons reuse
-            // their own nodes.
-            let unified = match joined.get(&r.name) {
-                Some(u) => u.clone(),
-                None => r,
-            };
-            stack.push(unified.name);
-            let result = Shape::Record(RecordShape {
-                name: unified.name,
-                fields: unified
-                    .fields
-                    .into_iter()
-                    .map(|f| FieldShape::new(f.name, rewrite(f.shape, joined, stack)))
-                    .collect(),
-            });
-            stack.pop();
-            result
-        }
-        Shape::Nullable(s) => rewrite(*s, joined, stack).ceil(),
         Shape::List(mut s) => {
-            // Reuse the box in place.
-            *s = rewrite(std::mem::replace(&mut *s, Shape::Bottom), joined, stack);
+            *s = absorb(std::mem::replace(&mut *s, Shape::Bottom), colliding, joined);
             Shape::List(s)
         }
         Shape::Top(labels) => Shape::Top(
-            labels.into_iter().map(|l| rewrite(l, joined, stack)).collect(),
+            labels
+                .into_iter()
+                .map(|l| absorb(l, colliding, joined))
+                .collect(),
         ),
         Shape::HeteroList(cases) => Shape::HeteroList(
             cases
                 .into_iter()
-                .map(|(s, m)| (rewrite(s, joined, stack), m))
+                .map(|(s, m)| (absorb(s, colliding, joined), m))
                 .collect(),
         ),
         other => other,
+    }
+}
+
+/// Moves the running definition out of the map and merges the occurrence
+/// into it — the accumulator is moved, never re-cloned. Occurrence
+/// bodies are already absorbed, so the join only ever meets references
+/// (equal names unify by `(eq)`, different names tag apart), never an
+/// inline spelling of a colliding name.
+fn join_into(joined: &mut BTreeMap<Name, RecordShape>, occurrence: RecordShape) {
+    let name = occurrence.name;
+    match joined.remove(&name) {
+        Some(existing) => match csh(Shape::Record(existing), Shape::Record(occurrence)) {
+            Shape::Record(m) => {
+                joined.insert(name, m);
+            }
+            other => unreachable!("same-name record join left records: {other}"),
+        },
+        None => {
+            joined.insert(name, occurrence);
+        }
     }
 }
 
@@ -252,29 +301,57 @@ mod tests {
     }
 
     #[test]
+    fn globalize_env_exposes_the_definitions_table() {
+        let doc = rec(
+            "root",
+            [
+                ("a", rec("t", [("x", Value::Int(1))])),
+                ("b", rec("t", [("y", Value::Bool(true))])),
+            ],
+        );
+        let local = infer_with(&doc, &InferOptions::formal());
+        let global = globalize_env(local);
+        // root is a singleton: it stays an inline record whose fields
+        // reference the unified t definition.
+        let r = global.root.as_record().expect("root record");
+        assert_eq!(r.field("a"), Some(&Shape::Ref("t".into())));
+        assert_eq!(r.field("b"), Some(&Shape::Ref("t".into())));
+        let t = global.env.get("t".into()).expect("t definition");
+        assert_eq!(t.field("x"), Some(&Int.ceil()));
+        assert_eq!(t.field("y"), Some(&Bool.ceil()));
+        assert!(global.recursive_names().is_empty());
+    }
+
+    #[test]
     fn globalize_is_identity_without_name_collisions() {
         let doc = rec("r", [("x", Value::Int(1)), ("y", arr([Value::Bool(true)]))]);
         let local = infer_with(&doc, &InferOptions::formal());
         assert_eq!(globalize_ref(&local), local);
+        let g = globalize_env(local.clone());
+        assert_eq!(g.root, local);
+        assert!(g.env.is_empty());
     }
 
     #[test]
-    fn recursive_elements_terminate() {
+    fn recursive_elements_get_a_self_referential_definition() {
         // <div><div/></div> — a div containing a div.
         let doc = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
         let local = infer_with(&doc, &InferOptions::formal());
-        let global = globalize(local);
-        // Outer div gets the joined shape (child optional, x optional);
-        // the nested div occurrence is cut rather than infinitely
-        // expanded.
-        match &global {
-            Shape::Record(r) => {
-                assert_eq!(r.name, "div");
-                assert!(r.field("child").is_some());
-                assert!(r.field("x").is_some());
-            }
-            other => panic!("expected record, got {other}"),
-        }
+        let global = globalize_env(local.clone());
+        assert_eq!(global.root, Shape::Ref("div".into()));
+        let def = global.env.get("div".into()).expect("div definition");
+        // The nested occurrence is a *reference*, not an expansion:
+        assert_eq!(def.field("child"), Some(&Shape::Ref("div".into()).ceil()));
+        assert_eq!(def.field("x"), Some(&Int.ceil()));
+        assert_eq!(global.recursive_names(), vec![tfd_value::Name::new("div")]);
+
+        // The inline rendering cuts at the recursion point with the
+        // canonical reference; the outer level is fully expanded.
+        let inlined = globalize(local);
+        let r = inlined.as_record().expect("record");
+        assert_eq!(r.name, "div");
+        assert!(r.field("child").is_some());
+        assert!(r.field("x").is_some());
     }
 
     #[test]
@@ -302,12 +379,12 @@ mod tests {
         }
     }
 
-    // --- Saturation: a single collect pass is a fixed point. ---
+    // --- Saturation: the env-aware pass is a true fixed point. ---
 
     /// The `csh` of the two `a` occurrences exposes a nested `t` join
-    /// (`t {x?, y?}`) that never occurs in the input tree. The rewrite
-    /// must still produce the fully unified output in one pass, and a
-    /// second `globalize` must change nothing.
+    /// (`t {x?, y?}`) that never occurs in the input tree. The
+    /// definitions table must still saturate in one pass, and a second
+    /// `globalize` must change nothing.
     #[test]
     fn globalize_is_idempotent_when_joins_expose_nested_records() {
         let doc = rec(
@@ -332,11 +409,11 @@ mod tests {
         assert_eq!(twice, once, "second globalize pass changed the shape");
     }
 
-    /// Recursion cuts keep locally inferred shapes; re-globalizing the
-    /// output re-joins those cut occurrences with the map entry, which
-    /// must be a no-op because `csh` is a least upper bound (Lemma 1).
+    /// Recursion points keep canonical references, so re-globalizing the
+    /// finite-tree rendering re-derives the same definitions — the
+    /// property the old expansion cut could not have.
     #[test]
-    fn globalize_is_idempotent_under_recursion_cuts() {
+    fn globalize_is_idempotent_under_recursion() {
         let docs = [
             // Self-nested, two levels:
             rec("div", [("child", rec("div", [("x", Value::Int(1))]))]),
@@ -358,7 +435,10 @@ mod tests {
             rec(
                 "root",
                 [
-                    ("a", rec("div", [("child", rec("div", [("x", Value::Int(1))]))])),
+                    (
+                        "a",
+                        rec("div", [("child", rec("div", [("x", Value::Int(1))]))]),
+                    ),
                     ("b", rec("div", [("z", Value::str("s"))])),
                 ],
             ),
@@ -368,58 +448,147 @@ mod tests {
             let once = globalize_ref(&local);
             let twice = globalize_ref(&once);
             assert_eq!(twice, once, "not idempotent for {local}");
+            // And at the env level:
+            let g1 = globalize_env(local.clone());
+            let g2 = saturate(g1.root.clone(), g1.env.clone());
+            assert_eq!(g2, g1, "saturate not a fixed point for {local}");
         }
     }
 
-    /// The documented counterexample class (found by the streaming
-    /// differential suite): on a shape *folded from several documents* —
-    /// a union of same-named records reached through different, mutually
-    /// recursive paths — one pass is not a fixed point, and no finite
-    /// number of passes is (see the module docs). What `globalize` does
-    /// guarantee, pinned here: the output is a sound generalization of
-    /// the input, and re-applying it only generalizes further — it never
-    /// loses information or diverges on a single application.
+    /// PR 3's counterexample class (found by the streaming differential
+    /// suite): on a shape *folded from several documents* — a union of
+    /// same-named records reached through different, mutually recursive
+    /// paths — the old inline-expansion pass was not a fixed point, and
+    /// no finite number of passes was. Under the μ-shape API the same
+    /// corpora now converge: one pass saturates, a second pass (at both
+    /// the env level and the finite-tree rendering) changes nothing, and
+    /// absorbing the fold back into the result is a no-op.
     #[test]
-    fn saturation_is_monotone_on_folded_unions() {
+    fn saturation_reaches_a_fixed_point_on_folded_unions() {
         use crate::csh::csh;
-        use crate::prefer::is_preferred;
+        use crate::prefer::is_preferred_in;
         let docs = [
-            rec("item", [("value", rec("point", [("x", Value::Float(2.5))]))]),
+            rec(
+                "item",
+                [("value", rec("point", [("x", Value::Float(2.5))]))],
+            ),
             rec(
                 "point",
                 [
                     ("b", rec::<_, [(&str, Value); 0], _>("point", [])),
                     ("a", Value::Int(1)),
-                    ("name", rec("item", [("value", rec::<_, [(&str, Value); 0], _>("point", []))])),
+                    (
+                        "name",
+                        rec(
+                            "item",
+                            [("value", rec::<_, [(&str, Value); 0], _>("point", []))],
+                        ),
+                    ),
                 ],
             ),
         ];
-        let folded = docs
-            .iter()
-            .fold(Shape::Bottom, |acc, d| csh(acc, infer_with(d, &InferOptions::xml())));
+        let folded = docs.iter().fold(Shape::Bottom, |acc, d| {
+            csh(acc, infer_with(d, &InferOptions::xml()))
+        });
+
+        // The finite-tree rendering is idempotent now:
         let once = globalize_ref(&folded);
         let twice = globalize_ref(&once);
-        assert!(is_preferred(&folded, &once), "globalize must generalize its input");
-        assert!(is_preferred(&once, &twice), "re-globalizing must only generalize");
-        // And this really is the non-idempotent class (the guard that
-        // this regression keeps testing what it means to test):
-        assert_ne!(twice, once, "if this saturates now, strengthen the idempotence tests");
+        assert_eq!(twice, once, "the PR 3 counterexample must now converge");
+
+        // The env-level pass is a fixed point:
+        let g = globalize_env(folded.clone());
+        let again = saturate(g.root.clone(), g.env.clone());
+        assert_eq!(again, g, "saturate must be a fixed point");
+
+        // It generalizes the fold (soundness), and absorbing the fold
+        // back changes nothing (the fold is below the fixed point):
+        assert!(
+            is_preferred_in(&folded, &g.root, Some(&g.env)),
+            "globalize must generalize its input: {folded} vs {g}"
+        );
+        let mut readded = g.clone();
+        readded.absorb(folded);
+        assert_eq!(readded, g, "absorbing the fold must be a no-op");
+
+        // Both name classes are genuinely mutually recursive:
+        let rec_names = g.recursive_names();
+        assert!(
+            rec_names.contains(&tfd_value::Name::new("item")),
+            "{rec_names:?}"
+        );
+        assert!(
+            rec_names.contains(&tfd_value::Name::new("point")),
+            "{rec_names:?}"
+        );
     }
 
     /// Idempotence over machine-generated corpora: infer a shape from
     /// each document of a deterministic corpus and check that one
-    /// globalize pass saturates it.
+    /// globalize pass saturates it — at the env level and in the
+    /// finite-tree rendering.
     #[test]
     fn globalize_is_idempotent_on_generated_corpora() {
         use tfd_value::corpus::{generate_corpus, CorpusConfig};
         for seed in 0..20 {
-            let config = CorpusConfig { max_depth: 5, ..CorpusConfig::default() };
+            let config = CorpusConfig {
+                max_depth: 5,
+                ..CorpusConfig::default()
+            };
             for value in generate_corpus(seed, 5, &config) {
                 let local = infer_with(&value, &InferOptions::xml());
                 let once = globalize_ref(&local);
                 let twice = globalize_ref(&once);
                 assert_eq!(twice, once, "not idempotent for seed {seed}: {local}");
+                let g = globalize_env(local.clone());
+                assert_eq!(
+                    saturate(g.root.clone(), g.env.clone()),
+                    g,
+                    "saturate not a fixed point for seed {seed}: {local}"
+                );
             }
         }
+    }
+
+    /// Incremental absorption reaches the same fixed point as one-shot
+    /// globalization of the fold — the env-carrying form of the Fig. 3
+    /// fold that streaming uses.
+    #[test]
+    fn incremental_absorb_matches_oneshot_globalization() {
+        let docs = [
+            rec(
+                "item",
+                [("value", rec("point", [("x", Value::Float(2.5))]))],
+            ),
+            rec(
+                "point",
+                [
+                    ("b", rec::<_, [(&str, Value); 0], _>("point", [])),
+                    ("a", Value::Int(1)),
+                    (
+                        "name",
+                        rec(
+                            "item",
+                            [("value", rec::<_, [(&str, Value); 0], _>("point", []))],
+                        ),
+                    ),
+                ],
+            ),
+            rec(
+                "item",
+                [("value", Value::Null), ("extra", Value::Bool(true))],
+            ),
+        ];
+        let opts = InferOptions::xml();
+        let folded = docs
+            .iter()
+            .fold(Shape::Bottom, |acc, d| csh(acc, infer_with(d, &opts)));
+        let oneshot = globalize_env(folded);
+
+        let mut incremental = GlobalShape::plain(Shape::Bottom);
+        for d in &docs {
+            incremental.absorb(infer_with(d, &opts));
+        }
+        assert_eq!(incremental, oneshot);
     }
 }

@@ -218,14 +218,14 @@ fn infer_collection(items: &[Value], options: &InferOptions) -> Shape {
     }
 
     match cases.len() {
-        0 => Shape::list(if null_count > 0 { Shape::Null } else { Shape::Bottom }),
+        0 => Shape::list(if null_count > 0 {
+            Shape::Null
+        } else {
+            Shape::Bottom
+        }),
         1 => {
             let (shape, count) = cases.into_iter().next().expect("one case");
-            if count == 1
-                && options.singleton_collections
-                && !items.is_empty()
-                && null_count == 0
-            {
+            if count == 1 && options.singleton_collections && !items.is_empty() && null_count == 0 {
                 // A single element of a single tag: keep the multiplicity
                 // information. This is the XML-preset behaviour behind the
                 // §6.3 Root/Item example (`Item : string` rather than a
@@ -284,10 +284,7 @@ mod tests {
     #[test]
     fn fig3_record_fields_infer_pointwise() {
         let v = rec("P", [("x", Value::Int(3)), ("s", Value::str("a"))]);
-        assert_eq!(
-            s(&v),
-            Shape::record("P", [("x", Int), ("s", StringShape)])
-        );
+        assert_eq!(s(&v), Shape::record("P", [("x", Int), ("s", StringShape)]));
     }
 
     #[test]
@@ -316,7 +313,10 @@ mod tests {
         let people = arr([
             json_rec([("name", Value::str("Jan")), ("age", Value::Int(25))]),
             json_rec([("name", Value::str("Tomas"))]),
-            json_rec([("name", Value::str("Alexander")), ("age", Value::Float(3.5))]),
+            json_rec([
+                ("name", Value::str("Alexander")),
+                ("age", Value::Float(3.5)),
+            ]),
         ]);
         let shape = infer_with(&people, &InferOptions::json());
         let expected = Shape::list(Shape::record(
@@ -334,7 +334,10 @@ mod tests {
 
     #[test]
     fn bit_inference_only_when_enabled() {
-        let opts = InferOptions { infer_bits: true, ..InferOptions::formal() };
+        let opts = InferOptions {
+            infer_bits: true,
+            ..InferOptions::formal()
+        };
         assert_eq!(infer_with(&Value::Int(0), &opts), Shape::Bit);
         assert_eq!(infer_with(&Value::Int(1), &opts), Shape::Bit);
         assert_eq!(infer_with(&Value::Int(2), &opts), Int);
@@ -343,7 +346,10 @@ mod tests {
 
     #[test]
     fn date_inference_only_when_enabled() {
-        let opts = InferOptions { detect_dates: true, ..InferOptions::formal() };
+        let opts = InferOptions {
+            detect_dates: true,
+            ..InferOptions::formal()
+        };
         assert_eq!(infer_with(&Value::str("2012-05-01"), &opts), Shape::Date);
         assert_eq!(infer_with(&Value::str("3 kveten"), &opts), StringShape);
         assert_eq!(infer(&Value::str("2012-05-01")), StringShape); // default: off
@@ -354,10 +360,30 @@ mod tests {
         // §6.2: Ozone float, Temp nullable int, Date string (mixed
         // formats), Autofilled bool (bit from 0/1).
         let rows = [
-            [("Ozone", Value::Int(41)), ("Temp", Value::Int(67)), ("Date", Value::str("2012-05-01")), ("Autofilled", Value::Int(0))],
-            [("Ozone", Value::Float(36.3)), ("Temp", Value::Int(72)), ("Date", Value::str("2012-05-02")), ("Autofilled", Value::Int(1))],
-            [("Ozone", Value::Float(12.1)), ("Temp", Value::Int(74)), ("Date", Value::str("3 kveten")), ("Autofilled", Value::Int(0))],
-            [("Ozone", Value::Float(17.5)), ("Temp", Value::Null), ("Date", Value::str("2012-05-04")), ("Autofilled", Value::Int(0))],
+            [
+                ("Ozone", Value::Int(41)),
+                ("Temp", Value::Int(67)),
+                ("Date", Value::str("2012-05-01")),
+                ("Autofilled", Value::Int(0)),
+            ],
+            [
+                ("Ozone", Value::Float(36.3)),
+                ("Temp", Value::Int(72)),
+                ("Date", Value::str("2012-05-02")),
+                ("Autofilled", Value::Int(1)),
+            ],
+            [
+                ("Ozone", Value::Float(12.1)),
+                ("Temp", Value::Int(74)),
+                ("Date", Value::str("3 kveten")),
+                ("Autofilled", Value::Int(0)),
+            ],
+            [
+                ("Ozone", Value::Float(17.5)),
+                ("Temp", Value::Null),
+                ("Date", Value::str("2012-05-04")),
+                ("Autofilled", Value::Int(0)),
+            ],
         ];
         let table = arr(rows.iter().map(|r| rec("row", r.iter().cloned())));
         let shape = infer_with(&table, &InferOptions::csv());
@@ -462,5 +488,4 @@ mod tests {
             assert!(is_preferred(&s(d), &joined), "S({d}) ⋢ {joined}");
         }
     }
-
 }

@@ -11,7 +11,12 @@
 //!   bound) function (Definition 2, Fig. 2 and Fig. 4);
 //! * [`infer`] / [`infer_with`] / [`infer_many`] — shape inference from
 //!   sample data `S(d1, …, dn)` (Fig. 3);
-//! * [`globalize`] — the XML global (by-name) inference mode (§6.2);
+//! * [`globalize_env`] — the XML global (by-name) inference mode (§6.2),
+//!   returning a [`GlobalShape`]: a root shape plus a [`ShapeEnv`]
+//!   definitions table, with recursion represented by [`Shape::Ref`]
+//!   μ-references ([`globalize`] is the finite-tree rendering);
+//! * [`is_preferred_in`] / [`csh_in`] / [`conforms_in`] / [`tag_of_in`]
+//!   — the algebra under a shape environment (coinductive μ-unfolding);
 //! * [`tag_of`] — the shape tags of Fig. 4.
 //!
 //! # Example: the paper's §3.1 row-variable illustration
@@ -42,6 +47,7 @@
 
 mod conforms;
 mod csh;
+mod env;
 mod global;
 mod infer;
 mod multiplicity;
@@ -50,8 +56,9 @@ mod shape;
 pub mod stream;
 mod tags;
 
-pub use conforms::{conforms, value_matches_tag};
-pub use csh::{csh, csh_all};
+pub use conforms::{conforms, conforms_in, value_matches_tag};
+pub use csh::{csh, csh_all, csh_in};
+pub use env::{GlobalShape, ShapeEnv};
 
 /// [`csh`] for callers that only hold references: clones both arguments
 /// and delegates. Tests and diagnostic tooling use this; the inference
@@ -59,10 +66,10 @@ pub use csh::{csh, csh_all};
 pub fn csh_ref(a: &Shape, b: &Shape) -> Shape {
     csh(a.clone(), b.clone())
 }
-pub use global::{globalize, globalize_ref};
+pub use global::{globalize, globalize_env, globalize_ref};
 pub use infer::{infer, infer_many, infer_with, InferOptions};
-pub use stream::{infer_reader, InferAccumulator, StreamFormat, StreamSummary};
 pub use multiplicity::Multiplicity;
-pub use prefer::is_preferred;
+pub use prefer::{is_preferred, is_preferred_in};
 pub use shape::{FieldShape, RecordShape, Shape};
-pub use tags::{tag_of, Tag};
+pub use stream::{infer_reader, InferAccumulator, StreamFormat, StreamSummary};
+pub use tags::{tag_of, tag_of_in, Tag};

@@ -15,8 +15,33 @@
 //! * `date ⊑ string`;
 //! * heterogeneous collections compare case-wise by tag (see
 //!   [`is_preferred`] source for the exact condition).
+//!
+//! # μ-shapes
+//!
+//! [`is_preferred_in`] decides the relation under a
+//! [`ShapeEnv`](crate::ShapeEnv): a [`Shape::Ref`] compares as the record
+//! definition it names. References are **nominal**, which makes the
+//! coinductive comparison degenerate in the best way: two references are
+//! related iff they name the same definition — unfolding distinct names
+//! cannot help, because rule (8) requires equal record names at the very
+//! first step — so the greatest fixed point is decided by name equality
+//! and no pair memo is needed. A reference against an inline record
+//! spelling *does* unfold (one `env` lookup per record level), and
+//! terminates because the finite spelling strictly shrinks at every
+//! step while the null/missing-field branches never unfold.
+//!
+//! Without an environment a reference reads as the **top of its name
+//! class**: it is equal to itself, and any same-name record (an
+//! occurrence the class absorbed, or a fresh local spelling) is
+//! preferred over it — matching env-free
+//! [`conforms`](crate::conforms)'s name check and keeping env-free
+//! [`csh`](crate::csh)'s absorption rule `csh(↺ν, ν{…}) = ↺ν` an upper
+//! bound. What the env-free relation cannot decide (and conservatively
+//! denies) is a reference being below anything non-top.
 
+use crate::env::ShapeEnv;
 use crate::multiplicity::Multiplicity;
+use crate::shape::RecordShape;
 use crate::tags::tag_of;
 use crate::Shape;
 
@@ -32,8 +57,56 @@ use crate::Shape;
 /// assert!(!is_preferred(&Shape::Float, &Shape::Int));
 /// ```
 pub fn is_preferred(a: &Shape, b: &Shape) -> bool {
+    preferred(a, b, None)
+}
+
+/// [`is_preferred`] under an optional shape environment: μ-references
+/// are unfolded through `env` (see the module docs for why nominal
+/// references need no pair memo).
+///
+/// ```
+/// use tfd_core::{is_preferred_in, RecordShape, Shape, ShapeEnv};
+///
+/// let env = ShapeEnv::from_defs([(
+///     "div".into(),
+///     RecordShape::new("div", [("child", Shape::Ref("div".into()).ceil())]),
+/// )]);
+/// let r = Shape::Ref("div".into());
+/// // The local spelling of one unfolding is preferred over the class:
+/// let local = Shape::record("div", [("child", r.clone().ceil())]);
+/// assert!(is_preferred_in(&local, &r, Some(&env)));
+/// assert!(is_preferred_in(&r, &r, Some(&env)));
+/// ```
+pub fn is_preferred_in(a: &Shape, b: &Shape, env: Option<&ShapeEnv>) -> bool {
+    preferred(a, b, env)
+}
+
+/// Views a shape as a record, resolving μ-references through the
+/// environment when one is in scope.
+fn rec_view<'x>(s: &'x Shape, env: Option<&'x ShapeEnv>) -> Option<&'x RecordShape> {
+    match s {
+        Shape::Record(r) => Some(r),
+        Shape::Ref(n) => env.and_then(|e| e.get(*n)),
+        _ => None,
+    }
+}
+
+fn preferred(a: &Shape, b: &Shape, env: Option<&ShapeEnv>) -> bool {
     use Shape::*;
     match (a, b) {
+        // μ-references are nominal: same name, same definition — the
+        // coinductive greatest fixed point collapses to name equality,
+        // because unfolding two distinct names fails rule (8)'s name
+        // check at the first step anyway (definitions carry their own
+        // key as the record name).
+        (Ref(n), Ref(m)) => n == m,
+        // Env-free name-class reading: with no definitions table in
+        // scope, a reference is the top of its name class — any
+        // same-name record occurrence is below it. This is what makes
+        // env-free `csh`'s absorption rule an upper bound, and it
+        // matches env-free `conforms`' name-only check. (With an env,
+        // the rec_view fallback below does the real field comparison.)
+        (Record(r), Ref(n)) if env.is_none() => r.name == *n,
         // Rule (6): ⊥ ⊑ σ for all σ.
         (Bottom, _) => true,
         // Rule (7): σ ⊑ any. Labels do not affect the relation (§3.5).
@@ -45,15 +118,15 @@ pub fn is_preferred(a: &Shape, b: &Shape) -> bool {
         (_, Null) => false,
         // Rule (4) and the (3)+(4) composite: a σ̂ or nullable σ̂ on the
         // left against nullable σ̂' compares the non-nullable cores.
-        (Nullable(ai), Nullable(bi)) => is_preferred(ai, bi),
-        (a, Nullable(bi)) if a.is_non_nullable() => is_preferred(a, bi),
+        (Nullable(ai), Nullable(bi)) => preferred(ai, bi, env),
+        (a, Nullable(bi)) if a.is_non_nullable() => preferred(a, bi, env),
         (Nullable(_), _) => false,
         // Rule (5): collections are covariant; heterogeneous collections
         // compare case-wise (see below).
-        (List(ae), List(be)) => is_preferred(ae, be),
+        (List(ae), List(be)) => preferred(ae, be, env),
         (HeteroList(_), List(be)) if be.is_top() => true,
         (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
-            hetero_preferred(&to_cases(a), &to_cases(b))
+            hetero_preferred(&to_cases(a), &to_cases(b), env)
         }
         (List(_) | HeteroList(_), _) | (_, List(_) | HeteroList(_)) => false,
         // Rule (1): int ⊑ float; extensions bit ⊑ int|bool (§6.2) and
@@ -63,17 +136,24 @@ pub fn is_preferred(a: &Shape, b: &Shape) -> bool {
         (Date, Date | String) => true,
         (Float, Float) | (Bool, Bool) | (String, String) => true,
         // Rules (8)+(9): records are covariant and the preferred record
-        // may have additional fields. A field of `b` missing from `a`
-        // must admit null (row-variable convention, see module docs).
-        (Record(ra), Record(rb)) => {
-            ra.name == rb.name
-                && rb.fields.iter().all(|fb| match ra.field(&fb.name) {
-                    Some(sa) => is_preferred(sa, &fb.shape),
-                    None => is_preferred(&Null, &fb.shape),
-                })
-        }
-        _ => false,
+        // may have additional fields — with μ-references resolved
+        // through the environment (a `Ref`/record mix terminates because
+        // the plain side is a finite tree that shrinks at every step).
+        (a, b) => match (rec_view(a, env), rec_view(b, env)) {
+            (Some(ra), Some(rb)) => record_preferred(ra, rb, env),
+            _ => false,
+        },
     }
+}
+
+/// Rules (8)+(9) on record views: covariant fields, missing fields of
+/// the narrower record must admit null (row-variable convention).
+fn record_preferred(ra: &RecordShape, rb: &RecordShape, env: Option<&ShapeEnv>) -> bool {
+    ra.name == rb.name
+        && rb.fields.iter().all(|fb| match ra.field(&fb.name) {
+            Some(sa) => preferred(sa, &fb.shape, env),
+            None => preferred(&Shape::Null, &fb.shape, env),
+        })
 }
 
 /// Views any collection shape as heterogeneous cases. A homogeneous
@@ -95,10 +175,14 @@ fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
 /// * every *mandatory* case of `b` (multiplicity `1`) must be present in
 ///   `a` — an input without that element would break the provided
 ///   singleton accessor.
-fn hetero_preferred(a: &[(Shape, Multiplicity)], b: &[(Shape, Multiplicity)]) -> bool {
+fn hetero_preferred(
+    a: &[(Shape, Multiplicity)],
+    b: &[(Shape, Multiplicity)],
+    env: Option<&ShapeEnv>,
+) -> bool {
     let covered = a.iter().all(|(sa, ma)| {
         b.iter().any(|(sb, mb)| {
-            tag_of(sa) == tag_of(sb) && is_preferred(sa, sb) && ma.is_preferred(*mb)
+            tag_of(sa) == tag_of(sb) && preferred(sa, sb, env) && ma.is_preferred(*mb)
         })
     });
     let mandatory_present = b.iter().all(|(sb, mb)| {
@@ -163,7 +247,14 @@ mod tests {
 
     #[test]
     fn rule6_bottom_below_everything() {
-        for s in [Bottom, Null, Int, Shape::any(), Shape::list(Int), Int.ceil()] {
+        for s in [
+            Bottom,
+            Null,
+            Int,
+            Shape::any(),
+            Shape::list(Int),
+            Int.ceil(),
+        ] {
             assert!(is_preferred(&Bottom, &s));
         }
         assert!(!is_preferred(&Null, &Bottom));
@@ -172,7 +263,15 @@ mod tests {
 
     #[test]
     fn rule7_everything_below_any() {
-        for s in [Bottom, Null, Int, Float, String, Shape::list(Int), Int.ceil()] {
+        for s in [
+            Bottom,
+            Null,
+            Int,
+            Float,
+            String,
+            Shape::list(Int),
+            Int.ceil(),
+        ] {
             assert!(is_preferred(&s, &Shape::any()));
         }
         // Labels do not matter: any⟨int⟩ is still the top shape.
@@ -304,8 +403,92 @@ mod tests {
         }
         for w in chain.windows(2) {
             if w[0] != w[1] {
-                assert!(!is_preferred(&w[1], &w[0]), "{} ⊑ {} unexpectedly", w[1], w[0]);
+                assert!(
+                    !is_preferred(&w[1], &w[0]),
+                    "{} ⊑ {} unexpectedly",
+                    w[1],
+                    w[0]
+                );
             }
         }
+    }
+
+    // --- μ-shapes: references with and without an environment ---
+
+    #[test]
+    fn env_free_refs_compare_by_name_only() {
+        let r = Shape::Ref("div".into());
+        assert!(is_preferred(&r, &r));
+        assert!(is_preferred(&r, &Shape::any()));
+        assert!(is_preferred(&Bottom, &r));
+        assert!(!is_preferred(&r, &Shape::Ref("span".into())));
+        // Without definitions a reference reads as the top of its name
+        // class: any same-name record occurrence is below it (this is
+        // what keeps env-free `csh`'s absorption rule an upper bound),
+        // while the reference itself sits below nothing but `any`.
+        let d = rec("div", vec![("x", Int)]);
+        assert!(is_preferred(&d, &r));
+        assert!(is_preferred(&d, &r.clone().ceil()));
+        assert!(!is_preferred(&r, &d));
+        assert!(!is_preferred(&rec("span", vec![]), &r));
+        // With a definitions table in scope the real field comparison
+        // takes over (see the μ tests below).
+    }
+
+    /// Cycle-cut termination proof: a self-recursive definition compares
+    /// against its own unfoldings without diverging, in both directions.
+    #[test]
+    fn self_recursive_ref_terminates_and_unfolds() {
+        let env = ShapeEnv::from_defs([(
+            "div".into(),
+            RecordShape::new(
+                "div",
+                [
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Int.ceil()),
+                ],
+            ),
+        )]);
+        let r = Shape::Ref("div".into());
+        assert!(is_preferred_in(&r, &r, Some(&env)));
+        // One unfolding (the inline rendering) is equivalent to the class:
+        let unfolded = rec("div", vec![("child", r.clone().ceil()), ("x", Int.ceil())]);
+        assert!(is_preferred_in(&unfolded, &r, Some(&env)));
+        assert!(is_preferred_in(&r, &unfolded, Some(&env)));
+        // A narrower local spelling is preferred over the class but not
+        // vice versa:
+        let narrow = rec("div", vec![("x", Int)]);
+        assert!(is_preferred_in(&narrow, &r, Some(&env)));
+        assert!(!is_preferred_in(&r, &narrow, Some(&env)));
+    }
+
+    /// Cycle-cut termination proof: mutually recursive definitions
+    /// (ul ↔ li) compare without diverging — reference pairs are
+    /// name-decided, and unfolding against finite spellings shrinks
+    /// the spelling at every step.
+    #[test]
+    fn mutually_recursive_refs_terminate() {
+        let env = ShapeEnv::from_defs([
+            (
+                "ul".into(),
+                RecordShape::new("ul", [("li", Shape::Ref("li".into()).ceil())]),
+            ),
+            (
+                "li".into(),
+                RecordShape::new("li", [("ul", Shape::Ref("ul".into()).ceil())]),
+            ),
+        ]);
+        let ul = Shape::Ref("ul".into());
+        let li = Shape::Ref("li".into());
+        assert!(is_preferred_in(&ul, &ul, Some(&env)));
+        assert!(is_preferred_in(&li, &li, Some(&env)));
+        // Different names are never related, even with identical bodies:
+        assert!(!is_preferred_in(&ul, &li, Some(&env)));
+        // Deep finite spelling against the infinite class:
+        let deep = rec(
+            "ul",
+            vec![("li", rec("li", vec![("ul", ul.clone().ceil())]).ceil())],
+        );
+        assert!(is_preferred_in(&deep, &ul, Some(&env)));
     }
 }

@@ -31,7 +31,10 @@ pub struct FieldShape {
 impl FieldShape {
     /// Creates a field shape.
     pub fn new(name: impl Into<Name>, shape: Shape) -> FieldShape {
-        FieldShape { name: name.into(), shape }
+        FieldShape {
+            name: name.into(),
+            shape,
+        }
     }
 }
 
@@ -102,7 +105,10 @@ impl RecordShape {
 
     /// Looks up a field shape by name.
     pub fn field(&self, name: &str) -> Option<&Shape> {
-        self.fields.iter().find(|f| f.name == name).map(|f| &f.shape)
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| &f.shape)
     }
 }
 
@@ -157,6 +163,20 @@ pub enum Shape {
     /// element shapes with their multiplicities. Only inferred when
     /// [`InferOptions::hetero_collections`](crate::InferOptions) is on.
     HeteroList(Vec<(Shape, Multiplicity)>),
+    /// A μ-style back-reference to the record definition named ν in an
+    /// ambient [`ShapeEnv`](crate::ShapeEnv). This is how recursive
+    /// structures (a `<ul>` containing `<li>` containing `<ul>`) become
+    /// representable: `globalize_env` replaces every occurrence of a
+    /// name-class record with a reference to its definitions-table entry,
+    /// so re-inference reaches a true fixed point (F# Data's provided
+    /// types work the same way — a nested occurrence is a *reference* to
+    /// its class, not an inline expansion).
+    ///
+    /// A `Ref` always denotes a record (the env bodies are
+    /// [`RecordShape`]s), so it is non-nullable and tags as
+    /// [`Tag::Name`](crate::Tag). Inference never produces `Ref` on its
+    /// own; only the global (§6.2) pass introduces it.
+    Ref(Name),
 }
 
 impl Shape {
@@ -187,7 +207,8 @@ impl Shape {
     }
 
     /// Returns `true` for the non-nullable shapes σ̂ of §3.1: records and
-    /// primitives (including the `bit`/`date` extensions).
+    /// primitives (including the `bit`/`date` extensions). A [`Shape::Ref`]
+    /// denotes a record definition, so it is non-nullable too.
     pub fn is_non_nullable(&self) -> bool {
         matches!(
             self,
@@ -198,6 +219,7 @@ impl Shape {
                 | Shape::Bit
                 | Shape::Date
                 | Shape::Record(_)
+                | Shape::Ref(_)
         )
     }
 
@@ -254,9 +276,7 @@ impl Shape {
             Shape::Record(r) => 1 + r.fields.iter().map(|f| f.shape.size()).sum::<usize>(),
             Shape::Nullable(s) | Shape::List(s) => 1 + s.size(),
             Shape::Top(labels) => 1 + labels.iter().map(Shape::size).sum::<usize>(),
-            Shape::HeteroList(cases) => {
-                1 + cases.iter().map(|(s, _)| s.size()).sum::<usize>()
-            }
+            Shape::HeteroList(cases) => 1 + cases.iter().map(|(s, _)| s.size()).sum::<usize>(),
             _ => 1,
         }
     }
@@ -321,6 +341,7 @@ impl fmt::Display for Shape {
                 }
                 write!(f, "]")
             }
+            Shape::Ref(name) => write!(f, "\u{21ba}{name}"),
         }
     }
 }
@@ -367,7 +388,11 @@ mod tests {
 
     #[test]
     fn floor_inverts_ceil_on_non_nullable() {
-        for s in [Shape::Int, Shape::String, Shape::record("R", [("x", Shape::Bool)])] {
+        for s in [
+            Shape::Int,
+            Shape::String,
+            Shape::record("R", [("x", Shape::Bool)]),
+        ] {
             assert_eq!(s.clone().ceil().floor(), s);
         }
         assert_eq!(Shape::Null.floor(), Shape::Null);
@@ -420,5 +445,15 @@ mod tests {
         assert!(!Shape::Int.contains_top());
         assert!(Shape::any().contains_top());
         assert!(Shape::record("R", [("a", Shape::list(Shape::any()))]).contains_top());
+    }
+
+    #[test]
+    fn refs_are_non_nullable_records_notationally() {
+        let r = Shape::Ref("div".into());
+        assert!(r.is_non_nullable(), "a ref denotes a record");
+        assert_eq!(r.to_string(), "\u{21ba}div");
+        assert_eq!(r.clone().ceil(), Shape::Nullable(Box::new(r.clone())));
+        assert_eq!(r.size(), 1);
+        assert!(!r.contains_top());
     }
 }

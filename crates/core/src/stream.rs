@@ -48,7 +48,11 @@ pub struct InferAccumulator {
 impl InferAccumulator {
     /// An empty fold: `σ0 = ⊥`.
     pub fn new(options: InferOptions) -> InferAccumulator {
-        InferAccumulator { options, shape: Shape::Bottom, records: 0 }
+        InferAccumulator {
+            options,
+            shape: Shape::Bottom,
+            records: 0,
+        }
     }
 
     /// Folds one record in — `σi = csh(σi−1, S(di))` — after which the
@@ -82,6 +86,23 @@ impl InferAccumulator {
     /// Consumes the accumulator, yielding `σn`.
     pub fn finish(self) -> Shape {
         self.shape
+    }
+
+    /// Consumes the accumulator, yielding the fold globalized into the
+    /// env-carrying form (§6.2): `globalize_env(σn)`. Because
+    /// [`globalize_env`](crate::globalize_env) is a fixed point, a
+    /// streamed corpus reaches exactly the global shape the one-shot
+    /// pipeline computes — including on mutually recursive XML corpora
+    /// where the old finite-tree pass diverged.
+    pub fn finish_global(self) -> crate::GlobalShape {
+        crate::globalize_env(self.shape)
+    }
+
+    /// The running fold globalized into the env-carrying form, without
+    /// consuming the accumulator (pays for one clone of the running
+    /// shape).
+    pub fn global_shape(&self) -> crate::GlobalShape {
+        crate::globalize_env(self.shape.clone())
     }
 }
 
@@ -190,7 +211,11 @@ pub fn infer_reader<R: Read>(
         StreamFormat::Csv => drive!(tfd_csv::stream::Streamer::new(), StreamError::Csv),
     }
     let records = acc.records();
-    Ok(StreamSummary { shape: acc.finish(), records, bytes })
+    Ok(StreamSummary {
+        shape: acc.finish(),
+        records,
+        bytes,
+    })
 }
 
 #[cfg(test)]
@@ -203,10 +228,16 @@ mod tests {
         vec![
             json_rec([("name", Value::str("Jan")), ("age", Value::Int(25))]),
             json_rec([("name", Value::str("Tomas"))]),
-            json_rec([("name", Value::str("Alexander")), ("age", Value::Float(3.5))]),
+            json_rec([
+                ("name", Value::str("Alexander")),
+                ("age", Value::Float(3.5)),
+            ]),
             Value::Null,
             arr([Value::Int(0), Value::Int(1)]),
-            rec("row", [("d", Value::str("2012-05-01")), ("n", Value::str("35.14"))]),
+            rec(
+                "row",
+                [("d", Value::str("2012-05-01")), ("n", Value::str("35.14"))],
+            ),
         ]
     }
 
@@ -229,6 +260,28 @@ mod tests {
     }
 
     #[test]
+    fn finish_global_reaches_the_oneshot_fixed_point() {
+        // The env-carrying finishers agree with globalizing the batch
+        // fold — the §6.2 fixed point, streamed.
+        let docs = [
+            rec("div", [("child", rec("div", [("x", Value::Int(1))]))]),
+            rec("div", [("y", Value::Bool(true))]),
+        ];
+        let opts = InferOptions::xml();
+        let expected = crate::globalize_env(infer_many(&docs, &opts));
+        let mut acc = InferAccumulator::new(opts);
+        for d in &docs {
+            acc.push(d);
+        }
+        assert_eq!(acc.global_shape(), expected);
+        assert_eq!(acc.finish_global(), expected);
+        assert!(
+            !expected.env.is_empty(),
+            "the corpus is genuinely recursive"
+        );
+    }
+
+    #[test]
     fn empty_fold_is_bottom() {
         let acc = InferAccumulator::new(InferOptions::formal());
         assert!(acc.is_empty());
@@ -240,7 +293,11 @@ mod tests {
         // csh is a least upper bound: S(di) ⊑ σn, so pushing the corpus
         // a second time must leave the shape fixed.
         let corpus = sample_corpus();
-        for options in [InferOptions::formal(), InferOptions::json(), InferOptions::csv()] {
+        for options in [
+            InferOptions::formal(),
+            InferOptions::json(),
+            InferOptions::csv(),
+        ] {
             let mut acc = InferAccumulator::new(options.clone());
             for d in &corpus {
                 acc.push(d);
@@ -278,10 +335,7 @@ mod tests {
         let summary =
             infer_reader(csv.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), 4).unwrap();
         assert_eq!(summary.records, 2);
-        let oneshot = crate::infer_with(
-            &tfd_csv::parse_value(csv).unwrap(),
-            &InferOptions::csv(),
-        );
+        let oneshot = crate::infer_with(&tfd_csv::parse_value(csv).unwrap(), &InferOptions::csv());
         assert_eq!(Shape::list(summary.shape), oneshot);
     }
 
@@ -291,10 +345,7 @@ mod tests {
         let summary =
             infer_reader(xml.as_bytes(), StreamFormat::Xml, &InferOptions::xml(), 5).unwrap();
         assert_eq!(summary.records, 1);
-        let oneshot = crate::infer_with(
-            &tfd_xml::parse_value(xml).unwrap(),
-            &InferOptions::xml(),
-        );
+        let oneshot = crate::infer_with(&tfd_xml::parse_value(xml).unwrap(), &InferOptions::xml());
         assert_eq!(summary.shape, oneshot);
     }
 

@@ -78,11 +78,33 @@ pub fn tag_of(shape: &Shape) -> Tag {
         Shape::Int | Shape::Float | Shape::Bit => Tag::Number,
         Shape::Top(_) => Tag::Any,
         Shape::Record(r) => Tag::Name(r.name),
+        // A μ-reference denotes the record definition it names: same tag
+        // as the record, so same-name refs and records group (and join)
+        // below the top shape.
+        Shape::Ref(n) => Tag::Name(*n),
         Shape::Nullable(_) => Tag::Nullable,
         Shape::List(_) | Shape::HeteroList(_) => Tag::Collection,
         Shape::Null => Tag::Null,
         Shape::Bottom => Tag::Bottom,
     }
+}
+
+/// [`tag_of`] under an optional [`ShapeEnv`](crate::ShapeEnv).
+///
+/// Tags are derivable without unfolding — a [`Shape::Ref`] tags as the
+/// record name it references whether or not a definition is in scope —
+/// so the environment only serves as a debug check that in-scope refs
+/// really do name record definitions. The function exists so the whole
+/// env-aware algebra (`is_preferred_in`, `csh_in`, `conforms_in`,
+/// `tag_of_in`) has a uniform signature.
+pub fn tag_of_in(shape: &Shape, env: Option<&crate::ShapeEnv>) -> Tag {
+    if let (Shape::Ref(n), Some(env)) = (shape, env) {
+        debug_assert!(
+            env.get(*n).is_none_or(|def| def.name == *n),
+            "env definition for {n} is misnamed"
+        );
+    }
+    tag_of(shape)
 }
 
 #[cfg(test)]

@@ -35,12 +35,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id from a function name and a parameter.
     pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{name}/{param}") }
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
     }
 
     /// An id that is just the parameter (the group name prefixes it).
     pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: param.to_string() }
+        BenchmarkId {
+            id: param.to_string(),
+        }
     }
 }
 
@@ -138,7 +142,11 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     /// Runs a standalone benchmark.
@@ -152,7 +160,7 @@ impl Criterion {
     }
 
     fn selected(&self, id: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| id.contains(f))
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
     }
 
     fn run_one<F>(&mut self, id: String, throughput: Option<Throughput>, mut f: F)
@@ -163,7 +171,10 @@ impl Criterion {
             return;
         }
         if self.test_mode {
-            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            let mut b = Bencher {
+                mode: Mode::Once,
+                samples: Vec::new(),
+            };
             f(&mut b);
             println!("test {id} ... ok");
             return;
@@ -171,14 +182,20 @@ impl Criterion {
         // Warm-up: run the body repeatedly until the warm-up budget is spent.
         let start = Instant::now();
         while start.elapsed() < self.warm_up {
-            let mut b = Bencher { mode: Mode::Once, samples: Vec::new() };
+            let mut b = Bencher {
+                mode: Mode::Once,
+                samples: Vec::new(),
+            };
             f(&mut b);
         }
         // Measurement: collect per-iteration timings until the budget is spent.
         let mut samples: Vec<f64> = Vec::new();
         let start = Instant::now();
         while start.elapsed() < self.measure || samples.len() < 10 {
-            let mut b = Bencher { mode: Mode::Timed, samples: Vec::new() };
+            let mut b = Bencher {
+                mode: Mode::Timed,
+                samples: Vec::new(),
+            };
             f(&mut b);
             samples.extend(b.samples);
             if samples.len() >= 5_000_000 {
@@ -189,7 +206,13 @@ impl Criterion {
         let median_s = samples[samples.len() / 2];
         let mean_s = samples.iter().sum::<f64>() / samples.len() as f64;
         let min_s = samples[0];
-        let m = Measurement { id: id.clone(), median_s, mean_s, min_s, throughput };
+        let m = Measurement {
+            id: id.clone(),
+            median_s,
+            mean_s,
+            min_s,
+            throughput,
+        };
         match m.per_second() {
             Some(rate) => {
                 let unit = match throughput {

@@ -38,6 +38,7 @@
 pub mod literal;
 mod parser;
 pub mod reference;
+pub mod scan;
 pub mod stream;
 
 pub use literal::{parse_date, parse_literal, Date, LiteralOptions};
@@ -131,20 +132,14 @@ mod tests {
 
     #[test]
     fn short_rows_pad_with_missing() {
-        let f = CsvFile::new(
-            vec!["a".into(), "b".into()],
-            vec![vec!["1".into()]],
-        );
+        let f = CsvFile::new(vec!["a".into(), "b".into()], vec![vec!["1".into()]]);
         let v = f.to_value();
         assert_eq!(v.elements().unwrap()[0].field("b"), Some(&Value::Null));
     }
 
     #[test]
     fn long_rows_drop_unheaded_cells() {
-        let f = CsvFile::new(
-            vec!["a".into()],
-            vec![vec!["1".into(), "spill".into()]],
-        );
+        let f = CsvFile::new(vec!["a".into()], vec![vec!["1".into(), "spill".into()]]);
         let v = f.to_value();
         assert_eq!(v.elements().unwrap()[0].fields().unwrap().len(), 1);
     }

@@ -79,12 +79,30 @@ impl std::fmt::Display for Date {
 }
 
 const MONTH_NAMES: &[(&str, u32)] = &[
-    ("january", 1), ("february", 2), ("march", 3), ("april", 4),
-    ("may", 5), ("june", 6), ("july", 7), ("august", 8),
-    ("september", 9), ("october", 10), ("november", 11), ("december", 12),
-    ("jan", 1), ("feb", 2), ("mar", 3), ("apr", 4), ("jun", 6),
-    ("jul", 7), ("aug", 8), ("sep", 9), ("sept", 9), ("oct", 10),
-    ("nov", 11), ("dec", 12),
+    ("january", 1),
+    ("february", 2),
+    ("march", 3),
+    ("april", 4),
+    ("may", 5),
+    ("june", 6),
+    ("july", 7),
+    ("august", 8),
+    ("september", 9),
+    ("october", 10),
+    ("november", 11),
+    ("december", 12),
+    ("jan", 1),
+    ("feb", 2),
+    ("mar", 3),
+    ("apr", 4),
+    ("jun", 6),
+    ("jul", 7),
+    ("aug", 8),
+    ("sep", 9),
+    ("sept", 9),
+    ("oct", 10),
+    ("nov", 11),
+    ("dec", 12),
 ];
 
 fn month_by_name(s: &str) -> Option<u32> {
@@ -135,7 +153,11 @@ pub fn parse_date(text: &str) -> Option<Date> {
     // Numeric formats with - or / separators.
     for sep in ['-', '/'] {
         let parts: Vec<&str> = date_part.split(sep).collect();
-        if parts.len() == 3 && parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit())) {
+        if parts.len() == 3
+            && parts
+                .iter()
+                .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+        {
             let nums: Vec<i64> = parts.iter().map(|p| p.parse().unwrap_or(-1)).collect();
             if parts[0].len() == 4 {
                 // YYYY-MM-DD
@@ -156,16 +178,12 @@ pub fn parse_date(text: &str) -> Option<Date> {
         .collect();
     match tokens.as_slice() {
         // May 3 | May 3 2012 | May 3, 2012
-        [m, d] if month_by_name(m).is_some() => {
-            Date::new(2000, month_by_name(m)?, d.parse().ok()?)
-        }
+        [m, d] if month_by_name(m).is_some() => Date::new(2000, month_by_name(m)?, d.parse().ok()?),
         [m, d, y] if month_by_name(m).is_some() => {
             Date::new(y.parse().ok()?, month_by_name(m)?, d.parse().ok()?)
         }
         // 3 May | 3 May 2012
-        [d, m] if month_by_name(m).is_some() => {
-            Date::new(2000, month_by_name(m)?, d.parse().ok()?)
-        }
+        [d, m] if month_by_name(m).is_some() => Date::new(2000, month_by_name(m)?, d.parse().ok()?),
         [d, m, y] if month_by_name(m).is_some() => {
             Date::new(y.parse().ok()?, month_by_name(m)?, d.parse().ok()?)
         }
@@ -331,7 +349,10 @@ mod tests {
 
     #[test]
     fn trimming_can_be_disabled() {
-        let opts = LiteralOptions { trim: false, ..LiteralOptions::default() };
+        let opts = LiteralOptions {
+            trim: false,
+            ..LiteralOptions::default()
+        };
         assert_eq!(parse_literal(" 1", &opts), Value::str(" 1"));
     }
 

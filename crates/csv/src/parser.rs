@@ -47,7 +47,10 @@ pub struct CsvOptions {
 
 impl Default for CsvOptions {
     fn default() -> Self {
-        CsvOptions { delimiter: ',', has_header: true }
+        CsvOptions {
+            delimiter: ',',
+            has_header: true,
+        }
     }
 }
 
@@ -77,7 +80,10 @@ impl fmt::Display for CsvError {
                 write!(f, "unterminated quoted field starting on line {line}")
             }
             CsvError::CharAfterQuote(line, c) => {
-                write!(f, "unexpected character {c:?} after closing quote on line {line}")
+                write!(
+                    f,
+                    "unexpected character {c:?} after closing quote on line {line}"
+                )
             }
             CsvError::InvalidUtf8(line) => {
                 write!(f, "input is not valid UTF-8 on line {line}")
@@ -201,7 +207,9 @@ pub fn parse_value_with(
             width = width.max(fields.len());
             raw_rows.push(fields.iter().map(|c| parse_literal(c, literals)).collect());
         }
-        let headers: Vec<Name> = (1..=width).map(|i| Name::new(format!("Column{i}"))).collect();
+        let headers: Vec<Name> = (1..=width)
+            .map(|i| Name::new(format!("Column{i}")))
+            .collect();
         let missing = parse_literal("", literals);
         Ok(Value::List(
             raw_rows
@@ -236,7 +244,14 @@ impl<'a> RecordSplitter<'a> {
     pub(crate) fn new(input: &'a str, delimiter: char) -> RecordSplitter<'a> {
         let mut delim_buf = [0u8; 4];
         let delim_len = delimiter.encode_utf8(&mut delim_buf).len();
-        RecordSplitter { input, bytes: input.as_bytes(), delim_buf, delim_len, pos: 0, line: 1 }
+        RecordSplitter {
+            input,
+            bytes: input.as_bytes(),
+            delim_buf,
+            delim_len,
+            pos: 0,
+            line: 1,
+        }
     }
 
     /// Clears `fields` and reads the next record into it. `Ok(false)`
@@ -270,14 +285,28 @@ impl<'a> RecordSplitter<'a> {
             let field: Cow<'a, str> = if self.bytes[self.pos] == b'"' {
                 self.quoted_field(delim)?
             } else {
+                // Unquoted fast path: SWAR-scan to the next delimiter
+                // byte or line ending instead of stepping byte by byte.
+                // Mid-field quotes are literal content (RFC 4180 fix 1),
+                // so the scan need not stop at them.
                 let start = self.pos;
-                while self.pos < self.bytes.len() {
-                    let b = self.bytes[self.pos];
-                    if b == b'\n' || b == b'\r' || (b == d0 && self.bytes[self.pos..].starts_with(delim)) {
-                        break;
+                loop {
+                    match crate::scan::find_any3(&self.bytes[self.pos..], d0, b'\n', b'\r') {
+                        None => {
+                            self.pos = self.bytes.len();
+                            break;
+                        }
+                        Some(off) => {
+                            self.pos += off;
+                            let b = self.bytes[self.pos];
+                            if b != d0 || self.bytes[self.pos..].starts_with(delim) {
+                                break;
+                            }
+                            // A delimiter lead byte that is not a full
+                            // (multi-byte) delimiter: ordinary content.
+                            self.pos += 1;
+                        }
                     }
-                    // Mid-field quotes are literal content (RFC 4180 fix 1).
-                    self.pos += 1;
                 }
                 Cow::Borrowed(&self.input[start..self.pos])
             };
@@ -301,7 +330,11 @@ impl<'a> RecordSplitter<'a> {
                     return Ok(true);
                 }
                 Some(b'\r') => {
-                    self.pos += if self.bytes.get(self.pos + 1) == Some(&b'\n') { 2 } else { 1 };
+                    self.pos += if self.bytes.get(self.pos + 1) == Some(&b'\n') {
+                        2
+                    } else {
+                        1
+                    };
                     self.line += 1;
                     return Ok(true);
                 }
@@ -321,6 +354,13 @@ impl<'a> RecordSplitter<'a> {
         let mut owned: Option<String> = None;
         let mut run_start = start;
         loop {
+            // Bulk-skip ordinary quoted content: only quotes and line
+            // endings (which the error positions must count) matter.
+            if let Some(off) = crate::scan::find_any3(&self.bytes[self.pos..], b'"', b'\n', b'\r') {
+                self.pos += off;
+            } else {
+                self.pos = self.bytes.len();
+            }
             match self.bytes.get(self.pos) {
                 None => return Err(CsvError::UnterminatedQuote(quote_line)),
                 Some(b'"') => {
@@ -342,8 +382,8 @@ impl<'a> RecordSplitter<'a> {
                             None => Cow::Borrowed(&self.input[start..self.pos]),
                         };
                         self.pos += 1; // closing '"'
-                        // After the closing quote only a delimiter, a line
-                        // ending or EOF may follow.
+                                       // After the closing quote only a delimiter, a line
+                                       // ending or EOF may follow.
                         match self.bytes.get(self.pos) {
                             None | Some(b'\n' | b'\r') => {}
                             Some(_) if self.bytes[self.pos..].starts_with(delim) => {}
@@ -367,7 +407,7 @@ impl<'a> RecordSplitter<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => self.pos += 1,
+                Some(_) => unreachable!("scan stops only at quote, CR, LF or EOF"),
             }
         }
     }
@@ -385,7 +425,13 @@ mod tests {
     fn simple_file() {
         let f = parse("a,b\n1,2\n3,4\n").unwrap();
         assert_eq!(f.headers(), &["a", "b"]);
-        assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()], vec!["3".into(), "4".into()]]);
+        assert_eq!(
+            f.rows(),
+            &[
+                vec!["1".to_owned(), "2".into()],
+                vec!["3".into(), "4".into()]
+            ]
+        );
     }
 
     #[test]
@@ -406,7 +452,10 @@ mod tests {
 
     #[test]
     fn bare_cr_separates_records() {
-        assert_eq!(rows("a\r1\r2"), vec![vec!["1".to_owned()], vec!["2".into()]]);
+        assert_eq!(
+            rows("a\r1\r2"),
+            vec![vec!["1".to_owned()], vec!["2".into()]]
+        );
     }
 
     #[test]
@@ -421,12 +470,18 @@ mod tests {
 
     #[test]
     fn escaped_quotes() {
-        assert_eq!(rows("a\n\"he said \"\"hi\"\"\""), vec![vec!["he said \"hi\"".to_owned()]]);
+        assert_eq!(
+            rows("a\n\"he said \"\"hi\"\"\""),
+            vec![vec!["he said \"hi\"".to_owned()]]
+        );
     }
 
     #[test]
     fn empty_fields() {
-        assert_eq!(rows("a,b,c\n1,,3"), vec![vec!["1".to_owned(), "".into(), "3".into()]]);
+        assert_eq!(
+            rows("a,b,c\n1,,3"),
+            vec![vec!["1".to_owned(), "".into(), "3".into()]]
+        );
         assert_eq!(rows("a,b\n,"), vec![vec!["".to_owned(), "".into()]]);
     }
 
@@ -437,7 +492,10 @@ mod tests {
 
     #[test]
     fn char_after_quote_is_error() {
-        assert!(matches!(parse("a\n\"x\"y"), Err(CsvError::CharAfterQuote(2, 'y'))));
+        assert!(matches!(
+            parse("a\n\"x\"y"),
+            Err(CsvError::CharAfterQuote(2, 'y'))
+        ));
     }
 
     #[test]
@@ -447,7 +505,10 @@ mod tests {
 
     #[test]
     fn headerless_mode_names_columns() {
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let f = parse_with("1,2\n3,4\n", &opts).unwrap();
         assert_eq!(f.headers(), &["Column1", "Column2"]);
         assert_eq!(f.row_count(), 2);
@@ -455,28 +516,40 @@ mod tests {
 
     #[test]
     fn headerless_empty_input_is_ok() {
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let f = parse_with("", &opts).unwrap();
         assert_eq!(f.row_count(), 0);
     }
 
     #[test]
     fn semicolon_delimiter() {
-        let opts = CsvOptions { delimiter: ';', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
         let f = parse_with("a;b\n1;2\n", &opts).unwrap();
         assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
     }
 
     #[test]
     fn tab_delimiter() {
-        let opts = CsvOptions { delimiter: '\t', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: '\t',
+            ..CsvOptions::default()
+        };
         let f = parse_with("a\tb\n1\t2\n", &opts).unwrap();
         assert_eq!(f.rows(), &[vec!["1".to_owned(), "2".into()]]);
     }
 
     #[test]
     fn multibyte_delimiter() {
-        let opts = CsvOptions { delimiter: '§', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: '§',
+            ..CsvOptions::default()
+        };
         let f = parse_with("a§b\n1§\"x§y\"\n", &opts).unwrap();
         assert_eq!(f.headers(), &["a", "b"]);
         assert_eq!(f.rows(), &[vec!["1".to_owned(), "x§y".into()]]);
@@ -527,7 +600,10 @@ mod tests {
             Err(CsvError::CharAfterQuote(2, 'x'))
         );
         // A CRLF inside quotes still counts once:
-        assert_eq!(parse("h\n\"a\r\nb\"x"), Err(CsvError::CharAfterQuote(3, 'x')));
+        assert_eq!(
+            parse("h\n\"a\r\nb\"x"),
+            Err(CsvError::CharAfterQuote(3, 'x'))
+        );
         // And a later unterminated quote reports its true start line.
         assert_eq!(
             parse("h\n\"a\rb\",ok\n\"oops"),
@@ -567,7 +643,7 @@ mod tests {
     fn parse_value_agrees_with_parse_to_value() {
         let docs = [
             "a,b\n1,x\n2,y\n",
-            "a,b\n1\n2,y,z\n",                       // ragged rows
+            "a,b\n1\n2,y,z\n",                      // ragged rows
             "a\n\"x,y\"\n\"he said \"\"hi\"\"\"\n", // quoting
             "Ozone, Temp\n41, 67\n17.5, #N/A\n",    // trimmed headers, nulls
             "a,b\r\n1,2\r\n",
@@ -584,7 +660,10 @@ mod tests {
 
     #[test]
     fn parse_value_headerless_agrees_with_parse_to_value() {
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let lits = LiteralOptions::default();
         for doc in ["1,2\n3,4,5\n", "", "x\n"] {
             assert_eq!(
@@ -598,7 +677,10 @@ mod tests {
     #[test]
     fn parse_value_propagates_errors() {
         assert_eq!(parse_value(""), Err(CsvError::Empty));
-        assert_eq!(parse_value("a\n\"oops"), Err(CsvError::UnterminatedQuote(2)));
+        assert_eq!(
+            parse_value("a\n\"oops"),
+            Err(CsvError::UnterminatedQuote(2))
+        );
     }
 
     #[test]

@@ -146,7 +146,10 @@ mod tests {
         assert_eq!(f.headers(), &["a", "b"]);
         assert_eq!(
             f.rows(),
-            &[vec!["1".to_owned(), "x,y".into()], vec!["3".into(), "4".into()]]
+            &[
+                vec!["1".to_owned(), "x,y".into()],
+                vec!["3".into(), "4".into()]
+            ]
         );
     }
 

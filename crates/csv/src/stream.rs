@@ -26,14 +26,17 @@
 //! so malformed quoting reports exactly the line the one-shot parser
 //! would, regardless of chunking.
 //!
-//! One documented divergence: in headerless mode the one-shot parser
-//! names columns `Column1..ColumnW` for the *corpus-global* maximum
-//! width `W` and pads short rows with nulls — which requires the whole
-//! corpus. The streamer names each row's columns by *that row's* width
-//! and omits the padding. The inferred shape is unchanged (a missing
-//! field and an explicit null both make the field nullable, and the
-//! differential suite checks this), but headerless streamed row values
-//! are not byte-identical to the one-shot rows on ragged corpora.
+//! One documented divergence remains in headerless mode: the one-shot
+//! parser pads short rows with nulls up to the *corpus-global* maximum
+//! width `W` — which requires the whole corpus — while the streamer
+//! emits each row at its own width. Column **names**, however, are
+//! interned exactly once per streamer (a single `Column1..ColumnN`
+//! table grown on demand, shared by the speculative and resumable
+//! paths), so every row's `ColumnK` is the same `Name` symbol the
+//! one-shot parser uses and the inferred shapes agree *structurally*: a
+//! missing field and an explicit null both make the field nullable.
+//! `tests/streaming_agreement.rs` pins this with a headerless
+//! differential regression.
 
 use crate::literal::{parse_literal, LiteralOptions};
 use crate::parser::{CsvError, CsvOptions, RecordSplitter};
@@ -270,7 +273,11 @@ impl Streamer {
                         b'\n' | b'\r' => self.end_record(chunk, rec_start, &mut i, b, sink)?,
                         _ if b == d0 => {
                             i += 1;
-                            self.mode = if dlen == 1 { CMode::Start(0) } else { CMode::Start(1) };
+                            self.mode = if dlen == 1 {
+                                CMode::Start(0)
+                            } else {
+                                CMode::Start(1)
+                            };
                         }
                         _ => {
                             i += 1;
@@ -279,39 +286,38 @@ impl Streamer {
                     }
                 }
                 // Hot loop: unquoted content runs to the next delimiter
-                // or line ending; mid-field quotes are literal. Line
+                // or line ending, SWAR-scanned eight bytes at a time
+                // (`crate::scan`); mid-field quotes are literal. Line
                 // accounting is settled in bulk when the record ends.
                 // (`m > 0` was handled above, so `m == 0` here.)
-                CMode::Unquoted(_) => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    match b {
-                        b'\n' | b'\r' => {
-                            self.end_record(chunk, rec_start, &mut i, b, sink)?;
-                            break;
+                CMode::Unquoted(_) => match crate::scan::find_any3(&chunk[i..], d0, b'\n', b'\r') {
+                    None => i = n, // the whole remaining chunk is content
+                    Some(off) => {
+                        i += off;
+                        let b = chunk[i];
+                        match b {
+                            b'\n' | b'\r' => {
+                                self.end_record(chunk, rec_start, &mut i, b, sink)?;
+                            }
+                            _ => {
+                                // d0: a (possibly partial) delimiter.
+                                i += 1;
+                                self.mode = if dlen == 1 {
+                                    CMode::Start(0)
+                                } else {
+                                    CMode::Unquoted(1)
+                                };
+                            }
                         }
-                        _ if b == d0 => {
-                            i += 1;
-                            self.mode =
-                                if dlen == 1 { CMode::Start(0) } else { CMode::Unquoted(1) };
-                            break;
-                        }
-                        _ => i += 1,
                     }
                 },
                 // Hot loop: quoted content runs to the next quote (line
-                // endings within are content).
-                CMode::Quoted => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    i += 1;
-                    if b == b'"' {
+                // endings within are content) — a single-needle SWAR scan.
+                CMode::Quoted => match crate::scan::find_byte(&chunk[i..], b'"') {
+                    None => i = n,
+                    Some(off) => {
+                        i += off + 1;
                         self.mode = CMode::QuoteQuote;
-                        break;
                     }
                 },
                 CMode::QuoteQuote => {
@@ -331,8 +337,11 @@ impl Streamer {
                         b'\n' | b'\r' => self.end_record(chunk, rec_start, &mut i, b, sink)?,
                         _ if b == d0 => {
                             i += 1;
-                            self.mode =
-                                if dlen == 1 { CMode::Start(0) } else { CMode::AfterQuote(1) };
+                            self.mode = if dlen == 1 {
+                                CMode::Start(0)
+                            } else {
+                                CMode::AfterQuote(1)
+                            };
                         }
                         _ => {
                             // Stray byte after a closing quote: scan on
@@ -371,7 +380,10 @@ impl Streamer {
                 let mut idx = 0usize;
                 let ok = sp.next_record_each(|cell| {
                     if let Some(&h) = headers.get(idx) {
-                        fields.push(Field { name: h, value: parse_literal(&cell, lits) });
+                        fields.push(Field {
+                            name: h,
+                            value: parse_literal(&cell, lits),
+                        });
                     }
                     idx += 1;
                 });
@@ -381,9 +393,15 @@ impl Streamer {
                 // Short rows pad with empty cells, as the one-shot path
                 // does.
                 for &h in &headers[idx.min(headers.len())..] {
-                    fields.push(Field { name: h, value: parse_literal("", lits) });
+                    fields.push(Field {
+                        name: h,
+                        value: parse_literal("", lits),
+                    });
                 }
-                sink(Value::Record { name: row_name, fields });
+                sink(Value::Record {
+                    name: row_name,
+                    fields,
+                });
                 Some(sp.pos())
             }
             None if self.has_header => {
@@ -400,16 +418,20 @@ impl Streamer {
                 let mut fields: Vec<Field> = Vec::new();
                 let mut idx = 0usize;
                 let ok = sp.next_record_each(|cell| {
-                    if idx == columns.len() {
-                        columns.push(Name::new(format!("Column{}", idx + 1)));
-                    }
-                    fields.push(Field { name: columns[idx], value: parse_literal(&cell, lits) });
+                    let name = column(columns, idx);
+                    fields.push(Field {
+                        name,
+                        value: parse_literal(&cell, lits),
+                    });
                     idx += 1;
                 });
                 if !matches!(ok, Ok(true)) || sp.pos() >= rest.len() {
                     return None;
                 }
-                sink(Value::Record { name: row_name, fields });
+                sink(Value::Record {
+                    name: row_name,
+                    fields,
+                });
                 Some(sp.pos())
             }
         }
@@ -427,7 +449,11 @@ impl Streamer {
     ) -> Result<(), CsvError> {
         let end = *i;
         *i += 1;
-        self.mode = if b == b'\r' { CMode::PendingLf } else { CMode::Between };
+        self.mode = if b == b'\r' {
+            CMode::PendingLf
+        } else {
+            CMode::Between
+        };
         let r = if self.buf.is_empty() {
             let r = self.emit_record(&chunk[rec_start..end], sink);
             self.advance_over(&chunk[rec_start..end]);
@@ -480,9 +506,9 @@ impl Streamer {
             ),
             None => {
                 // Headerless: name this row's columns by its own width
-                // (see the module docs for the divergence note).
-                while self.columns.len() < fields.len() {
-                    self.columns.push(Name::new(format!("Column{}", self.columns.len() + 1)));
+                // (see the module docs for the padding divergence note).
+                if !fields.is_empty() {
+                    column(&mut self.columns, fields.len() - 1);
                 }
                 Value::record(
                     self.row_name,
@@ -501,9 +527,7 @@ impl Streamer {
     /// LF, CRLF and bare CR each count once, matching the one-shot
     /// splitter.
     fn advance(&mut self, b: u8) {
-        if b == b'\r' {
-            self.line += 1;
-        } else if b == b'\n' && !self.prev_cr {
+        if b == b'\r' || (b == b'\n' && !self.prev_cr) {
             self.line += 1;
         }
         self.prev_cr = b == b'\r';
@@ -518,6 +542,19 @@ impl Streamer {
             self.prev_cr = last == b'\r';
         }
     }
+}
+
+/// The interned `Column{idx+1}` name, growing the streamer's
+/// once-per-corpus cache on demand. Every row of a headerless stream
+/// shares the same `Name` symbols — both the speculative and the
+/// resumable path draw from this one table, so shape agreement with the
+/// one-shot front-end is structural, not an accident of the global
+/// interner deduplicating per-row spellings.
+fn column(columns: &mut Vec<Name>, idx: usize) -> Name {
+    while columns.len() <= idx {
+        columns.push(Name::new(format!("Column{}", columns.len() + 1)));
+    }
+    columns[idx]
 }
 
 /// Line breaks (LF / CRLF / bare CR, each once) within `bytes`.
@@ -608,7 +645,10 @@ mod tests {
 
     #[test]
     fn semicolon_and_multibyte_delimiters() {
-        let opts = CsvOptions { delimiter: ';', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: ';',
+            ..CsvOptions::default()
+        };
         let lits = LiteralOptions::default();
         for text in ["a;b\n1;2\n", "a;b\n\"x;y\";2\n"] {
             let oneshot = parse_value_with(text, &opts, &lits).unwrap();
@@ -621,7 +661,10 @@ mod tests {
             assert_eq!(Value::List(rows), oneshot, "{text:?}");
         }
         // A multi-byte delimiter split across 1-byte feeds.
-        let opts = CsvOptions { delimiter: '§', ..CsvOptions::default() };
+        let opts = CsvOptions {
+            delimiter: '§',
+            ..CsvOptions::default()
+        };
         let text = "a§b\n1§\"x§y\"\n";
         let oneshot = parse_value_with(text, &opts, &lits).unwrap();
         let mut s = Streamer::with_options(&opts, &lits);
@@ -635,7 +678,10 @@ mod tests {
 
     #[test]
     fn headerless_names_columns_per_row() {
-        let opts = CsvOptions { has_header: false, ..CsvOptions::default() };
+        let opts = CsvOptions {
+            has_header: false,
+            ..CsvOptions::default()
+        };
         let lits = LiteralOptions::default();
         let mut s = Streamer::with_options(&opts, &lits);
         let mut rows = Vec::new();

@@ -126,7 +126,9 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
         // arguments for constructor parameters.
         Expr::MemberAccess(obj, name) => {
             if !obj.is_value() {
-                return congr1(classes, obj, |o2| Expr::MemberAccess(Box::new(o2), name.clone()));
+                return congr1(classes, obj, |o2| {
+                    Expr::MemberAccess(Box::new(o2), name.clone())
+                });
             }
             match obj.as_ref() {
                 Expr::New(class_name, args) => {
@@ -169,7 +171,12 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
         Expr::SomeLit(inner) => congr1(classes, inner, |i2| Expr::SomeLit(Box::new(i2))),
 
         // (match1) / (match2)
-        Expr::MatchOption { scrutinee, binder, some_branch, none_branch } => {
+        Expr::MatchOption {
+            scrutinee,
+            binder,
+            some_branch,
+            none_branch,
+        } => {
             if !scrutinee.is_value() {
                 let binder = binder.clone();
                 let some_branch = some_branch.clone();
@@ -184,9 +191,7 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
             match scrutinee.as_ref() {
                 Expr::NoneLit => Step::Reduced((**none_branch).clone()),
                 Expr::SomeLit(v) => Step::Reduced(subst(some_branch, binder, v)),
-                other => Step::Stuck(StuckReason::IllTyped(format!(
-                    "match-option on {other}"
-                ))),
+                other => Step::Stuck(StuckReason::IllTyped(format!("match-option on {other}"))),
             }
         }
 
@@ -197,7 +202,13 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
         },
 
         // (match3) / (match4)
-        Expr::MatchList { scrutinee, head, tail, cons_branch, nil_branch } => {
+        Expr::MatchList {
+            scrutinee,
+            head,
+            tail,
+            cons_branch,
+            nil_branch,
+        } => {
             if !scrutinee.is_value() {
                 let head = head.clone();
                 let tail = tail.clone();
@@ -252,13 +263,9 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
                 return congr1(classes, inner, |i2| Expr::ToInt(Box::new(i2)));
             }
             match inner.as_ref() {
-                Expr::Data(Value::Float(f)) => {
-                    Step::Reduced(Expr::Data(Value::Int(*f as i64)))
-                }
+                Expr::Data(Value::Float(f)) => Step::Reduced(Expr::Data(Value::Int(*f as i64))),
                 Expr::Data(Value::Int(i)) => Step::Reduced(Expr::Data(Value::Int(*i))),
-                other => Step::Stuck(StuckReason::IllTyped(format!(
-                    "int(·) applied to {other}"
-                ))),
+                other => Step::Stuck(StuckReason::IllTyped(format!("int(·) applied to {other}"))),
             }
         }
 
@@ -271,11 +278,7 @@ pub fn step(classes: &Classes, e: &Expr) -> Step {
 
 /// Congruence helper: reduce a sub-expression in evaluation position and
 /// rebuild, propagating exceptions (`C[exn] ↝ exn`) and stuckness.
-fn congr1(
-    classes: &Classes,
-    sub: &Expr,
-    rebuild: impl FnOnce(Expr) -> Expr,
-) -> Step {
+fn congr1(classes: &Classes, sub: &Expr, rebuild: impl FnOnce(Expr) -> Expr) -> Step {
     if matches!(sub, Expr::Exn) {
         return Step::Reduced(Expr::Exn);
     }
@@ -347,10 +350,8 @@ fn step_op(classes: &Classes, op: &Op) -> Step {
         }
         Op::ConvField(rec_name, field, e1, e2) => {
             descend!(e1, {
-                let (rec_name, field, e2) = (rec_name.clone(), field.clone(), e2.clone());
-                move |e1b| {
-                    Expr::Op(Op::ConvField(rec_name, field, Box::new(e1b), e2))
-                }
+                let (rec_name, field, e2) = (*rec_name, *field, e2.clone());
+                move |e1b| Expr::Op(Op::ConvField(rec_name, field, Box::new(e1b), e2))
             });
             match as_data(e1).and_then(|d| ops::conv_field(rec_name, field, d, e2)) {
                 Some(out) => Step::Reduced(out),
@@ -546,7 +547,10 @@ mod tests {
 
     #[test]
     fn conv_float_null_is_stuck() {
-        let e = Expr::Op(Op::ConvFloat(Shape::Float, Box::new(Expr::data(Value::Null))));
+        let e = Expr::Op(Op::ConvFloat(
+            Shape::Float,
+            Box::new(Expr::data(Value::Null)),
+        ));
         assert!(run0(&e).is_stuck());
     }
 
@@ -573,7 +577,10 @@ mod tests {
     #[test]
     fn member_on_unknown_class_is_stuck() {
         let e = Expr::member(Expr::New("Ghost".into(), vec![]), "M");
-        assert!(matches!(run0(&e), Outcome::Stuck(StuckReason::UnknownClass(_))));
+        assert!(matches!(
+            run0(&e),
+            Outcome::Stuck(StuckReason::UnknownClass(_))
+        ));
     }
 
     // --- Exception propagation (§6.5) ---
@@ -659,11 +666,7 @@ mod tests {
     fn run_out_of_fuel_on_divergence() {
         // Ω = (λx. x x)(λx. x x) — not typable, but the evaluator is
         // defensive about it.
-        let omega_half = Expr::lam(
-            "x",
-            Type::Data,
-            Expr::app(Expr::var("x"), Expr::var("x")),
-        );
+        let omega_half = Expr::lam("x", Type::Data, Expr::app(Expr::var("x"), Expr::var("x")));
         let omega = Expr::app(omega_half.clone(), omega_half);
         assert_eq!(run_with_fuel(&empty(), &omega, 1000), Outcome::OutOfFuel);
     }

@@ -60,9 +60,7 @@ pub fn conv_prim(shape: &Shape, d: &Value) -> Option<Expr> {
         (Shape::Int, Value::Int(_))
         | (Shape::String, Value::Str(_))
         | (Shape::Bool, Value::Bool(_)) => Some(Expr::Data(d.clone())),
-        (Shape::Bit, Value::Int(i)) if *i == 0 || *i == 1 => {
-            Some(Expr::Data(Value::Bool(*i == 1)))
-        }
+        (Shape::Bit, Value::Int(i)) if *i == 0 || *i == 1 => Some(Expr::Data(Value::Bool(*i == 1))),
         (Shape::Date, Value::Str(s)) => {
             tfd_csv::parse_date(s).map(|date| Expr::Data(Value::Str(date.to_string())))
         }
@@ -91,7 +89,10 @@ pub fn conv_field(rec_name: &str, field: &str, d: &Value, cont: &Expr) -> Option
 pub fn conv_null(d: &Value, cont: &Expr) -> Option<Expr> {
     match d {
         Value::Null => Some(Expr::NoneLit),
-        other => Some(Expr::some(Expr::app(cont.clone(), Expr::Data(other.clone())))),
+        other => Some(Expr::some(Expr::app(
+            cont.clone(),
+            Expr::Data(other.clone()),
+        ))),
     }
 }
 
@@ -147,7 +148,10 @@ pub fn conv_tagged(
         },
         Multiplicity::ZeroOrOne => match matching.as_slice() {
             [] => Some(Expr::NoneLit),
-            [only] => Some(Expr::some(Expr::app(cont.clone(), Expr::Data((*only).clone())))),
+            [only] => Some(Expr::some(Expr::app(
+                cont.clone(),
+                Expr::Data((*only).clone()),
+            ))),
             _ => None,
         },
         Multiplicity::Many => {
@@ -230,7 +234,12 @@ mod tests {
 
     #[test]
     fn has_shape_top_accepts_everything() {
-        for d in [Value::Null, Value::Int(1), arr([]), rec("R", [("x", Value::Int(1))])] {
+        for d in [
+            Value::Null,
+            Value::Int(1),
+            arr([]),
+            rec("R", [("x", Value::Int(1))]),
+        ] {
             assert!(has_shape(&Shape::any(), &d));
             assert!(has_shape(&Shape::Top(vec![Shape::Bool]), &d));
         }
@@ -248,7 +257,10 @@ mod tests {
     #[test]
     fn has_shape_hetero_checks_tags_and_multiplicities() {
         let shape = Shape::HeteroList(vec![
-            (Shape::record("\u{2022}", [("p", Shape::Int)]), Multiplicity::One),
+            (
+                Shape::record("\u{2022}", [("p", Shape::Int)]),
+                Multiplicity::One,
+            ),
             (Shape::list(Shape::Int), Multiplicity::ZeroOrOne),
         ]);
         let ok = arr([json_rec([("p", Value::Int(1))]), arr([Value::Int(2)])]);
@@ -274,15 +286,24 @@ mod tests {
 
     #[test]
     fn conv_float_accepts_both_numerics() {
-        assert_eq!(conv_float(&Value::Int(42)), Some(Expr::data(Value::Float(42.0))));
-        assert_eq!(conv_float(&Value::Float(2.5)), Some(Expr::data(Value::Float(2.5))));
+        assert_eq!(
+            conv_float(&Value::Int(42)),
+            Some(Expr::data(Value::Float(42.0)))
+        );
+        assert_eq!(
+            conv_float(&Value::Float(2.5)),
+            Some(Expr::data(Value::Float(2.5)))
+        );
         assert_eq!(conv_float(&Value::str("x")), None); // stuck
         assert_eq!(conv_float(&Value::Null), None); // the paper's example stuck state
     }
 
     #[test]
     fn conv_prim_identity_on_match() {
-        assert_eq!(conv_prim(&Shape::Int, &Value::Int(1)), Some(Expr::data(1i64)));
+        assert_eq!(
+            conv_prim(&Shape::Int, &Value::Int(1)),
+            Some(Expr::data(1i64))
+        );
         assert_eq!(
             conv_prim(&Shape::String, &Value::str("s")),
             Some(Expr::data("s"))
@@ -298,8 +319,14 @@ mod tests {
 
     #[test]
     fn conv_prim_bit_and_date_extensions() {
-        assert_eq!(conv_prim(&Shape::Bit, &Value::Int(1)), Some(Expr::data(true)));
-        assert_eq!(conv_prim(&Shape::Bit, &Value::Int(0)), Some(Expr::data(false)));
+        assert_eq!(
+            conv_prim(&Shape::Bit, &Value::Int(1)),
+            Some(Expr::data(true))
+        );
+        assert_eq!(
+            conv_prim(&Shape::Bit, &Value::Int(0)),
+            Some(Expr::data(false))
+        );
         assert_eq!(conv_prim(&Shape::Bit, &Value::Int(2)), None);
         assert_eq!(
             conv_prim(&Shape::Date, &Value::str("May 3, 2012")),
@@ -359,7 +386,10 @@ mod tests {
             Expr::app(ident(), Expr::data(json_rec([("p", Value::Int(5))])))
         );
         // Zero or two matches: stuck.
-        assert_eq!(conv_tagged(&shape, Multiplicity::One, &arr([]), &ident()), None);
+        assert_eq!(
+            conv_tagged(&shape, Multiplicity::One, &arr([]), &ident()),
+            None
+        );
         let two = arr([
             json_rec([("p", Value::Int(1))]),
             json_rec([("p", Value::Int(2))]),

@@ -86,8 +86,20 @@ fn decode_entities(s: &str) -> String {
 fn is_void(name: &str) -> bool {
     matches!(
         name,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input"
-            | "link" | "meta" | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -116,7 +128,10 @@ pub fn scan(input: &str) -> Vec<HtmlEvent> {
         // Comment?
         if input[i..].starts_with("<!--") {
             flush_text(&mut events, text_start, i);
-            let end = input[i + 4..].find("-->").map(|p| i + 4 + p + 3).unwrap_or(input.len());
+            let end = input[i + 4..]
+                .find("-->")
+                .map(|p| i + 4 + p + 3)
+                .unwrap_or(input.len());
             i = end;
             text_start = i;
             continue;
@@ -124,7 +139,10 @@ pub fn scan(input: &str) -> Vec<HtmlEvent> {
         // Doctype / CDATA / other declarations: skip to '>'.
         if input[i..].starts_with("<!") {
             flush_text(&mut events, text_start, i);
-            let end = input[i..].find('>').map(|p| i + p + 1).unwrap_or(input.len());
+            let end = input[i..]
+                .find('>')
+                .map(|p| i + p + 1)
+                .unwrap_or(input.len());
             i = end;
             text_start = i;
             continue;
@@ -165,7 +183,10 @@ pub fn scan(input: &str) -> Vec<HtmlEvent> {
             });
             let end_tag = format!("</{name}");
             if let Some(p) = input[i..].to_ascii_lowercase().find(&end_tag) {
-                let after_end = input[i + p..].find('>').map(|q| i + p + q + 1).unwrap_or(input.len());
+                let after_end = input[i + p..]
+                    .find('>')
+                    .map(|q| i + p + q + 1)
+                    .unwrap_or(input.len());
                 i = after_end;
                 text_start = i;
                 events.push(HtmlEvent::Close(name));
@@ -176,7 +197,11 @@ pub fn scan(input: &str) -> Vec<HtmlEvent> {
             continue;
         }
         let self_closing = self_closing || is_void(&name);
-        events.push(HtmlEvent::Open { name, attributes, self_closing });
+        events.push(HtmlEvent::Open {
+            name,
+            attributes,
+            self_closing,
+        });
     }
     flush_text(&mut events, text_start, input.len());
     events
@@ -283,7 +308,11 @@ mod tests {
     use super::*;
 
     fn open(name: &str) -> HtmlEvent {
-        HtmlEvent::Open { name: name.into(), attributes: vec![], self_closing: false }
+        HtmlEvent::Open {
+            name: name.into(),
+            attributes: vec![],
+            self_closing: false,
+        }
     }
 
     #[test]
@@ -291,7 +320,11 @@ mod tests {
         let events = scan("<p>Hello</p>");
         assert_eq!(
             events,
-            vec![open("p"), HtmlEvent::Text("Hello".into()), HtmlEvent::Close("p".into())]
+            vec![
+                open("p"),
+                HtmlEvent::Text("Hello".into()),
+                HtmlEvent::Close("p".into())
+            ]
         );
     }
 
@@ -306,7 +339,9 @@ mod tests {
     #[test]
     fn attributes_quoted_and_bare() {
         let events = scan(r#"<td colspan="2" class='x' align=left disabled>"#);
-        let HtmlEvent::Open { attributes, .. } = &events[0] else { panic!() };
+        let HtmlEvent::Open { attributes, .. } = &events[0] else {
+            panic!()
+        };
         assert_eq!(
             attributes,
             &vec![
@@ -322,7 +357,9 @@ mod tests {
     fn void_and_self_closing_elements() {
         let events = scan("<br><img src=\"x.png\"/><hr >");
         for e in &events {
-            let HtmlEvent::Open { self_closing, .. } = e else { panic!("{e:?}") };
+            let HtmlEvent::Open { self_closing, .. } = e else {
+                panic!("{e:?}")
+            };
             assert!(self_closing);
         }
     }
@@ -341,13 +378,17 @@ mod tests {
         assert_eq!(events[1], HtmlEvent::Close("script".into()));
         assert_eq!(events[2], open("p"));
         // The script body contributed no events (no <td>, no text):
-        assert!(!events.iter().any(|e| matches!(e, HtmlEvent::Open { name, .. } if name == "td")));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, HtmlEvent::Open { name, .. } if name == "td")));
     }
 
     #[test]
     fn entities_decode_in_text_and_attributes() {
         let events = scan("<a title=\"a&amp;b\">x &lt; y &#65; &nbsp;z</a>");
-        let HtmlEvent::Open { attributes, .. } = &events[0] else { panic!() };
+        let HtmlEvent::Open { attributes, .. } = &events[0] else {
+            panic!()
+        };
         assert_eq!(attributes[0].1, "a&b");
         assert_eq!(events[1], HtmlEvent::Text("x < y A  z".into()));
     }

@@ -71,8 +71,7 @@ pub fn parse_tables(html: &str) -> Vec<HtmlTable> {
     fn close_cell(t: &mut InProgress) {
         if let Some((is_header, text)) = t.current_cell.take() {
             let text = text.trim().to_owned();
-            if is_header && t.rows.is_empty() && t.current_row.as_ref().is_some_and(Vec::is_empty)
-            {
+            if is_header && t.rows.is_empty() && t.current_row.as_ref().is_some_and(Vec::is_empty) {
                 t.header.push(text);
             } else if let Some(row) = &mut t.current_row {
                 if is_header && row.is_empty() && t.rows.is_empty() && t.header.is_empty() {
@@ -95,7 +94,11 @@ pub fn parse_tables(html: &str) -> Vec<HtmlTable> {
 
     for event in events {
         match event {
-            HtmlEvent::Open { name, attributes, self_closing } => match name.as_str() {
+            HtmlEvent::Open {
+                name,
+                attributes,
+                self_closing,
+            } => match name.as_str() {
                 "table" if !self_closing => {
                     stack.push(InProgress {
                         id: attributes
@@ -147,7 +150,11 @@ pub fn parse_tables(html: &str) -> Vec<HtmlTable> {
                         for i in headers.len()..width {
                             headers.push(format!("Column{}", i + 1));
                         }
-                        tables.push(HtmlTable { id: t.id, headers, rows: t.rows });
+                        tables.push(HtmlTable {
+                            id: t.id,
+                            headers,
+                            rows: t.rows,
+                        });
                     }
                 }
                 "tr" => {
@@ -174,12 +181,22 @@ pub fn parse_tables(html: &str) -> Vec<HtmlTable> {
     // Unclosed tables at EOF still count (permissive parsing).
     while let Some(mut t) = stack.pop() {
         close_row(&mut t);
-        let width = t.rows.iter().map(Vec::len).max().unwrap_or(t.header.len()).max(t.header.len());
+        let width = t
+            .rows
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(t.header.len())
+            .max(t.header.len());
         let mut headers = t.header;
         for i in headers.len()..width {
             headers.push(format!("Column{}", i + 1));
         }
-        tables.push(HtmlTable { id: t.id, headers, rows: t.rows });
+        tables.push(HtmlTable {
+            id: t.id,
+            headers,
+            rows: t.rows,
+        });
     }
     tables
 }
@@ -280,7 +297,13 @@ mod tests {
         let html = "<table><tr><th>A<th>B<tr><td>1<td>2<tr><td>3<td>4</table>";
         let tables = parse_tables(html);
         assert_eq!(tables[0].headers(), &["A", "B"]);
-        assert_eq!(tables[0].rows(), &[vec!["1".to_owned(), "2".into()], vec!["3".into(), "4".into()]]);
+        assert_eq!(
+            tables[0].rows(),
+            &[
+                vec!["1".to_owned(), "2".into()],
+                vec!["3".into(), "4".into()]
+            ]
+        );
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct Pos {
 
 impl Pos {
     pub(crate) fn start() -> Pos {
-        Pos { offset: 0, line: 1, column: 1 }
+        Pos {
+            offset: 0,
+            line: 1,
+            column: 1,
+        }
     }
 }
 
@@ -128,7 +132,11 @@ pub(crate) struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     pub(crate) fn new(input: &'a str) -> Lexer<'a> {
-        Lexer { input, chars: input.char_indices().peekable(), pos: Pos::start() }
+        Lexer {
+            input,
+            chars: input.char_indices().peekable(),
+            pos: Pos::start(),
+        }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -188,7 +196,10 @@ impl<'a> Lexer<'a> {
             '"' => self.lex_string(start),
             c if c == '-' || c.is_ascii_digit() => self.lex_number(start),
             c if c.is_ascii_alphabetic() => self.lex_keyword(start),
-            c => Err(LexError { kind: LexErrorKind::UnexpectedChar(c), pos: start }),
+            c => Err(LexError {
+                kind: LexErrorKind::UnexpectedChar(c),
+                pos: start,
+            }),
         }
     }
 
@@ -234,7 +245,10 @@ impl<'a> Lexer<'a> {
         let mut out = String::new();
         loop {
             let Some(c) = self.bump() else {
-                return Err(LexError { kind: LexErrorKind::UnterminatedString, pos: start });
+                return Err(LexError {
+                    kind: LexErrorKind::UnterminatedString,
+                    pos: start,
+                });
             };
             match c {
                 '"' => return Ok((Token::Str(out), start)),
@@ -338,7 +352,10 @@ impl<'a> Lexer<'a> {
             }
             _ => {
                 let text = self.number_text(begin);
-                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+                return Err(LexError {
+                    kind: LexErrorKind::BadNumber(text),
+                    pos: start,
+                });
             }
         }
         // Fraction.
@@ -347,7 +364,10 @@ impl<'a> Lexer<'a> {
             self.bump();
             if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 let text = self.number_text(begin);
-                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+                return Err(LexError {
+                    kind: LexErrorKind::BadNumber(text),
+                    pos: start,
+                });
             }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.bump();
@@ -362,7 +382,10 @@ impl<'a> Lexer<'a> {
             }
             if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 let text = self.number_text(begin);
-                return Err(LexError { kind: LexErrorKind::BadNumber(text), pos: start });
+                return Err(LexError {
+                    kind: LexErrorKind::BadNumber(text),
+                    pos: start,
+                });
             }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.bump();

@@ -84,9 +84,7 @@ impl Json {
     /// ```
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
-            Json::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -110,9 +108,7 @@ impl Json {
             Json::String(s) => Value::Str(s.clone()),
             Json::Bool(b) => Value::Bool(*b),
             Json::Null => Value::Null,
-            Json::Array(items) => {
-                Value::List(items.iter().map(Json::to_value).collect())
-            }
+            Json::Array(items) => Value::List(items.iter().map(Json::to_value).collect()),
             Json::Object(members) => Value::record(
                 tfd_value::body_name(),
                 members.iter().map(|(k, v)| (*k, v.to_value())),
@@ -131,9 +127,7 @@ impl Json {
             Value::Str(s) => Json::String(s.clone()),
             Value::Bool(b) => Json::Bool(*b),
             Value::Null => Json::Null,
-            Value::List(items) => {
-                Json::Array(items.iter().map(Json::from_value).collect())
-            }
+            Value::List(items) => Json::Array(items.iter().map(Json::from_value).collect()),
             Value::Record { fields, .. } => Json::Object(
                 fields
                     .iter()

@@ -87,7 +87,10 @@ impl std::error::Error for ParseError {}
 
 impl From<crate::lexer::LexError> for ParseError {
     fn from(e: crate::lexer::LexError) -> Self {
-        ParseError { kind: ParseErrorKind::Lex(e.kind), pos: e.pos }
+        ParseError {
+            kind: ParseErrorKind::Lex(e.kind),
+            pos: e.pos,
+        }
     }
 }
 
@@ -352,7 +355,10 @@ impl Sink for ValueSink {
         obj.push(Field { name: key, value });
     }
     fn obj_finish(&mut self, obj: Self::Obj) -> Value {
-        Value::Record { name: self.body, fields: obj }
+        Value::Record {
+            name: self.body,
+            fields: obj,
+        }
     }
     fn arr_finish(&mut self, items: Vec<Value>) -> Value {
         Value::List(items)
@@ -374,7 +380,14 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str, max_depth: usize) -> Parser<'a> {
-        Parser { input, bytes: input.as_bytes(), pos: 0, line: 1, line_start: 0, max_depth }
+        Parser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            max_depth,
+        }
     }
 
     /// The source position of `offset`, with the column counted in
@@ -393,7 +406,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, kind: LexErrorKind, at: usize) -> ParseError {
-        ParseError { kind: ParseErrorKind::Lex(kind), pos: self.pos_of(at) }
+        ParseError {
+            kind: ParseErrorKind::Lex(kind),
+            pos: self.pos_of(at),
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -605,10 +621,7 @@ impl<'a> Parser<'a> {
                     return self.parse_string_owned(quote, out).map(Cow::Owned);
                 }
                 Some(&b) if b < 0x20 => {
-                    return Err(self.err(
-                        LexErrorKind::ControlCharInString(b as char),
-                        quote,
-                    ));
+                    return Err(self.err(LexErrorKind::ControlCharInString(b as char), quote));
                 }
                 Some(_) => self.pos += 1,
             }
@@ -642,18 +655,14 @@ impl<'a> Parser<'a> {
                         b't' => out.push('\t'),
                         b'u' => out.push(self.parse_unicode_escape(esc)?),
                         other => {
-                            return Err(self.err(
-                                LexErrorKind::BadEscape((other as char).to_string()),
-                                esc,
-                            ));
+                            return Err(
+                                self.err(LexErrorKind::BadEscape((other as char).to_string()), esc)
+                            );
                         }
                     }
                 }
                 Some(&b) if b < 0x20 => {
-                    return Err(self.err(
-                        LexErrorKind::ControlCharInString(b as char),
-                        quote,
-                    ));
+                    return Err(self.err(LexErrorKind::ControlCharInString(b as char), quote));
                 }
                 Some(_) => {
                     // Copy a maximal escape-free run in one push.
@@ -792,7 +801,10 @@ impl<'a> Parser<'a> {
         let end = (end..=self.input.len())
             .find(|&i| self.input.is_char_boundary(i))
             .unwrap_or(self.input.len());
-        self.err(LexErrorKind::BadNumber(self.input[start..end].trim_end().to_owned()), start)
+        self.err(
+            LexErrorKind::BadNumber(self.input[start..end].trim_end().to_owned()),
+            start,
+        )
     }
 }
 
@@ -866,10 +878,7 @@ mod tests {
             Json::String("a\"b\\c/d\u{8}e\u{c}f\ng\rh\ti".into())
         );
         assert_eq!(parse("\"\\u0041\"").unwrap(), Json::String("A".into()));
-        assert_eq!(
-            parse("\"\\u00e9\"").unwrap(),
-            Json::String("\u{e9}".into())
-        );
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Json::String("\u{e9}".into()));
         assert_eq!(
             parse("\"\\uD83D\\uDE00\"").unwrap(),
             Json::String("\u{1F600}".into())

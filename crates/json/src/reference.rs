@@ -75,7 +75,12 @@ impl<'a> ParserState<'a> {
     fn new(input: &'a str, options: ParserOptions) -> Result<Self, ParseError> {
         let mut lexer = Lexer::new(input);
         let (lookahead, lookahead_pos) = lexer.next_token()?;
-        Ok(ParserState { lexer, lookahead, lookahead_pos, options })
+        Ok(ParserState {
+            lexer,
+            lookahead,
+            lookahead_pos,
+            options,
+        })
     }
 
     fn advance(&mut self) -> Result<(Token, Pos), ParseError> {
@@ -251,7 +256,11 @@ mod tests {
         for doc in ["{\n  \"a\": @\n}", "[1, @]", "{ \"čaj\": @ }"] {
             let a = parse(doc).unwrap_err();
             let b = crate::parse(doc).unwrap_err();
-            assert_eq!((a.pos.line, a.pos.column), (b.pos.line, b.pos.column), "on {doc}");
+            assert_eq!(
+                (a.pos.line, a.pos.column),
+                (b.pos.line, b.pos.column),
+                "on {doc}"
+            );
         }
     }
 }

@@ -90,7 +90,10 @@ impl NumState {
     /// States where the token forms a complete number (the one-shot
     /// parser would return successfully were the input to stop here).
     fn accepting(self) -> bool {
-        matches!(self, NumState::IntZero | NumState::IntDigits | NumState::Frac | NumState::ExpDigits)
+        matches!(
+            self,
+            NumState::IntZero | NumState::IntDigits | NumState::Frac | NumState::ExpDigits
+        )
     }
 }
 
@@ -184,11 +187,7 @@ impl Streamer {
     ///
     /// The first malformed record poisons the streamer: the error is
     /// returned now and again from any later call.
-    pub fn feed(
-        &mut self,
-        chunk: &[u8],
-        sink: &mut impl FnMut(Value),
-    ) -> Result<(), ParseError> {
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
         if let Some(e) = &self.failed {
             return Err(e.clone());
         }
@@ -215,7 +214,7 @@ impl Streamer {
             return Ok(());
         }
         let buf = std::mem::take(&mut self.buf);
-        let r = self.parse_record(&buf, 0, buf.len()).map(|v| sink(v));
+        let r = self.parse_record(&buf, 0, buf.len()).map(sink);
         self.buf = buf;
         self.buf.clear();
         self.mode = Mode::Between;
@@ -225,11 +224,7 @@ impl Streamer {
         r
     }
 
-    fn feed_inner(
-        &mut self,
-        chunk: &[u8],
-        sink: &mut impl FnMut(Value),
-    ) -> Result<(), ParseError> {
+    fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
         let n = chunk.len();
         // The chunk's valid-UTF-8 prefix, validated once: records that
         // start inside it and are self-delimiting can be parsed straight
@@ -502,7 +497,7 @@ impl Streamer {
             self.buf = buf; // keep the allocation for the next carry-over
             v
         };
-        r.map(|v| sink(v))
+        r.map(sink)
     }
 
     /// Parses the complete record `bytes[from..to]` and translates any
@@ -525,7 +520,11 @@ impl Streamer {
         Pos {
             offset: offset + local.offset,
             line: line + local.line - 1,
-            column: if local.line == 1 { col + local.column - 1 } else { local.column },
+            column: if local.line == 1 {
+                col + local.column - 1
+            } else {
+                local.column
+            },
         }
     }
 
@@ -557,7 +556,10 @@ impl Streamer {
         } else {
             self.line += newlines;
             self.col = 1;
-            let last = bytes.iter().rposition(|&b| b == b'\n').expect("newlines > 0");
+            let last = bytes
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .expect("newlines > 0");
             &bytes[last + 1..]
         };
         self.col += if tail.is_ascii() {
@@ -590,7 +592,11 @@ fn local_pos(prefix: &[u8]) -> Pos {
             col += 1;
         }
     }
-    Pos { offset: prefix.len(), line, column: col }
+    Pos {
+        offset: prefix.len(),
+        line,
+        column: col,
+    }
 }
 
 #[cfg(test)]

@@ -42,8 +42,8 @@
 //! ```
 
 use proc_macro::{TokenStream, TokenTree};
-use tfd_codegen::{generate, CodegenOptions, SourceFormat};
-use tfd_core::{globalize, infer_many, InferOptions};
+use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
+use tfd_core::{globalize_env, infer_many, GlobalShape, InferOptions};
 use tfd_value::Value;
 
 /// Which provider front-end a macro invocation uses.
@@ -150,10 +150,15 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
         options.hetero_collections = false;
         options.singleton_collections = false;
     }
-    let mut shape = infer_many(&values, &options);
-    if request.global {
-        shape = globalize(shape);
-    }
+    let shape = infer_many(&values, &options);
+    // The §6.2 global mode goes through the env-carrying form, so
+    // recursive XML elements expand to genuinely recursive structs (one
+    // per definitions-table entry) instead of a truncated tree.
+    let global = if request.global {
+        globalize_env(shape)
+    } else {
+        GlobalShape::plain(shape)
+    };
 
     let codegen = CodegenOptions {
         crate_prefix: request.prefix.clone(),
@@ -166,7 +171,7 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
         },
         sample_text: Some(request.samples[0].clone()),
     };
-    let mut code = generate(&shape, &request.module, &request.root, &codegen);
+    let mut code = generate_global(&global, &request.module, &request.root, &codegen);
     if format == Format::Html {
         // Append HTML-specific parse/load/sample functions inside the
         // module (codegen is format-agnostic for HTML).
@@ -191,7 +196,9 @@ fn root_type_of(code: &str) -> String {
     let marker = "pub fn from_value(value: Value) -> Result<";
     let start = code.find(marker).expect("from_value is always generated") + marker.len();
     let rest = &code[start..];
-    let end = rest.find(", AccessError>").expect("from_value returns AccessError");
+    let end = rest
+        .find(", AccessError>")
+        .expect("from_value returns AccessError");
     rest[..end].to_owned()
 }
 
@@ -210,7 +217,11 @@ fn parse_request(input: TokenStream) -> Result<Request, String> {
     while i < tokens.len() {
         let key = match &tokens[i] {
             TokenTree::Ident(id) => id.to_string(),
-            other => return Err(format!("expected a key (mod/root/sample/...), found `{other}`")),
+            other => {
+                return Err(format!(
+                    "expected a key (mod/root/sample/...), found `{other}`"
+                ))
+            }
         };
         i += 1;
         match key.as_str() {
@@ -364,10 +375,7 @@ fn unquote(src: &str) -> Result<String, String> {
                 }
                 let cp = u32::from_str_radix(&hex, 16)
                     .map_err(|_| "malformed \\u escape in string literal".to_owned())?;
-                out.push(
-                    char::from_u32(cp)
-                        .ok_or_else(|| "invalid unicode escape".to_owned())?,
-                );
+                out.push(char::from_u32(cp).ok_or_else(|| "invalid unicode escape".to_owned())?);
             }
             other => return Err(format!("unsupported escape \\{other:?} in string literal")),
         }

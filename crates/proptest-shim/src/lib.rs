@@ -59,7 +59,9 @@ pub mod sample {
 pub mod prelude {
     pub use crate::strategy::{any, Just, SFn, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Module alias matching `proptest::prelude::prop`.
     pub mod prop {
@@ -177,9 +179,10 @@ macro_rules! prop_assert_ne {
     ($a:expr, $b:expr $(,)?) => {{
         let (__l, __r) = (&$a, &$b);
         if *__l == *__r {
-            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("{:?} == {:?}", __l, __r),
-            ));
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{:?} == {:?}",
+                __l, __r
+            )));
         }
     }};
 }

@@ -47,7 +47,13 @@ pub trait Strategy: Clone {
     /// strategy for the previous depth level into the next one. Each
     /// level chooses between a leaf and a grown value, recursing at most
     /// `depth` times.
-    fn prop_recursive<S2, F>(self, depth: u32, _desired: u32, _branch: u32, grow: F) -> SFn<Self::Value>
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired: u32,
+        _branch: u32,
+        grow: F,
+    ) -> SFn<Self::Value>
     where
         Self: Sized + 'static,
         Self::Value: 'static,
@@ -202,7 +208,11 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
 
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 

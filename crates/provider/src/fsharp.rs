@@ -61,7 +61,10 @@ pub fn signature(provided: &Provided) -> String {
         }
     }
     if provided.classes.is_empty() {
-        out.push_str(&format!("(* primitive provided type: {} *)\n", type_name(&provided.ty)));
+        out.push_str(&format!(
+            "(* primitive provided type: {} *)\n",
+            type_name(&provided.ty)
+        ));
     }
     out
 }

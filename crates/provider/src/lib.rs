@@ -42,6 +42,6 @@ mod safety;
 mod stability;
 
 pub use fsharp::{root_type_name, signature};
-pub use mapping::{provide, provide_idiomatic, Provided};
+pub use mapping::{provide, provide_global, provide_idiomatic, Provided};
 pub use safety::{deep_eval, DeepEvalReport, SafetyFailure};
 pub use stability::{apply, migrate, AccessProgram, AccessStep, MigrateError};

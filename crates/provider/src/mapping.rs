@@ -18,9 +18,10 @@
 //!   with `2`, `3`, … appended on collisions.
 
 use crate::naming::{member_name, tag_member_name, ClassNamer, MemberNamer};
-use tfd_core::{Multiplicity, Shape};
+use std::collections::HashMap;
+use tfd_core::{GlobalShape, Multiplicity, RecordShape, Shape};
 use tfd_foo::{Class, Classes, Expr, Member, Op, Type};
-use tfd_value::{Value, BODY_NAME};
+use tfd_value::{Name, Value, BODY_NAME};
 
 /// The result of running a type provider: `⟦σ⟧ = (τ, e, L)`.
 #[derive(Debug, Clone)]
@@ -61,6 +62,50 @@ pub fn provide_idiomatic(shape: &Shape, root_hint: &str) -> Provided {
     Builder::new(true).build(shape, root_hint)
 }
 
+/// Runs the Fig. 8 mapping over a [`GlobalShape`] — the §6.2 global
+/// inference result — with the §6.3 idiomatic-naming pipeline.
+///
+/// Every environment definition becomes **one class**, and every
+/// [`Shape::Ref`] maps to that class's name, so mutually recursive XML
+/// name classes come out as genuinely recursive F# signatures (exactly
+/// how F# Data renders them):
+///
+/// ```text
+/// type Ul =
+///   member Li : option<Li>
+/// type Li =
+///   member Ul : option<Ul>
+/// ```
+///
+/// ```
+/// use tfd_core::{globalize_env, infer_with, InferOptions};
+/// use tfd_provider::{provide_global, signature};
+/// use tfd_value::{rec, Value};
+///
+/// let doc = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
+/// let g = globalize_env(infer_with(&doc, &InferOptions::formal()));
+/// let sig = signature(&provide_global(&g, "Root"));
+/// assert!(sig.contains("type Div ="), "{sig}");
+/// assert!(sig.contains("member Child : option<Div>"), "{sig}");
+/// ```
+pub fn provide_global(global: &GlobalShape, root_hint: &str) -> Provided {
+    let mut builder = Builder::new(true);
+    builder.check_env = global.env.clone();
+    // Reserve one class per definition first, so mutually recursive
+    // references resolve to stable names regardless of build order...
+    for (name, _) in global.env.iter() {
+        let class = builder.namer.fresh(&name);
+        builder.ref_classes.insert(name, class);
+    }
+    // ...then build the definition bodies (which may reference each
+    // other and themselves), and finally the root.
+    for (name, def) in global.env.iter() {
+        let class = builder.ref_classes[&name].clone();
+        builder.record_class(class, def);
+    }
+    builder.build(&global.root, root_hint)
+}
+
 /// The constructor parameter name used by all generated classes (the
 /// paper's Fig. 8 uses `x1`).
 const CTOR_PARAM: &str = "x1";
@@ -69,16 +114,37 @@ struct Builder {
     idiomatic: bool,
     namer: ClassNamer,
     classes: Classes,
+    /// Class names reserved for μ-references: one class per
+    /// [`ShapeEnv`](tfd_core::ShapeEnv) definition.
+    ref_classes: HashMap<Name, String>,
+    /// The definitions table of the [`GlobalShape`] being provided
+    /// (empty for the plain entry points). Runtime `hasShape` checks in
+    /// the Foo calculus are env-free, so label shapes are inlined
+    /// through this table before they land in [`Op::HasShape`]: the
+    /// interpreter then checks one full unfolding of every reference
+    /// and only degrades to a name check at recursion points, matching
+    /// the env-aware Rust runtime up to the μ-knot.
+    check_env: tfd_core::ShapeEnv,
 }
 
 impl Builder {
     fn new(idiomatic: bool) -> Builder {
-        Builder { idiomatic, namer: ClassNamer::new(), classes: Classes::new() }
+        Builder {
+            idiomatic,
+            namer: ClassNamer::new(),
+            classes: Classes::new(),
+            ref_classes: HashMap::new(),
+            check_env: tfd_core::ShapeEnv::new(),
+        }
     }
 
     fn build(mut self, shape: &Shape, root_hint: &str) -> Provided {
         let (ty, conv) = self.go(shape, root_hint);
-        Provided { ty, conv, classes: self.classes }
+        Provided {
+            ty,
+            conv,
+            classes: self.classes,
+        }
     }
 
     /// The recursive worker: returns (τ, e) and accumulates classes.
@@ -115,53 +181,36 @@ impl Builder {
 
                 let class_hint = if r.name == BODY_NAME { hint } else { &r.name };
                 let class_name = self.namer.fresh(class_hint);
-                let mut namer = MemberNamer::new();
-                let mut members = Vec::new();
-                for field in &r.fields {
-                    let (field_ty, field_conv) = self.go(&field.shape, &field.name);
-                    let body = Expr::Op(Op::ConvField(
-                        r.name,
-                        field.name,
-                        Box::new(Expr::var(CTOR_PARAM)),
-                        Box::new(field_conv),
-                    ));
-                    if self.idiomatic && field.name == BODY_NAME {
-                        if let Type::Class(inner_name) = &field_ty {
-                            // §6.3 lifting: the members of the `•` class
-                            // move into this class, accessed through the
-                            // body conversion.
-                            let inner = self
-                                .classes
-                                .get(inner_name)
-                                .expect("nested class was just generated")
-                                .clone();
-                            for m in &inner.members {
-                                members.push(Member {
-                                    name: namer.fresh(&m.name),
-                                    ty: m.ty.clone(),
-                                    body: Expr::member(body.clone(), m.name.clone()),
-                                });
-                            }
-                            continue;
-                        }
-                    }
-                    let name = if self.idiomatic {
-                        namer.fresh(&member_name(&field.name))
-                    } else {
-                        field.name.as_str().to_owned()
-                    };
-                    members.push(Member { name, ty: field_ty, body });
-                }
-                self.classes.add(Class {
-                    name: class_name.clone(),
-                    params: vec![(CTOR_PARAM.to_owned(), Type::Data)],
-                    members,
-                });
+                self.record_class(class_name.clone(), r);
                 (
                     Type::Class(class_name.clone()),
                     Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
                 )
             }
+
+            // ⟦↺ν⟧ — a μ-reference maps to its definition's (reserved)
+            // class: recursion in the shape becomes recursion between
+            // generated classes, exactly as in F# Data's provided types.
+            Shape::Ref(n) => match self.ref_classes.get(n).cloned() {
+                Some(class_name) => (
+                    Type::Class(class_name.clone()),
+                    Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                ),
+                // A dangling reference (no definition in scope) provides
+                // only the raw-data escape hatch, like ⟦⊥⟧.
+                None => {
+                    let class_name = self.namer.fresh(n.as_str());
+                    self.classes.add(Class {
+                        name: class_name.clone(),
+                        params: vec![("v".to_owned(), Type::Data)],
+                        members: vec![],
+                    });
+                    (
+                        Type::Class(class_name.clone()),
+                        Expr::lam("x", Type::Data, Expr::New(class_name, vec![Expr::var("x")])),
+                    )
+                }
+            },
 
             // ⟦[σ]⟧ = (list τ, λx. convElements(x, e′), L).
             Shape::List(element) => {
@@ -187,10 +236,7 @@ impl Builder {
                     Expr::lam(
                         "x",
                         Type::Data,
-                        Expr::Op(Op::ConvNull(
-                            Box::new(Expr::var("x")),
-                            Box::new(inner_conv),
-                        )),
+                        Expr::Op(Op::ConvNull(Box::new(Expr::var("x")), Box::new(inner_conv))),
                     ),
                 )
             }
@@ -198,7 +244,9 @@ impl Builder {
             // ⟦any⟨σ1,…,σn⟩⟧ — a class with an option-typed member per
             // label, guarded by hasShape.
             Shape::Top(labels) => {
-                let class_name = self.namer.fresh(if hint.is_empty() { "Choice" } else { hint });
+                let class_name = self
+                    .namer
+                    .fresh(if hint.is_empty() { "Choice" } else { hint });
                 let mut namer = MemberNamer::new();
                 let mut members = Vec::new();
                 for label in labels {
@@ -207,13 +255,20 @@ impl Builder {
                     let (label_ty, label_conv) = self.go(label, &base);
                     let body = Expr::if_(
                         Expr::Op(Op::HasShape(
-                            label.clone(),
+                            // Inline μ-references: the Foo `hasShape` is
+                            // env-free, so hand it the expanded check
+                            // (see the `check_env` field docs).
+                            self.check_env.inline(label),
                             Box::new(Expr::var(CTOR_PARAM)),
                         )),
                         Expr::some(Expr::app(label_conv, Expr::var(CTOR_PARAM))),
                         Expr::NoneLit,
                     );
-                    members.push(Member { name, ty: Type::option(label_ty), body });
+                    members.push(Member {
+                        name,
+                        ty: Type::option(label_ty),
+                        body,
+                    });
                 }
                 self.classes.add(Class {
                     name: class_name.clone(),
@@ -229,7 +284,9 @@ impl Builder {
             // ⟦[σ1,ψ1 | … | σn,ψn]⟧ — §6.4: a class with a member per
             // case, typed by the case's multiplicity.
             Shape::HeteroList(cases) => {
-                let class_name = self.namer.fresh(if hint.is_empty() { "Items" } else { hint });
+                let class_name = self
+                    .namer
+                    .fresh(if hint.is_empty() { "Items" } else { hint });
                 let mut namer = MemberNamer::new();
                 let mut members = Vec::new();
                 for (case_shape, multiplicity) in cases {
@@ -247,7 +304,11 @@ impl Builder {
                         Box::new(Expr::var(CTOR_PARAM)),
                         Box::new(case_conv),
                     ));
-                    members.push(Member { name, ty: member_ty, body });
+                    members.push(Member {
+                        name,
+                        ty: member_ty,
+                        body,
+                    });
                 }
                 self.classes.add(Class {
                     name: class_name.clone(),
@@ -262,7 +323,9 @@ impl Builder {
 
             // ⟦⊥⟧ = ⟦null⟧ — a memberless class holding the raw value.
             Shape::Bottom | Shape::Null => {
-                let class_name = self.namer.fresh(if hint.is_empty() { "Unit" } else { hint });
+                let class_name = self
+                    .namer
+                    .fresh(if hint.is_empty() { "Unit" } else { hint });
                 self.classes.add(Class {
                     name: class_name.clone(),
                     params: vec![("v".to_owned(), Type::Data)],
@@ -274,6 +337,59 @@ impl Builder {
                 )
             }
         }
+    }
+}
+
+impl Builder {
+    /// Adds the class for a record body under an already-chosen name —
+    /// shared by the inline-record rule of [`Builder::go`] and the
+    /// per-definition classes of [`provide_global`].
+    fn record_class(&mut self, class_name: String, r: &RecordShape) {
+        let mut namer = MemberNamer::new();
+        let mut members = Vec::new();
+        for field in &r.fields {
+            let (field_ty, field_conv) = self.go(&field.shape, &field.name);
+            let body = Expr::Op(Op::ConvField(
+                r.name,
+                field.name,
+                Box::new(Expr::var(CTOR_PARAM)),
+                Box::new(field_conv),
+            ));
+            if self.idiomatic && field.name == BODY_NAME {
+                if let Type::Class(inner_name) = &field_ty {
+                    // §6.3 lifting: the members of the `•` class move
+                    // into this class, accessed through the body
+                    // conversion. A μ-reference to a class whose body is
+                    // not built yet (mutual recursion) cannot be lifted;
+                    // it stays a plain `Value` member instead.
+                    if let Some(inner) = self.classes.get(inner_name).cloned() {
+                        for m in &inner.members {
+                            members.push(Member {
+                                name: namer.fresh(&m.name),
+                                ty: m.ty.clone(),
+                                body: Expr::member(body.clone(), m.name.clone()),
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            let name = if self.idiomatic {
+                namer.fresh(&member_name(&field.name))
+            } else {
+                field.name.as_str().to_owned()
+            };
+            members.push(Member {
+                name,
+                ty: field_ty,
+                body,
+            });
+        }
+        self.classes.add(Class {
+            name: class_name,
+            params: vec![(CTOR_PARAM.to_owned(), Type::Data)],
+            members,
+        });
     }
 }
 
@@ -315,7 +431,10 @@ mod tests {
     fn float_conversion_widens_ints() {
         let p = provide(&Shape::Float);
         assert_eq!(eval(&p, &Value::Int(5)), Outcome::Value(Expr::data(5.0)));
-        assert_eq!(eval(&p, &Value::Float(5.5)), Outcome::Value(Expr::data(5.5)));
+        assert_eq!(
+            eval(&p, &Value::Float(5.5)),
+            Outcome::Value(Expr::data(5.5))
+        );
     }
 
     #[test]
@@ -378,15 +497,23 @@ mod tests {
         assert_eq!(eval_member(&p, &d, "String"), Outcome::Value(Expr::NoneLit));
         // The open world: a record input answers None to both.
         let stranger = rec("table", [("z", Value::Int(1))]);
-        assert_eq!(eval_member(&p, &stranger, "Number"), Outcome::Value(Expr::NoneLit));
-        assert_eq!(eval_member(&p, &stranger, "String"), Outcome::Value(Expr::NoneLit));
+        assert_eq!(
+            eval_member(&p, &stranger, "Number"),
+            Outcome::Value(Expr::NoneLit)
+        );
+        assert_eq!(
+            eval_member(&p, &stranger, "String"),
+            Outcome::Value(Expr::NoneLit)
+        );
     }
 
     #[test]
     fn bottom_and_null_map_to_memberless_class() {
         for s in [Shape::Bottom, Shape::Null] {
             let p = provide(&s);
-            let Type::Class(c) = &p.ty else { panic!("expected class") };
+            let Type::Class(c) = &p.ty else {
+                panic!("expected class")
+            };
             assert!(p.classes.get(c).unwrap().members.is_empty());
             // Conversion accepts anything (it never inspects the data).
             assert!(matches!(eval(&p, &Value::Null), Outcome::Value(_)));
@@ -403,7 +530,9 @@ mod tests {
             (Shape::list(Shape::Int), Multiplicity::ZeroOrOne),
         ]);
         let p = provide(&shape);
-        let Type::Class(c) = &p.ty else { panic!("expected class") };
+        let Type::Class(c) = &p.ty else {
+            panic!("expected class")
+        };
         let class = p.classes.get(c).unwrap();
         assert_eq!(class.members[0].name, "Record");
         assert_eq!(class.members[1].name, "Array");
@@ -437,14 +566,20 @@ mod tests {
             Shape::list(Shape::record("P", [("a", Shape::Int.ceil())])),
             Shape::Top(vec![Shape::Int, Shape::record("q", [("b", Shape::Bool)])]),
             Shape::HeteroList(vec![
-                (Shape::record(BODY_NAME, [("x", Shape::Int)]), Multiplicity::One),
+                (
+                    Shape::record(BODY_NAME, [("x", Shape::Int)]),
+                    Multiplicity::One,
+                ),
                 (Shape::list(Shape::Float), Multiplicity::Many),
             ]),
             Shape::record(
                 "root",
                 [
                     ("id", Shape::Int),
-                    (BODY_NAME, Shape::list(Shape::record("item", [(BODY_NAME, Shape::String)]))),
+                    (
+                        BODY_NAME,
+                        Shape::list(Shape::record("item", [(BODY_NAME, Shape::String)])),
+                    ),
                 ],
             ),
         ];
@@ -453,11 +588,98 @@ mod tests {
                 check_classes(&provided.classes)
                     .unwrap_or_else(|e| panic!("classes for {shape}: {e}"));
                 // The conversion has type Data → τ:
-                let conv_ty =
-                    type_of(&provided.classes, &Ctx::new(), &provided.conv).unwrap();
+                let conv_ty = type_of(&provided.classes, &Ctx::new(), &provided.conv).unwrap();
                 assert_eq!(conv_ty, Type::fun(Type::Data, provided.ty.clone()));
             }
         }
+    }
+
+    // --- μ-shapes: provide_global over a definitions table ---
+
+    #[test]
+    fn global_provider_makes_one_class_per_definition() {
+        use tfd_core::{GlobalShape, RecordShape, ShapeEnv};
+        let env = ShapeEnv::from_defs([
+            (
+                "ul".into(),
+                RecordShape::new(
+                    "ul",
+                    [
+                        ("id", Shape::Int),
+                        ("item", Shape::list(Shape::Ref("li".into()))),
+                    ],
+                ),
+            ),
+            (
+                "li".into(),
+                RecordShape::new("li", [("sub", Shape::Ref("ul".into()).ceil())]),
+            ),
+        ]);
+        let g = GlobalShape {
+            root: Shape::Ref("ul".into()),
+            env,
+        };
+        let p = provide_global(&g, "Root");
+        assert_eq!(p.ty, Type::Class("Ul".into()));
+        let ul = p.classes.get("Ul").unwrap();
+        let li = p.classes.get("Li").unwrap();
+        // Mutually recursive member types, through the class names:
+        assert_eq!(
+            ul.members
+                .iter()
+                .map(|m| format!("{} : {}", m.name, m.ty))
+                .collect::<Vec<_>>(),
+            vec!["Id : int", "Item : list\u{27e8}Li\u{27e9}"]
+        );
+        assert_eq!(
+            li.members
+                .iter()
+                .map(|m| format!("{} : {}", m.name, m.ty))
+                .collect::<Vec<_>>(),
+            vec!["Sub : option\u{27e8}Ul\u{27e9}"]
+        );
+        // Everything we generate still typechecks (Lemma 4 obligation):
+        check_classes(&p.classes).expect("recursive classes typecheck");
+        let conv_ty = type_of(&p.classes, &Ctx::new(), &p.conv).unwrap();
+        assert_eq!(conv_ty, Type::fun(Type::Data, p.ty.clone()));
+    }
+
+    /// The Foo interpreter's `hasShape` is env-free, so `provide_global`
+    /// inlines μ-references into the check shapes: a value that merely
+    /// *names* the class but violates its definition is rejected, in
+    /// agreement with the env-aware Rust runtime (regression for a
+    /// review finding).
+    #[test]
+    fn global_provider_hasshape_checks_unfold_the_definition() {
+        use tfd_core::{GlobalShape, RecordShape, ShapeEnv};
+        let env =
+            ShapeEnv::from_defs([("div".into(), RecordShape::new("div", [("x", Shape::Int)]))]);
+        let g = GlobalShape {
+            root: Shape::Top(vec![Shape::Int, Shape::Ref("div".into())]),
+            env,
+        };
+        let p = provide_global(&g, "Root");
+        let good = rec("div", [("x", Value::Int(1))]);
+        assert!(matches!(
+            eval_member(&p, &good, "Div"),
+            Outcome::Value(Expr::SomeLit(_))
+        ));
+        let bad = rec("div", [("x", Value::str("s"))]);
+        assert_eq!(eval_member(&p, &bad, "Div"), Outcome::Value(Expr::NoneLit));
+    }
+
+    #[test]
+    fn global_provider_with_empty_env_matches_idiomatic() {
+        use tfd_core::GlobalShape;
+        let shape = Shape::record(
+            BODY_NAME,
+            [("name", Shape::String), ("age", Shape::Float.ceil())],
+        );
+        let g = GlobalShape::plain(shape.clone());
+        let from_global = provide_global(&g, "Entity");
+        let idiomatic = provide_idiomatic(&shape, "Entity");
+        assert_eq!(from_global.ty, idiomatic.ty);
+        assert_eq!(from_global.classes.len(), idiomatic.classes.len());
     }
 
     // --- §6.3 idiomatic naming ---
@@ -478,7 +700,11 @@ mod tests {
     fn idiomatic_collision_numbering() {
         let shape = Shape::record(
             BODY_NAME,
-            [("value", Shape::Int), ("Value", Shape::Int), ("VALUE", Shape::Int)],
+            [
+                ("value", Shape::Int),
+                ("Value", Shape::Int),
+                ("VALUE", Shape::Int),
+            ],
         );
         let p = provide_idiomatic(&shape, "C");
         let class = p.classes.get("C").unwrap();
@@ -524,8 +750,14 @@ mod tests {
                 ),
             ],
         );
-        assert_eq!(eval_member(&p, &doc, "Item"), Outcome::Value(Expr::data("Hello!")));
-        assert_eq!(eval_member(&p, &doc, "Id"), Outcome::Value(Expr::data(1i64)));
+        assert_eq!(
+            eval_member(&p, &doc, "Item"),
+            Outcome::Value(Expr::data("Hello!"))
+        );
+        assert_eq!(
+            eval_member(&p, &doc, "Id"),
+            Outcome::Value(Expr::data(1i64))
+        );
     }
 
     #[test]

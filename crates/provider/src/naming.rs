@@ -10,7 +10,7 @@
 //! them `Record` and `Array` (§2.3), and the XML example derives
 //! `Heading`/`Paragraph`/`Image` from element names (§2.2).
 
-use tfd_core::{Tag, Shape, tag_of};
+use tfd_core::{tag_of, Shape, Tag};
 use tfd_value::BODY_NAME;
 
 /// Converts an arbitrary field/element name to PascalCase.
@@ -34,10 +34,8 @@ pub fn pascal_case(name: &str) -> String {
     for c in name.chars() {
         if c.is_alphanumeric() {
             // A lower→upper transition starts a new word (camelCase).
-            if c.is_uppercase() && prev_lower {
-                if !current.is_empty() {
-                    words.push(std::mem::take(&mut current));
-                }
+            if c.is_uppercase() && prev_lower && !current.is_empty() {
+                words.push(std::mem::take(&mut current));
             }
             prev_lower = c.is_lowercase() || c.is_ascii_digit();
             current.push(c);

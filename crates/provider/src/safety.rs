@@ -64,19 +64,35 @@ pub struct DeepEvalReport {
 ///
 /// Returns the first [`SafetyFailure`] encountered, with the member path
 /// that triggered it.
-pub fn deep_eval(provided: &Provided, d: &tfd_value::Value) -> Result<DeepEvalReport, SafetyFailure> {
+pub fn deep_eval(
+    provided: &Provided,
+    d: &tfd_value::Value,
+) -> Result<DeepEvalReport, SafetyFailure> {
     let mut report = DeepEvalReport::default();
     let root = force(&provided.classes, &provided.convert(d), "<root>")?;
-    explore(&provided.classes, &root, &provided.ty, "<root>", &mut report)?;
+    explore(
+        &provided.classes,
+        &root,
+        &provided.ty,
+        "<root>",
+        &mut report,
+    )?;
     Ok(report)
 }
 
 fn force(classes: &Classes, e: &Expr, path: &str) -> Result<Expr, SafetyFailure> {
     match run_with_fuel(classes, e, tfd_foo::DEFAULT_FUEL) {
         Outcome::Value(v) => Ok(v),
-        Outcome::Stuck(reason) => Err(SafetyFailure::Stuck { path: path.to_owned(), reason }),
-        Outcome::Exception => Err(SafetyFailure::Exception { path: path.to_owned() }),
-        Outcome::OutOfFuel => Err(SafetyFailure::OutOfFuel { path: path.to_owned() }),
+        Outcome::Stuck(reason) => Err(SafetyFailure::Stuck {
+            path: path.to_owned(),
+            reason,
+        }),
+        Outcome::Exception => Err(SafetyFailure::Exception {
+            path: path.to_owned(),
+        }),
+        Outcome::OutOfFuel => Err(SafetyFailure::OutOfFuel {
+            path: path.to_owned(),
+        }),
     }
 }
 
@@ -90,9 +106,9 @@ fn explore(
     match ty {
         Type::Class(c) => {
             report.objects_visited += 1;
-            let class = classes.get(c).unwrap_or_else(|| {
-                panic!("provided type references unknown class {c}")
-            });
+            let class = classes
+                .get(c)
+                .unwrap_or_else(|| panic!("provided type references unknown class {c}"));
             for member in &class.members {
                 let member_path = format!("{path}.{}", member.name);
                 let accessed = Expr::member(value.clone(), member.name.clone());
@@ -171,9 +187,10 @@ mod tests {
 
     #[test]
     fn deep_eval_walks_idiomatic_types_too() {
-        let sample = arr([
-            json_rec([("temp", Value::Float(5.0)), ("city", Value::str("Prague"))]),
-        ]);
+        let sample = arr([json_rec([
+            ("temp", Value::Float(5.0)),
+            ("city", Value::str("Prague")),
+        ])]);
         let shape = infer_with(&sample, &InferOptions::json());
         let p = provide_idiomatic(&shape, "Weather");
         assert!(deep_eval(&p, &sample).is_ok());

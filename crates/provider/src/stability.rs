@@ -52,7 +52,9 @@ pub struct AccessProgram {
 impl AccessProgram {
     /// Builds a program from steps.
     pub fn new(steps: impl IntoIterator<Item = AccessStep>) -> AccessProgram {
-        AccessProgram { steps: steps.into_iter().collect() }
+        AccessProgram {
+            steps: steps.into_iter().collect(),
+        }
     }
 
     /// Convenience: a chain of plain member accesses.
@@ -249,14 +251,18 @@ fn record_field(shape: &Shape, name: &str) -> Result<Shape, MigrateError> {
             .field(name)
             .cloned()
             .ok_or_else(|| MigrateError(format!("record {shape} has no field '{name}'"))),
-        other => Err(MigrateError(format!("member access on non-record shape {other}"))),
+        other => Err(MigrateError(format!(
+            "member access on non-record shape {other}"
+        ))),
     }
 }
 
 fn list_element(shape: &Shape) -> Result<Shape, MigrateError> {
     match shape {
         Shape::List(e) => Ok((**e).clone()),
-        other => Err(MigrateError(format!("indexing into non-collection shape {other}"))),
+        other => Err(MigrateError(format!(
+            "indexing into non-collection shape {other}"
+        ))),
     }
 }
 
@@ -267,7 +273,9 @@ fn top_label(shape: &Shape, member: &str) -> Result<Shape, MigrateError> {
             .find(|l| tag_member_name(l) == member)
             .cloned()
             .ok_or_else(|| MigrateError(format!("top {shape} has no case '{member}'"))),
-        other => Err(MigrateError(format!("case selection on non-top shape {other}"))),
+        other => Err(MigrateError(format!(
+            "case selection on non-top shape {other}"
+        ))),
     }
 }
 
@@ -306,10 +314,7 @@ mod tests {
         let new = Shape::record("P", [("x", Shape::Int.ceil())]);
         let p = AccessProgram::members(["x"]);
         let migrated = migrate(&p, &old, &new).unwrap();
-        assert_eq!(
-            migrated,
-            AccessProgram::new([Member("x".into()), Unwrap])
-        );
+        assert_eq!(migrated, AccessProgram::new([Member("x".into()), Unwrap]));
     }
 
     #[test]
@@ -327,10 +332,7 @@ mod tests {
         // Transformation 2: the field became any⟨P{...}, string⟩.
         let inner_old = Shape::record("P", [("y", Shape::Int)]);
         let old = Shape::record("R", [("x", inner_old.clone())]);
-        let new = Shape::record(
-            "R",
-            [("x", Shape::Top(vec![inner_old, Shape::String]))],
-        );
+        let new = Shape::record("R", [("x", Shape::Top(vec![inner_old, Shape::String]))]);
         let p = AccessProgram::new([Member("x".into()), Member("y".into())]);
         let migrated = migrate(&p, &old, &new).unwrap();
         assert_eq!(

@@ -58,7 +58,11 @@ impl fmt::Display for AccessErrorKind {
             AccessErrorKind::NotACollection { found } => {
                 write!(f, "expected a collection, found {found}")
             }
-            AccessErrorKind::CaseCardinality { case, found, allowed } => {
+            AccessErrorKind::CaseCardinality {
+                case,
+                found,
+                allowed,
+            } => {
                 write!(f, "case {case} matched {found} elements, allowed {allowed}")
             }
             AccessErrorKind::UnexpectedNull => write!(f, "unexpected null value"),
@@ -97,7 +101,10 @@ mod tests {
     #[test]
     fn display_includes_path() {
         let err = AccessError::new(
-            AccessErrorKind::ShapeMismatch { expected: "int".into(), found: "string".into() },
+            AccessErrorKind::ShapeMismatch {
+                expected: "int".into(),
+                found: "string".into(),
+            },
             Path::root().child_field("age"),
         );
         assert_eq!(err.to_string(), "expected int, found string at $.age");
@@ -110,12 +117,19 @@ mod tests {
             "unexpected null value"
         );
         assert_eq!(
-            AccessErrorKind::NotARecord { found: "collection".into() }.to_string(),
+            AccessErrorKind::NotARecord {
+                found: "collection".into()
+            }
+            .to_string(),
             "expected a record, found collection"
         );
         assert_eq!(
-            AccessErrorKind::CaseCardinality { case: "Record".into(), found: 2, allowed: "exactly one" }
-                .to_string(),
+            AccessErrorKind::CaseCardinality {
+                case: "Record".into(),
+                found: 2,
+                allowed: "exactly one"
+            }
+            .to_string(),
             "case Record matched 2 elements, allowed exactly one"
         );
     }

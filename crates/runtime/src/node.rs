@@ -44,7 +44,11 @@ impl Node {
     /// assert_eq!(node.as_i64().unwrap(), 42);
     /// ```
     pub fn new(value: Value) -> Node {
-        Node { root: Arc::new(value), resolve: Path::root(), path: Path::root() }
+        Node {
+            root: Arc::new(value),
+            resolve: Path::root(),
+            path: Path::root(),
+        }
     }
 
     /// The value this node points at.
@@ -181,9 +185,7 @@ impl Node {
     /// in a recognized date format.
     pub fn as_date(&self) -> Result<Date, AccessError> {
         match self.value() {
-            Value::Str(s) => {
-                tfd_csv::parse_date(s).ok_or_else(|| self.mismatch("date"))
-            }
+            Value::Str(s) => tfd_csv::parse_date(s).ok_or_else(|| self.mismatch("date")),
             Value::Null => Err(self.error(AccessErrorKind::UnexpectedNull)),
             _ => Err(self.mismatch("date")),
         }
@@ -217,7 +219,9 @@ impl Node {
                     })
                 }
             }
-            other => Err(self.error(AccessErrorKind::NotARecord { found: describe(other) })),
+            other => Err(self.error(AccessErrorKind::NotARecord {
+                found: describe(other),
+            })),
         }
     }
 
@@ -252,9 +256,9 @@ impl Node {
                     path: self.path.child_index(i),
                 })
                 .collect()),
-            other => {
-                Err(self.error(AccessErrorKind::NotACollection { found: describe(other) }))
-            }
+            other => Err(self.error(AccessErrorKind::NotACollection {
+                found: describe(other),
+            })),
         }
     }
 
@@ -266,11 +270,28 @@ impl Node {
         conforms(shape, self.value())
     }
 
+    /// `hasShape(σ, ·)` under a shape environment: μ-references in σ
+    /// unfold to their definitions, so recursive provided types check
+    /// their values all the way down.
+    pub fn has_shape_in(&self, shape: &Shape, env: &tfd_core::ShapeEnv) -> bool {
+        tfd_core::conforms_in(shape, self.value(), Some(env))
+    }
+
     /// Labelled-top member access: `Some(node)` when the value conforms
     /// to the label, `None` otherwise (the open-world `table` element of
     /// §2.2 answers `None` to every statically known label).
     pub fn case(&self, label: &Shape) -> Option<Node> {
         if self.has_shape(label) {
+            Some(self.clone())
+        } else {
+            None
+        }
+    }
+
+    /// [`Node::case`] under a shape environment — used by generated code
+    /// whose case shapes contain μ-references.
+    pub fn case_in(&self, label: &Shape, env: &tfd_core::ShapeEnv) -> Option<Node> {
+        if self.has_shape_in(label, env) {
             Some(self.clone())
         } else {
             None
@@ -466,13 +487,19 @@ mod tests {
         assert_eq!(n.tagged_many(&Tag::Number).unwrap().len(), 0);
 
         let no_array = arr([json_rec([("pages", Value::Int(5))])]);
-        assert!(node(no_array.clone()).tagged_opt("Array", &coll_tag).unwrap().is_none());
+        assert!(node(no_array.clone())
+            .tagged_opt("Array", &coll_tag)
+            .unwrap()
+            .is_none());
         let two_recs = arr([
             json_rec([("pages", Value::Int(5))]),
             json_rec([("pages", Value::Int(6))]),
         ]);
         let err = node(two_recs).tagged_one("Record", &rec_tag).unwrap_err();
-        assert!(matches!(err.kind, AccessErrorKind::CaseCardinality { found: 2, .. }));
+        assert!(matches!(
+            err.kind,
+            AccessErrorKind::CaseCardinality { found: 2, .. }
+        ));
     }
 
     #[test]

@@ -90,9 +90,26 @@ impl Default for CorpusConfig {
 
 /// Field-name pool used by the generator; realistic API-ish names.
 const FIELD_NAMES: &[&str] = &[
-    "id", "name", "age", "value", "date", "temp", "pressure", "humidity",
-    "lat", "lon", "count", "pages", "indicator", "status", "kind", "speed",
-    "country", "city", "total", "score",
+    "id",
+    "name",
+    "age",
+    "value",
+    "date",
+    "temp",
+    "pressure",
+    "humidity",
+    "lat",
+    "lon",
+    "count",
+    "pages",
+    "indicator",
+    "status",
+    "kind",
+    "speed",
+    "country",
+    "city",
+    "total",
+    "score",
 ];
 
 /// Generates one synthetic document.
@@ -164,7 +181,10 @@ fn gen_value(rng: &mut Rng, config: &CorpusConfig, depth: usize) -> Value {
                 let name = FIELD_NAMES[i % FIELD_NAMES.len()];
                 fields.push(Field::new(name, gen_value(rng, config, depth - 1)));
             }
-            Value::Record { name: body_name(), fields }
+            Value::Record {
+                name: body_name(),
+                fields,
+            }
         }
     }
 }
@@ -184,7 +204,10 @@ pub fn generate_table(seed: u64, rows: usize, width: usize) -> Value {
                         Field::new(name, gen_primitive(&mut rng, &config))
                     })
                     .collect();
-                Value::Record { name: body_name(), fields }
+                Value::Record {
+                    name: body_name(),
+                    fields,
+                }
             })
             .collect(),
     )
@@ -234,7 +257,10 @@ mod tests {
 
     #[test]
     fn generate_respects_max_depth() {
-        let c = CorpusConfig { max_depth: 3, ..CorpusConfig::default() };
+        let c = CorpusConfig {
+            max_depth: 3,
+            ..CorpusConfig::default()
+        };
         for seed in 0..20 {
             let v = generate(&mut Rng::new(seed), &c);
             assert!(v.depth() <= 3, "depth {} for seed {seed}", v.depth());
@@ -276,6 +302,9 @@ mod tests {
                 }
             }
         }
-        assert!(saw_narrow, "expected at least one record with dropped fields");
+        assert!(
+            saw_narrow,
+            "expected at least one record with dropped fields"
+        );
     }
 }

@@ -69,7 +69,11 @@ impl Name {
     /// with this spelling exists anywhere in the process — useful to
     /// answer negative lookups without growing the interner.
     pub fn lookup(s: &str) -> Option<Name> {
-        interner().read().expect("interner poisoned").get(s).map(|&hit| Name(hit))
+        interner()
+            .read()
+            .expect("interner poisoned")
+            .get(s)
+            .map(|&hit| Name(hit))
     }
 
     /// The interned spelling. Never locks.
@@ -237,7 +241,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_content() {
-        let mut names = vec![Name::new("zeta"), Name::new("beta"), Name::new("eta")];
+        let mut names = [Name::new("zeta"), Name::new("beta"), Name::new("eta")];
         names.sort();
         let spellings: Vec<&str> = names.iter().map(|n| n.as_str()).collect();
         assert_eq!(spellings, vec!["beta", "eta", "zeta"]);
@@ -248,7 +252,7 @@ mod tests {
         let n = Name::new("display-roundtrip");
         assert_eq!(n.to_string(), "display-roundtrip");
         assert_eq!(format!("{n:?}"), "\"display-roundtrip\"");
-        assert_eq!(Name::new(n.to_string()), n);
+        assert_eq!(Name::new(n), n);
     }
 
     #[test]
@@ -280,10 +284,7 @@ mod tests {
         // (&str, String, concatenation) intern to the same symbols, and
         // record equality on Value stays order-insensitive.
         use crate::Value;
-        let a = Value::record(
-            "P",
-            vec![("x", Value::Int(3)), ("y", Value::Int(4))],
-        );
+        let a = Value::record("P", vec![("x", Value::Int(3)), ("y", Value::Int(4))]);
         let b = Value::record(
             String::from("P"),
             vec![
@@ -301,13 +302,10 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let names = names.clone();
-                std::thread::spawn(move || {
-                    names.iter().map(Name::new).collect::<Vec<Name>>()
-                })
+                std::thread::spawn(move || names.iter().map(Name::new).collect::<Vec<Name>>())
             })
             .collect();
-        let results: Vec<Vec<Name>> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let results: Vec<Vec<Name>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for per_thread in &results[1..] {
             assert_eq!(per_thread, &results[0]);
         }

@@ -46,12 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod intern;
-mod path;
-mod print;
-mod metrics;
 pub mod builder;
 pub mod corpus;
+mod intern;
+mod metrics;
+mod path;
+mod print;
 
 pub use builder::{arr, json_rec, rec};
 pub use intern::Name;
@@ -100,7 +100,10 @@ impl Field {
     /// assert_eq!(f.name, "age");
     /// ```
     pub fn new(name: impl Into<Name>, value: Value) -> Self {
-        Field { name: name.into(), value }
+        Field {
+            name: name.into(),
+            value,
+        }
     }
 }
 
@@ -159,16 +162,16 @@ impl Value {
     {
         Value::Record {
             name: name.into(),
-            fields: fields
-                .into_iter()
-                .map(|(n, v)| Field::new(n, v))
-                .collect(),
+            fields: fields.into_iter().map(|(n, v)| Field::new(n, v)).collect(),
         }
     }
 
     /// Returns `true` for `Int`, `Float`, `Str` and `Bool` values.
     pub fn is_primitive(&self) -> bool {
-        matches!(self, Value::Int(_) | Value::Float(_) | Value::Str(_) | Value::Bool(_))
+        matches!(
+            self,
+            Value::Int(_) | Value::Float(_) | Value::Str(_) | Value::Bool(_)
+        )
     }
 
     /// Returns `true` if the value is `null`.
@@ -296,7 +299,10 @@ impl Value {
     /// front-end when applying element naming rules.
     pub fn with_record_name(self, new_name: impl Into<Name>) -> Value {
         match self {
-            Value::Record { fields, .. } => Value::Record { name: new_name.into(), fields },
+            Value::Record { fields, .. } => Value::Record {
+                name: new_name.into(),
+                fields,
+            },
             other => other,
         }
     }
@@ -384,8 +390,14 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::List(a), Value::List(b)) => a == b,
             (
-                Value::Record { name: na, fields: fa },
-                Value::Record { name: nb, fields: fb },
+                Value::Record {
+                    name: na,
+                    fields: fa,
+                },
+                Value::Record {
+                    name: nb,
+                    fields: fb,
+                },
             ) => {
                 if na != nb || fa.len() != fb.len() {
                     return false;
@@ -456,8 +468,14 @@ impl Ord for Value {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::List(a), Value::List(b)) => a.cmp(b),
             (
-                Value::Record { name: na, fields: fa },
-                Value::Record { name: nb, fields: fb },
+                Value::Record {
+                    name: na,
+                    fields: fa,
+                },
+                Value::Record {
+                    name: nb,
+                    fields: fb,
+                },
             ) => na.cmp(nb).then_with(|| {
                 let mut ka: Vec<_> = fa.iter().map(|f| (&f.name, &f.value)).collect();
                 let mut kb: Vec<_> = fb.iter().map(|f| (&f.name, &f.value)).collect();
@@ -580,7 +598,10 @@ mod tests {
     #[test]
     fn collect_into_list() {
         let v: Value = (1i64..=3).collect();
-        assert_eq!(v, Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+        assert_eq!(
+            v,
+            Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
     }
 
     #[test]
@@ -590,7 +611,7 @@ mod tests {
 
     #[test]
     fn ordering_ranks_kinds() {
-        let mut vs = vec![point(1), Value::Null, Value::Int(2), Value::Bool(true)];
+        let mut vs = [point(1), Value::Null, Value::Int(2), Value::Bool(true)];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));

@@ -16,9 +16,7 @@ impl Value {
     /// ```
     pub fn depth(&self) -> usize {
         match self {
-            Value::List(items) => {
-                1 + items.iter().map(Value::depth).max().unwrap_or(0)
-            }
+            Value::List(items) => 1 + items.iter().map(Value::depth).max().unwrap_or(0),
             Value::Record { fields, .. } => {
                 1 + fields.iter().map(|f| f.value.depth()).max().unwrap_or(0)
             }
@@ -48,9 +46,7 @@ impl Value {
         match self {
             Value::Null => 1,
             Value::List(items) => items.iter().map(Value::null_count).sum(),
-            Value::Record { fields, .. } => {
-                fields.iter().map(|f| f.value.null_count()).sum()
-            }
+            Value::Record { fields, .. } => fields.iter().map(|f| f.value.null_count()).sum(),
             _ => 0,
         }
     }
@@ -58,12 +54,14 @@ impl Value {
     /// Maximum record width (field count) anywhere in the tree.
     pub fn max_record_width(&self) -> usize {
         match self {
-            Value::List(items) => {
-                items.iter().map(Value::max_record_width).max().unwrap_or(0)
-            }
-            Value::Record { fields, .. } => fields
-                .len()
-                .max(fields.iter().map(|f| f.value.max_record_width()).max().unwrap_or(0)),
+            Value::List(items) => items.iter().map(Value::max_record_width).max().unwrap_or(0),
+            Value::Record { fields, .. } => fields.len().max(
+                fields
+                    .iter()
+                    .map(|f| f.value.max_record_width())
+                    .max()
+                    .unwrap_or(0),
+            ),
             _ => 0,
         }
     }
@@ -109,7 +107,11 @@ mod tests {
     fn max_record_width_scans_tree() {
         let wide = rec(
             "w",
-            [("a", Value::Int(1)), ("b", Value::Int(2)), ("c", Value::Int(3))],
+            [
+                ("a", Value::Int(1)),
+                ("b", Value::Int(2)),
+                ("c", Value::Int(3)),
+            ],
         );
         let v = arr([rec("n", [("only", wide)])]);
         assert_eq!(v.max_record_width(), 3);

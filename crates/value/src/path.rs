@@ -110,7 +110,9 @@ impl Path {
 
 impl FromIterator<PathSegment> for Path {
     fn from_iter<T: IntoIterator<Item = PathSegment>>(iter: T) -> Self {
-        Path { segments: iter.into_iter().collect() }
+        Path {
+            segments: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -136,7 +138,10 @@ mod tests {
 
     #[test]
     fn display_mixes_fields_and_indices() {
-        let p = Path::root().child_field("a").child_index(3).child_field("b");
+        let p = Path::root()
+            .child_field("a")
+            .child_index(3)
+            .child_field("b");
         assert_eq!(p.to_string(), "$.a[3].b");
         assert_eq!(p.len(), 3);
     }

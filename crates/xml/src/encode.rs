@@ -149,7 +149,10 @@ mod tests {
 
     #[test]
     fn text_is_trimmed_before_inference() {
-        assert_eq!(encode("<n>  42 </n>").field(BODY_FIELD), Some(&Value::Int(42)));
+        assert_eq!(
+            encode("<n>  42 </n>").field(BODY_FIELD),
+            Some(&Value::Int(42))
+        );
     }
 
     #[test]

@@ -94,7 +94,11 @@ pub struct Element {
 impl Element {
     /// Creates an element with no attributes or children.
     pub fn new(name: impl Into<Name>) -> Element {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Looks up an attribute value by name.
@@ -165,6 +169,9 @@ mod tests {
     #[test]
     fn to_value_convenience_matches_encode() {
         let e = parse(r#"<root id="1"/>"#).unwrap();
-        assert_eq!(e.to_value(), element_to_value(&e, &EncodeOptions::default()));
+        assert_eq!(
+            e.to_value(),
+            element_to_value(&e, &EncodeOptions::default())
+        );
     }
 }

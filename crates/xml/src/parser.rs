@@ -45,7 +45,10 @@ pub struct XmlOptions {
 
 impl Default for XmlOptions {
     fn default() -> Self {
-        XmlOptions { max_depth: 256, ignore_whitespace_text: true }
+        XmlOptions {
+            max_depth: 256,
+            ignore_whitespace_text: true,
+        }
     }
 }
 
@@ -59,7 +62,8 @@ pub enum XmlErrorKind {
         /// The offending character.
         found: char,
         /// What the parser was looking for.
-        expected: &'static str },
+        expected: &'static str,
+    },
     /// `</a>` closed an element opened as `<b>`.
     MismatchedTag {
         /// Name in the open tag.
@@ -118,7 +122,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at line {}, column {}", self.kind, self.line, self.column)
+        write!(
+            f,
+            "{} at line {}, column {}",
+            self.kind, self.line, self.column
+        )
     }
 }
 
@@ -205,7 +213,10 @@ pub fn parse_value_with(
 ) -> Result<Value, XmlError> {
     let mut p = XmlParser::new(input, options.clone());
     p.skip_prolog()?;
-    let mut sink = ValueSink { options: encode.clone(), body: body_name() };
+    let mut sink = ValueSink {
+        options: encode.clone(),
+        body: body_name(),
+    };
     let root = p.parse_element(&mut sink, 0)?;
     p.skip_misc()?;
     if !p.at_eof() {
@@ -245,7 +256,10 @@ pub fn parse_many_values_with(
     encode: &EncodeOptions,
 ) -> Result<Vec<Value>, XmlError> {
     let mut p = XmlParser::new(input, options.clone());
-    let mut sink = ValueSink { options: encode.clone(), body: body_name() };
+    let mut sink = ValueSink {
+        options: encode.clone(),
+        body: body_name(),
+    };
     let mut docs = Vec::new();
     while p.skip_prolog_opt()? {
         docs.push(p.parse_element(&mut sink, 0)?);
@@ -321,10 +335,17 @@ impl Sink for ElementSink {
     type Out = Element;
 
     fn elem(&mut self, name: Name) -> Element {
-        Element { name, attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name,
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
     fn attr(&mut self, e: &mut Element, name: Name, value: Cow<'_, str>) {
-        e.attributes.push(Attribute { name, value: value.into_owned() });
+        e.attributes.push(Attribute {
+            name,
+            value: value.into_owned(),
+        });
     }
     fn text(&mut self, e: &mut Element, run: String) {
         e.children.push(XmlNode::Text(run));
@@ -356,12 +377,18 @@ impl Sink for ValueSink {
     type Out = Value;
 
     fn elem(&mut self, name: Name) -> ValueElem {
-        ValueElem { name, fields: Vec::new(), children: Vec::new(), text: String::new() }
+        ValueElem {
+            name,
+            fields: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
     }
     fn attr(&mut self, e: &mut ValueElem, name: Name, value: Cow<'_, str>) {
         // Literal inference straight off the (usually borrowed) slice —
         // numeric/boolean/null attributes allocate nothing.
-        e.fields.push((name, parse_literal(&value, &self.options.literals)));
+        e.fields
+            .push((name, parse_literal(&value, &self.options.literals)));
     }
     fn text(&mut self, e: &mut ValueElem, run: String) {
         if e.text.is_empty() {
@@ -406,7 +433,14 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn new(input: &'a str, options: XmlOptions) -> Self {
-        XmlParser { input, bytes: input.as_bytes(), pos: 0, line: 1, line_start: 0, options }
+        XmlParser {
+            input,
+            bytes: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            options,
+        }
     }
 
     /// Builds an error at the current position. The column counts
@@ -455,7 +489,10 @@ impl<'a> XmlParser<'a> {
             }
             Some(_) => {
                 let found = self.peek_char().expect("in-bounds");
-                Err(self.error(XmlErrorKind::Unexpected { found, expected: ctx }))
+                Err(self.error(XmlErrorKind::Unexpected {
+                    found,
+                    expected: ctx,
+                }))
             }
             None => Err(self.error(XmlErrorKind::UnexpectedEof(ctx))),
         }
@@ -498,7 +535,10 @@ impl<'a> XmlParser<'a> {
                 Some(b'<') => {}
                 Some(_) => {
                     let found = self.peek_char().expect("in-bounds");
-                    return Err(self.error(XmlErrorKind::Unexpected { found, expected: "'<'" }));
+                    return Err(self.error(XmlErrorKind::Unexpected {
+                        found,
+                        expected: "'<'",
+                    }));
                 }
                 None => return Ok(false),
             }
@@ -615,7 +655,10 @@ impl<'a> XmlParser<'a> {
         match self.peek_char() {
             Some(c) if Self::is_name_start(c) => self.pos += c.len_utf8(),
             Some(found) => {
-                return Err(self.error(XmlErrorKind::Unexpected { found, expected: "a name" }))
+                return Err(self.error(XmlErrorKind::Unexpected {
+                    found,
+                    expected: "a name",
+                }))
             }
             None => return Err(self.error(XmlErrorKind::UnexpectedEof("name"))),
         }
@@ -731,9 +774,8 @@ impl<'a> XmlParser<'a> {
                     return Ok(out);
                 }
                 Some(b'&') => {
-                    let v = value.get_or_insert_with(|| {
-                        String::with_capacity(self.pos - start + 16)
-                    });
+                    let v =
+                        value.get_or_insert_with(|| String::with_capacity(self.pos - start + 16));
                     v.push_str(&self.input[run_start..self.pos]);
                     self.pos += 1;
                     let c = self.parse_entity()?;
@@ -937,7 +979,10 @@ mod tests {
 
     #[test]
     fn whitespace_text_kept_when_configured() {
-        let opts = XmlOptions { ignore_whitespace_text: false, ..XmlOptions::default() };
+        let opts = XmlOptions {
+            ignore_whitespace_text: false,
+            ..XmlOptions::default()
+        };
         let e = parse_with("<a> <b/> </a>", &opts).unwrap();
         assert_eq!(e.children.len(), 3);
     }
@@ -972,7 +1017,11 @@ mod tests {
     fn overlong_multibyte_entity_is_error_not_panic() {
         // The 12-byte limit used to fire mid-character and panic on the
         // char-boundary slice; it must error cleanly instead.
-        for doc in ["<a>&ééééééé;</a>", "<a x=\"&ééééééé;\"/>", "<a>&日本語キーです;</a>"] {
+        for doc in [
+            "<a>&ééééééé;</a>",
+            "<a x=\"&ééééééé;\"/>",
+            "<a>&日本語キーです;</a>",
+        ] {
             let err = parse(doc).unwrap_err();
             assert!(matches!(err.kind, XmlErrorKind::UnknownEntity(_)), "{doc}");
         }
@@ -1143,7 +1192,10 @@ mod tests {
         ));
         assert!(parse_value("<a>&nope;</a>").is_err());
         let deep = "<a>".repeat(300) + &"</a>".repeat(300);
-        assert!(matches!(parse_value(&deep).unwrap_err().kind, XmlErrorKind::TooDeep(256)));
+        assert!(matches!(
+            parse_value(&deep).unwrap_err().kind,
+            XmlErrorKind::TooDeep(256)
+        ));
     }
 
     #[test]

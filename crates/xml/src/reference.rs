@@ -58,11 +58,20 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn new(input: &'a str, options: XmlOptions) -> Self {
-        XmlParser { chars: input.chars().peekable(), line: 1, column: 1, options }
+        XmlParser {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+            options,
+        }
     }
 
     fn error(&self, kind: XmlErrorKind) -> XmlError {
-        XmlError { kind, line: self.line, column: self.column }
+        XmlError {
+            kind,
+            line: self.line,
+            column: self.column,
+        }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -87,7 +96,10 @@ impl<'a> XmlParser<'a> {
     fn expect(&mut self, want: char, ctx: &'static str) -> Result<(), XmlError> {
         match self.bump() {
             Some(c) if c == want => Ok(()),
-            Some(c) => Err(self.error(XmlErrorKind::Unexpected { found: c, expected: ctx })),
+            Some(c) => Err(self.error(XmlErrorKind::Unexpected {
+                found: c,
+                expected: ctx,
+            })),
             None => Err(self.error(XmlErrorKind::UnexpectedEof(ctx))),
         }
     }
@@ -121,7 +133,10 @@ impl<'a> XmlParser<'a> {
             match self.peek() {
                 Some('<') => {}
                 Some(found) => {
-                    return Err(self.error(XmlErrorKind::Unexpected { found, expected: "'<'" }))
+                    return Err(self.error(XmlErrorKind::Unexpected {
+                        found,
+                        expected: "'<'",
+                    }))
                 }
                 None => return Err(self.error(XmlErrorKind::NoRoot)),
             }
@@ -227,7 +242,10 @@ impl<'a> XmlParser<'a> {
                 self.bump();
             }
             Some(c) => {
-                return Err(self.error(XmlErrorKind::Unexpected { found: c, expected: "a name" }))
+                return Err(self.error(XmlErrorKind::Unexpected {
+                    found: c,
+                    expected: "a name",
+                }))
             }
             None => return Err(self.error(XmlErrorKind::UnexpectedEof("name"))),
         }
@@ -323,7 +341,10 @@ impl<'a> XmlParser<'a> {
                     self.expect('=', "attribute")?;
                     self.skip_ws();
                     let value = self.parse_attr_value()?;
-                    element.attributes.push(Attribute { name: Name::new(attr_name), value });
+                    element.attributes.push(Attribute {
+                        name: Name::new(attr_name),
+                        value,
+                    });
                 }
                 Some(c) => {
                     return Err(self.error(XmlErrorKind::Unexpected {

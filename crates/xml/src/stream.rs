@@ -147,7 +147,10 @@ impl Streamer {
     pub fn with_options(options: &XmlOptions, encode: &EncodeOptions) -> Streamer {
         Streamer {
             options: options.clone(),
-            vsink: ValueSink { options: encode.clone(), body: body_name() },
+            vsink: ValueSink {
+                options: encode.clone(),
+                body: body_name(),
+            },
             mode: XMode::Between,
             depth: 0,
             buf: Vec::new(),
@@ -193,7 +196,9 @@ impl Streamer {
             return Ok(());
         }
         let buf = std::mem::take(&mut self.buf);
-        let r = self.parse_tail(&buf).map(|values| values.into_iter().for_each(&mut *sink));
+        let r = self
+            .parse_tail(&buf)
+            .map(|values| values.into_iter().for_each(&mut *sink));
         self.buf = buf;
         self.buf.clear();
         self.mode = XMode::Between;
@@ -266,7 +271,11 @@ impl Streamer {
                         break;
                     }
                     if b == b'&' {
-                        self.mode = XMode::Ent { ret: 0, len: 0, pending: 0 };
+                        self.mode = XMode::Ent {
+                            ret: 0,
+                            len: 0,
+                            pending: 0,
+                        };
                         break;
                     }
                 },
@@ -297,7 +306,10 @@ impl Streamer {
                             }
                             b'/' => slash = true,
                             b'"' | b'\'' => {
-                                self.mode = XMode::OpenTag { quote: b, slash: false };
+                                self.mode = XMode::OpenTag {
+                                    quote: b,
+                                    slash: false,
+                                };
                                 break;
                             }
                             _ => slash = false,
@@ -312,11 +324,18 @@ impl Streamer {
                     let b = chunk[i];
                     i += 1;
                     if b == quote {
-                        self.mode = XMode::OpenTag { quote: 0, slash: false };
+                        self.mode = XMode::OpenTag {
+                            quote: 0,
+                            slash: false,
+                        };
                         break;
                     }
                     if b == b'&' {
-                        self.mode = XMode::Ent { ret: quote, len: 0, pending: 0 };
+                        self.mode = XMode::Ent {
+                            ret: quote,
+                            len: 0,
+                            pending: 0,
+                        };
                         break;
                     }
                 },
@@ -376,7 +395,11 @@ impl Streamer {
                     if pending == 1 && len > 12 {
                         return Step::ConsumeEnd;
                     }
-                    return Step::Consume(Ent { ret, len, pending: pending - 1 });
+                    return Step::Consume(Ent {
+                        ret,
+                        len,
+                        pending: pending - 1,
+                    });
                 }
                 if b == b';' {
                     return Step::Consume(self.ent_return(ret));
@@ -389,14 +412,21 @@ impl Streamer {
                     // `UnknownEntity` error at this exact position.
                     Step::ConsumeEnd
                 } else {
-                    Step::Consume(Ent { ret, len, pending: clen - 1 })
+                    Step::Consume(Ent {
+                        ret,
+                        len,
+                        pending: clen - 1,
+                    })
                 }
             }
             Lt => match b {
                 b'/' => Step::Consume(CloseTag),
                 b'!' => Step::Consume(LtBang),
                 b'?' => Step::Consume(Pi { q: false }),
-                _ => Step::Consume(OpenTag { quote: 0, slash: false }),
+                _ => Step::Consume(OpenTag {
+                    quote: 0,
+                    slash: false,
+                }),
             },
             LtBang => {
                 if self.depth == 0 {
@@ -419,18 +449,26 @@ impl Streamer {
             }
             LtBangDash => Step::Consume(Comment { dashes: 0 }),
             Comment { dashes } => match b {
-                b'-' => Step::Consume(Comment { dashes: (dashes + 1).min(2) }),
+                b'-' => Step::Consume(Comment {
+                    dashes: (dashes + 1).min(2),
+                }),
                 b'>' if dashes >= 2 => Step::Consume(Text),
                 _ => Step::Consume(Comment { dashes: 0 }),
             },
             Doctype { brackets } => match b {
-                b'[' => Step::Consume(Doctype { brackets: brackets.saturating_add(1) }),
-                b']' => Step::Consume(Doctype { brackets: brackets.saturating_sub(1) }),
+                b'[' => Step::Consume(Doctype {
+                    brackets: brackets.saturating_add(1),
+                }),
+                b']' => Step::Consume(Doctype {
+                    brackets: brackets.saturating_sub(1),
+                }),
                 b'>' if brackets == 0 => Step::Consume(Text),
                 _ => Step::Consume(Doctype { brackets }),
             },
             Cdata { brackets } => match b {
-                b']' => Step::Consume(Cdata { brackets: (brackets + 1).min(2) }),
+                b']' => Step::Consume(Cdata {
+                    brackets: (brackets + 1).min(2),
+                }),
                 b'>' if brackets >= 2 => Step::Consume(Text),
                 _ => Step::Consume(Cdata { brackets: 0 }),
             },
@@ -447,7 +485,10 @@ impl Streamer {
         if ret == 0 {
             XMode::Text
         } else {
-            XMode::OpenTag { quote: ret, slash: false }
+            XMode::OpenTag {
+                quote: ret,
+                slash: false,
+            }
         }
     }
 
@@ -475,7 +516,7 @@ impl Streamer {
             self.buf = buf; // keep the allocation for the next carry-over
             v
         };
-        r.map(|v| sink(v))
+        r.map(sink)
     }
 
     /// Parses the complete record `bytes[from..to]`; error positions are
@@ -504,7 +545,11 @@ impl Streamer {
 
     fn utf8_error(&self, bytes: &[u8], valid_up_to: usize) -> XmlError {
         let (line, column) = local_pos(&bytes[..valid_up_to]);
-        self.compose(XmlError { kind: XmlErrorKind::InvalidUtf8, line, column })
+        self.compose(XmlError {
+            kind: XmlErrorKind::InvalidUtf8,
+            line,
+            column,
+        })
     }
 
     /// Lifts a record-local error into the stream-global frame.
@@ -513,7 +558,11 @@ impl Streamer {
         XmlError {
             kind: e.kind,
             line: line + e.line - 1,
-            column: if e.line == 1 { col + e.column - 1 } else { e.column },
+            column: if e.line == 1 {
+                col + e.column - 1
+            } else {
+                e.column
+            },
         }
     }
 
@@ -550,7 +599,10 @@ impl Streamer {
             } else {
                 self.line += newlines;
                 self.col = 1;
-                let last = bytes.iter().rposition(|&b| b == b'\n').expect("newlines > 0");
+                let last = bytes
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .expect("newlines > 0");
                 &bytes[last + 1..]
             };
             self.col += if tail.is_ascii() {

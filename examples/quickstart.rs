@@ -38,18 +38,16 @@ fn provided_access() -> Result<f64, AnyError> {
 fn hand_written_access() -> Result<f64, AnyError> {
     let doc = tfd_json::parse(weather::SAMPLE)?;
     match &doc {
-        tfd_json::Json::Object(root) => {
-            match root.iter().find(|(k, _)| k == "main") {
-                Some((_, tfd_json::Json::Object(main))) => {
-                    match main.iter().find(|(k, _)| k == "temp") {
-                        Some((_, tfd_json::Json::Int(n))) => Ok(*n as f64),
-                        Some((_, tfd_json::Json::Float(n))) => Ok(*n),
-                        _ => Err("incorrect format".into()),
-                    }
+        tfd_json::Json::Object(root) => match root.iter().find(|(k, _)| k == "main") {
+            Some((_, tfd_json::Json::Object(main))) => {
+                match main.iter().find(|(k, _)| k == "temp") {
+                    Some((_, tfd_json::Json::Int(n))) => Ok(*n as f64),
+                    Some((_, tfd_json::Json::Float(n))) => Ok(*n),
+                    _ => Err("incorrect format".into()),
                 }
-                _ => Err("incorrect format".into()),
             }
-        }
+            _ => Err("incorrect format".into()),
+        },
         _ => Err("incorrect format".into()),
     }
 }

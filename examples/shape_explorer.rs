@@ -23,12 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let p2 = tfd::json::parse(r#"{ "x": 3, "y": 4 }"#)?.to_value();
     let joined = infer_many([&p1, &p2], &InferOptions::formal());
     println!("S(Point{{x}}, Point{{x,y}}) = {joined}");
-    assert!(is_preferred(&infer_with(&p1, &InferOptions::formal()), &joined));
-    assert!(is_preferred(&infer_with(&p2, &InferOptions::formal()), &joined));
+    assert!(is_preferred(
+        &infer_with(&p1, &InferOptions::formal()),
+        &joined
+    ));
+    assert!(is_preferred(
+        &infer_with(&p2, &InferOptions::formal()),
+        &joined
+    ));
 
     // 2. The csh lattice: joins prefer records and use the top shape
     //    only as the last resort (§3.3).
-    println!("csh(int, float)         = {}", csh(Shape::Int, Shape::Float));
+    println!(
+        "csh(int, float)         = {}",
+        csh(Shape::Int, Shape::Float)
+    );
     println!("csh(null, int)          = {}", csh(Shape::Null, Shape::Int));
     println!("csh(int, bool)          = {}", csh(Shape::Int, Shape::Bool));
     let with_float = csh(csh(Shape::Int, Shape::Bool), Shape::Float);

@@ -36,14 +36,14 @@
 
 #![forbid(unsafe_code)]
 
-pub use tfd_value as value;
-pub use tfd_json as json;
-pub use tfd_xml as xml;
-pub use tfd_csv as csv;
-pub use tfd_html as html;
+pub use tfd_codegen as codegen;
 pub use tfd_core as shape;
+pub use tfd_csv as csv;
 pub use tfd_foo as foo;
+pub use tfd_html as html;
+pub use tfd_json as json;
+pub use tfd_macros::{csv_provider, html_provider, json_provider, xml_provider};
 pub use tfd_provider as provider;
 pub use tfd_runtime as runtime;
-pub use tfd_codegen as codegen;
-pub use tfd_macros::{csv_provider, html_provider, json_provider, xml_provider};
+pub use tfd_value as value;
+pub use tfd_xml as xml;

@@ -27,18 +27,14 @@ pub fn value_strategy() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(|i| Value::Int(i % 1000)),
         (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
         any::<bool>().prop_map(Value::Bool),
-        prop_oneof![Just("s"), Just("text"), Just("Jan")]
-            .prop_map(|s| Value::Str(s.to_owned())),
+        prop_oneof![Just("s"), Just("text"), Just("Jan")].prop_map(|s| Value::Str(s.to_owned())),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..4).prop_map(Value::List),
             (
                 prop::sample::select(RECORD_NAMES),
-                prop::collection::vec(
-                    (prop::sample::select(FIELD_NAMES), inner),
-                    0..4
-                )
+                prop::collection::vec((prop::sample::select(FIELD_NAMES), inner), 0..4)
             )
                 .prop_map(|(name, fields)| {
                     // Deduplicate field names (records are maps).
@@ -55,7 +51,10 @@ pub fn value_strategy() -> impl Strategy<Value = Value> {
                         })
                         .map(|(n, v)| Field::new(n, v))
                         .collect();
-                    Value::Record { name: name.into(), fields }
+                    Value::Record {
+                        name: name.into(),
+                        fields,
+                    }
                 }),
         ]
     })
@@ -107,13 +106,16 @@ pub fn conforming(shape: &Shape, rng: &mut Rng) -> Value {
                 if matches!(f.shape, Shape::Nullable(_) | Shape::Null) && rng.chance(0.3) {
                     continue;
                 }
-                fields.push(Field::new(f.name.clone(), conforming(&f.shape, rng)));
+                fields.push(Field::new(f.name, conforming(&f.shape, rng)));
             }
             // Extra fields are allowed (rule 9).
             if rng.chance(0.2) {
                 fields.push(Field::new("extra_field", Value::Int(rng.below(10) as i64)));
             }
-            Value::Record { name: r.name.clone(), fields }
+            Value::Record {
+                name: r.name,
+                fields,
+            }
         }
         Shape::Top(labels) => {
             if labels.is_empty() || rng.chance(0.2) {
@@ -146,6 +148,14 @@ pub fn conforming(shape: &Shape, rng: &mut Rng) -> Value {
             }
             Value::List(items)
         }
+        // A μ-reference without its definitions table: the best
+        // conforming value derivable locally is an empty record of the
+        // referenced name (these generators run on env-free shapes; the
+        // env-aware paths have their own tests).
+        Shape::Ref(n) => Value::Record {
+            name: *n,
+            fields: Vec::new(),
+        },
     }
 }
 

@@ -6,28 +6,42 @@ use tfd_core::{infer_with, InferOptions, Shape};
 use tfd_provider::{deep_eval, provide_idiomatic, signature};
 use tfd_runtime::Node;
 
+// A recursive XML provider: <ul> contains <li> contains <ul> — the §6.2
+// global mode unifies the name classes into a mutually recursive
+// definitions table, and codegen emits genuinely recursive Rust structs
+// (`Ul` ↔ `Li`), compiled into this test binary right here.
+types_from_data::xml_provider! {
+    mod ul_tree;
+    root UlTree;
+    global;
+    sample r#"<ul id="1"><li>leaf</li><li><ul id="2"><li>deep</li></ul></li></ul>"#;
+}
+
 /// The same table of people as JSON, XML and CSV. The front-ends encode
 /// differently (JSON records are `•`, XML rows are named elements), but
 /// the *fields* and their inferred primitive shapes must agree.
 #[test]
 fn same_data_through_three_front_ends() {
-    let json = tfd_json::parse(
-        r#"[ { "name": "Jan", "age": 25 }, { "name": "Tomas", "age": 30 } ]"#,
-    )
-    .unwrap()
-    .to_value();
+    let json =
+        tfd_json::parse(r#"[ { "name": "Jan", "age": 25 }, { "name": "Tomas", "age": 30 } ]"#)
+            .unwrap()
+            .to_value();
     let xml = tfd_xml::parse(
         r#"<people><person name="Jan" age="25"/><person name="Tomas" age="30"/></people>"#,
     )
     .unwrap()
     .to_value();
-    let csv = tfd_csv::parse("name,age\nJan,25\nTomas,30\n").unwrap().to_value();
+    let csv = tfd_csv::parse("name,age\nJan,25\nTomas,30\n")
+        .unwrap()
+        .to_value();
 
     let formal = InferOptions::formal();
 
     // JSON: [• {name : string, age : int}]
     let json_shape = infer_with(&json, &formal);
-    let Shape::List(json_row) = &json_shape else { panic!("{json_shape}") };
+    let Shape::List(json_row) = &json_shape else {
+        panic!("{json_shape}")
+    };
     let json_row = json_row.as_record().unwrap();
 
     // XML: people {• : [person {name : string, age : int}]}
@@ -37,12 +51,16 @@ fn same_data_through_three_front_ends() {
         .unwrap()
         .field(tfd_value::BODY_NAME)
         .unwrap();
-    let Shape::List(xml_row) = xml_row else { panic!("{xml_row}") };
+    let Shape::List(xml_row) = xml_row else {
+        panic!("{xml_row}")
+    };
     let xml_row = xml_row.as_record().unwrap();
 
     // CSV: [• {name : string, age : int}] (bit does not fire: ages aren't 0/1)
     let csv_shape = infer_with(&csv, &InferOptions::csv());
-    let Shape::List(csv_row) = &csv_shape else { panic!("{csv_shape}") };
+    let Shape::List(csv_row) = &csv_shape else {
+        panic!("{csv_shape}")
+    };
     let csv_row = csv_row.as_record().unwrap();
 
     for row in [json_row, xml_row, csv_row] {
@@ -62,7 +80,9 @@ fn provider_from_json_accepts_csv_rows() {
     let shape = infer_with(&json, &InferOptions::formal());
     let provided = tfd_provider::provide(&shape);
 
-    let csv = tfd_csv::parse("name,age\nGrace,85\nAlan,41\n").unwrap().to_value();
+    let csv = tfd_csv::parse("name,age\nGrace,85\nAlan,41\n")
+        .unwrap()
+        .to_value();
     deep_eval(&provided, &csv).expect("CSV rows conform to the JSON-inferred shape");
 }
 
@@ -117,14 +137,24 @@ fn codegen_emits_complete_modules_for_all_paper_samples() {
         ),
     ];
     for (name, format, shape) in cases {
-        let options = CodegenOptions { format: Some(format), ..CodegenOptions::default() };
+        let options = CodegenOptions {
+            format: Some(format),
+            ..CodegenOptions::default()
+        };
         let code = generate(&shape, name, "Root", &options);
-        assert!(code.contains(&format!("pub mod {name}")), "{name}: no module");
+        assert!(
+            code.contains(&format!("pub mod {name}")),
+            "{name}: no module"
+        );
         assert!(code.contains("pub fn from_value"), "{name}: no from_value");
         assert!(code.contains("pub fn parse"), "{name}: no parse");
         assert!(code.contains("pub fn load"), "{name}: no load");
         // Deterministic:
-        assert_eq!(code, generate(&shape, name, "Root", &options), "{name}: nondeterministic");
+        assert_eq!(
+            code,
+            generate(&shape, name, "Root", &options),
+            "{name}: nondeterministic"
+        );
     }
 }
 
@@ -144,12 +174,23 @@ fn runtime_and_interpreter_agree_on_weather() {
     let node = Node::new(value);
     assert_eq!(node.field("name").unwrap().as_str().unwrap(), "Prague");
     assert_eq!(
-        node.field("sys").unwrap().field("country").unwrap().as_str().unwrap(),
+        node.field("sys")
+            .unwrap()
+            .field("country")
+            .unwrap()
+            .as_str()
+            .unwrap(),
         "CZ"
     );
     assert_eq!(
-        node.field("weather").unwrap().index(0).unwrap()
-            .field("main").unwrap().as_str().unwrap(),
+        node.field("weather")
+            .unwrap()
+            .index(0)
+            .unwrap()
+            .field("main")
+            .unwrap()
+            .as_str()
+            .unwrap(),
         "Clouds"
     );
 }
@@ -159,7 +200,9 @@ fn runtime_and_interpreter_agree_on_weather() {
 #[test]
 fn multi_file_inference_generalizes() {
     let s1 = tfd_json::parse(r#"{ "v": 1 }"#).unwrap().to_value();
-    let s2 = tfd_json::parse(r#"{ "v": 2.5, "w": "x" }"#).unwrap().to_value();
+    let s2 = tfd_json::parse(r#"{ "v": 2.5, "w": "x" }"#)
+        .unwrap()
+        .to_value();
     let shape = tfd_core::infer_many([&s1, &s2], &InferOptions::formal());
     assert_eq!(
         shape,
@@ -185,6 +228,49 @@ fn raw_escape_hatch_is_always_available() {
     assert_eq!(node.raw(), &value);
     let inner = node.field("a").unwrap();
     assert_eq!(inner.raw(), value.field("a").unwrap());
+}
+
+/// Recursive provided types, end to end: the generated `Ul`/`Li` structs
+/// reference each other, and — because the recursion is a real μ-type,
+/// not a truncated expansion — they navigate documents *deeper than the
+/// sample* without losing typing.
+#[test]
+fn recursive_xml_provider_compiles_and_round_trips() {
+    // Round-trip the compile-time sample.
+    let root = ul_tree::sample();
+    assert_eq!(root.id().unwrap(), 1);
+    let items = root.li().unwrap();
+    assert_eq!(items.len(), 2);
+    assert_eq!(items[0].string().unwrap().as_deref(), Some("leaf"));
+    // The second <li> holds a nested <ul>: the accessor returns the same
+    // provided type as the root — recursion through the generated types.
+    let nested: ul_tree::Ul = items[1].array().unwrap().expect("nested ul").ul().unwrap();
+    assert_eq!(nested.id().unwrap(), 2);
+    assert_eq!(
+        nested.li().unwrap()[0].string().unwrap().as_deref(),
+        Some("deep")
+    );
+
+    // A document two levels deeper than the sample: the μ-type keeps
+    // typing all the way down (the old finite-tree cut could not).
+    let deep = ul_tree::parse(
+        r#"<ul id="10"><li><ul id="20"><li><ul id="30"><li>bottom</li></ul></li></ul></li></ul>"#,
+    )
+    .unwrap();
+    let mut level = deep;
+    let mut ids = Vec::new();
+    loop {
+        ids.push(level.id().unwrap());
+        let items = level.li().unwrap();
+        match items[0].array().unwrap() {
+            Some(arr) => level = arr.ul().unwrap(),
+            None => {
+                assert_eq!(items[0].string().unwrap().as_deref(), Some("bottom"));
+                break;
+            }
+        }
+    }
+    assert_eq!(ids, vec![10, 20, 30]);
 }
 
 /// F#-style signatures are stable across runs (predictability, §6.5).

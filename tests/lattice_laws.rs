@@ -28,16 +28,14 @@ fn erase_labels(shape: &Shape) -> Shape {
     match shape {
         Shape::Top(_) => Shape::any(),
         Shape::Record(r) => Shape::record(
-            r.name.clone(),
-            r.fields
-                .iter()
-                .map(|f| (f.name.clone(), erase_labels(&f.shape))),
+            r.name,
+            r.fields.iter().map(|f| (f.name, erase_labels(&f.shape))),
         ),
         Shape::Nullable(inner) => erase_labels(inner).ceil(),
         Shape::List(e) => Shape::list(erase_labels(e)),
-        Shape::HeteroList(cases) => Shape::HeteroList(
-            cases.iter().map(|(s, m)| (erase_labels(s), *m)).collect(),
-        ),
+        Shape::HeteroList(cases) => {
+            Shape::HeteroList(cases.iter().map(|(s, m)| (erase_labels(s), *m)).collect())
+        }
         other => other.clone(),
     }
 }
@@ -209,6 +207,137 @@ proptest! {
             is_preferred(&sa, &sb),
             is_preferred(&erase_labels(&sa), &erase_labels(&sb))
         );
+    }
+}
+
+// --- μ-shapes: the algebra laws under a shape environment ---
+//
+// Generated μ-shapes are canonical by construction: records in the root
+// use non-environment names, and environment names only ever appear as
+// `Shape::Ref`s — exactly the form `globalize_env` produces.
+
+const MU_NAMES: &[&str] = &["n0", "n1", "n2"];
+const MU_FIELDS: &[&str] = &["a", "b", "c", "d"];
+
+/// A leaf for μ-shape generation: primitives and references into the
+/// three-name environment.
+fn mu_leaf() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        Just(Shape::Int),
+        Just(Shape::Float),
+        Just(Shape::Bool),
+        Just(Shape::String),
+        prop::sample::select(MU_NAMES).prop_map(|n| Shape::Ref(n.into())),
+    ]
+}
+
+/// A canonical shape over the μ-environment: leaves, nullable leaves,
+/// collections and non-environment records.
+fn mu_shape() -> impl Strategy<Value = Shape> {
+    let wrapped = prop_oneof![
+        mu_leaf(),
+        mu_leaf().prop_map(Shape::ceil),
+        mu_leaf().prop_map(Shape::list),
+    ];
+    prop_oneof![
+        wrapped.clone(),
+        (
+            prop::sample::select(&["r", "q"][..]),
+            prop::collection::vec((prop::sample::select(MU_FIELDS), wrapped), 0..3),
+        )
+            .prop_map(|(name, fields)| {
+                let mut seen: Vec<&str> = Vec::new();
+                Shape::record(
+                    name,
+                    fields.into_iter().filter(|(n, _)| {
+                        if seen.contains(n) {
+                            false
+                        } else {
+                            seen.push(n);
+                            true
+                        }
+                    }),
+                )
+            }),
+    ]
+}
+
+/// A definitions table for [`MU_NAMES`]: every name defined, bodies
+/// drawn from the canonical μ-shape strategy (so definitions reference
+/// each other and themselves — mutual recursion included).
+fn mu_env() -> impl Strategy<Value = tfd_core::ShapeEnv> {
+    let body = prop::collection::vec((prop::sample::select(MU_FIELDS), mu_shape()), 0..3);
+    prop::collection::vec(body, MU_NAMES.len()..MU_NAMES.len() + 1).prop_map(|bodies| {
+        tfd_core::ShapeEnv::from_defs(MU_NAMES.iter().zip(bodies).map(|(name, fields)| {
+            let mut seen: Vec<&str> = Vec::new();
+            (
+                (*name).into(),
+                tfd_core::RecordShape::new(
+                    *name,
+                    fields.into_iter().filter(|(n, _)| {
+                        if seen.contains(n) {
+                            false
+                        } else {
+                            seen.push(n);
+                            true
+                        }
+                    }),
+                ),
+            )
+        }))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `csh(σ, σ) == σ` over generated μ-shapes, env-aware: the
+    /// idempotence law survives the μ-extension, and a self-join never
+    /// widens the definitions table.
+    #[test]
+    fn mu_csh_is_idempotent(env in mu_env(), s in mu_shape()) {
+        let mut e = env.clone();
+        let joined = tfd_core::csh_in(s.clone(), s.clone(), &mut e);
+        prop_assert_eq!(&joined, &s, "csh(σ, σ) must equal σ");
+        prop_assert_eq!(&e, &env, "a self-join must not widen the env");
+    }
+
+    /// `⊑` stays reflexive on μ-shapes (coinductive unfolding included).
+    #[test]
+    fn mu_preference_is_reflexive(env in mu_env(), s in mu_shape()) {
+        prop_assert!(
+            tfd_core::is_preferred_in(&s, &s, Some(&env)),
+            "{} not ⊑ itself under its env", s
+        );
+    }
+
+    /// Lemma 1's upper-bound half over μ-shapes: both arguments are
+    /// preferred over their env-aware join.
+    #[test]
+    fn mu_csh_is_an_upper_bound(env in mu_env(), a in mu_shape(), b in mu_shape()) {
+        let mut e = env.clone();
+        let joined = tfd_core::csh_in(a.clone(), b.clone(), &mut e);
+        prop_assert!(
+            tfd_core::is_preferred_in(&a, &joined, Some(&e)),
+            "{} ⋢ csh = {}", a, joined
+        );
+        prop_assert!(
+            tfd_core::is_preferred_in(&b, &joined, Some(&e)),
+            "{} ⋢ csh = {}", b, joined
+        );
+    }
+
+    /// The env-aware join commutes on the nose, like the plain one.
+    #[test]
+    fn mu_csh_commutes(env in mu_env(), a in mu_shape(), b in mu_shape()) {
+        let mut e1 = env.clone();
+        let mut e2 = env.clone();
+        prop_assert_eq!(
+            tfd_core::csh_in(a.clone(), b.clone(), &mut e1),
+            tfd_core::csh_in(b, a, &mut e2),
+            "csh_in not commutative"
+        );
+        prop_assert_eq!(&e1, &e2, "env widening must be argument-order independent");
     }
 }
 

@@ -59,7 +59,10 @@ fn nested_records_and_arrays() {
     let items = outer.items().unwrap();
     assert_eq!(items.len(), 1);
     assert_eq!(items[0].id().unwrap(), 1);
-    assert_eq!(items[0].tags().unwrap(), vec!["a".to_owned(), "b".to_owned()]);
+    assert_eq!(
+        items[0].tags().unwrap(),
+        vec!["a".to_owned(), "b".to_owned()]
+    );
 }
 
 #[test]

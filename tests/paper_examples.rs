@@ -22,9 +22,12 @@ fn e1_weather_main_temp_is_5() {
     // The §1 access path: root.Main.Temp == 5 (as a float in the paper's
     // printf "%f").
     let temp = node
-        .field("main").unwrap()
-        .field("temp").unwrap()
-        .as_f64().unwrap();
+        .field("main")
+        .unwrap()
+        .field("temp")
+        .unwrap()
+        .as_f64()
+        .unwrap();
     assert_eq!(temp, 5.0);
 
     // The inferred type makes Main a nested record with Temp : int (the
@@ -80,12 +83,7 @@ fn e2_people_runtime_access() {
     assert_eq!(names, vec!["Jan", "Tomas", "Alexander"]);
     let ages: Vec<Option<f64>> = items
         .iter()
-        .map(|i| {
-            i.field("age")
-                .unwrap()
-                .opt()
-                .map(|n| n.as_f64().unwrap())
-        })
+        .map(|i| i.field("age").unwrap().opt().map(|n| n.as_f64().unwrap()))
         .collect();
     assert_eq!(ages, vec![Some(25.0), None, Some(3.5)]);
 }
@@ -141,7 +139,9 @@ fn e3_open_world_table_answers_none() {
     ]);
     let table = tfd_xml::parse("<table><tr/></table>").unwrap().to_value();
     let node = Node::new(table);
-    let Shape::Top(labels) = &element_shape else { unreachable!() };
+    let Shape::Top(labels) = &element_shape else {
+        unreachable!()
+    };
     for label in labels {
         assert!(node.case(label).is_none(), "table matched {label}");
     }
@@ -185,7 +185,9 @@ fn e4_worldbank_runtime_values() {
     let meta = node.tagged_one("Record", &record_tag).unwrap();
     assert_eq!(meta.field("pages").unwrap().as_i64().unwrap(), 5);
 
-    let array = node.tagged_one("Array", &tfd_core::Tag::Collection).unwrap();
+    let array = node
+        .tagged_one("Array", &tfd_core::Tag::Collection)
+        .unwrap();
     let rows = array.elements().unwrap();
     assert_eq!(rows.len(), 2);
     // "2012" reads as the int 2012 (content-based inference, §2.3):
@@ -203,7 +205,9 @@ fn e5_airquality_columns_match_paper() {
     let file = tfd_csv::parse(&load("airquality.csv")).unwrap();
     let value = file.to_value();
     let shape = infer_with(&value, &InferOptions::csv());
-    let Shape::List(row) = &shape else { panic!("expected rows, got {shape}") };
+    let Shape::List(row) = &shape else {
+        panic!("expected rows, got {shape}")
+    };
     let row = row.as_record().expect("row record");
     // Ozone: int(41) ⊔ float(36.3) → float.
     assert_eq!(row.field("Ozone"), Some(&Shape::Float));

@@ -90,17 +90,20 @@ fn xml_element_strategy() -> impl Strategy<Value = tfd_xml::Element> {
         e
     });
     leaf.prop_recursive(3, 16, 3, |inner| {
-        ((xml_name(), xml_attrs()), (xml_text(), prop::collection::vec(inner, 0..3))).prop_map(
-            |((name, attributes), (text, children))| {
+        (
+            (xml_name(), xml_attrs()),
+            (xml_text(), prop::collection::vec(inner, 0..3)),
+        )
+            .prop_map(|((name, attributes), (text, children))| {
                 let mut e = tfd_xml::Element::new(name);
                 e.attributes = attributes;
                 if !text.is_empty() {
                     e.children.push(tfd_xml::XmlNode::Text(text));
                 }
-                e.children.extend(children.into_iter().map(tfd_xml::XmlNode::Element));
+                e.children
+                    .extend(children.into_iter().map(tfd_xml::XmlNode::Element));
                 e
-            },
-        )
+            })
     })
 }
 
@@ -248,7 +251,13 @@ proptest! {
 
 #[test]
 fn csv_quoted_field_at_eof_agrees() {
-    for text in ["a\n\"x\"", "a,b\n1,\"x\"", "a\n\"\"", "a\n\"x\ny\"", "a\n1,"] {
+    for text in [
+        "a\n\"x\"",
+        "a,b\n1,\"x\"",
+        "a\n\"\"",
+        "a\n\"x\ny\"",
+        "a\n1,",
+    ] {
         assert_eq!(
             tfd_csv::parse(text),
             tfd_csv::reference::parse(text),
@@ -263,10 +272,7 @@ fn csv_utf8_headers_and_cells_agree() {
     let byte = tfd_csv::parse(text).unwrap();
     assert_eq!(byte, tfd_csv::reference::parse(text).unwrap());
     assert_eq!(byte.headers(), &["sloupec", "météo"]);
-    assert_eq!(
-        tfd_csv::parse_value(text).unwrap(),
-        byte.to_value()
-    );
+    assert_eq!(tfd_csv::parse_value(text).unwrap(), byte.to_value());
 }
 
 #[test]
@@ -285,9 +291,32 @@ fn xml_utf8_names_and_attribute_values_agree() {
 #[test]
 fn json_malformed_corpus() {
     let bad = [
-        "", "{", "}", "[", "]", "{]", "[}", "nul", "tru", "+1", "01", "1.",
-        ".5", "1e", "--1", "\"", "\"\\q\"", "\"\\u12\"", "{\"a\"}", "{\"a\":}",
-        "{a:1}", "[1,]", "{\"a\":1,}", "[1 2]", "{\"a\":1 \"b\":2}", "1 1",
+        "",
+        "{",
+        "}",
+        "[",
+        "]",
+        "{]",
+        "[}",
+        "nul",
+        "tru",
+        "+1",
+        "01",
+        "1.",
+        ".5",
+        "1e",
+        "--1",
+        "\"",
+        "\"\\q\"",
+        "\"\\u12\"",
+        "{\"a\"}",
+        "{\"a\":}",
+        "{a:1}",
+        "[1,]",
+        "{\"a\":1,}",
+        "[1 2]",
+        "{\"a\":1 \"b\":2}",
+        "1 1",
         "\u{0}",
     ];
     for input in bad {
@@ -301,9 +330,22 @@ fn json_malformed_corpus() {
 #[test]
 fn xml_malformed_corpus() {
     let bad = [
-        "", "<", "<>", "<a", "<a>", "</a>", "<a></b>", "<a x></a>",
-        "<a x=1/>", "<a x=\"1/>", "<a>&nope;</a>", "<a>&#xD800;</a>",
-        "<a/><b/>", "text", "<a><!-- </a>", "<a><![CDATA[x</a>",
+        "",
+        "<",
+        "<>",
+        "<a",
+        "<a>",
+        "</a>",
+        "<a></b>",
+        "<a x></a>",
+        "<a x=1/>",
+        "<a x=\"1/>",
+        "<a>&nope;</a>",
+        "<a>&#xD800;</a>",
+        "<a/><b/>",
+        "text",
+        "<a><!-- </a>",
+        "<a><![CDATA[x</a>",
     ];
     for input in bad {
         assert!(
@@ -341,10 +383,7 @@ fn xml_deep_nesting_is_rejected_not_overflowed() {
 #[test]
 fn unicode_survives_all_three_parsers() {
     let json = tfd_json::parse("{\"č\": \"žluťoučký 😀\"}").unwrap();
-    assert_eq!(
-        json.get("č"),
-        Some(&Json::String("žluťoučký 😀".into()))
-    );
+    assert_eq!(json.get("č"), Some(&Json::String("žluťoučký 😀".into())));
     let xml = tfd_xml::parse("<č>žluťoučký &#x1F600;</č>").unwrap();
     assert_eq!(xml.text(), "žluťoučký 😀");
     let csv = tfd_csv::parse("sloupec\nžluťoučký\n").unwrap();
@@ -356,7 +395,10 @@ fn large_flat_document_parses() {
     // A 10k-element array exercises the non-recursive paths.
     let text = format!(
         "[{}]",
-        (0..10_000).map(|i| i.to_string()).collect::<Vec<_>>().join(",")
+        (0..10_000)
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
     );
     let doc = tfd_json::parse(&text).unwrap();
     assert_eq!(doc.items().unwrap().len(), 10_000);

@@ -147,14 +147,15 @@ fn representative_sample_suffices_for_intended_access() {
     // §6.1: "They merely need to provide a sample that is representative
     // with respect to data they intend to access." A provider built from
     // a *partial* sample works on richer inputs.
-    let sample = tfd_json::parse(r#"{ "main": { "temp": 5 } }"#).unwrap().to_value();
+    let sample = tfd_json::parse(r#"{ "main": { "temp": 5 } }"#)
+        .unwrap()
+        .to_value();
     let shape = infer_with(&sample, &InferOptions::formal());
     let provided = provide(&shape);
-    let richer = tfd_json::parse(
-        r#"{ "main": { "temp": 3, "pressure": 1000 }, "wind": { "speed": 5 } }"#,
-    )
-    .unwrap()
-    .to_value();
+    let richer =
+        tfd_json::parse(r#"{ "main": { "temp": 3, "pressure": 1000 }, "wind": { "speed": 5 } }"#)
+            .unwrap()
+            .to_value();
     deep_eval(&provided, &richer).expect("extra fields must be ignored");
 }
 

@@ -17,7 +17,7 @@ use common::value_strategy;
 use proptest::prelude::*;
 use std::fmt::Write as _;
 use tfd_core::stream::{infer_reader, InferAccumulator, StreamFormat};
-use tfd_core::{csh_ref, globalize, infer_many, infer_with, InferOptions, Shape};
+use tfd_core::{globalize, infer_many, infer_with, InferOptions, Shape};
 use tfd_value::Value;
 
 // --- Chunked drivers: feed `text` split into pieces whose sizes cycle
@@ -215,15 +215,18 @@ fn xml_content_piece() -> SFn<String> {
 fn xml_doc_strategy() -> SFn<String> {
     let attrs = xml_attrs();
     let leaf_attrs = attrs.clone();
-    let leaf = (prop::sample::select(XML_NAMES), leaf_attrs, xml_content_piece()).prop_map(
-        |(n, a, t)| {
+    let leaf = (
+        prop::sample::select(XML_NAMES),
+        leaf_attrs,
+        xml_content_piece(),
+    )
+        .prop_map(|(n, a, t)| {
             if t.is_empty() {
                 format!("<{n}{a}/>")
             } else {
                 format!("<{n}{a}>{t}</{n}>")
             }
-        },
-    );
+        });
     leaf.prop_recursive(3, 12, 3, move |inner| {
         let kids = prop::collection::vec(prop_oneof![xml_content_piece(), inner], 0..3);
         (prop::sample::select(XML_NAMES), attrs.clone(), kids)
@@ -234,7 +237,9 @@ fn xml_doc_strategy() -> SFn<String> {
 fn xml_corpus_text(prolog: bool, docs: &[String], seps: &[&str]) -> String {
     let mut text = String::new();
     if prolog {
-        text.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n");
+        text.push_str(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n",
+        );
     }
     for (i, d) in docs.iter().enumerate() {
         text.push_str(d);
@@ -310,7 +315,12 @@ fn csv_corpus_text(rows: &[Vec<String>], endings: &[&str], final_ending: bool) -
     for (i, row) in rows.iter().enumerate() {
         text.push_str(&row.join(","));
         if i + 1 < rows.len() || final_ending {
-            text.push_str(endings.get(i % endings.len().max(1)).copied().unwrap_or("\n"));
+            text.push_str(
+                endings
+                    .get(i % endings.len().max(1))
+                    .copied()
+                    .unwrap_or("\n"),
+            );
         }
     }
     text
@@ -344,6 +354,44 @@ proptest! {
         prop_assert_eq!(
             Shape::list(fold_shape(&streamed, &opts)),
             infer_with(&Value::List(oneshot), &opts)
+        );
+    }
+
+    /// Headerless ragged corpora: the streamer names columns from one
+    /// per-corpus interned table (not per row), so the incremental fold
+    /// reaches exactly the one-shot shape even though the one-shot path
+    /// pads short rows to the corpus-global width and the streamer does
+    /// not — a missing field and an explicit null both make the field
+    /// nullable. (Satellite regression for the divergence PR 3
+    /// documented.)
+    #[test]
+    fn csv_headerless_streaming_shape_agrees(
+        rows in prop::collection::vec(prop::collection::vec(csv_cell(), 1..5), 1..6),
+        sizes in prop::collection::vec(1usize..9, 1..5),
+    ) {
+        let opts = tfd_csv::CsvOptions { has_header: false, ..Default::default() };
+        let lits = tfd_csv::literal::LiteralOptions::default();
+        let text: String = rows.iter().map(|r| format!("{}\n", r.join(","))).collect();
+        let oneshot = tfd_csv::parse_value_with(&text, &opts, &lits).expect("valid corpus");
+
+        let bytes = text.as_bytes();
+        let mut s = tfd_csv::stream::Streamer::with_options(&opts, &lits);
+        let mut streamed = Vec::new();
+        let (mut pos, mut k) = (0usize, 0usize);
+        while pos < bytes.len() {
+            let step = sizes.get(k % sizes.len()).copied().unwrap_or(1).max(1);
+            k += 1;
+            let end = (pos + step).min(bytes.len());
+            s.feed(&bytes[pos..end], &mut |v| streamed.push(v)).expect("valid corpus");
+            pos = end;
+        }
+        s.finish(&mut |v| streamed.push(v)).expect("valid corpus");
+
+        let inferred = InferOptions::csv();
+        prop_assert_eq!(
+            Shape::list(fold_shape(&streamed, &inferred)),
+            infer_with(&oneshot, &inferred),
+            "headerless streamed fold must match the one-shot shape for {:?}", text
         );
     }
 
@@ -396,46 +444,44 @@ proptest! {
         }
     }
 
-    /// Idempotence after `globalize`, at the fold level: the globalized
-    /// shape is a sound generalization of the fold, so re-folding the
-    /// corpus (or the fold itself, or the globalized shape) into it via
-    /// `csh` is a no-op — streaming more of the same data after a
-    /// `--global` inference cannot change the answer. (`globalize` itself
-    /// is deliberately not idempotent on union-folds of mutually
-    /// recursive names; `tfd_core::global` documents why, with its own
-    /// regression test.)
+    /// Idempotence after globalization, at the fold level — now a true
+    /// fixed point under the env-aware μ-shape API (the old finite-tree
+    /// pass could not have this property on recursive corpora; see
+    /// `tfd_core::global`): the `GlobalShape` generalizes the fold,
+    /// self-joins are no-ops, and absorbing the corpus again — record by
+    /// record, as `--stream --global` would — changes nothing.
     #[test]
     fn fold_is_stable_after_globalize(
         corpus in prop::collection::vec(value_strategy(), 0..6),
     ) {
-        // σ1 ≡ σ2 — mutual preference. Joins are stable only up to
-        // heterogeneous-collection case order (`csh` keeps first-seen
-        // order, so joining in a different argument order may permute
-        // the cases of an `any⟨…⟩`).
-        fn equivalent(a: &Shape, b: &Shape) -> bool {
-            tfd_core::is_preferred(a, b) && tfd_core::is_preferred(b, a)
-        }
-        let folded = fold_shape(&corpus, &InferOptions::xml());
-        let g = globalize(folded.clone());
+        let opts = InferOptions::xml();
+        let folded = fold_shape(&corpus, &opts);
+        let g = tfd_core::globalize_env(folded.clone());
         prop_assert!(
-            tfd_core::is_preferred(&folded, &g),
+            tfd_core::is_preferred_in(&folded, &g.root, Some(&g.env)),
             "globalize must generalize the fold: {} vs {}", folded, g
         );
-        prop_assert_eq!(&csh_ref(&g, &g), &g, "self-join must be a no-op");
-        let rejoined = csh_ref(&g, &folded);
-        prop_assert!(
-            equivalent(&rejoined, &g),
-            "re-joining the fold must be a no-op: {} vs {}", rejoined, g
-        );
-        let mut acc = InferAccumulator::new(InferOptions::xml());
+        // Self-join of the root under the env is a no-op (csh(σ,σ) = σ):
+        let mut env = g.env.clone();
+        let rejoined = tfd_core::csh_in(g.root.clone(), g.root.clone(), &mut env);
+        prop_assert_eq!(&rejoined, &g.root, "self-join must be a no-op");
+        prop_assert_eq!(&env, &g.env, "self-join must not widen the env");
+        // Absorbing the fold back is a no-op:
+        let mut readded = g.clone();
+        readded.absorb(folded.clone());
+        prop_assert_eq!(&readded, &g, "re-absorbing the fold must be a no-op");
+        // Re-streaming the corpus record by record after globalization
+        // cannot change the answer (`σi = csh(σi−1, S(di))`, env-aware):
+        let mut restreamed = g.clone();
         for d in &corpus {
-            acc.push(d);
+            restreamed.absorb(infer_with(d, &opts));
         }
-        let restreamed = csh_ref(&g, acc.shape());
-        prop_assert!(
-            equivalent(&restreamed, &g),
-            "re-streaming the corpus after globalize must be a no-op: {} vs {}", restreamed, g
-        );
+        prop_assert_eq!(&restreamed, &g, "re-streaming the corpus must be a no-op");
+        // And the finite-tree rendering is idempotent too — the PR 3
+        // saturation hole is closed:
+        let once = globalize(folded);
+        let twice = globalize(once.clone());
+        prop_assert_eq!(&twice, &once, "globalize must be idempotent");
     }
 }
 
@@ -467,12 +513,12 @@ fn regression_xml_entity_limit_under_single_byte_feeds() {
 #[test]
 fn regression_csv_quote_handling_under_single_byte_feeds() {
     for doc in [
-        "a\n\"he said \"\"hi\"\"\"\n",  // escape split between the two quotes
-        "a\n\"x\"\r\n2\n",              // closing quote then split CRLF
-        "h1,h2\nab\"c,d\"e\n",          // mid-field quotes stay literal
-        "a\n\"x\ry\"\n",                // bare CR inside quotes
-        "a\n\"x\"y\n",                  // stray char after closing quote
-        "a\n\"oops",                    // unterminated at EOF
+        "a\n\"he said \"\"hi\"\"\"\n", // escape split between the two quotes
+        "a\n\"x\"\r\n2\n",             // closing quote then split CRLF
+        "h1,h2\nab\"c,d\"e\n",         // mid-field quotes stay literal
+        "a\n\"x\ry\"\n",               // bare CR inside quotes
+        "a\n\"x\"y\n",                 // stray char after closing quote
+        "a\n\"oops",                   // unterminated at EOF
     ] {
         let oneshot = tfd_csv::parse_value(doc).map(|v| match v {
             Value::List(rows) => rows,
@@ -520,17 +566,30 @@ fn error_positions_translate_across_records_all_formats() {
 // --- reader driver with a small chunk size — the O(1 record) pipeline).
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "large-corpus smoke runs in release mode (CI)")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "large-corpus smoke runs in release mode (CI)"
+)]
 fn large_corpus_csv_streams_with_small_chunks() {
     let mut text = String::with_capacity(51 << 20);
     text.push_str("id,name,score,date,flag\n");
     let mut rows = 0u64;
     while text.len() < 50 << 20 {
-        let _ = writeln!(text, "{rows},item-{rows},{}.5,2012-05-01,{}", rows % 977, rows % 2);
+        let _ = writeln!(
+            text,
+            "{rows},item-{rows},{}.5,2012-05-01,{}",
+            rows % 977,
+            rows % 2
+        );
         rows += 1;
     }
-    let summary =
-        infer_reader(text.as_bytes(), StreamFormat::Csv, &InferOptions::csv(), 4096).unwrap();
+    let summary = infer_reader(
+        text.as_bytes(),
+        StreamFormat::Csv,
+        &InferOptions::csv(),
+        4096,
+    )
+    .unwrap();
     assert_eq!(summary.records as u64, rows);
     assert_eq!(summary.bytes as usize, text.len());
     let expected = Shape::record(
