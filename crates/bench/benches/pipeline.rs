@@ -35,10 +35,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use tfd_bench::{
-    csv_rows_text, json_lines_text, json_rows_text, stream_csv_pipeline, stream_json_pipeline,
-    stream_xml_pipeline, xml_docs_text, xml_rows_text,
+    csv_rows_text, json_lines_text, json_rows_text, parallel_pipeline, stream_pipeline,
+    xml_docs_text, xml_rows_text,
 };
-use tfd_core::{infer_many, infer_with, InferOptions};
+use tfd_core::{infer_many, infer_with, InferOptions, StreamFormat};
 
 const SIZES: [usize; 3] = [10, 1_000, 100_000];
 
@@ -162,7 +162,7 @@ fn bench_jsonl_stream(c: &mut Criterion) {
         let text = json_lines_text(3, rows, 8);
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
-            b.iter(|| stream_json_pipeline(black_box(text)));
+            b.iter(|| stream_pipeline(StreamFormat::Json, black_box(text)));
         });
     }
     group.finish();
@@ -189,7 +189,7 @@ fn bench_xml_stream(c: &mut Criterion) {
         let text = xml_docs_text(rows);
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
-            b.iter(|| stream_xml_pipeline(black_box(text)));
+            b.iter(|| stream_pipeline(StreamFormat::Xml, black_box(text)));
         });
     }
     group.finish();
@@ -201,10 +201,34 @@ fn bench_csv_stream(c: &mut Criterion) {
         let text = csv_rows_text(rows);
         group.throughput(Throughput::Elements(rows as u64));
         group.bench_with_input(BenchmarkId::from_parameter(rows), &text, |b, text| {
-            b.iter(|| stream_csv_pipeline(black_box(text)));
+            b.iter(|| stream_pipeline(StreamFormat::Csv, black_box(text)));
         });
     }
     group.finish();
+}
+
+// --- The parallel axis: the sharded driver at 1/2/4 workers on the
+// --- 100k-row corpora (`pipeline/<fmt>-par/<jobs>`). On a single-core
+// --- host the curve is flat; on a multicore host it is the
+// --- multicore-scaling figure `BENCH_PR5.json` records.
+
+fn bench_parallel(c: &mut Criterion) {
+    let rows = 100_000usize;
+    let corpora = [
+        (StreamFormat::Json, json_lines_text(3, rows, 8), "json-par"),
+        (StreamFormat::Xml, xml_docs_text(rows), "xml-par"),
+        (StreamFormat::Csv, csv_rows_text(rows), "csv-par"),
+    ];
+    for (format, text, name) in &corpora {
+        let mut group = c.benchmark_group(format!("pipeline/{name}"));
+        for jobs in [1usize, 2, 4] {
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(jobs), text, |b, text| {
+                b.iter(|| parallel_pipeline(*format, black_box(text), jobs));
+            });
+        }
+        group.finish();
+    }
 }
 
 criterion_group!(
@@ -219,6 +243,7 @@ criterion_group!(
     bench_jsonl_stream,
     bench_xml_docs,
     bench_xml_stream,
-    bench_csv_stream
+    bench_csv_stream,
+    bench_parallel
 );
 criterion_main!(benches);

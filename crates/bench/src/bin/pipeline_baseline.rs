@@ -1,5 +1,5 @@
 //! Records the parse→infer pipeline baseline to a JSON file
-//! (`BENCH_PR4.json` at the repository root when run from there).
+//! (`BENCH_PR5.json` at the repository root when run from there).
 //!
 //! The same workloads as `benches/pipeline.rs`, measured with a fixed
 //! protocol (best-of-N batches) so re-runs are comparable across PRs:
@@ -22,15 +22,22 @@
 //! * the **SWAR scan speedup** (PR 4): the chunked `find_any3` scanner
 //!   used by the CSV boundary scanner's unquoted-field fast path and the
 //!   record splitter, against the byte-at-a-time loop it replaced, on a
-//!   synthetic unquoted-cell buffer.
+//!   synthetic unquoted-cell buffer;
+//! * the **parallel scaling** of the sharded driver (PR 5):
+//!   `engine::infer_slice` at 1/2/4 worker threads on the 100k-row
+//!   corpora, with the host's `available_parallelism` recorded alongside
+//!   — the speedup is only meaningful relative to the cores the host
+//!   actually has (a single-core container measures the sharding
+//!   overhead, not the scaling; the differential suite, not this file,
+//!   is what guarantees the parallel path's correctness).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use tfd_bench::{
-    csv_rows_text, json_lines_text, json_rows_text, stream_csv_pipeline, stream_json_pipeline,
-    stream_xml_pipeline, xml_docs_text, xml_rows_text,
+    csv_rows_text, json_lines_text, json_rows_text, parallel_pipeline, stream_pipeline,
+    xml_docs_text, xml_rows_text,
 };
-use tfd_core::{infer_many, infer_with, InferOptions, Shape};
+use tfd_core::{infer_many, infer_with, InferOptions, Shape, StreamFormat};
 
 const SIZES: [usize; 3] = [10, 1_000, 100_000];
 
@@ -96,7 +103,7 @@ impl StreamCost {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
     let mut entries: Vec<Entry> = Vec::new();
     let budget = 0.5;
 
@@ -204,7 +211,7 @@ fn main() {
             rows,
             seconds: secs,
         });
-        let secs = best_time(|| stream_json_pipeline(&text), budget);
+        let secs = best_time(|| stream_pipeline(StreamFormat::Json, &text), budget);
         entries.push(Entry {
             id: format!("pipeline/jsonl-stream/{rows}"),
             rows,
@@ -226,7 +233,7 @@ fn main() {
             rows,
             seconds: secs,
         });
-        let secs = best_time(|| stream_xml_pipeline(&text), budget);
+        let secs = best_time(|| stream_pipeline(StreamFormat::Xml, &text), budget);
         entries.push(Entry {
             id: format!("pipeline/xml-stream/{rows}"),
             rows,
@@ -236,7 +243,7 @@ fn main() {
 
     for rows in SIZES {
         let text = csv_rows_text(rows);
-        let secs = best_time(|| stream_csv_pipeline(&text), budget);
+        let secs = best_time(|| stream_pipeline(StreamFormat::Csv, &text), budget);
         entries.push(Entry {
             id: format!("pipeline/csv-stream/{rows}"),
             rows,
@@ -271,6 +278,42 @@ fn main() {
             oneshot_s: secs_of("pipeline/csv/100000"),
         },
     ];
+
+    // Parallel scaling: the sharded driver at 1/2/4 workers on the
+    // 100k-record corpora. Honesty note: the ratios are measured on THIS
+    // host — `host_parallelism` says how many cores it had. On one core
+    // the jobs-4 ratio records the sharding overhead (expect ≈1.0x); the
+    // ≥2x multicore win requires ≥4 real cores. The differential suite
+    // (tests/parallel_agreement.rs), not this file, guarantees the
+    // parallel path's correctness.
+    let host_parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1);
+    struct ParScale {
+        format: &'static str,
+        jobs1_s: f64,
+        jobs2_s: f64,
+        jobs4_s: f64,
+    }
+    impl ParScale {
+        fn speedup4(&self) -> f64 {
+            self.jobs1_s / self.jobs4_s
+        }
+    }
+    let par_corpora = [
+        (StreamFormat::Json, json_lines_text(3, 100_000, 8), "json"),
+        (StreamFormat::Xml, xml_docs_text(100_000), "xml"),
+        (StreamFormat::Csv, csv_rows_text(100_000), "csv"),
+    ];
+    let par_scales: Vec<ParScale> = par_corpora
+        .iter()
+        .map(|(format, text, name)| ParScale {
+            format: name,
+            jobs1_s: best_time(|| parallel_pipeline(*format, text, 1), budget),
+            jobs2_s: best_time(|| parallel_pipeline(*format, text, 2), budget),
+            jobs4_s: best_time(|| parallel_pipeline(*format, text, 4), budget),
+        })
+        .collect();
 
     // Parse-only speedups of each byte-level front-end over its retained
     // char-level reference, on the largest corpus. (`Shape::Bottom` keeps
@@ -425,6 +468,21 @@ fn main() {
         );
     }
     json.push_str("  },\n");
+    let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    json.push_str("  \"parallel_scaling_100k\": {\n");
+    for (i, p) in par_scales.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"jobs1_s\": {:e}, \"jobs2_s\": {:e}, \"jobs4_s\": {:e}, \"speedup_jobs4\": {:.2}}}{}",
+            p.format,
+            p.jobs1_s,
+            p.jobs2_s,
+            p.jobs4_s,
+            p.speedup4(),
+            if i + 1 < par_scales.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  },\n");
     let _ = writeln!(
         json,
         "  \"csv_scan_swar_vs_naive\": {{\"buffer_bytes\": {}, \"swar_s\": {:e}, \"position_s\": {:e}, \"old_loop_s\": {:e}, \"speedup_vs_old\": {:.2}, \"speedup_vs_position\": {:.2}}},",
@@ -471,4 +529,12 @@ fn main() {
         scan_old_s / scan_swar_s,
         scan_naive_s / scan_swar_s
     );
+    for p in &par_scales {
+        println!(
+            "{} parallel scaling (host has {} core(s)): jobs4/jobs1 = {:.2}x",
+            p.format,
+            host_parallelism,
+            p.speedup4()
+        );
+    }
 }

@@ -7,8 +7,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use tfd_core::stream::{infer_reader, StreamFormat, DEFAULT_CHUNK_SIZE};
-use tfd_core::{InferOptions, Shape};
+use tfd_core::engine;
+use tfd_core::stream::{StreamFormat, DEFAULT_CHUNK_SIZE};
+use tfd_core::Shape;
 use tfd_value::corpus::{generate_corpus, CorpusConfig};
 use tfd_value::Value;
 
@@ -117,49 +118,33 @@ pub fn csv_rows_text(rows: usize) -> String {
     out
 }
 
-// --- Chunk-fed streaming parse→infer pipelines, shared by the pipeline
-// --- bench and the baseline bin so both always measure the same code —
-// --- and driven through `infer_reader`, the exact path the CLI's
-// --- `--stream` ships (including the per-chunk reader copy).
+// --- Format-generic parse→infer pipelines, shared by the pipeline
+// --- bench and the baseline bin so both always measure the same code.
+// --- Everything routes through `tfd_core::engine` — the exact layer
+// --- the CLI's `--stream`/`--jobs` modes ship — so there is one
+// --- pipeline definition for all three formats, not three copies.
 
-/// Streams JSON-lines text through
-/// [`infer_reader`](tfd_core::stream::infer_reader) in
-/// [`DEFAULT_CHUNK_SIZE`] reads, folding each record into the
-/// accumulator and dropping it.
-pub fn stream_json_pipeline(text: &str) -> Shape {
-    infer_reader(
-        text.as_bytes(),
-        StreamFormat::Json,
-        &InferOptions::json(),
-        DEFAULT_CHUNK_SIZE,
-    )
-    .expect("bench corpus is valid")
-    .shape
+/// Streams a corpus through the format's chunk-fed front-end in
+/// [`DEFAULT_CHUNK_SIZE`] reads (the CLI `--stream` path, including the
+/// per-chunk reader copy), folding each record into the accumulator and
+/// dropping it. The fold is lifted to the one-shot corpus shape.
+pub fn stream_pipeline(format: StreamFormat, text: &str) -> Shape {
+    let options = engine::infer_options_dyn(format);
+    let summary =
+        engine::infer_reader_parallel_dyn(format, text.as_bytes(), &options, DEFAULT_CHUNK_SIZE, 1)
+            .expect("bench corpus is valid");
+    engine::wrap_corpus_shape_dyn(format, summary.shape)
 }
 
-/// [`stream_json_pipeline`] for concatenated XML documents.
-pub fn stream_xml_pipeline(text: &str) -> Shape {
-    infer_reader(
-        text.as_bytes(),
-        StreamFormat::Xml,
-        &InferOptions::xml(),
-        DEFAULT_CHUNK_SIZE,
-    )
-    .expect("bench corpus is valid")
-    .shape
-}
-
-/// [`stream_json_pipeline`] for CSV text; the row fold is re-wrapped as
-/// a collection to match the one-shot front-end's corpus shape.
-pub fn stream_csv_pipeline(text: &str) -> Shape {
-    let summary = infer_reader(
-        text.as_bytes(),
-        StreamFormat::Csv,
-        &InferOptions::csv(),
-        DEFAULT_CHUNK_SIZE,
-    )
-    .expect("bench corpus is valid");
-    Shape::list(summary.shape)
+/// Sharded parallel parse→infer over an in-memory corpus (the CLI
+/// `--jobs N` path): the boundary scanner cuts the corpus at record
+/// boundaries, `jobs` workers parse+fold their shards, and the shapes
+/// join with `csh`.
+pub fn parallel_pipeline(format: StreamFormat, text: &str, jobs: usize) -> Shape {
+    let options = engine::infer_options_dyn(format);
+    let summary = engine::infer_slice_dyn(format, text.as_bytes(), &options, jobs)
+        .expect("bench corpus is valid");
+    engine::wrap_corpus_shape_dyn(format, summary.shape)
 }
 
 #[cfg(test)]

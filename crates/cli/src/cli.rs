@@ -1,9 +1,11 @@
 //! Command-line argument handling and subcommands for `tfd`.
+//!
+//! All per-format work routes through the engine layer
+//! (`tfd_core::engine`): the CLI decides *which* format and *how many
+//! workers*, the engine does the rest.
 
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
-use tfd_core::{
-    csh, globalize_env, infer_many, infer_reader, GlobalShape, InferOptions, Shape, StreamFormat,
-};
+use tfd_core::{csh, engine, globalize_env, GlobalShape, InferOptions, Shape, StreamFormat};
 use tfd_value::Value;
 
 const USAGE: &str = "\
@@ -21,10 +23,19 @@ COMMANDS:
 OPTIONS:
     --format <json|xml|csv|html>  input format (default: guessed from extension)
     --global                   XML global (by-name) inference (§6.2)
+    --env                      with --global: print the recursive
+                               definitions table (the ShapeEnv) under
+                               the root shape
     --stream                   chunk-fed parse→infer: records are folded
                                into the shape as they complete, so corpora
                                larger than RAM work (not with value/html)
     --chunk-size <bytes>       read size for --stream (default: 65536)
+    --jobs <N>                 parallel sharded parse→infer with N
+                               worker threads (with or without --stream;
+                               the corpus is cut at record boundaries and
+                               per-shard shapes join with csh, so the
+                               result is identical to --jobs 1; implies
+                               record-stream reading, like --stream)
     --module <name>            module name for `rust` (default: provided)
     --root <Name>              root type name (default: Root)
     --prefix <path>            support-crate path for `rust`
@@ -40,8 +51,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let command = args[0].as_str();
     let mut format: Option<Format> = None;
     let mut global = false;
+    let mut env_table = false;
     let mut stream = false;
     let mut chunk_size = tfd_core::stream::DEFAULT_CHUNK_SIZE;
+    let mut jobs: Option<usize> = None;
     let mut module = "provided".to_owned();
     let mut root = "Root".to_owned();
     let mut prefix = "::types_from_data".to_owned();
@@ -56,6 +69,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
                 format = Some(parse_format(v)?);
             }
             "--global" => global = true,
+            "--env" => env_table = true,
             "--stream" => stream = true,
             "--chunk-size" => {
                 i += 1;
@@ -64,6 +78,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
                     v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                         format!("--chunk-size must be a positive integer, got {v}")
                     })?;
+            }
+            "--jobs" => {
+                i += 1;
+                let v = args.get(i).ok_or("--jobs requires a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("--jobs must be a positive integer, got {v}"))?,
+                );
             }
             "--module" => {
                 i += 1;
@@ -93,12 +117,17 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some(f) => f,
         None => guess_format(&files[0])?,
     };
+    if env_table && !global {
+        return Err("--env requires --global (the definitions table is the \
+             §6.2 global-inference environment)"
+            .to_owned());
+    }
 
     if command == "value" {
-        if stream {
+        if stream || jobs.is_some() {
             return Err(
-                "--stream is not supported with the value command (records are \
-                 folded into the shape and dropped, never materialized)"
+                "--stream/--jobs are not supported with the value command (records \
+                 are folded into the shape and dropped, never materialized)"
                     .to_owned(),
             );
         }
@@ -112,7 +141,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
 
     let shape = if stream {
-        stream_shape(&files, format, chunk_size)?
+        stream_shape(&files, format, chunk_size, jobs.unwrap_or(1))?
+    } else if let Some(jobs) = jobs {
+        // --jobs without --stream: whole files in memory, sharded at
+        // record boundaries (record-stream semantics, like --stream).
+        sharded_shape(&files, format, jobs)?
     } else {
         infer(&read_values(&files, format)?, format)
     };
@@ -127,6 +160,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     };
 
     match command {
+        "infer" if env_table => Ok(render_env_table(&global_shape)),
         "infer" => Ok(format!("{}\n", global_shape.inline())),
         "fsharp" => {
             let provided = if global {
@@ -157,37 +191,83 @@ fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, String> {
     files.iter().map(|f| read_value(f, format)).collect()
 }
 
-/// The `--stream` pipeline: each file is read in chunks through the
-/// format's incremental front-end and folded record-by-record into the
-/// running shape — corpora never need to fit in memory. Per-file folds
-/// merge with `csh`, which is exactly the `infer_many` fold over the
-/// concatenated record sequence.
-fn stream_shape(files: &[String], format: Format, chunk_size: usize) -> Result<Shape, String> {
-    let (sformat, options) = match format {
-        Format::Json => (StreamFormat::Json, InferOptions::json()),
-        Format::Xml => (StreamFormat::Xml, InferOptions::xml()),
-        Format::Csv => (StreamFormat::Csv, InferOptions::csv()),
-        Format::Html => return Err("--stream supports json, xml and csv inputs".to_owned()),
-    };
+/// Renders the `--global --env` view: the root shape followed by the
+/// recursive definitions table, one entry per line.
+fn render_env_table(global: &GlobalShape) -> String {
+    let mut out = format!("{}\n", global.root);
+    if global.env.is_empty() {
+        out.push_str("(no global definitions)\n");
+    } else {
+        out.push_str("where\n");
+        for (name, def) in global.env.iter() {
+            out.push_str(&format!("  {name} = {}\n", Shape::Record(def.clone())));
+        }
+    }
+    out
+}
+
+/// The engine format for a CLI format (`html` has no streaming or
+/// sharding front-end — it is the footnote-10 extension).
+fn engine_format(format: Format, flag: &str) -> Result<StreamFormat, String> {
+    match format {
+        Format::Json => Ok(StreamFormat::Json),
+        Format::Xml => Ok(StreamFormat::Xml),
+        Format::Csv => Ok(StreamFormat::Csv),
+        Format::Html => Err(format!("{flag} supports json, xml and csv inputs")),
+    }
+}
+
+/// The engine-backed record-stream pipelines. Each file's records are
+/// folded into a per-file shape (through the engine entry `summarize`
+/// picks), the per-file folds merge with `csh` — exactly the
+/// `infer_many` fold over the concatenated record sequence — and the
+/// result is lifted to the one-shot corpus shape (the CSV row fold
+/// re-wraps as a collection, so every mode prints the same shape).
+/// Record-free input is rejected, matching the one-shot front-ends.
+fn engine_shape(
+    files: &[String],
+    sformat: StreamFormat,
+    summarize: impl Fn(&str, &InferOptions) -> Result<tfd_core::StreamSummary, String>,
+) -> Result<Shape, String> {
+    let options = engine::infer_options_dyn(sformat);
     let mut combined = Shape::Bottom;
     for f in files {
-        let file = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
-        let summary =
-            infer_reader(file, sformat, &options, chunk_size).map_err(|e| format!("{f}: {e}"))?;
-        // Match the non-stream path (and the CSV front-end), which
-        // reject record-free input rather than inferring ⊥ from it.
+        let summary = summarize(f, &options)?;
         if summary.records == 0 {
             return Err(format!("{f}: input contains no records"));
         }
         combined = csh(combined, summary.shape);
     }
-    // The one-shot CSV front-end yields the corpus as a collection of
-    // rows; the streamer folds the rows themselves. Re-wrap so both
-    // modes print the same shape.
-    if format == Format::Csv {
-        combined = Shape::list(combined);
-    }
-    Ok(combined)
+    Ok(engine::wrap_corpus_shape_dyn(sformat, combined))
+}
+
+/// The `--stream` pipeline: each file is read in chunks through the
+/// format's incremental front-end — corpora never need to fit in
+/// memory. With `--jobs N` the reading thread only scans record
+/// boundaries and fans record bundles out to N parser workers.
+fn stream_shape(
+    files: &[String],
+    format: Format,
+    chunk_size: usize,
+    jobs: usize,
+) -> Result<Shape, String> {
+    let sformat = engine_format(format, "--stream")?;
+    engine_shape(files, sformat, |f, options| {
+        let file = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
+        engine::infer_reader_parallel_dyn(sformat, file, options, chunk_size, jobs)
+            .map_err(|e| format!("{f}: {e}"))
+    })
+}
+
+/// The `--jobs N` in-memory pipeline: each file is read whole, cut at
+/// record boundaries and parsed→inferred by N shard workers; the
+/// semilattice join makes the result identical to the sequential fold.
+fn sharded_shape(files: &[String], format: Format, jobs: usize) -> Result<Shape, String> {
+    let sformat = engine_format(format, "--jobs")?;
+    engine_shape(files, sformat, |f, options| {
+        let bytes = std::fs::read(f).map_err(|e| format!("{f}: {e}"))?;
+        engine::infer_slice_dyn(sformat, &bytes, options, jobs).map_err(|e| format!("{f}: {e}"))
+    })
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,11 +309,10 @@ fn guess_format(file: &str) -> Result<Format, String> {
 
 fn read_value(file: &str, format: Format) -> Result<Value, String> {
     let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
-    match format {
-        Format::Json => Ok(tfd_json::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
-        Format::Xml => Ok(tfd_xml::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
-        Format::Csv => Ok(tfd_csv::parse_value(&text).map_err(|e| format!("{file}: {e}"))?),
-        Format::Html => {
+    match engine_format(format, "") {
+        Ok(sformat) => engine::parse_value_dyn(sformat, &text).map_err(|e| format!("{file}: {e}")),
+        Err(_) => {
+            // HTML: the footnote-10 extension, outside the engine.
             let tables = tfd_html::parse_tables(&text);
             tables
                 .first()
@@ -244,12 +323,12 @@ fn read_value(file: &str, format: Format) -> Result<Value, String> {
 }
 
 fn infer(values: &[Value], format: Format) -> Shape {
-    let options = match format {
-        Format::Json => InferOptions::json(),
-        Format::Xml => InferOptions::xml(),
-        Format::Csv | Format::Html => InferOptions::csv(),
+    let options = match engine_format(format, "") {
+        Ok(sformat) => engine::infer_options_dyn(sformat),
+        // HTML tables are CSV-like cell grids (§6.2 inference applies).
+        Err(_) => InferOptions::csv(),
     };
-    infer_many(values, &options)
+    tfd_core::infer_many(values, &options)
 }
 
 #[cfg(test)]
@@ -399,6 +478,83 @@ mod tests {
         assert!(run_args(&["infer", "--stream", &h]).is_err());
         assert!(run_args(&["infer", "--stream", "--chunk-size", "0", &f]).is_err());
         assert!(run_args(&["infer", "--stream", "--chunk-size", "x", &f]).is_err());
+    }
+
+    #[test]
+    fn jobs_mode_matches_sequential_inference() {
+        // Sharded parallel inference must print byte-identical output,
+        // with and without --stream, for all three engine formats.
+        let cases = [
+            ("j.csv", "id,name,score\n1,a,2.5\n2,b,\n3,c,4.0\n"),
+            ("j.xml", "<row id=\"1\"><v>x</v></row><row id=\"2\"/>"),
+            ("j.json", "{\"a\": 1}\n{\"a\": 2.5, \"b\": [true, null]}\n"),
+        ];
+        for (name, content) in cases {
+            let f = write_temp(name, content);
+            let sequential = run_args(&["infer", "--stream", &f]).unwrap();
+            for jobs in ["1", "2", "7"] {
+                let par = run_args(&["infer", "--jobs", jobs, &f]).unwrap();
+                assert_eq!(par, sequential, "{name} at --jobs {jobs}");
+                let par_stream = run_args(&[
+                    "infer",
+                    "--stream",
+                    "--jobs",
+                    jobs,
+                    "--chunk-size",
+                    "16",
+                    &f,
+                ])
+                .unwrap();
+                assert_eq!(par_stream, sequential, "{name} at --stream --jobs {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_mode_works_for_codegen_and_global() {
+        let f = write_temp("jg.csv", "a,b\n1,x\n2,y\n");
+        assert_eq!(
+            run_args(&["fsharp", "--jobs", "3", &f]).unwrap(),
+            run_args(&["fsharp", "--stream", &f]).unwrap()
+        );
+        assert_eq!(
+            run_args(&["rust", "--jobs", "3", "--module", "gen", &f]).unwrap(),
+            run_args(&["rust", "--stream", "--module", "gen", &f]).unwrap()
+        );
+        let x = write_temp(
+            "jg.xml",
+            "<page><a><t x=\"1\"/></a><b><t y=\"2\"/></b></page>",
+        );
+        assert_eq!(
+            run_args(&["infer", "--global", "--jobs", "4", &x]).unwrap(),
+            run_args(&["infer", "--global", "--stream", &x]).unwrap()
+        );
+    }
+
+    #[test]
+    fn jobs_mode_reports_sequential_errors() {
+        let f = write_temp("je.json", "{\"a\": 1}\n{\"b\": @}\n");
+        let seq = run_args(&["infer", "--stream", &f]).unwrap_err();
+        let par = run_args(&["infer", "--jobs", "4", &f]).unwrap_err();
+        assert_eq!(par, seq);
+        assert!(run_args(&["infer", "--jobs", "0", &f]).is_err());
+        assert!(run_args(&["infer", "--jobs", "x", &f]).is_err());
+        assert!(run_args(&["value", "--jobs", "2", &f]).is_err());
+    }
+
+    #[test]
+    fn env_flag_prints_the_definitions_table() {
+        let f = write_temp("e.xml", "<ul><li><ul><li/></ul></li></ul>");
+        let out = run_args(&["infer", "--global", "--env", &f]).unwrap();
+        assert!(out.contains("where"), "{out}");
+        assert!(out.contains("ul = ul {"), "{out}");
+        assert!(out.contains("li = li {"), "{out}");
+        // Without --global the table flag is an error.
+        assert!(run_args(&["infer", "--env", &f]).is_err());
+        // A recursion-free corpus prints an empty table marker.
+        let flat = write_temp("e2.xml", "<a><b/></a>");
+        let out = run_args(&["infer", "--global", "--env", &flat]).unwrap();
+        assert!(out.contains("(no global definitions)"), "{out}");
     }
 
     #[test]

@@ -80,9 +80,15 @@ pub fn csh(a: Shape, b: Shape) -> Shape {
         // (null)
         (Null, s) | (s, Null) => s.ceil(),
 
-        // (top-merge) / (top-incl) / (top-add) — Fig. 4.
+        // (top-merge) / (top-incl) / (top-add) — Fig. 4. Both directions
+        // keep the *left* operand's record fields first: record equality
+        // is order-insensitive, but printing is not, and a
+        // direction-preserving join is what lets the parallel driver's
+        // shard-wise re-association print byte-identically to the
+        // sequential fold.
         (Top(la), Top(lb)) => top_merge(la, lb),
-        (Top(labels), s) | (s, Top(labels)) => top_include(labels, s),
+        (Top(labels), s) => top_include(labels, s, false),
+        (s, Top(labels)) => top_include(labels, s, true),
 
         // (num) — and the §6.2 extensions: bit joins into int/bool/float,
         // date joins into string.
@@ -92,8 +98,12 @@ pub fn csh(a: Shape, b: Shape) -> Shape {
         (Bit, Float) | (Float, Bit) => Float,
         (Date, String) | (String, Date) => String,
 
-        // (opt)
-        (Nullable(inner), s) | (s, Nullable(inner)) => csh(*inner, s).ceil(),
+        // (opt) — direction-preserving for the same reason as the top
+        // rules: the operand whose records were seen earlier stays on
+        // the left, so joined field order is first-encounter order under
+        // any contiguous re-association of the fold.
+        (Nullable(inner), s) => csh(*inner, s).ceil(),
+        (s, Nullable(inner)) => csh(s, *inner).ceil(),
 
         // (recd) — same-name records merge field-wise; a field present on
         // only one side gets `⌈σ⌉` (the minimal ground substitution for
@@ -218,7 +228,7 @@ fn record_join(a: RecordShape, b: RecordShape) -> RecordShape {
 fn top_merge(la: Vec<Shape>, lb: Vec<Shape>) -> Shape {
     let mut labels = la;
     for sb in lb {
-        merge_label(&mut labels, sb);
+        merge_label(&mut labels, sb, false);
     }
     labels.sort_by_key(tag_of);
     Shape::Top(labels)
@@ -227,24 +237,32 @@ fn top_merge(la: Vec<Shape>, lb: Vec<Shape>) -> Shape {
 /// (top-incl)/(top-add): absorb one non-top shape into a labelled top.
 /// Tops implicitly permit null, so the incoming label is stripped to its
 /// non-nullable core with `⌊−⌋` (and a bare `null`/`⊥` adds no label).
-fn top_include(labels: Vec<Shape>, s: Shape) -> Shape {
+/// `incoming_left` records which side of the join the incoming shape
+/// came from, so the same-tag label join keeps the earlier operand's
+/// record fields first.
+fn top_include(labels: Vec<Shape>, s: Shape, incoming_left: bool) -> Shape {
     let mut labels = labels;
     let core = s.floor();
     if !matches!(core, Shape::Null | Shape::Bottom) {
-        merge_label(&mut labels, core);
+        merge_label(&mut labels, core, incoming_left);
     }
     labels.sort_by_key(tag_of);
     Shape::Top(labels)
 }
 
-fn merge_label(labels: &mut Vec<Shape>, incoming: Shape) {
+fn merge_label(labels: &mut Vec<Shape>, incoming: Shape, incoming_left: bool) {
     let tag = tag_of(&incoming);
     if let Some(existing) = labels.iter_mut().find(|l| tag_of(l) == tag) {
         // csh of two same-tag labels never reaches (top-any): by
         // construction of tags they join below the top shape. The floor
         // keeps the invariant that labels are non-nullable.
         let old = std::mem::replace(existing, Shape::Bottom);
-        *existing = csh(old, incoming).floor();
+        *existing = if incoming_left {
+            csh(incoming, old)
+        } else {
+            csh(old, incoming)
+        }
+        .floor();
     } else {
         labels.push(incoming);
     }

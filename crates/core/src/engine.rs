@@ -1,0 +1,1265 @@
+//! The format-generic inference engine and the sharded parallel driver.
+//!
+//! Before this module existed the JSON/XML/CSV front-ends were wired
+//! into the CLI, the provider macros and the bench harness through three
+//! hand-copied dispatch paths. [`DataFormat`] replaces them: one trait
+//! capturing everything the pipeline needs from a front-end — one-shot
+//! parsing, multi-document parsing, the chunk-fed streamer, the
+//! record-boundary scanner, error translation — and every downstream
+//! consumer dispatches through it (statically via the [`JsonFormat`] /
+//! [`XmlFormat`] / [`CsvFormat`] witnesses, or dynamically via the
+//! `*_dyn` entry points keyed by [`StreamFormat`]).
+//!
+//! On top of the trait sits the parallel driver. The paper's
+//! multi-sample inference is a semilattice fold (Fig. 3:
+//! `σi = csh(σi−1, S(di))`), which makes corpus inference associative
+//! and commutative — and therefore embarrassingly parallel:
+//!
+//! 1. the format's [resumable boundary scanner] finds shard cut points
+//!    that never split a record (`plan`), plus the format prologue (the
+//!    CSV header row) that every shard needs;
+//! 2. each shard runs the ordinary byte parser into its own
+//!    [`InferAccumulator`] on its own `std::thread` worker;
+//! 3. the per-shard shapes join with [`csh`] — the semilattice laws
+//!    (property-tested in `tests/lattice_laws.rs`) make the result
+//!    byte-identical to the sequential fold, which
+//!    `tests/parallel_agreement.rs` verifies under adversarial shard
+//!    counts, error positions included (the first error in document
+//!    order wins, translated to stream-global coordinates).
+//!
+//! [`infer_slice`] is the in-memory driver; [`infer_reader_parallel`]
+//! is its bounded-memory sibling, where the reading thread runs only the
+//! cheap boundary scan and fans record bundles out to parser workers.
+//!
+//! [resumable boundary scanner]: tfd_json::stream::BoundaryScanner
+
+use crate::csh::csh;
+use crate::infer::InferOptions;
+use crate::stream::{InferAccumulator, StreamError, StreamFormat, StreamSummary};
+use crate::Shape;
+use std::io::Read;
+use std::sync::mpsc;
+use std::sync::Arc;
+use tfd_value::{Name, Value};
+
+/// A position in a byte stream, carried across shard boundaries so
+/// record-local error positions can be lifted into the stream-global
+/// frame. Which fields matter depends on the format (JSON reports
+/// offset/line/char-column, XML line/char-column, CSV line only);
+/// [`DataFormat::advance_pos`] keeps all of them current under the
+/// format's own line-ending rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TextPos {
+    /// 0-based byte offset.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based character column on the current line.
+    pub column: usize,
+    /// Whether the previous byte was `\r` (CRLF pairs count one line in
+    /// the XML/CSV rules).
+    pub prev_cr: bool,
+}
+
+impl TextPos {
+    /// The start of a stream.
+    pub fn start() -> TextPos {
+        TextPos {
+            offset: 0,
+            line: 1,
+            column: 1,
+            prev_cr: false,
+        }
+    }
+}
+
+impl Default for TextPos {
+    fn default() -> Self {
+        TextPos::start()
+    }
+}
+
+/// One front-end, as the engine sees it: parsing entry points, the
+/// chunk-fed streamer, the scan-only boundary finder, and the error
+/// arithmetic that makes sharding transparent.
+///
+/// The trait is implemented by three zero-sized witnesses —
+/// [`JsonFormat`], [`XmlFormat`], [`CsvFormat`] — and everything
+/// downstream of the front-ends (CLI, provider macros, bench harness,
+/// the parallel driver) dispatches through it instead of hand-copied
+/// per-format match arms. All implementations operate with the format's
+/// default parser options (the same ones the one-shot `parse_value`
+/// entry points use).
+pub trait DataFormat {
+    /// The front-end's parse error.
+    type Error: std::error::Error + Clone + Send + 'static;
+    /// The chunk-fed streamer (`tfd_json::stream::Streamer` etc.).
+    type Streamer: Send;
+    /// The scan-only record-boundary finder.
+    type Boundaries: Send;
+    /// Per-corpus parse context extracted by [`DataFormat::prologue`]
+    /// and seeded into every shard's streamer (the CSV header names;
+    /// `()` for the self-describing formats).
+    type Context: Clone + Send + Sync;
+
+    /// Format name for diagnostics (`"json"`, `"xml"`, `"csv"`).
+    const NAME: &'static str;
+
+    /// The inference preset this format's values are folded with.
+    fn infer_options() -> InferOptions;
+
+    /// One-shot parse of a single document to the universal value.
+    fn parse_value(text: &str) -> Result<Value, Self::Error>;
+
+    /// One-shot parse of a whole multi-record corpus, one value per
+    /// record (documents for JSON/XML, data rows for CSV).
+    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error>;
+
+    /// A fresh chunk-fed streamer.
+    fn streamer() -> Self::Streamer;
+
+    /// Feeds a chunk through the streamer.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed record, with streamer-local positions.
+    fn feed(
+        streamer: &mut Self::Streamer,
+        chunk: &[u8],
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error>;
+
+    /// Signals end of input to the streamer.
+    ///
+    /// # Errors
+    ///
+    /// As [`DataFormat::feed`].
+    fn finish(
+        streamer: &mut Self::Streamer,
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error>;
+
+    /// A fresh boundary scanner.
+    fn boundaries() -> Self::Boundaries;
+
+    /// Feeds a chunk through the boundary scanner; `boundary` receives
+    /// the chunk-relative offset just past each completed record — a
+    /// position where a fresh parser sees exactly the remaining record
+    /// sequence.
+    fn scan(scanner: &mut Self::Boundaries, chunk: &[u8], boundary: &mut dyn FnMut(usize));
+
+    /// Consumes the format prologue from the corpus's first complete
+    /// record (`first_record` is the bytes up to the first boundary, or
+    /// the whole corpus when it has none). CSV parses its header row
+    /// here; the self-describing formats consume nothing. Returns the
+    /// consumed byte count and the context every shard is seeded with.
+    ///
+    /// # Errors
+    ///
+    /// A malformed prologue (e.g. a CSV header quoting error), exactly
+    /// as the sequential streamer would report it.
+    fn prologue(first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error>;
+
+    /// Seeds a shard worker's streamer with the prologue context.
+    fn seed(streamer: &mut Self::Streamer, ctx: &Self::Context);
+
+    /// Lifts the record-stream fold's shape to the one-shot corpus
+    /// shape (CSV folds rows and re-wraps them as a collection; the
+    /// record-per-document formats are the identity).
+    fn wrap_corpus_shape(shape: Shape) -> Shape;
+
+    /// Advances `pos` over `bytes` under this format's line-ending and
+    /// column-counting rules (the same arithmetic the streamer's bulk
+    /// position settling uses).
+    fn advance_pos(pos: &mut TextPos, bytes: &[u8]);
+
+    /// Translates an error's shard-local position into the stream-global
+    /// frame, given the shard's start position.
+    fn shift_error(e: Self::Error, start: &TextPos) -> Self::Error;
+
+    /// Wraps the format error into the format-erased [`StreamError`].
+    fn wrap_error(e: Self::Error) -> StreamError;
+}
+
+/// Composes a shard-local (line, column) into the stream-global frame:
+/// positions on the shard's first line continue the shard start's
+/// column; later lines stand on their own.
+fn compose_line_col(start: &TextPos, line: usize, column: usize) -> (usize, usize) {
+    (
+        start.line + line - 1,
+        if line == 1 {
+            start.column + column - 1
+        } else {
+            column
+        },
+    )
+}
+
+/// Char-count advance shared by the JSON and XML column rules: columns
+/// count characters, so continuation bytes (`10xxxxxx`) extend the
+/// previous character.
+fn count_chars(bytes: &[u8]) -> usize {
+    if bytes.is_ascii() {
+        bytes.len()
+    } else {
+        bytes.iter().filter(|&&b| b & 0xC0 != 0x80).count()
+    }
+}
+
+/// The JSON front-end witness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JsonFormat;
+
+impl DataFormat for JsonFormat {
+    type Error = tfd_json::ParseError;
+    type Streamer = tfd_json::stream::Streamer;
+    type Boundaries = tfd_json::stream::BoundaryScanner;
+    type Context = ();
+
+    const NAME: &'static str = "json";
+
+    fn infer_options() -> InferOptions {
+        InferOptions::json()
+    }
+
+    fn parse_value(text: &str) -> Result<Value, Self::Error> {
+        tfd_json::parse_value(text)
+    }
+
+    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
+        tfd_json::parse_many_values(text)
+    }
+
+    fn streamer() -> Self::Streamer {
+        tfd_json::stream::Streamer::new()
+    }
+
+    fn feed(
+        streamer: &mut Self::Streamer,
+        chunk: &[u8],
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.feed(chunk, &mut |v| sink(v))
+    }
+
+    fn finish(
+        streamer: &mut Self::Streamer,
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.finish(&mut |v| sink(v))
+    }
+
+    fn boundaries() -> Self::Boundaries {
+        tfd_json::stream::BoundaryScanner::new()
+    }
+
+    fn scan(scanner: &mut Self::Boundaries, chunk: &[u8], boundary: &mut dyn FnMut(usize)) {
+        scanner.feed(chunk, &mut |off| boundary(off));
+    }
+
+    fn prologue(_first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
+        Ok((0, ()))
+    }
+
+    fn seed(_streamer: &mut Self::Streamer, _ctx: &Self::Context) {}
+
+    fn wrap_corpus_shape(shape: Shape) -> Shape {
+        shape
+    }
+
+    fn advance_pos(pos: &mut TextPos, bytes: &[u8]) {
+        // JSON counts only `\n` as a line ending (matching the one-shot
+        // lexer); columns count characters.
+        pos.offset += bytes.len();
+        let tail = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last) => {
+                pos.line += bytes.iter().filter(|&&b| b == b'\n').count();
+                pos.column = 1;
+                &bytes[last + 1..]
+            }
+            None => bytes,
+        };
+        pos.column += count_chars(tail);
+    }
+
+    fn shift_error(e: Self::Error, start: &TextPos) -> Self::Error {
+        let (line, column) = compose_line_col(start, e.pos.line, e.pos.column);
+        tfd_json::ParseError {
+            kind: e.kind,
+            pos: tfd_json::Pos {
+                offset: start.offset + e.pos.offset,
+                line,
+                column,
+            },
+        }
+    }
+
+    fn wrap_error(e: Self::Error) -> StreamError {
+        StreamError::Json(e)
+    }
+}
+
+/// The XML front-end witness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XmlFormat;
+
+impl DataFormat for XmlFormat {
+    type Error = tfd_xml::XmlError;
+    type Streamer = tfd_xml::stream::Streamer;
+    type Boundaries = tfd_xml::stream::BoundaryScanner;
+    type Context = ();
+
+    const NAME: &'static str = "xml";
+
+    fn infer_options() -> InferOptions {
+        InferOptions::xml()
+    }
+
+    fn parse_value(text: &str) -> Result<Value, Self::Error> {
+        tfd_xml::parse_value(text)
+    }
+
+    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
+        tfd_xml::parse_many_values(text)
+    }
+
+    fn streamer() -> Self::Streamer {
+        tfd_xml::stream::Streamer::new()
+    }
+
+    fn feed(
+        streamer: &mut Self::Streamer,
+        chunk: &[u8],
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.feed(chunk, &mut |v| sink(v))
+    }
+
+    fn finish(
+        streamer: &mut Self::Streamer,
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.finish(&mut |v| sink(v))
+    }
+
+    fn boundaries() -> Self::Boundaries {
+        tfd_xml::stream::BoundaryScanner::new()
+    }
+
+    fn scan(scanner: &mut Self::Boundaries, chunk: &[u8], boundary: &mut dyn FnMut(usize)) {
+        scanner.feed(chunk, &mut |off| boundary(off));
+    }
+
+    fn prologue(_first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
+        Ok((0, ()))
+    }
+
+    fn seed(_streamer: &mut Self::Streamer, _ctx: &Self::Context) {}
+
+    fn wrap_corpus_shape(shape: Shape) -> Shape {
+        shape
+    }
+
+    fn advance_pos(pos: &mut TextPos, bytes: &[u8]) {
+        pos.offset += bytes.len();
+        // XML: LF, CRLF and bare CR each end a line once (matching
+        // `bump_byte`); columns count characters.
+        if bytes.iter().all(|&b| b != b'\r') {
+            // Fast path (no CR anywhere — the overwhelming case).
+            let tail = match bytes.iter().rposition(|&b| b == b'\n') {
+                Some(last) => {
+                    pos.line += bytes.iter().filter(|&&b| b == b'\n').count();
+                    pos.column = 1;
+                    &bytes[last + 1..]
+                }
+                None => bytes,
+            };
+            pos.column += count_chars(tail);
+            if !bytes.is_empty() {
+                pos.prev_cr = false;
+            }
+            return;
+        }
+        for &b in bytes {
+            if b == b'\n' {
+                if !pos.prev_cr {
+                    pos.line += 1;
+                }
+                pos.column = 1;
+            } else if b == b'\r' {
+                pos.line += 1;
+                pos.column = 1;
+            } else {
+                pos.column += usize::from(b & 0xC0 != 0x80);
+            }
+            pos.prev_cr = b == b'\r';
+        }
+    }
+
+    fn shift_error(e: Self::Error, start: &TextPos) -> Self::Error {
+        let (line, column) = compose_line_col(start, e.line, e.column);
+        tfd_xml::XmlError {
+            kind: e.kind,
+            line,
+            column,
+        }
+    }
+
+    fn wrap_error(e: Self::Error) -> StreamError {
+        StreamError::Xml(e)
+    }
+}
+
+/// The CSV front-end witness.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvFormat;
+
+impl DataFormat for CsvFormat {
+    type Error = tfd_csv::CsvError;
+    type Streamer = tfd_csv::stream::Streamer;
+    type Boundaries = tfd_csv::stream::BoundaryScanner;
+    /// The header row's interned column names.
+    type Context = Arc<Vec<Name>>;
+
+    const NAME: &'static str = "csv";
+
+    fn infer_options() -> InferOptions {
+        InferOptions::csv()
+    }
+
+    fn parse_value(text: &str) -> Result<Value, Self::Error> {
+        tfd_csv::parse_value(text)
+    }
+
+    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
+        match tfd_csv::parse_value(text)? {
+            Value::List(rows) => Ok(rows),
+            other => unreachable!("the CSV front-end yields a row list, got {other}"),
+        }
+    }
+
+    fn streamer() -> Self::Streamer {
+        tfd_csv::stream::Streamer::new()
+    }
+
+    fn feed(
+        streamer: &mut Self::Streamer,
+        chunk: &[u8],
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.feed(chunk, &mut |v| sink(v))
+    }
+
+    fn finish(
+        streamer: &mut Self::Streamer,
+        sink: &mut dyn FnMut(Value),
+    ) -> Result<(), Self::Error> {
+        streamer.finish(&mut |v| sink(v))
+    }
+
+    fn boundaries() -> Self::Boundaries {
+        tfd_csv::stream::BoundaryScanner::new()
+    }
+
+    fn scan(scanner: &mut Self::Boundaries, chunk: &[u8], boundary: &mut dyn FnMut(usize)) {
+        scanner.feed(chunk, &mut |off| boundary(off));
+    }
+
+    /// The CSV prologue is the header row: it is parsed once here (with
+    /// the exact streamer code the sequential path uses, so trimming and
+    /// interning behave identically) and its names are seeded into every
+    /// shard worker.
+    fn prologue(first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
+        let mut s = tfd_csv::stream::Streamer::new();
+        let mut none = |_v: Value| unreachable!("the header record yields no row");
+        s.feed(first_record, &mut none)?;
+        s.finish(&mut none)?;
+        let headers = s
+            .headers()
+            .expect("a non-empty prologue always captures the header")
+            .to_vec();
+        Ok((first_record.len(), Arc::new(headers)))
+    }
+
+    fn seed(streamer: &mut Self::Streamer, ctx: &Self::Context) {
+        streamer.seed_headers(ctx.as_ref().clone());
+    }
+
+    fn wrap_corpus_shape(shape: Shape) -> Shape {
+        // The one-shot CSV front-end yields the corpus as a collection
+        // of rows; the record fold folds the rows themselves.
+        Shape::list(shape)
+    }
+
+    fn advance_pos(pos: &mut TextPos, bytes: &[u8]) {
+        pos.offset += bytes.len();
+        // CSV errors carry lines only: LF, CRLF and bare CR each count
+        // once, matching the one-shot splitter.
+        if bytes.iter().all(|&b| b != b'\r') {
+            pos.line += bytes.iter().filter(|&&b| b == b'\n').count();
+        } else {
+            for &b in bytes {
+                if b == b'\r' || (b == b'\n' && !pos.prev_cr) {
+                    pos.line += 1;
+                }
+                pos.prev_cr = b == b'\r';
+            }
+            return;
+        }
+        if let Some(&last) = bytes.last() {
+            pos.prev_cr = last == b'\r';
+        }
+    }
+
+    fn shift_error(e: Self::Error, start: &TextPos) -> Self::Error {
+        use tfd_csv::CsvError::*;
+        match e {
+            UnterminatedQuote(l) => UnterminatedQuote(start.line + l - 1),
+            CharAfterQuote(l, c) => CharAfterQuote(start.line + l - 1, c),
+            InvalidUtf8(l) => InvalidUtf8(start.line + l - 1),
+            Empty => Empty,
+        }
+    }
+
+    fn wrap_error(e: Self::Error) -> StreamError {
+        StreamError::Csv(e)
+    }
+}
+
+// --- Sequential pipelines (the jobs ≤ 1 paths, and what
+// --- `stream::infer_reader` now routes through) ---
+
+/// Streams a whole in-memory corpus through the format's chunk-fed
+/// front-end into the Fig. 3 fold — the sequential baseline the parallel
+/// driver must match byte for byte.
+///
+/// # Errors
+///
+/// The first parse error, with stream-global positions.
+pub fn infer_slice_seq<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+) -> Result<StreamSummary, F::Error> {
+    let mut acc = InferAccumulator::new(options.clone());
+    let mut s = F::streamer();
+    F::feed(&mut s, corpus, &mut |v| acc.push(&v))?;
+    F::finish(&mut s, &mut |v| acc.push(&v))?;
+    let records = acc.records();
+    Ok(StreamSummary {
+        shape: acc.finish(),
+        records,
+        bytes: corpus.len() as u64,
+    })
+}
+
+/// Streams any [`Read`] source through the format front-end into the
+/// fold, sequentially, in `chunk_size`-byte reads — the engine-generic
+/// form of [`infer_reader`](crate::stream::infer_reader).
+///
+/// # Errors
+///
+/// The first parse error (with stream-global positions) or I/O error.
+pub fn infer_reader_seq<F: DataFormat, R: Read>(
+    mut reader: R,
+    options: &InferOptions,
+    chunk_size: usize,
+) -> Result<StreamSummary, StreamError> {
+    let mut acc = InferAccumulator::new(options.clone());
+    let mut s = F::streamer();
+    let mut chunk = vec![0u8; chunk_size.max(1)];
+    let mut bytes = 0u64;
+    loop {
+        let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
+        if n == 0 {
+            break;
+        }
+        bytes += n as u64;
+        F::feed(&mut s, &chunk[..n], &mut |v| acc.push(&v)).map_err(F::wrap_error)?;
+    }
+    F::finish(&mut s, &mut |v| acc.push(&v)).map_err(F::wrap_error)?;
+    let records = acc.records();
+    Ok(StreamSummary {
+        shape: acc.finish(),
+        records,
+        bytes,
+    })
+}
+
+// --- The sharded parallel driver ---
+
+/// One shard: an absolute byte range of the corpus (whole records only)
+/// and the stream position where it starts.
+#[derive(Debug, Clone)]
+struct Shard {
+    start: usize,
+    end: usize,
+    pos: TextPos,
+}
+
+/// Plans a sharded run: scans the corpus once with the format's boundary
+/// scanner, consumes the prologue, and cuts the remainder into at most
+/// `jobs` ranges at record boundaries nearest the even split points.
+/// Fewer ranges come back when the corpus has fewer records than jobs —
+/// a shard never splits a record.
+fn plan<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<(F::Context, Vec<Shard>), F::Error> {
+    let n = corpus.len();
+    let mut scanner = F::boundaries();
+    let mut first: Option<usize> = None;
+    let mut cuts: Vec<usize> = Vec::new();
+    let mut t = 1usize; // next split target index: target_t = t·n/jobs
+    F::scan(&mut scanner, corpus, &mut |off| {
+        if first.is_none() {
+            first = Some(off);
+        }
+        while t < jobs && off >= t * n / jobs {
+            if off < n && cuts.last() != Some(&off) {
+                cuts.push(off);
+            }
+            t += 1;
+        }
+    });
+    let (consumed, ctx) = F::prologue(&corpus[..first.unwrap_or(n)])?;
+    let mut pos = TextPos::start();
+    F::advance_pos(&mut pos, &corpus[..consumed]);
+    let mut starts = vec![consumed];
+    starts.extend(cuts.into_iter().filter(|&c| c > consumed));
+    let mut shards = Vec::with_capacity(starts.len());
+    for (k, &start) in starts.iter().enumerate() {
+        let end = starts.get(k + 1).copied().unwrap_or(n);
+        shards.push(Shard { start, end, pos });
+        F::advance_pos(&mut pos, &corpus[start..end]);
+    }
+    Ok((ctx, shards))
+}
+
+/// Runs one shard through a fresh (context-seeded) streamer, handing
+/// every record to `sink`; errors come back in stream-global
+/// coordinates.
+fn run_shard<F: DataFormat>(
+    bytes: &[u8],
+    pos: &TextPos,
+    ctx: &F::Context,
+    sink: &mut dyn FnMut(Value),
+) -> Result<(), F::Error> {
+    let mut s = F::streamer();
+    F::seed(&mut s, ctx);
+    F::feed(&mut s, bytes, sink)
+        .and_then(|()| F::finish(&mut s, sink))
+        .map_err(|e| F::shift_error(e, pos))
+}
+
+/// Parallel sharded parse→infer over an in-memory corpus.
+///
+/// The corpus is cut at record boundaries into at most `jobs` shards;
+/// each shard runs the byte parser into its own [`InferAccumulator`] on
+/// its own thread, and the per-shard shapes join with [`csh`]. Because
+/// `csh` is an associative, commutative least upper bound, the result is
+/// deterministic and identical to the sequential fold — shapes, record
+/// counts and error positions alike (`tests/parallel_agreement.rs`
+/// proves this differentially). `jobs ≤ 1` runs the plain sequential
+/// pipeline.
+///
+/// The returned shape is the *record fold* (for CSV: the row shape, as
+/// with [`infer_reader`](crate::stream::infer_reader)); lift it with
+/// [`DataFormat::wrap_corpus_shape`] to match the one-shot corpus shape.
+///
+/// # Errors
+///
+/// The first parse error in document order, with stream-global
+/// positions — exactly the error the sequential pipeline reports.
+///
+/// ```
+/// use tfd_core::engine::{infer_slice, JsonFormat};
+/// use tfd_core::InferOptions;
+///
+/// let corpus = br#"{"a": 1} {"a": 2.5, "b": true} {"a": 3}"#;
+/// let par = infer_slice::<JsonFormat>(corpus, &InferOptions::json(), 4)?;
+/// let seq = infer_slice::<JsonFormat>(corpus, &InferOptions::json(), 1)?;
+/// assert_eq!(par, seq);
+/// assert_eq!(par.records, 3);
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn infer_slice<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+    jobs: usize,
+) -> Result<StreamSummary, F::Error> {
+    if jobs <= 1 {
+        return infer_slice_seq::<F>(corpus, options);
+    }
+    let (ctx, shards) = plan::<F>(corpus, jobs)?;
+    let results: Vec<Result<InferAccumulator, F::Error>> = std::thread::scope(|scope| {
+        let ctx = &ctx;
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let bytes = &corpus[shard.start..shard.end];
+                let pos = shard.pos;
+                let options = options.clone();
+                scope.spawn(move || {
+                    let mut acc = InferAccumulator::new(options);
+                    run_shard::<F>(bytes, &pos, ctx, &mut |v| acc.push(&v))?;
+                    Ok(acc)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let mut shape = Shape::Bottom;
+    let mut records = 0usize;
+    // Shards come back in document order, so `?` surfaces the first
+    // error the sequential pipeline would hit.
+    for r in results {
+        let acc = r?;
+        records += acc.records();
+        shape = csh(shape, acc.finish());
+    }
+    Ok(StreamSummary {
+        shape,
+        records,
+        bytes: corpus.len() as u64,
+    })
+}
+
+/// Parallel sharded parse of an in-memory corpus to its record values,
+/// in input order — the value-level twin of [`infer_slice`], used by the
+/// differential suite to prove the shard workers see exactly the
+/// sequential record sequence.
+///
+/// # Errors
+///
+/// As [`infer_slice`].
+pub fn parse_slice<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<Vec<Value>, F::Error> {
+    if jobs <= 1 {
+        let mut out = Vec::new();
+        let mut s = F::streamer();
+        F::feed(&mut s, corpus, &mut |v| out.push(v))?;
+        F::finish(&mut s, &mut |v| out.push(v))?;
+        return Ok(out);
+    }
+    let (ctx, shards) = plan::<F>(corpus, jobs)?;
+    let results: Vec<Result<Vec<Value>, F::Error>> = std::thread::scope(|scope| {
+        let ctx = &ctx;
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| {
+                let bytes = &corpus[shard.start..shard.end];
+                let pos = shard.pos;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    run_shard::<F>(bytes, &pos, ctx, &mut |v| out.push(v))?;
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+    let mut values = Vec::new();
+    for r in results {
+        values.extend(r?);
+    }
+    Ok(values)
+}
+
+/// A bundle of whole records cut from the stream by the reading thread,
+/// bound for a parser worker.
+struct Bundle {
+    /// Dispatch order — the tiebreak that makes "first error in document
+    /// order" well-defined across workers.
+    idx: usize,
+    /// Stream position where the bundle starts.
+    pos: TextPos,
+    bytes: Vec<u8>,
+}
+
+/// Parallel streaming parse→infer over any [`Read`] source, in bounded
+/// memory.
+///
+/// The reading thread runs only the cheap boundary scan: it reads
+/// `chunk_size`-byte chunks, cuts them at the last record boundary, and
+/// fans complete-record bundles out to `jobs` parser workers
+/// round-robin; each worker folds each bundle into its own
+/// [`InferAccumulator`] and returns one shape *per bundle*, which the
+/// merge joins with [`csh`] in bundle order — `csh` appends record
+/// fields in first-encounter order, so only the document-order join
+/// reproduces the sequential fold byte for byte (shapes stay
+/// schema-sized, so keeping one per bundle costs little). Records that
+/// straddle chunk ends ride along in the carry buffer, so peak memory is
+/// O(jobs · chunk + longest record + one shape per bundle) regardless of
+/// corpus size. `jobs ≤ 1` runs the sequential [`infer_reader_seq`].
+///
+/// # Errors
+///
+/// The first parse error in document order (stream-global positions) or
+/// I/O error — exactly what the sequential pipeline reports.
+pub fn infer_reader_parallel<F: DataFormat, R: Read>(
+    mut reader: R,
+    options: &InferOptions,
+    chunk_size: usize,
+    jobs: usize,
+) -> Result<StreamSummary, StreamError> {
+    if jobs <= 1 {
+        return infer_reader_seq::<F, R>(reader, options, chunk_size);
+    }
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut scanner = F::boundaries();
+        let mut carry: Vec<u8> = Vec::new();
+        let mut boundaries: Vec<usize> = Vec::new(); // relative to `carry`
+        let mut chunk = vec![0u8; chunk_size.max(1)];
+        let mut bytes_total = 0u64;
+        let mut pos = TextPos::start();
+        let mut ctx_established = false;
+        let mut txs: Vec<mpsc::SyncSender<Bundle>> = Vec::new();
+        let mut handles = Vec::new();
+        let mut bundle_idx = 0usize;
+        let failed = &failed;
+
+        // Consumes the prologue from `carry[..first_record_end]` and
+        // spawns the worker pool (deferred until here because workers
+        // need the context).
+        macro_rules! establish_ctx {
+            ($first_record_end:expr) => {{
+                let (consumed, c) =
+                    F::prologue(&carry[..$first_record_end]).map_err(F::wrap_error)?;
+                F::advance_pos(&mut pos, &carry[..consumed]);
+                carry.drain(..consumed);
+                for b in &mut boundaries {
+                    *b -= consumed;
+                }
+                let ctx_arc = Arc::new(c);
+                for _ in 0..jobs {
+                    // A small bound per worker keeps memory proportional
+                    // to jobs · chunk while still overlapping I/O with
+                    // parsing.
+                    let (tx, rx) = mpsc::sync_channel::<Bundle>(2);
+                    let worker_ctx = Arc::clone(&ctx_arc);
+                    let options = options.clone();
+                    txs.push(tx);
+                    handles.push(scope.spawn(move || {
+                        let mut folds: Vec<(usize, Shape, usize)> = Vec::new();
+                        let mut first_err: Option<(usize, F::Error)> = None;
+                        for Bundle { idx, pos, bytes } in rx {
+                            if first_err.is_some() {
+                                // This worker's bundles arrive in
+                                // increasing idx order; everything after
+                                // its first error is past the poisoned
+                                // point.
+                                continue;
+                            }
+                            let mut acc = InferAccumulator::new(options.clone());
+                            match run_shard::<F>(&bytes, &pos, &worker_ctx, &mut |v| acc.push(&v)) {
+                                Ok(()) => {
+                                    let records = acc.records();
+                                    folds.push((idx, acc.finish(), records));
+                                }
+                                Err(e) => {
+                                    first_err = Some((idx, e));
+                                    // Tell the reading thread to stop:
+                                    // everything past this bundle is
+                                    // beyond the (sequentially poisoned)
+                                    // first error anyway.
+                                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        (first_err, folds)
+                    }));
+                }
+            }};
+        }
+
+        loop {
+            // A worker hit a parse error: the first error in document
+            // order is already among the dispatched bundles (every
+            // earlier bundle parsed clean or will surface an even
+            // earlier error), so reading further is pure waste — the
+            // sequential pipeline would have stopped here too.
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                carry.clear();
+                break;
+            }
+            let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
+            if n == 0 {
+                break;
+            }
+            bytes_total += n as u64;
+            let base = carry.len();
+            F::scan(&mut scanner, &chunk[..n], &mut |off| {
+                boundaries.push(base + off);
+            });
+            carry.extend_from_slice(&chunk[..n]);
+            if !ctx_established {
+                match boundaries.first().copied() {
+                    Some(b0) => {
+                        establish_ctx!(b0);
+                        ctx_established = true;
+                    }
+                    None => continue, // no complete record yet
+                }
+            }
+            if let Some(&last) = boundaries.last() {
+                if last > 0 {
+                    let bundle: Vec<u8> = carry[..last].to_vec();
+                    let bpos = pos;
+                    F::advance_pos(&mut pos, &bundle);
+                    carry.drain(..last);
+                    txs[bundle_idx % jobs]
+                        .send(Bundle {
+                            idx: bundle_idx,
+                            pos: bpos,
+                            bytes: bundle,
+                        })
+                        .expect("parser worker alive");
+                    bundle_idx += 1;
+                }
+                boundaries.clear();
+            }
+        }
+        // End of input: whatever never completed a record is the
+        // prologue (a boundary-free corpus) …
+        if !ctx_established {
+            let end = carry.len();
+            establish_ctx!(end);
+        }
+        // … and the remaining tail is the final bundle, whose worker
+        // `finish` reproduces the sequential EOF behaviour.
+        if !carry.is_empty() {
+            let bundle = std::mem::take(&mut carry);
+            txs[bundle_idx % jobs]
+                .send(Bundle {
+                    idx: bundle_idx,
+                    pos,
+                    bytes: bundle,
+                })
+                .expect("parser worker alive");
+        }
+        drop(txs);
+
+        let mut folds: Vec<(usize, Shape, usize)> = Vec::new();
+        let mut first_err: Option<(usize, F::Error)> = None;
+        for h in handles {
+            let (err, worker_folds) = h.join().expect("parser worker panicked");
+            if let Some((idx, e)) = err {
+                if first_err.as_ref().is_none_or(|(best, _)| idx < *best) {
+                    first_err = Some((idx, e));
+                }
+            }
+            folds.extend(worker_folds);
+        }
+        if let Some((_, e)) = first_err {
+            return Err(F::wrap_error(e));
+        }
+        // Join the per-bundle shapes in document order: csh appends
+        // record fields in first-encounter order, so this — and only
+        // this — order reproduces the sequential fold byte for byte.
+        folds.sort_unstable_by_key(|(idx, _, _)| *idx);
+        let mut shape = Shape::Bottom;
+        let mut records = 0usize;
+        for (_, s, r) in folds {
+            shape = csh(shape, s);
+            records += r;
+        }
+        Ok(StreamSummary {
+            shape,
+            records,
+            bytes: bytes_total,
+        })
+    })
+}
+
+// --- Dynamic dispatch: one place that maps a runtime `StreamFormat` to
+// --- the static witnesses, replacing the per-format match arms the
+// --- CLI, the provider macros and the bench harness used to carry. ---
+
+/// Dispatches `$body` with `$F` bound to the witness for `$fmt`.
+macro_rules! with_format {
+    ($fmt:expr, $F:ident => $body:expr) => {
+        match $fmt {
+            StreamFormat::Json => {
+                type $F = JsonFormat;
+                $body
+            }
+            StreamFormat::Xml => {
+                type $F = XmlFormat;
+                $body
+            }
+            StreamFormat::Csv => {
+                type $F = CsvFormat;
+                $body
+            }
+        }
+    };
+}
+
+/// The inference preset for a runtime-chosen format.
+pub fn infer_options_dyn(format: StreamFormat) -> InferOptions {
+    with_format!(format, F => F::infer_options())
+}
+
+/// One-shot single-document parse for a runtime-chosen format.
+///
+/// # Errors
+///
+/// The format's parse error, format-erased.
+pub fn parse_value_dyn(format: StreamFormat, text: &str) -> Result<Value, StreamError> {
+    with_format!(format, F => F::parse_value(text).map_err(F::wrap_error))
+}
+
+/// One-shot multi-record parse for a runtime-chosen format.
+///
+/// # Errors
+///
+/// The format's parse error, format-erased.
+pub fn parse_many_values_dyn(format: StreamFormat, text: &str) -> Result<Vec<Value>, StreamError> {
+    with_format!(format, F => F::parse_many_values(text).map_err(F::wrap_error))
+}
+
+/// Lifts the record fold's shape to the one-shot corpus shape for a
+/// runtime-chosen format (CSV re-wraps its row fold as a collection).
+pub fn wrap_corpus_shape_dyn(format: StreamFormat, shape: Shape) -> Shape {
+    with_format!(format, F => F::wrap_corpus_shape(shape))
+}
+
+/// [`infer_slice`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`infer_slice`], format-erased.
+pub fn infer_slice_dyn(
+    format: StreamFormat,
+    corpus: &[u8],
+    options: &InferOptions,
+    jobs: usize,
+) -> Result<StreamSummary, StreamError> {
+    with_format!(format, F => infer_slice::<F>(corpus, options, jobs).map_err(F::wrap_error))
+}
+
+/// [`parse_slice`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`parse_slice`], format-erased.
+pub fn parse_slice_dyn(
+    format: StreamFormat,
+    corpus: &[u8],
+    jobs: usize,
+) -> Result<Vec<Value>, StreamError> {
+    with_format!(format, F => parse_slice::<F>(corpus, jobs).map_err(F::wrap_error))
+}
+
+/// [`infer_reader_parallel`] for a runtime-chosen format (`jobs ≤ 1` is
+/// the sequential reader pipeline).
+///
+/// # Errors
+///
+/// As [`infer_reader_parallel`].
+pub fn infer_reader_parallel_dyn<R: Read>(
+    format: StreamFormat,
+    reader: R,
+    options: &InferOptions,
+    chunk_size: usize,
+    jobs: usize,
+) -> Result<StreamSummary, StreamError> {
+    with_format!(format, F => infer_reader_parallel::<F, R>(reader, options, chunk_size, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_many;
+
+    fn json_opts() -> InferOptions {
+        InferOptions::json()
+    }
+
+    #[test]
+    fn parallel_json_matches_sequential_for_all_shard_counts() {
+        let corpus: String = (0..50)
+            .map(|i| format!("{{\"i\": {i}, \"t\": \"row-{i}\"}}\n"))
+            .collect();
+        let seq = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), 1).unwrap();
+        for jobs in [2, 3, 7, 64, 1000] {
+            let par = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), jobs).unwrap();
+            assert_eq!(par, seq, "jobs {jobs}");
+        }
+        assert_eq!(seq.records, 50);
+    }
+
+    #[test]
+    fn parallel_csv_seeds_headers_into_every_shard() {
+        let mut corpus = String::from("id,name,score\n");
+        for i in 0..40 {
+            corpus.push_str(&format!("{i},item-{i},{i}.5\n"));
+        }
+        let opts = InferOptions::csv();
+        let seq = infer_slice::<CsvFormat>(corpus.as_bytes(), &opts, 1).unwrap();
+        for jobs in [2, 4, 39, 40, 200] {
+            let par = infer_slice::<CsvFormat>(corpus.as_bytes(), &opts, jobs).unwrap();
+            assert_eq!(par, seq, "jobs {jobs}");
+        }
+        assert_eq!(seq.records, 40);
+        // And the corpus wrap matches the one-shot front-end.
+        let oneshot = crate::infer_with(
+            &tfd_csv::parse_value(&corpus).unwrap(),
+            &InferOptions::csv(),
+        );
+        assert_eq!(CsvFormat::wrap_corpus_shape(seq.shape), oneshot);
+    }
+
+    #[test]
+    fn parallel_xml_matches_sequential() {
+        let corpus: String = (0..30)
+            .map(|i| format!("<row id=\"{i}\"><v>x{i}</v></row>\n"))
+            .collect();
+        let opts = InferOptions::xml();
+        let seq = infer_slice::<XmlFormat>(corpus.as_bytes(), &opts, 1).unwrap();
+        for jobs in [2, 5, 64] {
+            assert_eq!(
+                infer_slice::<XmlFormat>(corpus.as_bytes(), &opts, jobs).unwrap(),
+                seq,
+                "jobs {jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_error_positions_are_stream_global() {
+        // The error sits in the last record; shard workers must report
+        // it at the sequential stream position no matter the cut.
+        let corpus = "{\"a\": 1}\n{\"a\": 2}\n{\"a\": @}\n";
+        let seq = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), 1).unwrap_err();
+        for jobs in [2, 3, 64] {
+            let par = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), jobs).unwrap_err();
+            assert_eq!(par, seq, "jobs {jobs}");
+        }
+        assert_eq!(seq.pos.line, 3);
+    }
+
+    #[test]
+    fn first_error_in_document_order_wins() {
+        // Two errors in different shards: the earlier one is reported,
+        // exactly as the sequential (poisoning) pipeline behaves.
+        let corpus = "{\"a\": 1} {\"b\": @} {\"c\": 2} {\"d\": %}";
+        let seq = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), 1).unwrap_err();
+        for jobs in [2, 4, 16] {
+            let par = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), jobs).unwrap_err();
+            assert_eq!(par, seq, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_and_headerless_edges_match_sequential() {
+        // Empty JSON corpus: 0 records, ⊥ shape.
+        let s = infer_slice::<JsonFormat>(b"", &json_opts(), 4).unwrap();
+        assert_eq!(s.records, 0);
+        assert_eq!(s.shape, Shape::Bottom);
+        // Empty CSV corpus: the sequential CsvError::Empty.
+        let e = infer_slice::<CsvFormat>(b"", &InferOptions::csv(), 4).unwrap_err();
+        assert_eq!(e, tfd_csv::CsvError::Empty);
+        // Header-only CSV (no trailing newline): 0 records, like the
+        // sequential streamer.
+        let s = infer_slice::<CsvFormat>(b"a,b", &InferOptions::csv(), 4).unwrap();
+        assert_eq!(s.records, 0);
+    }
+
+    #[test]
+    fn parse_slice_returns_values_in_input_order() {
+        let corpus: String = (0..20).map(|i| format!("{{\"i\": {i}}} ")).collect();
+        let seq = parse_slice::<JsonFormat>(corpus.as_bytes(), 1).unwrap();
+        for jobs in [2, 7, 32] {
+            assert_eq!(
+                parse_slice::<JsonFormat>(corpus.as_bytes(), jobs).unwrap(),
+                seq,
+                "jobs {jobs}"
+            );
+        }
+        assert_eq!(seq, tfd_json::parse_many_values(&corpus).unwrap());
+    }
+
+    #[test]
+    fn reader_parallel_matches_sequential_reader() {
+        let corpus: String = (0..200)
+            .map(|i| format!("{{\"i\": {i}, \"f\": {i}.5}}\n"))
+            .collect();
+        let seq = infer_reader_seq::<JsonFormat, _>(corpus.as_bytes(), &json_opts(), 64).unwrap();
+        for (chunk, jobs) in [(7, 2), (64, 4), (4096, 3), (13, 64)] {
+            let par = infer_reader_parallel::<JsonFormat, _>(
+                corpus.as_bytes(),
+                &json_opts(),
+                chunk,
+                jobs,
+            )
+            .unwrap();
+            assert_eq!(par, seq, "chunk {chunk} jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn reader_parallel_csv_small_chunks() {
+        let mut corpus = String::from("a,b\n");
+        for i in 0..50 {
+            corpus.push_str(&format!("{i},\"x,{i}\"\r\n"));
+        }
+        let opts = InferOptions::csv();
+        let seq = infer_reader_seq::<CsvFormat, _>(corpus.as_bytes(), &opts, 64).unwrap();
+        for (chunk, jobs) in [(1, 2), (3, 4), (64, 8)] {
+            let par = infer_reader_parallel::<CsvFormat, _>(corpus.as_bytes(), &opts, chunk, jobs)
+                .unwrap();
+            assert_eq!(par, seq, "chunk {chunk} jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn reader_parallel_reports_sequential_errors() {
+        let corpus = "<a/>\n<b/>\n<bad @>\n";
+        let opts = InferOptions::xml();
+        let seq = infer_reader_seq::<XmlFormat, _>(corpus.as_bytes(), &opts, 64).unwrap_err();
+        let par =
+            infer_reader_parallel::<XmlFormat, _>(corpus.as_bytes(), &opts, 5, 4).unwrap_err();
+        assert_eq!(format!("{par}"), format!("{seq}"));
+        // Empty CSV through the parallel reader: the sequential Empty.
+        let e = infer_reader_parallel::<CsvFormat, _>(&b""[..], &InferOptions::csv(), 8, 4)
+            .unwrap_err();
+        assert!(matches!(e, StreamError::Csv(tfd_csv::CsvError::Empty)));
+    }
+
+    #[test]
+    fn dyn_dispatch_agrees_with_static() {
+        let corpus = "a,b\n1,x\n2,y\n";
+        let opts = infer_options_dyn(StreamFormat::Csv);
+        let via_dyn = infer_slice_dyn(StreamFormat::Csv, corpus.as_bytes(), &opts, 4).unwrap();
+        let via_static =
+            infer_slice::<CsvFormat>(corpus.as_bytes(), &InferOptions::csv(), 4).unwrap();
+        assert_eq!(via_dyn, via_static);
+        assert_eq!(
+            wrap_corpus_shape_dyn(StreamFormat::Csv, via_dyn.shape),
+            crate::infer_with(&parse_value_dyn(StreamFormat::Csv, corpus).unwrap(), &opts)
+        );
+    }
+
+    #[test]
+    fn shard_fold_agrees_with_infer_many() {
+        // The parallel fold is the Fig. 3 fold: compare against
+        // `infer_many` over the one-shot record sequence.
+        let corpus: String = (0..25)
+            .map(|i| {
+                if i % 3 == 0 {
+                    format!("{{\"n\": {i}}} ")
+                } else {
+                    format!("{{\"n\": {i}.5, \"extra\": true}} ")
+                }
+            })
+            .collect();
+        let docs = tfd_json::parse_many_values(&corpus).unwrap();
+        let expected = infer_many(&docs, &json_opts());
+        let par = infer_slice::<JsonFormat>(corpus.as_bytes(), &json_opts(), 8).unwrap();
+        assert_eq!(par.shape, expected);
+    }
+}

@@ -47,6 +47,7 @@
 
 mod conforms;
 mod csh;
+pub mod engine;
 mod env;
 mod global;
 mod infer;
@@ -58,6 +59,7 @@ mod tags;
 
 pub use conforms::{conforms, conforms_in, value_matches_tag};
 pub use csh::{csh, csh_all, csh_in};
+pub use engine::{CsvFormat, DataFormat, JsonFormat, XmlFormat};
 pub use env::{GlobalShape, ShapeEnv};
 
 /// [`csh`] for callers that only hold references: clones both arguments
@@ -69,7 +71,7 @@ pub fn csh_ref(a: &Shape, b: &Shape) -> Shape {
 pub use global::{globalize, globalize_env, globalize_ref};
 pub use infer::{infer, infer_many, infer_with, InferOptions};
 pub use multiplicity::Multiplicity;
-pub use prefer::{is_preferred, is_preferred_in};
+pub use prefer::{is_preferred, is_preferred_global, is_preferred_in};
 pub use shape::{FieldShape, RecordShape, Shape};
 pub use stream::{infer_reader, InferAccumulator, StreamFormat, StreamSummary};
 pub use tags::{tag_of, tag_of_in, Tag};

@@ -39,11 +39,12 @@
 //! bound. What the env-free relation cannot decide (and conservatively
 //! denies) is a reference being below anything non-top.
 
-use crate::env::ShapeEnv;
+use crate::env::{GlobalShape, ShapeEnv};
 use crate::multiplicity::Multiplicity;
 use crate::shape::RecordShape;
 use crate::tags::tag_of;
 use crate::Shape;
+use tfd_value::Name;
 
 /// Decides `a ⊑ b` — "`a` is preferred over `b`" — for ground shapes.
 ///
@@ -79,6 +80,43 @@ pub fn is_preferred(a: &Shape, b: &Shape) -> bool {
 /// ```
 pub fn is_preferred_in(a: &Shape, b: &Shape, env: Option<&ShapeEnv>) -> bool {
     preferred(a, b, env)
+}
+
+/// Decides `a ⊑ b` for two *global* shapes, each resolving its
+/// μ-references in its **own** environment — the comparison provider
+/// stability needs, where `a` is the shape inferred from the original
+/// samples and `b` the shape after adding samples, and a name class like
+/// `div` has a (narrower) definition on each side.
+///
+/// Unlike the single-environment relation — where nominal references
+/// make reference pairs name-decided — a same-name reference pair here
+/// must actually compare the two definitions, so the coinduction is run
+/// for real: the pair is assumed related while its bodies are compared
+/// (the greatest-fixed-point reading), which also guarantees
+/// termination.
+///
+/// ```
+/// use tfd_core::{globalize_env, infer_many, is_preferred_global, InferOptions};
+/// use tfd_value::{rec, Value};
+///
+/// let opts = InferOptions::xml();
+/// let d1 = rec("div", [("child", rec("div", [("x", Value::Int(1))]))]);
+/// let d2 = rec("div", [("x", Value::Float(2.5))]);
+/// let old = globalize_env(infer_many([&d1], &opts));
+/// let new = globalize_env(infer_many([&d1, &d2], &opts));
+/// // The new sample widened x from int to float inside the recursive
+/// // div class:
+/// assert!(is_preferred_global(&old, &new));
+/// assert!(!is_preferred_global(&new, &old));
+/// ```
+pub fn is_preferred_global(a: &GlobalShape, b: &GlobalShape) -> bool {
+    preferred2(
+        &a.root,
+        &b.root,
+        Some(&a.env),
+        Some(&b.env),
+        &mut Vec::new(),
+    )
 }
 
 /// Views a shape as a record, resolving μ-references through the
@@ -144,6 +182,106 @@ fn preferred(a: &Shape, b: &Shape, env: Option<&ShapeEnv>) -> bool {
             _ => false,
         },
     }
+}
+
+/// The two-environment relation behind [`is_preferred_global`]: the
+/// same rules as [`preferred`], with each side's references resolved in
+/// its own table and same-name reference pairs compared coinductively
+/// (`assumed` carries the pairs currently taken as related; hitting one
+/// again closes the cycle). Termination: reference pairs are bounded by
+/// `assumed`, and a reference against a finite spelling unfolds at most
+/// once per record level of the spelling.
+fn preferred2(
+    a: &Shape,
+    b: &Shape,
+    ea: Option<&ShapeEnv>,
+    eb: Option<&ShapeEnv>,
+    assumed: &mut Vec<(Name, Name)>,
+) -> bool {
+    use Shape::*;
+    match (a, b) {
+        (Ref(n), Ref(m)) => {
+            // Still nominal (rule (8) checks the record name — which is
+            // the reference name — at the first step), but the two
+            // sides' definitions differ, so same-name pairs compare
+            // their bodies under the coinductive hypothesis.
+            if n != m {
+                return false;
+            }
+            match (ea.and_then(|e| e.get(*n)), eb.and_then(|e| e.get(*m))) {
+                (Some(da), Some(db)) => {
+                    if assumed.contains(&(*n, *m)) {
+                        return true;
+                    }
+                    assumed.push((*n, *m));
+                    let ok = record_preferred2(da, db, ea, eb, assumed);
+                    assumed.pop();
+                    ok
+                }
+                // A dangling side degrades to the nominal reading.
+                _ => true,
+            }
+        }
+        // Env-free/dangling name-class reading, as in `preferred`.
+        (Record(r), Ref(n)) if eb.and_then(|e| e.get(*n)).is_none() => r.name == *n,
+        (Bottom, _) => true,
+        (_, Top(_)) => true,
+        (Top(_), _) => false,
+        (Null, b) => !b.is_non_nullable() && *b != Bottom,
+        (_, Null) => false,
+        (Nullable(ai), Nullable(bi)) => preferred2(ai, bi, ea, eb, assumed),
+        (a, Nullable(bi)) if a.is_non_nullable() => preferred2(a, bi, ea, eb, assumed),
+        (Nullable(_), _) => false,
+        (List(ae), List(be)) => preferred2(ae, be, ea, eb, assumed),
+        (HeteroList(_), List(be)) if be.is_top() => true,
+        (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
+            hetero_preferred2(&to_cases(a), &to_cases(b), ea, eb, assumed)
+        }
+        (List(_) | HeteroList(_), _) | (_, List(_) | HeteroList(_)) => false,
+        (Int, Int | Float) => true,
+        (Bit, Bit | Int | Bool | Float) => true,
+        (Date, Date | String) => true,
+        (Float, Float) | (Bool, Bool) | (String, String) => true,
+        (a, b) => match (rec_view(a, ea), rec_view(b, eb)) {
+            (Some(ra), Some(rb)) => record_preferred2(ra, rb, ea, eb, assumed),
+            _ => false,
+        },
+    }
+}
+
+/// Rules (8)+(9) for [`preferred2`].
+fn record_preferred2(
+    ra: &RecordShape,
+    rb: &RecordShape,
+    ea: Option<&ShapeEnv>,
+    eb: Option<&ShapeEnv>,
+    assumed: &mut Vec<(Name, Name)>,
+) -> bool {
+    ra.name == rb.name
+        && rb.fields.iter().all(|fb| match ra.field(&fb.name) {
+            Some(sa) => preferred2(sa, &fb.shape, ea, eb, assumed),
+            None => preferred2(&Shape::Null, &fb.shape, ea, eb, assumed),
+        })
+}
+
+/// Case-wise preference for [`preferred2`] (mirrors
+/// [`hetero_preferred`]; tags are env-free there too).
+fn hetero_preferred2(
+    a: &[(Shape, Multiplicity)],
+    b: &[(Shape, Multiplicity)],
+    ea: Option<&ShapeEnv>,
+    eb: Option<&ShapeEnv>,
+    assumed: &mut Vec<(Name, Name)>,
+) -> bool {
+    let covered = a.iter().all(|(sa, ma)| {
+        b.iter().any(|(sb, mb)| {
+            tag_of(sa) == tag_of(sb) && preferred2(sa, sb, ea, eb, assumed) && ma.is_preferred(*mb)
+        })
+    });
+    let mandatory_present = b.iter().all(|(sb, mb)| {
+        *mb != Multiplicity::One || a.iter().any(|(sa, _)| tag_of(sa) == tag_of(sb))
+    });
+    covered && mandatory_present
 }
 
 /// Rules (8)+(9) on record views: covariant fields, missing fields of
@@ -460,6 +598,116 @@ mod tests {
         let narrow = rec("div", vec![("x", Int)]);
         assert!(is_preferred_in(&narrow, &r, Some(&env)));
         assert!(!is_preferred_in(&r, &narrow, Some(&env)));
+    }
+
+    // --- Two-environment (global-vs-global) comparison ---
+
+    /// Same name class with a widened definition on the new side: the
+    /// old global shape is preferred over the new, not vice versa.
+    #[test]
+    fn global_comparison_widens_through_own_envs() {
+        let old = GlobalShape {
+            root: Shape::Ref("div".into()),
+            env: ShapeEnv::from_defs([(
+                "div".into(),
+                RecordShape::new(
+                    "div",
+                    [("child", Shape::Ref("div".into()).ceil()), ("x", Int)],
+                ),
+            )]),
+        };
+        let new = GlobalShape {
+            root: Shape::Ref("div".into()),
+            env: ShapeEnv::from_defs([(
+                "div".into(),
+                RecordShape::new(
+                    "div",
+                    [
+                        ("child", Shape::Ref("div".into()).ceil()),
+                        ("x", Float),
+                        ("y", Bool.ceil()),
+                    ],
+                ),
+            )]),
+        };
+        assert!(is_preferred_global(&old, &new));
+        assert!(!is_preferred_global(&new, &old));
+        assert!(is_preferred_global(&old, &old), "reflexive");
+        assert!(is_preferred_global(&new, &new), "reflexive");
+    }
+
+    /// Mutually recursive classes on both sides terminate and compare
+    /// definition-wise (the coinductive hypothesis closes the ul↔li
+    /// cycle).
+    #[test]
+    fn global_comparison_terminates_on_mutual_recursion() {
+        let env = |x: Shape| {
+            ShapeEnv::from_defs([
+                (
+                    "ul".into(),
+                    RecordShape::new("ul", [("li", Shape::Ref("li".into()).ceil())]),
+                ),
+                (
+                    "li".into(),
+                    RecordShape::new("li", [("ul", Shape::Ref("ul".into()).ceil()), ("mark", x)]),
+                ),
+            ])
+        };
+        let old = GlobalShape {
+            root: Shape::Ref("ul".into()),
+            env: env(Int.ceil()),
+        };
+        let new = GlobalShape {
+            root: Shape::Ref("ul".into()),
+            env: env(Float.ceil()),
+        };
+        assert!(is_preferred_global(&old, &new));
+        assert!(!is_preferred_global(&new, &old));
+    }
+
+    /// With equal environments the two-env relation agrees with the
+    /// single-env one on reference roots and finite spellings.
+    #[test]
+    fn global_comparison_agrees_with_single_env_on_shared_tables() {
+        let env = ShapeEnv::from_defs([(
+            "div".into(),
+            RecordShape::new(
+                "div",
+                [
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Int.ceil()),
+                ],
+            ),
+        )]);
+        let shapes = [
+            Shape::Ref("div".into()),
+            rec(
+                "div",
+                vec![
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Int.ceil()),
+                ],
+            ),
+            rec("div", vec![("x", Int)]),
+            Int,
+            Shape::list(Shape::Ref("div".into())),
+        ];
+        for a in &shapes {
+            for b in &shapes {
+                let single = is_preferred_in(a, b, Some(&env));
+                let double = is_preferred_global(
+                    &GlobalShape {
+                        root: a.clone(),
+                        env: env.clone(),
+                    },
+                    &GlobalShape {
+                        root: b.clone(),
+                        env: env.clone(),
+                    },
+                );
+                assert_eq!(single, double, "{a} vs {b}");
+            }
+        }
     }
 
     /// Cycle-cut termination proof: mutually recursive definitions

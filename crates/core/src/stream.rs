@@ -183,39 +183,14 @@ pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
 /// # Ok::<(), tfd_core::stream::StreamError>(())
 /// ```
 pub fn infer_reader<R: Read>(
-    mut reader: R,
+    reader: R,
     format: StreamFormat,
     options: &InferOptions,
     chunk_size: usize,
 ) -> Result<StreamSummary, StreamError> {
-    let mut acc = InferAccumulator::new(options.clone());
-    let mut chunk = vec![0u8; chunk_size.max(1)];
-    let mut bytes = 0u64;
-    macro_rules! drive {
-        ($streamer:expr, $wrap:path) => {{
-            let mut s = $streamer;
-            loop {
-                let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
-                if n == 0 {
-                    break;
-                }
-                bytes += n as u64;
-                s.feed(&chunk[..n], &mut |v| acc.push(&v)).map_err($wrap)?;
-            }
-            s.finish(&mut |v| acc.push(&v)).map_err($wrap)?;
-        }};
-    }
-    match format {
-        StreamFormat::Json => drive!(tfd_json::stream::Streamer::new(), StreamError::Json),
-        StreamFormat::Xml => drive!(tfd_xml::stream::Streamer::new(), StreamError::Xml),
-        StreamFormat::Csv => drive!(tfd_csv::stream::Streamer::new(), StreamError::Csv),
-    }
-    let records = acc.records();
-    Ok(StreamSummary {
-        shape: acc.finish(),
-        records,
-        bytes,
-    })
+    // One worker means sequential: this is the jobs-agnostic entry the
+    // engine's parallel driver degrades to.
+    crate::engine::infer_reader_parallel_dyn(format, reader, options, chunk_size, 1)
 }
 
 #[cfg(test)]

@@ -1,197 +1,13 @@
-//! memchr-style chunked byte scanning (SWAR) for the CSV hot loops.
+//! Chunked byte scanning for the CSV hot loops — re-exported from the
+//! shared [`tfd_value::scan`] module.
 //!
-//! The boundary scanner's unquoted-field fast path and the record
-//! splitter both spend their time answering one question: *where is the
-//! next delimiter, quote or line ending?* Answering it byte-at-a-time
-//! wastes the memory bus. These helpers process eight bytes per
-//! iteration with the classic SWAR zero-byte trick (no intrinsics, no
-//! dependencies — the build environment has no crates.io, so `memchr`
-//! itself is out of reach):
-//!
-//! ```text
-//! zero_byte_mask(x) = (x - 0x0101…) & !x & 0x8080…
-//! ```
-//!
-//! sets the high bit of every byte of `x` that is zero; XORing the word
-//! with a splatted needle first turns "find byte `b`" into "find zero".
-//! `u64::from_le_bytes` + `trailing_zeros` keep the index math
-//! endian-correct everywhere.
-//!
-//! The `*_naive` twins are the byte-at-a-time loops they replaced; the
-//! `pipeline_baseline` benchmark runs both so the speedup stays an
-//! honest, re-measurable number (see `BENCH_PR4.json`).
+//! The SWAR helpers started life here driving the CSV boundary scanner's
+//! unquoted fast path, the quoted-content skip and the record splitter
+//! (PR 4); they were hoisted into `tfd-value` once the JSON and XML
+//! boundary scanners adopted them too, so all three front-ends share one
+//! implementation. This module remains as the compatibility path for
+//! existing callers (`tfd_csv::scan::find_any3` et al.).
 
-const LO: u64 = 0x0101_0101_0101_0101;
-const HI: u64 = 0x8080_8080_8080_8080;
-
-#[inline]
-fn splat(b: u8) -> u64 {
-    u64::from(b) * LO
-}
-
-/// High bit set in every byte of `x` that is zero.
-#[inline]
-fn zero_byte_mask(x: u64) -> u64 {
-    x.wrapping_sub(LO) & !x & HI
-}
-
-/// Index of the first occurrence of `a`, `b` or `c` in `haystack`, SWAR
-/// eight bytes at a time.
-///
-/// ```
-/// use tfd_csv::scan::find_any3;
-/// let hay = b"abcdefgh,ijklmnop\nq";
-/// assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(8));
-/// assert_eq!(find_any3(b"no specials here", b',', b'\n', b'\r'), None);
-/// ```
-#[inline]
-pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
-    // Short-hop fast path: most CSV cells are a few bytes wide, and for
-    // those a bounded scalar probe (which LLVM vectorizes) beats the
-    // word-loop setup. Only runs longer than the probe fall through to
-    // SWAR. The crossover was measured, not guessed — see the
-    // `csv_scan_swar_vs_naive` entry `pipeline_baseline` writes.
-    let probe = haystack.len().min(16);
-    if let Some(p) = haystack[..probe]
-        .iter()
-        .position(|&x| x == a || x == b || x == c)
-    {
-        return Some(p);
-    }
-    if probe == haystack.len() {
-        return None;
-    }
-    let (sa, sb, sc) = (splat(a), splat(b), splat(c));
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits =
-            zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb) | zero_byte_mask(word ^ sc);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == a || x == b || x == c)
-        .map(|p| i + p)
-}
-
-/// Index of the first occurrence of `needle`, SWAR eight bytes at a time.
-///
-/// ```
-/// use tfd_csv::scan::find_byte;
-/// assert_eq!(find_byte(b"quoted content\" tail", b'"'), Some(14));
-/// assert_eq!(find_byte(b"none", b'"'), None);
-/// ```
-#[inline]
-pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
-    // Same short-hop probe as [`find_any3`].
-    let probe = haystack.len().min(16);
-    if let Some(p) = haystack[..probe].iter().position(|&x| x == needle) {
-        return Some(p);
-    }
-    if probe == haystack.len() {
-        return None;
-    }
-    let s = splat(needle);
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits = zero_byte_mask(word ^ s);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == needle)
-        .map(|p| i + p)
-}
-
-/// The byte-at-a-time loop [`find_any3`] replaced — kept as the honesty
-/// baseline for `pipeline_baseline`.
-#[inline]
-pub fn find_any3_naive(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
-    haystack.iter().position(|&x| x == a || x == b || x == c)
-}
-
-/// The byte-at-a-time loop [`find_byte`] replaced — kept as the honesty
-/// baseline for `pipeline_baseline`.
-#[inline]
-pub fn find_byte_naive(haystack: &[u8], needle: u8) -> Option<usize> {
-    haystack.iter().position(|&x| x == needle)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn agrees_with_naive_on_crafted_inputs() {
-        let cases: &[&[u8]] = &[
-            b"",
-            b"a",
-            b"abcdefg",   // shorter than a word
-            b"abcdefgh",  // exactly one word
-            b"abcdefghi", // word + tail
-            b",starts",
-            b"ends with,",
-            b"mid,dle and \n more, stuff \r here",
-            b"\r\n\r\n",
-            b"xxxxxxxx,yyyyyyyy", // special exactly at a word boundary
-            b"xxxxxxx,yyyyyyyy",  // special one before a word boundary
-            "žluťoučký,kůň".as_bytes(),
-        ];
-        for &hay in cases {
-            assert_eq!(
-                find_any3(hay, b',', b'\n', b'\r'),
-                find_any3_naive(hay, b',', b'\n', b'\r'),
-                "{:?}",
-                String::from_utf8_lossy(hay)
-            );
-            assert_eq!(
-                find_byte(hay, b','),
-                find_byte_naive(hay, b','),
-                "{:?}",
-                String::from_utf8_lossy(hay)
-            );
-        }
-    }
-
-    #[test]
-    fn agrees_with_naive_exhaustively_on_positions() {
-        // A special byte planted at every position of a 40-byte buffer,
-        // for every one of the three needles — catches any word-boundary
-        // or trailing-zeros math error.
-        for pos in 0..40usize {
-            for needle in [b',', b'\n', b'\r'] {
-                let mut hay = vec![b'x'; 40];
-                hay[pos] = needle;
-                assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(pos), "pos {pos}");
-                assert_eq!(find_byte(&hay, needle), Some(pos), "pos {pos}");
-            }
-        }
-    }
-
-    #[test]
-    fn first_of_several_specials_wins() {
-        let hay = b"aaaa\raa,aaaa\naaaa";
-        assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(4));
-        let hay = b"aaaaaaaaaa,a\ra";
-        assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(10));
-    }
-
-    #[test]
-    fn high_bit_bytes_do_not_false_positive() {
-        // 0x80/0xFF bytes are where naive SWAR masks go wrong.
-        let hay = [0x80u8, 0xFF, 0xFE, 0x80, 0xFF, 0xFE, 0x80, 0xFF, b','];
-        assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(8));
-        assert_eq!(find_byte(&hay, b','), Some(8));
-        assert_eq!(find_byte(&hay, 0xFF), Some(1));
-    }
-}
+pub use tfd_value::scan::{
+    find_any2, find_any3, find_any3_naive, find_any5, find_byte, find_byte_naive,
+};

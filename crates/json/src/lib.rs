@@ -43,7 +43,7 @@ pub use parser::{
     parse, parse_many, parse_many_values, parse_many_values_with, parse_value, parse_value_with,
     parse_with, ParseError, ParseErrorKind, ParserOptions,
 };
-pub use stream::Streamer;
+pub use stream::{BoundaryScanner, Streamer};
 pub use writer::{to_json_string, to_json_string_pretty};
 
 use tfd_value::{Name, Value};

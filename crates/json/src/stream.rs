@@ -108,226 +108,129 @@ enum Step {
     CutBefore,
 }
 
-/// A chunk-fed incremental JSON parser.
-///
-/// Feed arbitrary byte slices; each completed top-level document is
-/// parsed with the byte-level [`parse_value_with`] and handed to the
-/// sink. Call [`finish`](Streamer::finish) after the last chunk.
-///
-/// ```
-/// use tfd_value::Value;
-/// let mut s = tfd_json::stream::Streamer::new();
-/// let mut out = Vec::new();
-/// // A record split mid-escape and mid-number:
-/// s.feed(br#"{"a": "x\"#, &mut |v| out.push(v))?;
-/// s.feed(br#"ny", "b": 4"#, &mut |v| out.push(v))?;
-/// s.feed(b"2} 7 ", &mut |v| out.push(v))?;
-/// s.finish(&mut |v| out.push(v))?;
-/// assert_eq!(out.len(), 2);
-/// assert_eq!(out[0].field("b"), Some(&Value::Int(42)));
-/// assert_eq!(out[1], Value::Int(7));
-/// # Ok::<(), tfd_json::ParseError>(())
-/// ```
-pub struct Streamer {
-    max_depth: usize,
-    /// Reused across records: one sink, one cached `•` name.
-    vsink: ValueSink,
+/// The resumable boundary state machine itself — the part of the
+/// streaming front-end that knows where records end, factored out so the
+/// chunk-fed [`Streamer`] and the scan-only [`BoundaryScanner`] share
+/// one implementation (any drift between them would silently break the
+/// parallel driver's shard cuts).
+#[derive(Debug, Clone)]
+struct Scan {
     mode: Mode,
     /// Container nesting depth of the current record.
     depth: usize,
-    /// Carry-over bytes of a record that spans chunk boundaries.
-    buf: Vec<u8>,
-    /// Global position of the current record's start (bytes inside a
-    /// record are accounted in bulk when it completes — the hot scanner
-    /// loops never touch these).
-    offset: usize,
-    line: usize,
-    /// 1-based char column of the next character on the current line.
-    col: usize,
-    /// Snapshot of (offset, line, col) where the current record starts.
-    start: (usize, usize, usize),
-    /// A previously reported error; the stream is poisoned after it,
-    /// mirroring the one-shot parsers (first error wins).
-    failed: Option<ParseError>,
 }
 
-impl Default for Streamer {
-    fn default() -> Self {
-        Streamer::new()
-    }
-}
-
-impl Streamer {
-    /// A streamer with default [`ParserOptions`].
-    pub fn new() -> Streamer {
-        Streamer::with_options(ParserOptions::default())
-    }
-
-    /// A streamer with explicit [`ParserOptions`] (applied to every
-    /// record).
-    pub fn with_options(options: ParserOptions) -> Streamer {
-        Streamer {
-            max_depth: options.max_depth,
-            vsink: ValueSink { body: body_name() },
+impl Scan {
+    fn new() -> Scan {
+        Scan {
             mode: Mode::Between,
             depth: 0,
-            buf: Vec::new(),
-            offset: 0,
-            line: 1,
-            col: 1,
-            start: (0, 1, 1),
-            failed: None,
         }
     }
 
-    /// Feeds one chunk; every record completed within it is parsed and
-    /// passed to `sink` in input order.
-    ///
-    /// # Errors
-    ///
-    /// The first malformed record poisons the streamer: the error is
-    /// returned now and again from any later call.
-    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
-        if let Some(e) = &self.failed {
-            return Err(e.clone());
-        }
-        let r = self.feed_inner(chunk, sink);
-        if let Err(e) = &r {
-            self.failed = Some(e.clone());
-        }
-        r
+    /// True while inside a record (a chunk or the input ended mid-record).
+    fn in_record(&self) -> bool {
+        !matches!(self.mode, Mode::Between)
     }
 
-    /// Signals end of input: a pending unterminated record is parsed
-    /// (reporting exactly the error the one-shot parser gives at EOF, or
-    /// emitting the record when it is complete, e.g. a number awaiting
-    /// its delimiter).
-    ///
-    /// # Errors
-    ///
-    /// As [`feed`](Streamer::feed).
-    pub fn finish(&mut self, sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
-        if let Some(e) = &self.failed {
-            return Err(e.clone());
+    /// Classifies the first byte of a record (the one-shot `parse_value`
+    /// dispatch, minus whitespace, which the between-records state
+    /// already consumed). Returns `true` when the byte completes the
+    /// record by itself (one-byte junk records).
+    fn open(&mut self, b: u8) -> bool {
+        match b {
+            b'{' | b'[' => {
+                self.depth = 1;
+                self.mode = Mode::Container;
+                false
+            }
+            b'"' => {
+                self.depth = 0;
+                self.mode = Mode::Str;
+                false
+            }
+            b'-' => {
+                self.mode = Mode::Num(NumState::Minus);
+                false
+            }
+            b'0' => {
+                self.mode = Mode::Num(NumState::IntZero);
+                false
+            }
+            b'1'..=b'9' => {
+                self.mode = Mode::Num(NumState::IntDigits);
+                false
+            }
+            b't' | b'f' | b'n' => {
+                self.mode = Mode::Keyword;
+                false
+            }
+            // Multi-byte character: a one-char junk record (the parser
+            // reports `UnexpectedChar` for it; it needs all its bytes).
+            0xC2..=0xF4 => {
+                self.mode = Mode::JunkChar(utf8_len(b) - 1);
+                false
+            }
+            // Any other single byte — `} ] : ,`, stray ASCII, or an
+            // invalid UTF-8 lead — is a one-byte junk record whose parse
+            // reproduces the one-shot error.
+            _ => true,
         }
-        if matches!(self.mode, Mode::Between) {
-            return Ok(());
-        }
-        let buf = std::mem::take(&mut self.buf);
-        let r = self.parse_record(&buf, 0, buf.len()).map(sink);
-        self.buf = buf;
-        self.buf.clear();
-        self.mode = Mode::Between;
-        if let Err(e) = &r {
-            self.failed = Some(e.clone());
-        }
-        r
     }
 
-    fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
+    /// Advances through `chunk[i..]` while inside a record. Returns
+    /// `Some(end)` when the record completes — `chunk[..end]` holds its
+    /// final byte, the state is back between records, and scanning
+    /// resumes at `end` — or `None` when the chunk is exhausted with the
+    /// record still open.
+    ///
+    /// The two hot modes (inside a container, inside a string) hop
+    /// special-to-special with the shared SWAR scanners
+    /// ([`tfd_value::scan`]) instead of stepping byte by byte.
+    fn run(&mut self, chunk: &[u8], mut i: usize) -> Option<usize> {
         let n = chunk.len();
-        // The chunk's valid-UTF-8 prefix, validated once: records that
-        // start inside it and are self-delimiting can be parsed straight
-        // off the chunk, with no boundary pre-scan.
-        let text: &str = match std::str::from_utf8(chunk) {
-            Ok(t) => t,
-            Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix"),
-        };
-        // Index in `chunk` where the unbuffered part of the current
-        // record starts (0 while a record carried over in `buf` is open).
-        let mut rec_start = 0usize;
-        let mut i = 0usize;
         while i < n {
             match self.mode {
-                Mode::Between => {
-                    // Not inside a record: skip whitespace, or open a
-                    // record at this byte.
-                    let b = chunk[i];
-                    match b {
-                        b' ' | b'\t' | b'\r' | b'\n' => {
-                            self.advance_ws(b);
+                Mode::Between => unreachable!("run is only called inside a record"),
+                // Hot loop: inside a container only brackets and quotes
+                // matter.
+                Mode::Container => {
+                    match tfd_value::scan::find_any5(&chunk[i..], b'{', b'}', b'[', b']', b'"') {
+                        None => return None,
+                        Some(off) => {
+                            i += off;
+                            let b = chunk[i];
                             i += 1;
-                        }
-                        _ => {
-                            self.start = (self.offset, self.line, self.col);
-                            rec_start = i;
-                            debug_assert!(self.buf.is_empty());
-                            // Fast path: objects, arrays and strings are
-                            // self-delimiting, so a successful parse from
-                            // the chunk front IS the record — wherever it
-                            // ends. Failures (straddling the chunk end,
-                            // or truly malformed) are discarded; the
-                            // resumable scanner below re-derives them
-                            // from the exact record slice.
-                            if matches!(b, b'{' | b'[' | b'"') && i < text.len() {
-                                if let Ok((v, consumed)) =
-                                    parse_one_value(&text[i..], self.max_depth, &mut self.vsink)
-                                {
-                                    sink(v);
-                                    self.advance_over(&chunk[i..i + consumed]);
-                                    i += consumed;
-                                    continue;
+                            match b {
+                                b'"' => self.mode = Mode::Str,
+                                b'{' | b'[' => self.depth += 1,
+                                _ => {
+                                    self.depth -= 1;
+                                    if self.depth == 0 {
+                                        self.mode = Mode::Between;
+                                        return Some(i);
+                                    }
                                 }
-                            }
-                            match self.open_record(b) {
-                                Step::Consume(mode) => {
-                                    self.mode = mode;
-                                    i += 1;
-                                }
-                                Step::ConsumeEnd => {
-                                    i += 1;
-                                    self.complete(chunk, rec_start, i, sink)?;
-                                }
-                                Step::CutBefore => unreachable!("a record start consumes"),
                             }
                         }
                     }
                 }
-                // Hot loop: inside a container only brackets and quotes
-                // matter — positions are settled in bulk at completion.
-                Mode::Container => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    i += 1;
-                    match b {
-                        b'"' => {
-                            self.mode = Mode::Str;
-                            break;
-                        }
-                        b'{' | b'[' => self.depth += 1,
-                        b'}' | b']' => {
-                            self.depth -= 1;
-                            if self.depth == 0 {
-                                self.complete(chunk, rec_start, i, sink)?;
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                },
                 // Hot loop: inside a string only `"` and `\` matter.
-                Mode::Str => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    i += 1;
-                    match b {
-                        b'"' => {
+                Mode::Str => match tfd_value::scan::find_any2(&chunk[i..], b'"', b'\\') {
+                    None => return None,
+                    Some(off) => {
+                        i += off;
+                        let b = chunk[i];
+                        i += 1;
+                        if b == b'"' {
                             if self.depth == 0 {
-                                self.complete(chunk, rec_start, i, sink)?;
-                            } else {
-                                self.mode = Mode::Container;
+                                self.mode = Mode::Between;
+                                return Some(i);
                             }
-                            break;
-                        }
-                        b'\\' => {
+                            self.mode = Mode::Container;
+                        } else {
                             self.mode = Mode::StrEsc;
-                            break;
                         }
-                        _ => {}
                     }
                 },
                 // Cold modes (escapes, top-level scalars, junk): one
@@ -338,49 +241,21 @@ impl Streamer {
                         i += 1;
                     }
                     Step::ConsumeEnd => {
-                        i += 1;
-                        self.complete(chunk, rec_start, i, sink)?;
+                        self.mode = Mode::Between;
+                        return Some(i + 1);
                     }
                     Step::CutBefore => {
-                        self.complete(chunk, rec_start, i, sink)?;
-                        // Re-examine the byte in `Between` mode.
+                        self.mode = Mode::Between;
+                        return Some(i);
                     }
                 },
             }
         }
-        if !matches!(self.mode, Mode::Between) {
-            self.buf.extend_from_slice(&chunk[rec_start..]);
-        }
-        Ok(())
+        None
     }
 
-    /// Classifies the first byte of a record (the one-shot `parse_value`
-    /// dispatch, minus whitespace, which `Between` already consumed).
-    fn open_record(&mut self, b: u8) -> Step {
-        match b {
-            b'{' | b'[' => {
-                self.depth = 1;
-                Step::Consume(Mode::Container)
-            }
-            b'"' => {
-                self.depth = 0;
-                Step::Consume(Mode::Str)
-            }
-            b'-' => Step::Consume(Mode::Num(NumState::Minus)),
-            b'0' => Step::Consume(Mode::Num(NumState::IntZero)),
-            b'1'..=b'9' => Step::Consume(Mode::Num(NumState::IntDigits)),
-            b't' | b'f' | b'n' => Step::Consume(Mode::Keyword),
-            // Multi-byte character: a one-char junk record (the parser
-            // reports `UnexpectedChar` for it; it needs all its bytes).
-            0xC2..=0xF4 => Step::Consume(Mode::JunkChar(utf8_len(b) - 1)),
-            // Any other single byte — `} ] : ,`, stray ASCII, or an
-            // invalid UTF-8 lead — is a one-byte junk record whose parse
-            // reproduces the one-shot error.
-            _ => Step::ConsumeEnd,
-        }
-    }
-
-    /// One scanner transition for a byte inside a record.
+    /// One scanner transition for a byte inside a record (cold modes;
+    /// the hot modes are inlined in [`Scan::run`]).
     fn step(&mut self, b: u8) -> Step {
         match self.mode {
             Mode::Between => unreachable!("handled by the caller"),
@@ -470,6 +345,262 @@ impl Streamer {
             },
         }
     }
+}
+
+/// A scan-only record-boundary finder: the [`Streamer`]'s resumable
+/// state machine without the parsing — it never materializes a value,
+/// only reports where top-level documents end.
+///
+/// This is what the parallel driver (`tfd_core::engine`) uses to cut a
+/// corpus into shards that never split a record: every reported offset
+/// is a position where the sequential streamer is between records, so a
+/// fresh parser started there sees exactly the remaining record
+/// sequence.
+///
+/// ```
+/// let mut s = tfd_json::stream::BoundaryScanner::new();
+/// let mut cuts = Vec::new();
+/// s.feed(br#"{"a": 1} [2, "}"] 7 "#, &mut |off| cuts.push(off));
+/// assert_eq!(cuts, vec![8, 17, 19]);
+/// assert!(!s.in_record());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryScanner {
+    scan: Scan,
+}
+
+impl Default for Scan {
+    fn default() -> Self {
+        Scan::new()
+    }
+}
+
+impl BoundaryScanner {
+    /// A scanner positioned between records at the start of a stream.
+    pub fn new() -> BoundaryScanner {
+        BoundaryScanner { scan: Scan::new() }
+    }
+
+    /// Feeds one chunk; `boundary` receives the chunk-relative offset
+    /// just past each record completed within it (state carries across
+    /// calls, so chunks may split records anywhere).
+    pub fn feed(&mut self, chunk: &[u8], boundary: &mut impl FnMut(usize)) {
+        let n = chunk.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.scan.in_record() {
+                match self.scan.run(chunk, i) {
+                    Some(end) => {
+                        boundary(end);
+                        i = end;
+                    }
+                    None => i = n,
+                }
+            } else {
+                let b = chunk[i];
+                match b {
+                    b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                    _ => {
+                        i += 1;
+                        if self.scan.open(b) {
+                            boundary(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// True when the last fed byte was inside a record (the stream ends
+    /// with an unterminated document).
+    pub fn in_record(&self) -> bool {
+        self.scan.in_record()
+    }
+}
+
+/// A chunk-fed incremental JSON parser.
+///
+/// Feed arbitrary byte slices; each completed top-level document is
+/// parsed with the byte-level [`parse_value_with`] and handed to the
+/// sink. Call [`finish`](Streamer::finish) after the last chunk.
+///
+/// ```
+/// use tfd_value::Value;
+/// let mut s = tfd_json::stream::Streamer::new();
+/// let mut out = Vec::new();
+/// // A record split mid-escape and mid-number:
+/// s.feed(br#"{"a": "x\"#, &mut |v| out.push(v))?;
+/// s.feed(br#"ny", "b": 4"#, &mut |v| out.push(v))?;
+/// s.feed(b"2} 7 ", &mut |v| out.push(v))?;
+/// s.finish(&mut |v| out.push(v))?;
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].field("b"), Some(&Value::Int(42)));
+/// assert_eq!(out[1], Value::Int(7));
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub struct Streamer {
+    max_depth: usize,
+    /// Reused across records: one sink, one cached `•` name.
+    vsink: ValueSink,
+    /// The resumable boundary state machine (shared with
+    /// [`BoundaryScanner`]).
+    scan: Scan,
+    /// Carry-over bytes of a record that spans chunk boundaries.
+    buf: Vec<u8>,
+    /// Global position of the current record's start (bytes inside a
+    /// record are accounted in bulk when it completes — the hot scanner
+    /// loops never touch these).
+    offset: usize,
+    line: usize,
+    /// 1-based char column of the next character on the current line.
+    col: usize,
+    /// Snapshot of (offset, line, col) where the current record starts.
+    start: (usize, usize, usize),
+    /// A previously reported error; the stream is poisoned after it,
+    /// mirroring the one-shot parsers (first error wins).
+    failed: Option<ParseError>,
+}
+
+impl Default for Streamer {
+    fn default() -> Self {
+        Streamer::new()
+    }
+}
+
+impl Streamer {
+    /// A streamer with default [`ParserOptions`].
+    pub fn new() -> Streamer {
+        Streamer::with_options(ParserOptions::default())
+    }
+
+    /// A streamer with explicit [`ParserOptions`] (applied to every
+    /// record).
+    pub fn with_options(options: ParserOptions) -> Streamer {
+        Streamer {
+            max_depth: options.max_depth,
+            vsink: ValueSink { body: body_name() },
+            scan: Scan::new(),
+            buf: Vec::new(),
+            offset: 0,
+            line: 1,
+            col: 1,
+            start: (0, 1, 1),
+            failed: None,
+        }
+    }
+
+    /// Feeds one chunk; every record completed within it is parsed and
+    /// passed to `sink` in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed record poisons the streamer: the error is
+    /// returned now and again from any later call.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let r = self.feed_inner(chunk, sink);
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    /// Signals end of input: a pending unterminated record is parsed
+    /// (reporting exactly the error the one-shot parser gives at EOF, or
+    /// emitting the record when it is complete, e.g. a number awaiting
+    /// its delimiter).
+    ///
+    /// # Errors
+    ///
+    /// As [`feed`](Streamer::feed).
+    pub fn finish(&mut self, sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if !self.scan.in_record() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let r = self.parse_record(&buf, 0, buf.len()).map(sink);
+        self.buf = buf;
+        self.buf.clear();
+        self.scan.mode = Mode::Between;
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
+        let n = chunk.len();
+        // The chunk's valid-UTF-8 prefix, validated once: records that
+        // start inside it and are self-delimiting can be parsed straight
+        // off the chunk, with no boundary pre-scan.
+        let text: &str = match std::str::from_utf8(chunk) {
+            Ok(t) => t,
+            Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix"),
+        };
+        // Index in `chunk` where the unbuffered part of the current
+        // record starts (0 while a record carried over in `buf` is open).
+        let mut rec_start = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            if self.scan.in_record() {
+                // Inside a record: the shared scanner hops to its end
+                // (or the chunk's) — positions are settled in bulk at
+                // completion.
+                match self.scan.run(chunk, i) {
+                    Some(end) => {
+                        self.complete(chunk, rec_start, end, sink)?;
+                        i = end;
+                    }
+                    None => i = n,
+                }
+            } else {
+                // Not inside a record: skip whitespace, or open a record
+                // at this byte.
+                let b = chunk[i];
+                match b {
+                    b' ' | b'\t' | b'\r' | b'\n' => {
+                        self.advance_ws(b);
+                        i += 1;
+                    }
+                    _ => {
+                        self.start = (self.offset, self.line, self.col);
+                        rec_start = i;
+                        debug_assert!(self.buf.is_empty());
+                        // Fast path: objects, arrays and strings are
+                        // self-delimiting, so a successful parse from
+                        // the chunk front IS the record — wherever it
+                        // ends. Failures (straddling the chunk end,
+                        // or truly malformed) are discarded; the
+                        // resumable scanner re-derives them from the
+                        // exact record slice.
+                        if matches!(b, b'{' | b'[' | b'"') && i < text.len() {
+                            if let Ok((v, consumed)) =
+                                parse_one_value(&text[i..], self.max_depth, &mut self.vsink)
+                            {
+                                sink(v);
+                                self.advance_over(&chunk[i..i + consumed]);
+                                i += consumed;
+                                continue;
+                            }
+                        }
+                        i += 1;
+                        if self.scan.open(b) {
+                            self.complete(chunk, rec_start, i, sink)?;
+                        }
+                    }
+                }
+            }
+        }
+        if self.scan.in_record() {
+            self.buf.extend_from_slice(&chunk[rec_start..]);
+        }
+        Ok(())
+    }
 
     /// Completes the current record, whose bytes are `buf` (carry-over)
     /// followed by `chunk[rec_start..end]`, parses it and emits the
@@ -481,7 +612,7 @@ impl Streamer {
         end: usize,
         sink: &mut impl FnMut(Value),
     ) -> Result<(), ParseError> {
-        self.mode = Mode::Between;
+        self.scan.mode = Mode::Between;
         let r = if self.buf.is_empty() {
             // The record lies wholly within this chunk: parse it
             // borrowed, no copy.

@@ -43,16 +43,31 @@
 
 use proc_macro::{TokenStream, TokenTree};
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
-use tfd_core::{globalize_env, infer_many, GlobalShape, InferOptions};
+use tfd_core::{engine, globalize_env, infer_many, GlobalShape, InferOptions, StreamFormat};
 use tfd_value::Value;
 
-/// Which provider front-end a macro invocation uses.
+/// Which provider front-end a macro invocation uses. The three engine
+/// formats route through `tfd_core::engine`; HTML is the footnote-10
+/// extension with its own table handling.
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
     Json,
     Xml,
     Csv,
     Html,
+}
+
+impl Format {
+    /// The engine format, when this is one of the three engine-backed
+    /// front-ends.
+    fn engine_format(self) -> Option<StreamFormat> {
+        match self {
+            Format::Json => Some(StreamFormat::Json),
+            Format::Xml => Some(StreamFormat::Xml),
+            Format::Csv => Some(StreamFormat::Csv),
+            Format::Html => None,
+        }
+    }
 }
 
 struct Request {
@@ -111,17 +126,14 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
         return Err("provide at least one `sample \"...\";` or `sample_file \"...\";`".into());
     }
 
-    // Parse every sample with the format's front-end.
+    // Parse every sample through the engine's format-generic front-end
+    // dispatch (HTML stays special: it needs the table index).
     let mut values: Vec<Value> = Vec::new();
     for (i, text) in request.samples.iter().enumerate() {
-        let value = match format {
-            Format::Json => tfd_json::parse_value(text)
-                .map_err(|e| format!("sample {}: invalid JSON: {e}", i + 1))?,
-            Format::Xml => tfd_xml::parse_value(text)
-                .map_err(|e| format!("sample {}: invalid XML: {e}", i + 1))?,
-            Format::Csv => tfd_csv::parse_value(text)
-                .map_err(|e| format!("sample {}: invalid CSV: {e}", i + 1))?,
-            Format::Html => {
+        let value = match format.engine_format() {
+            Some(sformat) => engine::parse_value_dyn(sformat, text)
+                .map_err(|e| format!("sample {}: invalid {}: {e}", i + 1, sformat_name(sformat)))?,
+            None => {
                 let tables = tfd_html::parse_tables(text);
                 let table = tables.get(request.table_index).ok_or_else(|| {
                     format!(
@@ -137,11 +149,10 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
         values.push(value);
     }
 
-    let mut options = match format {
-        Format::Json => InferOptions::json(),
-        Format::Xml => InferOptions::xml(),
+    let mut options = match format.engine_format() {
+        Some(sformat) => engine::infer_options_dyn(sformat),
         // HTML tables are CSV-like cell grids (§6.2 inference applies).
-        Format::Csv | Format::Html => InferOptions::csv(),
+        None => InferOptions::csv(),
     };
     if request.no_hetero {
         // §2.2/§3.5 presentation: collections of mixed elements become
@@ -189,6 +200,15 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
     }
     code.parse()
         .map_err(|e| format!("internal error: generated code does not parse: {e}"))
+}
+
+/// Uppercase format name for sample-error diagnostics.
+fn sformat_name(format: StreamFormat) -> &'static str {
+    match format {
+        StreamFormat::Json => "JSON",
+        StreamFormat::Xml => "XML",
+        StreamFormat::Csv => "CSV",
+    }
 }
 
 /// Recovers the root type from the generated `from_value` signature.

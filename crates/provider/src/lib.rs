@@ -44,4 +44,4 @@ mod stability;
 pub use fsharp::{root_type_name, signature};
 pub use mapping::{provide, provide_global, provide_idiomatic, Provided};
 pub use safety::{deep_eval, DeepEvalReport, SafetyFailure};
-pub use stability::{apply, migrate, AccessProgram, AccessStep, MigrateError};
+pub use stability::{apply, migrate, migrate_global, AccessProgram, AccessStep, MigrateError};

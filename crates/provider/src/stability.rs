@@ -22,7 +22,7 @@
 //! provider.
 
 use crate::naming::tag_member_name;
-use tfd_core::{is_preferred, tag_of, Shape};
+use tfd_core::{is_preferred, is_preferred_global, tag_of, GlobalShape, Shape, ShapeEnv};
 use tfd_foo::Expr;
 
 /// One step of client code against a provided type.
@@ -206,6 +206,147 @@ pub fn migrate(
     Ok(AccessProgram { steps: out })
 }
 
+/// μ-aware [`migrate`]: rewrites a program written against the old
+/// *global* shape into one for the new global shape, resolving each
+/// side's [`Shape::Ref`] back-references in its **own** environment.
+///
+/// The finite-tree `migrate` cannot follow a navigation through a
+/// recursion point — the inline rendering cuts recursive classes to a
+/// `↺name` reference, and a member access on `↺div` has nowhere to go.
+/// Here the cursors unfold references lazily (one definitions-table
+/// lookup per navigated record level), so programs that walk arbitrarily
+/// deep into recursive providers migrate with the same three Remark 1
+/// transformations. `tests/stability.rs` holds the recursive-provider
+/// regression.
+///
+/// # Errors
+///
+/// Returns [`MigrateError`] when the program does not navigate `old`, or
+/// when `old ⋢ new` under [`is_preferred_global`] in a way adding
+/// samples cannot produce.
+pub fn migrate_global(
+    program: &AccessProgram,
+    old: &GlobalShape,
+    new: &GlobalShape,
+) -> Result<AccessProgram, MigrateError> {
+    if !is_preferred_global(old, new) {
+        return Err(MigrateError(format!(
+            "old global shape {old} is not preferred over new global shape {new} — \
+             adding samples only generalizes"
+        )));
+    }
+    let mut out = Vec::new();
+    let mut cur_old = resolve(old.root.clone(), &old.env);
+    let mut cur_new = resolve(new.root.clone(), &new.env);
+
+    for step in &program.steps {
+        reconcile_global(&cur_old, &mut cur_new, &old.env, &new.env, &mut out)?;
+        match step {
+            AccessStep::Member(name) => {
+                let old_field = resolve(record_field(&cur_old, name)?, &old.env);
+                let new_field = resolve(record_field(&cur_new, name)?, &new.env);
+                out.push(AccessStep::Member(name.clone()));
+                cur_old = old_field;
+                cur_new = new_field;
+            }
+            AccessStep::Unwrap => match (&cur_old, &cur_new) {
+                (Shape::Nullable(o), Shape::Nullable(n)) => {
+                    let (o, n) = ((**o).clone(), (**n).clone());
+                    out.push(AccessStep::Unwrap);
+                    cur_old = resolve(o, &old.env);
+                    cur_new = resolve(n, &new.env);
+                }
+                // A preceding Case insertion already unwrapped the new
+                // side (see `migrate`); the explicit unwrap is dropped.
+                (Shape::Nullable(o), _) => {
+                    cur_old = resolve((**o).clone(), &old.env);
+                }
+                _ => {
+                    return Err(MigrateError(format!(
+                        "unwrap applied at non-nullable shape {cur_old}"
+                    )))
+                }
+            },
+            AccessStep::Nth(i) => {
+                let o = resolve(list_element(&cur_old)?, &old.env);
+                let n = resolve(list_element(&cur_new)?, &new.env);
+                out.push(AccessStep::Nth(*i));
+                cur_old = o;
+                cur_new = n;
+            }
+            AccessStep::Case(name) => {
+                let o = resolve(top_label(&cur_old, name)?, &old.env);
+                let n = resolve(top_label(&cur_new, name)?, &new.env);
+                out.push(AccessStep::Case(name.clone()));
+                cur_old = o;
+                cur_new = n;
+            }
+            AccessStep::AsInt => {
+                out.push(AccessStep::AsInt);
+                cur_old = Shape::Int;
+                cur_new = Shape::Int;
+            }
+        }
+    }
+    reconcile_global(&cur_old, &mut cur_new, &old.env, &new.env, &mut out)?;
+    if cur_old == Shape::Int && cur_new == Shape::Float {
+        out.push(AccessStep::AsInt);
+    }
+    Ok(AccessProgram { steps: out })
+}
+
+/// Unfolds a top-level μ-reference through its environment (one level;
+/// nested references unfold lazily as navigation reaches them). Dangling
+/// references stay as they are.
+fn resolve(shape: Shape, env: &ShapeEnv) -> Shape {
+    match shape {
+        Shape::Ref(n) => match env.get(n) {
+            Some(def) => Shape::Record(def.clone()),
+            None => Shape::Ref(n),
+        },
+        other => other,
+    }
+}
+
+/// [`reconcile`] for global cursors: labels inside a new-side top may
+/// themselves be μ-references, so tag computation and case naming
+/// resolve through the new environment.
+fn reconcile_global(
+    cur_old: &Shape,
+    cur_new: &mut Shape,
+    old_env: &ShapeEnv,
+    new_env: &ShapeEnv,
+    out: &mut Vec<AccessStep>,
+) -> Result<(), MigrateError> {
+    if let Shape::Nullable(inner) = cur_new {
+        if cur_old.is_non_nullable() {
+            out.push(AccessStep::Unwrap);
+            *cur_new = resolve((**inner).clone(), new_env);
+        }
+    }
+    if let Shape::Top(labels) = cur_new {
+        if !cur_old.is_top() && *cur_old != Shape::Bottom && *cur_old != Shape::Null {
+            let want = tfd_core::tag_of_in(&cur_old.clone().floor(), Some(old_env));
+            let label = labels
+                .iter()
+                .find(|l| tfd_core::tag_of_in(l, Some(new_env)) == want)
+                .cloned()
+                .ok_or_else(|| {
+                    MigrateError(format!(
+                        "labelled top {cur_new} lost the {want} case — \
+                         labels are never removed by adding samples"
+                    ))
+                })?;
+            out.push(AccessStep::Case(tag_member_name(&resolve(
+                label.clone(),
+                new_env,
+            ))));
+            *cur_new = resolve(label, new_env);
+        }
+    }
+    Ok(())
+}
+
 /// Inserts Unwrap (transformation 1) when the new shape became nullable,
 /// and Case (transformation 2) when it became a labelled top; updates the
 /// new-side cursor accordingly.
@@ -363,6 +504,65 @@ mod tests {
             migrated,
             AccessProgram::new([Nth(0), Member("x".into()), Unwrap])
         );
+    }
+
+    // --- μ-aware migration (satellite: stability through the env) ---
+
+    fn recursive_globals() -> (tfd_core::GlobalShape, tfd_core::GlobalShape) {
+        use tfd_core::{globalize_env, infer_many, InferOptions};
+        use tfd_value::{rec, Value};
+        let opts = InferOptions::xml();
+        let d1 = rec(
+            "div",
+            [
+                ("child", rec("div", [("x", Value::Int(1))])),
+                ("x", Value::Int(7)),
+            ],
+        );
+        let d2 = rec(
+            "div",
+            [
+                ("child", rec("div", [("x", Value::Float(2.5))])),
+                ("x", Value::Int(9)),
+            ],
+        );
+        let old = globalize_env(infer_many([&d1], &opts));
+        let new = globalize_env(infer_many([&d1, &d2], &opts));
+        (old, new)
+    }
+
+    #[test]
+    fn migrate_global_navigates_through_recursion_points() {
+        let (old, new) = recursive_globals();
+        assert!(!old.env.is_empty(), "the corpus is genuinely recursive");
+        // Navigate through the μ-reference: child is nullable ↺div.
+        let p = AccessProgram::new([Member("child".into()), Unwrap, Member("x".into())]);
+        let migrated = migrate_global(&p, &old, &new).unwrap();
+        // x widened from int to float inside the class: transformation 3.
+        assert_eq!(
+            migrated,
+            AccessProgram::new([Member("child".into()), Unwrap, Member("x".into()), AsInt])
+        );
+        // The finite-tree migrate cannot follow this program: the inline
+        // rendering cuts the recursive class at a ↺div reference.
+        let err = migrate(&p, &old.inline(), &new.inline()).unwrap_err();
+        assert!(err.0.contains("member access on non-record"), "{err}");
+    }
+
+    #[test]
+    fn migrate_global_is_identity_on_unchanged_recursive_shapes() {
+        let (old, _) = recursive_globals();
+        let p = AccessProgram::new([Member("child".into()), Unwrap, Member("x".into())]);
+        assert_eq!(migrate_global(&p, &old, &old).unwrap(), p);
+    }
+
+    #[test]
+    fn migrate_global_rejects_narrowing() {
+        let (old, new) = recursive_globals();
+        let p = AccessProgram::new([Member("x".into())]);
+        // Migrating backwards (new → old) is a narrowing the Remark
+        // never produces.
+        assert!(migrate_global(&p, &new, &old).is_err());
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod intern;
 mod metrics;
 mod path;
 mod print;
+pub mod scan;
 
 pub use builder::{arr, json_rec, rec};
 pub use intern::Name;

@@ -1,0 +1,313 @@
+//! memchr-style chunked byte scanning (SWAR) for the front-end hot loops.
+//!
+//! Every byte-level boundary scanner in the workspace spends its time
+//! answering one question: *where is the next special byte?* — the next
+//! delimiter, quote or line ending for CSV, the next `<`/`&` for XML
+//! character data, the next bracket or quote for JSON containers.
+//! Answering it byte-at-a-time wastes the memory bus. These helpers
+//! process eight bytes per iteration with the classic SWAR zero-byte
+//! trick (no intrinsics, no dependencies — the build environment has no
+//! crates.io, so `memchr` itself is out of reach):
+//!
+//! ```text
+//! zero_byte_mask(x) = (x - 0x0101…) & !x & 0x8080…
+//! ```
+//!
+//! sets the high bit of every byte of `x` that is zero; XORing the word
+//! with a splatted needle first turns "find byte `b`" into "find zero".
+//! `u64::from_le_bytes` + `trailing_zeros` keep the index math
+//! endian-correct everywhere.
+//!
+//! The module lives in `tfd-value` (the one crate every front-end
+//! depends on) so the CSV, JSON and XML scanners all share one
+//! implementation; `tfd_csv::scan` re-exports it for compatibility. The
+//! `*_naive` twins are the byte-at-a-time loops the helpers replaced;
+//! the `pipeline_baseline` benchmark runs both so the speedup stays an
+//! honest, re-measurable number (see `BENCH_PR4.json`/`BENCH_PR5.json`).
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// High bit set in every byte of `x` that is zero.
+#[inline]
+fn zero_byte_mask(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Index of the first occurrence of `a` or `b` in `haystack`, SWAR eight
+/// bytes at a time.
+///
+/// ```
+/// use tfd_value::scan::find_any2;
+/// assert_eq!(find_any2(b"character data here <tag>", b'<', b'&'), Some(20));
+/// assert_eq!(find_any2(b"no specials", b'<', b'&'), None);
+/// ```
+#[inline]
+pub fn find_any2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+    // Short-hop fast path: most runs between specials are a few bytes
+    // wide, and for those a bounded scalar probe (which LLVM vectorizes)
+    // beats the word-loop setup. Only runs longer than the probe fall
+    // through to SWAR.
+    let probe = haystack.len().min(16);
+    if let Some(p) = haystack[..probe].iter().position(|&x| x == a || x == b) {
+        return Some(p);
+    }
+    if probe == haystack.len() {
+        return None;
+    }
+    let (sa, sb) = (splat(a), splat(b));
+    let n = haystack.len();
+    let mut i = probe;
+    while i + 8 <= n {
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let hits = zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&x| x == a || x == b)
+        .map(|p| i + p)
+}
+
+/// Index of the first occurrence of `a`, `b` or `c` in `haystack`, SWAR
+/// eight bytes at a time.
+///
+/// ```
+/// use tfd_value::scan::find_any3;
+/// let hay = b"abcdefgh,ijklmnop\nq";
+/// assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(8));
+/// assert_eq!(find_any3(b"no specials here", b',', b'\n', b'\r'), None);
+/// ```
+#[inline]
+pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+    // Same short-hop probe as [`find_any2`]. The crossover was measured,
+    // not guessed — see the `csv_scan_swar_vs_naive` entry
+    // `pipeline_baseline` writes.
+    let probe = haystack.len().min(16);
+    if let Some(p) = haystack[..probe]
+        .iter()
+        .position(|&x| x == a || x == b || x == c)
+    {
+        return Some(p);
+    }
+    if probe == haystack.len() {
+        return None;
+    }
+    let (sa, sb, sc) = (splat(a), splat(b), splat(c));
+    let n = haystack.len();
+    let mut i = probe;
+    while i + 8 <= n {
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let hits =
+            zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb) | zero_byte_mask(word ^ sc);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&x| x == a || x == b || x == c)
+        .map(|p| i + p)
+}
+
+/// Index of the first occurrence of any of five needles, SWAR eight
+/// bytes at a time — sized for the JSON container scanner, whose
+/// specials are `{` `}` `[` `]` `"`.
+///
+/// ```
+/// use tfd_value::scan::find_any5;
+/// let hay = br#"some content then "a string""#;
+/// assert_eq!(find_any5(hay, b'{', b'}', b'[', b']', b'"'), Some(18));
+/// ```
+#[inline]
+pub fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+    let probe = haystack.len().min(16);
+    if let Some(p) = haystack[..probe]
+        .iter()
+        .position(|&x| x == a || x == b || x == c || x == d || x == e)
+    {
+        return Some(p);
+    }
+    if probe == haystack.len() {
+        return None;
+    }
+    let (sa, sb, sc, sd, se) = (splat(a), splat(b), splat(c), splat(d), splat(e));
+    let n = haystack.len();
+    let mut i = probe;
+    while i + 8 <= n {
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let hits = zero_byte_mask(word ^ sa)
+            | zero_byte_mask(word ^ sb)
+            | zero_byte_mask(word ^ sc)
+            | zero_byte_mask(word ^ sd)
+            | zero_byte_mask(word ^ se);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&x| x == a || x == b || x == c || x == d || x == e)
+        .map(|p| i + p)
+}
+
+/// Index of the first occurrence of `needle`, SWAR eight bytes at a time.
+///
+/// ```
+/// use tfd_value::scan::find_byte;
+/// assert_eq!(find_byte(b"quoted content\" tail", b'"'), Some(14));
+/// assert_eq!(find_byte(b"none", b'"'), None);
+/// ```
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    // Same short-hop probe as [`find_any3`].
+    let probe = haystack.len().min(16);
+    if let Some(p) = haystack[..probe].iter().position(|&x| x == needle) {
+        return Some(p);
+    }
+    if probe == haystack.len() {
+        return None;
+    }
+    let s = splat(needle);
+    let n = haystack.len();
+    let mut i = probe;
+    while i + 8 <= n {
+        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+        let hits = zero_byte_mask(word ^ s);
+        if hits != 0 {
+            return Some(i + (hits.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&x| x == needle)
+        .map(|p| i + p)
+}
+
+/// The byte-at-a-time loop [`find_any3`] replaced — kept as the honesty
+/// baseline for `pipeline_baseline`.
+#[inline]
+pub fn find_any3_naive(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+    haystack.iter().position(|&x| x == a || x == b || x == c)
+}
+
+/// The byte-at-a-time loop [`find_byte`] replaced — kept as the honesty
+/// baseline for `pipeline_baseline`.
+#[inline]
+pub fn find_byte_naive(haystack: &[u8], needle: u8) -> Option<usize> {
+    haystack.iter().position(|&x| x == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_naive_on_crafted_inputs() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"abcdefg",   // shorter than a word
+            b"abcdefgh",  // exactly one word
+            b"abcdefghi", // word + tail
+            b",starts",
+            b"ends with,",
+            b"mid,dle and \n more, stuff \r here",
+            b"\r\n\r\n",
+            b"xxxxxxxx,yyyyyyyy", // special exactly at a word boundary
+            b"xxxxxxx,yyyyyyyy",  // special one before a word boundary
+            "žluťoučký,kůň".as_bytes(),
+        ];
+        for &hay in cases {
+            assert_eq!(
+                find_any3(hay, b',', b'\n', b'\r'),
+                find_any3_naive(hay, b',', b'\n', b'\r'),
+                "{:?}",
+                String::from_utf8_lossy(hay)
+            );
+            assert_eq!(
+                find_any2(hay, b',', b'\n'),
+                hay.iter().position(|&x| x == b',' || x == b'\n'),
+                "{:?}",
+                String::from_utf8_lossy(hay)
+            );
+            assert_eq!(
+                find_byte(hay, b','),
+                find_byte_naive(hay, b','),
+                "{:?}",
+                String::from_utf8_lossy(hay)
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_exhaustively_on_positions() {
+        // A special byte planted at every position of a 40-byte buffer,
+        // for every needle of every arity — catches any word-boundary or
+        // trailing-zeros math error.
+        for pos in 0..40usize {
+            for needle in [b',', b'\n', b'\r'] {
+                let mut hay = vec![b'x'; 40];
+                hay[pos] = needle;
+                assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(pos), "pos {pos}");
+                assert_eq!(find_byte(&hay, needle), Some(pos), "pos {pos}");
+            }
+            for needle in [b'<', b'&'] {
+                let mut hay = vec![b'x'; 40];
+                hay[pos] = needle;
+                assert_eq!(find_any2(&hay, b'<', b'&'), Some(pos), "pos {pos}");
+            }
+            for needle in [b'{', b'}', b'[', b']', b'"'] {
+                let mut hay = vec![b'x'; 40];
+                hay[pos] = needle;
+                assert_eq!(
+                    find_any5(&hay, b'{', b'}', b'[', b']', b'"'),
+                    Some(pos),
+                    "pos {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_of_several_specials_wins() {
+        let hay = b"aaaa\raa,aaaa\naaaa";
+        assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(4));
+        let hay = b"aaaaaaaaaa,a\ra";
+        assert_eq!(find_any3(hay, b',', b'\n', b'\r'), Some(10));
+        let hay = b"aaaaaaaaaaaaaaaaaaaaaa]aaaa}";
+        assert_eq!(find_any5(hay, b'{', b'}', b'[', b']', b'"'), Some(22));
+        let hay = b"aaaaaaaaaaaaaaaaaaaaaa&aaa<";
+        assert_eq!(find_any2(hay, b'<', b'&'), Some(22));
+    }
+
+    #[test]
+    fn high_bit_bytes_do_not_false_positive() {
+        // 0x80/0xFF bytes are where naive SWAR masks go wrong.
+        let hay = [0x80u8, 0xFF, 0xFE, 0x80, 0xFF, 0xFE, 0x80, 0xFF, b','];
+        assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(8));
+        assert_eq!(find_byte(&hay, b','), Some(8));
+        assert_eq!(find_byte(&hay, 0xFF), Some(1));
+        assert_eq!(find_any2(&hay, b',', b'\n'), Some(8));
+        assert_eq!(find_any5(&hay, b',', b'{', b'}', b'[', b']'), Some(8));
+    }
+
+    #[test]
+    fn find_any5_no_match_and_tails() {
+        assert_eq!(find_any5(b"", b'{', b'}', b'[', b']', b'"'), None);
+        let long = vec![b'x'; 100];
+        assert_eq!(find_any5(&long, b'{', b'}', b'[', b']', b'"'), None);
+        assert_eq!(find_any2(&long, b'<', b'&'), None);
+    }
+}

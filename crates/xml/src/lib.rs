@@ -55,7 +55,7 @@ pub use parser::{
     parse, parse_many_values, parse_many_values_with, parse_value, parse_value_with, parse_with,
     XmlError, XmlErrorKind, XmlOptions,
 };
-pub use stream::Streamer;
+pub use stream::{BoundaryScanner, Streamer};
 
 use tfd_value::{Name, Value};
 

@@ -89,274 +89,154 @@ enum Step {
     Reprocess(XMode),
 }
 
-/// A chunk-fed incremental XML parser.
-///
-/// Feed arbitrary byte slices; each completed top-level document is
-/// parsed with the byte-level [`parse_value_with`] and handed to the
-/// sink as its §6.2 value. Call [`finish`](Streamer::finish) after the
-/// last chunk.
-///
-/// ```
-/// use tfd_value::Value;
-/// let mut s = tfd_xml::stream::Streamer::new();
-/// let mut out = Vec::new();
-/// s.feed(b"<row id=\"4", &mut |v| out.push(v))?;   // split inside an attribute
-/// s.feed(b"2\"/><row id=\"7\"><v>x</v></ro", &mut |v| out.push(v))?;
-/// s.feed(b"w>", &mut |v| out.push(v))?;
-/// s.finish(&mut |v| out.push(v))?;
-/// assert_eq!(out.len(), 2);
-/// assert_eq!(out[0].field("id"), Some(&Value::Int(42)));
-/// # Ok::<(), tfd_xml::XmlError>(())
-/// ```
-pub struct Streamer {
-    options: XmlOptions,
-    /// Reused across records: one sink, one `EncodeOptions`, one cached
-    /// `•` name — no per-record clones.
-    vsink: ValueSink,
+/// The resumable boundary state machine itself — factored out so the
+/// chunk-fed [`Streamer`] and the scan-only [`BoundaryScanner`] share
+/// one implementation (any drift between them would silently break the
+/// parallel driver's shard cuts).
+#[derive(Debug, Clone)]
+struct Scan {
     mode: XMode,
     /// Element nesting depth of the current record's root.
     depth: usize,
-    /// Carry-over bytes of a record that spans chunk boundaries.
-    buf: Vec<u8>,
-    /// Global position of the current record's start (bytes inside a
-    /// record are accounted in bulk when it completes — the hot scanner
-    /// loops never touch these).
-    line: usize,
-    /// 1-based char column of the next character on the current line.
-    col: usize,
-    prev_cr: bool,
-    /// Snapshot of (line, col) where the current record starts.
-    start: (usize, usize),
-    failed: Option<XmlError>,
 }
 
-impl Default for Streamer {
+impl Default for Scan {
     fn default() -> Self {
-        Streamer::new()
+        Scan::new()
     }
 }
 
-impl Streamer {
-    /// A streamer with default [`XmlOptions`] and [`EncodeOptions`].
-    pub fn new() -> Streamer {
-        Streamer::with_options(&XmlOptions::default(), &EncodeOptions::default())
-    }
-
-    /// A streamer with explicit parser and encoding options (applied to
-    /// every record).
-    pub fn with_options(options: &XmlOptions, encode: &EncodeOptions) -> Streamer {
-        Streamer {
-            options: options.clone(),
-            vsink: ValueSink {
-                options: encode.clone(),
-                body: body_name(),
-            },
+impl Scan {
+    fn new() -> Scan {
+        Scan {
             mode: XMode::Between,
             depth: 0,
-            buf: Vec::new(),
-            line: 1,
-            col: 1,
-            prev_cr: false,
-            start: (1, 1),
-            failed: None,
         }
     }
 
-    /// Feeds one chunk; every document completed within it is parsed and
-    /// passed to `sink` in input order.
-    ///
-    /// # Errors
-    ///
-    /// The first malformed document poisons the streamer: the error is
-    /// returned now and again from any later call.
-    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
-        if let Some(e) = &self.failed {
-            return Err(e.clone());
-        }
-        let r = self.feed_inner(chunk, sink);
-        if let Err(e) = &r {
-            self.failed = Some(e.clone());
-        }
-        r
+    /// True while inside a record.
+    fn in_record(&self) -> bool {
+        !matches!(self.mode, XMode::Between)
     }
 
-    /// Signals end of input. A pending tail is parsed with the one-shot
-    /// multi-document parser, so an unterminated document reports
-    /// exactly the one-shot EOF error and a trailing comment/PI/DOCTYPE
-    /// (a record that never opened its root) is accepted silently.
-    ///
-    /// # Errors
-    ///
-    /// As [`feed`](Streamer::feed).
-    pub fn finish(&mut self, sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
-        if let Some(e) = &self.failed {
-            return Err(e.clone());
-        }
-        if matches!(self.mode, XMode::Between) {
-            return Ok(());
-        }
-        let buf = std::mem::take(&mut self.buf);
-        let r = self
-            .parse_tail(&buf)
-            .map(|values| values.into_iter().for_each(&mut *sink));
-        self.buf = buf;
-        self.buf.clear();
-        self.mode = XMode::Between;
-        if let Err(e) = &r {
-            self.failed = Some(e.clone());
-        }
-        r
+    /// Opens a record at the current byte (which is *not* consumed — the
+    /// text state re-examines it; misbytes too: their parse reproduces
+    /// the one-shot error).
+    fn open(&mut self) {
+        self.depth = 0;
+        self.mode = XMode::Text;
     }
 
-    fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
+    /// Advances through `chunk[i..]` while inside a record. Returns
+    /// `Some(end)` when the record completes — `chunk[..end]` holds its
+    /// final byte (the `>` closing its root), the state is back between
+    /// records, and scanning resumes at `end` — or `None` when the chunk
+    /// is exhausted with the record still open.
+    ///
+    /// The hot modes (character data, tags, quoted attribute values) hop
+    /// special-to-special with the shared SWAR scanners
+    /// ([`tfd_value::scan`]) instead of stepping byte by byte.
+    fn run(&mut self, chunk: &[u8], mut i: usize) -> Option<usize> {
         let n = chunk.len();
-        // The chunk's valid-UTF-8 prefix, validated once: records that
-        // start inside it can be parsed straight off the chunk (a root
-        // element is self-delimiting), with no boundary pre-scan.
-        let text: &str = match std::str::from_utf8(chunk) {
-            Ok(t) => t,
-            Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix"),
-        };
-        // Index in `chunk` where the unbuffered part of the current
-        // record starts (0 while a record carried over in `buf` is open).
-        let mut rec_start = 0usize;
-        let mut i = 0usize;
         while i < n {
             match self.mode {
-                XMode::Between => {
-                    let b = chunk[i];
-                    match b {
-                        b' ' | b'\t' | b'\r' | b'\n' => {
-                            self.advance_ws(b);
-                            i += 1;
-                        }
-                        _ => {
-                            // Any other byte opens a record (misbytes
-                            // too: their parse reproduces the one-shot
-                            // error).
-                            self.start = (self.line, self.col);
-                            rec_start = i;
-                            debug_assert!(self.buf.is_empty());
-                            // Fast path: parse the document straight off
-                            // the chunk. Failures (straddling the chunk
-                            // end, or truly malformed) are discarded; the
-                            // resumable scanner below re-derives them
-                            // from the exact record slice.
-                            if b == b'<' && i < text.len() {
-                                if let Ok((v, consumed)) =
-                                    parse_one_document(&text[i..], &self.options, &mut self.vsink)
-                                {
-                                    sink(v);
-                                    self.advance_over(&chunk[i..i + consumed]);
-                                    i += consumed;
-                                    continue;
-                                }
-                            }
-                            self.depth = 0;
-                            self.mode = XMode::Text;
-                        }
-                    }
-                }
+                XMode::Between => unreachable!("run is only called inside a record"),
                 // Hot loop: in character data only markup and entity
-                // starts matter — positions are settled in bulk at
-                // completion.
-                XMode::Text => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    i += 1;
-                    if b == b'<' {
-                        self.mode = XMode::Lt;
-                        break;
-                    }
-                    if b == b'&' {
-                        self.mode = XMode::Ent {
-                            ret: 0,
-                            len: 0,
-                            pending: 0,
+                // starts matter.
+                XMode::Text => match tfd_value::scan::find_any2(&chunk[i..], b'<', b'&') {
+                    None => return None,
+                    Some(off) => {
+                        i += off + 1;
+                        self.mode = if chunk[i - 1] == b'<' {
+                            XMode::Lt
+                        } else {
+                            XMode::Ent {
+                                ret: 0,
+                                len: 0,
+                                pending: 0,
+                            }
                         };
-                        break;
                     }
                 },
-                // Hot loop: inside a start tag, outside quotes.
+                // Hot loop: inside a start tag, outside quotes. Only `>`
+                // and the quote openers end the hop; the `/` of a
+                // potential self-close is recovered by looking at the
+                // byte *before* the `>` (falling back to the carried
+                // flag when the `>` is the first byte scanned).
                 XMode::OpenTag { quote: 0, slash } => {
-                    let mut slash = slash;
-                    loop {
-                        if i >= n {
-                            self.mode = XMode::OpenTag { quote: 0, slash };
-                            break;
+                    match tfd_value::scan::find_any3(&chunk[i..], b'>', b'"', b'\'') {
+                        None => {
+                            self.mode = XMode::OpenTag {
+                                quote: 0,
+                                slash: chunk[n - 1] == b'/',
+                            };
+                            return None;
                         }
-                        let b = chunk[i];
-                        i += 1;
-                        match b {
-                            b'>' => {
+                        Some(off) => {
+                            let p = i + off;
+                            let b = chunk[p];
+                            i = p + 1;
+                            if b == b'>' {
+                                let slash = if off == 0 {
+                                    slash
+                                } else {
+                                    chunk[p - 1] == b'/'
+                                };
                                 if slash {
                                     // Self-closing: no depth change.
                                     if self.depth == 0 {
-                                        self.complete(chunk, rec_start, i, sink)?;
-                                    } else {
-                                        self.mode = XMode::Text;
+                                        self.mode = XMode::Between;
+                                        return Some(i);
                                     }
+                                    self.mode = XMode::Text;
                                 } else {
                                     self.depth += 1;
                                     self.mode = XMode::Text;
                                 }
-                                break;
-                            }
-                            b'/' => slash = true,
-                            b'"' | b'\'' => {
+                            } else {
                                 self.mode = XMode::OpenTag {
                                     quote: b,
                                     slash: false,
                                 };
-                                break;
                             }
-                            _ => slash = false,
                         }
                     }
                 }
                 // Hot loop: inside a quoted attribute value.
-                XMode::OpenTag { quote, .. } => loop {
-                    if i >= n {
-                        break;
+                XMode::OpenTag { quote, .. } => {
+                    match tfd_value::scan::find_any2(&chunk[i..], quote, b'&') {
+                        None => return None,
+                        Some(off) => {
+                            i += off + 1;
+                            self.mode = if chunk[i - 1] == quote {
+                                XMode::OpenTag {
+                                    quote: 0,
+                                    slash: false,
+                                }
+                            } else {
+                                XMode::Ent {
+                                    ret: quote,
+                                    len: 0,
+                                    pending: 0,
+                                }
+                            };
+                        }
                     }
-                    let b = chunk[i];
-                    i += 1;
-                    if b == quote {
-                        self.mode = XMode::OpenTag {
-                            quote: 0,
-                            slash: false,
-                        };
-                        break;
-                    }
-                    if b == b'&' {
-                        self.mode = XMode::Ent {
-                            ret: quote,
-                            len: 0,
-                            pending: 0,
-                        };
-                        break;
-                    }
-                },
+                }
                 // Hot loop: inside an end tag.
-                XMode::CloseTag => loop {
-                    if i >= n {
-                        break;
-                    }
-                    let b = chunk[i];
-                    i += 1;
-                    if b == b'>' {
+                XMode::CloseTag => match tfd_value::scan::find_byte(&chunk[i..], b'>') {
+                    None => return None,
+                    Some(off) => {
+                        i += off + 1;
                         if self.depth <= 1 {
                             // Root closed (or a stray close tag whose
                             // record parse reports the one-shot error).
                             self.depth = 0;
-                            self.complete(chunk, rec_start, i, sink)?;
-                        } else {
-                            self.depth -= 1;
-                            self.mode = XMode::Text;
+                            self.mode = XMode::Between;
+                            return Some(i);
                         }
-                        break;
+                        self.depth -= 1;
+                        self.mode = XMode::Text;
                     }
                 },
                 // Cold modes (markup dispatch, comments, CDATA, DOCTYPE,
@@ -367,8 +247,8 @@ impl Streamer {
                         i += 1;
                     }
                     Step::ConsumeEnd => {
-                        i += 1;
-                        self.complete(chunk, rec_start, i, sink)?;
+                        self.mode = XMode::Between;
+                        return Some(i + 1);
                     }
                     Step::Reprocess(mode) => {
                         self.mode = mode;
@@ -376,18 +256,16 @@ impl Streamer {
                 },
             }
         }
-        if !matches!(self.mode, XMode::Between) {
-            self.buf.extend_from_slice(&chunk[rec_start..]);
-        }
-        Ok(())
+        None
     }
 
-    /// One scanner transition for a byte inside a record.
+    /// One scanner transition for a byte inside a record (cold modes;
+    /// the hot modes are inlined in [`Scan::run`]).
     fn step(&mut self, b: u8) -> Step {
         use XMode::*;
         match self.mode {
             Between => unreachable!("handled by the caller"),
-            Text => unreachable!("inlined in feed_inner"),
+            Text | OpenTag { .. } | CloseTag => unreachable!("inlined in run"),
             Ent { ret, len, pending } => {
                 if pending > 0 {
                     // Finish the character in flight, then apply the
@@ -476,7 +354,6 @@ impl Streamer {
                 b'>' if q => Step::Consume(Text),
                 _ => Step::Consume(Pi { q: b == b'?' }),
             },
-            OpenTag { .. } | CloseTag => unreachable!("inlined in feed_inner"),
         }
     }
 
@@ -491,6 +368,249 @@ impl Streamer {
             }
         }
     }
+}
+
+/// A scan-only record-boundary finder: the [`Streamer`]'s resumable
+/// state machine without the parsing — it never materializes a value,
+/// only reports where top-level documents end (the `>` closing each root
+/// element).
+///
+/// This is what the parallel driver (`tfd_core::engine`) uses to cut a
+/// corpus into shards that never split a document: every reported offset
+/// is a position where the sequential streamer is between records.
+/// Inter-document misc (comments, PIs) is glued to the *following*
+/// document, exactly as the streamer glues it.
+///
+/// ```
+/// let mut s = tfd_xml::stream::BoundaryScanner::new();
+/// let mut cuts = Vec::new();
+/// s.feed(b"<a x=\"1\"/> <b><c/></b>", &mut |off| cuts.push(off));
+/// assert_eq!(cuts, vec![10, 22]);
+/// assert!(!s.in_record());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BoundaryScanner {
+    scan: Scan,
+}
+
+impl BoundaryScanner {
+    /// A scanner positioned between documents at the start of a stream.
+    pub fn new() -> BoundaryScanner {
+        BoundaryScanner { scan: Scan::new() }
+    }
+
+    /// Feeds one chunk; `boundary` receives the chunk-relative offset
+    /// just past each document completed within it (state carries across
+    /// calls, so chunks may split documents anywhere).
+    pub fn feed(&mut self, chunk: &[u8], boundary: &mut impl FnMut(usize)) {
+        let n = chunk.len();
+        let mut i = 0usize;
+        while i < n {
+            if self.scan.in_record() {
+                match self.scan.run(chunk, i) {
+                    Some(end) => {
+                        boundary(end);
+                        i = end;
+                    }
+                    None => i = n,
+                }
+            } else {
+                match chunk[i] {
+                    b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                    _ => self.scan.open(),
+                }
+            }
+        }
+    }
+
+    /// True when the last fed byte was inside a document (the stream
+    /// ends with an unterminated document or trailing misc).
+    pub fn in_record(&self) -> bool {
+        self.scan.in_record()
+    }
+}
+
+/// A chunk-fed incremental XML parser.
+///
+/// Feed arbitrary byte slices; each completed top-level document is
+/// parsed with the byte-level [`parse_value_with`] and handed to the
+/// sink as its §6.2 value. Call [`finish`](Streamer::finish) after the
+/// last chunk.
+///
+/// ```
+/// use tfd_value::Value;
+/// let mut s = tfd_xml::stream::Streamer::new();
+/// let mut out = Vec::new();
+/// s.feed(b"<row id=\"4", &mut |v| out.push(v))?;   // split inside an attribute
+/// s.feed(b"2\"/><row id=\"7\"><v>x</v></ro", &mut |v| out.push(v))?;
+/// s.feed(b"w>", &mut |v| out.push(v))?;
+/// s.finish(&mut |v| out.push(v))?;
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out[0].field("id"), Some(&Value::Int(42)));
+/// # Ok::<(), tfd_xml::XmlError>(())
+/// ```
+pub struct Streamer {
+    options: XmlOptions,
+    /// Reused across records: one sink, one `EncodeOptions`, one cached
+    /// `•` name — no per-record clones.
+    vsink: ValueSink,
+    /// The resumable boundary state machine (shared with
+    /// [`BoundaryScanner`]).
+    scan: Scan,
+    /// Carry-over bytes of a record that spans chunk boundaries.
+    buf: Vec<u8>,
+    /// Global position of the current record's start (bytes inside a
+    /// record are accounted in bulk when it completes — the hot scanner
+    /// loops never touch these).
+    line: usize,
+    /// 1-based char column of the next character on the current line.
+    col: usize,
+    prev_cr: bool,
+    /// Snapshot of (line, col) where the current record starts.
+    start: (usize, usize),
+    failed: Option<XmlError>,
+}
+
+impl Default for Streamer {
+    fn default() -> Self {
+        Streamer::new()
+    }
+}
+
+impl Streamer {
+    /// A streamer with default [`XmlOptions`] and [`EncodeOptions`].
+    pub fn new() -> Streamer {
+        Streamer::with_options(&XmlOptions::default(), &EncodeOptions::default())
+    }
+
+    /// A streamer with explicit parser and encoding options (applied to
+    /// every record).
+    pub fn with_options(options: &XmlOptions, encode: &EncodeOptions) -> Streamer {
+        Streamer {
+            options: options.clone(),
+            vsink: ValueSink {
+                options: encode.clone(),
+                body: body_name(),
+            },
+            scan: Scan::new(),
+            buf: Vec::new(),
+            line: 1,
+            col: 1,
+            prev_cr: false,
+            start: (1, 1),
+            failed: None,
+        }
+    }
+
+    /// Feeds one chunk; every document completed within it is parsed and
+    /// passed to `sink` in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first malformed document poisons the streamer: the error is
+    /// returned now and again from any later call.
+    pub fn feed(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let r = self.feed_inner(chunk, sink);
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    /// Signals end of input. A pending tail is parsed with the one-shot
+    /// multi-document parser, so an unterminated document reports
+    /// exactly the one-shot EOF error and a trailing comment/PI/DOCTYPE
+    /// (a record that never opened its root) is accepted silently.
+    ///
+    /// # Errors
+    ///
+    /// As [`feed`](Streamer::feed).
+    pub fn finish(&mut self, sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        if !self.scan.in_record() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.buf);
+        let r = self
+            .parse_tail(&buf)
+            .map(|values| values.into_iter().for_each(&mut *sink));
+        self.buf = buf;
+        self.buf.clear();
+        self.scan.mode = XMode::Between;
+        if let Err(e) = &r {
+            self.failed = Some(e.clone());
+        }
+        r
+    }
+
+    fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
+        let n = chunk.len();
+        // The chunk's valid-UTF-8 prefix, validated once: records that
+        // start inside it can be parsed straight off the chunk (a root
+        // element is self-delimiting), with no boundary pre-scan.
+        let text: &str = match std::str::from_utf8(chunk) {
+            Ok(t) => t,
+            Err(e) => std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("validated prefix"),
+        };
+        // Index in `chunk` where the unbuffered part of the current
+        // record starts (0 while a record carried over in `buf` is open).
+        let mut rec_start = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            if self.scan.in_record() {
+                // Inside a record: the shared scanner hops to its end
+                // (or the chunk's) — positions are settled in bulk at
+                // completion.
+                match self.scan.run(chunk, i) {
+                    Some(end) => {
+                        self.complete(chunk, rec_start, end, sink)?;
+                        i = end;
+                    }
+                    None => i = n,
+                }
+            } else {
+                let b = chunk[i];
+                match b {
+                    b' ' | b'\t' | b'\r' | b'\n' => {
+                        self.advance_ws(b);
+                        i += 1;
+                    }
+                    _ => {
+                        // Any other byte opens a record (misbytes too:
+                        // their parse reproduces the one-shot error).
+                        self.start = (self.line, self.col);
+                        rec_start = i;
+                        debug_assert!(self.buf.is_empty());
+                        // Fast path: parse the document straight off the
+                        // chunk. Failures (straddling the chunk end, or
+                        // truly malformed) are discarded; the resumable
+                        // scanner re-derives them from the exact record
+                        // slice.
+                        if b == b'<' && i < text.len() {
+                            if let Ok((v, consumed)) =
+                                parse_one_document(&text[i..], &self.options, &mut self.vsink)
+                            {
+                                sink(v);
+                                self.advance_over(&chunk[i..i + consumed]);
+                                i += consumed;
+                                continue;
+                            }
+                        }
+                        self.scan.open();
+                    }
+                }
+            }
+        }
+        if self.scan.in_record() {
+            self.buf.extend_from_slice(&chunk[rec_start..]);
+        }
+        Ok(())
+    }
 
     /// Completes the current record, whose bytes are `buf` (carry-over)
     /// followed by `chunk[rec_start..end]`, parses it and emits the
@@ -502,7 +622,7 @@ impl Streamer {
         end: usize,
         sink: &mut impl FnMut(Value),
     ) -> Result<(), XmlError> {
-        self.mode = XMode::Between;
+        self.scan.mode = XMode::Between;
         let r = if self.buf.is_empty() {
             let v = self.parse_record(chunk, rec_start, end);
             self.advance_over(&chunk[rec_start..end]);

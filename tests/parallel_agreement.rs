@@ -1,0 +1,383 @@
+//! Parallel-vs-sequential differential suite.
+//!
+//! The sharded parallel driver (`tfd_core::engine`) promises to be
+//! *observationally identical* to the sequential pipeline for every
+//! format and every shard count: the same record `Value` sequence, the
+//! same folded `Shape` (the Fig. 3 fold is a semilattice, so any
+//! re-association of `csh` joins yields the same least upper bound), the
+//! same record counts — and, for malformed input, the same error kind at
+//! the same stream-global position (the first error in document order).
+//!
+//! This suite drives that promise with generated corpora under
+//! adversarial shard counts — 1, 2, 7, 64, and more shards than records
+//! — plus mutation/truncation error agreement, for JSON, XML and CSV,
+//! through both the in-memory driver (`infer_slice`/`parse_slice`) and
+//! the bounded-memory reader driver (`infer_reader_parallel`) at small
+//! chunk sizes.
+
+mod common;
+
+use common::value_strategy;
+use proptest::prelude::*;
+use tfd_core::engine::{
+    infer_reader_parallel, infer_slice, parse_slice, CsvFormat, DataFormat, JsonFormat, XmlFormat,
+};
+use tfd_core::{InferOptions, StreamFormat};
+use tfd_value::Value;
+
+/// The shard counts every corpus is driven through: sequential, small,
+/// odd, large, and (for the generated corpora, which stay under ~60
+/// records) deliberately larger than the record count.
+const JOBS: &[usize] = &[1, 2, 7, 64];
+
+/// Asserts the in-memory sharded driver agrees with the sequential
+/// pipeline at every shard count: shapes, record counts, values and
+/// errors.
+fn assert_slice_agrees<F: DataFormat>(corpus: &[u8])
+where
+    F::Error: PartialEq + std::fmt::Debug,
+{
+    let options = F::infer_options();
+    let seq = infer_slice::<F>(corpus, &options, 1);
+    let seq_values = parse_slice::<F>(corpus, 1);
+    for &jobs in JOBS {
+        let par = infer_slice::<F>(corpus, &options, jobs);
+        match (&seq, &par) {
+            // Mutated corpora can carry duplicate record fields, whose
+            // shapes/values compare unequal even to themselves; compare
+            // the rendering, which is what the CLI prints.
+            (Ok(a), Ok(b)) => assert_eq!(
+                (format!("{:?}", a.shape), a.records, a.bytes),
+                (format!("{:?}", b.shape), b.records, b.bytes),
+                "{} shape at jobs {jobs}",
+                F::NAME
+            ),
+            _ => assert_eq!(&par, &seq, "{} outcome at jobs {jobs}", F::NAME),
+        }
+        let par_values = parse_slice::<F>(corpus, jobs);
+        match (&seq_values, &par_values) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{} values at jobs {jobs}",
+                F::NAME
+            ),
+            _ => assert_eq!(
+                &par_values,
+                &seq_values,
+                "{} values at jobs {jobs}",
+                F::NAME
+            ),
+        }
+    }
+}
+
+/// Asserts the bounded-memory reader driver agrees with the sequential
+/// reader pipeline for several (chunk size, jobs) pairs.
+fn assert_reader_agrees<F: DataFormat>(corpus: &[u8])
+where
+    F::Error: PartialEq + std::fmt::Debug,
+{
+    let options = F::infer_options();
+    let seq = infer_reader_parallel::<F, _>(corpus, &options, 4096, 1);
+    for (chunk, jobs) in [(1usize, 2usize), (7, 4), (64, 7), (4096, 3)] {
+        let par = infer_reader_parallel::<F, _>(corpus, &options, chunk, jobs);
+        match (&seq, &par) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                (format!("{:?}", a.shape), a.records, a.bytes),
+                (format!("{:?}", b.shape), b.records, b.bytes),
+                "{} reader at chunk {chunk} jobs {jobs}",
+                F::NAME
+            ),
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a}"),
+                format!("{b}"),
+                "{} reader error at chunk {chunk} jobs {jobs}",
+                F::NAME
+            ),
+            _ => panic!(
+                "{} reader outcome diverged at chunk {chunk} jobs {jobs}: {seq:?} vs {par:?}",
+                F::NAME
+            ),
+        }
+    }
+}
+
+/// Replaces the char at (position % len) with `c`, staying valid UTF-8.
+fn mutate(text: &str, position: usize, c: char) -> String {
+    if text.is_empty() {
+        return c.to_string();
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let at = position % chars.len();
+    chars
+        .iter()
+        .enumerate()
+        .map(|(i, &orig)| if i == at { c } else { orig })
+        .collect()
+}
+
+/// Truncates to the first (length % (chars+1)) characters.
+fn truncate(text: &str, length: usize) -> String {
+    let chars: Vec<char> = text.chars().collect();
+    chars[..length % (chars.len() + 1)].iter().collect()
+}
+
+// --- JSON ---
+
+fn json_corpus_text(docs: &[Value], seps: &[&str]) -> String {
+    let mut text = String::new();
+    for (i, d) in docs.iter().enumerate() {
+        text.push_str(&tfd_json::to_json_string(&tfd_json::Json::from_value(d)));
+        text.push_str(seps.get(i % seps.len().max(1)).copied().unwrap_or(" "));
+    }
+    text
+}
+
+const JSON_SEPS: &[&str] = &[" ", "\n", "\t\r\n "];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded parallel inference over generated JSON corpora agrees
+    /// with the sequential fold — shapes, records, values — for every
+    /// shard count, including shards > records.
+    #[test]
+    fn json_parallel_agrees_on_valid_corpora(
+        docs in prop::collection::vec(value_strategy(), 0..6),
+        seps in prop::collection::vec(prop::sample::select(JSON_SEPS), 1..4),
+    ) {
+        let text = json_corpus_text(&docs, &seps);
+        assert_slice_agrees::<JsonFormat>(text.as_bytes());
+        assert_reader_agrees::<JsonFormat>(text.as_bytes());
+    }
+
+    /// Mutated/truncated JSON: identical outcomes — error kind, offset,
+    /// line and char-correct column — at every shard count.
+    #[test]
+    fn json_parallel_error_agreement_under_mutation(
+        docs in prop::collection::vec(value_strategy(), 1..4),
+        position in 0usize..400,
+        c in prop::sample::select(&['@', '"', '{', '}', ']', ',', 'x', '0', '\\', 'é'][..]),
+        cut in 0usize..400,
+        do_truncate in proptest::strategy::any::<bool>(),
+    ) {
+        let base = json_corpus_text(&docs, &[" ", "\n"]);
+        let text = if do_truncate { truncate(&base, cut) } else { mutate(&base, position, c) };
+        assert_slice_agrees::<JsonFormat>(text.as_bytes());
+        assert_reader_agrees::<JsonFormat>(text.as_bytes());
+    }
+}
+
+// --- XML ---
+
+const XML_NAMES: &[&str] = &["a", "item", "ns:tag", "čaj"];
+const XML_SEPS: &[&str] = &[" ", "\n", "", "<!-- gap -->", "\r\n"];
+
+fn xml_doc_strategy() -> impl Strategy<Value = String> {
+    let attrs = prop::collection::vec("[a-z 0-9é]{0,4}", 0..3).prop_map(|vals| {
+        vals.into_iter()
+            .enumerate()
+            .map(|(i, v)| format!(" at{i}=\"{v}\""))
+            .collect::<String>()
+    });
+    let content = prop_oneof![
+        "[a-z 0-9éž]{0,6}",
+        Just("&amp;".to_owned()),
+        Just("<![CDATA[ <raw> & ]]>".to_owned()),
+        Just("<!-- note -->".to_owned()),
+    ];
+    (prop::sample::select(XML_NAMES), attrs, content).prop_map(|(n, a, t)| {
+        if t.is_empty() {
+            format!("<{n}{a}/>")
+        } else {
+            format!("<{n}{a}>{t}</{n}>")
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded parallel inference over generated XML document streams
+    /// agrees with the sequential fold at every shard count (comments
+    /// between documents glue to the following shard's document, exactly
+    /// as the sequential scanner glues them).
+    #[test]
+    fn xml_parallel_agrees_on_valid_corpora(
+        docs in prop::collection::vec(xml_doc_strategy(), 0..6),
+        seps in prop::collection::vec(prop::sample::select(XML_SEPS), 1..4),
+    ) {
+        let mut text = String::new();
+        for (i, d) in docs.iter().enumerate() {
+            text.push_str(d);
+            text.push_str(seps.get(i % seps.len().max(1)).copied().unwrap_or(" "));
+        }
+        assert_slice_agrees::<XmlFormat>(text.as_bytes());
+        assert_reader_agrees::<XmlFormat>(text.as_bytes());
+    }
+
+    /// Mutated/truncated XML: identical error positions at every shard
+    /// count.
+    #[test]
+    fn xml_parallel_error_agreement_under_mutation(
+        docs in prop::collection::vec(xml_doc_strategy(), 1..4),
+        position in 0usize..300,
+        c in prop::sample::select(&['<', '>', '&', ';', '@', '/', '"', 'é'][..]),
+        cut in 0usize..300,
+        do_truncate in proptest::strategy::any::<bool>(),
+    ) {
+        let base: String = docs.join("\n");
+        let text = if do_truncate { truncate(&base, cut) } else { mutate(&base, position, c) };
+        assert_slice_agrees::<XmlFormat>(text.as_bytes());
+        assert_reader_agrees::<XmlFormat>(text.as_bytes());
+    }
+}
+
+// --- CSV ---
+
+fn csv_cell() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z0-9]{0,4}",
+        Just("#N/A".to_owned()),
+        Just("42".to_owned()),
+        Just("2.5".to_owned()),
+        Just("2012-05-01".to_owned()),
+        // Quoted cells with embedded delimiters, quotes, line endings
+        // and multi-byte characters — the shard cutter must never split
+        // inside these.
+        "[a-z,\"\n\réž ]{0,6}".prop_map(|c| format!("\"{}\"", c.replace('"', "\"\""))),
+    ]
+}
+
+const CSV_ENDINGS: &[&str] = &["\n", "\r\n", "\r"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded parallel CSV inference agrees with the sequential fold at
+    /// every shard count: the header is parsed once in the prologue and
+    /// seeded into every shard, quoted line endings never become cut
+    /// points, and CRLF pairs are never split between shards.
+    #[test]
+    fn csv_parallel_agrees_on_valid_corpora(
+        rows in prop::collection::vec(prop::collection::vec(csv_cell(), 0..5), 0..6),
+        endings in prop::collection::vec(prop::sample::select(CSV_ENDINGS), 1..4),
+        final_ending in proptest::strategy::any::<bool>(),
+    ) {
+        let mut text = String::from("h1,h2,h3");
+        text.push_str(endings.first().copied().unwrap_or("\n"));
+        for (i, row) in rows.iter().enumerate() {
+            text.push_str(&row.join(","));
+            if i + 1 < rows.len() || final_ending {
+                text.push_str(endings.get(i % endings.len().max(1)).copied().unwrap_or("\n"));
+            }
+        }
+        assert_slice_agrees::<CsvFormat>(text.as_bytes());
+        assert_reader_agrees::<CsvFormat>(text.as_bytes());
+    }
+
+    /// Raw random CSV-ish text (stray quotes, ragged rows, bare CRs):
+    /// identical outcomes — rows, or error kind and line — at every
+    /// shard count.
+    #[test]
+    fn csv_parallel_error_agreement_over_random_text(
+        text in "[a-c,\"\n\r ]{0,60}",
+    ) {
+        assert_slice_agrees::<CsvFormat>(text.as_bytes());
+        assert_reader_agrees::<CsvFormat>(text.as_bytes());
+    }
+}
+
+// --- Named edges and regressions ---
+
+/// Shard counts exceeding the record count must degrade gracefully: a
+/// shard never splits a record, so the driver simply uses fewer shards.
+#[test]
+fn more_shards_than_records() {
+    let cases: [(&str, StreamFormat); 3] = [
+        ("{\"a\": 1} {\"b\": 2}", StreamFormat::Json),
+        ("<a/><b/>", StreamFormat::Xml),
+        ("h\n1\n2\n", StreamFormat::Csv),
+    ];
+    for (text, format) in cases {
+        let options = tfd_core::engine::infer_options_dyn(format);
+        let seq = tfd_core::engine::infer_slice_dyn(format, text.as_bytes(), &options, 1).unwrap();
+        for jobs in [3, 64, 1000] {
+            let par =
+                tfd_core::engine::infer_slice_dyn(format, text.as_bytes(), &options, jobs).unwrap();
+            assert_eq!(par, seq, "{format:?} at jobs {jobs}");
+        }
+    }
+}
+
+/// Single-record and empty corpora at high shard counts.
+#[test]
+fn single_record_and_empty_corpora() {
+    assert_slice_agrees::<JsonFormat>(b"{\"only\": 1}");
+    assert_slice_agrees::<JsonFormat>(b"");
+    assert_slice_agrees::<XmlFormat>(b"<only x=\"1\"/>");
+    assert_slice_agrees::<XmlFormat>(b"");
+    assert_slice_agrees::<XmlFormat>(b"<!-- misc only -->");
+    assert_slice_agrees::<CsvFormat>(b"h1,h2\n1,2\n");
+    assert_slice_agrees::<CsvFormat>(b"h1,h2");
+    assert_slice_agrees::<CsvFormat>(b"");
+}
+
+/// The error in a late shard must surface at its sequential stream
+/// position (line numbers continue across shard boundaries).
+#[test]
+fn error_positions_cross_shard_boundaries() {
+    let json = "{\"a\":1}\n{\"b\":2}\n{\"c\":3}\n{\"d\": @}\n";
+    let seq = infer_slice::<JsonFormat>(json.as_bytes(), &InferOptions::json(), 1).unwrap_err();
+    for jobs in [2, 3, 4, 64] {
+        let par =
+            infer_slice::<JsonFormat>(json.as_bytes(), &InferOptions::json(), jobs).unwrap_err();
+        assert_eq!(par, seq, "jobs {jobs}");
+    }
+    assert_eq!(seq.pos.line, 4);
+    assert_eq!(seq.pos.offset, json.find('@').unwrap());
+
+    // CSV: an unterminated quote on the last line, with quoted newlines
+    // earlier to stress the line accounting.
+    let csv = "h\n\"a\nb\"\nok\n\"oops";
+    let seq = infer_slice::<CsvFormat>(csv.as_bytes(), &InferOptions::csv(), 1).unwrap_err();
+    for jobs in [2, 7] {
+        let par = infer_slice::<CsvFormat>(csv.as_bytes(), &InferOptions::csv(), jobs).unwrap_err();
+        assert_eq!(par, seq, "jobs {jobs}");
+    }
+    assert_eq!(seq, tfd_csv::CsvError::UnterminatedQuote(5));
+}
+
+/// CSV quoting torture: quoted CRLFs, `""` escapes and mid-field quotes
+/// right at likely cut points.
+#[test]
+fn csv_quoting_never_splits_at_shard_cuts() {
+    let mut text = String::from("name,note\n");
+    for i in 0..60 {
+        text.push_str(&format!("r{i},\"line1\r\nline2,with \"\"quotes\"\"\"\r\n"));
+    }
+    assert_slice_agrees::<CsvFormat>(text.as_bytes());
+    assert_reader_agrees::<CsvFormat>(text.as_bytes());
+}
+
+/// The global (§6.2, env-carrying) mode on top of the parallel fold:
+/// globalizing the parallel shape equals globalizing the sequential one
+/// — `--global --jobs N` prints what `--global` prints.
+#[test]
+fn globalize_on_parallel_fold_matches_sequential() {
+    let mut text = String::new();
+    for i in 0..30 {
+        text.push_str(&format!(
+            "<div id=\"{i}\"><div child=\"true\"><div x=\"{i}\"/></div></div>\n"
+        ));
+    }
+    let options = InferOptions::xml();
+    let seq = infer_slice::<XmlFormat>(text.as_bytes(), &options, 1).unwrap();
+    let par = infer_slice::<XmlFormat>(text.as_bytes(), &options, 8).unwrap();
+    assert_eq!(par.shape, seq.shape);
+    let g_seq = tfd_core::globalize_env(seq.shape);
+    let g_par = tfd_core::globalize_env(par.shape);
+    assert_eq!(g_par, g_seq);
+    assert!(!g_par.env.is_empty(), "the corpus is genuinely recursive");
+}

@@ -214,3 +214,62 @@ fn error_handling_workflow_add_failing_input_as_sample() {
     assert!(tfd_provider::deep_eval(&new_provided, &failing).is_ok());
     assert!(tfd_provider::deep_eval(&new_provided, &sample).is_ok());
 }
+
+#[test]
+fn scenario_recursive_provider_migrates_through_the_env() {
+    // Satellite regression (μ-aware stability): a program navigating
+    // *through a recursion point* of a recursive provider migrates with
+    // the Remark 1 transformations when the comparison runs through the
+    // shape environment — and provably cannot when it runs on the
+    // finite-tree rendering, which cuts the recursive class to a ↺div
+    // reference.
+    use tfd_core::{globalize_env, is_preferred_global};
+    use tfd_provider::migrate_global;
+    use tfd_value::rec;
+
+    let opts = InferOptions::xml();
+    let d1 = rec(
+        "div",
+        [
+            ("child", rec("div", [("x", Value::Int(1))])),
+            ("x", Value::Int(7)),
+        ],
+    );
+    let d2 = rec(
+        "div",
+        [
+            ("child", rec("div", [("x", Value::Float(2.5))])),
+            ("x", Value::Int(9)),
+        ],
+    );
+    let old = globalize_env(infer_many([&d1], &opts));
+    let new = globalize_env(infer_many([&d1, &d2], &opts));
+    assert!(!old.env.is_empty(), "the corpus is genuinely recursive");
+    assert!(is_preferred_global(&old, &new));
+
+    // root.child (unwrap) .x — the second member access crosses the
+    // μ-reference back into the div class.
+    let program = AccessProgram::new([
+        AccessStep::Member("child".into()),
+        AccessStep::Unwrap,
+        AccessStep::Member("x".into()),
+    ]);
+    let migrated = migrate_global(&program, &old, &new).unwrap();
+    // x widened int → float inside the class: transformation 3 lands.
+    assert_eq!(
+        migrated.steps.last(),
+        Some(&AccessStep::AsInt),
+        "{migrated:?}"
+    );
+    // The migrated program still compiles to a Foo expression (the
+    // runtime side is structural, so the μ-cut does not block it).
+    let expr = apply(&migrated, tfd_foo::Expr::var("root"));
+    assert!(expr.to_string().contains("int("), "{expr}");
+
+    // The finite-tree migrate stops at the recursion cut:
+    let err = migrate(&program, &old.inline(), &new.inline()).unwrap_err();
+    assert!(
+        err.0.contains("member access on non-record"),
+        "unexpected error: {err}"
+    );
+}
