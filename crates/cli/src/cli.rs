@@ -5,7 +5,12 @@
 //! workers*, the engine does the rest.
 
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
-use tfd_core::{csh, engine, globalize_env, GlobalShape, InferOptions, Shape, StreamFormat};
+use tfd_core::recover::{self, ErrorReport};
+use tfd_core::stream::StreamError;
+use tfd_core::{
+    csh, engine, globalize_env, GlobalShape, InferOptions, RecoveryMode, RecoveryPolicy, Shape,
+    StreamFormat,
+};
 use tfd_value::Value;
 
 const USAGE: &str = "\
@@ -36,15 +41,94 @@ OPTIONS:
                                per-shard shapes join with csh, so the
                                result is identical to --jobs 1; implies
                                record-stream reading, like --stream)
+    --skip-errors              drop malformed records instead of aborting:
+                               the parse re-syncs at the next record
+                               boundary, the clean records are folded, and
+                               a skip summary (count, first and last
+                               errors) is printed on stderr — the shape
+                               equals a run over the corpus with the bad
+                               records deleted (not with value/html)
+    --max-errors <N>           with --skip-errors: abort once more than N
+                               records were skipped (default: 1000)
+    --max-record-bytes <N>     hard cap on a single record's size in
+                               bytes; a record that outgrows it fails (or,
+                               with --skip-errors, is dropped) instead of
+                               buffering without bound (default: 16777216)
+    --max-depth <N>            cap on JSON/XML nesting depth
+                               (defaults: JSON 128, XML 256)
     --module <name>            module name for `rust` (default: provided)
     --root <Name>              root type name (default: Root)
     --prefix <path>            support-crate path for `rust`
                                (default: ::types_from_data)
     --help                     show this help
+
+EXIT CODES:
+    0   success
+    1   usage error (bad flags, unknown command or format)
+    2   the input failed to parse, exceeded --max-errors, or tripped a
+        resource cap
+    3   an input file could not be read
 ";
 
-/// Runs the CLI; returns the text to print.
-pub fn run(args: &[String]) -> Result<String, String> {
+/// A CLI failure, carrying the exit-code contract documented in
+/// `--help`: usage errors exit 1, parse/resource errors exit 2, I/O
+/// errors exit 3 (success is 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The invocation itself is wrong (unknown flag, command or format,
+    /// missing files, contradictory flags). Exit code 1.
+    Usage(String),
+    /// The input failed to parse: a fail-fast parse error, an exceeded
+    /// `--max-errors` budget, a tripped resource cap, or record-free
+    /// input. Exit code 2.
+    Parse(String),
+    /// An input file could not be opened or read. Exit code 3.
+    Io(String),
+}
+
+impl CliError {
+    /// The process exit code this error maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 1,
+            CliError::Parse(_) => 2,
+            CliError::Io(_) => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Io(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+// Bare-string errors from argument handling are usage errors; parse and
+// I/O failures are classified explicitly at their sites.
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_owned())
+    }
+}
+
+/// Runs the CLI; returns the text to print. Skip-mode summaries go to
+/// stderr.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    run_with_warnings(args, &mut |w| eprintln!("tfd: {w}"))
+}
+
+/// [`run`] with the skip-summary channel exposed, so tests can capture
+/// what a `--skip-errors` run reports without touching the process's
+/// stderr.
+pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<String, CliError> {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         return Ok(USAGE.to_owned());
     }
@@ -55,6 +139,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
     let mut stream = false;
     let mut chunk_size = tfd_core::stream::DEFAULT_CHUNK_SIZE;
     let mut jobs: Option<usize> = None;
+    let mut policy = RecoveryPolicy::default();
+    let mut skip_errors = false;
+    let mut max_errors_set = false;
+    let mut recovery_flags = false;
     let mut module = "provided".to_owned();
     let mut root = "Root".to_owned();
     let mut prefix = "::types_from_data".to_owned();
@@ -89,6 +177,37 @@ pub fn run(args: &[String]) -> Result<String, String> {
                         .ok_or_else(|| format!("--jobs must be a positive integer, got {v}"))?,
                 );
             }
+            "--skip-errors" => {
+                skip_errors = true;
+                recovery_flags = true;
+            }
+            "--max-errors" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-errors requires a value")?;
+                policy.max_errors = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--max-errors must be a non-negative integer, got {v}"))?;
+                max_errors_set = true;
+                recovery_flags = true;
+            }
+            "--max-record-bytes" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-record-bytes requires a value")?;
+                policy.max_record_bytes =
+                    v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-record-bytes must be a positive integer, got {v}")
+                    })?;
+                recovery_flags = true;
+            }
+            "--max-depth" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-depth requires a value")?;
+                policy.max_depth =
+                    Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-depth must be a positive integer, got {v}")
+                    })?);
+                recovery_flags = true;
+            }
             "--module" => {
                 i += 1;
                 module = args.get(i).ok_or("--module requires a value")?.clone();
@@ -103,14 +222,23 @@ pub fn run(args: &[String]) -> Result<String, String> {
             }
             "--help" | "-h" => return Ok(USAGE.to_owned()),
             flag if flag.starts_with("--") => {
-                return Err(format!("unknown option {flag}\n\n{USAGE}"));
+                return Err(format!("unknown option {flag}\n\n{USAGE}").into());
             }
             file => files.push(file.to_owned()),
         }
         i += 1;
     }
     if files.is_empty() {
-        return Err(format!("no input files\n\n{USAGE}"));
+        return Err(format!("no input files\n\n{USAGE}").into());
+    }
+    if skip_errors {
+        policy.mode = RecoveryMode::Skip;
+    } else if max_errors_set {
+        return Err(
+            "--max-errors only bounds how many records --skip-errors may drop; \
+             pass --skip-errors too"
+                .into(),
+        );
     }
 
     let format = match format {
@@ -120,15 +248,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
     if env_table && !global {
         return Err("--env requires --global (the definitions table is the \
              §6.2 global-inference environment)"
-            .to_owned());
+            .into());
     }
 
     if command == "value" {
-        if stream || jobs.is_some() {
+        if stream || jobs.is_some() || recovery_flags {
             return Err(
-                "--stream/--jobs are not supported with the value command (records \
-                 are folded into the shape and dropped, never materialized)"
-                    .to_owned(),
+                "--stream/--jobs/--skip-errors/--max-* are not supported with the \
+                 value command (they drive the record-stream engine, which folds \
+                 records into the shape and drops them, never materializing values)"
+                    .into(),
             );
         }
         let values = read_values(&files, format)?;
@@ -141,11 +270,16 @@ pub fn run(args: &[String]) -> Result<String, String> {
     }
 
     let shape = if stream {
-        stream_shape(&files, format, chunk_size, jobs.unwrap_or(1))?
+        stream_shape(&files, format, chunk_size, jobs.unwrap_or(1), &policy, warn)?
     } else if let Some(jobs) = jobs {
         // --jobs without --stream: whole files in memory, sharded at
         // record boundaries (record-stream semantics, like --stream).
-        sharded_shape(&files, format, jobs)?
+        sharded_shape(&files, format, jobs, &policy, warn)?
+    } else if recovery_flags {
+        // Recovery flags imply the record-stream engine (like --jobs):
+        // skipping and the resource caps are defined over record
+        // boundaries, which the one-shot front-ends never see.
+        sharded_shape(&files, format, 1, &policy, warn)?
     } else {
         infer(&read_values(&files, format)?, format)
     };
@@ -183,11 +317,11 @@ pub fn run(args: &[String]) -> Result<String, String> {
             };
             Ok(generate_global(&global_shape, &module, &root, &options))
         }
-        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+        other => Err(format!("unknown command {other}\n\n{USAGE}").into()),
     }
 }
 
-fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, String> {
+fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, CliError> {
     files.iter().map(|f| read_value(f, format)).collect()
 }
 
@@ -204,6 +338,31 @@ fn render_env_table(global: &GlobalShape) -> String {
         }
     }
     out
+}
+
+/// Lifts an engine [`StreamError`] for file `f` to a [`CliError`]:
+/// reader failures are I/O errors (exit 3), everything else — parse
+/// errors, exceeded budgets, tripped caps — is a parse error (exit 2).
+fn engine_error(f: &str, e: StreamError) -> CliError {
+    match e {
+        StreamError::Io(_) => CliError::Io(format!("{f}: {e}")),
+        other => CliError::Parse(format!("{f}: {other}")),
+    }
+}
+
+/// The one-line `--skip-errors` summary for a file: how many records
+/// were dropped, plus the first and last errors in document order.
+fn format_report(f: &str, report: &ErrorReport) -> String {
+    let first = report
+        .first()
+        .expect("a non-empty report has a first error");
+    match report.last() {
+        Some(last) if report.total() > 1 => format!(
+            "{f}: skipped {} malformed records (first: {first}; last: {last})",
+            report.total()
+        ),
+        _ => format!("{f}: skipped 1 malformed record ({first})"),
+    }
 }
 
 /// The engine format for a CLI format (`html` has no streaming or
@@ -224,19 +383,24 @@ fn engine_format(format: Format, flag: &str) -> Result<StreamFormat, String> {
 /// result is lifted to the one-shot corpus shape (the CSV row fold
 /// re-wraps as a collection, so every mode prints the same shape).
 /// Record-free input is rejected, matching the one-shot front-ends.
+/// Under `--skip-errors`, each file's skip summary is sent to `warn`.
 fn engine_shape(
     files: &[String],
     sformat: StreamFormat,
-    summarize: impl Fn(&str, &InferOptions) -> Result<tfd_core::StreamSummary, String>,
-) -> Result<Shape, String> {
+    warn: &mut dyn FnMut(&str),
+    summarize: impl Fn(&str, &InferOptions) -> Result<recover::Recovered, CliError>,
+) -> Result<Shape, CliError> {
     let options = engine::infer_options_dyn(sformat);
     let mut combined = Shape::Bottom;
     for f in files {
-        let summary = summarize(f, &options)?;
-        if summary.records == 0 {
-            return Err(format!("{f}: input contains no records"));
+        let out = summarize(f, &options)?;
+        if !out.report.is_empty() {
+            warn(&format_report(f, &out.report));
         }
-        combined = csh(combined, summary.shape);
+        if out.summary.records == 0 {
+            return Err(CliError::Parse(format!("{f}: input contains no records")));
+        }
+        combined = csh(combined, out.summary.shape);
     }
     Ok(engine::wrap_corpus_shape_dyn(sformat, combined))
 }
@@ -250,23 +414,32 @@ fn stream_shape(
     format: Format,
     chunk_size: usize,
     jobs: usize,
-) -> Result<Shape, String> {
+    policy: &RecoveryPolicy,
+    warn: &mut dyn FnMut(&str),
+) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--stream")?;
-    engine_shape(files, sformat, |f, options| {
-        let file = std::fs::File::open(f).map_err(|e| format!("{f}: {e}"))?;
-        engine::infer_reader_parallel_dyn(sformat, file, options, chunk_size, jobs)
-            .map_err(|e| format!("{f}: {e}"))
+    engine_shape(files, sformat, warn, |f, options| {
+        let file = std::fs::File::open(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
+        recover::infer_reader_policy_dyn(sformat, file, options, policy, chunk_size, jobs)
+            .map_err(|e| engine_error(f, e))
     })
 }
 
 /// The `--jobs N` in-memory pipeline: each file is read whole, cut at
 /// record boundaries and parsed→inferred by N shard workers; the
 /// semilattice join makes the result identical to the sequential fold.
-fn sharded_shape(files: &[String], format: Format, jobs: usize) -> Result<Shape, String> {
+fn sharded_shape(
+    files: &[String],
+    format: Format,
+    jobs: usize,
+    policy: &RecoveryPolicy,
+    warn: &mut dyn FnMut(&str),
+) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--jobs")?;
-    engine_shape(files, sformat, |f, options| {
-        let bytes = std::fs::read(f).map_err(|e| format!("{f}: {e}"))?;
-        engine::infer_slice_dyn(sformat, &bytes, options, jobs).map_err(|e| format!("{f}: {e}"))
+    engine_shape(files, sformat, warn, |f, options| {
+        let bytes = std::fs::read(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
+        recover::infer_slice_policy_dyn(sformat, &bytes, options, policy, jobs)
+            .map_err(|e| engine_error(f, e))
     })
 }
 
@@ -307,17 +480,18 @@ fn guess_format(file: &str) -> Result<Format, String> {
     }
 }
 
-fn read_value(file: &str, format: Format) -> Result<Value, String> {
-    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+fn read_value(file: &str, format: Format) -> Result<Value, CliError> {
+    let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
     match engine_format(format, "") {
-        Ok(sformat) => engine::parse_value_dyn(sformat, &text).map_err(|e| format!("{file}: {e}")),
+        Ok(sformat) => engine::parse_value_dyn(sformat, &text)
+            .map_err(|e| CliError::Parse(format!("{file}: {e}"))),
         Err(_) => {
             // HTML: the footnote-10 extension, outside the engine.
             let tables = tfd_html::parse_tables(&text);
             tables
                 .first()
                 .map(tfd_html::HtmlTable::to_value)
-                .ok_or_else(|| format!("{file}: no <table> found"))
+                .ok_or_else(|| CliError::Parse(format!("{file}: no <table> found")))
         }
     }
 }
@@ -344,7 +518,22 @@ mod tests {
     }
 
     fn run_args(args: &[&str]) -> Result<String, String> {
+        run_cli(args).map_err(|e| e.to_string())
+    }
+
+    fn run_cli(args: &[&str]) -> Result<String, CliError> {
         run(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    /// Runs the CLI capturing the `--skip-errors` summaries instead of
+    /// printing them to stderr.
+    fn run_warned(args: &[&str]) -> (Result<String, CliError>, Vec<String>) {
+        let mut warnings = Vec::new();
+        let out = run_with_warnings(
+            &args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+            &mut |w| warnings.push(w.to_owned()),
+        );
+        (out, warnings)
     }
 
     #[test]
@@ -590,5 +779,129 @@ mod tests {
         assert!(run_args(&["infer", "--format", "yaml", "x"]).is_err());
         let bad = write_temp("bad.json", "{");
         assert!(run_args(&["infer", &bad]).is_err());
+    }
+
+    #[test]
+    fn errors_carry_the_documented_exit_codes() {
+        let good = write_temp("code0.json", "{\"a\": 1}\n");
+        assert!(run_cli(&["infer", &good]).is_ok());
+        // 1: usage errors.
+        assert_eq!(
+            run_cli(&["infer", "--bogus", &good])
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
+        assert_eq!(run_cli(&["infer"]).unwrap_err().exit_code(), 1);
+        // 2: parse errors, through every driver.
+        let bad = write_temp("code2.json", "{\"a\": @}\n");
+        for extra in [&[][..], &["--stream"][..], &["--jobs", "2"][..]] {
+            let mut args = vec!["infer"];
+            args.extend_from_slice(extra);
+            args.push(&bad);
+            assert_eq!(run_cli(&args).unwrap_err().exit_code(), 2, "{extra:?}");
+        }
+        // 3: unreadable input.
+        for extra in [&[][..], &["--stream"][..], &["--jobs", "2"][..]] {
+            let mut args = vec!["infer"];
+            args.extend_from_slice(extra);
+            args.push("/nonexistent/x.json");
+            assert_eq!(run_cli(&args).unwrap_err().exit_code(), 3, "{extra:?}");
+        }
+        // The contract is user-visible.
+        assert!(run_args(&["--help"]).unwrap().contains("EXIT CODES"));
+    }
+
+    #[test]
+    fn skip_errors_drops_malformed_records_and_summarizes() {
+        let dirty = write_temp(
+            "skip.json",
+            "{\"a\": 1}\n{\"a\": @}\n{\"a\": 2, \"b\": true}\n{\"a\": [1,]}\n{\"a\": 3}\n",
+        );
+        let clean = write_temp(
+            "skip_clean.json",
+            "{\"a\": 1}\n{\"a\": 2, \"b\": true}\n{\"a\": 3}\n",
+        );
+        // (--stream: the one-shot JSON front-end reads a single
+        // document, while these corpora are record streams.)
+        let want = run_args(&["infer", "--stream", &clean]).unwrap();
+        // Fail-fast still aborts…
+        assert_eq!(run_cli(&["infer", &dirty]).unwrap_err().exit_code(), 2);
+        // …while every skip-mode driver folds exactly the clean subset.
+        for extra in [
+            &[][..],
+            &["--jobs", "2"][..],
+            &["--jobs", "7"][..],
+            &["--stream"][..],
+            &["--stream", "--chunk-size", "3", "--jobs", "2"][..],
+        ] {
+            let mut args = vec!["infer", "--skip-errors"];
+            args.extend_from_slice(extra);
+            args.push(&dirty);
+            let (out, warnings) = run_warned(&args);
+            assert_eq!(out.unwrap(), want, "{extra:?}");
+            assert_eq!(warnings.len(), 1, "{extra:?}: {warnings:?}");
+            assert!(
+                warnings[0].contains("skipped 2 malformed records"),
+                "{extra:?}: {}",
+                warnings[0]
+            );
+            // First/last positions are stream-global document order.
+            assert!(warnings[0].contains("first:"), "{}", warnings[0]);
+            assert!(warnings[0].contains("line 2"), "{}", warnings[0]);
+            assert!(warnings[0].contains("line 4"), "{}", warnings[0]);
+        }
+    }
+
+    #[test]
+    fn skip_errors_budget_aborts_with_a_parse_error() {
+        let dirty = write_temp(
+            "budget.json",
+            "{\"a\": @}\n{\"b\": @}\n{\"c\": @}\n{\"d\": 1}\n",
+        );
+        for extra in [&[][..], &["--stream"][..], &["--jobs", "3"][..]] {
+            let mut args = vec!["infer", "--skip-errors", "--max-errors", "2"];
+            args.extend_from_slice(extra);
+            args.push(&dirty);
+            let err = run_cli(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{extra:?}");
+            let msg = err.to_string();
+            assert!(msg.contains("error budget exceeded"), "{extra:?}: {msg}");
+            assert!(msg.contains("line 1"), "{extra:?}: {msg}");
+        }
+        // A generous budget lets the run through.
+        let ok = run_cli(&["infer", "--skip-errors", "--max-errors", "3", &dirty]);
+        assert!(ok.is_ok(), "{ok:?}");
+    }
+
+    #[test]
+    fn recovery_flags_imply_the_record_stream_engine() {
+        // --max-depth without --stream/--jobs still reaches the engine.
+        let deep = write_temp("deep.json", "[[[[[1]]]]]\n");
+        let err = run_cli(&["infer", "--max-depth", "3", &deep]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("nesting"), "{err}");
+        assert!(run_cli(&["infer", "--max-depth", "9", &deep]).is_ok());
+        // --max-record-bytes likewise.
+        let wide = write_temp("wide.json", "{\"a\": \"0123456789abcdef\"}\n");
+        let err = run_cli(&["infer", "--max-record-bytes", "8", &wide]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("record exceeds"), "{err}");
+    }
+
+    #[test]
+    fn recovery_flag_misuse_is_a_usage_error() {
+        let f = write_temp("misuse.json", "{\"a\": 1}\n");
+        for args in [
+            &["infer", "--max-errors", "5", &f][..],
+            &["infer", "--skip-errors", "--max-errors", "-1", &f][..],
+            &["infer", "--max-record-bytes", "0", &f][..],
+            &["infer", "--max-depth", "0", &f][..],
+            &["value", "--skip-errors", &f][..],
+            &["infer", "--skip-errors", "--format", "html", &f][..],
+        ] {
+            let err = run_cli(args).unwrap_err();
+            assert_eq!(err.exit_code(), 1, "{args:?}: {err}");
+        }
     }
 }

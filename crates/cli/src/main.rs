@@ -6,6 +6,9 @@
 //! tfd rust   --format json --module m --root Root FILE...  # print Rust types
 //! tfd value  --format xml FILE                     # dump the universal data value
 //! ```
+//!
+//! Exit codes follow the contract in `--help`: 0 success, 1 usage
+//! error, 2 parse/resource error, 3 I/O error.
 
 use std::process::ExitCode;
 
@@ -20,7 +23,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("tfd: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

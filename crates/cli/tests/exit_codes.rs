@@ -1,0 +1,120 @@
+//! End-to-end exit-code contract for the `tfd` binary.
+//!
+//! `--help` documents: 0 success, 1 usage error, 2 parse/resource
+//! error, 3 I/O error. These tests run the real executable and assert
+//! the contract holds on every driver path, plus the `--skip-errors`
+//! stderr summary format.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tfd(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tfd"))
+        .args(args)
+        .output()
+        .expect("spawn tfd")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("tfd exited with a code")
+}
+
+fn write_temp(name: &str, content: &str) -> String {
+    let dir = std::env::temp_dir().join("tfd-e2e-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path: PathBuf = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn success_is_exit_zero_with_the_shape_on_stdout() {
+    let f = write_temp("ok.json", "{\"a\": 1}\n{\"a\": 2, \"b\": true}\n");
+    let out = tfd(&["infer", "--stream", &f]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("a : int"), "{stdout}");
+    assert!(out.stderr.is_empty(), "{:?}", String::from_utf8(out.stderr));
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let f = write_temp("u.json", "{\"a\": 1}\n");
+    for args in [
+        &["infer", "--bogus-flag", &f][..],
+        &["infer"][..],
+        &["infer", "--format", "yaml", &f][..],
+        &["infer", "--max-errors", "5", &f][..], // needs --skip-errors
+        &["value", "--skip-errors", &f][..],
+    ] {
+        let out = tfd(args);
+        assert_eq!(exit_code(&out), 1, "{args:?}: {out:?}");
+        assert!(!out.stderr.is_empty(), "{args:?}");
+    }
+}
+
+#[test]
+fn parse_errors_exit_two_on_every_driver() {
+    let f = write_temp("p.json", "{\"a\": 1}\n{\"a\": @}\n");
+    for extra in [
+        &[][..],
+        &["--stream"][..],
+        &["--jobs", "2"][..],
+        &["--stream", "--jobs", "2"][..],
+    ] {
+        let mut args = vec!["infer"];
+        args.extend_from_slice(extra);
+        args.push(&f);
+        let out = tfd(&args);
+        assert_eq!(exit_code(&out), 2, "{extra:?}: {out:?}");
+    }
+}
+
+#[test]
+fn exceeding_the_error_budget_exits_two() {
+    let f = write_temp("b.json", "{\"a\": @}\n{\"b\": @}\n{\"c\": 1}\n");
+    let out = tfd(&["infer", "--skip-errors", "--max-errors", "1", &f]);
+    assert_eq!(exit_code(&out), 2, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("error budget exceeded"), "{stderr}");
+}
+
+#[test]
+fn io_errors_exit_three() {
+    for extra in [&[][..], &["--stream"][..], &["--jobs", "2"][..]] {
+        let mut args = vec!["infer"];
+        args.extend_from_slice(extra);
+        args.push("/nonexistent/never/x.json");
+        let out = tfd(&args);
+        assert_eq!(exit_code(&out), 3, "{extra:?}: {out:?}");
+    }
+}
+
+#[test]
+fn skip_errors_prints_the_summary_on_stderr_and_exits_zero() {
+    let f = write_temp("s.csv", "a,b\n1,x\n\"bad\"y,2\n3,z\n");
+    let clean = write_temp("s_clean.csv", "a,b\n1,x\n3,z\n");
+    let dirty_out = tfd(&["infer", "--stream", "--skip-errors", "--jobs", "2", &f]);
+    assert_eq!(exit_code(&dirty_out), 0, "{dirty_out:?}");
+    let clean_out = tfd(&["infer", "--stream", &clean]);
+    assert_eq!(dirty_out.stdout, clean_out.stdout, "skip != clean subset");
+    let stderr = String::from_utf8(dirty_out.stderr).unwrap();
+    assert!(stderr.contains("skipped 1 malformed record"), "{stderr}");
+    assert!(stderr.contains("line 3"), "{stderr}");
+}
+
+#[test]
+fn help_documents_the_contract_and_exits_zero() {
+    let out = tfd(&["--help"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for needle in [
+        "EXIT CODES",
+        "--skip-errors",
+        "--max-errors",
+        "--max-record-bytes",
+        "--max-depth",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}");
+    }
+}

@@ -35,6 +35,7 @@
 
 use crate::csh::csh;
 use crate::infer::InferOptions;
+use crate::recover::RecoveryPolicy;
 use crate::stream::{InferAccumulator, StreamError, StreamFormat, StreamSummary};
 use crate::Shape;
 use std::io::Read;
@@ -118,6 +119,13 @@ pub trait DataFormat {
     /// A fresh chunk-fed streamer.
     fn streamer() -> Self::Streamer;
 
+    /// A fresh chunk-fed streamer honouring the policy's resource
+    /// limits: `max_record_bytes` caps the carry-over tail buffer (so a
+    /// single pathological record cannot buffer unboundedly) and
+    /// `max_depth`, when set, overrides the format's nesting limit (CSV
+    /// has no nesting and ignores it).
+    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer;
+
     /// Feeds a chunk through the streamer.
     ///
     /// # Errors
@@ -179,6 +187,12 @@ pub trait DataFormat {
 
     /// Wraps the format error into the format-erased [`StreamError`].
     fn wrap_error(e: Self::Error) -> StreamError;
+
+    /// This format's record-size-cap error, reported at the record's
+    /// stream-global start position (for the engine drivers that is the
+    /// first byte past the previous record boundary, so any
+    /// inter-record separator bytes count toward the record).
+    fn record_too_large(limit: usize, pos: &TextPos) -> Self::Error;
 }
 
 /// Composes a shard-local (line, column) into the stream-global frame:
@@ -232,6 +246,16 @@ impl DataFormat for JsonFormat {
 
     fn streamer() -> Self::Streamer {
         tfd_json::stream::Streamer::new()
+    }
+
+    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
+        let mut opts = tfd_json::ParserOptions::default();
+        if let Some(depth) = policy.max_depth {
+            opts.max_depth = depth;
+        }
+        let mut s = tfd_json::stream::Streamer::with_options(opts);
+        s.set_max_record_bytes(policy.max_record_bytes);
+        s
     }
 
     fn feed(
@@ -297,6 +321,17 @@ impl DataFormat for JsonFormat {
     fn wrap_error(e: Self::Error) -> StreamError {
         StreamError::Json(e)
     }
+
+    fn record_too_large(limit: usize, pos: &TextPos) -> Self::Error {
+        tfd_json::ParseError {
+            kind: tfd_json::ParseErrorKind::RecordTooLarge(limit),
+            pos: tfd_json::Pos {
+                offset: pos.offset,
+                line: pos.line,
+                column: pos.column,
+            },
+        }
+    }
 }
 
 /// The XML front-end witness.
@@ -325,6 +360,17 @@ impl DataFormat for XmlFormat {
 
     fn streamer() -> Self::Streamer {
         tfd_xml::stream::Streamer::new()
+    }
+
+    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
+        let mut opts = tfd_xml::XmlOptions::default();
+        if let Some(depth) = policy.max_depth {
+            opts.max_depth = depth;
+        }
+        let mut s =
+            tfd_xml::stream::Streamer::with_options(&opts, &tfd_xml::EncodeOptions::default());
+        s.set_max_record_bytes(policy.max_record_bytes);
+        s
     }
 
     fn feed(
@@ -408,6 +454,14 @@ impl DataFormat for XmlFormat {
     fn wrap_error(e: Self::Error) -> StreamError {
         StreamError::Xml(e)
     }
+
+    fn record_too_large(limit: usize, pos: &TextPos) -> Self::Error {
+        tfd_xml::XmlError {
+            kind: tfd_xml::XmlErrorKind::RecordTooLarge(limit),
+            line: pos.line,
+            column: pos.column,
+        }
+    }
 }
 
 /// The CSV front-end witness.
@@ -440,6 +494,12 @@ impl DataFormat for CsvFormat {
 
     fn streamer() -> Self::Streamer {
         tfd_csv::stream::Streamer::new()
+    }
+
+    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
+        let mut s = tfd_csv::stream::Streamer::new();
+        s.set_max_record_bytes(policy.max_record_bytes);
+        s
     }
 
     fn feed(
@@ -517,12 +577,17 @@ impl DataFormat for CsvFormat {
             UnterminatedQuote(l) => UnterminatedQuote(start.line + l - 1),
             CharAfterQuote(l, c) => CharAfterQuote(start.line + l - 1, c),
             InvalidUtf8(l) => InvalidUtf8(start.line + l - 1),
+            RecordTooLarge(limit, l) => RecordTooLarge(limit, start.line + l - 1),
             Empty => Empty,
         }
     }
 
     fn wrap_error(e: Self::Error) -> StreamError {
         StreamError::Csv(e)
+    }
+
+    fn record_too_large(limit: usize, pos: &TextPos) -> Self::Error {
+        tfd_csv::CsvError::RecordTooLarge(limit, pos.line)
     }
 }
 
@@ -540,8 +605,19 @@ pub fn infer_slice_seq<F: DataFormat>(
     corpus: &[u8],
     options: &InferOptions,
 ) -> Result<StreamSummary, F::Error> {
+    infer_slice_seq_with::<F>(corpus, options, &RecoveryPolicy::default())
+}
+
+/// [`infer_slice_seq`] under a policy's resource limits (fail-fast: the
+/// policy's `mode` and `max_errors` are not consulted here — Skip-mode
+/// recovery lives in [`crate::recover`]).
+pub(crate) fn infer_slice_seq_with<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+) -> Result<StreamSummary, F::Error> {
     let mut acc = InferAccumulator::new(options.clone());
-    let mut s = F::streamer();
+    let mut s = F::streamer_with(policy);
     F::feed(&mut s, corpus, &mut |v| acc.push(&v))?;
     F::finish(&mut s, &mut |v| acc.push(&v))?;
     let records = acc.records();
@@ -560,12 +636,24 @@ pub fn infer_slice_seq<F: DataFormat>(
 ///
 /// The first parse error (with stream-global positions) or I/O error.
 pub fn infer_reader_seq<F: DataFormat, R: Read>(
-    mut reader: R,
+    reader: R,
     options: &InferOptions,
     chunk_size: usize,
 ) -> Result<StreamSummary, StreamError> {
+    infer_reader_seq_with::<F, R>(reader, options, &RecoveryPolicy::default(), chunk_size)
+}
+
+/// [`infer_reader_seq`] under a policy's resource limits (fail-fast; the
+/// streamer's carry-over cap bounds memory against a record that never
+/// terminates).
+pub(crate) fn infer_reader_seq_with<F: DataFormat, R: Read>(
+    mut reader: R,
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    chunk_size: usize,
+) -> Result<StreamSummary, StreamError> {
     let mut acc = InferAccumulator::new(options.clone());
-    let mut s = F::streamer();
+    let mut s = F::streamer_with(policy);
     let mut chunk = vec![0u8; chunk_size.max(1)];
     let mut bytes = 0u64;
     loop {
@@ -632,16 +720,20 @@ fn plan<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<(F::Context, Vec<Sh
     Ok((ctx, shards))
 }
 
-/// Runs one shard through a fresh (context-seeded) streamer, handing
-/// every record to `sink`; errors come back in stream-global
-/// coordinates.
-fn run_shard<F: DataFormat>(
+/// Runs one shard through a fresh (context-seeded, policy-limited)
+/// streamer, handing every record to `sink`; errors come back in
+/// stream-global coordinates. This is also the per-record recovery
+/// primitive: Skip-mode recovery (`crate::recover`) calls it with a
+/// single record's bytes, so a failed record reproduces exactly the
+/// error the sequential pipeline would report for it.
+pub(crate) fn run_shard<F: DataFormat>(
     bytes: &[u8],
     pos: &TextPos,
     ctx: &F::Context,
+    policy: &RecoveryPolicy,
     sink: &mut dyn FnMut(Value),
 ) -> Result<(), F::Error> {
-    let mut s = F::streamer();
+    let mut s = F::streamer_with(policy);
     F::seed(&mut s, ctx);
     F::feed(&mut s, bytes, sink)
         .and_then(|()| F::finish(&mut s, sink))
@@ -684,8 +776,19 @@ pub fn infer_slice<F: DataFormat>(
     options: &InferOptions,
     jobs: usize,
 ) -> Result<StreamSummary, F::Error> {
+    infer_slice_with::<F>(corpus, options, &RecoveryPolicy::default(), jobs)
+}
+
+/// [`infer_slice`] under a policy's resource limits (fail-fast;
+/// Skip-mode recovery lives in [`crate::recover`]).
+pub(crate) fn infer_slice_with<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    jobs: usize,
+) -> Result<StreamSummary, F::Error> {
     if jobs <= 1 {
-        return infer_slice_seq::<F>(corpus, options);
+        return infer_slice_seq_with::<F>(corpus, options, policy);
     }
     let (ctx, shards) = plan::<F>(corpus, jobs)?;
     let results: Vec<Result<InferAccumulator, F::Error>> = std::thread::scope(|scope| {
@@ -698,7 +801,7 @@ pub fn infer_slice<F: DataFormat>(
                 let options = options.clone();
                 scope.spawn(move || {
                     let mut acc = InferAccumulator::new(options);
-                    run_shard::<F>(bytes, &pos, ctx, &mut |v| acc.push(&v))?;
+                    run_shard::<F>(bytes, &pos, ctx, policy, &mut |v| acc.push(&v))?;
                     Ok(acc)
                 })
             })
@@ -750,7 +853,9 @@ pub fn parse_slice<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<Vec<Valu
                 let pos = shard.pos;
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    run_shard::<F>(bytes, &pos, ctx, &mut |v| out.push(v))?;
+                    run_shard::<F>(bytes, &pos, ctx, &RecoveryPolicy::default(), &mut |v| {
+                        out.push(v)
+                    })?;
                     Ok(out)
                 })
             })
@@ -799,13 +904,34 @@ struct Bundle {
 /// The first parse error in document order (stream-global positions) or
 /// I/O error — exactly what the sequential pipeline reports.
 pub fn infer_reader_parallel<F: DataFormat, R: Read>(
-    mut reader: R,
+    reader: R,
     options: &InferOptions,
     chunk_size: usize,
     jobs: usize,
 ) -> Result<StreamSummary, StreamError> {
+    infer_reader_parallel_with::<F, R>(
+        reader,
+        options,
+        &RecoveryPolicy::default(),
+        chunk_size,
+        jobs,
+    )
+}
+
+/// [`infer_reader_parallel`] under a policy's resource limits
+/// (fail-fast). On top of the per-worker streamer caps, the reading
+/// thread's own carry buffer is bounded: a record that outgrows
+/// `max_record_bytes` while straddling chunks aborts with the format's
+/// record-size error instead of buffering without bound.
+pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
+    mut reader: R,
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    chunk_size: usize,
+    jobs: usize,
+) -> Result<StreamSummary, StreamError> {
     if jobs <= 1 {
-        return infer_reader_seq::<F, R>(reader, options, chunk_size);
+        return infer_reader_seq_with::<F, R>(reader, options, policy, chunk_size);
     }
     let failed = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -854,7 +980,9 @@ pub fn infer_reader_parallel<F: DataFormat, R: Read>(
                                 continue;
                             }
                             let mut acc = InferAccumulator::new(options.clone());
-                            match run_shard::<F>(&bytes, &pos, &worker_ctx, &mut |v| acc.push(&v)) {
+                            match run_shard::<F>(&bytes, &pos, &worker_ctx, policy, &mut |v| {
+                                acc.push(&v)
+                            }) {
                                 Ok(()) => {
                                     let records = acc.records();
                                     folds.push((idx, acc.finish(), records));
@@ -920,6 +1048,15 @@ pub fn infer_reader_parallel<F: DataFormat, R: Read>(
                     bundle_idx += 1;
                 }
                 boundaries.clear();
+            }
+            // After draining complete records, the carry holds only the
+            // open record: bound it, so one pathological record cannot
+            // buffer the rest of the stream.
+            if carry.len() > policy.max_record_bytes {
+                return Err(F::wrap_error(F::record_too_large(
+                    policy.max_record_bytes,
+                    &pos,
+                )));
             }
         }
         // End of input: whatever never completed a record is the
@@ -997,6 +1134,7 @@ macro_rules! with_format {
         }
     };
 }
+pub(crate) use with_format;
 
 /// The inference preset for a runtime-chosen format.
 pub fn infer_options_dyn(format: StreamFormat) -> InferOptions {

@@ -53,6 +53,7 @@ mod global;
 mod infer;
 mod multiplicity;
 mod prefer;
+pub mod recover;
 mod shape;
 pub mod stream;
 mod tags;
@@ -72,6 +73,7 @@ pub use global::{globalize, globalize_env, globalize_ref};
 pub use infer::{infer, infer_many, infer_with, InferOptions};
 pub use multiplicity::Multiplicity;
 pub use prefer::{is_preferred, is_preferred_global, is_preferred_in};
+pub use recover::{ErrorReport, Recovered, RecoveryMode, RecoveryPolicy};
 pub use shape::{FieldShape, RecordShape, Shape};
 pub use stream::{infer_reader, InferAccumulator, StreamFormat, StreamSummary};
 pub use tags::{tag_of, tag_of_in, Tag};

@@ -120,7 +120,9 @@ pub enum StreamFormat {
 }
 
 /// An error from the streaming parse→infer pipeline: a front-end parse
-/// error or an I/O failure from the reader.
+/// error, an I/O failure from the reader, or — under a Skip-mode
+/// [`RecoveryPolicy`](crate::recover::RecoveryPolicy) — an exhausted
+/// error budget.
 #[derive(Debug)]
 pub enum StreamError {
     /// The JSON front-end rejected the stream.
@@ -131,6 +133,16 @@ pub enum StreamError {
     Csv(tfd_csv::CsvError),
     /// The reader failed.
     Io(std::io::Error),
+    /// A Skip-mode recovery run skipped more than `limit` malformed
+    /// records and aborted. `first` is the first error in document
+    /// order, which is deterministic even when the abort cuts a
+    /// parallel run short.
+    TooManyErrors {
+        /// The configured `max_errors` budget that was exceeded.
+        limit: usize,
+        /// The first skipped error, in document order.
+        first: Box<StreamError>,
+    },
 }
 
 impl fmt::Display for StreamError {
@@ -140,11 +152,58 @@ impl fmt::Display for StreamError {
             StreamError::Xml(e) => write!(f, "{e}"),
             StreamError::Csv(e) => write!(f, "{e}"),
             StreamError::Io(e) => write!(f, "{e}"),
+            StreamError::TooManyErrors { limit, first } => write!(
+                f,
+                "error budget exceeded: more than {limit} malformed records (first: {first})"
+            ),
         }
     }
 }
 
 impl std::error::Error for StreamError {}
+
+impl Clone for StreamError {
+    fn clone(&self) -> StreamError {
+        match self {
+            StreamError::Json(e) => StreamError::Json(e.clone()),
+            StreamError::Xml(e) => StreamError::Xml(e.clone()),
+            StreamError::Csv(e) => StreamError::Csv(e.clone()),
+            // io::Error is not Clone; a same-kind, same-message copy is
+            // all the error report needs.
+            StreamError::Io(e) => StreamError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            StreamError::TooManyErrors { limit, first } => StreamError::TooManyErrors {
+                limit: *limit,
+                first: first.clone(),
+            },
+        }
+    }
+}
+
+impl PartialEq for StreamError {
+    fn eq(&self, other: &StreamError) -> bool {
+        match (self, other) {
+            (StreamError::Json(a), StreamError::Json(b)) => a == b,
+            (StreamError::Xml(a), StreamError::Xml(b)) => a == b,
+            (StreamError::Csv(a), StreamError::Csv(b)) => a == b,
+            // io::Error is not PartialEq; kind + message is the closest
+            // observable identity.
+            (StreamError::Io(a), StreamError::Io(b)) => {
+                a.kind() == b.kind() && a.to_string() == b.to_string()
+            }
+            (
+                StreamError::TooManyErrors {
+                    limit: la,
+                    first: fa,
+                },
+                StreamError::TooManyErrors {
+                    limit: lb,
+                    first: fb,
+                },
+            ) => la == lb && fa == fb,
+            _ => false,
+        }
+    }
+}
 
 /// What [`infer_reader`] found in the stream.
 #[derive(Debug, Clone, PartialEq)]

@@ -70,6 +70,12 @@ pub enum CsvError {
     /// [`Streamer`](crate::stream::Streamer) reports this: the one-shot
     /// entry points take `&str` and cannot observe it.
     InvalidUtf8(usize),
+    /// A single record exceeded the streamer's byte cap; the payload is
+    /// the configured limit and the 1-based line where the record
+    /// starts. Only the chunk-fed [`Streamer`](crate::stream::Streamer)
+    /// and the engine's recovery drivers report this — the one-shot
+    /// entry points already hold the whole input.
+    RecordTooLarge(usize, usize),
 }
 
 impl fmt::Display for CsvError {
@@ -87,6 +93,12 @@ impl fmt::Display for CsvError {
             }
             CsvError::InvalidUtf8(line) => {
                 write!(f, "input is not valid UTF-8 on line {line}")
+            }
+            CsvError::RecordTooLarge(limit, line) => {
+                write!(
+                    f,
+                    "record starting on line {line} exceeds size limit of {limit} bytes"
+                )
             }
         }
     }

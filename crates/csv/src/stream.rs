@@ -273,6 +273,11 @@ impl BoundaryScanner {
     }
 }
 
+/// Default cap on one record's carry-over bytes (16 MiB): large enough
+/// for any schema-shaped row, small enough that an unclosed quote
+/// cannot buffer a multi-gigabyte stream.
+pub const DEFAULT_MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
 /// A chunk-fed incremental CSV parser.
 ///
 /// Feed arbitrary byte slices; each completed row is handed to the sink
@@ -295,6 +300,10 @@ impl BoundaryScanner {
 pub struct Streamer {
     delimiter: char,
     has_header: bool,
+    /// Cap on one record's carry-over bytes: a row still open after
+    /// buffering this much fails with [`CsvError::RecordTooLarge`]
+    /// instead of buffering the rest of the stream.
+    max_record_bytes: usize,
     literals: LiteralOptions,
     /// Column names, interned from the first record in header mode.
     headers: Option<Vec<Name>>,
@@ -335,6 +344,7 @@ impl Streamer {
         Streamer {
             delimiter: options.delimiter,
             has_header: options.has_header,
+            max_record_bytes: DEFAULT_MAX_RECORD_BYTES,
             literals: literals.clone(),
             headers: None,
             columns: Vec::new(),
@@ -362,6 +372,15 @@ impl Streamer {
     /// a seeded streamer treats its very first record as a data row.
     pub fn seed_headers(&mut self, headers: Vec<Name>) {
         self.headers = Some(headers);
+    }
+
+    /// Caps one record's carry-over bytes (default
+    /// [`DEFAULT_MAX_RECORD_BYTES`]): a row still open after buffering
+    /// `limit` bytes fails with [`CsvError::RecordTooLarge`] carrying
+    /// the row's start line, so an unclosed quote cannot buffer the
+    /// whole stream.
+    pub fn set_max_record_bytes(&mut self, limit: usize) {
+        self.max_record_bytes = limit;
     }
 
     /// Feeds one chunk; every row completed within it is passed to
@@ -446,6 +465,9 @@ impl Streamer {
                     // record slice.
                     if i < text.len() {
                         if let Some(consumed) = self.speculative_row(&text[i..], sink) {
+                            if consumed > self.max_record_bytes {
+                                return Err(self.too_large());
+                            }
                             self.advance_over(&chunk[i..i + consumed]);
                             i += consumed;
                             continue;
@@ -573,9 +595,20 @@ impl Streamer {
         }
         match self.mode {
             CMode::Between | CMode::PendingLf => {}
-            _ => self.buf.extend_from_slice(&chunk[rec_start..]),
+            _ => {
+                self.buf.extend_from_slice(&chunk[rec_start..]);
+                if self.buf.len() > self.max_record_bytes {
+                    return Err(self.too_large());
+                }
+            }
         }
         Ok(())
+    }
+
+    /// The [`CsvError::RecordTooLarge`] error for the current record,
+    /// at its start line (deterministic under any chunking).
+    fn too_large(&self) -> CsvError {
+        CsvError::RecordTooLarge(self.max_record_bytes, self.start_line)
     }
 
     /// Attempts to split one row straight from the chunk front (`rest`
@@ -665,6 +698,11 @@ impl Streamer {
         sink: &mut impl FnMut(Value),
     ) -> Result<(), CsvError> {
         let end = *i;
+        // The size cap applies to every record, even one arriving whole
+        // in a single feed (the buf-growth check only sees carry-over).
+        if self.buf.len() + (end - rec_start) > self.max_record_bytes {
+            return Err(self.too_large());
+        }
         *i += 1;
         self.mode = if b == b'\r' {
             CMode::PendingLf
@@ -920,6 +958,27 @@ mod tests {
         let err = s.feed(b"2\n", &mut |v| out.push(v)).unwrap_err();
         assert!(matches!(err, CsvError::CharAfterQuote(2, 'y')));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unclosed_quote_trips_the_record_cap_at_one_byte_chunks() {
+        let mut s = Streamer::new();
+        s.set_max_record_bytes(64);
+        let mut n = 0usize;
+        s.feed(b"a,b\n1,\"never closes ", &mut |_| n += 1).unwrap();
+        assert_eq!(n, 0); // only the header so far
+        let mut err = None;
+        for _ in 0..1000 {
+            if let Err(e) = s.feed(b"x", &mut |_| n += 1) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("the cap must trip long before 1000 bytes");
+        // The error names the row's start line.
+        assert_eq!(err, CsvError::RecordTooLarge(64, 2));
+        assert!(s.buf.len() <= 64 + 1, "buf grew to {}", s.buf.len());
+        assert_eq!(s.finish(&mut |_| n += 1), Err(err));
     }
 
     #[test]

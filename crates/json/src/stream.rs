@@ -418,6 +418,11 @@ impl BoundaryScanner {
     }
 }
 
+/// Default cap on one record's carry-over bytes (16 MiB): large enough
+/// for any schema-shaped record, small enough that an unclosed string
+/// cannot buffer a multi-gigabyte stream.
+pub const DEFAULT_MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
 /// A chunk-fed incremental JSON parser.
 ///
 /// Feed arbitrary byte slices; each completed top-level document is
@@ -440,6 +445,11 @@ impl BoundaryScanner {
 /// ```
 pub struct Streamer {
     max_depth: usize,
+    /// Cap on one record's carry-over bytes: a record still open after
+    /// buffering this much fails with
+    /// [`ParseErrorKind::RecordTooLarge`] instead of buffering the rest
+    /// of the stream. Peak memory stays O(cap), not O(stream).
+    max_record_bytes: usize,
     /// Reused across records: one sink, one cached `•` name.
     vsink: ValueSink,
     /// The resumable boundary state machine (shared with
@@ -478,6 +488,7 @@ impl Streamer {
     pub fn with_options(options: ParserOptions) -> Streamer {
         Streamer {
             max_depth: options.max_depth,
+            max_record_bytes: DEFAULT_MAX_RECORD_BYTES,
             vsink: ValueSink { body: body_name() },
             scan: Scan::new(),
             buf: Vec::new(),
@@ -487,6 +498,15 @@ impl Streamer {
             start: (0, 1, 1),
             failed: None,
         }
+    }
+
+    /// Caps one record's carry-over bytes (default
+    /// [`DEFAULT_MAX_RECORD_BYTES`]): a record still open after
+    /// buffering `limit` bytes fails with
+    /// [`ParseErrorKind::RecordTooLarge`] at the record's start
+    /// position, so an unclosed string cannot buffer the whole stream.
+    pub fn set_max_record_bytes(&mut self, limit: usize) {
+        self.max_record_bytes = limit;
     }
 
     /// Feeds one chunk; every record completed within it is parsed and
@@ -582,6 +602,9 @@ impl Streamer {
                             if let Ok((v, consumed)) =
                                 parse_one_value(&text[i..], self.max_depth, &mut self.vsink)
                             {
+                                if consumed > self.max_record_bytes {
+                                    return Err(self.too_large());
+                                }
                                 sink(v);
                                 self.advance_over(&chunk[i..i + consumed]);
                                 i += consumed;
@@ -598,8 +621,26 @@ impl Streamer {
         }
         if self.scan.in_record() {
             self.buf.extend_from_slice(&chunk[rec_start..]);
+            if self.buf.len() > self.max_record_bytes {
+                return Err(self.too_large());
+            }
         }
         Ok(())
+    }
+
+    /// The [`ParseErrorKind::RecordTooLarge`] error for the current
+    /// record, positioned at its start (deterministic under any
+    /// chunking).
+    fn too_large(&self) -> ParseError {
+        let (offset, line, column) = self.start;
+        ParseError {
+            kind: ParseErrorKind::RecordTooLarge(self.max_record_bytes),
+            pos: Pos {
+                offset,
+                line,
+                column,
+            },
+        }
     }
 
     /// Completes the current record, whose bytes are `buf` (carry-over)
@@ -612,6 +653,11 @@ impl Streamer {
         end: usize,
         sink: &mut impl FnMut(Value),
     ) -> Result<(), ParseError> {
+        // The size cap applies to every record, even one arriving whole
+        // in a single feed (the buf-growth check only sees carry-over).
+        if self.buf.len() + (end - rec_start) > self.max_record_bytes {
+            return Err(self.too_large());
+        }
         self.scan.mode = Mode::Between;
         let r = if self.buf.is_empty() {
             // The record lies wholly within this chunk: parse it
@@ -860,6 +906,36 @@ mod tests {
         let err = s.feed(b"\"}", &mut |_| ()).unwrap_err();
         assert_eq!(err.kind, ParseErrorKind::InvalidUtf8);
         assert_eq!(err.pos.offset, 7);
+    }
+
+    #[test]
+    fn unclosed_string_trips_the_record_cap_at_one_byte_chunks() {
+        // An unclosed string fed byte by byte must fail with
+        // RecordTooLarge once the carry-over passes the cap — not buffer
+        // the stream forever.
+        let mut s = Streamer::new();
+        s.set_max_record_bytes(64);
+        let mut n = 0usize;
+        s.feed(b"{\"ok\": 1} \"never closes ", &mut |_| n += 1)
+            .unwrap();
+        assert_eq!(n, 1);
+        let mut err = None;
+        for _ in 0..1000 {
+            if let Err(e) = s.feed(b"x", &mut |_| n += 1) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("the cap must trip long before 1000 bytes");
+        assert_eq!(err.kind, ParseErrorKind::RecordTooLarge(64));
+        // The error sits at the record's start, not wherever the cap
+        // happened to trip.
+        assert_eq!(err.pos.offset, 10);
+        // Peak memory stayed O(cap): the carry-over never grew past the
+        // limit plus one chunk.
+        assert!(s.buf.len() <= 64 + 1, "buf grew to {}", s.buf.len());
+        // And the streamer is poisoned like any other error.
+        assert_eq!(s.finish(&mut |_| n += 1), Err(err));
     }
 
     #[test]

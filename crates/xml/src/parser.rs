@@ -85,6 +85,12 @@ pub enum XmlErrorKind {
     /// [`Streamer`](crate::stream::Streamer) reports this: the one-shot
     /// entry points take `&str` and cannot observe it.
     InvalidUtf8,
+    /// A single record exceeded the streamer's byte cap; the payload is
+    /// the configured limit. Only the chunk-fed
+    /// [`Streamer`](crate::stream::Streamer) and the engine's recovery
+    /// drivers report this — the one-shot entry points already hold the
+    /// whole input. The position is the record's start.
+    RecordTooLarge(usize),
 }
 
 impl fmt::Display for XmlErrorKind {
@@ -105,6 +111,9 @@ impl fmt::Display for XmlErrorKind {
                 write!(f, "element nesting exceeds limit of {limit}")
             }
             XmlErrorKind::InvalidUtf8 => write!(f, "input is not valid UTF-8"),
+            XmlErrorKind::RecordTooLarge(limit) => {
+                write!(f, "record exceeds size limit of {limit} bytes")
+            }
         }
     }
 }

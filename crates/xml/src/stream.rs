@@ -430,6 +430,11 @@ impl BoundaryScanner {
     }
 }
 
+/// Default cap on one record's carry-over bytes (16 MiB): large enough
+/// for any schema-shaped document, small enough that an unclosed tag
+/// cannot buffer a multi-gigabyte stream.
+pub const DEFAULT_MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
 /// A chunk-fed incremental XML parser.
 ///
 /// Feed arbitrary byte slices; each completed top-level document is
@@ -451,6 +456,10 @@ impl BoundaryScanner {
 /// ```
 pub struct Streamer {
     options: XmlOptions,
+    /// Cap on one record's carry-over bytes: a document still open after
+    /// buffering this much fails with [`XmlErrorKind::RecordTooLarge`]
+    /// instead of buffering the rest of the stream.
+    max_record_bytes: usize,
     /// Reused across records: one sink, one `EncodeOptions`, one cached
     /// `•` name — no per-record clones.
     vsink: ValueSink,
@@ -488,6 +497,7 @@ impl Streamer {
     pub fn with_options(options: &XmlOptions, encode: &EncodeOptions) -> Streamer {
         Streamer {
             options: options.clone(),
+            max_record_bytes: DEFAULT_MAX_RECORD_BYTES,
             vsink: ValueSink {
                 options: encode.clone(),
                 body: body_name(),
@@ -500,6 +510,15 @@ impl Streamer {
             start: (1, 1),
             failed: None,
         }
+    }
+
+    /// Caps one record's carry-over bytes (default
+    /// [`DEFAULT_MAX_RECORD_BYTES`]): a document still open after
+    /// buffering `limit` bytes fails with
+    /// [`XmlErrorKind::RecordTooLarge`] at the document's start
+    /// position, so an unclosed tag cannot buffer the whole stream.
+    pub fn set_max_record_bytes(&mut self, limit: usize) {
+        self.max_record_bytes = limit;
     }
 
     /// Feeds one chunk; every document completed within it is parsed and
@@ -595,6 +614,9 @@ impl Streamer {
                             if let Ok((v, consumed)) =
                                 parse_one_document(&text[i..], &self.options, &mut self.vsink)
                             {
+                                if consumed > self.max_record_bytes {
+                                    return Err(self.too_large());
+                                }
                                 sink(v);
                                 self.advance_over(&chunk[i..i + consumed]);
                                 i += consumed;
@@ -608,8 +630,23 @@ impl Streamer {
         }
         if self.scan.in_record() {
             self.buf.extend_from_slice(&chunk[rec_start..]);
+            if self.buf.len() > self.max_record_bytes {
+                return Err(self.too_large());
+            }
         }
         Ok(())
+    }
+
+    /// The [`XmlErrorKind::RecordTooLarge`] error for the current
+    /// record, positioned at its start (deterministic under any
+    /// chunking).
+    fn too_large(&self) -> XmlError {
+        let (line, column) = self.start;
+        XmlError {
+            kind: XmlErrorKind::RecordTooLarge(self.max_record_bytes),
+            line,
+            column,
+        }
     }
 
     /// Completes the current record, whose bytes are `buf` (carry-over)
@@ -622,6 +659,11 @@ impl Streamer {
         end: usize,
         sink: &mut impl FnMut(Value),
     ) -> Result<(), XmlError> {
+        // The size cap applies to every record, even one arriving whole
+        // in a single feed (the buf-growth check only sees carry-over).
+        if self.buf.len() + (end - rec_start) > self.max_record_bytes {
+            return Err(self.too_large());
+        }
         self.scan.mode = XMode::Between;
         let r = if self.buf.is_empty() {
             let v = self.parse_record(chunk, rec_start, end);
@@ -905,6 +947,28 @@ mod tests {
         assert_eq!(s.feed(b"<d/>", &mut |v| out.push(v)), Err(err.clone()));
         assert_eq!(s.finish(&mut |v| out.push(v)), Err(err));
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unclosed_document_trips_the_record_cap_at_one_byte_chunks() {
+        let mut s = Streamer::new();
+        s.set_max_record_bytes(64);
+        let mut n = 0usize;
+        s.feed(b"<ok/>\n<open><v>", &mut |_| n += 1).unwrap();
+        assert_eq!(n, 1);
+        let mut err = None;
+        for _ in 0..1000 {
+            if let Err(e) = s.feed(b"x", &mut |_| n += 1) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("the cap must trip long before 1000 bytes");
+        assert_eq!(err.kind, XmlErrorKind::RecordTooLarge(64));
+        // The error sits at the document's start.
+        assert_eq!((err.line, err.column), (2, 1));
+        assert!(s.buf.len() <= 64 + 1, "buf grew to {}", s.buf.len());
+        assert_eq!(s.finish(&mut |_| n += 1), Err(err));
     }
 
     #[test]

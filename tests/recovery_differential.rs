@@ -1,0 +1,238 @@
+//! Skip-mode differential suite (resilient ingest).
+//!
+//! The recovery layer (`tfd_core::recover`) promises that dropping a
+//! malformed record is *observationally identical* to deleting it from
+//! the corpus before the fold: the Fig. 3 fold `σi = csh(σ(i−1), S(di))`
+//! is a semilattice join, so the clean records' shape is independent of
+//! what sat between them. This suite generates corpora, corrupts `k`
+//! records with structure-preserving corruptions (the boundary scanner
+//! still delimits them: braces, quotes and tag depth stay balanced),
+//! and asserts for JSON, XML and CSV, across shard counts 1/2/7 and
+//! chunked readers, that
+//!
+//! 1. the Skip-mode shape equals the clean-subset shape byte-for-byte,
+//! 2. the `ErrorReport` names exactly the `k` corrupted records, at
+//!    their stream-global positions, in document order.
+
+mod common;
+
+use common::value_strategy;
+use proptest::prelude::*;
+use tfd_core::engine::{infer_slice, CsvFormat, DataFormat, JsonFormat, XmlFormat};
+use tfd_core::recover::{infer_reader_policy, infer_slice_policy, Recovered};
+use tfd_core::stream::StreamError;
+use tfd_core::RecoveryPolicy;
+
+const JOBS: &[usize] = &[1, 2, 7];
+const READERS: &[(usize, usize)] = &[(7, 2), (64, 7), (4096, 1)];
+
+/// One generated corpus: every record on its own line, `k` of them
+/// corrupted, plus the expected clean subset and corrupted line numbers.
+struct Mutated {
+    dirty: String,
+    clean: String,
+    bad_lines: Vec<usize>,
+}
+
+/// Assembles a one-record-per-line corpus. `header` is prepended
+/// verbatim to both texts (the CSV header row; empty otherwise); every
+/// record whose flag is set is replaced by a corruption drawn
+/// round-robin from `corruptions`. The first record is always kept
+/// clean, so the clean subset is never empty (an empty corpus is a hard
+/// error in both modes, by design).
+fn mutate(header: &str, records: &[(String, bool)], corruptions: &[&str]) -> Mutated {
+    let mut dirty = header.to_owned();
+    let mut clean = header.to_owned();
+    let mut bad_lines = Vec::new();
+    let first_line = 1 + header.lines().count();
+    let mut bad = 0usize;
+    for (i, (rec, corrupt)) in records.iter().enumerate() {
+        if *corrupt && i > 0 {
+            dirty.push_str(corruptions[bad % corruptions.len()]);
+            bad += 1;
+            bad_lines.push(first_line + i);
+        } else {
+            dirty.push_str(rec);
+            clean.push_str(rec);
+            clean.push('\n');
+        }
+        dirty.push('\n');
+    }
+    Mutated {
+        dirty,
+        clean,
+        bad_lines,
+    }
+}
+
+/// A corruption flag, true ~35% of the time.
+fn flag() -> SFn<bool> {
+    (0usize..100).prop_map(|x| x < 35).boxed()
+}
+
+/// Asserts one Skip-mode run: shape and record count equal the
+/// clean-subset run, and the report names each corrupted line once, in
+/// document order.
+fn assert_recovered<F: DataFormat>(got: &Recovered, m: &Mutated, label: &str) {
+    let options = F::infer_options();
+    let want = infer_slice::<F>(m.clean.as_bytes(), &options, 1)
+        .unwrap_or_else(|e| panic!("{label}: clean subset must parse: {e:?}"));
+    assert_eq!(
+        format!("{:?}", got.summary.shape),
+        format!("{:?}", want.shape),
+        "{} {label}: skip shape != clean-subset shape\ndirty:\n{}",
+        F::NAME,
+        m.dirty
+    );
+    assert_eq!(
+        got.summary.records,
+        want.records,
+        "{} {label}: record count",
+        F::NAME
+    );
+    assert_eq!(
+        got.report.total(),
+        m.bad_lines.len(),
+        "{} {label}: skipped-record count\ndirty:\n{}",
+        F::NAME,
+        m.dirty
+    );
+    // Every corrupted record is named at its stream-global line, in
+    // document order (the kept prefix holds all of them here).
+    assert_eq!(got.report.errors().len(), m.bad_lines.len());
+    for (err, line) in got.report.errors().iter().zip(&m.bad_lines) {
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("line {line}")),
+            "{} {label}: error {msg:?} should be on line {line}",
+            F::NAME
+        );
+    }
+}
+
+/// Drives one mutated corpus through every Skip-mode driver: the
+/// in-memory sharded driver at shards 1/2/7 and the bounded-memory
+/// reader at several (chunk, jobs) pairs.
+fn assert_skip_equals_clean_subset<F: DataFormat>(m: &Mutated)
+where
+    F::Error: std::fmt::Debug,
+{
+    let options = F::infer_options();
+    let policy = RecoveryPolicy::skip();
+    for &jobs in JOBS {
+        let got = infer_slice_policy::<F>(m.dirty.as_bytes(), &options, &policy, jobs)
+            .unwrap_or_else(|e| panic!("{} slice jobs {jobs}: {e}", F::NAME));
+        assert_recovered::<F>(&got, m, &format!("slice jobs {jobs}"));
+    }
+    for &(chunk, jobs) in READERS {
+        let got = infer_reader_policy::<F, _>(m.dirty.as_bytes(), &options, &policy, chunk, jobs)
+            .unwrap_or_else(|e| panic!("{} reader chunk {chunk} jobs {jobs}: {e}", F::NAME));
+        assert_recovered::<F>(&got, m, &format!("reader chunk {chunk} jobs {jobs}"));
+    }
+}
+
+// Structure-preserving corruptions: content-level garbage whose braces,
+// quotes and tag depth still balance, so the boundary scanner delimits
+// them exactly like the record they replace.
+const JSON_BAD: &[&str] = &["{\"bad\": @}", "[1,]", "{\"a\" 1}"];
+const XML_BAD: &[&str] = &["<bad x=1></bad>", "<r>&undef;</r>", "<a><b></a></b>"];
+const CSV_BAD: &[&str] = &["\"x\"y,9", "\"p\"!,q"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn json_skip_mode_equals_clean_subset(
+        recs in prop::collection::vec((value_strategy(), flag()), 1..10),
+    ) {
+        let records: Vec<(String, bool)> = recs
+            .iter()
+            .map(|(d, c)| {
+                (tfd_json::to_json_string(&tfd_json::Json::from_value(d)), *c)
+            })
+            .collect();
+        let m = mutate("", &records, JSON_BAD);
+        assert_skip_equals_clean_subset::<JsonFormat>(&m);
+    }
+
+    #[test]
+    fn xml_skip_mode_equals_clean_subset(
+        recs in prop::collection::vec(
+            (
+                ("[a-z]", "[a-z0-9]{0,3}", "[a-z 0-9]{0,6}").prop_map(|(h, n, t)| {
+                    let name = format!("{h}{n}");
+                    if t.is_empty() {
+                        format!("<{name}/>")
+                    } else {
+                        format!("<{name}>{t}</{name}>")
+                    }
+                }),
+                flag(),
+            ),
+            1..10,
+        ),
+    ) {
+        let m = mutate("", &recs, XML_BAD);
+        assert_skip_equals_clean_subset::<XmlFormat>(&m);
+    }
+
+    #[test]
+    fn csv_skip_mode_equals_clean_subset(
+        recs in prop::collection::vec(
+            (
+                (0i64..1000, "[a-z]{0,5}").prop_map(|(a, b)| format!("{a},{b}")),
+                flag(),
+            ),
+            1..10,
+        ),
+    ) {
+        let m = mutate("a,b\n", &recs, CSV_BAD);
+        assert_skip_equals_clean_subset::<CsvFormat>(&m);
+    }
+
+    /// The error budget is exact: a budget of exactly `k` lets the run
+    /// through, `k − 1` aborts with the document-order first error —
+    /// regardless of sharding.
+    #[test]
+    fn budget_boundary_is_exact(
+        recs in prop::collection::vec((value_strategy(), flag()), 2..8),
+    ) {
+        let records: Vec<(String, bool)> = recs
+            .iter()
+            .map(|(d, c)| {
+                (tfd_json::to_json_string(&tfd_json::Json::from_value(d)), *c)
+            })
+            .collect();
+        let m = mutate("", &records, JSON_BAD);
+        let k = m.bad_lines.len();
+        prop_assume!(k > 0);
+        let options = JsonFormat::infer_options();
+        let mut policy = RecoveryPolicy::skip();
+        for &jobs in JOBS {
+            policy.max_errors = k;
+            let ok = infer_slice_policy::<JsonFormat>(
+                m.dirty.as_bytes(), &options, &policy, jobs,
+            );
+            prop_assert!(ok.is_ok(), "budget k at jobs {jobs}: {ok:?}");
+
+            policy.max_errors = k - 1;
+            let err = infer_slice_policy::<JsonFormat>(
+                m.dirty.as_bytes(), &options, &policy, jobs,
+            );
+            match err {
+                Err(StreamError::TooManyErrors { limit, first }) => {
+                    prop_assert_eq!(limit, k - 1);
+                    prop_assert!(
+                        first.to_string().contains(&format!("line {}", m.bad_lines[0])),
+                        "first {} should be line {}", first, m.bad_lines[0]
+                    );
+                }
+                other => {
+                    return Err(TestCaseError::Fail(format!(
+                        "expected TooManyErrors at jobs {jobs}, got {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+}

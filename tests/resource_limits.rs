@@ -1,0 +1,169 @@
+//! Resource-cap regression suite (resilient ingest).
+//!
+//! Hostile inputs must surface bounded, deterministic errors — never
+//! stack overflows or unbounded buffering — through *every* driver:
+//! one-shot parse, streaming, in-memory sharded, and the bounded-memory
+//! parallel reader (including each format's speculative
+//! parse-off-the-chunk fast path, which a whole record arriving in one
+//! feed exercises).
+
+use tfd_core::engine::{
+    self, infer_reader_parallel, infer_slice, DataFormat, JsonFormat, XmlFormat,
+};
+use tfd_core::recover::{infer_reader_policy, infer_slice_policy};
+use tfd_core::{RecoveryPolicy, StreamFormat};
+
+/// A JSON record nested `depth` arrays deep.
+fn deep_json(depth: usize) -> String {
+    format!("{}1{}", "[".repeat(depth), "]".repeat(depth))
+}
+
+/// An XML record nested `depth` elements deep.
+fn deep_xml(depth: usize) -> String {
+    format!("{}x{}", "<a>".repeat(depth), "</a>".repeat(depth))
+}
+
+/// Asserts every driver rejects the single-record corpus with an error
+/// whose message contains `needle` — same kind everywhere.
+fn assert_all_drivers_reject<F: DataFormat>(corpus: &str, needle: &str)
+where
+    F::Error: std::fmt::Debug + std::fmt::Display,
+{
+    let options = F::infer_options();
+    let bytes = corpus.as_bytes();
+    // In-memory sharded driver (jobs 1 = the sequential fold; the whole
+    // corpus arrives in one feed, so the speculative fast path runs).
+    for jobs in [1usize, 4] {
+        let err = infer_slice::<F>(bytes, &options, jobs)
+            .expect_err(&format!("{} slice jobs {jobs} must reject", F::NAME));
+        let msg = format!("{err}");
+        assert!(msg.contains(needle), "{} slice jobs {jobs}: {msg}", F::NAME);
+    }
+    // Bounded-memory reader: small chunks straddle the record (the
+    // resumable scanner path); a huge chunk hands it over whole (the
+    // speculative path again).
+    for (chunk, jobs) in [(64usize, 1usize), (64, 4), (1 << 20, 2)] {
+        let err = infer_reader_parallel::<F, _>(bytes, &options, chunk, jobs).expect_err(&format!(
+            "{} reader chunk {chunk} jobs {jobs} must reject",
+            F::NAME
+        ));
+        let msg = format!("{err}");
+        assert!(
+            msg.contains(needle),
+            "{} reader chunk {chunk} jobs {jobs}: {msg}",
+            F::NAME
+        );
+    }
+}
+
+#[test]
+fn ten_thousand_deep_json_is_too_deep_everywhere() {
+    let corpus = deep_json(10_000);
+    // One-shot front-end first: the recursion guard, not the stack,
+    // must stop it.
+    let err =
+        engine::parse_value_dyn(StreamFormat::Json, &corpus).expect_err("one-shot must reject");
+    assert!(
+        format!("{err}").contains("nesting exceeds limit of 128"),
+        "{err}"
+    );
+    assert_all_drivers_reject::<JsonFormat>(&corpus, "nesting exceeds limit of 128");
+}
+
+#[test]
+fn ten_thousand_deep_xml_is_too_deep_everywhere() {
+    let corpus = deep_xml(10_000);
+    let err =
+        engine::parse_value_dyn(StreamFormat::Xml, &corpus).expect_err("one-shot must reject");
+    assert!(
+        format!("{err}").contains("nesting exceeds limit of 256"),
+        "{err}"
+    );
+    assert_all_drivers_reject::<XmlFormat>(&corpus, "nesting exceeds limit of 256");
+}
+
+#[test]
+fn policy_max_depth_tightens_the_default() {
+    let corpus = "{\"a\": 1}\n[[[[1]]]]\n{\"a\": 2}\n";
+    let options = JsonFormat::infer_options();
+    let mut policy = RecoveryPolicy {
+        max_depth: Some(3),
+        ..RecoveryPolicy::default()
+    };
+    // Fail-fast: the deep record aborts the run.
+    for jobs in [1usize, 4] {
+        let err = infer_slice_policy::<JsonFormat>(corpus.as_bytes(), &options, &policy, jobs)
+            .expect_err("fail-fast must reject");
+        assert!(
+            format!("{err}").contains("nesting exceeds limit of 3"),
+            "{err}"
+        );
+    }
+    // Skip: the deep record is dropped, the rest folds.
+    policy.mode = tfd_core::RecoveryMode::Skip;
+    for jobs in [1usize, 4] {
+        let got = infer_slice_policy::<JsonFormat>(corpus.as_bytes(), &options, &policy, jobs)
+            .expect("skip mode folds the shallow records");
+        assert_eq!(got.summary.records, 2, "jobs {jobs}");
+        assert_eq!(got.report.total(), 1, "jobs {jobs}");
+        assert!(
+            got.report.first().unwrap().to_string().contains("line 2"),
+            "jobs {jobs}: {:?}",
+            got.report.first()
+        );
+    }
+}
+
+#[test]
+fn oversized_records_are_rejected_by_every_driver() {
+    let big = format!("{{\"a\": \"{}\"}}\n", "x".repeat(1000));
+    let corpus = format!("{{\"a\": \"s\"}}\n{big}{{\"a\": \"t\"}}\n");
+    let options = JsonFormat::infer_options();
+    let mut policy = RecoveryPolicy {
+        max_record_bytes: 64,
+        ..RecoveryPolicy::default()
+    };
+    // Fail-fast: slice and reader drivers abort with RecordTooLarge.
+    for jobs in [1usize, 4] {
+        let err = infer_slice_policy::<JsonFormat>(corpus.as_bytes(), &options, &policy, jobs)
+            .expect_err("fail-fast slice must reject");
+        assert!(
+            format!("{err}").contains("exceeds size limit of 64"),
+            "jobs {jobs}: {err}"
+        );
+    }
+    for (chunk, jobs) in [(8usize, 1usize), (8, 4), (1 << 20, 2)] {
+        let err =
+            infer_reader_policy::<JsonFormat, _>(corpus.as_bytes(), &options, &policy, chunk, jobs)
+                .expect_err("fail-fast reader must reject");
+        assert!(
+            format!("{err}").contains("exceeds size limit of 64"),
+            "chunk {chunk} jobs {jobs}: {err}"
+        );
+    }
+    // Skip: the oversized record is dropped in bounded memory, the rest
+    // folds — through both drivers.
+    policy.mode = tfd_core::RecoveryMode::Skip;
+    for jobs in [1usize, 4] {
+        let got = infer_slice_policy::<JsonFormat>(corpus.as_bytes(), &options, &policy, jobs)
+            .expect("skip slice folds the small records");
+        assert_eq!(got.summary.records, 2, "jobs {jobs}");
+        assert_eq!(got.report.total(), 1, "jobs {jobs}");
+    }
+    for (chunk, jobs) in [(8usize, 1usize), (8, 4), (1 << 20, 2)] {
+        let got =
+            infer_reader_policy::<JsonFormat, _>(corpus.as_bytes(), &options, &policy, chunk, jobs)
+                .expect("skip reader folds the small records");
+        assert_eq!(got.summary.records, 2, "chunk {chunk} jobs {jobs}");
+        assert_eq!(got.report.total(), 1, "chunk {chunk} jobs {jobs}");
+        assert!(
+            got.report
+                .first()
+                .unwrap()
+                .to_string()
+                .contains("exceeds size limit of 64"),
+            "chunk {chunk} jobs {jobs}: {:?}",
+            got.report.first()
+        );
+    }
+}
