@@ -37,7 +37,8 @@ use tfd_bench::{
     csv_rows_text, json_lines_text, json_rows_text, parallel_pipeline, stream_pipeline,
     xml_docs_text, xml_rows_text,
 };
-use tfd_core::{infer_many, infer_with, InferOptions, Shape, StreamFormat};
+use tfd_core::analyze::{diff_global, fingerprint, run_lints, CompatMode, LintConfig};
+use tfd_core::{globalize_env, infer_many, infer_with, InferOptions, Shape, StreamFormat};
 
 const SIZES: [usize; 3] = [10, 1_000, 100_000];
 
@@ -437,6 +438,26 @@ fn main() {
         budget,
     );
 
+    // Analysis overhead (PR 7): `tfd analyze`/`diff` run on the inferred
+    // `GlobalShape`, not on the corpus, so one full analysis pass
+    // (fingerprint + every lint + a Full-mode self-diff) should cost a
+    // vanishing fraction of the ingest that produced the shape. Measured
+    // against the 100k-row CSV parse→infer from the entries above.
+    let analyzed = globalize_env(infer_with(
+        &tfd_csv::parse_value(&csv_text).unwrap(),
+        &InferOptions::csv(),
+    ));
+    let analyze_s = best_time(
+        || {
+            std::hint::black_box(fingerprint(&analyzed));
+            std::hint::black_box(run_lints(&analyzed, &LintConfig::default()).len());
+            std::hint::black_box(diff_global(&analyzed, &analyzed, CompatMode::Full).is_empty());
+            Shape::Bottom
+        },
+        budget,
+    );
+    let ingest_s = secs_of("pipeline/csv/100000");
+
     let mut json = String::from("{\n  \"benchmark\": \"pipeline parse+infer (rows/sec)\",\n");
     let _ = writeln!(
         json,
@@ -493,6 +514,13 @@ fn main() {
         scan_old_s / scan_swar_s,
         scan_naive_s / scan_swar_s
     );
+    let _ = writeln!(
+        json,
+        "  \"analyze_overhead\": {{\"csv_100k_ingest_s\": {:e}, \"analysis_pass_s\": {:e}, \"fraction_of_ingest\": {:.5}}},",
+        ingest_s,
+        analyze_s,
+        analyze_s / ingest_s
+    );
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
@@ -537,4 +565,8 @@ fn main() {
             p.speedup4()
         );
     }
+    println!(
+        "analysis pass (fingerprint + lints + self-diff): {:.5}x of the 100k-row csv ingest",
+        analyze_s / ingest_s
+    );
 }

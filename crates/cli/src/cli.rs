@@ -5,6 +5,10 @@
 //! workers*, the engine does the rest.
 
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
+use tfd_core::analyze::{
+    check_path, diff_global, fingerprint, lint_rule_names, run_lints, AccessPath, CompatMode,
+    Diagnostic, DiffReport, LintConfig, LintLevel, PathReport, Severity,
+};
 use tfd_core::recover::{self, ErrorReport};
 use tfd_core::stream::StreamError;
 use tfd_core::{
@@ -24,6 +28,13 @@ COMMANDS:
     fsharp    print F#-style provided type signatures
     rust      print generated Rust typed-access code
     value     dump the universal data value of a document
+    analyze   infer a shape, run shape lints over it and check access
+              paths; prints the shape fingerprint and every finding
+    diff      infer the shapes of exactly two corpora (old, new) and
+              report every divergence, classified as safe or breaking
+              under the chosen --mode
+    check-path  verify --path access paths against the inferred shape:
+              a safe path cannot fail on any conforming input
 
 OPTIONS:
     --format <json|xml|csv|html>  input format (default: guessed from extension)
@@ -60,6 +71,24 @@ OPTIONS:
     --root <Name>              root type name (default: Root)
     --prefix <path>            support-crate path for `rust`
                                (default: ::types_from_data)
+    --mode <backward|forward|full>
+                               compatibility direction for `diff`
+                               (default: backward — may every value of
+                               the old shape be consumed by code
+                               compiled against the new one?)
+    --path <p>                 access path for analyze/check-path
+                               (repeatable), e.g. items[].name — `.f`
+                               projects a field, `[]` maps over a
+                               collection, `?` opt-chains a nullable
+    --allow <rule>             silence a lint rule (or `all`)
+    --warn <rule>              report a lint rule (or `all`) as warning
+    --deny <rule>              report a lint rule (or `all`) as error:
+                               any finding makes `analyze` exit 4
+                               (later --allow/--warn/--deny flags win)
+    --json                     machine-readable analyze/diff/check-path
+                               output (one JSON object on stdout)
+    --stats                    print name-interner statistics (distinct
+                               symbols, retained bytes) to stderr
     --help                     show this help
 
 EXIT CODES:
@@ -68,6 +97,9 @@ EXIT CODES:
     2   the input failed to parse, exceeded --max-errors, or tripped a
         resource cap
     3   an input file could not be read
+    4   analysis findings: `diff` found breaking divergences under
+        --mode, a denied lint fired, or a checked access path is unsafe
+        (the report still prints to stdout)
 ";
 
 /// A CLI failure, carrying the exit-code contract documented in
@@ -84,6 +116,12 @@ pub enum CliError {
     Parse(String),
     /// An input file could not be opened or read. Exit code 3.
     Io(String),
+    /// The inputs parsed fine but the analysis found what the caller
+    /// asked it to look for: breaking `diff` divergences, denied lint
+    /// findings, or an unsafe access path. Exit code 4. The payload is
+    /// the full report, which belongs on *stdout* (it is the command's
+    /// output, not a malfunction).
+    Analysis(String),
 }
 
 impl CliError {
@@ -93,6 +131,7 @@ impl CliError {
             CliError::Usage(_) => 1,
             CliError::Parse(_) => 2,
             CliError::Io(_) => 3,
+            CliError::Analysis(_) => 4,
         }
     }
 }
@@ -100,7 +139,9 @@ impl CliError {
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CliError::Usage(m) | CliError::Parse(m) | CliError::Io(m) => write!(f, "{m}"),
+            CliError::Usage(m) | CliError::Parse(m) | CliError::Io(m) | CliError::Analysis(m) => {
+                write!(f, "{m}")
+            }
         }
     }
 }
@@ -146,6 +187,11 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
     let mut module = "provided".to_owned();
     let mut root = "Root".to_owned();
     let mut prefix = "::types_from_data".to_owned();
+    let mut mode = CompatMode::Backward;
+    let mut paths: Vec<String> = Vec::new();
+    let mut lint_config = LintConfig::new();
+    let mut json = false;
+    let mut stats = false;
     let mut files: Vec<String> = Vec::new();
 
     let mut i = 1usize;
@@ -220,6 +266,36 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
                 i += 1;
                 prefix = args.get(i).ok_or("--prefix requires a value")?.clone();
             }
+            "--mode" => {
+                i += 1;
+                let v = args.get(i).ok_or("--mode requires a value")?;
+                mode = v.parse::<CompatMode>()?;
+            }
+            "--path" => {
+                i += 1;
+                paths.push(args.get(i).ok_or("--path requires a value")?.clone());
+            }
+            level_flag @ ("--allow" | "--warn" | "--deny") => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| format!("{level_flag} requires a lint rule name or `all`"))?;
+                if v != "all" && !lint_rule_names().contains(&v.as_str()) {
+                    return Err(format!(
+                        "unknown lint rule {v} (expected all, {})",
+                        lint_rule_names().join(", ")
+                    )
+                    .into());
+                }
+                let level = match level_flag {
+                    "--allow" => LintLevel::Allow,
+                    "--warn" => LintLevel::Warn,
+                    _ => LintLevel::Deny,
+                };
+                lint_config.set(v, level);
+            }
+            "--json" => json = true,
+            "--stats" => stats = true,
             "--help" | "-h" => return Ok(USAGE.to_owned()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option {flag}\n\n{USAGE}").into());
@@ -266,34 +342,103 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
             out.push_str(&tfd_value::builder::to_pretty_string(v));
             out.push('\n');
         }
+        emit_stats(stats, warn);
         return Ok(out);
     }
 
-    let shape = if stream {
-        stream_shape(&files, format, chunk_size, jobs.unwrap_or(1), &policy, warn)?
-    } else if let Some(jobs) = jobs {
-        // --jobs without --stream: whole files in memory, sharded at
-        // record boundaries (record-stream semantics, like --stream).
-        sharded_shape(&files, format, jobs, &policy, warn)?
-    } else if recovery_flags {
-        // Recovery flags imply the record-stream engine (like --jobs):
-        // skipping and the resource caps are defined over record
-        // boundaries, which the one-shot front-ends never see.
-        sharded_shape(&files, format, 1, &policy, warn)?
-    } else {
-        infer(&read_values(&files, format)?, format)
+    // One corpus → one shape, through whichever driver the flags chose,
+    // so the analysis commands compose with --stream/--jobs/--skip-…
+    // exactly like `infer` does. `diff` folds each corpus separately.
+    let corpus_shape = |fs: &[String], warn: &mut dyn FnMut(&str)| -> Result<Shape, CliError> {
+        if stream {
+            stream_shape(fs, format, chunk_size, jobs.unwrap_or(1), &policy, warn)
+        } else if let Some(jobs) = jobs {
+            // --jobs without --stream: whole files in memory, sharded at
+            // record boundaries (record-stream semantics, like --stream).
+            sharded_shape(fs, format, jobs, &policy, warn)
+        } else if recovery_flags {
+            // Recovery flags imply the record-stream engine (like --jobs):
+            // skipping and the resource caps are defined over record
+            // boundaries, which the one-shot front-ends never see.
+            sharded_shape(fs, format, 1, &policy, warn)
+        } else {
+            Ok(infer(&read_values(fs, format)?, format))
+        }
     };
     // The §6.2 global mode goes through the env-carrying form
     // (`GlobalShape`): recursion is represented by μ-references into the
     // definitions table, so `--global` reaches a true fixed point even
     // on mutually recursive corpora.
-    let global_shape = if global {
-        globalize_env(shape)
-    } else {
-        GlobalShape::plain(shape)
+    let to_global = |shape: Shape| {
+        if global {
+            globalize_env(shape)
+        } else {
+            GlobalShape::plain(shape)
+        }
     };
+    let parsed_paths: Vec<AccessPath> = paths
+        .iter()
+        .map(|p| {
+            p.parse()
+                .map_err(|e| CliError::Usage(format!("--path {p}: {e}")))
+        })
+        .collect::<Result<_, _>>()?;
 
-    match command {
+    if command == "diff" {
+        if files.len() != 2 {
+            return Err(format!(
+                "diff compares exactly two corpora (old, new); got {} input file(s)",
+                files.len()
+            )
+            .into());
+        }
+        let old = to_global(corpus_shape(&files[..1], warn)?);
+        let new = to_global(corpus_shape(&files[1..], warn)?);
+        let report = diff_global(&old, &new, mode);
+        let text = if json {
+            render_diff_json(&report)
+        } else {
+            report.to_string()
+        };
+        emit_stats(stats, warn);
+        return if report.is_compatible() {
+            Ok(text)
+        } else {
+            Err(CliError::Analysis(text))
+        };
+    }
+
+    let global_shape = to_global(corpus_shape(&files, warn)?);
+
+    if command == "analyze" || command == "check-path" {
+        if command == "check-path" && parsed_paths.is_empty() {
+            return Err("check-path needs at least one --path to verify".into());
+        }
+        let lints = if command == "analyze" {
+            run_lints(&global_shape, &lint_config)
+        } else {
+            Vec::new()
+        };
+        let path_reports: Vec<(&AccessPath, PathReport)> = parsed_paths
+            .iter()
+            .map(|p| (p, check_path(&global_shape, p)))
+            .collect();
+        let failed = lints.iter().any(|d| d.severity == Severity::Error)
+            || path_reports.iter().any(|(_, r)| !r.is_safe());
+        let text = if json {
+            render_analysis_json(command, &global_shape, &lints, &path_reports)
+        } else {
+            render_analysis(command, &global_shape, &lints, &path_reports)
+        };
+        emit_stats(stats, warn);
+        return if failed {
+            Err(CliError::Analysis(text))
+        } else {
+            Ok(text)
+        };
+    }
+
+    let out = match command {
         "infer" if env_table => Ok(render_env_table(&global_shape)),
         "infer" => Ok(format!("{}\n", global_shape.inline())),
         "fsharp" => {
@@ -317,8 +462,177 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
             };
             Ok(generate_global(&global_shape, &module, &root, &options))
         }
-        other => Err(format!("unknown command {other}\n\n{USAGE}").into()),
+        other => Err(CliError::from(format!(
+            "unknown command {other}\n\n{USAGE}"
+        ))),
+    };
+    emit_stats(stats, warn);
+    out
+}
+
+/// The `--stats` interner summary, on the warning (stderr) channel so
+/// it never mixes into command output.
+fn emit_stats(enabled: bool, warn: &mut dyn FnMut(&str)) {
+    if enabled {
+        let s = tfd_value::intern::stats();
+        warn(&format!(
+            "interner: {} distinct names, {} bytes retained",
+            s.symbols, s.retained_bytes
+        ));
     }
+}
+
+/// Human-readable `analyze`/`check-path` report.
+fn render_analysis(
+    command: &str,
+    global: &GlobalShape,
+    lints: &[Diagnostic],
+    paths: &[(&AccessPath, PathReport)],
+) -> String {
+    let mut out = String::new();
+    if command == "analyze" {
+        out.push_str(&format!("fingerprint: {}\n", fingerprint(global)));
+    }
+    for d in lints {
+        out.push_str(&format!("{d}\n"));
+    }
+    for (p, r) in paths {
+        for d in &r.diagnostics {
+            out.push_str(&format!("{d}\n"));
+        }
+        match (&r.result, r.is_safe()) {
+            (Some(shape), true) => out.push_str(&format!("path {p}: safe — {shape}\n")),
+            (_, safe) => out.push_str(&format!(
+                "path {p}: {}\n",
+                if safe { "safe" } else { "UNSAFE" }
+            )),
+        }
+    }
+    let errors = lints
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = lints
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let unsafe_paths = paths.iter().filter(|(_, r)| !r.is_safe()).count();
+    if command == "analyze" {
+        out.push_str(&format!(
+            "{} lint finding(s): {errors} error(s), {warnings} warning(s)",
+            lints.len()
+        ));
+        if !paths.is_empty() {
+            out.push_str(&format!(
+                "; {} path(s) checked, {unsafe_paths} unsafe",
+                paths.len()
+            ));
+        }
+        out.push('\n');
+    } else {
+        out.push_str(&format!(
+            "{} path(s) checked, {unsafe_paths} unsafe\n",
+            paths.len()
+        ));
+    }
+    out
+}
+
+/// Machine-readable `analyze`/`check-path` report: one JSON object.
+fn render_analysis_json(
+    command: &str,
+    global: &GlobalShape,
+    lints: &[Diagnostic],
+    paths: &[(&AccessPath, PathReport)],
+) -> String {
+    let mut out = String::from("{");
+    if command == "analyze" {
+        out.push_str(&format!("\"fingerprint\":\"{}\",", fingerprint(global)));
+        out.push_str("\"diagnostics\":[");
+        out.push_str(&json_diagnostics(lints));
+        out.push_str("],");
+    }
+    out.push_str("\"paths\":[");
+    for (i, (p, r)) in paths.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"safe\":{},\"result\":{},\"diagnostics\":[{}]}}",
+            json_escape(&p.to_string()),
+            r.is_safe(),
+            match &r.result {
+                Some(shape) => format!("\"{}\"", json_escape(&shape.to_string())),
+                None => "null".to_owned(),
+            },
+            json_diagnostics(&r.diagnostics)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Machine-readable `diff` report: one JSON object.
+fn render_diff_json(report: &DiffReport) -> String {
+    let mut out = format!(
+        "{{\"mode\":\"{}\",\"old_fingerprint\":\"{}\",\"new_fingerprint\":\"{}\",\
+         \"compatible\":{},\"entries\":[",
+        report.mode,
+        report.old_fingerprint,
+        report.new_fingerprint,
+        report.is_compatible()
+    );
+    for (i, e) in report.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"path\":\"{}\",\"detail\":\"{}\",\
+             \"breaks_backward\":{},\"breaks_forward\":{},\"breaking\":{}}}",
+            e.kind,
+            json_escape(&e.path.to_string()),
+            json_escape(&e.detail),
+            e.breaks_backward,
+            e.breaks_forward,
+            e.breaks(report.mode)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn json_diagnostics(diags: &[Diagnostic]) -> String {
+    diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"}}",
+                d.rule,
+                d.severity,
+                json_escape(&d.shape_path.to_string()),
+                json_escape(&d.message)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Minimal JSON string escaping (the reverse of nothing we parse — the
+/// analysis output is write-only).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, CliError> {
@@ -887,6 +1201,149 @@ mod tests {
         let err = run_cli(&["infer", "--max-record-bytes", "8", &wide]).unwrap_err();
         assert_eq!(err.exit_code(), 2);
         assert!(err.to_string().contains("record exceeds"), "{err}");
+    }
+
+    #[test]
+    fn analyze_reports_fingerprint_lints_and_paths() {
+        let f = write_temp(
+            "an.json",
+            r#"{"items": [{"name": "a", "note": null}, {"name": "b", "note": "x"}]}"#,
+        );
+        let out = run_args(&["analyze", &f]).unwrap();
+        assert!(out.contains("fingerprint: "), "{out}");
+        assert!(out.contains("0 error(s)"), "{out}");
+        let out = run_args(&["analyze", "--path", "items[].name", &f]).unwrap();
+        assert!(out.contains("path $.items[].name: safe — string"), "{out}");
+        // An unsafe path flips the command into the Analysis error.
+        let err = run_cli(&["analyze", "--path", "items[].note.len", &f]).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("path-null-deref"), "{err}");
+        // A malformed path is a usage error, not an analysis finding.
+        let err = run_cli(&["analyze", "--path", "items[0]", &f]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn analyze_lint_levels_drive_the_exit_code() {
+        // score is sometimes a float, sometimes a string → the
+        // mixed-number-string lint fires (CSV columns inferred per-row).
+        let f = write_temp("lint.csv", "id,score\n1,2.5\n2,high\n");
+        let out = run_args(&["analyze", &f]).unwrap();
+        assert!(out.contains("warning[mixed-number-string]"), "{out}");
+        // Denied: same finding, error severity, exit 4.
+        let err = run_cli(&["analyze", "--deny", "mixed-number-string", &f]).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(
+            err.to_string().contains("error[mixed-number-string]"),
+            "{err}"
+        );
+        // Allowed: silent again (later flags win over earlier ones).
+        let out = run_args(&[
+            "analyze",
+            "--deny",
+            "all",
+            "--allow",
+            "mixed-number-string",
+            &f,
+        ])
+        .unwrap();
+        assert!(out.contains("0 lint finding(s)"), "{out}");
+        // Unknown rule names are usage errors that list the registry.
+        let err = run_cli(&["analyze", "--deny", "bogus-rule", &f]).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("mixed-number-string"), "{err}");
+    }
+
+    #[test]
+    fn diff_classifies_and_exits_by_mode() {
+        let old = write_temp("d_old.csv", "id,score\n1,2.5\n");
+        let widened = write_temp("d_new.csv", "id,score\n1,\n2,3.5\n");
+        // Widening (score becomes nullable): backward-safe…
+        let out = run_args(&["diff", &old, &widened]).unwrap();
+        assert!(out.contains("nullability-introduced"), "{out}");
+        assert!(out.contains("0 breaking"), "{out}");
+        // …but forward-breaking, and full covers both directions.
+        for mode in ["forward", "full"] {
+            let err = run_cli(&["diff", "--mode", mode, &old, &widened]).unwrap_err();
+            assert_eq!(err.exit_code(), 4, "{mode}");
+            assert!(err.to_string().contains("breaking"), "{mode}: {err}");
+        }
+        // Identical corpora: empty report, exit 0, in every mode.
+        let out = run_args(&["diff", "--mode", "full", &old, &old]).unwrap();
+        assert!(out.contains("shapes are identical"), "{out}");
+        // Wrong arity and bad mode are usage errors.
+        assert_eq!(run_cli(&["diff", &old]).unwrap_err().exit_code(), 1);
+        assert_eq!(
+            run_cli(&["diff", "--mode", "sideways", &old, &old])
+                .unwrap_err()
+                .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn diff_composes_with_stream_and_jobs() {
+        let old = write_temp("ds_old.csv", "id,score\n1,2.5\n2,3.0\n");
+        let new = write_temp("ds_new.csv", "id,score\n1,high\n2,low\n");
+        let plain = run_cli(&["diff", &old, &new]).unwrap_err();
+        for extra in [&["--stream"][..], &["--jobs", "2"][..]] {
+            let mut args = vec!["diff"];
+            args.extend_from_slice(extra);
+            args.extend([old.as_str(), new.as_str()]);
+            let err = run_cli(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 4, "{extra:?}");
+            assert_eq!(err.to_string(), plain.to_string(), "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let old = write_temp("j_old.csv", "id,score\n1,2.5\n");
+        let new = write_temp("j_new.csv", "id,score\n1,high\n");
+        let err = run_cli(&["diff", "--json", &old, &new]).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.starts_with('{') && text.trim_end().ends_with('}'),
+            "{text}"
+        );
+        assert!(text.contains("\"kind\":\"type-changed\""), "{text}");
+        assert!(text.contains("\"compatible\":false"), "{text}");
+        assert!(text.contains("\"breaking\":true"), "{text}");
+        let f = write_temp("j_an.json", r#"{"a": 1}"#);
+        let out = run_args(&["analyze", "--json", "--path", "a", &f]).unwrap();
+        assert!(out.contains("\"fingerprint\":"), "{out}");
+        assert!(out.contains("\"safe\":true"), "{out}");
+        assert!(out.contains("\"result\":\"int\""), "{out}");
+    }
+
+    #[test]
+    fn check_path_command_verifies_paths() {
+        let f = write_temp(
+            "cp.json",
+            r#"{"user": {"name": "jan"}, "tags": ["a", "b"]}"#,
+        );
+        let out = run_args(&["check-path", "--path", "user.name", "--path", "tags[]", &f]).unwrap();
+        assert!(out.contains("2 path(s) checked, 0 unsafe"), "{out}");
+        let err = run_cli(&["check-path", "--path", "user.age", &f]).unwrap_err();
+        assert_eq!(err.exit_code(), 4);
+        assert!(err.to_string().contains("path-missing-field"), "{err}");
+        // No paths given: usage error.
+        assert_eq!(run_cli(&["check-path", &f]).unwrap_err().exit_code(), 1);
+    }
+
+    #[test]
+    fn stats_flag_reports_interner_figures_on_the_warning_channel() {
+        let f = write_temp("st.json", r#"{"alpha": 1, "beta": true}"#);
+        let (out, warnings) = run_warned(&["infer", "--stats", &f]);
+        assert!(out.is_ok());
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("distinct names"), "{}", warnings[0]);
+        assert!(warnings[0].contains("bytes retained"), "{}", warnings[0]);
+        // Also on analysis commands, and off by default.
+        let (_, warnings) = run_warned(&["analyze", "--stats", &f]);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        let (_, warnings) = run_warned(&["infer", &f]);
+        assert!(warnings.is_empty(), "{warnings:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Exit codes follow the contract in `--help`: 0 success, 1 usage
-//! error, 2 parse/resource error, 3 I/O error.
+//! error, 2 parse/resource error, 3 I/O error, 4 analysis findings.
 
 use std::process::ExitCode;
 
@@ -20,6 +20,13 @@ fn main() -> ExitCode {
         Ok(output) => {
             print!("{output}");
             ExitCode::SUCCESS
+        }
+        // Analysis findings are the command's *output* (stdout), not a
+        // malfunction: exit 4 is the machine-readable part, the report
+        // the human-readable one.
+        Err(e @ cli::CliError::Analysis(_)) => {
+            print!("{e}");
+            ExitCode::from(e.exit_code())
         }
         Err(e) => {
             eprintln!("tfd: {e}");

@@ -1,9 +1,10 @@
 //! End-to-end exit-code contract for the `tfd` binary.
 //!
 //! `--help` documents: 0 success, 1 usage error, 2 parse/resource
-//! error, 3 I/O error. These tests run the real executable and assert
-//! the contract holds on every driver path, plus the `--skip-errors`
-//! stderr summary format.
+//! error, 3 I/O error, 4 analysis findings. These tests run the real
+//! executable and assert the contract holds on every driver path, plus
+//! the `--skip-errors` stderr summary format and the analysis report
+//! channel (stdout, even on exit 4).
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -104,6 +105,88 @@ fn skip_errors_prints_the_summary_on_stderr_and_exits_zero() {
 }
 
 #[test]
+fn breaking_diff_exits_four_with_the_report_on_stdout() {
+    let old = write_temp("ev_old.csv", "id,score\n1,2.5\n2,3.0\n");
+    let new = write_temp("ev_new.csv", "id,score\n1,high\n2,low\n");
+    let out = tfd(&["diff", &old, &new]);
+    assert_eq!(exit_code(&out), 4, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("type-changed"), "{stdout}");
+    assert!(stdout.contains("$[].score"), "{stdout}");
+    assert!(stdout.contains("breaking"), "{stdout}");
+    assert!(out.stderr.is_empty(), "{:?}", String::from_utf8(out.stderr));
+    // A corpus diffed against itself is identical: exit 0.
+    let same = tfd(&["diff", "--mode", "full", &old, &old]);
+    assert_eq!(exit_code(&same), 0, "{same:?}");
+    let stdout = String::from_utf8(same.stdout).unwrap();
+    assert!(stdout.contains("shapes are identical"), "{stdout}");
+}
+
+#[test]
+fn diff_mode_decides_which_divergences_break() {
+    // score becomes nullable: a widening — old values still conform.
+    let old = write_temp("w_old.csv", "id,score\n1,2.5\n");
+    let new = write_temp("w_new.csv", "id,score\n1,\n2,3.5\n");
+    let back = tfd(&["diff", &old, &new]);
+    assert_eq!(exit_code(&back), 0, "{back:?}");
+    let stdout = String::from_utf8(back.stdout).unwrap();
+    assert!(stdout.contains("nullability-introduced"), "{stdout}");
+    let fwd = tfd(&["diff", "--mode", "forward", &old, &new]);
+    assert_eq!(exit_code(&fwd), 4, "{fwd:?}");
+}
+
+#[test]
+fn denied_lint_exits_four() {
+    let f = write_temp("lint.csv", "id,score\n1,2.5\n2,high\n");
+    let warn_only = tfd(&["analyze", &f]);
+    assert_eq!(exit_code(&warn_only), 0, "{warn_only:?}");
+    let denied = tfd(&["analyze", "--deny", "mixed-number-string", &f]);
+    assert_eq!(exit_code(&denied), 4, "{denied:?}");
+    let stdout = String::from_utf8(denied.stdout).unwrap();
+    assert!(stdout.contains("error[mixed-number-string]"), "{stdout}");
+}
+
+#[test]
+fn unsafe_access_path_exits_four() {
+    let f = write_temp(
+        "paths.json",
+        r#"{"items": [{"name": "a", "note": null}, {"name": "b", "note": "x"}]}"#,
+    );
+    let safe = tfd(&["check-path", "--path", "items[].name", &f]);
+    assert_eq!(exit_code(&safe), 0, "{safe:?}");
+    let unsafe_out = tfd(&["check-path", "--path", "items[].note.len", &f]);
+    assert_eq!(exit_code(&unsafe_out), 4, "{unsafe_out:?}");
+    let stdout = String::from_utf8(unsafe_out.stdout).unwrap();
+    assert!(stdout.contains("path-null-deref"), "{stdout}");
+    // The `?` opt-chain satisfies the checker.
+    let opted = tfd(&["check-path", "--path", "items[].note?", &f]);
+    assert_eq!(exit_code(&opted), 0, "{opted:?}");
+}
+
+#[test]
+fn json_analysis_output_is_a_single_object_on_stdout() {
+    let old = write_temp("js_old.csv", "id,score\n1,2.5\n");
+    let new = write_temp("js_new.csv", "id,score\n1,high\n");
+    let out = tfd(&["diff", "--json", &old, &new]);
+    assert_eq!(exit_code(&out), 4, "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"compatible\":false"), "{stdout}");
+    assert!(stdout.contains("\"kind\":\"type-changed\""), "{stdout}");
+}
+
+#[test]
+fn stats_go_to_stderr_not_stdout() {
+    let f = write_temp("stats.json", "{\"a\": 1}\n");
+    let out = tfd(&["analyze", "--stats", &f]);
+    assert_eq!(exit_code(&out), 0, "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("distinct names"), "{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("distinct names"), "{stdout}");
+}
+
+#[test]
 fn help_documents_the_contract_and_exits_zero() {
     let out = tfd(&["--help"]);
     assert_eq!(exit_code(&out), 0);
@@ -114,6 +197,14 @@ fn help_documents_the_contract_and_exits_zero() {
         "--max-errors",
         "--max-record-bytes",
         "--max-depth",
+        "analyze",
+        "diff",
+        "check-path",
+        "--mode",
+        "--deny",
+        "--json",
+        "--stats",
+        "4   analysis findings",
     ] {
         assert!(stdout.contains(needle), "missing {needle}");
     }

@@ -1,0 +1,2461 @@
+//! Static analysis over inferred shapes: schema-evolution diffing,
+//! shape lints, and access-path safety.
+//!
+//! The paper's central guarantee is *relative safety* (§5): a program
+//! checked against an inferred shape cannot go wrong on any input that
+//! conforms to that shape. The rest of the crate exercises this
+//! dynamically (`conforms_in`); this module makes it a *static*
+//! tool-surface, with [`Diagnostic`]s instead of booleans:
+//!
+//! * **Compatibility analysis** ([`diff_global`]) — a structured diff
+//!   between two [`GlobalShape`]s, each divergence classified as safe
+//!   widening vs. breaking under [`CompatMode::Backward`] /
+//!   [`Forward`](CompatMode::Forward) / [`Full`](CompatMode::Full)
+//!   reading. The walker mirrors the coinductive two-environment
+//!   preference relation clause by clause, so its verdict provably
+//!   agrees with [`is_preferred_global`](crate::is_preferred_global):
+//!   *no backward-breaking entries ⇔ `old ⊑ new`* (and symmetrically
+//!   for forward). By the relative-safety theorem, a
+//!   backward-compatible verdict therefore means every value conforming
+//!   to the old shape still conforms to the new one.
+//! * **Fingerprinting** ([`fingerprint`]) — a canonical 64-bit digest
+//!   of a global shape, stable across processes, definition-table
+//!   order, record-field order, and unreachable definitions: the
+//!   schema-registry cache key.
+//! * **Lints** ([`run_lints`], [`LintRule`]) — a registry of heuristic
+//!   shape smells (deep optional chains, degenerate unions, opaque
+//!   `any`, …) with allow/warn/deny configuration.
+//! * **Access-path checking** ([`check_path`]) — given a projection
+//!   path like `root.items[].name`, statically verify against the
+//!   environment that every access is safe for *all* conforming
+//!   inputs, making the §5 theorem operational as a tool.
+
+use crate::env::{GlobalShape, ShapeEnv};
+use crate::multiplicity::Multiplicity;
+use crate::prefer::{preferred_two_env, to_cases};
+use crate::shape::RecordShape;
+use crate::tags::{tag_of, Tag};
+use crate::Shape;
+use std::fmt;
+use tfd_value::hash::StableHasher;
+use tfd_value::Name;
+
+// ---------------------------------------------------------------------
+// Diagnostic infrastructure
+// ---------------------------------------------------------------------
+
+/// One step of a [`ShapePath`] — navigation through shape structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStep {
+    /// Descend into a record field.
+    Field(Name),
+    /// Descend into the element shape of a collection (`[]`).
+    Elem,
+    /// Descend into the union arm / collection case with this tag.
+    Arm(Tag),
+    /// Descend through a `nullable` wrapper.
+    Opt,
+    /// Enter the environment definition of a name class (`↺name`).
+    Def(Name),
+}
+
+/// A path into a [`GlobalShape`], locating a finding inside
+/// field/union/μ-reference structure.
+///
+/// Renders as `$` for the root, `$.items[].name` for nested access,
+/// and `↺div.child` for a position inside an environment definition.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShapePath {
+    steps: Vec<PathStep>,
+}
+
+impl ShapePath {
+    /// The root path `$`.
+    pub fn root() -> ShapePath {
+        ShapePath::default()
+    }
+
+    /// A path rooted at the environment definition `↺name`.
+    pub fn def(name: Name) -> ShapePath {
+        ShapePath {
+            steps: vec![PathStep::Def(name)],
+        }
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: PathStep) {
+        self.steps.push(step);
+    }
+
+    /// Removes the last step.
+    pub fn pop(&mut self) {
+        self.steps.pop();
+    }
+
+    /// The steps, in order.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// A copy of this path with one more step.
+    #[must_use]
+    pub fn with(&self, step: PathStep) -> ShapePath {
+        let mut p = self.clone();
+        p.push(step);
+        p
+    }
+}
+
+impl fmt::Display for ShapePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !matches!(self.steps.first(), Some(PathStep::Def(_))) {
+            write!(f, "$")?;
+        }
+        for step in &self.steps {
+            match step {
+                PathStep::Field(n) => write!(f, ".{n}")?,
+                PathStep::Elem => write!(f, "[]")?,
+                PathStep::Arm(t) => write!(f, "\u{27e8}{t}\u{27e9}")?,
+                PathStep::Opt => write!(f, "?")?,
+                PathStep::Def(n) => write!(f, "\u{21ba}{n}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational; never affects exit status.
+    Note,
+    /// A smell worth looking at.
+    Warning,
+    /// A finding that fails the analysis.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from any of the three analysis engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier (kebab-case), e.g. `deep-optional-chain`.
+    pub rule: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where in the shape the finding is located.
+    pub shape_path: ShapePath,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] at {}: {}",
+            self.severity, self.rule, self.shape_path, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------
+
+/// A canonical 64-bit digest of a [`GlobalShape`] — the schema-registry
+/// cache key. See [`fingerprint`] for the invariances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShapeFingerprint(pub u64);
+
+impl fmt::Display for ShapeFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Computes the canonical fingerprint of a global shape.
+///
+/// The digest is invariant under everything that does not change the
+/// denoted shape: process runs and interner state (string *contents*
+/// are hashed, not interned pointers), definitions-table order (the
+/// reachable environment is re-serialized in deterministic
+/// first-reference order from the root), record-field order (fields are
+/// hashed in name order), and unreachable definitions (dropped before
+/// hashing). References are hashed by their *position* in the canonical
+/// definition order — the α-renaming view — while record/definition
+/// names are still hashed by content, because conformance is nominal.
+///
+/// ```
+/// use tfd_core::analyze::fingerprint;
+/// use tfd_core::{GlobalShape, Shape};
+/// let a = GlobalShape::plain(Shape::record("P", [("x", Shape::Int), ("y", Shape::Bool)]));
+/// let b = GlobalShape::plain(Shape::record("P", [("y", Shape::Bool), ("x", Shape::Int)]));
+/// assert_eq!(fingerprint(&a), fingerprint(&b));
+/// ```
+pub fn fingerprint(global: &GlobalShape) -> ShapeFingerprint {
+    let env = global.reachable_env();
+    let index: Vec<Name> = env.names().collect();
+    let mut h = StableHasher::new();
+    hash_shape(&global.root, &index, &mut h);
+    for (_, def) in env.iter() {
+        h.write_u8(0xFE); // definition separator
+        hash_record(def, &index, &mut h);
+    }
+    ShapeFingerprint(h.finish())
+}
+
+fn hash_shape(shape: &Shape, index: &[Name], h: &mut StableHasher) {
+    match shape {
+        Shape::Bottom => h.write_u8(0x01),
+        Shape::Null => h.write_u8(0x02),
+        Shape::Bool => h.write_u8(0x03),
+        Shape::Int => h.write_u8(0x04),
+        Shape::Float => h.write_u8(0x05),
+        Shape::String => h.write_u8(0x06),
+        Shape::Bit => h.write_u8(0x07),
+        Shape::Date => h.write_u8(0x08),
+        Shape::Record(r) => {
+            h.write_u8(0x09);
+            hash_record(r, index, h);
+        }
+        Shape::Nullable(inner) => {
+            h.write_u8(0x0A);
+            hash_shape(inner, index, h);
+        }
+        Shape::List(e) => {
+            h.write_u8(0x0B);
+            hash_shape(e, index, h);
+        }
+        Shape::Top(labels) => {
+            h.write_u8(0x0C);
+            h.write_usize(labels.len());
+            for l in labels {
+                hash_shape(l, index, h);
+            }
+        }
+        Shape::HeteroList(cases) => {
+            h.write_u8(0x0D);
+            h.write_usize(cases.len());
+            for (s, m) in cases {
+                hash_shape(s, index, h);
+                h.write_u8(match m {
+                    Multiplicity::One => 1,
+                    Multiplicity::ZeroOrOne => 2,
+                    Multiplicity::Many => 3,
+                });
+            }
+        }
+        Shape::Ref(n) => {
+            h.write_u8(0x0E);
+            match index.iter().position(|m| m == n) {
+                Some(i) => h.write_usize(i),
+                None => {
+                    // Dangling: no canonical position, fall back to the
+                    // spelling (still process-independent).
+                    h.write_u8(0xFF);
+                    h.write_str(n.as_str());
+                }
+            }
+        }
+    }
+}
+
+fn hash_record(r: &RecordShape, index: &[Name], h: &mut StableHasher) {
+    h.write_str(r.name.as_str());
+    h.write_usize(r.fields.len());
+    let mut order: Vec<usize> = (0..r.fields.len()).collect();
+    order.sort_by(|&i, &j| r.fields[i].name.as_str().cmp(r.fields[j].name.as_str()));
+    for i in order {
+        let f = &r.fields[i];
+        h.write_str(f.name.as_str());
+        hash_shape(&f.shape, index, h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compatibility analysis (schema-evolution diff)
+// ---------------------------------------------------------------------
+
+/// The direction a diff is judged in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompatMode {
+    /// Old-conforming values must still conform to the new shape
+    /// (`old ⊑ new`) — the registry-upload question.
+    Backward,
+    /// New-conforming values must conform to the old shape
+    /// (`new ⊑ old`) — can old consumers read new data?
+    Forward,
+    /// Both directions: any divergence that breaks either is breaking.
+    Full,
+}
+
+impl CompatMode {
+    /// The kebab-case spelling used by the CLI.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompatMode::Backward => "backward",
+            CompatMode::Forward => "forward",
+            CompatMode::Full => "full",
+        }
+    }
+}
+
+impl fmt::Display for CompatMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for CompatMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<CompatMode, String> {
+        match s {
+            "backward" => Ok(CompatMode::Backward),
+            "forward" => Ok(CompatMode::Forward),
+            "full" => Ok(CompatMode::Full),
+            other => Err(format!(
+                "unknown compatibility mode '{other}' (expected backward, forward or full)"
+            )),
+        }
+    }
+}
+
+/// Classification of one divergence between two shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffKind {
+    /// A record field exists only in the new shape.
+    FieldAdded,
+    /// A record field exists only in the old shape.
+    FieldRemoved,
+    /// A leaf shape widened (`old ⊑ new` but not vice versa).
+    TypeWidened,
+    /// A leaf shape narrowed (`new ⊑ old` but not vice versa).
+    TypeNarrowed,
+    /// A leaf shape changed incomparably.
+    TypeChanged,
+    /// A non-nullable position became nullable.
+    NullabilityIntroduced,
+    /// A nullable position became non-nullable.
+    NullabilityRemoved,
+    /// A union/collection case exists only in the new shape.
+    UnionArmAdded,
+    /// A union/collection case exists only in the old shape.
+    UnionArmDropped,
+    /// A top-shape label changed (labels never affect conformance).
+    UnionArmChanged,
+    /// A collection case's multiplicity changed.
+    MultiplicityChanged,
+    /// A record/reference name changed (conformance is nominal).
+    RecordRenamed,
+    /// The μ-recursion cut moved: one side spells a record inline where
+    /// the other uses a reference (denotationally equivalent).
+    RecursionCutMoved,
+    /// An environment definition exists only in the new shape.
+    DefinitionAdded,
+    /// An environment definition exists only in the old shape.
+    DefinitionRemoved,
+}
+
+impl DiffKind {
+    /// Stable kebab-case identifier (used in reports and JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DiffKind::FieldAdded => "field-added",
+            DiffKind::FieldRemoved => "field-removed",
+            DiffKind::TypeWidened => "type-widened",
+            DiffKind::TypeNarrowed => "type-narrowed",
+            DiffKind::TypeChanged => "type-changed",
+            DiffKind::NullabilityIntroduced => "nullability-introduced",
+            DiffKind::NullabilityRemoved => "nullability-removed",
+            DiffKind::UnionArmAdded => "union-arm-added",
+            DiffKind::UnionArmDropped => "union-arm-dropped",
+            DiffKind::UnionArmChanged => "union-arm-changed",
+            DiffKind::MultiplicityChanged => "multiplicity-changed",
+            DiffKind::RecordRenamed => "record-renamed",
+            DiffKind::RecursionCutMoved => "recursion-cut-moved",
+            DiffKind::DefinitionAdded => "definition-added",
+            DiffKind::DefinitionRemoved => "definition-removed",
+        }
+    }
+}
+
+impl fmt::Display for DiffKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One classified divergence in a [`DiffReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffEntry {
+    /// What changed.
+    pub kind: DiffKind,
+    /// Where it changed.
+    pub path: ShapePath,
+    /// Human-readable `old → new` detail.
+    pub detail: String,
+    /// `true` when this divergence breaks backward compatibility
+    /// (an old-conforming value may not conform to the new shape).
+    pub breaks_backward: bool,
+    /// `true` when this divergence breaks forward compatibility.
+    pub breaks_forward: bool,
+}
+
+impl DiffEntry {
+    /// Whether this entry is breaking under the given mode.
+    pub fn breaks(&self, mode: CompatMode) -> bool {
+        match mode {
+            CompatMode::Backward => self.breaks_backward,
+            CompatMode::Forward => self.breaks_forward,
+            CompatMode::Full => self.breaks_backward || self.breaks_forward,
+        }
+    }
+}
+
+/// The structured result of [`diff_global`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffReport {
+    /// The mode compatibility is judged in.
+    pub mode: CompatMode,
+    /// Every divergence found, in walk order.
+    pub entries: Vec<DiffEntry>,
+    /// Fingerprint of the old shape.
+    pub old_fingerprint: ShapeFingerprint,
+    /// Fingerprint of the new shape.
+    pub new_fingerprint: ShapeFingerprint,
+}
+
+impl DiffReport {
+    /// `true` when no divergence at all was found — which holds exactly
+    /// when the two shapes are structurally equivalent (equal roots and
+    /// equal reachable environments, up to field/definition order).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when no entry is breaking under the report's mode.
+    pub fn is_compatible(&self) -> bool {
+        !self.entries.iter().any(|e| e.breaks(self.mode))
+    }
+
+    /// The entries that are breaking under the report's mode.
+    pub fn breaking(&self) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(|e| e.breaks(self.mode))
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fingerprint: {} -> {}",
+            self.old_fingerprint, self.new_fingerprint
+        )?;
+        if self.entries.is_empty() {
+            return writeln!(f, "shapes are identical");
+        }
+        for e in &self.entries {
+            let marker = if e.breaks(self.mode) {
+                "breaking"
+            } else {
+                "info"
+            };
+            writeln!(f, "{marker:8} {} at {}: {}", e.kind, e.path, e.detail)?;
+        }
+        let n = self.breaking().count();
+        writeln!(
+            f,
+            "{} divergence(s), {} breaking under {} compatibility",
+            self.entries.len(),
+            n,
+            self.mode
+        )
+    }
+}
+
+/// A short rendering of a shape for diff details.
+fn brief(shape: &Shape) -> String {
+    let mut s = shape.to_string();
+    if s.chars().count() > 48 {
+        let cut: String = s.chars().take(45).collect();
+        s = format!("{cut}...");
+    }
+    s
+}
+
+/// Does the shape admit `null` — i.e. is `null ⊑ shape`? Mirrors the
+/// `(Null, b)` clause of the preference relation.
+fn admits_null(shape: &Shape) -> bool {
+    !shape.is_non_nullable() && *shape != Shape::Bottom
+}
+
+fn contains_ref(shape: &Shape) -> bool {
+    match shape {
+        Shape::Ref(_) => true,
+        Shape::Record(r) => r.fields.iter().any(|f| contains_ref(&f.shape)),
+        Shape::Nullable(s) | Shape::List(s) => contains_ref(s),
+        Shape::Top(labels) => labels.iter().any(contains_ref),
+        Shape::HeteroList(cases) => cases.iter().any(|(s, _)| contains_ref(s)),
+        _ => false,
+    }
+}
+
+struct Differ<'a> {
+    ea: Option<&'a ShapeEnv>,
+    eb: Option<&'a ShapeEnv>,
+    /// Same-name reference pairs already compared (never popped: this is
+    /// the post-fixed-point check of the greatest fixed point — once a
+    /// definition pair's divergences are recorded, re-encountering the
+    /// pair adds nothing).
+    compared: Vec<Name>,
+    /// When set, pushed entries are forced non-breaking — used for
+    /// definitions reachable only through top-shape labels, which the
+    /// preference relation never descends into.
+    muted: bool,
+    entries: Vec<DiffEntry>,
+}
+
+impl<'a> Differ<'a> {
+    fn push(&mut self, kind: DiffKind, path: ShapePath, detail: String, bb: bool, bf: bool) {
+        let (bb, bf) = if self.muted { (false, false) } else { (bb, bf) };
+        self.entries.push(DiffEntry {
+            kind,
+            path,
+            detail,
+            breaks_backward: bb,
+            breaks_forward: bf,
+        });
+    }
+
+    /// Exact breakage flags for a leaf divergence, straight from the
+    /// two-environment relation (fresh-memo calls are exact: membership
+    /// in the greatest fixed point is context-independent).
+    fn leaf(&mut self, a: &Shape, b: &Shape, path: &ShapePath) {
+        let fwd = preferred_two_env(a, b, self.ea, self.eb);
+        let bwd = preferred_two_env(b, a, self.eb, self.ea);
+        if fwd && bwd {
+            return; // equivalent spellings, nothing to report
+        }
+        let kind = match (fwd, bwd) {
+            (true, false) => DiffKind::TypeWidened,
+            (false, true) => DiffKind::TypeNarrowed,
+            _ => DiffKind::TypeChanged,
+        };
+        self.push(
+            kind,
+            path.clone(),
+            format!("{} -> {}", brief(a), brief(b)),
+            !fwd,
+            !bwd,
+        );
+    }
+
+    /// The diff walker. Mirrors the two-environment preference relation
+    /// (`prefer::preferred2`) clause by clause, in both directions at
+    /// once, so that "no backward-breaking entries" coincides exactly
+    /// with `old ⊑ new` (and symmetrically for forward).
+    fn diff(&mut self, a: &Shape, b: &Shape, path: &mut ShapePath) {
+        use Shape::*;
+        // Equal ref-free spellings cannot diverge in either direction.
+        // (With refs inside, equality of spellings says nothing about
+        // the definitions, so fall through.)
+        if a == b && !contains_ref(a) {
+            return;
+        }
+        let (ea, eb) = (self.ea, self.eb);
+        match (a, b) {
+            (Ref(n), Ref(m)) => {
+                if n != m {
+                    self.push(
+                        DiffKind::RecordRenamed,
+                        path.clone(),
+                        format!("\u{21ba}{n} -> \u{21ba}{m}"),
+                        true,
+                        true,
+                    );
+                    return;
+                }
+                match (ea.and_then(|e| e.get(*n)), eb.and_then(|e| e.get(*m))) {
+                    (Some(da), Some(db)) => {
+                        if self.compared.contains(n) {
+                            return;
+                        }
+                        self.compared.push(*n);
+                        let mut p = ShapePath::def(*n);
+                        self.diff_record(da, db, &mut p);
+                    }
+                    // A dangling side degrades to the nominal reading:
+                    // the relation holds both ways, so never breaking.
+                    (Some(_), None) => self.push(
+                        DiffKind::DefinitionRemoved,
+                        path.clone(),
+                        format!("definition of \u{21ba}{n} is absent on the new side"),
+                        false,
+                        false,
+                    ),
+                    (None, Some(_)) => self.push(
+                        DiffKind::DefinitionAdded,
+                        path.clone(),
+                        format!("definition of \u{21ba}{n} is absent on the old side"),
+                        false,
+                        false,
+                    ),
+                    (None, None) => {}
+                }
+            }
+            (Bottom, Bottom) => {}
+            (Bottom, _) | (_, Bottom) => self.leaf(a, b, path),
+            // Labels are invisible to the preference relation (§3.5):
+            // every label divergence is informational.
+            (Top(la), Top(lb)) => self.diff_labels(la, lb, path),
+            (Top(_), _) | (_, Top(_)) => self.leaf(a, b, path),
+            (Null, Null) => {}
+            (Null, _) | (_, Null) => self.leaf(a, b, path),
+            (Nullable(ai), Nullable(bi)) => self.diff(ai, bi, path),
+            (_, Nullable(bi)) if a.is_non_nullable() => {
+                // `a ⊑ nullable b'` reduces to `a ⊑ b'`: the wrapper
+                // itself never breaks backward, always breaks forward
+                // (`nullable _ ⋢` any non-nullable shape).
+                self.push(
+                    DiffKind::NullabilityIntroduced,
+                    path.clone(),
+                    format!("{} became nullable", brief(a)),
+                    false,
+                    true,
+                );
+                self.diff(a, bi, path);
+            }
+            (Nullable(ai), _) if b.is_non_nullable() => {
+                self.push(
+                    DiffKind::NullabilityRemoved,
+                    path.clone(),
+                    format!("nullable {} became mandatory", brief(ai)),
+                    true,
+                    false,
+                );
+                self.diff(ai, b, path);
+            }
+            (Nullable(_), _) | (_, Nullable(_)) => self.leaf(a, b, path),
+            (List(ae), List(be)) => {
+                path.push(PathStep::Elem);
+                self.diff(ae, be, path);
+                path.pop();
+            }
+            (HeteroList(_), List(be)) if be.is_top() => self.leaf(a, b, path),
+            (HeteroList(_) | List(_), HeteroList(_) | List(_)) => {
+                self.diff_cases(&to_cases(a), &to_cases(b), path);
+            }
+            (List(_) | HeteroList(_), _) | (_, List(_) | HeteroList(_)) => self.leaf(a, b, path),
+            _ => match (rec_view(a, ea), rec_view(b, eb)) {
+                (Some(ra), Some(rb)) => {
+                    if ra.name != rb.name {
+                        self.push(
+                            DiffKind::RecordRenamed,
+                            path.clone(),
+                            format!("{} -> {}", ra.name, rb.name),
+                            true,
+                            true,
+                        );
+                        return;
+                    }
+                    if matches!(a, Ref(_)) != matches!(b, Ref(_)) {
+                        self.push(
+                            DiffKind::RecursionCutMoved,
+                            path.clone(),
+                            format!(
+                                "{} is spelled {} on the old side, {} on the new",
+                                ra.name,
+                                if matches!(a, Ref(_)) {
+                                    "\u{21ba}ref"
+                                } else {
+                                    "inline"
+                                },
+                                if matches!(b, Ref(_)) {
+                                    "\u{21ba}ref"
+                                } else {
+                                    "inline"
+                                },
+                            ),
+                            false,
+                            false,
+                        );
+                    }
+                    self.diff_record(ra, rb, path);
+                }
+                // Unequal primitives, record against non-record, or a
+                // name-class comparison with a dangling reference: the
+                // relation decides, exactly.
+                _ => self.leaf(a, b, path),
+            },
+        }
+    }
+
+    /// Record diff. Callers guarantee equal record names. Breakage flags
+    /// mirror rules (8)+(9) with the row-variable convention: a missing
+    /// field only breaks the direction in which its shape does not
+    /// admit `null`.
+    fn diff_record(&mut self, ra: &RecordShape, rb: &RecordShape, path: &mut ShapePath) {
+        for fa in &ra.fields {
+            match rb.field(&fa.name) {
+                Some(fb) => {
+                    path.push(PathStep::Field(fa.name));
+                    self.diff(&fa.shape, fb, path);
+                    path.pop();
+                }
+                None => {
+                    let optional = admits_null(&fa.shape);
+                    self.push(
+                        DiffKind::FieldRemoved,
+                        path.with(PathStep::Field(fa.name)),
+                        format!(
+                            "{} field `{}` ({}) removed",
+                            if optional { "optional" } else { "required" },
+                            fa.name,
+                            brief(&fa.shape)
+                        ),
+                        false,
+                        !optional,
+                    );
+                }
+            }
+        }
+        for fb in &rb.fields {
+            if ra.field(&fb.name).is_none() {
+                let optional = admits_null(&fb.shape);
+                self.push(
+                    DiffKind::FieldAdded,
+                    path.with(PathStep::Field(fb.name)),
+                    format!(
+                        "{} field `{}` ({}) added",
+                        if optional { "optional" } else { "required" },
+                        fb.name,
+                        brief(&fb.shape)
+                    ),
+                    !optional,
+                    false,
+                );
+            }
+        }
+    }
+
+    /// Case-wise diff of (heterogeneous) collections, mirroring the
+    /// covered/mandatory-present decomposition of the relation: cases
+    /// match by tag (tags are pairwise distinct).
+    fn diff_cases(
+        &mut self,
+        ca: &[(Shape, Multiplicity)],
+        cb: &[(Shape, Multiplicity)],
+        path: &mut ShapePath,
+    ) {
+        for (sa, ma) in ca {
+            let tag = tag_of(sa);
+            match cb.iter().find(|(sb, _)| tag_of(sb) == tag) {
+                Some((sb, mb)) => {
+                    path.push(PathStep::Arm(tag.clone()));
+                    if ma != mb {
+                        self.push(
+                            DiffKind::MultiplicityChanged,
+                            path.clone(),
+                            format!("multiplicity {ma} -> {mb}"),
+                            !ma.is_preferred(*mb),
+                            !mb.is_preferred(*ma),
+                        );
+                    }
+                    self.diff(sa, sb, path);
+                    path.pop();
+                }
+                None => self.push(
+                    DiffKind::UnionArmDropped,
+                    path.with(PathStep::Arm(tag)),
+                    format!("collection case {} dropped", brief(sa)),
+                    true,
+                    *ma == Multiplicity::One,
+                ),
+            }
+        }
+        for (sb, mb) in cb {
+            let tag = tag_of(sb);
+            if !ca.iter().any(|(sa, _)| tag_of(sa) == tag) {
+                self.push(
+                    DiffKind::UnionArmAdded,
+                    path.with(PathStep::Arm(tag)),
+                    format!("collection case {} added", brief(sb)),
+                    *mb == Multiplicity::One,
+                    true,
+                );
+            }
+        }
+    }
+
+    /// Label diff for top shapes. Labels never affect the preference
+    /// relation, so every entry is informational, and the walker does
+    /// not descend into label shapes (matching the relation).
+    fn diff_labels(&mut self, la: &[Shape], lb: &[Shape], path: &mut ShapePath) {
+        for sa in la {
+            let tag = tag_of(sa);
+            match lb.iter().find(|sb| tag_of(sb) == tag) {
+                Some(sb) if sa != sb => self.push(
+                    DiffKind::UnionArmChanged,
+                    path.with(PathStep::Arm(tag)),
+                    format!("top label {} -> {}", brief(sa), brief(sb)),
+                    false,
+                    false,
+                ),
+                Some(_) => {}
+                None => self.push(
+                    DiffKind::UnionArmDropped,
+                    path.with(PathStep::Arm(tag)),
+                    format!("top label {} dropped", brief(sa)),
+                    false,
+                    false,
+                ),
+            }
+        }
+        for sb in lb {
+            let tag = tag_of(sb);
+            if !la.iter().any(|sa| tag_of(sa) == tag) {
+                self.push(
+                    DiffKind::UnionArmAdded,
+                    path.with(PathStep::Arm(tag)),
+                    format!("top label {} added", brief(sb)),
+                    false,
+                    false,
+                );
+            }
+        }
+    }
+}
+
+fn rec_view<'x>(s: &'x Shape, env: Option<&'x ShapeEnv>) -> Option<&'x RecordShape> {
+    match s {
+        Shape::Record(r) => Some(r),
+        Shape::Ref(n) => env.and_then(|e| e.get(*n)),
+        _ => None,
+    }
+}
+
+/// Diffs two global shapes, classifying every divergence.
+///
+/// The walk agrees exactly with the preference relation:
+/// *no backward-breaking entries* ⇔
+/// [`is_preferred_global(old, new)`](crate::is_preferred_global), and
+/// *no forward-breaking entries* ⇔ `is_preferred_global(new, old)`.
+/// The report [is empty](DiffReport::is_empty) iff the two shapes are
+/// structurally equivalent (equal roots and equal reachable
+/// environments).
+///
+/// ```
+/// use tfd_core::analyze::{diff_global, CompatMode, DiffKind};
+/// use tfd_core::{GlobalShape, Shape};
+/// let old = GlobalShape::plain(Shape::record("P", [("x", Shape::Int)]));
+/// let new = GlobalShape::plain(Shape::record("P", [("x", Shape::Float)]));
+/// let report = diff_global(&old, &new, CompatMode::Backward);
+/// assert!(report.is_compatible()); // int ⊑ float: safe widening
+/// assert_eq!(report.entries[0].kind, DiffKind::TypeWidened);
+/// ```
+pub fn diff_global(old: &GlobalShape, new: &GlobalShape, mode: CompatMode) -> DiffReport {
+    let mut d = Differ {
+        ea: Some(&old.env),
+        eb: Some(&new.env),
+        compared: Vec::new(),
+        muted: false,
+        entries: Vec::new(),
+    };
+    let mut path = ShapePath::root();
+    d.diff(&old.root, &new.root, &mut path);
+
+    // Definitions reachable only through top-shape labels were never
+    // visited (the relation does not descend into labels), but they are
+    // still part of the shape: diff them muted, so the report is empty
+    // iff the reachable environments are equal, without perturbing the
+    // compatibility verdict.
+    let ra = old.reachable_env();
+    let rb = new.reachable_env();
+    d.muted = true;
+    for n in ra.names().collect::<Vec<_>>() {
+        if d.compared.contains(&n) {
+            continue;
+        }
+        match (ra.get(n), rb.get(n)) {
+            (Some(da), Some(db)) => {
+                d.compared.push(n);
+                let mut p = ShapePath::def(n);
+                d.diff_record(da, db, &mut p);
+            }
+            (Some(_), None) => d.push(
+                DiffKind::DefinitionRemoved,
+                ShapePath::def(n),
+                format!("definition \u{21ba}{n} no longer reachable"),
+                false,
+                false,
+            ),
+            _ => {}
+        }
+    }
+    for n in rb.names() {
+        if !ra.contains(n) && !d.compared.contains(&n) {
+            d.push(
+                DiffKind::DefinitionAdded,
+                ShapePath::def(n),
+                format!("definition \u{21ba}{n} newly reachable"),
+                false,
+                false,
+            );
+        }
+    }
+
+    DiffReport {
+        mode,
+        entries: d.entries,
+        old_fingerprint: fingerprint(old),
+        new_fingerprint: fingerprint(new),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lint framework
+// ---------------------------------------------------------------------
+
+/// What to do with a lint rule's findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintLevel {
+    /// Suppress the rule entirely.
+    Allow,
+    /// Report findings as [`Severity::Warning`].
+    Warn,
+    /// Report findings as [`Severity::Error`] (fails the analysis).
+    Deny,
+}
+
+impl std::str::FromStr for LintLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<LintLevel, String> {
+        match s {
+            "allow" => Ok(LintLevel::Allow),
+            "warn" => Ok(LintLevel::Warn),
+            "deny" => Ok(LintLevel::Deny),
+            other => Err(format!(
+                "unknown lint level '{other}' (expected allow, warn or deny)"
+            )),
+        }
+    }
+}
+
+/// Per-rule allow/warn/deny configuration. Later overrides win; the
+/// pseudo-rule name `all` matches every rule.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: Vec<(String, LintLevel)>,
+}
+
+impl LintConfig {
+    /// The default configuration (every rule at its default level).
+    pub fn new() -> LintConfig {
+        LintConfig::default()
+    }
+
+    /// Sets the level for `rule` (or `all`).
+    pub fn set(&mut self, rule: impl Into<String>, level: LintLevel) {
+        self.overrides.push((rule.into(), level));
+    }
+
+    /// The effective level for `rule`, given its default.
+    pub fn level_for(&self, rule: &str, default: LintLevel) -> LintLevel {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(r, _)| r == rule || r == "all")
+            .map(|(_, l)| *l)
+            .unwrap_or(default)
+    }
+}
+
+/// A heuristic shape smell: something that is legal but usually means
+/// the corpus (or the inference) deserves a second look.
+pub trait LintRule {
+    /// Stable kebab-case rule name (the `--allow`/`--deny` key).
+    fn name(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// The level used when the configuration has no override.
+    fn default_level(&self) -> LintLevel {
+        LintLevel::Warn
+    }
+    /// Runs the rule, pushing findings (severity is overwritten by the
+    /// configured level in [`run_lints`]).
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>);
+}
+
+/// Calls `f` on every shape position of `global` — the root walked
+/// structurally (references are *not* followed; each definition is its
+/// own walk root at `↺name`), with the path to each position.
+fn for_each_shape(global: &GlobalShape, f: &mut impl FnMut(&ShapePath, &Shape)) {
+    fn walk(s: &Shape, path: &mut ShapePath, f: &mut impl FnMut(&ShapePath, &Shape)) {
+        f(path, s);
+        match s {
+            Shape::Record(r) => {
+                for field in &r.fields {
+                    path.push(PathStep::Field(field.name));
+                    walk(&field.shape, path, f);
+                    path.pop();
+                }
+            }
+            Shape::Nullable(inner) => {
+                path.push(PathStep::Opt);
+                walk(inner, path, f);
+                path.pop();
+            }
+            Shape::List(e) => {
+                path.push(PathStep::Elem);
+                walk(e, path, f);
+                path.pop();
+            }
+            Shape::Top(labels) => {
+                for l in labels {
+                    path.push(PathStep::Arm(tag_of(l)));
+                    walk(l, path, f);
+                    path.pop();
+                }
+            }
+            Shape::HeteroList(cases) => {
+                for (cs, _) in cases {
+                    path.push(PathStep::Arm(tag_of(cs)));
+                    walk(cs, path, f);
+                    path.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut path = ShapePath::root();
+    walk(&global.root, &mut path, f);
+    for (n, def) in global.env.iter() {
+        let mut path = ShapePath::def(n);
+        walk(&Shape::Record(def.clone()), &mut path, f);
+    }
+}
+
+/// Like [`for_each_shape`], restricted to record views.
+fn for_each_record(global: &GlobalShape, f: &mut impl FnMut(&ShapePath, &RecordShape)) {
+    for_each_shape(global, &mut |path, s| {
+        if let Shape::Record(r) = s {
+            f(path, r);
+        }
+    });
+}
+
+fn warn(rule: &'static str, path: ShapePath, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        severity: Severity::Warning,
+        shape_path: path,
+        message,
+    }
+}
+
+struct DeepOptionalChain;
+
+impl LintRule for DeepOptionalChain {
+    fn name(&self) -> &'static str {
+        "deep-optional-chain"
+    }
+    fn description(&self) -> &'static str {
+        "three or more consecutive nullable record fields: every access needs a null check at every level"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        const LIMIT: usize = 3;
+        // Walk tracking the run of consecutive nullable *field* hops;
+        // reset through collections, union arms, and non-nullable
+        // fields. Each definition restarts its own chain.
+        fn walk(s: &Shape, depth: usize, path: &mut ShapePath, out: &mut Vec<Diagnostic>) {
+            match s {
+                Shape::Record(r) => {
+                    for field in &r.fields {
+                        path.push(PathStep::Field(field.name));
+                        if let Shape::Nullable(inner) = &field.shape {
+                            if depth + 1 == LIMIT {
+                                out.push(warn(
+                                    "deep-optional-chain",
+                                    path.clone(),
+                                    format!(
+                                        "{LIMIT} consecutive nullable fields ending here; \
+                                         every access needs {LIMIT} null checks"
+                                    ),
+                                ));
+                            }
+                            walk(inner, depth + 1, path, out);
+                        } else {
+                            walk(&field.shape, 0, path, out);
+                        }
+                        path.pop();
+                    }
+                }
+                Shape::Nullable(inner) => walk(inner, depth, path, out),
+                Shape::List(e) => {
+                    path.push(PathStep::Elem);
+                    walk(e, 0, path, out);
+                    path.pop();
+                }
+                Shape::Top(labels) => {
+                    for l in labels {
+                        path.push(PathStep::Arm(tag_of(l)));
+                        walk(l, 0, path, out);
+                        path.pop();
+                    }
+                }
+                Shape::HeteroList(cases) => {
+                    for (cs, _) in cases {
+                        path.push(PathStep::Arm(tag_of(cs)));
+                        walk(cs, 0, path, out);
+                        path.pop();
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut path = ShapePath::root();
+        walk(&global.root, 0, &mut path, out);
+        for (n, def) in global.env.iter() {
+            let mut path = ShapePath::def(n);
+            walk(&Shape::Record(def.clone()), 0, &mut path, out);
+        }
+    }
+}
+
+struct NearDegenerateUnion;
+
+impl LintRule for NearDegenerateUnion {
+    fn name(&self) -> &'static str {
+        "near-degenerate-union"
+    }
+    fn description(&self) -> &'static str {
+        "a top shape with exactly one label: one sample away from a precise shape, but typed as any"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        for_each_shape(global, &mut |path, s| {
+            if let Shape::Top(labels) = s {
+                if labels.len() == 1 {
+                    out.push(warn(
+                        "near-degenerate-union",
+                        path.clone(),
+                        format!(
+                            "top shape with a single label {}: likely one outlier sample \
+                             collapsed this position to any",
+                            brief(&labels[0])
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+struct OpaqueAny;
+
+impl LintRule for OpaqueAny {
+    fn name(&self) -> &'static str {
+        "opaque-any"
+    }
+    fn description(&self) -> &'static str {
+        "an unlabelled top shape: the inference lost all type information at this position"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        for_each_shape(global, &mut |path, s| {
+            if matches!(s, Shape::Top(labels) if labels.is_empty()) {
+                out.push(warn(
+                    "opaque-any",
+                    path.clone(),
+                    "unlabelled any: no static access is checkable below this point".into(),
+                ));
+            }
+        });
+    }
+}
+
+struct MixedNumberString;
+
+impl LintRule for MixedNumberString {
+    fn name(&self) -> &'static str {
+        "mixed-number-string"
+    }
+    fn description(&self) -> &'static str {
+        "a union of numeric and string cases: classic sentinel-string-in-a-numeric-column smell"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        fn mixed(tags: impl Iterator<Item = Tag>) -> bool {
+            let (mut num, mut text) = (false, false);
+            for t in tags {
+                match t {
+                    Tag::Number => num = true,
+                    Tag::Str => text = true,
+                    _ => {}
+                }
+            }
+            num && text
+        }
+        for_each_shape(global, &mut |path, s| {
+            let hit = match s {
+                Shape::Top(labels) => mixed(labels.iter().map(tag_of)),
+                Shape::HeteroList(cases) => mixed(cases.iter().map(|(cs, _)| tag_of(cs))),
+                _ => false,
+            };
+            if hit {
+                out.push(warn(
+                    "mixed-number-string",
+                    path.clone(),
+                    "both numeric and string cases at one position: often a sentinel string \
+                     (\"N/A\", \"-\") in a numeric column"
+                        .into(),
+                ));
+            }
+        });
+    }
+}
+
+struct CaseCollision;
+
+impl LintRule for CaseCollision {
+    fn name(&self) -> &'static str {
+        "case-collision"
+    }
+    fn description(&self) -> &'static str {
+        "field or definition names differing only in ASCII case: likely the same logical field"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        fn collisions(names: &[Name]) -> Vec<(Name, Name)> {
+            let mut hits = Vec::new();
+            for (i, a) in names.iter().enumerate() {
+                for b in &names[i + 1..] {
+                    if a != b && a.as_str().eq_ignore_ascii_case(b.as_str()) {
+                        hits.push((*a, *b));
+                    }
+                }
+            }
+            hits
+        }
+        for_each_record(global, &mut |path, r| {
+            let names: Vec<Name> = r.fields.iter().map(|f| f.name).collect();
+            for (a, b) in collisions(&names) {
+                out.push(warn(
+                    "case-collision",
+                    path.clone(),
+                    format!("fields `{a}` and `{b}` differ only in case"),
+                ));
+            }
+        });
+        let defs: Vec<Name> = global.env.names().collect();
+        for (a, b) in collisions(&defs) {
+            out.push(warn(
+                "case-collision",
+                ShapePath::def(a),
+                format!("definitions `{a}` and `{b}` differ only in case"),
+            ));
+        }
+    }
+}
+
+struct UnionArity;
+
+impl LintRule for UnionArity {
+    fn name(&self) -> &'static str {
+        "union-arity"
+    }
+    fn description(&self) -> &'static str {
+        "five or more union cases at one position: the corpus mixes too many shapes to type usefully"
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        const LIMIT: usize = 5;
+        for_each_shape(global, &mut |path, s| {
+            let arity = match s {
+                Shape::Top(labels) => labels.len(),
+                Shape::HeteroList(cases) => cases.len(),
+                _ => 0,
+            };
+            if arity >= LIMIT {
+                out.push(warn(
+                    "union-arity",
+                    path.clone(),
+                    format!("{arity} union cases at one position (threshold {LIMIT})"),
+                ));
+            }
+        });
+    }
+}
+
+struct EmptyRecord;
+
+impl LintRule for EmptyRecord {
+    fn name(&self) -> &'static str {
+        "empty-record"
+    }
+    fn description(&self) -> &'static str {
+        "a record with no fields (allow by default: void elements like <br/> are common in markup)"
+    }
+    fn default_level(&self) -> LintLevel {
+        LintLevel::Allow
+    }
+    fn check(&self, global: &GlobalShape, out: &mut Vec<Diagnostic>) {
+        for_each_record(global, &mut |path, r| {
+            if r.fields.is_empty() {
+                out.push(warn(
+                    "empty-record",
+                    path.clone(),
+                    format!("record `{}` has no fields", r.name),
+                ));
+            }
+        });
+    }
+}
+
+/// The built-in rule registry, in reporting order.
+pub fn lint_rules() -> Vec<Box<dyn LintRule>> {
+    vec![
+        Box::new(DeepOptionalChain),
+        Box::new(NearDegenerateUnion),
+        Box::new(OpaqueAny),
+        Box::new(MixedNumberString),
+        Box::new(CaseCollision),
+        Box::new(UnionArity),
+        Box::new(EmptyRecord),
+    ]
+}
+
+/// The names of every built-in rule, in reporting order.
+pub fn lint_rule_names() -> Vec<&'static str> {
+    lint_rules().iter().map(|r| r.name()).collect()
+}
+
+/// Runs every registered rule at its configured level. `Allow`ed rules
+/// are skipped; `Warn` findings get [`Severity::Warning`], `Deny`
+/// findings [`Severity::Error`].
+pub fn run_lints(global: &GlobalShape, config: &LintConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for rule in lint_rules() {
+        let level = config.level_for(rule.name(), rule.default_level());
+        if level == LintLevel::Allow {
+            continue;
+        }
+        let mut found = Vec::new();
+        rule.check(global, &mut found);
+        let severity = match level {
+            LintLevel::Deny => Severity::Error,
+            _ => Severity::Warning,
+        };
+        for mut d in found {
+            d.severity = severity;
+            out.push(d);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Static access-path checking
+// ---------------------------------------------------------------------
+
+/// One step of an [`AccessPath`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessStep {
+    /// `.name` — project a record field.
+    Field(Name),
+    /// `[]` — iterate the elements of a collection.
+    Elements,
+    /// `?` — unwrap a nullable (with null short-circuit at runtime).
+    OptChain,
+}
+
+/// A projection path over conforming values, e.g. `root.items[].name`.
+///
+/// Grammar: an optional leading `$` or `root`, then any sequence of
+/// `.field`, `[]` and `?` (a bare leading identifier is read as a
+/// field). Parse with [`str::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPath {
+    steps: Vec<AccessStep>,
+}
+
+impl AccessPath {
+    /// The steps, in order.
+    pub fn steps(&self) -> &[AccessStep] {
+        &self.steps
+    }
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$")?;
+        for s in &self.steps {
+            match s {
+                AccessStep::Field(n) => write!(f, ".{n}")?,
+                AccessStep::Elements => write!(f, "[]")?,
+                AccessStep::OptChain => write!(f, "?")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for AccessPath {
+    type Err = String;
+    fn from_str(s: &str) -> Result<AccessPath, String> {
+        let mut rest = s.trim();
+        if rest.is_empty() {
+            return Err("empty access path".into());
+        }
+        // Leading root marker.
+        if let Some(r) = rest.strip_prefix('$') {
+            rest = r;
+        } else if rest == "root"
+            || rest.starts_with("root.")
+            || rest.starts_with("root[")
+            || rest.starts_with("root?")
+        {
+            rest = &rest["root".len()..];
+        }
+        let mut steps = Vec::new();
+        let mut first = true;
+        while !rest.is_empty() {
+            if let Some(r) = rest.strip_prefix("[]") {
+                steps.push(AccessStep::Elements);
+                rest = r;
+            } else if rest.starts_with('[') {
+                return Err(format!(
+                    "expected `[]` at `{rest}` (indexing is not supported)"
+                ));
+            } else if let Some(r) = rest.strip_prefix('?') {
+                steps.push(AccessStep::OptChain);
+                rest = r;
+            } else {
+                let r = match rest.strip_prefix('.') {
+                    Some(r) => r,
+                    None if first => rest, // bare leading identifier
+                    None => return Err(format!("expected `.`, `[]` or `?` at `{rest}`")),
+                };
+                let end = r.find(['.', '[', '?']).unwrap_or(r.len());
+                if end == 0 {
+                    return Err(format!("expected a field name at `{rest}`"));
+                }
+                steps.push(AccessStep::Field(Name::new(&r[..end])));
+                rest = &r[end..];
+            }
+            first = false;
+        }
+        Ok(AccessPath { steps })
+    }
+}
+
+/// The result of checking one access path against a shape.
+#[derive(Debug, Clone)]
+pub struct PathReport {
+    /// Findings, in path order. Error-severity findings mean the path
+    /// is not safe for all conforming inputs.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The shape the path projects to, when the walk reached an end
+    /// (also set when the walk stopped early at ⊥).
+    pub result: Option<Shape>,
+}
+
+impl PathReport {
+    /// `true` when no finding has [`Severity::Error`] — by the §5
+    /// relative-safety theorem, the access then succeeds on every value
+    /// conforming to the shape.
+    pub fn is_safe(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// Statically checks `path` against `global`: is every access safe for
+/// *all* values conforming to the shape?
+///
+/// * `.field` on a `nullable` is an error (`?` must be used first —
+///   at runtime the value may be `null`); the check continues with the
+///   inner shape for error recovery.
+/// * `.field` missing from the record, any access on a top shape, and
+///   `.field`/`?` on a collection are errors.
+/// * `[]` is only safe on collections; on a heterogeneous collection
+///   with more than one case the element shape is ambiguous (an error).
+/// * `?` on a non-nullable is a redundant-but-safe note.
+/// * ⊥ (no samples observed at this position) makes the rest of the
+///   path vacuously safe: there is no conforming value to go wrong on.
+///
+/// ```
+/// use tfd_core::analyze::check_path;
+/// use tfd_core::{GlobalShape, Shape};
+/// let g = GlobalShape::plain(Shape::record(
+///     "•",
+///     [("items", Shape::list(Shape::record("•", [("name", Shape::String)])))],
+/// ));
+/// assert!(check_path(&g, &"items[].name".parse().unwrap()).is_safe());
+/// assert!(!check_path(&g, &"items[].nope".parse().unwrap()).is_safe());
+/// ```
+pub fn check_path(global: &GlobalShape, path: &AccessPath) -> PathReport {
+    let env = &global.env;
+    let mut cur = global.root.clone();
+    let mut diagnostics = Vec::new();
+    let mut spath = ShapePath::root();
+    let err = |diags: &mut Vec<Diagnostic>, rule, spath: &ShapePath, msg: String| {
+        diags.push(Diagnostic {
+            rule,
+            severity: Severity::Error,
+            shape_path: spath.clone(),
+            message: msg,
+        });
+    };
+    for step in &path.steps {
+        if cur == Shape::Bottom {
+            diagnostics.push(Diagnostic {
+                rule: "path-vacuous",
+                severity: Severity::Note,
+                shape_path: spath.clone(),
+                message: "shape is \u{22a5} (no samples observed); the rest of the path is \
+                          vacuously safe"
+                    .into(),
+            });
+            return PathReport {
+                diagnostics,
+                result: Some(Shape::Bottom),
+            };
+        }
+        match step {
+            AccessStep::Field(name) => {
+                if let Shape::Nullable(inner) = cur {
+                    err(
+                        &mut diagnostics,
+                        "path-null-deref",
+                        &spath,
+                        format!(
+                            "field `.{name}` accessed on a nullable value; a conforming input \
+                             may be null here (use `?` before `.{name}`)"
+                        ),
+                    );
+                    cur = *inner; // recover: keep checking the rest
+                }
+                while let Shape::Ref(n) = cur {
+                    match env.get(n) {
+                        Some(def) => cur = Shape::Record(def.clone()),
+                        None => {
+                            err(
+                                &mut diagnostics,
+                                "path-undefined-ref",
+                                &spath,
+                                format!("reference \u{21ba}{n} has no definition in scope"),
+                            );
+                            return PathReport {
+                                diagnostics,
+                                result: None,
+                            };
+                        }
+                    }
+                }
+                match cur {
+                    Shape::Record(r) => match r.field(name) {
+                        Some(s) => {
+                            spath.push(PathStep::Field(*name));
+                            cur = s.clone();
+                        }
+                        None => {
+                            let known: Vec<String> =
+                                r.fields.iter().map(|f| f.name.to_string()).collect();
+                            err(
+                                &mut diagnostics,
+                                "path-missing-field",
+                                &spath,
+                                format!(
+                                    "record `{}` has no field `{name}` (known fields: {})",
+                                    r.name,
+                                    if known.is_empty() {
+                                        "none".to_string()
+                                    } else {
+                                        known.join(", ")
+                                    }
+                                ),
+                            );
+                            return PathReport {
+                                diagnostics,
+                                result: None,
+                            };
+                        }
+                    },
+                    Shape::Top(_) => {
+                        err(
+                            &mut diagnostics,
+                            "path-on-any",
+                            &spath,
+                            format!(
+                                "field `.{name}` accessed on a top shape; nothing is statically \
+                                 known at this position"
+                            ),
+                        );
+                        return PathReport {
+                            diagnostics,
+                            result: None,
+                        };
+                    }
+                    Shape::List(_) | Shape::HeteroList(_) => {
+                        err(
+                            &mut diagnostics,
+                            "path-not-record",
+                            &spath,
+                            format!(
+                                "field `.{name}` accessed on a collection (use `[]` to reach \
+                                 the elements first)"
+                            ),
+                        );
+                        return PathReport {
+                            diagnostics,
+                            result: None,
+                        };
+                    }
+                    other => {
+                        err(
+                            &mut diagnostics,
+                            "path-not-record",
+                            &spath,
+                            format!("field `.{name}` accessed on {}", brief(&other)),
+                        );
+                        return PathReport {
+                            diagnostics,
+                            result: None,
+                        };
+                    }
+                }
+            }
+            AccessStep::Elements => match cur {
+                Shape::List(e) => {
+                    spath.push(PathStep::Elem);
+                    cur = *e;
+                }
+                Shape::HeteroList(cases) if cases.len() == 1 => {
+                    spath.push(PathStep::Elem);
+                    cur = cases
+                        .into_iter()
+                        .next()
+                        .map(|(s, _)| s)
+                        .unwrap_or(Shape::Bottom);
+                }
+                Shape::HeteroList(cases) => {
+                    let tags: Vec<String> =
+                        cases.iter().map(|(s, _)| tag_of(s).to_string()).collect();
+                    err(
+                        &mut diagnostics,
+                        "path-hetero",
+                        &spath,
+                        format!(
+                            "heterogeneous collection with {} element cases ({}); a single \
+                             element shape cannot be assumed",
+                            cases.len(),
+                            tags.join(", ")
+                        ),
+                    );
+                    return PathReport {
+                        diagnostics,
+                        result: None,
+                    };
+                }
+                other => {
+                    err(
+                        &mut diagnostics,
+                        "path-not-collection",
+                        &spath,
+                        format!("`[]` applied to {}", brief(&other)),
+                    );
+                    return PathReport {
+                        diagnostics,
+                        result: None,
+                    };
+                }
+            },
+            AccessStep::OptChain => match cur {
+                Shape::Nullable(inner) => {
+                    spath.push(PathStep::Opt);
+                    cur = *inner;
+                }
+                other => {
+                    diagnostics.push(Diagnostic {
+                        rule: "path-redundant-opt",
+                        severity: Severity::Note,
+                        shape_path: spath.clone(),
+                        message: format!(
+                            "`?` applied to non-nullable {} (safe, but redundant)",
+                            brief(&other)
+                        ),
+                    });
+                    cur = other;
+                }
+            },
+        }
+    }
+    PathReport {
+        diagnostics,
+        result: Some(cur),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_preferred_global;
+    use Multiplicity::{Many, One, ZeroOrOne};
+
+    fn plain(root: Shape) -> GlobalShape {
+        GlobalShape::plain(root)
+    }
+
+    fn rec(name: &str, fields: Vec<(&str, Shape)>) -> Shape {
+        Shape::record(name, fields)
+    }
+
+    fn with_env(root: Shape, defs: Vec<(&str, Vec<(&str, Shape)>)>) -> GlobalShape {
+        GlobalShape {
+            root,
+            env: ShapeEnv::from_defs(defs.into_iter().map(|(n, fs)| {
+                (
+                    Name::new(n),
+                    RecordShape::new(n, fs.into_iter().map(|(f, s)| (Name::new(f), s))),
+                )
+            })),
+        }
+    }
+
+    /// The clause-mirroring invariant: the diff's breaking verdicts
+    /// agree exactly with the preference relation, in both directions.
+    fn assert_agreement(old: &GlobalShape, new: &GlobalShape) {
+        let r = diff_global(old, new, CompatMode::Backward);
+        assert_eq!(
+            r.is_compatible(),
+            is_preferred_global(old, new),
+            "backward disagrees on {old} vs {new}:\n{r}"
+        );
+        let r = diff_global(old, new, CompatMode::Forward);
+        assert_eq!(
+            r.is_compatible(),
+            is_preferred_global(new, old),
+            "forward disagrees on {old} vs {new}:\n{r}"
+        );
+    }
+
+    fn kinds(report: &DiffReport) -> Vec<DiffKind> {
+        report.entries.iter().map(|e| e.kind).collect()
+    }
+
+    // --- ShapePath / Diagnostic rendering ---
+
+    #[test]
+    fn shape_path_renders_root_and_def_forms() {
+        let mut p = ShapePath::root();
+        assert_eq!(p.to_string(), "$");
+        p.push(PathStep::Field("items".into()));
+        p.push(PathStep::Elem);
+        p.push(PathStep::Field("name".into()));
+        assert_eq!(p.to_string(), "$.items[].name");
+        p.pop();
+        p.push(PathStep::Opt);
+        assert_eq!(p.to_string(), "$.items[]?");
+        let d = ShapePath::def("div".into()).with(PathStep::Field("child".into()));
+        assert_eq!(d.to_string(), "\u{21ba}div.child");
+        let arm = ShapePath::root().with(PathStep::Arm(Tag::Number));
+        assert_eq!(arm.to_string(), "$\u{27e8}number\u{27e9}");
+    }
+
+    #[test]
+    fn diagnostic_display_is_locatable() {
+        let d = Diagnostic {
+            rule: "opaque-any",
+            severity: Severity::Warning,
+            shape_path: ShapePath::root().with(PathStep::Field("x".into())),
+            message: "m".into(),
+        };
+        assert_eq!(d.to_string(), "warning[opaque-any] at $.x: m");
+        assert!(Severity::Note < Severity::Warning && Severity::Warning < Severity::Error);
+    }
+
+    // --- Fingerprint ---
+
+    #[test]
+    fn fingerprint_is_field_order_invariant() {
+        let a = plain(rec("P", vec![("x", Shape::Int), ("y", Shape::Bool)]));
+        let b = plain(rec("P", vec![("y", Shape::Bool), ("x", Shape::Int)]));
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = plain(rec("P", vec![("x", Shape::Float), ("y", Shape::Bool)]));
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn fingerprint_is_def_order_invariant_and_drops_unreachable() {
+        let fwd = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                ("li", vec![("ul", Shape::Ref("ul".into()).ceil())]),
+            ],
+        );
+        let rev = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("li", vec![("ul", Shape::Ref("ul".into()).ceil())]),
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+            ],
+        );
+        assert_eq!(fingerprint(&fwd), fingerprint(&rev));
+        let with_junk = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                ("li", vec![("ul", Shape::Ref("ul".into()).ceil())]),
+                ("junk", vec![("z", Shape::Int)]),
+            ],
+        );
+        assert_eq!(fingerprint(&fwd), fingerprint(&with_junk));
+        // ... but a reachable definition's content matters:
+        let widened = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                (
+                    "li",
+                    vec![("ul", Shape::Ref("ul".into()).ceil()), ("x", Shape::Int)],
+                ),
+            ],
+        );
+        assert_ne!(fingerprint(&fwd), fingerprint(&widened));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_record_names_and_renders_hex() {
+        let a = plain(rec("P", vec![("x", Shape::Int)]));
+        let b = plain(rec("Q", vec![("x", Shape::Int)]));
+        assert_ne!(fingerprint(&a), fingerprint(&b), "conformance is nominal");
+        assert_eq!(fingerprint(&a).to_string().len(), 16);
+    }
+
+    // --- Diff classification, kind by kind ---
+
+    #[test]
+    fn widening_narrowing_and_change_classify() {
+        let int = plain(rec("P", vec![("x", Shape::Int)]));
+        let float = plain(rec("P", vec![("x", Shape::Float)]));
+        let boolean = plain(rec("P", vec![("x", Shape::Bool)]));
+
+        let r = diff_global(&int, &float, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::TypeWidened]);
+        assert!(r.is_compatible());
+        assert_eq!(r.entries[0].path.to_string(), "$.x");
+
+        let r = diff_global(&float, &int, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::TypeNarrowed]);
+        assert!(!r.is_compatible());
+        assert!(diff_global(&float, &int, CompatMode::Forward).is_compatible());
+
+        let r = diff_global(&int, &boolean, CompatMode::Full);
+        assert_eq!(kinds(&r), vec![DiffKind::TypeChanged]);
+        assert!(!r.is_compatible());
+    }
+
+    #[test]
+    fn field_added_and_removed_respect_the_row_variable_convention() {
+        let narrow = plain(rec("P", vec![("x", Shape::Int)]));
+        let wide_req = plain(rec("P", vec![("x", Shape::Int), ("y", Shape::Bool)]));
+        let wide_opt = plain(rec("P", vec![("x", Shape::Int), ("y", Shape::Bool.ceil())]));
+
+        // Required field added: old values lack it → backward-breaking.
+        let r = diff_global(&narrow, &wide_req, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::FieldAdded]);
+        assert!(!r.is_compatible());
+        assert_eq!(r.entries[0].path.to_string(), "$.y");
+
+        // Optional field added: safe both ways... backward at least.
+        let r = diff_global(&narrow, &wide_opt, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::FieldAdded]);
+        assert!(r.is_compatible());
+
+        // Required field removed: breaks forward, not backward.
+        let r = diff_global(&wide_req, &narrow, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::FieldRemoved]);
+        assert!(r.is_compatible());
+        assert!(!diff_global(&wide_req, &narrow, CompatMode::Forward).is_compatible());
+        // Optional field removed: forward-safe too.
+        assert!(diff_global(&wide_opt, &narrow, CompatMode::Forward).is_compatible());
+    }
+
+    #[test]
+    fn nullability_entries_classify_by_direction() {
+        let req = plain(rec("P", vec![("x", Shape::Int)]));
+        let opt = plain(rec("P", vec![("x", Shape::Int.ceil())]));
+        let r = diff_global(&req, &opt, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::NullabilityIntroduced]);
+        assert!(r.is_compatible());
+        assert!(!diff_global(&req, &opt, CompatMode::Forward).is_compatible());
+
+        let r = diff_global(&opt, &req, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::NullabilityRemoved]);
+        assert!(!r.is_compatible());
+        assert!(diff_global(&opt, &req, CompatMode::Forward).is_compatible());
+
+        // Wrapper change plus inner widening stack up:
+        let optf = plain(rec("P", vec![("x", Shape::Float.ceil())]));
+        let r = diff_global(&req, &optf, CompatMode::Backward);
+        assert_eq!(
+            kinds(&r),
+            vec![DiffKind::NullabilityIntroduced, DiffKind::TypeWidened]
+        );
+        assert!(r.is_compatible());
+    }
+
+    #[test]
+    fn union_arm_and_multiplicity_entries() {
+        let point = rec("•", vec![("a", Shape::Int)]);
+        let both = plain(Shape::HeteroList(vec![
+            (point.clone(), One),
+            (Shape::list(Shape::Int), ZeroOrOne),
+        ]));
+        let just_point = plain(Shape::HeteroList(vec![(point.clone(), One)]));
+
+        // Optional case dropped: backward-breaking (old inputs may
+        // contain it), forward-safe (it was optional).
+        let r = diff_global(&both, &just_point, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::UnionArmDropped]);
+        assert!(!r.is_compatible());
+        assert!(diff_global(&both, &just_point, CompatMode::Forward).is_compatible());
+
+        // Optional case added: backward-safe, forward-breaking.
+        let r = diff_global(&just_point, &both, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::UnionArmAdded]);
+        assert!(r.is_compatible());
+        assert!(!diff_global(&just_point, &both, CompatMode::Forward).is_compatible());
+
+        // Multiplicity 1 → *: widening backward, breaking forward.
+        let many = plain(Shape::HeteroList(vec![(point.clone(), Many)]));
+        let r = diff_global(&just_point, &many, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::MultiplicityChanged]);
+        assert!(r.is_compatible());
+        assert!(!diff_global(&just_point, &many, CompatMode::Forward).is_compatible());
+        assert_eq!(r.entries[0].path.to_string(), "$\u{27e8}•\u{27e9}");
+    }
+
+    #[test]
+    fn top_label_changes_are_informational() {
+        let a = plain(Shape::Top(vec![Shape::Int, Shape::Bool]));
+        let b = plain(Shape::Top(vec![Shape::Float, Shape::String]));
+        for mode in [CompatMode::Backward, CompatMode::Forward, CompatMode::Full] {
+            let r = diff_global(&a, &b, mode);
+            assert!(r.is_compatible(), "labels are invisible to conformance");
+            assert!(!r.is_empty(), "but the divergence is reported");
+        }
+        let r = diff_global(&a, &b, CompatMode::Full);
+        assert!(kinds(&r).contains(&DiffKind::UnionArmChanged)); // int → float (same tag)
+        assert!(kinds(&r).contains(&DiffKind::UnionArmDropped)); // bool
+        assert!(kinds(&r).contains(&DiffKind::UnionArmAdded)); // string
+    }
+
+    #[test]
+    fn record_rename_breaks_both_ways() {
+        let p = plain(rec("P", vec![("x", Shape::Int)]));
+        let q = plain(rec("Q", vec![("x", Shape::Int)]));
+        let r = diff_global(&p, &q, CompatMode::Full);
+        assert_eq!(kinds(&r), vec![DiffKind::RecordRenamed]);
+        assert!(!r.is_compatible());
+    }
+
+    #[test]
+    fn recursion_cut_moved_is_informational_when_equivalent() {
+        // Old spells one unfolding inline; new uses the reference.
+        let defs = vec![(
+            "div",
+            vec![
+                ("child", Shape::Ref("div".into()).ceil()),
+                ("x", Shape::Int.ceil()),
+            ],
+        )];
+        let inline_root = rec(
+            "div",
+            vec![
+                ("child", Shape::Ref("div".into()).ceil()),
+                ("x", Shape::Int.ceil()),
+            ],
+        );
+        let old = with_env(inline_root, defs.clone());
+        let new = with_env(Shape::Ref("div".into()), defs);
+        let r = diff_global(&old, &new, CompatMode::Full);
+        assert!(r.is_compatible(), "{r}");
+        assert!(kinds(&r).contains(&DiffKind::RecursionCutMoved));
+        assert_agreement(&old, &new);
+    }
+
+    #[test]
+    fn recursive_definition_widening_is_located_inside_the_def() {
+        let old = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                (
+                    "li",
+                    vec![
+                        ("ul", Shape::Ref("ul".into()).ceil()),
+                        ("mark", Shape::Int.ceil()),
+                    ],
+                ),
+            ],
+        );
+        let new = with_env(
+            Shape::Ref("ul".into()),
+            vec![
+                ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                (
+                    "li",
+                    vec![
+                        ("ul", Shape::Ref("ul".into()).ceil()),
+                        ("mark", Shape::Float.ceil()),
+                    ],
+                ),
+            ],
+        );
+        let r = diff_global(&old, &new, CompatMode::Backward);
+        assert_eq!(kinds(&r), vec![DiffKind::TypeWidened]);
+        assert_eq!(r.entries[0].path.to_string(), "\u{21ba}li.mark");
+        assert!(r.is_compatible());
+        assert!(!diff_global(&new, &old, CompatMode::Backward).is_compatible());
+        assert_agreement(&old, &new);
+        assert_agreement(&new, &old);
+    }
+
+    #[test]
+    fn empty_diff_iff_equivalent() {
+        let g = with_env(
+            Shape::list(Shape::Ref("div".into())),
+            vec![("div", vec![("child", Shape::Ref("div".into()).ceil())])],
+        );
+        let r = diff_global(&g, &g, CompatMode::Full);
+        assert!(r.is_empty(), "{r}");
+        assert_eq!(r.old_fingerprint, r.new_fingerprint);
+
+        // Unreachable defs don't matter:
+        let mut junk = g.clone();
+        junk.env
+            .define("junk".into(), RecordShape::new("junk", [("z", Shape::Int)]));
+        assert!(diff_global(&g, &junk, CompatMode::Full).is_empty());
+
+        // A def-body divergence does:
+        let widened = with_env(
+            Shape::list(Shape::Ref("div".into())),
+            vec![(
+                "div",
+                vec![
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Shape::Int.ceil()),
+                ],
+            )],
+        );
+        assert!(!diff_global(&g, &widened, CompatMode::Full).is_empty());
+    }
+
+    #[test]
+    fn label_only_reachable_defs_diff_muted() {
+        // The definition is reachable only through a top label: its
+        // divergence is reported but never breaking (the preference
+        // relation does not descend into labels).
+        let old = with_env(
+            Shape::Top(vec![Shape::Ref("t".into())]),
+            vec![("t", vec![("x", Shape::Int)])],
+        );
+        let new = with_env(
+            Shape::Top(vec![Shape::Ref("t".into())]),
+            vec![("t", vec![("x", Shape::Bool)])],
+        );
+        let r = diff_global(&old, &new, CompatMode::Full);
+        assert!(!r.is_empty(), "{r}");
+        assert!(r.is_compatible(), "{r}");
+        assert_agreement(&old, &new);
+    }
+
+    #[test]
+    fn agreement_on_a_matrix_of_global_shapes() {
+        let defs_int = vec![
+            ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+            (
+                "li",
+                vec![
+                    ("ul", Shape::Ref("ul".into()).ceil()),
+                    ("m", Shape::Int.ceil()),
+                ],
+            ),
+        ];
+        let defs_float = vec![
+            ("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+            (
+                "li",
+                vec![
+                    ("ul", Shape::Ref("ul".into()).ceil()),
+                    ("m", Shape::Float.ceil()),
+                ],
+            ),
+        ];
+        let defs_req = vec![
+            (
+                "ul",
+                vec![("li", Shape::Ref("li".into()).ceil()), ("n", Shape::Int)],
+            ),
+            (
+                "li",
+                vec![
+                    ("ul", Shape::Ref("ul".into()).ceil()),
+                    ("m", Shape::Int.ceil()),
+                ],
+            ),
+        ];
+        let samples = vec![
+            with_env(Shape::Ref("ul".into()), defs_int.clone()),
+            with_env(Shape::Ref("ul".into()), defs_float),
+            with_env(Shape::Ref("ul".into()), defs_req),
+            with_env(Shape::Ref("li".into()), defs_int.clone()),
+            with_env(
+                Shape::list(Shape::Ref("ul".into()).ceil()),
+                defs_int.clone(),
+            ),
+            with_env(
+                rec("ul", vec![("li", Shape::Ref("li".into()).ceil())]),
+                defs_int,
+            ),
+            plain(rec("ul", vec![("li", Shape::Null)])),
+            plain(Shape::HeteroList(vec![
+                (rec("•", vec![("a", Shape::Int)]), One),
+                (Shape::list(Shape::Int), ZeroOrOne),
+            ])),
+            plain(Shape::list(rec("•", vec![("a", Shape::Int)]))),
+            plain(Shape::any()),
+            plain(Shape::Bottom),
+            plain(Shape::Null),
+            plain(Shape::Date),
+            plain(Shape::String.ceil()),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_agreement(a, b);
+            }
+        }
+    }
+
+    // --- Lints, one golden test per rule ---
+
+    fn lint_hits(g: &GlobalShape, rule: &str) -> Vec<Diagnostic> {
+        let mut config = LintConfig::new();
+        config.set("all", LintLevel::Allow);
+        config.set(rule, LintLevel::Warn);
+        run_lints(g, &config)
+    }
+
+    #[test]
+    fn lint_deep_optional_chain() {
+        let g = plain(rec(
+            "•",
+            vec![(
+                "a",
+                rec(
+                    "•",
+                    vec![("b", rec("•", vec![("c", Shape::Int.ceil())]).ceil())],
+                )
+                .ceil(),
+            )],
+        ));
+        let hits = lint_hits(&g, "deep-optional-chain");
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].shape_path.to_string(), "$.a.b.c");
+        // Two levels only: no finding.
+        let shallow = plain(rec(
+            "•",
+            vec![("a", rec("•", vec![("b", Shape::Int.ceil())]).ceil())],
+        ));
+        assert!(lint_hits(&shallow, "deep-optional-chain").is_empty());
+        // A non-nullable hop resets the chain:
+        let broken = plain(rec(
+            "•",
+            vec![(
+                "a",
+                rec("•", vec![("b", rec("•", vec![("c", Shape::Int.ceil())]))]).ceil(),
+            )],
+        ));
+        assert!(lint_hits(&broken, "deep-optional-chain").is_empty());
+    }
+
+    #[test]
+    fn lint_near_degenerate_union() {
+        let g = plain(rec("•", vec![("x", Shape::Top(vec![Shape::Int]))]));
+        let hits = lint_hits(&g, "near-degenerate-union");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].shape_path.to_string(), "$.x");
+        let two = plain(rec(
+            "•",
+            vec![("x", Shape::Top(vec![Shape::Int, Shape::Bool]))],
+        ));
+        assert!(lint_hits(&two, "near-degenerate-union").is_empty());
+    }
+
+    #[test]
+    fn lint_opaque_any() {
+        let g = plain(rec("•", vec![("x", Shape::any())]));
+        let hits = lint_hits(&g, "opaque-any");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].shape_path.to_string(), "$.x");
+        let labelled = plain(rec(
+            "•",
+            vec![("x", Shape::Top(vec![Shape::Int, Shape::Bool]))],
+        ));
+        assert!(lint_hits(&labelled, "opaque-any").is_empty());
+    }
+
+    #[test]
+    fn lint_mixed_number_string() {
+        let g = plain(rec(
+            "•",
+            vec![("score", Shape::Top(vec![Shape::Float, Shape::String]))],
+        ));
+        let hits = lint_hits(&g, "mixed-number-string");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].shape_path.to_string(), "$.score");
+        // Hetero collections count too:
+        let h = plain(Shape::HeteroList(vec![
+            (Shape::Int, Many),
+            (Shape::String, One),
+        ]));
+        assert_eq!(lint_hits(&h, "mixed-number-string").len(), 1);
+        let numeric = plain(rec(
+            "•",
+            vec![("score", Shape::Top(vec![Shape::Float, Shape::Bool]))],
+        ));
+        assert!(lint_hits(&numeric, "mixed-number-string").is_empty());
+    }
+
+    #[test]
+    fn lint_case_collision() {
+        let g = plain(rec("•", vec![("id", Shape::Int), ("ID", Shape::Int)]));
+        let hits = lint_hits(&g, "case-collision");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`id`") && hits[0].message.contains("`ID`"));
+        // Definition names collide too:
+        let defs = with_env(
+            Shape::Ref("Item".into()),
+            vec![
+                ("Item", vec![("x", Shape::Int)]),
+                ("item", vec![("x", Shape::Int)]),
+            ],
+        );
+        assert_eq!(lint_hits(&defs, "case-collision").len(), 1);
+        let clean = plain(rec("•", vec![("id", Shape::Int), ("name", Shape::String)]));
+        assert!(lint_hits(&clean, "case-collision").is_empty());
+    }
+
+    #[test]
+    fn lint_union_arity() {
+        let g = plain(Shape::Top(vec![
+            Shape::Int,
+            Shape::Bool,
+            Shape::String,
+            rec("a", vec![]),
+            rec("b", vec![]),
+        ]));
+        let hits = lint_hits(&g, "union-arity");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains('5'));
+        let four = plain(Shape::Top(vec![
+            Shape::Int,
+            Shape::Bool,
+            Shape::String,
+            rec("a", vec![]),
+        ]));
+        assert!(lint_hits(&four, "union-arity").is_empty());
+    }
+
+    #[test]
+    fn lint_empty_record_is_allow_by_default() {
+        let g = plain(rec("br", vec![]));
+        // Default config: the rule is allowed → silent.
+        assert!(run_lints(&g, &LintConfig::new())
+            .iter()
+            .all(|d| d.rule != "empty-record"));
+        // Explicitly enabled: fires.
+        let hits = lint_hits(&g, "empty-record");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("`br`"));
+    }
+
+    #[test]
+    fn lint_levels_and_config_precedence() {
+        let g = plain(rec("•", vec![("x", Shape::any())]));
+        let mut config = LintConfig::new();
+        config.set("opaque-any", LintLevel::Deny);
+        let hits = run_lints(&g, &config);
+        assert!(hits
+            .iter()
+            .any(|d| d.rule == "opaque-any" && d.severity == Severity::Error));
+        // allow-all then warn-one: last override wins per rule.
+        let mut config = LintConfig::new();
+        config.set("all", LintLevel::Allow);
+        assert!(run_lints(&g, &config).is_empty());
+        config.set("opaque-any", LintLevel::Warn);
+        assert_eq!(run_lints(&g, &config).len(), 1);
+        // Registry sanity: at least the 7 documented rules.
+        assert!(lint_rule_names().len() >= 7);
+        for rule in lint_rules() {
+            assert!(!rule.description().is_empty());
+        }
+    }
+
+    // --- Access paths ---
+
+    fn items_global() -> GlobalShape {
+        plain(rec(
+            "•",
+            vec![(
+                "items",
+                Shape::list(rec(
+                    "•",
+                    vec![("name", Shape::String), ("note", Shape::String.ceil())],
+                )),
+            )],
+        ))
+    }
+
+    #[test]
+    fn access_path_parses_and_displays() {
+        for (input, canon) in [
+            ("items[].name", "$.items[].name"),
+            ("$.items[].name", "$.items[].name"),
+            ("root.items[].name", "$.items[].name"),
+            ("$", "$"),
+            ("root", "$"),
+            ("items[].note?", "$.items[].note?"),
+        ] {
+            let p: AccessPath = input.parse().unwrap_or_else(|e| panic!("{input}: {e}"));
+            assert_eq!(p.to_string(), canon, "{input}");
+        }
+        for bad in ["", "items[0].x", "items..x", "items.", "[?"] {
+            assert!(bad.parse::<AccessPath>().is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn safe_paths_check_and_project() {
+        let g = items_global();
+        let r = check_path(&g, &"items[].name".parse().unwrap());
+        assert!(r.is_safe(), "{:?}", r.diagnostics);
+        assert_eq!(r.result, Some(Shape::String));
+        let r = check_path(&g, &"items[].note?".parse().unwrap());
+        assert!(r.is_safe());
+        assert_eq!(r.result, Some(Shape::String));
+    }
+
+    #[test]
+    fn nullable_access_without_opt_is_an_error_but_recovers() {
+        let g = items_global();
+        // .note is nullable; projecting a field through it must demand `?`.
+        let nested = plain(rec(
+            "•",
+            vec![("user", rec("•", vec![("name", Shape::String)]).ceil())],
+        ));
+        let r = check_path(&nested, &"user.name".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-null-deref");
+        // Error recovery: the projection result is still computed.
+        assert_eq!(r.result, Some(Shape::String));
+        let ok = check_path(&nested, &"user?.name".parse().unwrap());
+        assert!(ok.is_safe());
+        // Redundant `?` is a note, not an error.
+        let r = check_path(&g, &"items[].name?".parse().unwrap());
+        assert!(r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-redundant-opt");
+    }
+
+    #[test]
+    fn missing_field_collection_and_any_errors() {
+        let g = items_global();
+        let r = check_path(&g, &"items[].nope".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-missing-field");
+        assert!(
+            r.diagnostics[0].message.contains("name"),
+            "lists known fields"
+        );
+
+        let r = check_path(&g, &"items.name".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-not-record");
+
+        let r = check_path(&g, &"items[][]".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-not-collection");
+
+        let any = plain(rec("•", vec![("x", Shape::any())]));
+        let r = check_path(&any, &"x.y".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-on-any");
+    }
+
+    #[test]
+    fn hetero_and_ref_path_semantics() {
+        let single = plain(rec(
+            "•",
+            vec![(
+                "xs",
+                Shape::HeteroList(vec![(rec("•", vec![("a", Shape::Int)]), Many)]),
+            )],
+        ));
+        let r = check_path(&single, &"xs[].a".parse().unwrap());
+        assert!(r.is_safe(), "single-case hetero is unambiguous");
+
+        let multi = plain(rec(
+            "•",
+            vec![(
+                "xs",
+                Shape::HeteroList(vec![
+                    (rec("•", vec![("a", Shape::Int)]), Many),
+                    (Shape::Int, ZeroOrOne),
+                ]),
+            )],
+        ));
+        let r = check_path(&multi, &"xs[].a".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-hetero");
+
+        // μ-references resolve through the environment:
+        let g = with_env(
+            Shape::Ref("div".into()),
+            vec![(
+                "div",
+                vec![
+                    ("child", Shape::Ref("div".into()).ceil()),
+                    ("x", Shape::Int),
+                ],
+            )],
+        );
+        let r = check_path(&g, &"child?.child?.x".parse().unwrap());
+        assert!(r.is_safe(), "{:?}", r.diagnostics);
+        assert_eq!(r.result, Some(Shape::Int));
+
+        let dangling = plain(Shape::Ref("ghost".into()));
+        let r = check_path(&dangling, &"x".parse().unwrap());
+        assert!(!r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-undefined-ref");
+    }
+
+    #[test]
+    fn bottom_makes_the_rest_vacuously_safe() {
+        let g = plain(rec("•", vec![("xs", Shape::list(Shape::Bottom))]));
+        let r = check_path(&g, &"xs[].anything.at[].all".parse().unwrap());
+        assert!(r.is_safe());
+        assert_eq!(r.diagnostics[0].rule, "path-vacuous");
+        assert_eq!(r.diagnostics[0].severity, Severity::Note);
+        assert_eq!(r.result, Some(Shape::Bottom));
+    }
+}

@@ -132,7 +132,7 @@ pub fn csh(a: Shape, b: Shape) -> Shape {
 /// [`csh`] under a shape environment, consuming both shapes and widening
 /// the environment in place.
 ///
-/// Both arguments are first absorbed into `env` ([`ShapeEnv::absorb`]):
+/// Both arguments are first absorbed into `env` ([`crate::ShapeEnv::absorb`]):
 /// every record whose name has a definition is joined into that
 /// definition and replaced by a [`Shape::Ref`]. The plain join then only
 /// ever meets references of equal names (`(eq)`) or of different tags
@@ -279,6 +279,7 @@ fn to_cases(shape: Shape) -> Vec<(Shape, Multiplicity)> {
     }
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// §6.4: "We merge cases with the same tag (by finding their common
 /// shape) and calculate their new shared multiplicity."
 fn hetero_join(a: Vec<(Shape, Multiplicity)>, b: Vec<(Shape, Multiplicity)>) -> Shape {

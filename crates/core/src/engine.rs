@@ -525,6 +525,7 @@ impl DataFormat for CsvFormat {
         scanner.feed(chunk, &mut |off| boundary(off));
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// The CSV prologue is the header row: it is parsed once here (with
     /// the exact streamer code the sequential path uses, so trimming and
     /// interning behave identically) and its names are seeded into every
@@ -779,6 +780,7 @@ pub fn infer_slice<F: DataFormat>(
     infer_slice_with::<F>(corpus, options, &RecoveryPolicy::default(), jobs)
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// [`infer_slice`] under a policy's resource limits (fail-fast;
 /// Skip-mode recovery lives in [`crate::recover`]).
 pub(crate) fn infer_slice_with<F: DataFormat>(
@@ -827,6 +829,7 @@ pub(crate) fn infer_slice_with<F: DataFormat>(
     })
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Parallel sharded parse of an in-memory corpus to its record values,
 /// in input order — the value-level twin of [`infer_slice`], used by the
 /// differential suite to prove the shard workers see exactly the
@@ -918,6 +921,7 @@ pub fn infer_reader_parallel<F: DataFormat, R: Read>(
     )
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// [`infer_reader_parallel`] under a policy's resource limits
 /// (fail-fast). On top of the per-worker streamer caps, the reading
 /// thread's own carry buffer is bounded: a record that outgrows

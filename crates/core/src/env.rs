@@ -369,6 +369,40 @@ impl GlobalShape {
     pub fn inline(&self) -> Shape {
         self.env.inline(&self.root)
     }
+
+    /// The sub-environment actually reachable from the root through
+    /// `Ref`s (including through definition bodies), in deterministic
+    /// first-reference order — the same order regardless of how the
+    /// full table happens to be ordered. Unreachable definitions are
+    /// dropped; dangling references stay undefined. This is the
+    /// canonical view the `analyze` module fingerprints and diffs.
+    pub fn reachable_env(&self) -> ShapeEnv {
+        let mut order: Vec<Name> = Vec::new();
+        collect_refs(&self.root, &mut |n| {
+            if !order.contains(&n) {
+                order.push(n);
+            }
+        });
+        let mut i = 0;
+        while i < order.len() {
+            let name = order[i];
+            if let Some(def) = self.env.get(name) {
+                for f in &def.fields {
+                    collect_refs(&f.shape, &mut |n| {
+                        if !order.contains(&n) {
+                            order.push(n);
+                        }
+                    });
+                }
+            }
+            i += 1;
+        }
+        ShapeEnv::from_defs(
+            order
+                .into_iter()
+                .filter_map(|n| self.env.get(n).map(|d| (n, d.clone()))),
+        )
+    }
 }
 
 /// Calls `f` for every [`Shape::Ref`] name in `shape`.

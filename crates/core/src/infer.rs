@@ -34,7 +34,7 @@ use tfd_value::Value;
 pub struct InferOptions {
     /// Infer [`Shape::Bit`] for the integers 0 and 1 (§6.2, CSV: "the
     /// sample contains only 0 and 1 … handled by adding a bit shape which
-    /// is preferred [over] both int and bool").
+    /// is preferred \[over] both int and bool").
     pub infer_bits: bool,
     /// Infer [`Shape::Date`] for strings that parse as dates (§6.2).
     pub detect_dates: bool,
@@ -181,6 +181,7 @@ where
         .fold(Shape::Bottom, |acc, d| csh(acc, infer_with(d, options)))
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Collection inference. In formal mode this is Fig. 3's
 /// `[S(d1, …, dn)]`. With heterogeneous collections on (§6.4), elements
 /// are grouped by shape tag: a single tag still yields a homogeneous

@@ -119,6 +119,19 @@ pub fn is_preferred_global(a: &GlobalShape, b: &GlobalShape) -> bool {
     )
 }
 
+/// Fresh-memo entry into the two-environment relation, for the
+/// `analyze` module's diff walker. A fresh `assumed` stack gives the
+/// same answer as any ambient one: membership in the greatest fixed
+/// point is context-independent.
+pub(crate) fn preferred_two_env(
+    a: &Shape,
+    b: &Shape,
+    ea: Option<&ShapeEnv>,
+    eb: Option<&ShapeEnv>,
+) -> bool {
+    preferred2(a, b, ea, eb, &mut Vec::new())
+}
+
 /// Views a shape as a record, resolving μ-references through the
 /// environment when one is in scope.
 fn rec_view<'x>(s: &'x Shape, env: Option<&'x ShapeEnv>) -> Option<&'x RecordShape> {
@@ -297,7 +310,7 @@ fn record_preferred(ra: &RecordShape, rb: &RecordShape, env: Option<&ShapeEnv>) 
 /// Views any collection shape as heterogeneous cases. A homogeneous
 /// `[σ]` is the single case `σ, *` (the empty collection `[⊥]` has no
 /// cases).
-fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
+pub(crate) fn to_cases(shape: &Shape) -> Vec<(Shape, Multiplicity)> {
     match shape {
         Shape::HeteroList(cases) => cases.clone(),
         Shape::List(e) if **e == Shape::Bottom => Vec::new(),

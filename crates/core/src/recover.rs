@@ -206,6 +206,7 @@ impl ErrorReport {
         };
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Consumes the report into the budget-exceeded error. Must only be
     /// called when at least one error was recorded.
     fn into_budget_error(mut self, limit: usize) -> StreamError {
@@ -322,6 +323,7 @@ pub fn infer_slice_policy<F: DataFormat>(
     }
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// The Skip-mode in-memory driver (see [`infer_slice_policy`]).
 fn skip_slice<F: DataFormat>(
     corpus: &[u8],
@@ -523,6 +525,7 @@ pub fn infer_reader_policy<F: DataFormat, R: Read>(
     }
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// The Skip-mode streaming driver (see [`infer_reader_policy`]).
 fn skip_reader<F: DataFormat, R: Read>(
     mut reader: R,

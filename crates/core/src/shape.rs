@@ -138,7 +138,7 @@ pub enum Shape {
     Float,
     /// String primitive.
     String,
-    /// §6.2 extension: a 0/1-valued integer, "preferred [over] both int
+    /// §6.2 extension: a 0/1-valued integer, "preferred \[over] both int
     /// and bool". Only inferred when
     /// [`InferOptions::infer_bits`](crate::InferOptions) is on.
     Bit,

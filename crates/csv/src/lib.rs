@@ -19,7 +19,7 @@
 //! example a `string`.
 //!
 //! [`parse`] runs the single-pass byte-level splitter; the previous
-//! char-level state machine is retained as [`reference`] (bugs and all)
+//! char-level state machine is retained as [`mod@reference`] (bugs and all)
 //! so benchmarks and regression tests can compare against it.
 //!
 //! # Example

@@ -356,6 +356,7 @@ impl<'a> RecordSplitter<'a> {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Parses a `"`-opened field. Escape-free contents — the common case
     /// — are returned as a borrowed slice; a `""` escape switches to an
     /// owned buffer seeded with the prefix scanned so far.

@@ -1,5 +1,5 @@
 //! The retained char-level CSV parser — the honesty baseline for the
-//! byte-level [`crate::parser`].
+//! byte-level `crate::parser`.
 //!
 //! This module preserves the pre-byte-level implementation **verbatim**,
 //! including two quoting bugs that the byte-level parser fixes:
@@ -12,11 +12,11 @@
 //!    on classic-Mac line endings.
 //!
 //! Keeping the old behavior intact lets the regression tests in
-//! [`crate::parser`] demonstrate the fixes against a live implementation,
+//! `crate::parser` demonstrate the fixes against a live implementation,
 //! and lets `cargo bench -p tfd-bench --bench pipeline` quantify the
 //! byte-vs-char throughput difference (`pipeline/csv` vs
 //! `pipeline/csv-reference`). Do not fix bugs here; fix them in
-//! [`crate::parser`].
+//! `crate::parser`.
 
 use crate::parser::{CsvError, CsvOptions};
 use crate::CsvFile;

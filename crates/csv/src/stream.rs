@@ -12,12 +12,12 @@
 //! The design mirrors `tfd_json::stream`:
 //!
 //! 1. a **resumable boundary scanner** — an explicit state machine with
-//!    one state per quoting situation ([`CMode`]), a partial-match
+//!    one state per quoting situation (`CMode`), a partial-match
 //!    counter for multi-byte delimiters and a pending-LF state for CRLF
 //!    pairs split across chunks — finds record boundaries (line endings
 //!    outside quoted fields) wherever the chunks fall;
 //! 2. each completed record is split by the one-shot byte-level
-//!    [`RecordSplitter`](crate::parser) (borrowed from the chunk when
+//!    `RecordSplitter` (borrowed from the chunk when
 //!    the record does not cross a boundary) and fed cell-by-cell into
 //!    the shared literal inference, so streaming rows are
 //!    **byte-identical** to the one-shot rows by construction.
@@ -71,7 +71,7 @@ enum CMode {
 }
 
 /// A scan-only record-boundary finder: the [`Streamer`]'s resumable
-/// quoting state machine ([`CMode`]) without the cell splitting — it
+/// quoting state machine (`CMode`) without the cell splitting — it
 /// never materializes a row, only reports where records end (line
 /// endings outside quoted fields).
 ///
@@ -437,6 +437,7 @@ impl Streamer {
         Ok(())
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), CsvError> {
         let d0 = self.delim[0];
         let dlen = self.dlen;

@@ -16,7 +16,7 @@
 //! The parser implements the full JSON grammar (RFC 8259): escape
 //! sequences including `\uXXXX` with surrogate pairs, the complete number
 //! grammar, and precise line/column error reporting. [`Json::to_value`]
-//! maps documents onto the universal [`Value`](tfd_value::Value), naming
+//! maps documents onto the universal [`Value`], naming
 //! every object record `•` exactly as the paper prescribes for JSON.
 //!
 //! # Example
@@ -99,7 +99,7 @@ impl Json {
 
     /// Converts the document to the universal data value of §3.4.
     ///
-    /// Objects become records named [`BODY_NAME`] (`•`), arrays become
+    /// Objects become records named [`tfd_value::BODY_NAME`] (`•`), arrays become
     /// collections, and primitives map one-to-one.
     pub fn to_value(&self) -> Value {
         match self {

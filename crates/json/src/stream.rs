@@ -13,11 +13,11 @@
 //! The design splits the work in two:
 //!
 //! 1. a **resumable boundary scanner** — an explicit state machine
-//!    ([`Mode`]/[`NumState`], one small enum step per byte, no recursion)
+//!    (`Mode`/`NumState`, one small enum step per byte, no recursion)
 //!    that tracks just enough structure (bracket depth, string/escape
 //!    state, the RFC 8259 number grammar, keyword runs) to find the byte
 //!    range of each top-level record, wherever chunk boundaries fall;
-//! 2. the existing byte-level [`parse_value_with`] run on each completed
+//! 2. the existing byte-level [`crate::parse_value_with`] run on each completed
 //!    record (borrowed straight from the chunk when the record does not
 //!    cross a boundary), so the streaming path produces **byte-identical
 //!    values and errors** to the one-shot path by construction.
@@ -426,7 +426,7 @@ pub const DEFAULT_MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
 /// A chunk-fed incremental JSON parser.
 ///
 /// Feed arbitrary byte slices; each completed top-level document is
-/// parsed with the byte-level [`parse_value_with`] and handed to the
+/// parsed with the byte-level [`crate::parse_value_with`] and handed to the
 /// sink. Call [`finish`](Streamer::finish) after the last chunk.
 ///
 /// ```
@@ -553,6 +553,7 @@ impl Streamer {
         r
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), ParseError> {
         let n = chunk.len();
         // The chunk's valid-UTF-8 prefix, validated once: records that
@@ -718,6 +719,7 @@ impl Streamer {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Settles the global position over a completed record's bytes in
     /// one bulk pass (the hot scanner loops never track positions).
     /// Columns count characters: continuation bytes (`10xxxxxx`) extend

@@ -108,6 +108,7 @@ pub fn html_provider(input: TokenStream) -> TokenStream {
     expand(input, Format::Html)
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 fn expand(input: TokenStream, format: Format) -> TokenStream {
     match try_expand(input, format) {
         Ok(ts) => ts,
@@ -211,6 +212,7 @@ fn sformat_name(format: StreamFormat) -> &'static str {
     }
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Recovers the root type from the generated `from_value` signature.
 fn root_type_of(code: &str) -> String {
     let marker = "pub fn from_value(value: Value) -> Result<";

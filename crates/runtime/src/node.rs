@@ -51,6 +51,7 @@ impl Node {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// The value this node points at.
     ///
     /// # Panics

@@ -27,11 +27,41 @@ use std::borrow::Cow;
 use std::collections::HashSet;
 use std::fmt;
 use std::ops::Deref;
-use std::sync::{OnceLock, RwLock};
+use std::sync::{OnceLock, PoisonError, RwLock};
 
 fn interner() -> &'static RwLock<HashSet<&'static str>> {
     static INTERNER: OnceLock<RwLock<HashSet<&'static str>>> = OnceLock::new();
     INTERNER.get_or_init(|| RwLock::new(HashSet::new()))
+}
+
+/// A point-in-time snapshot of the interner, reported by [`stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternStats {
+    /// Number of distinct spellings interned since process start.
+    pub symbols: usize,
+    /// Total bytes of interned string data retained for the process
+    /// lifetime (spellings only, excluding table overhead).
+    pub retained_bytes: usize,
+}
+
+/// Reports how much the process-wide interner currently retains. The
+/// interner only grows, so these figures measure the *schema
+/// vocabulary* encountered so far — not corpus size.
+///
+/// ```
+/// use tfd_value::{intern, Name};
+/// let before = intern::stats();
+/// Name::new("a-definitely-fresh-spelling");
+/// let after = intern::stats();
+/// assert!(after.symbols > before.symbols);
+/// assert!(after.retained_bytes >= before.retained_bytes + "a-definitely-fresh-spelling".len());
+/// ```
+pub fn stats() -> InternStats {
+    let table = interner().read().unwrap_or_else(PoisonError::into_inner);
+    InternStats {
+        symbols: table.len(),
+        retained_bytes: table.iter().map(|s| s.len()).sum(),
+    }
 }
 
 /// An interned record/field name: a small `Copy` symbol with O(1)
@@ -53,10 +83,14 @@ impl Name {
     /// Interns a spelling, returning its canonical symbol.
     pub fn new(s: impl AsRef<str>) -> Name {
         let s = s.as_ref();
-        if let Some(&hit) = interner().read().expect("interner poisoned").get(s) {
+        if let Some(&hit) = interner()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(s)
+        {
             return Name(hit);
         }
-        let mut w = interner().write().expect("interner poisoned");
+        let mut w = interner().write().unwrap_or_else(PoisonError::into_inner);
         if let Some(&hit) = w.get(s) {
             return Name(hit);
         }
@@ -71,7 +105,7 @@ impl Name {
     pub fn lookup(s: &str) -> Option<Name> {
         interner()
             .read()
-            .expect("interner poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(s)
             .map(|&hit| Name(hit))
     }
@@ -83,7 +117,10 @@ impl Name {
 
     /// Number of distinct names interned so far (diagnostics/tests).
     pub fn interned_count() -> usize {
-        interner().read().expect("interner poisoned").len()
+        interner()
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

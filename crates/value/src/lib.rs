@@ -48,7 +48,8 @@
 
 pub mod builder;
 pub mod corpus;
-mod intern;
+pub mod hash;
+pub mod intern;
 mod metrics;
 mod path;
 mod print;

@@ -39,6 +39,7 @@ fn zero_byte_mask(x: u64) -> u64 {
     x.wrapping_sub(LO) & !x & HI
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Index of the first occurrence of `a` or `b` in `haystack`, SWAR eight
 /// bytes at a time.
 ///
@@ -77,6 +78,7 @@ pub fn find_any2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
         .map(|p| i + p)
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Index of the first occurrence of `a`, `b` or `c` in `haystack`, SWAR
 /// eight bytes at a time.
 ///
@@ -119,6 +121,7 @@ pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
         .map(|p| i + p)
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Index of the first occurrence of any of five needles, SWAR eight
 /// bytes at a time — sized for the JSON container scanner, whose
 /// specials are `{` `}` `[` `]` `"`.
@@ -161,6 +164,7 @@ pub fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<u
         .map(|p| i + p)
 }
 
+#[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// Index of the first occurrence of `needle`, SWAR eight bytes at a time.
 ///
 /// ```

@@ -23,7 +23,7 @@
 //!
 //! [`parse`] is a single-pass byte-level parser that interns element and
 //! attribute names straight from borrowed input slices; the previous
-//! char-level implementation is retained as [`reference`] for benchmarks
+//! char-level implementation is retained as [`mod@reference`] for benchmarks
 //! and agreement tests.
 //!
 //! Like the paper's implementation, primitive values that appear in

@@ -490,6 +490,7 @@ impl<'a> XmlParser<'a> {
         self.pos += 1;
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn expect_byte(&mut self, want: u8, ctx: &'static str) -> Result<(), XmlError> {
         match self.bytes.get(self.pos) {
             Some(&b) if b == want => {
@@ -533,6 +534,7 @@ impl<'a> XmlParser<'a> {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// [`skip_prolog`], but end of input yields `Ok(false)` instead of a
     /// `NoRoot` error — the multi-document entry points use this to stop
     /// cleanly after the last document. `Ok(true)` means the parser is
@@ -657,6 +659,7 @@ impl<'a> XmlParser<'a> {
         b.is_ascii_alphanumeric() || matches!(b, b'_' | b':' | b'-' | b'.')
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Scans a name and interns it straight from the borrowed slice —
     /// no intermediate `String` ever materializes.
     fn parse_name(&mut self) -> Result<Name, XmlError> {
@@ -695,6 +698,7 @@ impl<'a> XmlParser<'a> {
         Ok(Name::new(&self.input[start..self.pos]))
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Decodes the entity at `pos` (positioned *after* the `&`).
     fn parse_entity(&mut self) -> Result<char, XmlError> {
         let start = self.pos;
@@ -747,6 +751,7 @@ impl<'a> XmlParser<'a> {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Parses a quoted attribute value. Entity-free values — the common
     /// case — are returned as a borrowed slice of the input; values with
     /// entities build an owned buffer from bulk runs.
@@ -796,6 +801,7 @@ impl<'a> XmlParser<'a> {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn parse_element<S: Sink>(&mut self, sink: &mut S, depth: usize) -> Result<S::Out, XmlError> {
         if depth >= self.options.max_depth {
             return Err(self.error(XmlErrorKind::TooDeep(self.options.max_depth)));

@@ -1,5 +1,5 @@
 //! The retained char-level XML parser — the honesty baseline for the
-//! byte-level [`crate::parser`].
+//! byte-level `crate::parser`.
 //!
 //! This module preserves the pre-byte-level implementation: a
 //! `Peekable<Chars>` state machine whose lookahead works by **cloning the
@@ -234,6 +234,7 @@ impl<'a> XmlParser<'a> {
         Self::is_name_start(c) || c.is_numeric() || c == '-' || c == '.'
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn parse_name(&mut self) -> Result<String, XmlError> {
         let mut name = String::new();
         match self.peek() {
@@ -314,6 +315,7 @@ impl<'a> XmlParser<'a> {
         }
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn parse_element(&mut self, depth: usize) -> Result<Element, XmlError> {
         if depth >= self.options.max_depth {
             return Err(self.error(XmlErrorKind::TooDeep(self.options.max_depth)));

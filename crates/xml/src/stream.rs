@@ -13,12 +13,12 @@
 //! The design mirrors `tfd_json::stream`:
 //!
 //! 1. a **resumable boundary scanner** — an explicit state machine
-//!    ([`XMode`], one small enum step per byte, no recursion) tracking
+//!    (`XMode`, one small enum step per byte, no recursion) tracking
 //!    element depth, tag/attribute-quote state, comments, CDATA
 //!    sections, DOCTYPE bracket nesting, processing instructions and
 //!    entity length — finds where each top-level document ends (the `>`
 //!    closing its root element), wherever the chunks fall;
-//! 2. the byte-level [`parse_value_with`] is run on each completed
+//! 2. the byte-level [`crate::parse_value_with`] is run on each completed
 //!    record (borrowed straight from the chunk when it does not cross a
 //!    boundary), so streaming values and errors are **byte-identical**
 //!    to the one-shot path by construction. The scanner is deliberately
@@ -438,7 +438,7 @@ pub const DEFAULT_MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
 /// A chunk-fed incremental XML parser.
 ///
 /// Feed arbitrary byte slices; each completed top-level document is
-/// parsed with the byte-level [`parse_value_with`] and handed to the
+/// parsed with the byte-level [`crate::parse_value_with`] and handed to the
 /// sink as its §6.2 value. Call [`finish`](Streamer::finish) after the
 /// last chunk.
 ///
@@ -567,6 +567,7 @@ impl Streamer {
         r
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     fn feed_inner(&mut self, chunk: &[u8], sink: &mut impl FnMut(Value)) -> Result<(), XmlError> {
         let n = chunk.len();
         // The chunk's valid-UTF-8 prefix, validated once: records that
@@ -746,6 +747,7 @@ impl Streamer {
         self.prev_cr = b == b'\r';
     }
 
+    #[allow(clippy::expect_used)] // checked invariant, documented at each site
     /// Settles the global position over a completed record's bytes in
     /// one bulk pass (the hot scanner loops never track positions).
     /// Columns count characters; LF, CRLF and bare CR each end a line

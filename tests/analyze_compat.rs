@@ -1,0 +1,268 @@
+//! Properties of the schema-evolution analysis (`tfd_core::analyze`).
+//!
+//! The diff walker mirrors the preference relation `⊑` clause by
+//! clause, so its verdicts must *agree* with the relation exactly —
+//! checked here over randomly generated pairs of mutually recursive
+//! shape environments (a base environment and a mutated copy):
+//!
+//! * **agreement** — `diff(a, b, Backward)` finds no breaking entry iff
+//!   `a ⊑ b` under the two environments (and Forward iff `b ⊑ a`);
+//! * **emptiness** — the diff is empty iff the two global shapes are
+//!   structurally equivalent (equal roots, equal reachable
+//!   definitions);
+//! * **soundness** — when the diff declares backward compatibility,
+//!   every generated value conforming to the old shape conforms to the
+//!   new one (`conforms_in`), instantiating what "no breaking change"
+//!   promises.
+
+mod common;
+
+use common::conforming_global;
+use proptest::prelude::*;
+use tfd_core::analyze::{diff_global, CompatMode};
+use tfd_core::{conforms_in, is_preferred_global, GlobalShape, RecordShape, Shape, ShapeEnv};
+use tfd_value::corpus::Rng;
+use tfd_value::Name;
+
+const DEF_NAMES: &[&str] = &["alpha", "beta", "gamma"];
+const FIELD_NAMES: &[&str] = &["id", "name", "next", "items", "mark"];
+
+/// A primitive field shape, possibly nullable.
+fn gen_primitive(rng: &mut Rng) -> Shape {
+    let base = match rng.below(6) {
+        0 => Shape::Int,
+        1 => Shape::Float,
+        2 => Shape::String,
+        3 => Shape::Bool,
+        4 => Shape::Date,
+        _ => Shape::Bit,
+    };
+    if rng.chance(0.4) {
+        base.ceil()
+    } else {
+        base
+    }
+}
+
+/// A random global shape over 2–3 mutually recursive definitions.
+/// References only occur in nullable or collection position, matching
+/// what global inference produces, so conforming-value generation
+/// terminates.
+fn gen_global(rng: &mut Rng) -> GlobalShape {
+    let ndefs = 2 + rng.below(2) as usize;
+    let names: Vec<Name> = DEF_NAMES[..ndefs].iter().map(Name::new).collect();
+    let defs: Vec<(Name, RecordShape)> = names
+        .iter()
+        .map(|&name| {
+            let nfields = 1 + rng.below(3) as usize;
+            let fields: Vec<(Name, Shape)> = FIELD_NAMES[..nfields + 2]
+                .iter()
+                .take(nfields)
+                .map(|f| {
+                    let target = names[rng.below(names.len() as u64) as usize];
+                    let shape = match rng.below(4) {
+                        0 => Shape::Ref(target).ceil(),
+                        1 => Shape::list(Shape::Ref(target)),
+                        _ => gen_primitive(rng),
+                    };
+                    (Name::new(f), shape)
+                })
+                .collect();
+            (name, RecordShape::new(name, fields))
+        })
+        .collect();
+    let env = ShapeEnv::from_defs(defs);
+    let root = match rng.below(3) {
+        0 => Shape::Ref(names[0]),
+        1 => Shape::list(Shape::Ref(names[0])),
+        _ => Shape::record(
+            "root",
+            vec![
+                ("head", Shape::Ref(names[0]).ceil()),
+                ("mark", gen_primitive(rng)),
+            ],
+        ),
+    };
+    GlobalShape { root, env }
+}
+
+/// One random edit: widen/narrow/nullify/strip/add/remove a field of a
+/// random definition (or of the root record).
+fn apply_mutation(g: &mut GlobalShape, rng: &mut Rng) {
+    let names: Vec<Name> = g.env.names().collect();
+    let pick = rng.below(names.len() as u64 + 1) as usize;
+    let mut def = if pick < names.len() {
+        g.env.get(names[pick]).cloned()
+    } else if let Shape::Record(r) = &g.root {
+        Some(r.clone())
+    } else if !names.is_empty() {
+        g.env.get(names[0]).cloned()
+    } else {
+        None
+    };
+    let Some(record) = def.as_mut() else { return };
+    match rng.below(6) {
+        // Widen / narrow along the primitive chains.
+        0 => {
+            for f in &mut record.fields {
+                f.shape = match std::mem::replace(&mut f.shape, Shape::Null) {
+                    Shape::Int => Shape::Float,
+                    Shape::Bit => Shape::Int,
+                    Shape::Date => Shape::String,
+                    other => other,
+                };
+            }
+        }
+        1 => {
+            for f in &mut record.fields {
+                f.shape = match std::mem::replace(&mut f.shape, Shape::Null) {
+                    Shape::Float => Shape::Int,
+                    Shape::String => Shape::Date,
+                    other => other,
+                };
+            }
+        }
+        // Introduce / remove nullability on the first field.
+        2 => {
+            if let Some(f) = record.fields.first_mut() {
+                let s = std::mem::replace(&mut f.shape, Shape::Null);
+                f.shape = if s.is_non_nullable() { s.ceil() } else { s };
+            }
+        }
+        3 => {
+            if let Some(f) = record.fields.first_mut() {
+                let s = std::mem::replace(&mut f.shape, Shape::Null);
+                f.shape = match s {
+                    Shape::Nullable(inner) => *inner,
+                    other => other,
+                };
+            }
+        }
+        // Add a field (sometimes optional, sometimes required).
+        4 => {
+            let shape = if rng.chance(0.5) {
+                Shape::Int.ceil()
+            } else {
+                Shape::Int
+            };
+            let fresh = format!("extra{}", rng.below(3));
+            if record.field(&fresh).is_none() {
+                *record = RecordShape::new(
+                    record.name,
+                    record
+                        .fields
+                        .iter()
+                        .map(|f| (f.name, f.shape.clone()))
+                        .chain([(Name::new(fresh), shape)]),
+                );
+            }
+        }
+        // Remove the last field (keep at least one).
+        _ => {
+            if record.fields.len() > 1 {
+                record.fields.pop();
+            }
+        }
+    }
+    if pick < names.len() {
+        g.env.define(names[pick], def.expect("checked above"));
+    } else if matches!(g.root, Shape::Record(_)) {
+        g.root = Shape::Record(def.expect("checked above"));
+    } else if !names.is_empty() {
+        g.env.define(names[0], def.expect("checked above"));
+    }
+}
+
+fn mutate(g: &GlobalShape, rng: &mut Rng) -> GlobalShape {
+    let mut out = g.clone();
+    for _ in 0..1 + rng.below(3) {
+        apply_mutation(&mut out, rng);
+    }
+    out
+}
+
+/// Structural equivalence: equal roots and equal reachable definitions
+/// (field and table order insensitive) — the condition `diff` reports
+/// as the empty report.
+fn equivalent(a: &GlobalShape, b: &GlobalShape) -> bool {
+    if a.root != b.root {
+        return false;
+    }
+    let (ea, eb) = (a.reachable_env(), b.reachable_env());
+    let mut na: Vec<Name> = ea.names().collect();
+    let mut nb: Vec<Name> = eb.names().collect();
+    na.sort();
+    nb.sort();
+    na == nb && na.iter().all(|&n| ea.get(n) == eb.get(n))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn diff_agrees_with_the_preference_relation(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let old = gen_global(&mut rng);
+        let new = mutate(&old, &mut rng);
+        for (a, b) in [(&old, &new), (&new, &old), (&old, &old)] {
+            let back = diff_global(a, b, CompatMode::Backward);
+            prop_assert_eq!(
+                back.is_compatible(),
+                is_preferred_global(a, b),
+                "backward diff disagrees with ⊑ on {} vs {}:\n{}", a, b, back
+            );
+            let fwd = diff_global(a, b, CompatMode::Forward);
+            prop_assert_eq!(
+                fwd.is_compatible(),
+                is_preferred_global(b, a),
+                "forward diff disagrees with ⊒ on {} vs {}:\n{}", a, b, fwd
+            );
+            // Full mode breaks iff either direction does.
+            let full = diff_global(a, b, CompatMode::Full);
+            prop_assert_eq!(
+                full.is_compatible(),
+                back.is_compatible() && fwd.is_compatible()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_diff_iff_structurally_equivalent(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let old = gen_global(&mut rng);
+        let new = mutate(&old, &mut rng);
+        let report = diff_global(&old, &new, CompatMode::Full);
+        prop_assert_eq!(
+            report.is_empty(),
+            equivalent(&old, &new),
+            "emptiness misjudged on {} vs {}:\n{}", &old, &new, report
+        );
+        // Reflexivity: every shape is equivalent to itself, and equal
+        // fingerprints come with the empty report.
+        let same = diff_global(&old, &old, CompatMode::Full);
+        prop_assert!(same.is_empty(), "{}", same);
+        prop_assert_eq!(same.old_fingerprint, same.new_fingerprint);
+    }
+
+    #[test]
+    fn backward_compatibility_is_sound_for_conforming_values(seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let old = gen_global(&mut rng);
+        let new = mutate(&old, &mut rng);
+        let compatible = diff_global(&old, &new, CompatMode::Backward).is_compatible();
+        for _ in 0..8 {
+            let v = conforming_global(&old, &mut rng);
+            prop_assert!(
+                conforms_in(&old.root, &v, Some(&old.env)),
+                "generator unsound: {} does not conform to {}", v, &old
+            );
+            if compatible {
+                prop_assert!(
+                    conforms_in(&new.root, &v, Some(&new.env)),
+                    "breaking change missed: {} conforms to {} but not to {}",
+                    v, &old, &new
+                );
+            }
+        }
+    }
+}

@@ -159,6 +159,74 @@ pub fn conforming(shape: &Shape, rng: &mut Rng) -> Value {
     }
 }
 
+/// Env-aware [`conforming`]: generates a value of a [`GlobalShape`],
+/// resolving μ-references through the definitions table. The `budget`
+/// bounds recursion depth: once exhausted, nullable content collapses
+/// to null and collections to empty — both conforming — so generation
+/// terminates on any environment whose references sit in nullable or
+/// collection position (which is all that global inference produces).
+pub fn conforming_global(global: &tfd_core::GlobalShape, rng: &mut Rng) -> Value {
+    conforming_in_env(&global.root, &global.env, 6, rng)
+}
+
+fn conforming_in_env(
+    shape: &Shape,
+    env: &tfd_core::ShapeEnv,
+    budget: usize,
+    rng: &mut Rng,
+) -> Value {
+    match shape {
+        Shape::Ref(n) => match env.get(*n) {
+            Some(def) => conforming_in_env(
+                &Shape::Record(def.clone()),
+                env,
+                budget.saturating_sub(1),
+                rng,
+            ),
+            // A dangling reference has no inhabitants; the generators
+            // in this suite never produce one.
+            None => Value::Null,
+        },
+        Shape::Nullable(inner) => {
+            if budget == 0 || rng.chance(0.3) {
+                Value::Null
+            } else {
+                conforming_in_env(inner, env, budget, rng)
+            }
+        }
+        Shape::List(element) => {
+            if budget == 0 || **element == Shape::Bottom {
+                return Value::List(Vec::new());
+            }
+            let n = rng.below(3) as usize;
+            Value::List(
+                (0..n)
+                    .map(|_| conforming_in_env(element, env, budget.saturating_sub(1), rng))
+                    .collect(),
+            )
+        }
+        Shape::Record(r) => {
+            let mut fields = Vec::new();
+            for f in &r.fields {
+                if matches!(f.shape, Shape::Nullable(_) | Shape::Null) && rng.chance(0.3) {
+                    continue; // row-variable convention: omit optional fields
+                }
+                fields.push(Field::new(
+                    f.name,
+                    conforming_in_env(&f.shape, env, budget, rng),
+                ));
+            }
+            Value::Record {
+                name: r.name,
+                fields,
+            }
+        }
+        // The remaining constructors contain no references: the env-free
+        // generator is already correct for them.
+        other => conforming(other, rng),
+    }
+}
+
 /// Generates a random access program navigating `shape` (raw-mode member
 /// names), returning the program and the shape of its result.
 pub fn random_program(shape: &Shape, rng: &mut Rng, max_steps: usize) -> (AccessProgram, Shape) {
