@@ -29,7 +29,11 @@
 //!   — the speedup is only meaningful relative to the cores the host
 //!   actually has (a single-core container measures the sharding
 //!   overhead, not the scaling; the differential suite, not this file,
-//!   is what guarantees the parallel path's correctness).
+//!   is what guarantees the parallel path's correctness);
+//! * the **interner occupancy** before/after N sequential
+//!   disjoint-vocabulary corpora, each in its own scoped arena (PR 8):
+//!   the after figure matching the before figure is the memory-reclaim
+//!   honesty number — the old global interner grew linearly in N.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -458,6 +462,34 @@ fn main() {
     );
     let ingest_s = secs_of("pipeline/csv/100000");
 
+    // Interner occupancy (PR 8): N sequential corpora with pairwise
+    // disjoint vocabularies, each inferred inside its own scoped arena
+    // that drops when the corpus is done. The honest capacity-based
+    // process figure after N corpora must match the figure before the
+    // first — the pre-PR8 global interner grew by every corpus's
+    // vocabulary and never gave it back.
+    let occupancy_corpora = 8usize;
+    let occupancy_keys = 2_000usize;
+    let intern_before = tfd_value::intern::stats();
+    let mut peak_corpus_arena_bytes = 0usize;
+    for k in 0..occupancy_corpora {
+        let mut text = String::new();
+        for r in 0..occupancy_keys {
+            let _ = writeln!(text, "{{\"corpus{k}_key{r}\": {r}}}");
+        }
+        let arena = tfd_value::Interner::new();
+        let summary = tfd_core::engine::infer_slice_in::<tfd_core::engine::JsonFormat>(
+            text.as_bytes(),
+            &InferOptions::json(),
+            2,
+            &arena,
+        )
+        .expect("occupancy corpus is well-formed");
+        peak_corpus_arena_bytes = peak_corpus_arena_bytes.max(arena.stats().retained_bytes);
+        std::hint::black_box(summary.records);
+    }
+    let intern_after = tfd_value::intern::stats();
+
     let mut json = String::from("{\n  \"benchmark\": \"pipeline parse+infer (rows/sec)\",\n");
     let _ = writeln!(
         json,
@@ -521,6 +553,15 @@ fn main() {
         analyze_s,
         analyze_s / ingest_s
     );
+    let _ = writeln!(
+        json,
+        "  \"interner_occupancy\": {{\"sequential_corpora\": {}, \"distinct_keys_per_corpus\": {}, \"retained_bytes_before\": {}, \"retained_bytes_after\": {}, \"peak_corpus_arena_bytes\": {}}},",
+        occupancy_corpora,
+        occupancy_keys,
+        intern_before.retained_bytes,
+        intern_after.retained_bytes,
+        peak_corpus_arena_bytes
+    );
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = writeln!(
@@ -568,5 +609,12 @@ fn main() {
     println!(
         "analysis pass (fingerprint + lints + self-diff): {:.5}x of the 100k-row csv ingest",
         analyze_s / ingest_s
+    );
+    println!(
+        "interner occupancy over {} disjoint corpora: {} bytes before, {} after (peak corpus arena {} bytes)",
+        occupancy_corpora,
+        intern_before.retained_bytes,
+        intern_after.retained_bytes,
+        peak_corpus_arena_bytes
     );
 }

@@ -15,7 +15,7 @@ use tfd_core::{
     csh, engine, globalize_env, GlobalShape, InferOptions, RecoveryMode, RecoveryPolicy, Shape,
     StreamFormat,
 };
-use tfd_value::Value;
+use tfd_value::{Interner, Value};
 
 const USAGE: &str = "\
 tfd — types from data (shape inference for JSON/XML/CSV)
@@ -87,8 +87,10 @@ OPTIONS:
                                (later --allow/--warn/--deny flags win)
     --json                     machine-readable analyze/diff/check-path
                                output (one JSON object on stdout)
-    --stats                    print name-interner statistics (distinct
-                               symbols, retained bytes) to stderr
+    --stats                    print name-interner statistics to stderr:
+                               one per-corpus delta as each file's name
+                               arena drops, then the process-wide
+                               retained total
     --help                     show this help
 
 EXIT CODES:
@@ -336,12 +338,17 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
                     .into(),
             );
         }
-        let values = read_values(&files, format)?;
+        // One arena for the whole invocation: the dumped values live
+        // until they are rendered, then names and text are reclaimed
+        // together when the arena drops at the end of this block.
+        let interner = Interner::new();
+        let values = read_values(&files, format, &interner)?;
         let mut out = String::new();
         for v in &values {
             out.push_str(&tfd_value::builder::to_pretty_string(v));
             out.push('\n');
         }
+        emit_corpus_stats(stats, "corpus", &interner, warn);
         emit_stats(stats, warn);
         return Ok(out);
     }
@@ -351,18 +358,26 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
     // exactly like `infer` does. `diff` folds each corpus separately.
     let corpus_shape = |fs: &[String], warn: &mut dyn FnMut(&str)| -> Result<Shape, CliError> {
         if stream {
-            stream_shape(fs, format, chunk_size, jobs.unwrap_or(1), &policy, warn)
+            stream_shape(
+                fs,
+                format,
+                chunk_size,
+                jobs.unwrap_or(1),
+                &policy,
+                stats,
+                warn,
+            )
         } else if let Some(jobs) = jobs {
             // --jobs without --stream: whole files in memory, sharded at
             // record boundaries (record-stream semantics, like --stream).
-            sharded_shape(fs, format, jobs, &policy, warn)
+            sharded_shape(fs, format, jobs, &policy, stats, warn)
         } else if recovery_flags {
             // Recovery flags imply the record-stream engine (like --jobs):
             // skipping and the resource caps are defined over record
             // boundaries, which the one-shot front-ends never see.
-            sharded_shape(fs, format, 1, &policy, warn)
+            sharded_shape(fs, format, 1, &policy, stats, warn)
         } else {
-            Ok(infer(&read_values(fs, format)?, format))
+            oneshot_shape(fs, format, stats, warn)
         }
     };
     // The §6.2 global mode goes through the env-carrying form
@@ -470,13 +485,28 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
     out
 }
 
-/// The `--stats` interner summary, on the warning (stderr) channel so
-/// it never mixes into command output.
+/// The `--stats` process summary, on the warning (stderr) channel so
+/// it never mixes into command output: what is *still* retained across
+/// all live arenas once the per-corpus arenas have dropped (the
+/// process-default arena plus whatever the run reinterned into it).
 fn emit_stats(enabled: bool, warn: &mut dyn FnMut(&str)) {
     if enabled {
         let s = tfd_value::intern::stats();
         warn(&format!(
-            "interner: {} distinct names, {} bytes retained",
+            "interner: {} distinct names, {} bytes retained across {} live arena(s)",
+            s.symbols, s.retained_bytes, s.arenas
+        ));
+    }
+}
+
+/// The `--stats` per-corpus delta: one corpus arena's footprint,
+/// reported just before the arena drops and the figures go back down.
+fn emit_corpus_stats(enabled: bool, label: &str, interner: &Interner, warn: &mut dyn FnMut(&str)) {
+    if enabled {
+        let s = interner.stats();
+        warn(&format!(
+            "interner[{label}]: {} distinct names, {} bytes retained (reclaimed when the \
+             corpus arena drops)",
             s.symbols, s.retained_bytes
         ));
     }
@@ -635,8 +665,15 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn read_values(files: &[String], format: Format) -> Result<Vec<Value>, CliError> {
-    files.iter().map(|f| read_value(f, format)).collect()
+fn read_values(
+    files: &[String],
+    format: Format,
+    interner: &Interner,
+) -> Result<Vec<Value>, CliError> {
+    files
+        .iter()
+        .map(|f| read_value(f, format, interner))
+        .collect()
 }
 
 /// Renders the `--global --env` view: the root shape followed by the
@@ -701,19 +738,30 @@ fn engine_format(format: Format, flag: &str) -> Result<StreamFormat, String> {
 fn engine_shape(
     files: &[String],
     sformat: StreamFormat,
+    stats: bool,
     warn: &mut dyn FnMut(&str),
-    summarize: impl Fn(&str, &InferOptions) -> Result<recover::Recovered, CliError>,
+    summarize: impl Fn(&str, &InferOptions, &Interner) -> Result<recover::Recovered, CliError>,
 ) -> Result<Shape, CliError> {
     let options = engine::infer_options_dyn(sformat);
     let mut combined = Shape::Bottom;
     for f in files {
-        let out = summarize(f, &options)?;
+        // One scoped arena per input file: every name the file's
+        // records intern lives here, and only here.
+        let interner = Interner::new();
+        let mut out = summarize(f, &options, &interner)?;
         if !out.report.is_empty() {
             warn(&format_report(f, &out.report));
         }
         if out.summary.records == 0 {
             return Err(CliError::Parse(format!("{f}: input contains no records")));
         }
+        // The fold's survivor is the schema-sized shape: migrate its
+        // names into the process arena, then drop the corpus arena —
+        // the file's whole data vocabulary is reclaimed before the
+        // next file opens.
+        out.summary.shape.reintern(Interner::global());
+        emit_corpus_stats(stats, f, &interner, warn);
+        drop(interner);
         combined = csh(combined, out.summary.shape);
     }
     Ok(engine::wrap_corpus_shape_dyn(sformat, combined))
@@ -729,13 +777,16 @@ fn stream_shape(
     chunk_size: usize,
     jobs: usize,
     policy: &RecoveryPolicy,
+    stats: bool,
     warn: &mut dyn FnMut(&str),
 ) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--stream")?;
-    engine_shape(files, sformat, warn, |f, options| {
+    engine_shape(files, sformat, stats, warn, |f, options, interner| {
         let file = std::fs::File::open(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
-        recover::infer_reader_policy_dyn(sformat, file, options, policy, chunk_size, jobs)
-            .map_err(|e| engine_error(f, e))
+        recover::infer_reader_policy_dyn_in(
+            sformat, file, options, policy, chunk_size, jobs, interner,
+        )
+        .map_err(|e| engine_error(f, e))
     })
 }
 
@@ -747,14 +798,40 @@ fn sharded_shape(
     format: Format,
     jobs: usize,
     policy: &RecoveryPolicy,
+    stats: bool,
     warn: &mut dyn FnMut(&str),
 ) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--jobs")?;
-    engine_shape(files, sformat, warn, |f, options| {
+    engine_shape(files, sformat, stats, warn, |f, options, interner| {
         let bytes = std::fs::read(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
-        recover::infer_slice_policy_dyn(sformat, &bytes, options, policy, jobs)
+        recover::infer_slice_policy_dyn_in(sformat, &bytes, options, policy, jobs, interner)
             .map_err(|e| engine_error(f, e))
     })
+}
+
+/// The default one-shot pipeline: each file parses whole into a value
+/// inside its own name arena; the per-file shape (the same `csh` fold
+/// [`tfd_core::infer_many`] computes over the concatenated values) is
+/// reinterned into the process arena and the file's vocabulary is
+/// reclaimed before the next file opens.
+fn oneshot_shape(
+    files: &[String],
+    format: Format,
+    stats: bool,
+    warn: &mut dyn FnMut(&str),
+) -> Result<Shape, CliError> {
+    let mut combined = Shape::Bottom;
+    for f in files {
+        let interner = Interner::new();
+        let value = read_value(f, format, &interner)?;
+        let mut shape = infer(std::slice::from_ref(&value), format);
+        shape.reintern(Interner::global());
+        emit_corpus_stats(stats, f, &interner, warn);
+        drop(value);
+        drop(interner);
+        combined = csh(combined, shape);
+    }
+    Ok(combined)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -794,13 +871,14 @@ fn guess_format(file: &str) -> Result<Format, String> {
     }
 }
 
-fn read_value(file: &str, format: Format) -> Result<Value, CliError> {
+fn read_value(file: &str, format: Format, interner: &Interner) -> Result<Value, CliError> {
     let text = std::fs::read_to_string(file).map_err(|e| CliError::Io(format!("{file}: {e}")))?;
     match engine_format(format, "") {
-        Ok(sformat) => engine::parse_value_dyn(sformat, &text)
+        Ok(sformat) => engine::parse_value_dyn_in(sformat, &text, interner)
             .map_err(|e| CliError::Parse(format!("{file}: {e}"))),
         Err(_) => {
-            // HTML: the footnote-10 extension, outside the engine.
+            // HTML: the footnote-10 extension, outside the engine (its
+            // front-end interns into the process arena).
             let tables = tfd_html::parse_tables(&text);
             tables
                 .first()
@@ -1332,18 +1410,51 @@ mod tests {
     }
 
     #[test]
-    fn stats_flag_reports_interner_figures_on_the_warning_channel() {
+    fn stats_flag_reports_per_corpus_deltas_and_a_process_summary() {
         let f = write_temp("st.json", r#"{"alpha": 1, "beta": true}"#);
         let (out, warnings) = run_warned(&["infer", "--stats", &f]);
         assert!(out.is_ok());
-        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        // One per-corpus delta (the file's own arena) plus the
+        // process-wide summary of what stays live after it drops.
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings[0].contains("interner["), "{}", warnings[0]);
         assert!(warnings[0].contains("distinct names"), "{}", warnings[0]);
-        assert!(warnings[0].contains("bytes retained"), "{}", warnings[0]);
+        assert!(warnings[0].contains("reclaimed"), "{}", warnings[0]);
+        assert!(warnings[1].contains("bytes retained"), "{}", warnings[1]);
+        assert!(warnings[1].contains("live arena"), "{}", warnings[1]);
         // Also on analysis commands, and off by default.
         let (_, warnings) = run_warned(&["analyze", "--stats", &f]);
-        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
         let (_, warnings) = run_warned(&["infer", &f]);
         assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn sequential_runs_drop_each_files_arena() {
+        // Two files with disjoint vocabularies: after the run, the
+        // process-wide retained figures must reflect only the
+        // (schema-sized) reinterned survivors, not both corpora — and a
+        // repeat run must not grow the process arena further.
+        let a = write_temp(
+            "seq_a.json",
+            r#"{"seq_arena_key_a1": 1, "seq_arena_key_a2": 2}"#,
+        );
+        let b = write_temp(
+            "seq_b.json",
+            r#"{"seq_arena_key_b1": 1, "seq_arena_key_b2": 2}"#,
+        );
+        let run = || run_cli(&["infer", &a, &b]).unwrap();
+        let first = run();
+        let baseline = tfd_value::intern::stats();
+        let second = run();
+        assert_eq!(first, second);
+        let after = tfd_value::intern::stats();
+        // Every name the second run needed was already reinterned by
+        // the first, and both per-file arenas dropped: stats return to
+        // the post-first-run baseline instead of accumulating.
+        assert_eq!(after.symbols, baseline.symbols);
+        assert_eq!(after.retained_bytes, baseline.retained_bytes);
+        assert_eq!(after.arenas, baseline.arenas);
     }
 
     #[test]

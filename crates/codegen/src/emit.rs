@@ -170,17 +170,26 @@ pub fn generate_global(
     let _ = writeln!(out, "    }}");
 
     if let Some(format) = options.format {
-        let (parse_call, error_ty) = match format {
+        let (parse_call, parse_in_call, error_ty) = match format {
             SourceFormat::Json => (
                 format!("{p}::json::parse_value(text)?"),
+                format!("{p}::json::parse_value_in(text, &Default::default(), interner)?"),
                 "Box<dyn std::error::Error + Send + Sync>",
             ),
             SourceFormat::Xml => (
                 format!("{p}::xml::parse_value(text)?"),
+                format!(
+                    "{p}::xml::parse_value_in(text, &Default::default(), &Default::default(), \
+                     interner)?"
+                ),
                 "Box<dyn std::error::Error + Send + Sync>",
             ),
             SourceFormat::Csv => (
                 format!("{p}::csv::parse_value(text)?"),
+                format!(
+                    "{p}::csv::parse_value_in(text, &Default::default(), &Default::default(), \
+                     interner)?"
+                ),
                 "Box<dyn std::error::Error + Send + Sync>",
             ),
         };
@@ -200,6 +209,26 @@ pub fn generate_global(
             "    pub fn parse(text: &str) -> Result<{root_ty}, {error_ty}> {{"
         );
         let _ = writeln!(out, "        let value = {parse_call};");
+        let _ = writeln!(out, "        Ok(from_value(value)?)");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "    /// As [`parse`], interning names into the caller's scoped arena\n    \
+             /// so a batch of documents can be parsed and dropped together\n    \
+             /// without growing the process-wide name table."
+        );
+        let _ = writeln!(
+            out,
+            "    ///\n    /// # Errors\n    ///\n    /// Returns parse errors and \
+             top-level shape mismatches."
+        );
+        let _ = writeln!(
+            out,
+            "    pub fn parse_in(text: &str, interner: &{p}::value::Interner) \
+             -> Result<{root_ty}, {error_ty}> {{"
+        );
+        let _ = writeln!(out, "        let value = {parse_in_call};");
         let _ = writeln!(out, "        Ok(from_value(value)?)");
         let _ = writeln!(out, "    }}");
         let _ = writeln!(out);

@@ -41,7 +41,7 @@ use crate::Shape;
 use std::io::Read;
 use std::sync::mpsc;
 use std::sync::Arc;
-use tfd_value::{Name, Value};
+use tfd_value::{Interner, Name, Value};
 
 /// A position in a byte stream, carried across shard boundaries so
 /// record-local error positions can be lifted into the stream-global
@@ -109,22 +109,27 @@ pub trait DataFormat {
     /// The inference preset this format's values are folded with.
     fn infer_options() -> InferOptions;
 
-    /// One-shot parse of a single document to the universal value.
-    fn parse_value(text: &str) -> Result<Value, Self::Error>;
+    /// One-shot parse of a single document to the universal value,
+    /// interning names into `interner` (pass
+    /// [`Interner::global`] for the legacy process-default behaviour).
+    fn parse_value(text: &str, interner: &Interner) -> Result<Value, Self::Error>;
 
     /// One-shot parse of a whole multi-record corpus, one value per
-    /// record (documents for JSON/XML, data rows for CSV).
-    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error>;
+    /// record (documents for JSON/XML, data rows for CSV), interning
+    /// names into `interner`.
+    fn parse_many_values(text: &str, interner: &Interner) -> Result<Vec<Value>, Self::Error>;
 
-    /// A fresh chunk-fed streamer.
-    fn streamer() -> Self::Streamer;
+    /// A fresh chunk-fed streamer interning names into `interner` (an
+    /// owned handle — cloning shares the arena, which is how every
+    /// shard worker of one corpus interns into the same arena).
+    fn streamer(interner: Interner) -> Self::Streamer;
 
     /// A fresh chunk-fed streamer honouring the policy's resource
     /// limits: `max_record_bytes` caps the carry-over tail buffer (so a
     /// single pathological record cannot buffer unboundedly) and
     /// `max_depth`, when set, overrides the format's nesting limit (CSV
-    /// has no nesting and ignores it).
-    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer;
+    /// has no nesting and ignores it). Names intern into `interner`.
+    fn streamer_with(policy: &RecoveryPolicy, interner: Interner) -> Self::Streamer;
 
     /// Feeds a chunk through the streamer.
     ///
@@ -159,14 +164,18 @@ pub trait DataFormat {
     /// Consumes the format prologue from the corpus's first complete
     /// record (`first_record` is the bytes up to the first boundary, or
     /// the whole corpus when it has none). CSV parses its header row
-    /// here; the self-describing formats consume nothing. Returns the
-    /// consumed byte count and the context every shard is seeded with.
+    /// here — interning the column names into `interner` — while the
+    /// self-describing formats consume nothing. Returns the consumed
+    /// byte count and the context every shard is seeded with.
     ///
     /// # Errors
     ///
     /// A malformed prologue (e.g. a CSV header quoting error), exactly
     /// as the sequential streamer would report it.
-    fn prologue(first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error>;
+    fn prologue(
+        first_record: &[u8],
+        interner: &Interner,
+    ) -> Result<(usize, Self::Context), Self::Error>;
 
     /// Seeds a shard worker's streamer with the prologue context.
     fn seed(streamer: &mut Self::Streamer, ctx: &Self::Context);
@@ -236,24 +245,24 @@ impl DataFormat for JsonFormat {
         InferOptions::json()
     }
 
-    fn parse_value(text: &str) -> Result<Value, Self::Error> {
-        tfd_json::parse_value(text)
+    fn parse_value(text: &str, interner: &Interner) -> Result<Value, Self::Error> {
+        tfd_json::parse_value_in(text, &tfd_json::ParserOptions::default(), interner)
     }
 
-    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
-        tfd_json::parse_many_values(text)
+    fn parse_many_values(text: &str, interner: &Interner) -> Result<Vec<Value>, Self::Error> {
+        tfd_json::parse_many_values_in(text, &tfd_json::ParserOptions::default(), interner)
     }
 
-    fn streamer() -> Self::Streamer {
-        tfd_json::stream::Streamer::new()
+    fn streamer(interner: Interner) -> Self::Streamer {
+        tfd_json::stream::Streamer::with_options_in(tfd_json::ParserOptions::default(), interner)
     }
 
-    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
+    fn streamer_with(policy: &RecoveryPolicy, interner: Interner) -> Self::Streamer {
         let mut opts = tfd_json::ParserOptions::default();
         if let Some(depth) = policy.max_depth {
             opts.max_depth = depth;
         }
-        let mut s = tfd_json::stream::Streamer::with_options(opts);
+        let mut s = tfd_json::stream::Streamer::with_options_in(opts, interner);
         s.set_max_record_bytes(policy.max_record_bytes);
         s
     }
@@ -281,7 +290,10 @@ impl DataFormat for JsonFormat {
         scanner.feed(chunk, &mut |off| boundary(off));
     }
 
-    fn prologue(_first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
+    fn prologue(
+        _first_record: &[u8],
+        _interner: &Interner,
+    ) -> Result<(usize, Self::Context), Self::Error> {
         Ok((0, ()))
     }
 
@@ -350,25 +362,42 @@ impl DataFormat for XmlFormat {
         InferOptions::xml()
     }
 
-    fn parse_value(text: &str) -> Result<Value, Self::Error> {
-        tfd_xml::parse_value(text)
+    fn parse_value(text: &str, interner: &Interner) -> Result<Value, Self::Error> {
+        tfd_xml::parse_value_in(
+            text,
+            &tfd_xml::XmlOptions::default(),
+            &tfd_xml::EncodeOptions::default(),
+            interner,
+        )
     }
 
-    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
-        tfd_xml::parse_many_values(text)
+    fn parse_many_values(text: &str, interner: &Interner) -> Result<Vec<Value>, Self::Error> {
+        tfd_xml::parse_many_values_in(
+            text,
+            &tfd_xml::XmlOptions::default(),
+            &tfd_xml::EncodeOptions::default(),
+            interner,
+        )
     }
 
-    fn streamer() -> Self::Streamer {
-        tfd_xml::stream::Streamer::new()
+    fn streamer(interner: Interner) -> Self::Streamer {
+        tfd_xml::stream::Streamer::with_options_in(
+            &tfd_xml::XmlOptions::default(),
+            &tfd_xml::EncodeOptions::default(),
+            interner,
+        )
     }
 
-    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
+    fn streamer_with(policy: &RecoveryPolicy, interner: Interner) -> Self::Streamer {
         let mut opts = tfd_xml::XmlOptions::default();
         if let Some(depth) = policy.max_depth {
             opts.max_depth = depth;
         }
-        let mut s =
-            tfd_xml::stream::Streamer::with_options(&opts, &tfd_xml::EncodeOptions::default());
+        let mut s = tfd_xml::stream::Streamer::with_options_in(
+            &opts,
+            &tfd_xml::EncodeOptions::default(),
+            interner,
+        );
         s.set_max_record_bytes(policy.max_record_bytes);
         s
     }
@@ -396,7 +425,10 @@ impl DataFormat for XmlFormat {
         scanner.feed(chunk, &mut |off| boundary(off));
     }
 
-    fn prologue(_first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
+    fn prologue(
+        _first_record: &[u8],
+        _interner: &Interner,
+    ) -> Result<(usize, Self::Context), Self::Error> {
         Ok((0, ()))
     }
 
@@ -481,23 +513,32 @@ impl DataFormat for CsvFormat {
         InferOptions::csv()
     }
 
-    fn parse_value(text: &str) -> Result<Value, Self::Error> {
-        tfd_csv::parse_value(text)
+    fn parse_value(text: &str, interner: &Interner) -> Result<Value, Self::Error> {
+        tfd_csv::parse_value_in(
+            text,
+            &tfd_csv::CsvOptions::default(),
+            &tfd_csv::LiteralOptions::default(),
+            interner,
+        )
     }
 
-    fn parse_many_values(text: &str) -> Result<Vec<Value>, Self::Error> {
-        match tfd_csv::parse_value(text)? {
+    fn parse_many_values(text: &str, interner: &Interner) -> Result<Vec<Value>, Self::Error> {
+        match Self::parse_value(text, interner)? {
             Value::List(rows) => Ok(rows),
             other => unreachable!("the CSV front-end yields a row list, got {other}"),
         }
     }
 
-    fn streamer() -> Self::Streamer {
-        tfd_csv::stream::Streamer::new()
+    fn streamer(interner: Interner) -> Self::Streamer {
+        tfd_csv::stream::Streamer::with_options_in(
+            &tfd_csv::CsvOptions::default(),
+            &tfd_csv::LiteralOptions::default(),
+            interner,
+        )
     }
 
-    fn streamer_with(policy: &RecoveryPolicy) -> Self::Streamer {
-        let mut s = tfd_csv::stream::Streamer::new();
+    fn streamer_with(policy: &RecoveryPolicy, interner: Interner) -> Self::Streamer {
+        let mut s = Self::streamer(interner);
         s.set_max_record_bytes(policy.max_record_bytes);
         s
     }
@@ -530,8 +571,11 @@ impl DataFormat for CsvFormat {
     /// the exact streamer code the sequential path uses, so trimming and
     /// interning behave identically) and its names are seeded into every
     /// shard worker.
-    fn prologue(first_record: &[u8]) -> Result<(usize, Self::Context), Self::Error> {
-        let mut s = tfd_csv::stream::Streamer::new();
+    fn prologue(
+        first_record: &[u8],
+        interner: &Interner,
+    ) -> Result<(usize, Self::Context), Self::Error> {
+        let mut s = Self::streamer(interner.clone());
         let mut none = |_v: Value| unreachable!("the header record yields no row");
         s.feed(first_record, &mut none)?;
         s.finish(&mut none)?;
@@ -606,19 +650,25 @@ pub fn infer_slice_seq<F: DataFormat>(
     corpus: &[u8],
     options: &InferOptions,
 ) -> Result<StreamSummary, F::Error> {
-    infer_slice_seq_with::<F>(corpus, options, &RecoveryPolicy::default())
+    infer_slice_seq_with::<F>(
+        corpus,
+        options,
+        &RecoveryPolicy::default(),
+        Interner::global(),
+    )
 }
 
 /// [`infer_slice_seq`] under a policy's resource limits (fail-fast: the
 /// policy's `mode` and `max_errors` are not consulted here — Skip-mode
-/// recovery lives in [`crate::recover`]).
+/// recovery lives in [`crate::recover`]), interning into `interner`.
 pub(crate) fn infer_slice_seq_with<F: DataFormat>(
     corpus: &[u8],
     options: &InferOptions,
     policy: &RecoveryPolicy,
+    interner: &Interner,
 ) -> Result<StreamSummary, F::Error> {
     let mut acc = InferAccumulator::new(options.clone());
-    let mut s = F::streamer_with(policy);
+    let mut s = F::streamer_with(policy, interner.clone());
     F::feed(&mut s, corpus, &mut |v| acc.push(&v))?;
     F::finish(&mut s, &mut |v| acc.push(&v))?;
     let records = acc.records();
@@ -641,20 +691,27 @@ pub fn infer_reader_seq<F: DataFormat, R: Read>(
     options: &InferOptions,
     chunk_size: usize,
 ) -> Result<StreamSummary, StreamError> {
-    infer_reader_seq_with::<F, R>(reader, options, &RecoveryPolicy::default(), chunk_size)
+    infer_reader_seq_with::<F, R>(
+        reader,
+        options,
+        &RecoveryPolicy::default(),
+        chunk_size,
+        Interner::global(),
+    )
 }
 
 /// [`infer_reader_seq`] under a policy's resource limits (fail-fast; the
 /// streamer's carry-over cap bounds memory against a record that never
-/// terminates).
+/// terminates), interning into `interner`.
 pub(crate) fn infer_reader_seq_with<F: DataFormat, R: Read>(
     mut reader: R,
     options: &InferOptions,
     policy: &RecoveryPolicy,
     chunk_size: usize,
+    interner: &Interner,
 ) -> Result<StreamSummary, StreamError> {
     let mut acc = InferAccumulator::new(options.clone());
-    let mut s = F::streamer_with(policy);
+    let mut s = F::streamer_with(policy, interner.clone());
     let mut chunk = vec![0u8; chunk_size.max(1)];
     let mut bytes = 0u64;
     loop {
@@ -690,7 +747,11 @@ struct Shard {
 /// `jobs` ranges at record boundaries nearest the even split points.
 /// Fewer ranges come back when the corpus has fewer records than jobs —
 /// a shard never splits a record.
-fn plan<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<(F::Context, Vec<Shard>), F::Error> {
+fn plan<F: DataFormat>(
+    corpus: &[u8],
+    jobs: usize,
+    interner: &Interner,
+) -> Result<(F::Context, Vec<Shard>), F::Error> {
     let n = corpus.len();
     let mut scanner = F::boundaries();
     let mut first: Option<usize> = None;
@@ -707,7 +768,7 @@ fn plan<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<(F::Context, Vec<Sh
             t += 1;
         }
     });
-    let (consumed, ctx) = F::prologue(&corpus[..first.unwrap_or(n)])?;
+    let (consumed, ctx) = F::prologue(&corpus[..first.unwrap_or(n)], interner)?;
     let mut pos = TextPos::start();
     F::advance_pos(&mut pos, &corpus[..consumed]);
     let mut starts = vec![consumed];
@@ -732,9 +793,10 @@ pub(crate) fn run_shard<F: DataFormat>(
     pos: &TextPos,
     ctx: &F::Context,
     policy: &RecoveryPolicy,
+    interner: &Interner,
     sink: &mut dyn FnMut(Value),
 ) -> Result<(), F::Error> {
-    let mut s = F::streamer_with(policy);
+    let mut s = F::streamer_with(policy, interner.clone());
     F::seed(&mut s, ctx);
     F::feed(&mut s, bytes, sink)
         .and_then(|()| F::finish(&mut s, sink))
@@ -777,7 +839,29 @@ pub fn infer_slice<F: DataFormat>(
     options: &InferOptions,
     jobs: usize,
 ) -> Result<StreamSummary, F::Error> {
-    infer_slice_with::<F>(corpus, options, &RecoveryPolicy::default(), jobs)
+    infer_slice_with::<F>(
+        corpus,
+        options,
+        &RecoveryPolicy::default(),
+        jobs,
+        Interner::global(),
+    )
+}
+
+/// [`infer_slice`] interning every name into `interner` — the shard
+/// workers all share the one corpus arena, so dropping it after the
+/// fold reclaims the corpus's whole vocabulary at once.
+///
+/// # Errors
+///
+/// As [`infer_slice`].
+pub fn infer_slice_in<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<StreamSummary, F::Error> {
+    infer_slice_with::<F>(corpus, options, &RecoveryPolicy::default(), jobs, interner)
 }
 
 #[allow(clippy::expect_used)] // checked invariant, documented at each site
@@ -788,11 +872,12 @@ pub(crate) fn infer_slice_with<F: DataFormat>(
     options: &InferOptions,
     policy: &RecoveryPolicy,
     jobs: usize,
+    interner: &Interner,
 ) -> Result<StreamSummary, F::Error> {
     if jobs <= 1 {
-        return infer_slice_seq_with::<F>(corpus, options, policy);
+        return infer_slice_seq_with::<F>(corpus, options, policy, interner);
     }
-    let (ctx, shards) = plan::<F>(corpus, jobs)?;
+    let (ctx, shards) = plan::<F>(corpus, jobs, interner)?;
     let results: Vec<Result<InferAccumulator, F::Error>> = std::thread::scope(|scope| {
         let ctx = &ctx;
         let handles: Vec<_> = shards
@@ -803,7 +888,7 @@ pub(crate) fn infer_slice_with<F: DataFormat>(
                 let options = options.clone();
                 scope.spawn(move || {
                     let mut acc = InferAccumulator::new(options);
-                    run_shard::<F>(bytes, &pos, ctx, policy, &mut |v| acc.push(&v))?;
+                    run_shard::<F>(bytes, &pos, ctx, policy, interner, &mut |v| acc.push(&v))?;
                     Ok(acc)
                 })
             })
@@ -839,14 +924,15 @@ pub(crate) fn infer_slice_with<F: DataFormat>(
 ///
 /// As [`infer_slice`].
 pub fn parse_slice<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<Vec<Value>, F::Error> {
+    let interner = Interner::global();
     if jobs <= 1 {
         let mut out = Vec::new();
-        let mut s = F::streamer();
+        let mut s = F::streamer(interner.clone());
         F::feed(&mut s, corpus, &mut |v| out.push(v))?;
         F::finish(&mut s, &mut |v| out.push(v))?;
         return Ok(out);
     }
-    let (ctx, shards) = plan::<F>(corpus, jobs)?;
+    let (ctx, shards) = plan::<F>(corpus, jobs, interner)?;
     let results: Vec<Result<Vec<Value>, F::Error>> = std::thread::scope(|scope| {
         let ctx = &ctx;
         let handles: Vec<_> = shards
@@ -856,9 +942,14 @@ pub fn parse_slice<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<Vec<Valu
                 let pos = shard.pos;
                 scope.spawn(move || {
                     let mut out = Vec::new();
-                    run_shard::<F>(bytes, &pos, ctx, &RecoveryPolicy::default(), &mut |v| {
-                        out.push(v)
-                    })?;
+                    run_shard::<F>(
+                        bytes,
+                        &pos,
+                        ctx,
+                        &RecoveryPolicy::default(),
+                        interner,
+                        &mut |v| out.push(v),
+                    )?;
                     Ok(out)
                 })
             })
@@ -918,6 +1009,30 @@ pub fn infer_reader_parallel<F: DataFormat, R: Read>(
         &RecoveryPolicy::default(),
         chunk_size,
         jobs,
+        Interner::global(),
+    )
+}
+
+/// [`infer_reader_parallel`] interning every name into `interner` — the
+/// parser workers all share the one corpus arena.
+///
+/// # Errors
+///
+/// As [`infer_reader_parallel`].
+pub fn infer_reader_parallel_in<F: DataFormat, R: Read>(
+    reader: R,
+    options: &InferOptions,
+    chunk_size: usize,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<StreamSummary, StreamError> {
+    infer_reader_parallel_with::<F, R>(
+        reader,
+        options,
+        &RecoveryPolicy::default(),
+        chunk_size,
+        jobs,
+        interner,
     )
 }
 
@@ -933,9 +1048,10 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
     policy: &RecoveryPolicy,
     chunk_size: usize,
     jobs: usize,
+    interner: &Interner,
 ) -> Result<StreamSummary, StreamError> {
     if jobs <= 1 {
-        return infer_reader_seq_with::<F, R>(reader, options, policy, chunk_size);
+        return infer_reader_seq_with::<F, R>(reader, options, policy, chunk_size, interner);
     }
     let failed = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
@@ -957,7 +1073,7 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
         macro_rules! establish_ctx {
             ($first_record_end:expr) => {{
                 let (consumed, c) =
-                    F::prologue(&carry[..$first_record_end]).map_err(F::wrap_error)?;
+                    F::prologue(&carry[..$first_record_end], interner).map_err(F::wrap_error)?;
                 F::advance_pos(&mut pos, &carry[..consumed]);
                 carry.drain(..consumed);
                 for b in &mut boundaries {
@@ -984,9 +1100,14 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
                                 continue;
                             }
                             let mut acc = InferAccumulator::new(options.clone());
-                            match run_shard::<F>(&bytes, &pos, &worker_ctx, policy, &mut |v| {
-                                acc.push(&v)
-                            }) {
+                            match run_shard::<F>(
+                                &bytes,
+                                &pos,
+                                &worker_ctx,
+                                policy,
+                                interner,
+                                &mut |v| acc.push(&v),
+                            ) {
                                 Ok(()) => {
                                     let records = acc.records();
                                     folds.push((idx, acc.finish(), records));
@@ -1151,7 +1272,20 @@ pub fn infer_options_dyn(format: StreamFormat) -> InferOptions {
 ///
 /// The format's parse error, format-erased.
 pub fn parse_value_dyn(format: StreamFormat, text: &str) -> Result<Value, StreamError> {
-    with_format!(format, F => F::parse_value(text).map_err(F::wrap_error))
+    parse_value_dyn_in(format, text, Interner::global())
+}
+
+/// [`parse_value_dyn`] interning into `interner`.
+///
+/// # Errors
+///
+/// The format's parse error, format-erased.
+pub fn parse_value_dyn_in(
+    format: StreamFormat,
+    text: &str,
+    interner: &Interner,
+) -> Result<Value, StreamError> {
+    with_format!(format, F => F::parse_value(text, interner).map_err(F::wrap_error))
 }
 
 /// One-shot multi-record parse for a runtime-chosen format.
@@ -1160,7 +1294,20 @@ pub fn parse_value_dyn(format: StreamFormat, text: &str) -> Result<Value, Stream
 ///
 /// The format's parse error, format-erased.
 pub fn parse_many_values_dyn(format: StreamFormat, text: &str) -> Result<Vec<Value>, StreamError> {
-    with_format!(format, F => F::parse_many_values(text).map_err(F::wrap_error))
+    parse_many_values_dyn_in(format, text, Interner::global())
+}
+
+/// [`parse_many_values_dyn`] interning into `interner`.
+///
+/// # Errors
+///
+/// The format's parse error, format-erased.
+pub fn parse_many_values_dyn_in(
+    format: StreamFormat,
+    text: &str,
+    interner: &Interner,
+) -> Result<Vec<Value>, StreamError> {
+    with_format!(format, F => F::parse_many_values(text, interner).map_err(F::wrap_error))
 }
 
 /// Lifts the record fold's shape to the one-shot corpus shape for a
@@ -1180,7 +1327,23 @@ pub fn infer_slice_dyn(
     options: &InferOptions,
     jobs: usize,
 ) -> Result<StreamSummary, StreamError> {
-    with_format!(format, F => infer_slice::<F>(corpus, options, jobs).map_err(F::wrap_error))
+    infer_slice_dyn_in(format, corpus, options, jobs, Interner::global())
+}
+
+/// [`infer_slice_in`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`infer_slice`], format-erased.
+pub fn infer_slice_dyn_in(
+    format: StreamFormat,
+    corpus: &[u8],
+    options: &InferOptions,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<StreamSummary, StreamError> {
+    with_format!(format, F =>
+        infer_slice_in::<F>(corpus, options, jobs, interner).map_err(F::wrap_error))
 }
 
 /// [`parse_slice`] for a runtime-chosen format.
@@ -1209,7 +1372,31 @@ pub fn infer_reader_parallel_dyn<R: Read>(
     chunk_size: usize,
     jobs: usize,
 ) -> Result<StreamSummary, StreamError> {
-    with_format!(format, F => infer_reader_parallel::<F, R>(reader, options, chunk_size, jobs))
+    infer_reader_parallel_dyn_in(
+        format,
+        reader,
+        options,
+        chunk_size,
+        jobs,
+        Interner::global(),
+    )
+}
+
+/// [`infer_reader_parallel_in`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`infer_reader_parallel`].
+pub fn infer_reader_parallel_dyn_in<R: Read>(
+    format: StreamFormat,
+    reader: R,
+    options: &InferOptions,
+    chunk_size: usize,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<StreamSummary, StreamError> {
+    with_format!(format, F =>
+        infer_reader_parallel_in::<F, R>(reader, options, chunk_size, jobs, interner))
 }
 
 #[cfg(test)]

@@ -133,6 +133,20 @@ impl ShapeEnv {
         self.defs.is_empty()
     }
 
+    /// Migrates every name in the table — definition names, record and
+    /// field names, `Ref` targets — into `interner` (see
+    /// [`Shape::reintern`]).
+    pub fn reintern(&mut self, interner: &tfd_value::Interner) {
+        for (name, def) in &mut self.defs {
+            *name = name.reintern(interner);
+            def.name = def.name.reintern(interner);
+            for f in &mut def.fields {
+                f.name = f.name.reintern(interner);
+                f.shape.reintern(interner);
+            }
+        }
+    }
+
     /// Rewrites `shape` into this environment, consuming it: every
     /// record whose name is defined here is replaced by a [`Shape::Ref`]
     /// after its (recursively rewritten) body is joined into the
@@ -328,6 +342,14 @@ impl GlobalShape {
         // `saturate` then promotes any newly colliding names.
         let joined = crate::csh::csh_in(root, shape, &mut env);
         *self = crate::global::saturate(joined, env);
+    }
+
+    /// Migrates the root shape and the whole environment into
+    /// `interner` (see [`Shape::reintern`]) — how a global shape folded
+    /// in a corpus-scoped arena survives that arena's drop.
+    pub fn reintern(&mut self, interner: &tfd_value::Interner) {
+        self.root.reintern(interner);
+        self.env.reintern(interner);
     }
 
     /// The names whose definitions are (transitively) self-referential —

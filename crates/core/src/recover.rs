@@ -47,7 +47,7 @@ use crate::Shape;
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
-use tfd_value::Value;
+use tfd_value::{Interner, Value};
 
 /// Default Skip-mode error budget: after this many skipped records the
 /// run aborts with [`StreamError::TooManyErrors`] instead of silently
@@ -246,6 +246,7 @@ fn skip_record<F: DataFormat>(
     pos: &TextPos,
     ctx: &F::Context,
     policy: &RecoveryPolicy,
+    interner: &Interner,
     acc: &mut InferAccumulator,
     report: &mut ErrorReport,
 ) {
@@ -260,7 +261,7 @@ fn skip_record<F: DataFormat>(
     // contributes nothing to the fold (a delimited slice holds one
     // record, but this keeps the invariant local and obvious).
     let mut staged: Vec<Value> = Vec::new();
-    match run_shard::<F>(slice, pos, ctx, policy, &mut |v| staged.push(v)) {
+    match run_shard::<F>(slice, pos, ctx, policy, interner, &mut |v| staged.push(v)) {
         Ok(()) => {
             for v in &staged {
                 acc.push(v);
@@ -310,16 +311,31 @@ pub fn infer_slice_policy<F: DataFormat>(
     policy: &RecoveryPolicy,
     jobs: usize,
 ) -> Result<Recovered, StreamError> {
+    infer_slice_policy_in::<F>(corpus, options, policy, jobs, Interner::global())
+}
+
+/// [`infer_slice_policy`] interning every name into `interner`.
+///
+/// # Errors
+///
+/// As [`infer_slice_policy`].
+pub fn infer_slice_policy_in<F: DataFormat>(
+    corpus: &[u8],
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<Recovered, StreamError> {
     match policy.mode {
         RecoveryMode::FailFast => {
-            let summary =
-                infer_slice_with::<F>(corpus, options, policy, jobs).map_err(F::wrap_error)?;
+            let summary = infer_slice_with::<F>(corpus, options, policy, jobs, interner)
+                .map_err(F::wrap_error)?;
             Ok(Recovered {
                 summary,
                 report: ErrorReport::new(),
             })
         }
-        RecoveryMode::Skip => skip_slice::<F>(corpus, options, policy, jobs),
+        RecoveryMode::Skip => skip_slice::<F>(corpus, options, policy, jobs, interner),
     }
 }
 
@@ -330,13 +346,14 @@ fn skip_slice<F: DataFormat>(
     options: &InferOptions,
     policy: &RecoveryPolicy,
     jobs: usize,
+    interner: &Interner,
 ) -> Result<Recovered, StreamError> {
     let n = corpus.len();
     if n == 0 {
         // An empty corpus is not a skippable record: report exactly
         // what fail-fast reports (CsvError::Empty for CSV; an empty
         // summary for the self-describing formats).
-        F::prologue(&[]).map_err(F::wrap_error)?;
+        F::prologue(&[], interner).map_err(F::wrap_error)?;
         return Ok(Recovered {
             summary: StreamSummary {
                 shape: Shape::Bottom,
@@ -364,7 +381,7 @@ fn skip_slice<F: DataFormat>(
     let mut k = 0usize;
     let (ctx, data_start) = loop {
         let end = bounds.get(k).copied().unwrap_or(n);
-        match F::prologue(&corpus[start..end]) {
+        match F::prologue(&corpus[start..end], interner) {
             Ok((consumed, c)) => {
                 F::advance_pos(&mut pos, &corpus[start..start + consumed]);
                 break (Some(c), start + consumed);
@@ -435,7 +452,7 @@ fn skip_slice<F: DataFormat>(
                     let mut pos = p;
                     for &(s, e) in &recs[i..j] {
                         let slice = &corpus[s..e];
-                        skip_record::<F>(slice, &pos, ctx, policy, &mut acc, &mut rep);
+                        skip_record::<F>(slice, &pos, ctx, policy, interner, &mut acc, &mut rep);
                         if rep.total() > policy.max_errors {
                             // This shard alone exceeds the budget, so
                             // the merged run aborts no matter what the
@@ -512,16 +529,42 @@ pub fn infer_reader_policy<F: DataFormat, R: Read>(
     chunk_size: usize,
     jobs: usize,
 ) -> Result<Recovered, StreamError> {
+    infer_reader_policy_in::<F, R>(
+        reader,
+        options,
+        policy,
+        chunk_size,
+        jobs,
+        Interner::global(),
+    )
+}
+
+/// [`infer_reader_policy`] interning every name into `interner`.
+///
+/// # Errors
+///
+/// As [`infer_reader_policy`].
+pub fn infer_reader_policy_in<F: DataFormat, R: Read>(
+    reader: R,
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    chunk_size: usize,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<Recovered, StreamError> {
     match policy.mode {
         RecoveryMode::FailFast => {
-            let summary =
-                infer_reader_parallel_with::<F, R>(reader, options, policy, chunk_size, jobs)?;
+            let summary = infer_reader_parallel_with::<F, R>(
+                reader, options, policy, chunk_size, jobs, interner,
+            )?;
             Ok(Recovered {
                 summary,
                 report: ErrorReport::new(),
             })
         }
-        RecoveryMode::Skip => skip_reader::<F, R>(reader, options, policy, chunk_size, jobs),
+        RecoveryMode::Skip => {
+            skip_reader::<F, R>(reader, options, policy, chunk_size, jobs, interner)
+        }
     }
 }
 
@@ -533,6 +576,7 @@ fn skip_reader<F: DataFormat, R: Read>(
     policy: &RecoveryPolicy,
     chunk_size: usize,
     jobs: usize,
+    interner: &Interner,
 ) -> Result<Recovered, StreamError> {
     let jobs = jobs.max(1);
     // Shared skip counter: workers add their skips so the reading
@@ -597,6 +641,7 @@ fn skip_reader<F: DataFormat, R: Read>(
                                     &p,
                                     &worker_ctx,
                                     policy,
+                                    interner,
                                     &mut acc,
                                     &mut rep,
                                 );
@@ -657,7 +702,7 @@ fn skip_reader<F: DataFormat, R: Read>(
             // Prologue hunt over the complete records available so far.
             while ctx.is_none() {
                 let Some(&c0) = cuts.first() else { break };
-                match F::prologue(&carry[..c0]) {
+                match F::prologue(&carry[..c0], interner) {
                     Ok((consumed, c)) => {
                         F::advance_pos(&mut pos, &carry[..consumed]);
                         carry.drain(..consumed);
@@ -728,13 +773,13 @@ fn skip_reader<F: DataFormat, R: Read>(
             if ctx.is_none() {
                 if bytes_total == 0 {
                     // Empty input: behave exactly like fail-fast.
-                    F::prologue(&[]).map_err(F::wrap_error)?;
+                    F::prologue(&[], interner).map_err(F::wrap_error)?;
                 } else if !carry.is_empty() {
                     // A boundary-free corpus (or one whose every record
                     // already failed the hunt): the rest is the final
                     // prologue candidate.
                     let tail = std::mem::take(&mut carry);
-                    match F::prologue(&tail) {
+                    match F::prologue(&tail, interner) {
                         Ok((consumed, c)) => {
                             F::advance_pos(&mut pos, &tail[..consumed]);
                             carry = tail[consumed..].to_vec();
@@ -811,6 +856,22 @@ pub fn infer_slice_policy_dyn(
     with_format!(format, F => infer_slice_policy::<F>(corpus, options, policy, jobs))
 }
 
+/// [`infer_slice_policy_in`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`infer_slice_policy`].
+pub fn infer_slice_policy_dyn_in(
+    format: StreamFormat,
+    corpus: &[u8],
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<Recovered, StreamError> {
+    with_format!(format, F => infer_slice_policy_in::<F>(corpus, options, policy, jobs, interner))
+}
+
 /// [`infer_reader_policy`] for a runtime-chosen format.
 ///
 /// # Errors
@@ -825,6 +886,24 @@ pub fn infer_reader_policy_dyn<R: Read>(
     jobs: usize,
 ) -> Result<Recovered, StreamError> {
     with_format!(format, F => infer_reader_policy::<F, R>(reader, options, policy, chunk_size, jobs))
+}
+
+/// [`infer_reader_policy_in`] for a runtime-chosen format.
+///
+/// # Errors
+///
+/// As [`infer_reader_policy`].
+pub fn infer_reader_policy_dyn_in<R: Read>(
+    format: StreamFormat,
+    reader: R,
+    options: &InferOptions,
+    policy: &RecoveryPolicy,
+    chunk_size: usize,
+    jobs: usize,
+    interner: &Interner,
+) -> Result<Recovered, StreamError> {
+    with_format!(format, F =>
+        infer_reader_policy_in::<F, R>(reader, options, policy, chunk_size, jobs, interner))
 }
 
 #[cfg(test)]

@@ -281,6 +281,43 @@ impl Shape {
         }
     }
 
+    /// Migrates every record, field and reference name in this shape
+    /// into `interner` (see [`Name::reintern`]). A shape folded from a
+    /// corpus-scoped arena is migrated with this before the arena drops,
+    /// so the schema-sized survivor outlives the corpus-sized
+    /// vocabulary it was distilled from.
+    pub fn reintern(&mut self, interner: &tfd_value::Interner) {
+        match self {
+            Shape::Bottom
+            | Shape::Null
+            | Shape::Bool
+            | Shape::Int
+            | Shape::Float
+            | Shape::String
+            | Shape::Bit
+            | Shape::Date => {}
+            Shape::Record(r) => {
+                r.name = r.name.reintern(interner);
+                for f in &mut r.fields {
+                    f.name = f.name.reintern(interner);
+                    f.shape.reintern(interner);
+                }
+            }
+            Shape::Nullable(s) | Shape::List(s) => s.reintern(interner),
+            Shape::Top(labels) => {
+                for s in labels {
+                    s.reintern(interner);
+                }
+            }
+            Shape::HeteroList(cases) => {
+                for (s, _) in cases {
+                    s.reintern(interner);
+                }
+            }
+            Shape::Ref(name) => *name = name.reintern(interner),
+        }
+    }
+
     /// Returns `true` if the shape contains a labelled/plain top anywhere.
     /// Used by the ablation experiment that measures how often the
     /// inference has to give up on precise typing (B6).

@@ -42,7 +42,9 @@ pub mod scan;
 pub mod stream;
 
 pub use literal::{parse_date, parse_literal, Date, LiteralOptions};
-pub use parser::{parse, parse_value, parse_value_with, parse_with, CsvError, CsvOptions};
+pub use parser::{
+    parse, parse_value, parse_value_in, parse_value_with, parse_with, CsvError, CsvOptions,
+};
 pub use stream::{BoundaryScanner, Streamer};
 
 use tfd_value::{body_name, Name, Value};

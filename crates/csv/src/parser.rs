@@ -32,7 +32,7 @@ use crate::literal::{parse_literal, LiteralOptions};
 use crate::CsvFile;
 use std::borrow::Cow;
 use std::fmt;
-use tfd_value::{body_name, Name, Value};
+use tfd_value::{body_name, Interner, Name, Value};
 
 /// CSV parser configuration.
 #[derive(Debug, Clone)]
@@ -191,6 +191,23 @@ pub fn parse_value_with(
     options: &CsvOptions,
     literals: &LiteralOptions,
 ) -> Result<Value, CsvError> {
+    parse_value_in(input, options, literals, Interner::global())
+}
+
+/// [`parse_value_with`] interning column names into a caller-supplied
+/// arena — the corpus-scoped hot path. Names in the returned value
+/// borrow from `interner`'s storage; [`Value::reintern`] whatever must
+/// outlive it.
+///
+/// # Errors
+///
+/// As [`parse_value_with`].
+pub fn parse_value_in(
+    input: &str,
+    options: &CsvOptions,
+    literals: &LiteralOptions,
+    interner: &Interner,
+) -> Result<Value, CsvError> {
     let mut splitter = RecordSplitter::new(input, options.delimiter);
     let mut fields: Vec<Cow<'_, str>> = Vec::new();
     let row_name = body_name();
@@ -198,7 +215,7 @@ pub fn parse_value_with(
         if !splitter.next_record(&mut fields)? {
             return Err(CsvError::Empty);
         }
-        let headers: Vec<Name> = fields.iter().map(|h| Name::new(h.trim())).collect();
+        let headers: Vec<Name> = fields.iter().map(|h| interner.intern(h.trim())).collect();
         let mut rows = Vec::new();
         while splitter.next_record(&mut fields)? {
             rows.push(Value::record(
@@ -220,7 +237,7 @@ pub fn parse_value_with(
             raw_rows.push(fields.iter().map(|c| parse_literal(c, literals)).collect());
         }
         let headers: Vec<Name> = (1..=width)
-            .map(|i| Name::new(format!("Column{i}")))
+            .map(|i| interner.intern(format!("Column{i}")))
             .collect();
         let missing = parse_literal("", literals);
         Ok(Value::List(

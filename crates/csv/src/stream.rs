@@ -41,7 +41,7 @@
 use crate::literal::{parse_literal, LiteralOptions};
 use crate::parser::{CsvError, CsvOptions, RecordSplitter};
 use std::borrow::Cow;
-use tfd_value::{body_name, Field, Name, Value};
+use tfd_value::{body_name, Field, Interner, Name, Value};
 
 /// Scanner state between two consumed bytes. Every variant is resumable:
 /// a chunk may end (and the next begin) in any of them. The `u8` on
@@ -309,6 +309,9 @@ pub struct Streamer {
     headers: Option<Vec<Name>>,
     /// Cache of `Column1..ColumnN` names for headerless mode.
     columns: Vec<Name>,
+    /// Arena column names intern into (a shared handle — cloning an
+    /// [`Interner`] shares the arena).
+    interner: Interner,
     row_name: Name,
     mode: CMode,
     delim: [u8; 4],
@@ -339,6 +342,18 @@ impl Streamer {
 
     /// A streamer with explicit CSV and literal-inference options.
     pub fn with_options(options: &CsvOptions, literals: &LiteralOptions) -> Streamer {
+        Streamer::with_options_in(options, literals, Interner::global().clone())
+    }
+
+    /// A streamer interning column names into a caller-supplied arena —
+    /// the corpus-scoped streaming path. The handle is cloned per
+    /// streamer; all clones share one arena, so parallel shard workers
+    /// can stream into a single corpus arena.
+    pub fn with_options_in(
+        options: &CsvOptions,
+        literals: &LiteralOptions,
+        interner: Interner,
+    ) -> Streamer {
         let mut delim = [0u8; 4];
         let dlen = options.delimiter.encode_utf8(&mut delim).len() as u8;
         Streamer {
@@ -348,6 +363,7 @@ impl Streamer {
             literals: literals.clone(),
             headers: None,
             columns: Vec::new(),
+            interner,
             row_name: body_name(),
             mode: CMode::Between,
             delim,
@@ -656,8 +672,9 @@ impl Streamer {
                 Some(sp.pos())
             }
             None if self.has_header => {
+                let interner = &self.interner;
                 let mut names: Vec<Name> = Vec::new();
-                let ok = sp.next_record_each(|cell| names.push(Name::new(cell.trim())));
+                let ok = sp.next_record_each(|cell| names.push(interner.intern(cell.trim())));
                 if !matches!(ok, Ok(true)) || sp.pos() >= rest.len() {
                     return None;
                 }
@@ -666,10 +683,11 @@ impl Streamer {
             }
             None => {
                 let columns = &mut self.columns;
+                let interner = &self.interner;
                 let mut fields: Vec<Field> = Vec::new();
                 let mut idx = 0usize;
                 let ok = sp.next_record_each(|cell| {
-                    let name = column(columns, idx);
+                    let name = column(columns, idx, interner);
                     fields.push(Field {
                         name,
                         value: parse_literal(&cell, lits),
@@ -749,7 +767,12 @@ impl Streamer {
         }
         if self.has_header && self.headers.is_none() {
             // Header names are trimmed, matching the one-shot path.
-            self.headers = Some(fields.iter().map(|h| Name::new(h.trim())).collect());
+            self.headers = Some(
+                fields
+                    .iter()
+                    .map(|h| self.interner.intern(h.trim()))
+                    .collect(),
+            );
             return Ok(());
         }
         let row = match &self.headers {
@@ -764,7 +787,7 @@ impl Streamer {
                 // Headerless: name this row's columns by its own width
                 // (see the module docs for the padding divergence note).
                 if !fields.is_empty() {
-                    column(&mut self.columns, fields.len() - 1);
+                    column(&mut self.columns, fields.len() - 1, &self.interner);
                 }
                 Value::record(
                     self.row_name,
@@ -804,11 +827,11 @@ impl Streamer {
 /// once-per-corpus cache on demand. Every row of a headerless stream
 /// shares the same `Name` symbols — both the speculative and the
 /// resumable path draw from this one table, so shape agreement with the
-/// one-shot front-end is structural, not an accident of the global
-/// interner deduplicating per-row spellings.
-fn column(columns: &mut Vec<Name>, idx: usize) -> Name {
+/// one-shot front-end is structural, not an accident of the arena
+/// deduplicating per-row spellings.
+fn column(columns: &mut Vec<Name>, idx: usize, interner: &Interner) -> Name {
     while columns.len() <= idx {
-        columns.push(Name::new(format!("Column{}", columns.len() + 1)));
+        columns.push(interner.intern(format!("Column{}", columns.len() + 1)));
     }
     columns[idx]
 }

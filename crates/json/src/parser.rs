@@ -26,7 +26,7 @@ use crate::lexer::{LexErrorKind, Pos};
 use crate::Json;
 use std::borrow::Cow;
 use std::fmt;
-use tfd_value::{body_name, Field, Name, Value};
+use tfd_value::{body_name, Field, Interner, Name, Value};
 
 /// What went wrong while parsing.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,13 +119,15 @@ impl Default for ParserOptions {
 
 /// Parses a complete JSON document.
 ///
-/// Object keys are interned into the process-global [`Name`] table,
-/// which only grows (see `tfd_value::intern`). That is the right trade
-/// for schema-shaped data — keys repeat across rows — but a long-running
-/// process parsing documents whose keys are themselves *data* (objects
-/// used as maps with unbounded key vocabularies) will grow the interner
-/// for each distinct key. See ROADMAP for the planned per-corpus arena
-/// mode.
+/// Object keys are interned into the process-default [`Name`] arena,
+/// which lives for the process lifetime. That is the right trade for
+/// one-shot runs over schema-shaped data — keys repeat across rows —
+/// but a long-running process parsing corpora whose keys are themselves
+/// *data* (objects used as maps with unbounded key vocabularies) should
+/// use the `_in` entry points ([`parse_value_in`],
+/// [`parse_many_values_in`]) with a scoped
+/// [`Interner`](tfd_value::Interner) that is dropped — reclaiming the
+/// vocabulary — when the corpus is done.
 ///
 /// # Errors
 ///
@@ -148,7 +150,7 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 /// As [`parse`], plus [`ParseErrorKind::TooDeep`] when nesting exceeds
 /// `options.max_depth`.
 pub fn parse_with(input: &str, options: &ParserOptions) -> Result<Json, ParseError> {
-    let mut p = Parser::new(input, options.max_depth);
+    let mut p = Parser::new(input, options.max_depth, Interner::global());
     p.skip_ws();
     let doc = p.parse_value(&mut JsonSink, 0)?;
     p.expect_eof()?;
@@ -179,7 +181,30 @@ pub fn parse_value(input: &str) -> Result<Value, ParseError> {
 /// As [`parse_value`], plus [`ParseErrorKind::TooDeep`] when nesting
 /// exceeds `options.max_depth`.
 pub fn parse_value_with(input: &str, options: &ParserOptions) -> Result<Value, ParseError> {
-    let mut p = Parser::new(input, options.max_depth);
+    parse_value_in(input, options, Interner::global())
+}
+
+/// [`parse_value_with`] interning object keys into a caller-supplied
+/// arena — the corpus-scoped hot path. Names in the returned value
+/// borrow from `interner`'s storage; [`Value::reintern`] whatever must
+/// outlive it.
+///
+/// # Errors
+///
+/// As [`parse_value_with`].
+///
+/// ```
+/// let corpus = tfd_value::Interner::new();
+/// let v = tfd_json::parse_value_in(r#"{ "a": 1 }"#, &Default::default(), &corpus)?;
+/// assert_eq!(v.field("a"), Some(&tfd_value::Value::Int(1)));
+/// # Ok::<(), tfd_json::ParseError>(())
+/// ```
+pub fn parse_value_in(
+    input: &str,
+    options: &ParserOptions,
+    interner: &Interner,
+) -> Result<Value, ParseError> {
+    let mut p = Parser::new(input, options.max_depth, interner);
     p.skip_ws();
     let doc = p.parse_value(&mut ValueSink { body: body_name() }, 0)?;
     p.expect_eof()?;
@@ -199,7 +224,11 @@ pub fn parse_value_with(input: &str, options: &ParserOptions) -> Result<Value, P
 /// # Ok::<(), tfd_json::ParseError>(())
 /// ```
 pub fn parse_many(input: &str) -> Result<Vec<Json>, ParseError> {
-    let mut p = Parser::new(input, ParserOptions::default().max_depth);
+    let mut p = Parser::new(
+        input,
+        ParserOptions::default().max_depth,
+        Interner::global(),
+    );
     let mut docs = Vec::new();
     p.skip_ws();
     while !p.at_eof() {
@@ -237,7 +266,21 @@ pub fn parse_many_values_with(
     input: &str,
     options: &ParserOptions,
 ) -> Result<Vec<Value>, ParseError> {
-    let mut p = Parser::new(input, options.max_depth);
+    parse_many_values_in(input, options, Interner::global())
+}
+
+/// [`parse_many_values_with`] interning object keys into a
+/// caller-supplied arena (see [`parse_value_in`]).
+///
+/// # Errors
+///
+/// As [`parse_many_values_with`].
+pub fn parse_many_values_in(
+    input: &str,
+    options: &ParserOptions,
+    interner: &Interner,
+) -> Result<Vec<Value>, ParseError> {
+    let mut p = Parser::new(input, options.max_depth, interner);
     let mut sink = ValueSink { body: body_name() };
     let mut docs = Vec::new();
     p.skip_ws();
@@ -255,8 +298,9 @@ pub(crate) fn parse_value_record(
     input: &str,
     max_depth: usize,
     sink: &mut ValueSink,
+    interner: &Interner,
 ) -> Result<Value, ParseError> {
-    let mut p = Parser::new(input, max_depth);
+    let mut p = Parser::new(input, max_depth, interner);
     p.skip_ws();
     let doc = p.parse_value(sink, 0)?;
     p.expect_eof()?;
@@ -273,8 +317,9 @@ pub(crate) fn parse_one_value(
     input: &str,
     max_depth: usize,
     sink: &mut ValueSink,
+    interner: &Interner,
 ) -> Result<(Value, usize), ParseError> {
-    let mut p = Parser::new(input, max_depth);
+    let mut p = Parser::new(input, max_depth, interner);
     let doc = p.parse_value(sink, 0)?;
     Ok((doc, p.pos))
 }
@@ -385,10 +430,13 @@ struct Parser<'a> {
     /// from it, in characters, only when an error is raised).
     line_start: usize,
     max_depth: usize,
+    /// Arena object keys intern into (the process-default arena for the
+    /// legacy entry points, a corpus arena for the `_in` variants).
+    interner: &'a Interner,
 }
 
 impl<'a> Parser<'a> {
-    fn new(input: &'a str, max_depth: usize) -> Parser<'a> {
+    fn new(input: &'a str, max_depth: usize, interner: &'a Interner) -> Parser<'a> {
         Parser {
             input,
             bytes: input.as_bytes(),
@@ -396,6 +444,7 @@ impl<'a> Parser<'a> {
             line: 1,
             line_start: 0,
             max_depth,
+            interner,
         }
     }
 
@@ -557,7 +606,7 @@ impl<'a> Parser<'a> {
             }
             // Keys intern straight from the (usually borrowed) slice:
             // no String materializes for escape-free keys.
-            let key = Name::new(self.parse_string()?);
+            let key = self.interner.intern(self.parse_string()?);
             self.skip_ws();
             if self.bytes.get(self.pos) != Some(&b':') {
                 return self.unexpected("':'");

@@ -33,7 +33,7 @@ use crate::lexer::Pos;
 use crate::parser::{
     parse_one_value, parse_value_record, ParseError, ParseErrorKind, ParserOptions, ValueSink,
 };
-use tfd_value::{body_name, Value};
+use tfd_value::{body_name, Interner, Value};
 
 /// Scanner state between two consumed bytes. Every variant is resumable:
 /// a chunk may end (and the next begin) in any of them.
@@ -452,6 +452,9 @@ pub struct Streamer {
     max_record_bytes: usize,
     /// Reused across records: one sink, one cached `•` name.
     vsink: ValueSink,
+    /// Arena record keys intern into (a shared handle — cloning an
+    /// [`Interner`] shares the arena).
+    interner: Interner,
     /// The resumable boundary state machine (shared with
     /// [`BoundaryScanner`]).
     scan: Scan,
@@ -486,10 +489,19 @@ impl Streamer {
     /// A streamer with explicit [`ParserOptions`] (applied to every
     /// record).
     pub fn with_options(options: ParserOptions) -> Streamer {
+        Streamer::with_options_in(options, Interner::global().clone())
+    }
+
+    /// A streamer interning record keys into a caller-supplied arena —
+    /// the corpus-scoped streaming path. The handle is cloned per
+    /// streamer; all clones share one arena, so parallel shard workers
+    /// can stream into a single corpus arena.
+    pub fn with_options_in(options: ParserOptions, interner: Interner) -> Streamer {
         Streamer {
             max_depth: options.max_depth,
             max_record_bytes: DEFAULT_MAX_RECORD_BYTES,
             vsink: ValueSink { body: body_name() },
+            interner,
             scan: Scan::new(),
             buf: Vec::new(),
             offset: 0,
@@ -600,9 +612,12 @@ impl Streamer {
                         // resumable scanner re-derives them from the
                         // exact record slice.
                         if matches!(b, b'{' | b'[' | b'"') && i < text.len() {
-                            if let Ok((v, consumed)) =
-                                parse_one_value(&text[i..], self.max_depth, &mut self.vsink)
-                            {
+                            if let Ok((v, consumed)) = parse_one_value(
+                                &text[i..],
+                                self.max_depth,
+                                &mut self.vsink,
+                                &self.interner,
+                            ) {
                                 if consumed > self.max_record_bytes {
                                     return Err(self.too_large());
                                 }
@@ -686,9 +701,11 @@ impl Streamer {
             kind: ParseErrorKind::InvalidUtf8,
             pos: self.compose(local_pos(&bytes[..e.valid_up_to()])),
         })?;
-        parse_value_record(text, self.max_depth, &mut self.vsink).map_err(|e| ParseError {
-            kind: e.kind,
-            pos: self.compose(e.pos),
+        parse_value_record(text, self.max_depth, &mut self.vsink, &self.interner).map_err(|e| {
+            ParseError {
+                kind: e.kind,
+                pos: self.compose(e.pos),
+            }
         })
     }
 

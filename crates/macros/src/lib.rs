@@ -44,7 +44,7 @@
 use proc_macro::{TokenStream, TokenTree};
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
 use tfd_core::{engine, globalize_env, infer_many, GlobalShape, InferOptions, StreamFormat};
-use tfd_value::Value;
+use tfd_value::{Interner, Value};
 
 /// Which provider front-end a macro invocation uses. The three engine
 /// formats route through `tfd_core::engine`; HTML is the footnote-10
@@ -128,11 +128,15 @@ fn try_expand(input: TokenStream, format: Format) -> Result<TokenStream, String>
     }
 
     // Parse every sample through the engine's format-generic front-end
-    // dispatch (HTML stays special: it needs the table index).
+    // dispatch (HTML stays special: it needs the table index). The
+    // samples' vocabulary interns into a scoped arena that dies with
+    // this expansion, so large samples don't grow the compiler process
+    // for the rest of the build.
+    let interner = Interner::new();
     let mut values: Vec<Value> = Vec::new();
     for (i, text) in request.samples.iter().enumerate() {
         let value = match format.engine_format() {
-            Some(sformat) => engine::parse_value_dyn(sformat, text)
+            Some(sformat) => engine::parse_value_dyn_in(sformat, text, &interner)
                 .map_err(|e| format!("sample {}: invalid {}: {e}", i + 1, sformat_name(sformat)))?,
             None => {
                 let tables = tfd_html::parse_tables(text);

@@ -43,7 +43,7 @@
 //! assert!(doc.is_record());
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -56,7 +56,7 @@ mod print;
 pub mod scan;
 
 pub use builder::{arr, json_rec, rec};
-pub use intern::Name;
+pub use intern::{InternStats, Interner, Name};
 pub use path::{Path, PathSegment};
 
 use std::borrow::Cow;
@@ -165,6 +165,28 @@ impl Value {
         Value::Record {
             name: name.into(),
             fields: fields.into_iter().map(|(n, v)| Field::new(n, v)).collect(),
+        }
+    }
+
+    /// Migrates every record and field name in this value into
+    /// `interner` (see [`Name::reintern`]). Values that must outlive the
+    /// corpus arena they were parsed in are migrated with this before
+    /// the arena drops; string *values* are owned and unaffected.
+    pub fn reintern(&mut self, interner: &Interner) {
+        match self {
+            Value::Int(_) | Value::Float(_) | Value::Str(_) | Value::Bool(_) | Value::Null => {}
+            Value::List(items) => {
+                for item in items {
+                    item.reintern(interner);
+                }
+            }
+            Value::Record { name, fields } => {
+                *name = name.reintern(interner);
+                for field in fields {
+                    field.name = field.name.reintern(interner);
+                    field.value.reintern(interner);
+                }
+            }
         }
     }
 

@@ -106,6 +106,17 @@ impl Path {
         p.push_index(index);
         p
     }
+
+    /// Migrates every field name in this path into `interner` (see
+    /// [`Name::reintern`]) so the path can outlive the corpus arena it
+    /// was built against.
+    pub fn reintern(&mut self, interner: &crate::Interner) {
+        for seg in &mut self.segments {
+            if let PathSegment::Field(name) = seg {
+                *name = name.reintern(interner);
+            }
+        }
+    }
 }
 
 impl FromIterator<PathSegment> for Path {

@@ -31,7 +31,7 @@ use crate::{Attribute, Element, XmlNode};
 use std::borrow::Cow;
 use std::fmt;
 use tfd_csv::literal::parse_literal;
-use tfd_value::{body_name, Name, Value};
+use tfd_value::{body_name, Interner, Name, Value};
 
 /// Parser configuration.
 #[derive(Debug, Clone)]
@@ -220,7 +220,24 @@ pub fn parse_value_with(
     options: &XmlOptions,
     encode: &EncodeOptions,
 ) -> Result<Value, XmlError> {
-    let mut p = XmlParser::new(input, options.clone());
+    parse_value_in(input, options, encode, Interner::global())
+}
+
+/// [`parse_value_with`] interning element and attribute names into a
+/// caller-supplied arena — the corpus-scoped hot path. Names in the
+/// returned value borrow from `interner`'s storage;
+/// [`Value::reintern`] whatever must outlive it.
+///
+/// # Errors
+///
+/// As [`parse_value_with`].
+pub fn parse_value_in(
+    input: &str,
+    options: &XmlOptions,
+    encode: &EncodeOptions,
+    interner: &Interner,
+) -> Result<Value, XmlError> {
+    let mut p = XmlParser::new_in(input, options.clone(), interner);
     p.skip_prolog()?;
     let mut sink = ValueSink {
         options: encode.clone(),
@@ -264,7 +281,22 @@ pub fn parse_many_values_with(
     options: &XmlOptions,
     encode: &EncodeOptions,
 ) -> Result<Vec<Value>, XmlError> {
-    let mut p = XmlParser::new(input, options.clone());
+    parse_many_values_in(input, options, encode, Interner::global())
+}
+
+/// [`parse_many_values_with`] interning element and attribute names into
+/// a caller-supplied arena (see [`parse_value_in`]).
+///
+/// # Errors
+///
+/// As [`parse_many_values_with`].
+pub fn parse_many_values_in(
+    input: &str,
+    options: &XmlOptions,
+    encode: &EncodeOptions,
+    interner: &Interner,
+) -> Result<Vec<Value>, XmlError> {
+    let mut p = XmlParser::new_in(input, options.clone(), interner);
     let mut sink = ValueSink {
         options: encode.clone(),
         body: body_name(),
@@ -284,8 +316,9 @@ pub(crate) fn parse_value_record(
     input: &str,
     options: &XmlOptions,
     sink: &mut ValueSink,
+    interner: &Interner,
 ) -> Result<Value, XmlError> {
-    let mut p = XmlParser::new(input, options.clone());
+    let mut p = XmlParser::new_in(input, options.clone(), interner);
     p.skip_prolog()?;
     let root = p.parse_element(sink, 0)?;
     p.skip_misc()?;
@@ -306,8 +339,9 @@ pub(crate) fn parse_one_document(
     input: &str,
     options: &XmlOptions,
     sink: &mut ValueSink,
+    interner: &Interner,
 ) -> Result<(Value, usize), XmlError> {
-    let mut p = XmlParser::new(input, options.clone());
+    let mut p = XmlParser::new_in(input, options.clone(), interner);
     if !p.skip_prolog_opt()? {
         // Misc-only input is ambiguous from a chunk front (a comment may
         // continue in the next chunk): never definitive.
@@ -438,10 +472,18 @@ struct XmlParser<'a> {
     /// from it (in characters) only when an error is raised.
     line_start: usize,
     options: XmlOptions,
+    /// Arena element/attribute names intern into (the process-default
+    /// arena for the legacy entry points, a corpus arena for the `_in`
+    /// variants).
+    interner: &'a Interner,
 }
 
 impl<'a> XmlParser<'a> {
     fn new(input: &'a str, options: XmlOptions) -> Self {
+        XmlParser::new_in(input, options, Interner::global())
+    }
+
+    fn new_in(input: &'a str, options: XmlOptions, interner: &'a Interner) -> Self {
         XmlParser {
             input,
             bytes: input.as_bytes(),
@@ -449,6 +491,7 @@ impl<'a> XmlParser<'a> {
             line: 1,
             line_start: 0,
             options,
+            interner,
         }
     }
 
@@ -695,7 +738,7 @@ impl<'a> XmlParser<'a> {
                 None => break,
             }
         }
-        Ok(Name::new(&self.input[start..self.pos]))
+        Ok(self.interner.intern(&self.input[start..self.pos]))
     }
 
     #[allow(clippy::expect_used)] // checked invariant, documented at each site

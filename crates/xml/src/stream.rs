@@ -37,7 +37,7 @@ use crate::parser::{
     parse_many_values_with, parse_one_document, parse_value_record, ValueSink, XmlError,
     XmlErrorKind, XmlOptions,
 };
-use tfd_value::{body_name, Value};
+use tfd_value::{body_name, Interner, Value};
 
 /// Scanner state between two consumed bytes. Every variant is
 /// resumable: a chunk may end (and the next begin) in any of them.
@@ -463,6 +463,9 @@ pub struct Streamer {
     /// Reused across records: one sink, one `EncodeOptions`, one cached
     /// `•` name — no per-record clones.
     vsink: ValueSink,
+    /// Arena element/attribute names intern into (a shared handle —
+    /// cloning an [`Interner`] shares the arena).
+    interner: Interner,
     /// The resumable boundary state machine (shared with
     /// [`BoundaryScanner`]).
     scan: Scan,
@@ -495,6 +498,18 @@ impl Streamer {
     /// A streamer with explicit parser and encoding options (applied to
     /// every record).
     pub fn with_options(options: &XmlOptions, encode: &EncodeOptions) -> Streamer {
+        Streamer::with_options_in(options, encode, Interner::global().clone())
+    }
+
+    /// A streamer interning element and attribute names into a
+    /// caller-supplied arena — the corpus-scoped streaming path. The
+    /// handle is cloned per streamer; all clones share one arena, so
+    /// parallel shard workers can stream into a single corpus arena.
+    pub fn with_options_in(
+        options: &XmlOptions,
+        encode: &EncodeOptions,
+        interner: Interner,
+    ) -> Streamer {
         Streamer {
             options: options.clone(),
             max_record_bytes: DEFAULT_MAX_RECORD_BYTES,
@@ -502,6 +517,7 @@ impl Streamer {
                 options: encode.clone(),
                 body: body_name(),
             },
+            interner,
             scan: Scan::new(),
             buf: Vec::new(),
             line: 1,
@@ -612,9 +628,12 @@ impl Streamer {
                         // scanner re-derives them from the exact record
                         // slice.
                         if b == b'<' && i < text.len() {
-                            if let Ok((v, consumed)) =
-                                parse_one_document(&text[i..], &self.options, &mut self.vsink)
-                            {
+                            if let Ok((v, consumed)) = parse_one_document(
+                                &text[i..],
+                                &self.options,
+                                &mut self.vsink,
+                                &self.interner,
+                            ) {
                                 if consumed > self.max_record_bytes {
                                     return Err(self.too_large());
                                 }
@@ -690,7 +709,8 @@ impl Streamer {
             Ok(t) => t,
             Err(e) => return Err(self.utf8_error(bytes, e.valid_up_to())),
         };
-        parse_value_record(text, &self.options, &mut self.vsink).map_err(|e| self.compose(e))
+        parse_value_record(text, &self.options, &mut self.vsink, &self.interner)
+            .map_err(|e| self.compose(e))
     }
 
     /// Parses a pending tail at end of input with the one-shot

@@ -1,0 +1,261 @@
+//! Adversarial-vocabulary regression suite for the scoped name arenas.
+//!
+//! The PR-8 interner redesign promises that a corpus's name vocabulary
+//! lives in a per-corpus arena and is *reclaimed* when that arena
+//! drops, instead of accumulating in a process-global table for the
+//! life of the process. This suite drives a corpus with 100 000
+//! distinct object keys through every engine driver — one-shot,
+//! streaming, sharded `--jobs`, and the parallel reader — and asserts:
+//!
+//! - peak retained interner bytes stay bounded by one corpus's
+//!   vocabulary (a fixed budget, not proportional to run count);
+//! - dropping the corpus arena returns the process-wide figures to
+//!   their pre-corpus baseline;
+//! - k sequential corpora cost one corpus's arena, not k of them;
+//! - the inferred shape, its rendering and its `analyze` fingerprint
+//!   are byte-identical whether names intern into a scoped arena or
+//!   the process-default one.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use tfd_core::analyze::fingerprint;
+use tfd_core::engine::{infer_reader_parallel_in, infer_slice_in, JsonFormat};
+use tfd_core::{infer_many, GlobalShape, InferOptions, Shape};
+use tfd_value::{intern, Interner};
+
+/// Distinct object keys in the adversarial corpus.
+const KEYS: usize = 100_000;
+/// Keys per record: 100 records of 1000 fresh keys each keeps the
+/// record-shape joins linear-ish while still crossing [`KEYS`].
+const KEYS_PER_RECORD: usize = 1_000;
+/// Retained-bytes budget for one corpus's arena: vocabulary spellings
+/// plus table/ownership overhead, with headroom for allocator rounding.
+/// What matters is that it is a *constant*: k runs must not need k of
+/// these.
+const ARENA_BUDGET: usize = 24 << 20;
+
+/// Process-wide interner figures are shared state; the assertions in
+/// this suite only hold while no sibling test is interning.
+fn stats_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Triggers the process-global interning a driver run performs as a
+/// side effect (lazy presets, `body_name`, the format witnesses' fixed
+/// labels) with a tiny corpus, so the baselines below only move if a
+/// *corpus* name leaks out of its scoped arena.
+fn warmup_globals() {
+    let warmup = Interner::new();
+    let one = br#"{"warm": 1}"#;
+    let _ = infer_slice_in::<JsonFormat>(one, &InferOptions::json(), 2, &warmup);
+    let _ = infer_reader_parallel_in::<JsonFormat, _>(
+        &one[..],
+        &InferOptions::json(),
+        4096,
+        2,
+        &warmup,
+    );
+    let _ = tfd_json::parse_many_values_in(
+        "{\"warm\": 1}",
+        &tfd_json::ParserOptions::default(),
+        &warmup,
+    );
+}
+
+/// 100 JSONL records × 1000 distinct keys: 100 000+ distinct names, no
+/// key ever repeated across records. Each record nests its fresh keys
+/// under a per-record group key, so the interner takes the full
+/// adversarial vocabulary while the shape fold's record joins stay
+/// cheap (disjoint top-level fields never merge nested records).
+fn corpus() -> &'static str {
+    static CORPUS: OnceLock<String> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut out = String::new();
+        for r in 0..(KEYS / KEYS_PER_RECORD) {
+            out.push_str(&format!("{{\"g{r}\": {{"));
+            for c in 0..KEYS_PER_RECORD {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"k{r}_{c}\": {c}"));
+            }
+            out.push_str("}}\n");
+        }
+        out
+    })
+}
+
+/// The raw vocabulary: the summed spelling lengths of every distinct
+/// key. The honest per-arena estimate can never be below this.
+fn vocabulary_bytes() -> usize {
+    (0..(KEYS / KEYS_PER_RECORD))
+        .flat_map(|r| {
+            std::iter::once(format!("g{r}").len())
+                .chain((0..KEYS_PER_RECORD).map(move |c| format!("k{r}_{c}").len()))
+        })
+        .sum()
+}
+
+/// Runs `drive` against a fresh corpus arena and asserts the peak /
+/// reclaim contract around it. Returns the shape rendering so callers
+/// can compare drivers against each other.
+fn assert_bounded<Drive>(label: &str, drive: Drive) -> String
+where
+    Drive: Fn(&Interner) -> (Shape, usize),
+{
+    let _guard = stats_lock();
+    warmup_globals();
+    let baseline = intern::stats();
+
+    let arena = Interner::new();
+    let (shape, records) = drive(&arena);
+    assert_eq!(records, KEYS / KEYS_PER_RECORD, "{label}: record count");
+    let peak = arena.stats();
+    assert!(
+        peak.symbols >= KEYS,
+        "{label}: expected >= {KEYS} distinct names in the corpus arena, got {}",
+        peak.symbols
+    );
+    assert!(
+        peak.retained_bytes >= vocabulary_bytes(),
+        "{label}: honest estimate {} can't be below the raw vocabulary {}",
+        peak.retained_bytes,
+        vocabulary_bytes()
+    );
+    assert!(
+        peak.retained_bytes <= ARENA_BUDGET,
+        "{label}: corpus arena retains {} bytes, over the {} budget",
+        peak.retained_bytes,
+        ARENA_BUDGET
+    );
+    let rendered = format!("{shape}");
+    drop(shape);
+    drop(arena);
+
+    let after = intern::stats();
+    assert_eq!(
+        after.symbols, baseline.symbols,
+        "{label}: corpus names outlived their arena"
+    );
+    assert_eq!(
+        after.retained_bytes, baseline.retained_bytes,
+        "{label}: retained bytes did not return to baseline after the arena dropped"
+    );
+    assert_eq!(after.arenas, baseline.arenas, "{label}: arena leaked");
+    rendered
+}
+
+#[test]
+fn one_shot_driver_bounds_peak_interner_bytes() {
+    assert_bounded("one-shot", |interner| {
+        let values =
+            tfd_json::parse_many_values_in(corpus(), &tfd_json::ParserOptions::default(), interner)
+                .expect("adversarial corpus parses");
+        let shape = infer_many(&values, &InferOptions::json());
+        let records = values.len();
+        (shape, records)
+    });
+}
+
+#[test]
+fn streaming_driver_bounds_peak_interner_bytes() {
+    assert_bounded("streaming", |interner| {
+        let summary = infer_reader_parallel_in::<JsonFormat, _>(
+            corpus().as_bytes(),
+            &InferOptions::json(),
+            4096,
+            1,
+            interner,
+        )
+        .expect("adversarial corpus streams");
+        (summary.shape, summary.records)
+    });
+}
+
+#[test]
+fn sharded_driver_bounds_peak_interner_bytes() {
+    assert_bounded("sharded", |interner| {
+        let summary =
+            infer_slice_in::<JsonFormat>(corpus().as_bytes(), &InferOptions::json(), 4, interner)
+                .expect("adversarial corpus shards");
+        (summary.shape, summary.records)
+    });
+}
+
+#[test]
+fn reader_driver_bounds_peak_interner_bytes() {
+    assert_bounded("reader", |interner| {
+        let summary = infer_reader_parallel_in::<JsonFormat, _>(
+            corpus().as_bytes(),
+            &InferOptions::json(),
+            4096,
+            4,
+            interner,
+        )
+        .expect("adversarial corpus reads");
+        (summary.shape, summary.records)
+    });
+}
+
+#[test]
+fn sequential_corpora_cost_one_arena_not_k() {
+    let _guard = stats_lock();
+    let options = InferOptions::json();
+    warmup_globals();
+    let baseline = intern::stats();
+    let mut peaks = Vec::new();
+    for _ in 0..3 {
+        let arena = Interner::new();
+        let summary = infer_slice_in::<JsonFormat>(corpus().as_bytes(), &options, 2, &arena)
+            .expect("adversarial corpus shards");
+        peaks.push(arena.stats().retained_bytes);
+        drop(summary);
+        drop(arena);
+        let between = intern::stats();
+        // After *every* corpus the process is back to baseline: total
+        // footprint over k corpora is one arena at a time, never k.
+        assert_eq!(between.retained_bytes, baseline.retained_bytes);
+        assert_eq!(between.arenas, baseline.arenas);
+    }
+    assert!(
+        peaks.iter().all(|&p| p == peaks[0]),
+        "peaks vary: {peaks:?}"
+    );
+}
+
+#[test]
+fn drivers_agree_and_match_the_global_arena_byte_for_byte() {
+    let options = InferOptions::json();
+    let arena = Interner::new();
+    let scoped =
+        infer_slice_in::<JsonFormat>(corpus().as_bytes(), &options, 4, &arena).expect("scoped run");
+    let global = tfd_core::engine::infer_slice::<JsonFormat>(corpus().as_bytes(), &options, 4)
+        .expect("global run");
+    assert_eq!(scoped.records, global.records);
+    // Cross-arena Name equality is content equality, so the shapes
+    // compare equal and render identically.
+    assert_eq!(scoped.shape, global.shape);
+    assert_eq!(format!("{}", scoped.shape), format!("{}", global.shape));
+}
+
+#[test]
+fn fingerprint_is_arena_stable() {
+    let corpus = br#"{"user": {"name": "jan", "tags": ["a"]}, "id": 7}
+{"user": {"name": "eva", "tags": []}, "id": 9}
+"#;
+    let options = InferOptions::json();
+    let arena_a = Interner::new();
+    let arena_b = Interner::new();
+    let a = infer_slice_in::<JsonFormat>(corpus, &options, 1, &arena_a).expect("arena A");
+    let b = infer_slice_in::<JsonFormat>(corpus, &options, 3, &arena_b).expect("arena B");
+    let g = tfd_core::engine::infer_slice::<JsonFormat>(corpus, &options, 1).expect("global");
+    let fp = |s: Shape| fingerprint(&GlobalShape::plain(s));
+    let (fa, fb, fg) = (fp(a.shape), fp(b.shape), fp(g.shape));
+    assert_eq!(fa, fb, "fingerprint differs between two scoped arenas");
+    assert_eq!(
+        fa, fg,
+        "fingerprint differs between scoped and global arenas"
+    );
+}

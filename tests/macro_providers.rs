@@ -163,3 +163,32 @@ fn html_provider_parse_types_other_pages() {
     // And a page without tables errors cleanly:
     assert!(cities::parse("<p>no tables</p>").is_err());
 }
+
+#[test]
+fn parse_in_scopes_document_vocabulary_to_the_callers_arena() {
+    // A batch of documents parsed through the generated `parse_in` interns
+    // into the caller's arena, not the process-wide table — so the whole
+    // batch's vocabulary is reclaimed when the arena drops.
+    let arena = types_from_data::value::Interner::new();
+    let doc = r#"{ "sensor": "t1", "value": 3, "zz_scoped_only_key": true }"#;
+    let rows = multi::parse_in(doc, &arena).unwrap();
+    assert_eq!(rows.sensor().unwrap(), "t1");
+    assert_eq!(rows.value().unwrap(), Some(3));
+
+    let cfg = config::parse_in(
+        r#"<config version="9"><timeout>1</timeout><verbose>false</verbose></config>"#,
+        &arena,
+    )
+    .unwrap();
+    assert_eq!(cfg.version().unwrap(), 9);
+
+    let r = readings::parse_in("when,level,ok\n2022-02-02,1.5,1\n", &arena).unwrap();
+    assert_eq!(r.len(), 1);
+
+    // The field only this document mentions lives in the scoped arena and
+    // never reached the global one.
+    assert!(arena.lookup("zz_scoped_only_key").is_some());
+    assert!(types_from_data::value::Interner::global()
+        .lookup("zz_scoped_only_key")
+        .is_none());
+}
