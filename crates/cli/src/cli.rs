@@ -7,9 +7,10 @@
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
 use tfd_core::analyze::{
     check_path, diff_global, fingerprint, lint_rule_names, run_lints, AccessPath, CompatMode,
-    Diagnostic, DiffReport, LintConfig, LintLevel, PathReport, Severity,
+    Diagnostic, LintConfig, LintLevel, PathReport, Severity,
 };
 use tfd_core::recover::{self, ErrorReport};
+use tfd_core::report::{diagnostics_json, diff_json, json_escape};
 use tfd_core::stream::StreamError;
 use tfd_core::{
     csh, engine, globalize_env, GlobalShape, InferOptions, RecoveryMode, RecoveryPolicy, Shape,
@@ -35,6 +36,12 @@ COMMANDS:
               under the chosen --mode
     check-path  verify --path access paths against the inferred shape:
               a safe path cannot fail on any conforming input
+    serve     run the live schema registry: a daemon where tenants
+              POST corpora, shapes fold incrementally (versioned), and
+              providers, conformance checks and schema diffs are served
+              from the registry over HTTP (see README for endpoints)
+    stats     query a running registry (--addr) for process-wide and
+              per-tenant interner/shape figures
 
 OPTIONS:
     --format <json|xml|csv|html>  input format (default: guessed from extension)
@@ -85,8 +92,12 @@ OPTIONS:
     --deny <rule>              report a lint rule (or `all`) as error:
                                any finding makes `analyze` exit 4
                                (later --allow/--warn/--deny flags win)
-    --json                     machine-readable analyze/diff/check-path
-                               output (one JSON object on stdout)
+    --json                     machine-readable analyze/diff/check-path/
+                               stats output (one JSON object on stdout)
+    --addr <host:port>         serve: address to bind (port 0 picks an
+                               ephemeral port); stats: registry to query
+    --max-body-bytes <N>       serve: cap on one uploaded corpus body in
+                               bytes (default: 268435456)
     --stats                    print name-interner statistics to stderr:
                                one per-corpus delta as each file's name
                                arena drops, then the process-wide
@@ -194,6 +205,8 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
     let mut lint_config = LintConfig::new();
     let mut json = false;
     let mut stats = false;
+    let mut addr: Option<String> = None;
+    let mut max_body_bytes: Option<usize> = None;
     let mut files: Vec<String> = Vec::new();
 
     let mut i = 1usize;
@@ -298,6 +311,22 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
             }
             "--json" => json = true,
             "--stats" => stats = true,
+            "--addr" => {
+                i += 1;
+                addr = Some(
+                    args.get(i)
+                        .ok_or("--addr requires a host:port value")?
+                        .clone(),
+                );
+            }
+            "--max-body-bytes" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-body-bytes requires a value")?;
+                max_body_bytes =
+                    Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-body-bytes must be a positive integer, got {v}")
+                    })?);
+            }
             "--help" | "-h" => return Ok(USAGE.to_owned()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option {flag}\n\n{USAGE}").into());
@@ -305,6 +334,22 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
             file => files.push(file.to_owned()),
         }
         i += 1;
+    }
+    // The registry commands take an address, not input files; they must
+    // dodge the files-required check below.
+    if command == "serve" || command == "stats" {
+        if !files.is_empty() {
+            return Err(format!(
+                "{command} reads no input files (corpora arrive over HTTP); got {files:?}"
+            )
+            .into());
+        }
+        let addr = addr.ok_or_else(|| format!("{command} requires --addr host:port"))?;
+        return if command == "serve" {
+            run_serve(&addr, max_body_bytes, warn)
+        } else {
+            run_registry_stats(&addr, json)
+        };
     }
     if files.is_empty() {
         return Err(format!("no input files\n\n{USAGE}").into());
@@ -411,7 +456,7 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
         let new = to_global(corpus_shape(&files[1..], warn)?);
         let report = diff_global(&old, &new, mode);
         let text = if json {
-            render_diff_json(&report)
+            diff_json(&report)
         } else {
             report.to_string()
         };
@@ -578,9 +623,9 @@ fn render_analysis_json(
     let mut out = String::from("{");
     if command == "analyze" {
         out.push_str(&format!("\"fingerprint\":\"{}\",", fingerprint(global)));
-        out.push_str("\"diagnostics\":[");
-        out.push_str(&json_diagnostics(lints));
-        out.push_str("],");
+        out.push_str("\"diagnostics\":");
+        out.push_str(&diagnostics_json(lints));
+        out.push(',');
     }
     out.push_str("\"paths\":[");
     for (i, (p, r)) in paths.iter().enumerate() {
@@ -588,80 +633,17 @@ fn render_analysis_json(
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"path\":\"{}\",\"safe\":{},\"result\":{},\"diagnostics\":[{}]}}",
+            "{{\"path\":\"{}\",\"safe\":{},\"result\":{},\"diagnostics\":{}}}",
             json_escape(&p.to_string()),
             r.is_safe(),
             match &r.result {
                 Some(shape) => format!("\"{}\"", json_escape(&shape.to_string())),
                 None => "null".to_owned(),
             },
-            json_diagnostics(&r.diagnostics)
+            diagnostics_json(&r.diagnostics)
         ));
     }
     out.push_str("]}\n");
-    out
-}
-
-/// Machine-readable `diff` report: one JSON object.
-fn render_diff_json(report: &DiffReport) -> String {
-    let mut out = format!(
-        "{{\"mode\":\"{}\",\"old_fingerprint\":\"{}\",\"new_fingerprint\":\"{}\",\
-         \"compatible\":{},\"entries\":[",
-        report.mode,
-        report.old_fingerprint,
-        report.new_fingerprint,
-        report.is_compatible()
-    );
-    for (i, e) in report.entries.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"kind\":\"{}\",\"path\":\"{}\",\"detail\":\"{}\",\
-             \"breaks_backward\":{},\"breaks_forward\":{},\"breaking\":{}}}",
-            e.kind,
-            json_escape(&e.path.to_string()),
-            json_escape(&e.detail),
-            e.breaks_backward,
-            e.breaks_forward,
-            e.breaks(report.mode)
-        ));
-    }
-    out.push_str("]}\n");
-    out
-}
-
-fn json_diagnostics(diags: &[Diagnostic]) -> String {
-    diags
-        .iter()
-        .map(|d| {
-            format!(
-                "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"}}",
-                d.rule,
-                d.severity,
-                json_escape(&d.shape_path.to_string()),
-                json_escape(&d.message)
-            )
-        })
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-/// Minimal JSON string escaping (the reverse of nothing we parse — the
-/// analysis output is write-only).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
     out
 }
 
@@ -678,6 +660,85 @@ fn read_values(
 
 /// Renders the `--global --env` view: the root shape followed by the
 /// recursive definitions table, one entry per line.
+/// `tfd serve --addr HOST:PORT`: binds the registry daemon and blocks
+/// in its accept loop until the process is killed. The bound address is
+/// announced on stderr (useful with port 0).
+fn run_serve(
+    addr: &str,
+    max_body_bytes: Option<usize>,
+    warn: &mut dyn FnMut(&str),
+) -> Result<String, CliError> {
+    let config = tfd_serve::ServeConfig {
+        max_body_bytes: max_body_bytes.unwrap_or(tfd_serve::http::DEFAULT_MAX_BODY_BYTES),
+    };
+    let server = tfd_serve::Server::bind(addr, config)
+        .map_err(|e| CliError::Io(format!("{addr}: bind failed: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    warn(&format!("serving schema registry on http://{local}/v1"));
+    server.run();
+    Ok(String::new())
+}
+
+/// `tfd stats --addr HOST:PORT`: asks a running registry for its
+/// process-wide and per-tenant interner/shape figures. `--json` prints
+/// the daemon's body verbatim; the default renders it for humans (via
+/// the repo's own JSON front-end — the registry speaks a dialect the
+/// engine can read back).
+fn run_registry_stats(addr: &str, json: bool) -> Result<String, CliError> {
+    let resp = tfd_serve::request(addr, "GET", "/v1/stats", None)
+        .map_err(|e| CliError::Io(format!("{addr}: {e}")))?;
+    let body = resp.text();
+    if resp.status != 200 {
+        return Err(CliError::Io(format!(
+            "{addr}: stats returned HTTP {}: {}",
+            resp.status,
+            body.trim()
+        )));
+    }
+    if json {
+        return Ok(body);
+    }
+    let interner = Interner::new();
+    let v = engine::parse_value_dyn_in(StreamFormat::Json, &body, &interner)
+        .map_err(|e| CliError::Parse(format!("{addr}: unparseable stats body: {e}")))?;
+    let int_of = |v: Option<&Value>| match v {
+        Some(Value::Int(n)) => *n,
+        _ => 0,
+    };
+    let str_of = |v: Option<&Value>| match v {
+        Some(Value::Str(s)) => s.clone(),
+        _ => String::new(),
+    };
+    let mut out = String::new();
+    if let Some(p) = v.field("process") {
+        out.push_str(&format!(
+            "process interner: {} symbols, {} bytes retained across {} arena(s)\n",
+            int_of(p.field("symbols")),
+            int_of(p.field("retained_bytes")),
+            int_of(p.field("arenas")),
+        ));
+    }
+    let tenants = v.field("tenants").and_then(Value::elements).unwrap_or(&[]);
+    out.push_str(&format!("{} tenant(s)\n", tenants.len()));
+    for t in tenants {
+        let intern = t.field("intern");
+        out.push_str(&format!(
+            "  {} [{}] v{} fingerprint {}: {} records, {} bytes in; arena: {} symbols, {} bytes retained\n",
+            str_of(t.field("tenant")),
+            str_of(t.field("format")),
+            int_of(t.field("version")),
+            str_of(t.field("fingerprint")),
+            int_of(t.field("records")),
+            int_of(t.field("bytes")),
+            int_of(intern.and_then(|i| i.field("symbols"))),
+            int_of(intern.and_then(|i| i.field("retained_bytes"))),
+        ));
+    }
+    Ok(out)
+}
+
 fn render_env_table(global: &GlobalShape) -> String {
     let mut out = format!("{}\n", global.root);
     if global.env.is_empty() {

@@ -55,6 +55,7 @@ mod infer;
 mod multiplicity;
 mod prefer;
 pub mod recover;
+pub mod report;
 mod shape;
 pub mod stream;
 mod tags;

@@ -1,0 +1,209 @@
+//! Shared machine-readable (JSON) rendering of analysis and pipeline
+//! results — one serialization, used everywhere.
+//!
+//! The CLI's `--json` flag and the schema registry's HTTP responses
+//! (`tfd serve`) must emit byte-identical structures for the same
+//! finding: a client that learned to parse `tfd analyze --json` output
+//! should be able to parse a `POST /ingest` error body without a second
+//! schema. This module is that single source of truth:
+//!
+//! * [`diagnostics_json`] — [`Diagnostic`] arrays (lints, path checks),
+//! * [`diff_json`] — a [`DiffReport`] (the `tfd diff --json` object),
+//! * [`stream_error_json`] — a [`StreamError`] with its stable
+//!   [`code`](StreamError::code) discriminant,
+//! * [`error_report_json`] — a Skip-mode [`ErrorReport`] (total skipped
+//!   plus the kept document-order error prefix),
+//! * [`json_escape`] — the escaping primitive all of them use.
+//!
+//! Everything here is write-only JSON built by hand: the workspace has a
+//! JSON *parser* per the paper, but output needs no tree — appending to
+//! a `String` keeps the hot error paths allocation-light and the crate
+//! dependency-free.
+
+use crate::analyze::{Diagnostic, DiffReport};
+use crate::recover::ErrorReport;
+use crate::stream::StreamError;
+
+/// Minimal JSON string escaping (the output side only — nothing here is
+/// ever parsed back by this crate).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One [`Diagnostic`] as a JSON object:
+/// `{"rule": …, "severity": …, "path": …, "message": …}`.
+pub fn diagnostic_json(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"message\":\"{}\"}}",
+        d.rule,
+        d.severity,
+        json_escape(&d.shape_path.to_string()),
+        json_escape(&d.message)
+    )
+}
+
+/// A [`Diagnostic`] slice as a JSON array (brackets included).
+pub fn diagnostics_json(diags: &[Diagnostic]) -> String {
+    let items = diags
+        .iter()
+        .map(diagnostic_json)
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{items}]")
+}
+
+/// A [`DiffReport`] as the `tfd diff --json` object (trailing newline
+/// included — it is a complete document on both stdout and the wire).
+pub fn diff_json(report: &DiffReport) -> String {
+    let mut out = format!(
+        "{{\"mode\":\"{}\",\"old_fingerprint\":\"{}\",\"new_fingerprint\":\"{}\",\
+         \"compatible\":{},\"entries\":[",
+        report.mode,
+        report.old_fingerprint,
+        report.new_fingerprint,
+        report.is_compatible()
+    );
+    for (i, e) in report.entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"path\":\"{}\",\"detail\":\"{}\",\
+             \"breaks_backward\":{},\"breaks_forward\":{},\"breaking\":{}}}",
+            e.kind,
+            json_escape(&e.path.to_string()),
+            json_escape(&e.detail),
+            e.breaks_backward,
+            e.breaks_forward,
+            e.breaks(report.mode)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// A [`StreamError`] as a JSON object with its stable
+/// [`code`](StreamError::code): `{"code": …, "message": …}`, plus
+/// `limit` and the nested first error for an exhausted Skip-mode
+/// budget.
+pub fn stream_error_json(e: &StreamError) -> String {
+    match e {
+        StreamError::TooManyErrors { limit, first } => format!(
+            "{{\"code\":\"{}\",\"message\":\"{}\",\"limit\":{},\"first\":{}}}",
+            e.code(),
+            json_escape(&e.to_string()),
+            limit,
+            stream_error_json(first)
+        ),
+        other => format!(
+            "{{\"code\":\"{}\",\"message\":\"{}\"}}",
+            other.code(),
+            json_escape(&other.to_string())
+        ),
+    }
+}
+
+/// A Skip-mode [`ErrorReport`] as a JSON object: the total number of
+/// skipped records plus the kept document-order prefix of their errors
+/// (at most [`ERROR_REPORT_KEEP`](crate::recover::ERROR_REPORT_KEEP),
+/// the tail's last error included when it was kept separately).
+pub fn error_report_json(report: &ErrorReport) -> String {
+    let mut out = format!("{{\"skipped\":{},\"errors\":[", report.total());
+    for (i, e) in report.errors().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&stream_error_json(e));
+    }
+    out.push(']');
+    if let Some(last) = report.last() {
+        if report.total() > report.errors().len() {
+            out.push_str(&format!(",\"last\":{}", stream_error_json(last)));
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{diff_global, CompatMode, Severity, ShapePath};
+    use crate::{GlobalShape, Shape};
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\r"), "x\\n\\t\\r");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn diagnostics_render_as_an_array() {
+        let d = Diagnostic {
+            rule: "test-rule",
+            severity: Severity::Warning,
+            shape_path: ShapePath::root(),
+            message: "a \"quoted\" message".to_owned(),
+        };
+        let json = diagnostics_json(std::slice::from_ref(&d));
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"rule\":\"test-rule\""), "{json}");
+        assert!(json.contains("\\\"quoted\\\""), "{json}");
+        assert_eq!(diagnostics_json(&[]), "[]");
+    }
+
+    #[test]
+    fn diff_json_reports_compatibility() {
+        let old = GlobalShape::plain(Shape::record("R", [("x", Shape::Int)]));
+        let new = GlobalShape::plain(Shape::record("R", [("x", Shape::String)]));
+        let json = diff_json(&diff_global(&old, &new, CompatMode::Backward));
+        assert!(json.contains("\"mode\":\"backward\""), "{json}");
+        assert!(json.contains("\"compatible\":false"), "{json}");
+        assert!(json.contains("\"kind\":\"type-changed\""), "{json}");
+        assert!(json.ends_with("]}\n"), "{json}");
+    }
+
+    #[test]
+    fn stream_errors_carry_stable_codes() {
+        let io = StreamError::Io(std::io::Error::new(
+            std::io::ErrorKind::BrokenPipe,
+            "pipe closed",
+        ));
+        let json = stream_error_json(&io);
+        assert!(json.contains("\"code\":\"io\""), "{json}");
+        assert!(json.contains("pipe closed"), "{json}");
+
+        let budget = StreamError::TooManyErrors {
+            limit: 7,
+            first: Box::new(StreamError::Io(std::io::Error::other("root cause"))),
+        };
+        assert_eq!(budget.code(), "too-many-errors");
+        let json = stream_error_json(&budget);
+        assert!(json.contains("\"limit\":7"), "{json}");
+        assert!(json.contains("\"first\":{\"code\":\"io\""), "{json}");
+    }
+
+    #[test]
+    fn error_reports_render_totals_and_prefix() {
+        let mut report = ErrorReport::new();
+        assert_eq!(error_report_json(&report), "{\"skipped\":0,\"errors\":[]}");
+        report.record(StreamError::Io(std::io::Error::other("first")));
+        report.record(StreamError::Io(std::io::Error::other("second")));
+        let json = error_report_json(&report);
+        assert!(json.contains("\"skipped\":2"), "{json}");
+        assert!(json.contains("first") && json.contains("second"), "{json}");
+    }
+}

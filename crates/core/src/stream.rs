@@ -145,6 +145,23 @@ pub enum StreamError {
     },
 }
 
+impl StreamError {
+    /// Stable kebab-case error code — the machine-readable discriminant
+    /// that `Display` alone could not round-trip. Shared by the CLI's
+    /// `--json` output and the registry's HTTP error bodies (see
+    /// [`crate::report::stream_error_json`]), so a client can branch on
+    /// the code instead of scraping the message.
+    pub fn code(&self) -> &'static str {
+        match self {
+            StreamError::Json(_) => "json-parse",
+            StreamError::Xml(_) => "xml-parse",
+            StreamError::Csv(_) => "csv-parse",
+            StreamError::Io(_) => "io",
+            StreamError::TooManyErrors { .. } => "too-many-errors",
+        }
+    }
+}
+
 impl fmt::Display for StreamError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -1,0 +1,110 @@
+//! A minimal blocking client for the daemon's one-request-per-connection
+//! protocol — used by `tfd stats`, the integration suite and the bench
+//! harness. Not a general HTTP client: it speaks exactly the dialect
+//! [`crate::http`] serves.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A response as the client sees it: status code and body bytes.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy — error bodies are always UTF-8, data
+    /// bodies are whatever was stored).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the response to EOF (the server closes
+/// every connection after one exchange).
+///
+/// `body` is `Some((content_type, bytes))` for `POST`-style requests,
+/// `None` for `GET`/`DELETE`.
+///
+/// # Errors
+///
+/// Connection/socket failures, or a malformed status line from
+/// something that is not this daemon.
+pub fn request(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path: &str,
+    body: Option<(&str, &[u8])>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: tfd\r\n");
+    if let Some((content_type, bytes)) = body {
+        head.push_str(&format!(
+            "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+            bytes.len()
+        ));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    // A server may refuse the request from its head alone (413 on the
+    // declared length) and stop reading; the body write then fails with
+    // a reset even though a perfectly good error response is waiting.
+    // Remember the failure but read the response anyway.
+    let write_result: std::io::Result<()> = (|| {
+        stream.write_all(head.as_bytes())?;
+        if let Some((_, bytes)) = body {
+            stream.write_all(bytes)?;
+        }
+        stream.flush()
+    })();
+    // Half-close: tells the server this request is complete (its
+    // error-path body drain reads to EOF) while leaving the read side
+    // open for the response.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut raw = Vec::new();
+    match stream.read_to_end(&mut raw) {
+        Ok(_) => {}
+        Err(e) => return Err(write_result.err().unwrap_or(e)),
+    }
+    if raw.is_empty() {
+        write_result?;
+    }
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let malformed = || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(malformed)?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| malformed())?;
+    let status_line = head.lines().next().ok_or_else(malformed)?;
+    // "HTTP/1.1 200 OK" — the middle token is the status.
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(malformed)?;
+    Ok(ClientResponse {
+        status,
+        body: raw[head_end + 4..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let r = parse_response(b"HTTP/1.1 404 Not Found\r\nContent-Length: 2\r\n\r\nno").unwrap();
+        assert_eq!(r.status, 404);
+        assert_eq!(r.text(), "no");
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 nope\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,489 @@
+//! A hand-rolled, bounded HTTP/1.1 front-end — just enough protocol for
+//! the registry, with the same paranoia as the data front-ends.
+//!
+//! The environment has no crates.io, so the daemon speaks HTTP the way
+//! the CSV crate speaks CSV: a small, explicit parser over bytes with
+//! hard resource caps. Supported surface, deliberately minimal:
+//!
+//! * request line + headers up to [`MAX_HEAD_BYTES`] (431 beyond it),
+//! * bodies via `Content-Length` only, capped by the server's
+//!   configured limit (411 without a length, 413 beyond the cap;
+//!   `Transfer-Encoding: chunked` is rejected as 400 rather than
+//!   half-implemented),
+//! * percent-decoding for paths and query strings,
+//! * one request per connection (`Connection: close` on every
+//!   response) — the registry's clients are uploads and polls, not
+//!   browsers, so connection reuse buys nothing and keeps the state
+//!   machine trivial.
+//!
+//! Nothing here knows about tenants or shapes; routing lives in
+//! [`crate::server`].
+
+use std::io::Read;
+
+/// Cap on the request line + headers, before any body is read. Large
+/// corpora belong in the *body*; a kilobyte-scale head is always an
+/// error or an attack.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on a request body (the ingest corpus). Generous enough
+/// for the CI's ~45 MB CSV smoke with headroom, small enough that one
+/// request cannot exhaust the host.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 256 * 1024 * 1024;
+
+/// A parsed request: method, decoded path segments, query pairs, body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, uppercase as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The percent-decoded path, always starting with `/`.
+    pub path: String,
+    /// Query parameters in document order, percent-decoded, `+` read as
+    /// space in values.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when `key` is present and not set to `0`/`false`/empty —
+    /// the reading of flags like `?env=1`.
+    pub fn query_flag(&self, key: &str) -> bool {
+        self.query_param(key)
+            .is_some_and(|v| !matches!(v, "" | "0" | "false"))
+    }
+
+    /// The path split into its `/`-separated segments (no empties).
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request could not be read. Each variant maps to one HTTP
+/// status (see [`HttpError::status`]).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request line or a header is malformed, or the request uses a
+    /// feature the server deliberately does not speak (chunked bodies).
+    /// Status 400.
+    BadRequest(String),
+    /// A body-carrying request arrived without `Content-Length`.
+    /// Status 411.
+    LengthRequired,
+    /// The declared body exceeds the configured cap. Status 413.
+    BodyTooLarge {
+        /// The configured body cap in bytes.
+        limit: usize,
+    },
+    /// The request line + headers exceed [`MAX_HEAD_BYTES`].
+    /// Status 431.
+    HeadTooLarge,
+    /// The socket failed mid-request (no response can be sent).
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge { .. } => 413,
+            HttpError::HeadTooLarge => 431,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Stable kebab-case error code for the JSON error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(_) => "bad-request",
+            HttpError::LengthRequired => "length-required",
+            HttpError::BodyTooLarge { .. } => "body-too-large",
+            HttpError::HeadTooLarge => "head-too-large",
+            HttpError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "{m}"),
+            HttpError::LengthRequired => {
+                write!(f, "a request with a body must send Content-Length")
+            }
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte cap")
+            }
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds the {MAX_HEAD_BYTES}-byte cap")
+            }
+            HttpError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads and parses one request from `reader`, enforcing the head cap
+/// and `max_body` byte cap.
+///
+/// # Errors
+///
+/// Any [`HttpError`]: malformed or over-cap requests, or a reader
+/// failure.
+pub fn read_request<R: Read>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let head = read_head(reader)?;
+    let text = std::str::from_utf8(&head.bytes)
+        .map_err(|_| HttpError::BadRequest("request head is not valid UTF-8".to_owned()))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request".to_owned()))?;
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadRequest(format!("malformed header line {line:?}")))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value.parse().map_err(|_| {
+                    HttpError::BadRequest(format!("unparseable Content-Length {value:?}"))
+                })?;
+                content_length = Some(n);
+            }
+            "transfer-encoding" => {
+                // Refusing loudly beats buffering chunks without a
+                // declared size (the cap would be unenforceable).
+                return Err(HttpError::BadRequest(
+                    "Transfer-Encoding is not supported; send Content-Length".to_owned(),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    let (path_raw, query_raw) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(path_raw, false)
+        .ok_or_else(|| HttpError::BadRequest(format!("malformed path encoding {path_raw:?}")))?;
+    if !path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!(
+            "request target must be an absolute path, got {path_raw:?}"
+        )));
+    }
+    let mut query = Vec::new();
+    if let Some(q) = query_raw {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            let k = percent_decode(k, true)
+                .ok_or_else(|| HttpError::BadRequest(format!("malformed query key {k:?}")))?;
+            let v = percent_decode(v, true)
+                .ok_or_else(|| HttpError::BadRequest(format!("malformed query value {v:?}")))?;
+            query.push((k, v));
+        }
+    }
+
+    let wants_body = matches!(method, "POST" | "PUT" | "PATCH");
+    let length = match content_length {
+        Some(n) => n,
+        None if wants_body => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if length > max_body {
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    let mut body = head.overflow;
+    if body.len() > length {
+        return Err(HttpError::BadRequest(
+            "more body bytes than Content-Length declared".to_owned(),
+        ));
+    }
+    let mut remaining = length - body.len();
+    body.reserve_exact(remaining);
+    let mut chunk = vec![0u8; 64 * 1024];
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        let n = reader.read(&mut chunk[..want]).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(format!(
+                "connection closed {remaining} bytes short of Content-Length"
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+        remaining -= n;
+    }
+
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// The request head (everything through `\r\n\r\n`) plus whatever body
+/// bytes the last read pulled in with it.
+struct Head {
+    bytes: Vec<u8>,
+    overflow: Vec<u8>,
+}
+
+fn read_head<R: Read>(reader: &mut R) -> Result<Head, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            let overflow = buf.split_off(end);
+            return Ok(Head {
+                bytes: buf,
+                overflow,
+            });
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = reader.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::BadRequest(
+                "connection closed before the request head ended".to_owned(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Percent-decodes `s`; with `plus_is_space`, `+` decodes to a space
+/// (query-string convention). `None` on a malformed `%` escape or
+/// non-UTF-8 decoded bytes.
+fn percent_decode(s: &str, plus_is_space: bool) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' if plus_is_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response: status, content type, body. Always closes the
+/// connection.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (shapes, generated code).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Serializes the response head + body into wire bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut std::io::Cursor::new(raw.to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_with_query() {
+        let r = parse(b"GET /v1/orders/shape?env=1&mode=full HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/orders/shape");
+        assert_eq!(r.segments(), vec!["v1", "orders", "shape"]);
+        assert_eq!(r.query_param("mode"), Some("full"));
+        assert!(r.query_flag("env"));
+        assert!(!r.query_flag("missing"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_body_exactly() {
+        let r = parse(b"POST /v1/t/ingest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(r.body, b"hello");
+        // Body bytes may arrive in the same read as the head.
+        let r = parse(b"POST /x HTTP/1.1\r\ncontent-length: 2\r\n\r\nab").unwrap();
+        assert_eq!(r.body, b"ab");
+    }
+
+    #[test]
+    fn percent_decoding_applies_to_path_and_query() {
+        let r = parse(b"GET /v1/a%2db/shape?q=x+y%21 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.path, "/v1/a-b/shape");
+        assert_eq!(r.query_param("q"), Some("x y!"));
+        assert!(parse(b"GET /v1/%zz HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x SMTP/1.0\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET relative HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nNoColonHere\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Truncated mid-head.
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn body_requires_and_honors_content_length() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n").unwrap_err();
+        assert!(matches!(e, HttpError::BodyTooLarge { limit: 1024 }));
+        assert_eq!(e.status(), 413);
+        let mut huge = b"GET /x HTTP/1.1\r\n".to_vec();
+        huge.extend_from_slice("X-Filler: y\r\n".repeat(4096).as_bytes());
+        huge.extend_from_slice(b"\r\n");
+        let e = parse(&huge).unwrap_err();
+        assert!(matches!(e, HttpError::HeadTooLarge));
+        assert_eq!(e.status(), 431);
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let r = Response::json(200, "{}".to_owned());
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+        assert_eq!(reason(413), "Payload Too Large");
+    }
+}

@@ -1,0 +1,42 @@
+//! `tfd serve` — a live shape-inference schema registry.
+//!
+//! The paper's pipeline is batch: point the CLI at a corpus, fold its
+//! shape, emit a provider. This crate turns that pipeline into a
+//! long-running service, because the properties the batch engine
+//! already proved make the *registry* nearly free:
+//!
+//! * the shape join is **associative and commutative** (PLDI'16 §4; the
+//!   PR 5 differential suites), so tenants can absorb uploads in any
+//!   order — including concurrently — and still reach the state a
+//!   sequential fold over the concatenated corpus would have reached;
+//! * absorbing already-seen data is a **no-op** (Lemma 1), so repeated
+//!   uploads converge instead of drifting;
+//! * shapes are **schema-sized**, so keeping one per version is cheap
+//!   enough to give every tenant a diffable history;
+//! * per-corpus **interner arenas** (PR 8) mean a tenant's whole
+//!   vocabulary lives in its own arena, and `DELETE /v1/{tenant}`
+//!   genuinely returns that memory.
+//!
+//! The layer cake, bottom-up:
+//!
+//! * [`http`] — a hand-rolled, bounded HTTP/1.1 reader/writer over
+//!   `std::net` (the environment has no crates.io; the parser gets the
+//!   same hard caps as the data front-ends);
+//! * [`registry`] — the tenant map: per-tenant `GlobalShape` + arena +
+//!   version history behind short locks, every method returning
+//!   `Name`-free owned data;
+//! * [`server`] — the accept loop and routing table;
+//! * [`client`] — the tiny blocking client the CLI, tests and bench
+//!   harness use to talk to a daemon.
+
+pub mod client;
+pub mod http;
+pub mod registry;
+pub mod server;
+
+pub use client::{request, ClientResponse};
+pub use registry::{
+    CheckOutcome, DiffOutcome, IngestOutcome, IngestRequest, ProviderKind, Registry, RegistryError,
+    TenantStats,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

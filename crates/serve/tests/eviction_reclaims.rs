@@ -1,0 +1,75 @@
+//! Eviction must return process-wide interner occupancy to its
+//! baseline — the registry's reason for per-tenant arenas.
+//!
+//! This lives in its own integration-test binary on purpose: cargo
+//! runs each test file as a separate process, and `intern::stats()` is
+//! process-wide, so tests in the shared binaries (which create arenas
+//! concurrently) would make the baseline assertion racy.
+
+// Test-only code; the workspace panic-hygiene lints exempt `#[test]`
+// fns but not shared helpers.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use tfd_serve::{request, ServeConfig, Server};
+
+#[test]
+fn evicting_a_tenant_returns_interner_stats_to_baseline() {
+    let handle = Server::bind("127.0.0.1:0", ServeConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    // Warm-up cycle first: the engine interns a handful of well-known
+    // names (record body names, etc.) into the process-default arena on
+    // first use; those are per-process, not per-tenant, and must not
+    // pollute the baseline.
+    let r = request(
+        handle.addr(),
+        "POST",
+        "/v1/warmup/ingest?format=json",
+        Some(("application/json", b"{\"warm\": 1}\n".as_slice())),
+    )
+    .expect("request");
+    assert_eq!(r.status, 200, "{}", r.text());
+    request(handle.addr(), "DELETE", "/v1/warmup", None).expect("request");
+    let baseline = tfd_value::intern::stats();
+
+    // A corpus with a wide vocabulary: hundreds of distinct field
+    // names, all of which must land in the tenant's arena (the shape
+    // retains every one — each is a record field).
+    let mut corpus = String::new();
+    for i in 0..1024 {
+        corpus.push_str(&format!("{{\"eviction_probe_field_{i}\": {i}}}\n"));
+    }
+    let r = request(
+        handle.addr(),
+        "POST",
+        "/v1/bulky/ingest?format=json&jobs=4",
+        Some(("application/json", corpus.as_bytes())),
+    )
+    .expect("request");
+    assert_eq!(r.status, 200, "{}", r.text());
+
+    // While the tenant lives, the registry retains its vocabulary…
+    let grown = tfd_value::intern::stats();
+    assert!(
+        grown.symbols >= baseline.symbols + 1024,
+        "expected >= {} symbols, got {}",
+        baseline.symbols + 1024,
+        grown.symbols
+    );
+    assert!(grown.retained_bytes > baseline.retained_bytes);
+    let body = request(handle.addr(), "GET", "/v1/stats", None)
+        .expect("request")
+        .text();
+    assert!(body.contains("\"tenant\":\"bulky\""), "{body}");
+
+    // …and eviction drops the arena, reclaiming all of it.
+    let r = request(handle.addr(), "DELETE", "/v1/bulky", None).expect("request");
+    assert_eq!(r.status, 200, "{}", r.text());
+    let after = tfd_value::intern::stats();
+    assert_eq!(after.symbols, baseline.symbols);
+    assert_eq!(after.retained_bytes, baseline.retained_bytes);
+    assert_eq!(after.arenas, baseline.arenas);
+
+    handle.stop();
+}
