@@ -1,5 +1,5 @@
 //! Records the parse→infer pipeline baseline to a JSON file
-//! (`BENCH_PR5.json` at the repository root when run from there).
+//! (`BENCH_PR10.json` at the repository root when run from there).
 //!
 //! The same workloads as `benches/pipeline.rs`, measured with a fixed
 //! protocol (best-of-N batches) so re-runs are comparable across PRs:
@@ -37,7 +37,17 @@
 //! * the **registry ingest** cost (PR 9): the 100k-row CSV corpus
 //!   POSTed to an in-process `tfd serve` daemon over a loopback socket
 //!   vs the same corpus through the in-process jobs-4 driver — the
-//!   honest price of the HTTP + registry layer.
+//!   honest price of the HTTP + registry layer;
+//! * the **scanner backend** (PR 10): which SIMD kernel set the runtime
+//!   dispatcher picked on this host (`scanner_backend`), and the
+//!   three-way scan race — the dispatched kernel vs the forced portable
+//!   SWAR kernel vs the plain `position` loop — on the 100k-row CSV
+//!   corpus;
+//! * the **thread-scaling probe** (PR 10), next to `host_parallelism`:
+//!   a fixed CPU-bound workload split across 1/2/4 threads, recording
+//!   what this host can actually deliver — the ceiling against which
+//!   `parallel_scaling_100k` must be read (a 1-core container cannot
+//!   show a parallel win no matter how good the scheduler is).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -112,7 +122,7 @@ impl StreamCost {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_PR10.json".to_owned());
     let mut entries: Vec<Entry> = Vec::new();
     let budget = 0.5;
 
@@ -298,6 +308,38 @@ fn main() {
     let host_parallelism = std::thread::available_parallelism()
         .map(std::num::NonZero::get)
         .unwrap_or(1);
+
+    // Thread-scaling probe: a fixed CPU-bound workload (no memory
+    // traffic, no locks) split evenly across 1/2/4 threads. This is the
+    // hardware ceiling for any parallel speedup below — if the probe
+    // cannot beat 1.0x, neither can the sharded driver, and the
+    // `parallel_scaling_100k` ratios measure scheduling overhead, not
+    // scaling.
+    fn spin(iters: u64) -> u64 {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..iters {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .rotate_left(13)
+                .wrapping_add(1);
+        }
+        x
+    }
+    let probe = |threads: usize| -> f64 {
+        const TOTAL: u64 = 64_000_000;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| std::hint::black_box(spin(TOTAL / threads as u64)));
+                }
+            });
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let (probe1_s, probe2_s, probe4_s) = (probe(1), probe(2), probe(4));
     struct ParScale {
         format: &'static str,
         jobs1_s: f64,
@@ -384,12 +426,14 @@ fn main() {
         },
     ];
 
-    // The CSV unquoted-field scan, three ways, on the *actual* 100k-row
-    // pipeline corpus (realistic cell lengths, not a synthetic
-    // pathology): the hybrid probe+SWAR scanner now in the hot paths,
-    // the plain bounded `position` loop (which LLVM autovectorizes —
-    // the honest near-peer), and a replica of the pre-PR4 inner loop,
-    // whose per-byte `starts_with` check defeated vectorization. Each
+    // The CSV unquoted-field scan on the *actual* 100k-row pipeline
+    // corpus (realistic cell lengths, not a synthetic pathology), four
+    // ways: the runtime-dispatched kernel the hot paths now use
+    // (AVX2/SSE2/NEON where the host has them), the same entry point
+    // forced onto the portable SWAR kernel, the plain bounded
+    // `position` loop (which LLVM autovectorizes — the honest
+    // near-peer), and a replica of the pre-PR4 inner loop, whose
+    // per-byte `starts_with` check defeated vectorization. Each
     // iteration hops special-to-special across the whole corpus.
     let scan_buf: Vec<u8> = csv_rows_text(100_000).into_bytes();
     fn walk(buf: &[u8], find: impl Fn(&[u8]) -> Option<usize>) -> usize {
@@ -420,10 +464,65 @@ fn main() {
         }
         None
     }
+    let scanner_backend = tfd_value::scan::backend_name();
+    let scan_dispatch_s = best_time(
+        || {
+            std::hint::black_box(walk(&scan_buf, |h| {
+                tfd_csv::scan::find_any3(h, b',', b'\n', b'\r')
+            }));
+            Shape::Bottom
+        },
+        budget,
+    );
+    assert!(
+        tfd_value::scan::force_backend("swar"),
+        "the portable kernel is always available"
+    );
     let scan_swar_s = best_time(
         || {
             std::hint::black_box(walk(&scan_buf, |h| {
                 tfd_csv::scan::find_any3(h, b',', b'\n', b'\r')
+            }));
+            Shape::Bottom
+        },
+        budget,
+    );
+    assert!(tfd_value::scan::force_backend("auto"));
+
+    // The same three-way race on a sparse buffer — one special byte
+    // every ~250 bytes, the shape of quoted blobs and long JSON
+    // strings. On realistic short-field CSV the 16-byte scalar probe
+    // in the public wrappers swallows almost every hop before any
+    // kernel runs, so the dispatch comparison above mostly measures
+    // call overhead; this buffer is where the wide kernels do the
+    // actual scanning.
+    let sparse_buf: Vec<u8> = (0..4_000_000usize)
+        .map(|i| if i % 251 == 250 { b',' } else { b'x' })
+        .collect();
+    let sparse_dispatch_s = best_time(
+        || {
+            std::hint::black_box(walk(&sparse_buf, |h| {
+                tfd_csv::scan::find_any3(h, b',', b'\n', b'\r')
+            }));
+            Shape::Bottom
+        },
+        budget,
+    );
+    assert!(tfd_value::scan::force_backend("swar"));
+    let sparse_swar_s = best_time(
+        || {
+            std::hint::black_box(walk(&sparse_buf, |h| {
+                tfd_csv::scan::find_any3(h, b',', b'\n', b'\r')
+            }));
+            Shape::Bottom
+        },
+        budget,
+    );
+    assert!(tfd_value::scan::force_backend("auto"));
+    let sparse_naive_s = best_time(
+        || {
+            std::hint::black_box(walk(&sparse_buf, |h| {
+                tfd_csv::scan::find_any3_naive(h, b',', b'\n', b'\r')
             }));
             Shape::Bottom
         },
@@ -560,6 +659,15 @@ fn main() {
     }
     json.push_str("  },\n");
     let _ = writeln!(json, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(
+        json,
+        "  \"thread_scaling_probe\": {{\"threads1_s\": {:e}, \"threads2_s\": {:e}, \"threads4_s\": {:e}, \"speedup_threads4\": {:.2}}},",
+        probe1_s,
+        probe2_s,
+        probe4_s,
+        probe1_s / probe4_s
+    );
+    let _ = writeln!(json, "  \"scanner_backend\": \"{scanner_backend}\",");
     json.push_str("  \"parallel_scaling_100k\": {\n");
     for (i, p) in par_scales.iter().enumerate() {
         let _ = writeln!(
@@ -576,13 +684,25 @@ fn main() {
     json.push_str("  },\n");
     let _ = writeln!(
         json,
-        "  \"csv_scan_swar_vs_naive\": {{\"buffer_bytes\": {}, \"swar_s\": {:e}, \"position_s\": {:e}, \"old_loop_s\": {:e}, \"speedup_vs_old\": {:.2}, \"speedup_vs_position\": {:.2}}},",
+        "  \"csv_scan_backends\": {{\"buffer_bytes\": {}, \"backend\": \"{scanner_backend}\", \"dispatch_s\": {:e}, \"swar_s\": {:e}, \"position_s\": {:e}, \"old_loop_s\": {:e}, \"dispatch_vs_position\": {:.2}, \"dispatch_vs_swar\": {:.2}, \"dispatch_vs_old\": {:.2}}},",
         scan_buf.len(),
+        scan_dispatch_s,
         scan_swar_s,
         scan_naive_s,
         scan_old_s,
-        scan_old_s / scan_swar_s,
-        scan_naive_s / scan_swar_s
+        scan_naive_s / scan_dispatch_s,
+        scan_swar_s / scan_dispatch_s,
+        scan_old_s / scan_dispatch_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"sparse_scan_backends\": {{\"buffer_bytes\": {}, \"gap_bytes\": 250, \"backend\": \"{scanner_backend}\", \"dispatch_s\": {:e}, \"swar_s\": {:e}, \"position_s\": {:e}, \"dispatch_vs_position\": {:.2}, \"dispatch_vs_swar\": {:.2}}},",
+        sparse_buf.len(),
+        sparse_dispatch_s,
+        sparse_swar_s,
+        sparse_naive_s,
+        sparse_naive_s / sparse_dispatch_s,
+        sparse_swar_s / sparse_dispatch_s
     );
     let _ = writeln!(
         json,
@@ -641,9 +761,20 @@ fn main() {
         );
     }
     println!(
-        "csv unquoted scan: {:.2}x vs the pre-PR4 loop, {:.2}x vs plain position",
-        scan_old_s / scan_swar_s,
-        scan_naive_s / scan_swar_s
+        "csv unquoted scan ({scanner_backend} dispatch): {:.2}x vs plain position, {:.2}x vs forced swar, {:.2}x vs the pre-PR4 loop",
+        scan_naive_s / scan_dispatch_s,
+        scan_swar_s / scan_dispatch_s,
+        scan_old_s / scan_dispatch_s
+    );
+    println!(
+        "sparse scan, 250-byte gaps ({scanner_backend} dispatch): {:.2}x vs plain position, {:.2}x vs forced swar",
+        sparse_naive_s / sparse_dispatch_s,
+        sparse_swar_s / sparse_dispatch_s
+    );
+    println!(
+        "thread-scaling probe (host has {} core(s)): 4 threads / 1 thread = {:.2}x",
+        host_parallelism,
+        probe1_s / probe4_s
     );
     for p in &par_scales {
         println!(

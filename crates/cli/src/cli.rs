@@ -9,7 +9,7 @@ use tfd_core::analyze::{
     check_path, diff_global, fingerprint, lint_rule_names, run_lints, AccessPath, CompatMode,
     Diagnostic, LintConfig, LintLevel, PathReport, Severity,
 };
-use tfd_core::recover::{self, ErrorReport};
+use tfd_core::recover::ErrorReport;
 use tfd_core::report::{diagnostics_json, diff_json, json_escape};
 use tfd_core::stream::StreamError;
 use tfd_core::{
@@ -98,6 +98,9 @@ OPTIONS:
                                ephemeral port); stats: registry to query
     --max-body-bytes <N>       serve: cap on one uploaded corpus body in
                                bytes (default: 268435456)
+    --max-connections <N>      serve: cap on concurrently handled
+                               connections; excess requests get an
+                               immediate 503 (default: 64)
     --stats                    print name-interner statistics to stderr:
                                one per-corpus delta as each file's name
                                arena drops, then the process-wide
@@ -207,6 +210,7 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
     let mut stats = false;
     let mut addr: Option<String> = None;
     let mut max_body_bytes: Option<usize> = None;
+    let mut max_connections: Option<usize> = None;
     let mut files: Vec<String> = Vec::new();
 
     let mut i = 1usize;
@@ -327,6 +331,14 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
                         format!("--max-body-bytes must be a positive integer, got {v}")
                     })?);
             }
+            "--max-connections" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-connections requires a value")?;
+                max_connections =
+                    Some(v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                        format!("--max-connections must be a positive integer, got {v}")
+                    })?);
+            }
             "--help" | "-h" => return Ok(USAGE.to_owned()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown option {flag}\n\n{USAGE}").into());
@@ -346,7 +358,7 @@ pub fn run_with_warnings(args: &[String], warn: &mut dyn FnMut(&str)) -> Result<
         }
         let addr = addr.ok_or_else(|| format!("{command} requires --addr host:port"))?;
         return if command == "serve" {
-            run_serve(&addr, max_body_bytes, warn)
+            run_serve(&addr, max_body_bytes, max_connections, warn)
         } else {
             run_registry_stats(&addr, json)
         };
@@ -666,10 +678,14 @@ fn read_values(
 fn run_serve(
     addr: &str,
     max_body_bytes: Option<usize>,
+    max_connections: Option<usize>,
     warn: &mut dyn FnMut(&str),
 ) -> Result<String, CliError> {
+    let defaults = tfd_serve::ServeConfig::default();
     let config = tfd_serve::ServeConfig {
-        max_body_bytes: max_body_bytes.unwrap_or(tfd_serve::http::DEFAULT_MAX_BODY_BYTES),
+        max_body_bytes: max_body_bytes.unwrap_or(defaults.max_body_bytes),
+        max_connections: max_connections.unwrap_or(defaults.max_connections),
+        ..defaults
     };
     let server = tfd_serve::Server::bind(addr, config)
         .map_err(|e| CliError::Io(format!("{addr}: bind failed: {e}")))?;
@@ -718,6 +734,15 @@ fn run_registry_stats(addr: &str, json: bool) -> Result<String, CliError> {
             int_of(p.field("symbols")),
             int_of(p.field("retained_bytes")),
             int_of(p.field("arenas")),
+        ));
+    }
+    if let Some(c) = v.field("connections") {
+        out.push_str(&format!(
+            "connections: {} active of {} allowed ({} accepted, {} refused)\n",
+            int_of(c.field("active")),
+            int_of(c.field("capacity")),
+            int_of(c.field("accepted")),
+            int_of(c.field("refused")),
         ));
     }
     let tenants = v.field("tenants").and_then(Value::elements).unwrap_or(&[]);
@@ -788,50 +813,57 @@ fn engine_format(format: Format, flag: &str) -> Result<StreamFormat, String> {
     }
 }
 
-/// The engine-backed record-stream pipelines. Each file's records are
-/// folded into a per-file shape (through the engine entry `summarize`
-/// picks), the per-file folds merge with `csh` — exactly the
-/// `infer_many` fold over the concatenated record sequence — and the
-/// result is lifted to the one-shot corpus shape (the CSV row fold
-/// re-wraps as a collection, so every mode prints the same shape).
-/// Record-free input is rejected, matching the one-shot front-ends.
-/// Under `--skip-errors`, each file's skip summary is sent to `warn`.
+/// The engine-backed record-stream pipelines, routed through the
+/// corpus-parallel driver [`engine::infer_sources_parallel`]: one full
+/// pipeline + one scoped arena per input file, with the `--jobs` budget
+/// split across files (a many-file corpus is embarrassingly parallel at
+/// the file level). Results come back in file order, so the `csh` merge
+/// of the per-file folds — exactly the `infer_many` fold over the
+/// concatenated record sequence — and the first-error-wins abort are
+/// byte-identical to the old sequential per-file loop; the result is
+/// lifted to the one-shot corpus shape (the CSV row fold re-wraps as a
+/// collection, so every mode prints the same shape). Record-free input
+/// is rejected, matching the one-shot front-ends. Under
+/// `--skip-errors`, each file's skip summary is sent to `warn`.
 fn engine_shape(
     files: &[String],
     sformat: StreamFormat,
+    sources: &[engine::CorpusSource<'_>],
+    jobs: usize,
+    policy: &RecoveryPolicy,
     stats: bool,
     warn: &mut dyn FnMut(&str),
-    summarize: impl Fn(&str, &InferOptions, &Interner) -> Result<recover::Recovered, CliError>,
 ) -> Result<Shape, CliError> {
     let options = engine::infer_options_dyn(sformat);
+    let results = engine::infer_sources_parallel(sformat, sources, &options, policy, jobs);
     let mut combined = Shape::Bottom;
-    for f in files {
-        // One scoped arena per input file: every name the file's
-        // records intern lives here, and only here.
-        let interner = Interner::new();
-        let mut out = summarize(f, &options, &interner)?;
-        if !out.report.is_empty() {
-            warn(&format_report(f, &out.report));
+    for (f, result) in files.iter().zip(results) {
+        let mut out = match result {
+            Ok(out) => out,
+            Err(e) => return Err(engine_error(f, e)),
+        };
+        if !out.recovered.report.is_empty() {
+            warn(&format_report(f, &out.recovered.report));
         }
-        if out.summary.records == 0 {
+        if out.recovered.summary.records == 0 {
             return Err(CliError::Parse(format!("{f}: input contains no records")));
         }
         // The fold's survivor is the schema-sized shape: migrate its
         // names into the process arena, then drop the corpus arena —
-        // the file's whole data vocabulary is reclaimed before the
-        // next file opens.
-        out.summary.shape.reintern(Interner::global());
-        emit_corpus_stats(stats, f, &interner, warn);
-        drop(interner);
-        combined = csh(combined, out.summary.shape);
+        // the file's whole data vocabulary is reclaimed right here.
+        out.recovered.summary.shape.reintern(Interner::global());
+        emit_corpus_stats(stats, f, &out.arena, warn);
+        drop(out.arena);
+        combined = csh(combined, out.recovered.summary.shape);
     }
     Ok(engine::wrap_corpus_shape_dyn(sformat, combined))
 }
 
 /// The `--stream` pipeline: each file is read in chunks through the
 /// format's incremental front-end — corpora never need to fit in
-/// memory. With `--jobs N` the reading thread only scans record
-/// boundaries and fans record bundles out to N parser workers.
+/// memory. With `--jobs N` the budget spans files × record-bundle
+/// workers: the reading threads only scan record boundaries and push
+/// record bundles onto each file's shared work queue.
 fn stream_shape(
     files: &[String],
     format: Format,
@@ -842,17 +874,18 @@ fn stream_shape(
     warn: &mut dyn FnMut(&str),
 ) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--stream")?;
-    engine_shape(files, sformat, stats, warn, |f, options, interner| {
-        let file = std::fs::File::open(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
-        recover::infer_reader_policy_dyn_in(
-            sformat, file, options, policy, chunk_size, jobs, interner,
-        )
-        .map_err(|e| engine_error(f, e))
-    })
+    let sources: Vec<engine::CorpusSource<'_>> = files
+        .iter()
+        .map(|f| engine::CorpusSource::Stream {
+            path: f,
+            chunk_size,
+        })
+        .collect();
+    engine_shape(files, sformat, &sources, jobs, policy, stats, warn)
 }
 
 /// The `--jobs N` in-memory pipeline: each file is read whole, cut at
-/// record boundaries and parsed→inferred by N shard workers; the
+/// record boundaries and parsed→inferred by shard workers; the
 /// semilattice join makes the result identical to the sequential fold.
 fn sharded_shape(
     files: &[String],
@@ -863,11 +896,11 @@ fn sharded_shape(
     warn: &mut dyn FnMut(&str),
 ) -> Result<Shape, CliError> {
     let sformat = engine_format(format, "--jobs")?;
-    engine_shape(files, sformat, stats, warn, |f, options, interner| {
-        let bytes = std::fs::read(f).map_err(|e| CliError::Io(format!("{f}: {e}")))?;
-        recover::infer_slice_policy_dyn_in(sformat, &bytes, options, policy, jobs, interner)
-            .map_err(|e| engine_error(f, e))
-    })
+    let sources: Vec<engine::CorpusSource<'_>> = files
+        .iter()
+        .map(|f| engine::CorpusSource::File { path: f })
+        .collect();
+    engine_shape(files, sformat, &sources, jobs, policy, stats, warn)
 }
 
 /// The default one-shot pipeline: each file parses whole into a value

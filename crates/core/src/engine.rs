@@ -33,14 +33,16 @@
 //!
 //! [resumable boundary scanner]: tfd_json::stream::BoundaryScanner
 
+pub use crate::corpus::{infer_files_parallel, infer_sources_parallel, CorpusSource, FileSummary};
 use crate::csh::csh;
 use crate::infer::InferOptions;
 use crate::recover::RecoveryPolicy;
 use crate::stream::{InferAccumulator, StreamError, StreamFormat, StreamSummary};
 use crate::Shape;
+use std::collections::VecDeque;
 use std::io::Read;
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use tfd_value::{Interner, Name, Value};
 
 /// A position in a byte stream, carried across shard boundaries so
@@ -966,6 +968,149 @@ pub fn parse_slice<F: DataFormat>(corpus: &[u8], jobs: usize) -> Result<Vec<Valu
     Ok(values)
 }
 
+// --- The streaming drivers' scheduler: a byte-budgeted injector queue
+// --- shared by all workers, and a double-buffered chunk feeder that
+// --- overlaps `Read` with the boundary scan. ---
+
+/// A byte-budgeted multi-consumer work queue — the mutex-protected
+/// injector variant of a work-stealing deque (no new deps). The reading
+/// thread pushes record bundles tagged with their byte size; whichever
+/// worker goes idle first pops the next one, so a bundle holding one
+/// oversized record no longer stalls the workers a round-robin deal
+/// would have starved.
+///
+/// `push` blocks while the queued bytes exceed the budget — that
+/// back-pressure is what keeps streaming memory bounded — but always
+/// admits at least one item, so a single bundle larger than the whole
+/// budget still makes progress instead of deadlocking. `pop` drains
+/// remaining items after [`close`](WorkQueue::close), then returns
+/// `None`.
+pub(crate) struct WorkQueue<T> {
+    state: Mutex<QueueState<T>>,
+    can_pop: Condvar,
+    can_push: Condvar,
+    cap_bytes: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<(T, usize)>,
+    bytes: usize,
+    closed: bool,
+}
+
+#[allow(clippy::expect_used)] // lock poisoning == a worker panicked, which already aborts the scope
+impl<T> WorkQueue<T> {
+    pub(crate) fn new(cap_bytes: usize) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                bytes: 0,
+                closed: false,
+            }),
+            can_pop: Condvar::new(),
+            can_push: Condvar::new(),
+            cap_bytes,
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is over its byte
+    /// budget (unless it is empty — one item is always admitted).
+    pub(crate) fn push(&self, item: T, size: usize) {
+        let mut st = self.state.lock().expect("queue lock");
+        while !st.items.is_empty() && st.bytes.saturating_add(size) > self.cap_bytes {
+            st = self.can_push.wait(st).expect("queue lock");
+        }
+        st.bytes += size;
+        st.items.push_back((item, size));
+        drop(st);
+        self.can_pop.notify_one();
+    }
+
+    /// Takes the oldest queued item, blocking while the queue is empty
+    /// and open. `None` means closed-and-drained: the worker is done.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some((item, size)) = st.items.pop_front() {
+                st.bytes -= size;
+                drop(st);
+                self.can_push.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.can_pop.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Marks the end of input and wakes every blocked worker. The
+    /// producer MUST reach this on every exit path — workers block in
+    /// [`pop`](WorkQueue::pop) until it runs, and a scoped join cannot
+    /// complete while they do.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.can_pop.notify_all();
+        self.can_push.notify_all();
+    }
+}
+
+/// A double-buffering I/O thread: owns the reader and keeps up to two
+/// chunks in flight, so the `Read` syscall for chunk *n+1* overlaps the
+/// driver's boundary scan of chunk *n* (before this, the reading thread
+/// alternated the two serially — dead bus time on every chunk). Spent
+/// chunk buffers flow back through a recycle channel, so steady state
+/// allocates nothing.
+pub(crate) struct ChunkFeeder {
+    rx: mpsc::Receiver<std::io::Result<Vec<u8>>>,
+    recycle: mpsc::Sender<Vec<u8>>,
+}
+
+impl ChunkFeeder {
+    /// Spawns the I/O thread in `scope`. The thread exits on EOF, on
+    /// its first I/O error, or when the consuming driver is dropped.
+    pub(crate) fn spawn<'scope, R: Read + Send + 'scope>(
+        scope: &'scope std::thread::Scope<'scope, '_>,
+        mut reader: R,
+        chunk_size: usize,
+    ) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<std::io::Result<Vec<u8>>>(2);
+        let (recycle_tx, recycle_rx) = mpsc::channel::<Vec<u8>>();
+        scope.spawn(move || loop {
+            let mut buf = recycle_rx.try_recv().unwrap_or_default();
+            buf.resize(chunk_size.max(1), 0);
+            match reader.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    buf.truncate(n);
+                    if tx.send(Ok(buf)).is_err() {
+                        break; // driver gone (it hit an error) — stop reading
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    break;
+                }
+            }
+        });
+        ChunkFeeder {
+            rx,
+            recycle: recycle_tx,
+        }
+    }
+
+    /// The next chunk: `None` at EOF, `Some(Err)` on the stream's first
+    /// I/O error (the feeder stops after it, like the serial loop did).
+    pub(crate) fn next(&self) -> Option<std::io::Result<Vec<u8>>> {
+        self.rx.recv().ok()
+    }
+
+    /// Returns a spent buffer for reuse.
+    pub(crate) fn recycle(&self, buf: Vec<u8>) {
+        let _ = self.recycle.send(buf);
+    }
+}
+
 /// A bundle of whole records cut from the stream by the reading thread,
 /// bound for a parser worker.
 struct Bundle {
@@ -980,24 +1125,29 @@ struct Bundle {
 /// Parallel streaming parse→infer over any [`Read`] source, in bounded
 /// memory.
 ///
-/// The reading thread runs only the cheap boundary scan: it reads
-/// `chunk_size`-byte chunks, cuts them at the last record boundary, and
-/// fans complete-record bundles out to `jobs` parser workers
-/// round-robin; each worker folds each bundle into its own
-/// [`InferAccumulator`] and returns one shape *per bundle*, which the
-/// merge joins with [`csh`] in bundle order — `csh` appends record
-/// fields in first-encounter order, so only the document-order join
-/// reproduces the sequential fold byte for byte (shapes stay
-/// schema-sized, so keeping one per bundle costs little). Records that
-/// straddle chunk ends ride along in the carry buffer, so peak memory is
-/// O(jobs · chunk + longest record + one shape per bundle) regardless of
-/// corpus size. `jobs ≤ 1` runs the sequential [`infer_reader_seq`].
+/// Three thread roles overlap: a `ChunkFeeder` I/O thread keeps the
+/// next `Read` in flight while the driver thread runs the cheap
+/// boundary scan, cutting chunks at the last record boundary into
+/// complete-record bundles; `jobs` parser workers pull those bundles
+/// from a shared byte-budgeted `WorkQueue` — whichever worker goes
+/// idle first takes the next bundle, so skewed record sizes no longer
+/// idle the pool the way the old round-robin deal did. Each worker
+/// folds each bundle into its own [`InferAccumulator`] and returns one
+/// shape *per bundle*, which the merge joins with [`csh`] in bundle
+/// order — `csh` appends record fields in first-encounter order, so
+/// only the document-order join reproduces the sequential fold byte for
+/// byte (shapes stay schema-sized, so keeping one per bundle costs
+/// little; the scheduler changes who parses a bundle, never the join
+/// order). Records that straddle chunk ends ride along in the carry
+/// buffer, so peak memory is O(jobs · chunk + longest record + one
+/// shape per bundle) regardless of corpus size. `jobs ≤ 1` runs the
+/// sequential [`infer_reader_seq`].
 ///
 /// # Errors
 ///
 /// The first parse error in document order (stream-global positions) or
 /// I/O error — exactly what the sequential pipeline reports.
-pub fn infer_reader_parallel<F: DataFormat, R: Read>(
+pub fn infer_reader_parallel<F: DataFormat, R: Read + Send>(
     reader: R,
     options: &InferOptions,
     chunk_size: usize,
@@ -1019,7 +1169,7 @@ pub fn infer_reader_parallel<F: DataFormat, R: Read>(
 /// # Errors
 ///
 /// As [`infer_reader_parallel`].
-pub fn infer_reader_parallel_in<F: DataFormat, R: Read>(
+pub fn infer_reader_parallel_in<F: DataFormat, R: Read + Send>(
     reader: R,
     options: &InferOptions,
     chunk_size: usize,
@@ -1042,8 +1192,8 @@ pub fn infer_reader_parallel_in<F: DataFormat, R: Read>(
 /// thread's own carry buffer is bounded: a record that outgrows
 /// `max_record_bytes` while straddling chunks aborts with the format's
 /// record-size error instead of buffering without bound.
-pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
-    mut reader: R,
+pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read + Send>(
+    reader: R,
     options: &InferOptions,
     policy: &RecoveryPolicy,
     chunk_size: usize,
@@ -1053,77 +1203,93 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
     if jobs <= 1 {
         return infer_reader_seq_with::<F, R>(reader, options, policy, chunk_size, interner);
     }
-    let failed = std::sync::atomic::AtomicBool::new(false);
+    let failed = AtomicBool::new(false);
+    // The smallest bundle index any worker has failed on: bundles past
+    // it are beyond the (sequentially poisoned) first error and are
+    // skipped, exactly like the sequential pipeline never parsing them.
+    let poisoned = AtomicUsize::new(usize::MAX);
+    // Byte budget ≈ two chunks per worker in flight: enough slack that
+    // workers never starve behind the scan, small enough that streaming
+    // memory stays O(jobs · chunk).
+    let queue: WorkQueue<Bundle> =
+        WorkQueue::new(jobs.saturating_mul(chunk_size.max(1)).saturating_mul(2));
     std::thread::scope(|scope| {
+        let queue = &queue;
+        let failed = &failed;
+        let poisoned = &poisoned;
+        let feeder = ChunkFeeder::spawn(scope, reader, chunk_size);
         let mut scanner = F::boundaries();
         let mut carry: Vec<u8> = Vec::new();
         let mut boundaries: Vec<usize> = Vec::new(); // relative to `carry`
-        let mut chunk = vec![0u8; chunk_size.max(1)];
         let mut bytes_total = 0u64;
         let mut pos = TextPos::start();
         let mut ctx_established = false;
-        let mut txs: Vec<mpsc::SyncSender<Bundle>> = Vec::new();
         let mut handles = Vec::new();
         let mut bundle_idx = 0usize;
-        let failed = &failed;
+        // Workers borrow `queue` and block in `pop` until it closes, so
+        // no path may leave this closure before `queue.close()` runs —
+        // an early `return`/`?` would deadlock the scope join. Every
+        // failure sets `fatal` and falls through to the single exit.
+        let mut fatal: Option<StreamError> = None;
 
         // Consumes the prologue from `carry[..first_record_end]` and
         // spawns the worker pool (deferred until here because workers
         // need the context).
         macro_rules! establish_ctx {
             ($first_record_end:expr) => {{
-                let (consumed, c) =
-                    F::prologue(&carry[..$first_record_end], interner).map_err(F::wrap_error)?;
-                F::advance_pos(&mut pos, &carry[..consumed]);
-                carry.drain(..consumed);
-                for b in &mut boundaries {
-                    *b -= consumed;
-                }
-                let ctx_arc = Arc::new(c);
-                for _ in 0..jobs {
-                    // A small bound per worker keeps memory proportional
-                    // to jobs · chunk while still overlapping I/O with
-                    // parsing.
-                    let (tx, rx) = mpsc::sync_channel::<Bundle>(2);
-                    let worker_ctx = Arc::clone(&ctx_arc);
-                    let options = options.clone();
-                    txs.push(tx);
-                    handles.push(scope.spawn(move || {
-                        let mut folds: Vec<(usize, Shape, usize)> = Vec::new();
-                        let mut first_err: Option<(usize, F::Error)> = None;
-                        for Bundle { idx, pos, bytes } in rx {
-                            if first_err.is_some() {
-                                // This worker's bundles arrive in
-                                // increasing idx order; everything after
-                                // its first error is past the poisoned
-                                // point.
-                                continue;
-                            }
-                            let mut acc = InferAccumulator::new(options.clone());
-                            match run_shard::<F>(
-                                &bytes,
-                                &pos,
-                                &worker_ctx,
-                                policy,
-                                interner,
-                                &mut |v| acc.push(&v),
-                            ) {
-                                Ok(()) => {
-                                    let records = acc.records();
-                                    folds.push((idx, acc.finish(), records));
-                                }
-                                Err(e) => {
-                                    first_err = Some((idx, e));
-                                    // Tell the reading thread to stop:
-                                    // everything past this bundle is
-                                    // beyond the (sequentially poisoned)
-                                    // first error anyway.
-                                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
-                                }
-                            }
+                match F::prologue(&carry[..$first_record_end], interner) {
+                    Err(e) => Err(F::wrap_error(e)),
+                    Ok((consumed, c)) => {
+                        F::advance_pos(&mut pos, &carry[..consumed]);
+                        carry.drain(..consumed);
+                        for b in &mut boundaries {
+                            *b -= consumed;
                         }
-                        (first_err, folds)
-                    }));
+                        let ctx_arc = Arc::new(c);
+                        for _ in 0..jobs {
+                            let worker_ctx = Arc::clone(&ctx_arc);
+                            let options = options.clone();
+                            handles.push(scope.spawn(move || {
+                                let mut folds: Vec<(usize, Shape, usize)> = Vec::new();
+                                let mut first_err: Option<(usize, F::Error)> = None;
+                                while let Some(Bundle { idx, pos, bytes }) = queue.pop() {
+                                    if idx > poisoned.load(Ordering::Relaxed) {
+                                        continue;
+                                    }
+                                    let mut acc = InferAccumulator::new(options.clone());
+                                    match run_shard::<F>(
+                                        &bytes,
+                                        &pos,
+                                        &worker_ctx,
+                                        policy,
+                                        interner,
+                                        &mut |v| acc.push(&v),
+                                    ) {
+                                        Ok(()) => {
+                                            let records = acc.records();
+                                            folds.push((idx, acc.finish(), records));
+                                        }
+                                        Err(e) => {
+                                            // Earlier bundles (possibly on
+                                            // other workers) must still
+                                            // parse — one of them may hold
+                                            // an even earlier error.
+                                            poisoned.fetch_min(idx, Ordering::Relaxed);
+                                            failed.store(true, Ordering::Relaxed);
+                                            if first_err
+                                                .as_ref()
+                                                .is_none_or(|(best, _)| idx < *best)
+                                            {
+                                                first_err = Some((idx, e));
+                                            }
+                                        }
+                                    }
+                                }
+                                (first_err, folds)
+                            }));
+                        }
+                        Ok(())
+                    }
                 }
             }};
         }
@@ -1134,24 +1300,32 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
             // earlier bundle parsed clean or will surface an even
             // earlier error), so reading further is pure waste — the
             // sequential pipeline would have stopped here too.
-            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+            if failed.load(Ordering::Relaxed) {
                 carry.clear();
                 break;
             }
-            let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
-            if n == 0 {
-                break;
-            }
-            bytes_total += n as u64;
+            let chunk = match feeder.next() {
+                None => break, // EOF
+                Some(Err(e)) => {
+                    fatal = Some(StreamError::Io(e));
+                    break;
+                }
+                Some(Ok(chunk)) => chunk,
+            };
+            bytes_total += chunk.len() as u64;
             let base = carry.len();
-            F::scan(&mut scanner, &chunk[..n], &mut |off| {
+            F::scan(&mut scanner, &chunk, &mut |off| {
                 boundaries.push(base + off);
             });
-            carry.extend_from_slice(&chunk[..n]);
+            carry.extend_from_slice(&chunk);
+            feeder.recycle(chunk);
             if !ctx_established {
                 match boundaries.first().copied() {
                     Some(b0) => {
-                        establish_ctx!(b0);
+                        if let Err(e) = establish_ctx!(b0) {
+                            fatal = Some(e);
+                            break;
+                        }
                         ctx_established = true;
                     }
                     None => continue, // no complete record yet
@@ -1163,13 +1337,15 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
                     let bpos = pos;
                     F::advance_pos(&mut pos, &bundle);
                     carry.drain(..last);
-                    txs[bundle_idx % jobs]
-                        .send(Bundle {
+                    let size = bundle.len();
+                    queue.push(
+                        Bundle {
                             idx: bundle_idx,
                             pos: bpos,
                             bytes: bundle,
-                        })
-                        .expect("parser worker alive");
+                        },
+                        size,
+                    );
                     bundle_idx += 1;
                 }
                 boundaries.clear();
@@ -1178,31 +1354,39 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
             // open record: bound it, so one pathological record cannot
             // buffer the rest of the stream.
             if carry.len() > policy.max_record_bytes {
-                return Err(F::wrap_error(F::record_too_large(
+                fatal = Some(F::wrap_error(F::record_too_large(
                     policy.max_record_bytes,
                     &pos,
                 )));
+                break;
             }
         }
-        // End of input: whatever never completed a record is the
-        // prologue (a boundary-free corpus) …
-        if !ctx_established {
-            let end = carry.len();
-            establish_ctx!(end);
+        if fatal.is_none() {
+            // End of input: whatever never completed a record is the
+            // prologue (a boundary-free corpus) …
+            if !ctx_established {
+                let end = carry.len();
+                if let Err(e) = establish_ctx!(end) {
+                    fatal = Some(e);
+                }
+            }
+            // … and the remaining tail is the final bundle, whose worker
+            // `finish` reproduces the sequential EOF behaviour.
+            if fatal.is_none() && !carry.is_empty() {
+                let bundle = std::mem::take(&mut carry);
+                let size = bundle.len();
+                queue.push(
+                    Bundle {
+                        idx: bundle_idx,
+                        pos,
+                        bytes: bundle,
+                    },
+                    size,
+                );
+            }
         }
-        // … and the remaining tail is the final bundle, whose worker
-        // `finish` reproduces the sequential EOF behaviour.
-        if !carry.is_empty() {
-            let bundle = std::mem::take(&mut carry);
-            txs[bundle_idx % jobs]
-                .send(Bundle {
-                    idx: bundle_idx,
-                    pos,
-                    bytes: bundle,
-                })
-                .expect("parser worker alive");
-        }
-        drop(txs);
+        // The single exit: release the workers, join, then report.
+        queue.close();
 
         let mut folds: Vec<(usize, Shape, usize)> = Vec::new();
         let mut first_err: Option<(usize, F::Error)> = None;
@@ -1214,6 +1398,12 @@ pub(crate) fn infer_reader_parallel_with<F: DataFormat, R: Read>(
                 }
             }
             folds.extend(worker_folds);
+        }
+        // Reader-side failures (I/O, carry cap, prologue) outrank
+        // worker parse errors, as they did when the serial reader
+        // returned them before joining.
+        if let Some(e) = fatal {
+            return Err(e);
         }
         if let Some((_, e)) = first_err {
             return Err(F::wrap_error(e));
@@ -1365,7 +1555,7 @@ pub fn parse_slice_dyn(
 /// # Errors
 ///
 /// As [`infer_reader_parallel`].
-pub fn infer_reader_parallel_dyn<R: Read>(
+pub fn infer_reader_parallel_dyn<R: Read + Send>(
     format: StreamFormat,
     reader: R,
     options: &InferOptions,
@@ -1387,7 +1577,7 @@ pub fn infer_reader_parallel_dyn<R: Read>(
 /// # Errors
 ///
 /// As [`infer_reader_parallel`].
-pub fn infer_reader_parallel_dyn_in<R: Read>(
+pub fn infer_reader_parallel_dyn_in<R: Read + Send>(
     format: StreamFormat,
     reader: R,
     options: &InferOptions,

@@ -47,6 +47,7 @@
 
 pub mod analyze;
 mod conforms;
+pub mod corpus;
 mod csh;
 pub mod engine;
 mod env;
@@ -61,6 +62,7 @@ pub mod stream;
 mod tags;
 
 pub use conforms::{conforms, conforms_in, value_matches_tag};
+pub use corpus::{infer_files_parallel, infer_sources_parallel, CorpusSource, FileSummary};
 pub use csh::{csh, csh_all, csh_in};
 pub use engine::{CsvFormat, DataFormat, JsonFormat, XmlFormat};
 pub use env::{GlobalShape, ShapeEnv};

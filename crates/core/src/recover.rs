@@ -38,15 +38,15 @@
 
 use crate::csh::csh;
 use crate::engine::{
-    infer_reader_parallel_with, infer_slice_with, run_shard, with_format, CsvFormat, DataFormat,
-    JsonFormat, TextPos, XmlFormat,
+    infer_reader_parallel_with, infer_slice_with, run_shard, with_format, ChunkFeeder, CsvFormat,
+    DataFormat, JsonFormat, TextPos, WorkQueue, XmlFormat,
 };
 use crate::infer::InferOptions;
 use crate::stream::{InferAccumulator, StreamError, StreamFormat, StreamSummary};
 use crate::Shape;
 use std::io::Read;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use tfd_value::{Interner, Value};
 
 /// Default Skip-mode error budget: after this many skipped records the
@@ -522,7 +522,7 @@ struct SkipBundle {
 ///
 /// I/O errors always abort (a lost stream is not a malformed record).
 /// Otherwise as [`infer_slice_policy`].
-pub fn infer_reader_policy<F: DataFormat, R: Read>(
+pub fn infer_reader_policy<F: DataFormat, R: Read + Send>(
     reader: R,
     options: &InferOptions,
     policy: &RecoveryPolicy,
@@ -544,7 +544,7 @@ pub fn infer_reader_policy<F: DataFormat, R: Read>(
 /// # Errors
 ///
 /// As [`infer_reader_policy`].
-pub fn infer_reader_policy_in<F: DataFormat, R: Read>(
+pub fn infer_reader_policy_in<F: DataFormat, R: Read + Send>(
     reader: R,
     options: &InferOptions,
     policy: &RecoveryPolicy,
@@ -570,8 +570,8 @@ pub fn infer_reader_policy_in<F: DataFormat, R: Read>(
 
 #[allow(clippy::expect_used)] // checked invariant, documented at each site
 /// The Skip-mode streaming driver (see [`infer_reader_policy`]).
-fn skip_reader<F: DataFormat, R: Read>(
-    mut reader: R,
+fn skip_reader<F: DataFormat, R: Read + Send>(
+    reader: R,
     options: &InferOptions,
     policy: &RecoveryPolicy,
     chunk_size: usize,
@@ -582,19 +582,28 @@ fn skip_reader<F: DataFormat, R: Read>(
     // Shared skip counter: workers add their skips so the reading
     // thread can stop dispatching once the budget is certainly blown.
     let err_count = AtomicUsize::new(0);
+    // The engine driver's shared injector queue (see
+    // `engine::WorkQueue`): idle-worker pull instead of round-robin
+    // dealing, byte-budgeted to two chunks per worker.
+    let queue: WorkQueue<SkipBundle> =
+        WorkQueue::new(jobs.saturating_mul(chunk_size.max(1)).saturating_mul(2));
     std::thread::scope(|scope| {
         let err_count = &err_count;
+        let queue = &queue;
+        let feeder = ChunkFeeder::spawn(scope, reader, chunk_size);
         let mut scanner = F::boundaries();
         let mut carry: Vec<u8> = Vec::new();
         let mut cuts: Vec<usize> = Vec::new(); // relative to `carry`
-        let mut chunk = vec![0u8; chunk_size.max(1)];
         let mut bytes_total = 0u64;
         let mut pos = TextPos::start();
         let mut dropping = false;
         let mut ctx: Option<Arc<F::Context>> = None;
-        let mut txs: Vec<mpsc::SyncSender<SkipBundle>> = Vec::new();
         let mut handles = Vec::new();
         let mut bundle_idx = 0usize;
+        // Workers borrow `queue` and block in `pop` until it closes, so
+        // no path may leave this closure before `queue.close()` — every
+        // failure sets `fatal` and falls through to the single exit.
+        let mut fatal: Option<StreamError> = None;
         // Error-report fragments keyed for the document-order merge:
         // reader-side errors land at key 2·(next bundle idx) — they sit
         // between the already-dispatched bundles and the next one —
@@ -613,18 +622,16 @@ fn skip_reader<F: DataFormat, R: Read>(
             ($ctx_value:expr) => {{
                 let ctx_arc = Arc::new($ctx_value);
                 for _ in 0..jobs {
-                    let (tx, rx) = mpsc::sync_channel::<SkipBundle>(2);
                     let worker_ctx = Arc::clone(&ctx_arc);
                     let options = options.clone();
-                    txs.push(tx);
                     handles.push(scope.spawn(move || {
                         let mut out: Vec<(usize, Shape, usize, ErrorReport)> = Vec::new();
-                        for SkipBundle {
+                        while let Some(SkipBundle {
                             idx,
                             pos,
                             bytes,
                             mut cuts,
-                        } in rx
+                        }) = queue.pop()
                         {
                             if cuts.last().copied().unwrap_or(0) < bytes.len() {
                                 cuts.push(bytes.len());
@@ -672,33 +679,39 @@ fn skip_reader<F: DataFormat, R: Read>(
                 cuts.clear();
                 break;
             }
-            let n = reader.read(&mut chunk).map_err(StreamError::Io)?;
-            if n == 0 {
-                break;
-            }
-            bytes_total += n as u64;
+            let chunk = match feeder.next() {
+                None => break, // EOF
+                Some(Err(e)) => {
+                    fatal = Some(StreamError::Io(e));
+                    break;
+                }
+                Some(Ok(chunk)) => chunk,
+            };
+            bytes_total += chunk.len() as u64;
             let mut newb: Vec<usize> = Vec::new(); // chunk-relative
-            F::scan(&mut scanner, &chunk[..n], &mut |off| newb.push(off));
+            F::scan(&mut scanner, &chunk, &mut |off| newb.push(off));
             if dropping {
                 // The oversized record (already logged) is still open:
                 // discard its bytes until its end boundary shows up.
                 match newb.first().copied() {
                     None => {
-                        F::advance_pos(&mut pos, &chunk[..n]);
+                        F::advance_pos(&mut pos, &chunk);
+                        feeder.recycle(chunk);
                         continue;
                     }
                     Some(b0) => {
                         F::advance_pos(&mut pos, &chunk[..b0]);
                         dropping = false;
-                        carry.extend_from_slice(&chunk[b0..n]);
+                        carry.extend_from_slice(&chunk[b0..]);
                         cuts.extend(newb[1..].iter().map(|&b| b - b0));
                     }
                 }
             } else {
                 let base = carry.len();
                 cuts.extend(newb.iter().map(|&b| base + b));
-                carry.extend_from_slice(&chunk[..n]);
+                carry.extend_from_slice(&chunk);
             }
+            feeder.recycle(chunk);
             // Prologue hunt over the complete records available so far.
             while ctx.is_none() {
                 let Some(&c0) = cuts.first() else { break };
@@ -736,14 +749,16 @@ fn skip_reader<F: DataFormat, R: Read>(
                         let bpos = pos;
                         F::advance_pos(&mut pos, &bytes);
                         carry.drain(..last);
-                        txs[bundle_idx % jobs]
-                            .send(SkipBundle {
+                        let size = bytes.len();
+                        queue.push(
+                            SkipBundle {
                                 idx: bundle_idx,
                                 pos: bpos,
                                 bytes,
                                 cuts: bcuts,
-                            })
-                            .expect("recovery worker alive");
+                            },
+                            size,
+                        );
                         bundle_idx += 1;
                     } else {
                         cuts.clear();
@@ -769,11 +784,13 @@ fn skip_reader<F: DataFormat, R: Read>(
         // End of input (budget aborts arrive here too, with an empty
         // carry). A still-dropping record was already logged; an under-
         // budget run finishes the prologue hunt and the tail bundle.
-        if !dropping && err_count.load(Ordering::Relaxed) <= policy.max_errors {
+        if fatal.is_none() && !dropping && err_count.load(Ordering::Relaxed) <= policy.max_errors {
             if ctx.is_none() {
                 if bytes_total == 0 {
                     // Empty input: behave exactly like fail-fast.
-                    F::prologue(&[], interner).map_err(F::wrap_error)?;
+                    if let Err(e) = F::prologue(&[], interner) {
+                        fatal = Some(F::wrap_error(e));
+                    }
                 } else if !carry.is_empty() {
                     // A boundary-free corpus (or one whose every record
                     // already failed the hunt): the rest is the final
@@ -791,26 +808,30 @@ fn skip_reader<F: DataFormat, R: Read>(
                     }
                 }
             }
-            if !carry.is_empty() {
-                if let Some(_c) = &ctx {
-                    let bytes = std::mem::take(&mut carry);
-                    let bcuts: Vec<usize> = std::mem::take(&mut cuts);
-                    txs[bundle_idx % jobs]
-                        .send(SkipBundle {
-                            idx: bundle_idx,
-                            pos,
-                            bytes,
-                            cuts: bcuts,
-                        })
-                        .expect("recovery worker alive");
-                }
+            if fatal.is_none() && !carry.is_empty() && ctx.is_some() {
+                let bytes = std::mem::take(&mut carry);
+                let bcuts: Vec<usize> = std::mem::take(&mut cuts);
+                let size = bytes.len();
+                queue.push(
+                    SkipBundle {
+                        idx: bundle_idx,
+                        pos,
+                        bytes,
+                        cuts: bcuts,
+                    },
+                    size,
+                );
             }
         }
-        drop(txs);
+        // The single exit: release the workers, join, then report.
+        queue.close();
 
         let mut folds: Vec<(usize, Shape, usize, ErrorReport)> = Vec::new();
         for h in handles {
             folds.extend(h.join().expect("recovery worker panicked"));
+        }
+        if let Some(e) = fatal {
+            return Err(e);
         }
         folds.sort_unstable_by_key(|f| f.0);
         let mut shape = Shape::Bottom;
@@ -877,7 +898,7 @@ pub fn infer_slice_policy_dyn_in(
 /// # Errors
 ///
 /// As [`infer_reader_policy`].
-pub fn infer_reader_policy_dyn<R: Read>(
+pub fn infer_reader_policy_dyn<R: Read + Send>(
     format: StreamFormat,
     reader: R,
     options: &InferOptions,
@@ -893,7 +914,7 @@ pub fn infer_reader_policy_dyn<R: Read>(
 /// # Errors
 ///
 /// As [`infer_reader_policy`].
-pub fn infer_reader_policy_dyn_in<R: Read>(
+pub fn infer_reader_policy_dyn_in<R: Read + Send>(
     format: StreamFormat,
     reader: R,
     options: &InferOptions,

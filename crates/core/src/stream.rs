@@ -258,7 +258,7 @@ pub const DEFAULT_CHUNK_SIZE: usize = 64 * 1024;
 /// assert!(matches!(summary.shape, Shape::Record(_)));
 /// # Ok::<(), tfd_core::stream::StreamError>(())
 /// ```
-pub fn infer_reader<R: Read>(
+pub fn infer_reader<R: Read + Send>(
     reader: R,
     format: StreamFormat,
     options: &InferOptions,

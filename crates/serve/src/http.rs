@@ -376,6 +376,7 @@ pub fn reason(status: u16) -> &'static str {
         422 => "Unprocessable Entity",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }

@@ -39,4 +39,4 @@ pub use registry::{
     CheckOutcome, DiffOutcome, IngestOutcome, IngestRequest, ProviderKind, Registry, RegistryError,
     TenantStats,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ConnGauge, ConnStats, ServeConfig, Server, ServerHandle};

@@ -34,7 +34,7 @@ use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 use tfd_codegen::{generate_global, CodegenOptions, SourceFormat};
 use tfd_core::analyze::{diff_global, fingerprint, CompatMode, ShapeFingerprint};
-use tfd_core::recover::{self, ErrorReport, RecoveryPolicy};
+use tfd_core::recover::{ErrorReport, RecoveryPolicy};
 use tfd_core::report::diff_json;
 use tfd_core::stream::StreamError;
 use tfd_core::{conforms_in, engine, GlobalShape, Shape, StreamFormat};
@@ -290,26 +290,36 @@ impl Registry {
     /// [`EmptyCorpus`](RegistryError::EmptyCorpus) on record-free
     /// input, [`FormatConflict`](RegistryError::FormatConflict) when
     /// the tenant folds a different format.
+    #[allow(clippy::expect_used)] // one source in, one result out — checked by the engine's contract
     pub fn ingest(
         &self,
         tenant: &str,
         req: &IngestRequest<'_>,
     ) -> Result<IngestOutcome, RegistryError> {
-        // Parse + fold outside any lock, in an arena that dies with the
-        // request: the corpus's whole data vocabulary (however many
-        // distinct keys it carries) is reclaimed before the response is
-        // written; only the schema-sized shape survives.
-        let request_arena = Interner::new();
+        // Parse + fold outside any lock through the engine's corpus
+        // driver (the same entry multi-file `tfd infer` uses), in an
+        // arena that dies with the request: the corpus's whole data
+        // vocabulary (however many distinct keys it carries) is
+        // reclaimed before the response is written; only the
+        // schema-sized shape survives.
         let options = engine::infer_options_dyn(req.format);
-        let recovered = recover::infer_slice_policy_dyn_in(
+        let sources = [engine::CorpusSource::Bytes(req.body)];
+        let summary = engine::infer_sources_parallel(
             req.format,
-            req.body,
+            &sources,
             &options,
             &req.policy,
             req.jobs.max(1),
-            &request_arena,
         )
+        .pop()
+        .expect("one source in, one result out")
         .map_err(RegistryError::Stream)?;
+        // The arena must outlive the reintern below, which migrates the
+        // shape's names out of it into the tenant arena.
+        let engine::FileSummary {
+            recovered,
+            arena: _request_arena,
+        } = summary;
         if recovered.summary.records == 0 {
             return Err(RegistryError::EmptyCorpus);
         }

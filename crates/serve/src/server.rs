@@ -27,9 +27,10 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use tfd_core::analyze::CompatMode;
 use tfd_core::recover::RecoveryPolicy;
@@ -43,13 +44,94 @@ use crate::registry::{parse_stream_format, IngestRequest, ProviderKind, Registry
 pub struct ServeConfig {
     /// Cap on one request body (the uploaded corpus), in bytes.
     pub max_body_bytes: usize,
+    /// Per-connection socket read timeout (`None` = unbounded). A
+    /// client that trickles its request slower than this is
+    /// disconnected — the slowloris defence.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection socket write timeout (`None` = unbounded), so a
+    /// client that stops reading its response cannot pin a handler.
+    pub write_timeout: Option<Duration>,
+    /// Cap on concurrently serving handler threads. Connections over
+    /// the cap are refused with `503 server-busy` instead of queueing
+    /// without bound.
+    pub max_connections: usize,
 }
+
+/// Default per-connection socket timeout: generous for real clients,
+/// fatal for slowloris drips.
+const DEFAULT_CONN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default cap on concurrent handler threads.
+const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            read_timeout: Some(DEFAULT_CONN_TIMEOUT),
+            write_timeout: Some(DEFAULT_CONN_TIMEOUT),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
         }
+    }
+}
+
+/// Live occupancy of the connection handler pool, observable through
+/// `/v1/stats` (and `tfd stats --addr`) so the cap is visible from the
+/// outside, not just felt.
+#[derive(Debug, Default)]
+pub struct ConnGauge {
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    refused: AtomicU64,
+}
+
+/// A point-in-time reading of the gauge.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnStats {
+    /// Handler threads currently serving a connection.
+    pub active: usize,
+    /// Connections accepted into a handler since the daemon started.
+    pub accepted: u64,
+    /// Connections refused with `503 server-busy` since the daemon
+    /// started.
+    pub refused: u64,
+}
+
+impl ConnGauge {
+    /// Tries to claim a handler slot under `cap`; `None` means the pool
+    /// is full and the connection must be refused. The returned guard
+    /// releases the slot on drop (panic-safe: a crashing handler still
+    /// frees its slot).
+    fn try_acquire(self: &Arc<Self>, cap: usize) -> Option<ConnGuard> {
+        let prev = self.active.fetch_add(1, Ordering::SeqCst);
+        if prev >= cap.max(1) {
+            self.active.fetch_sub(1, Ordering::SeqCst);
+            self.refused.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        Some(ConnGuard {
+            gauge: Arc::clone(self),
+        })
+    }
+
+    /// The current occupancy and lifetime accept/refuse counters.
+    pub fn snapshot(&self) -> ConnStats {
+        ConnStats {
+            active: self.active.load(Ordering::SeqCst),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct ConnGuard {
+    gauge: Arc<ConnGauge>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.gauge.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -59,6 +141,7 @@ pub struct Server {
     registry: Arc<Registry>,
     config: ServeConfig,
     stop: Arc<AtomicBool>,
+    gauge: Arc<ConnGauge>,
 }
 
 impl Server {
@@ -74,6 +157,7 @@ impl Server {
             registry: Arc::new(Registry::new()),
             config,
             stop: Arc::new(AtomicBool::new(false)),
+            gauge: Arc::new(ConnGauge::default()),
         })
     }
 
@@ -92,23 +176,66 @@ impl Server {
     }
 
     /// Serves until stopped: accepts connections forever, one handler
-    /// thread per connection. A failed accept is retried; a panic in a
-    /// handler kills only its connection's thread, never the daemon —
-    /// one bad request cannot take the registry down.
+    /// thread per connection, capped at
+    /// [`max_connections`](ServeConfig::max_connections) concurrent
+    /// handlers (over-cap connections get an immediate `503
+    /// server-busy`). Every accepted socket carries the configured
+    /// read/write timeouts, so a client that stalls mid-request or
+    /// mid-response is disconnected instead of pinning a handler
+    /// forever. A failed accept is retried; a panic in a handler kills
+    /// only its connection's thread, never the daemon — one bad request
+    /// cannot take the registry down.
     pub fn run(self) {
         let Server {
             listener,
             registry,
             config,
             stop,
+            gauge,
         } = self;
         for conn in listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = conn else { continue };
-            let registry = registry.clone();
-            thread::spawn(move || handle_connection(stream, &registry, config));
+            // Timeouts go on before any byte is exchanged: the defence
+            // must cover the request head, not just the body.
+            let _ = stream.set_read_timeout(config.read_timeout);
+            let _ = stream.set_write_timeout(config.write_timeout);
+            match gauge.try_acquire(config.max_connections) {
+                Some(guard) => {
+                    let registry = registry.clone();
+                    let gauge = gauge.clone();
+                    thread::spawn(move || {
+                        let _guard = guard;
+                        handle_connection(stream, &registry, config, &gauge);
+                    });
+                }
+                None => {
+                    // Refuse off the accept thread — the write timeout
+                    // bounds this thread's lifetime even against a
+                    // client that never reads.
+                    thread::spawn(move || {
+                        let mut stream = stream;
+                        let resp =
+                            error_response(503, "server-busy", "connection limit reached; retry");
+                        let _ = stream.write_all(&resp.to_bytes());
+                        let _ = stream.flush();
+                        // Closing with the client's unsent request still
+                        // in flight would RST the 503 off the wire; a
+                        // bounded drain (read timeout still armed) lets
+                        // the client finish and read its refusal.
+                        let mut sink = [0u8; 8 * 1024];
+                        let mut drained = 0usize;
+                        while drained < 256 * 1024 {
+                            match std::io::Read::read(&mut stream, &mut sink) {
+                                Ok(0) | Err(_) => break,
+                                Ok(n) => drained += n,
+                            }
+                        }
+                    });
+                }
+            }
         }
     }
 
@@ -172,9 +299,14 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &Registry, config: ServeConfig) {
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &Registry,
+    config: ServeConfig,
+    gauge: &ConnGauge,
+) {
     let (response, refused_early) = match read_request(&mut stream, config.max_body_bytes) {
-        Ok(request) => (route(&request, registry), false),
+        Ok(request) => (route(&request, registry, gauge, &config), false),
         Err(HttpError::Io(_)) => return, // socket died; nobody to answer
         Err(e) => (error_response(e.status(), e.code(), &e.to_string()), true),
     };
@@ -227,11 +359,16 @@ fn registry_error_response(e: &RegistryError) -> Response {
     }
 }
 
-fn route(request: &Request, registry: &Registry) -> Response {
+fn route(
+    request: &Request,
+    registry: &Registry,
+    gauge: &ConnGauge,
+    config: &ServeConfig,
+) -> Response {
     let segments = request.segments();
     match segments.as_slice() {
         ["v1", "stats"] => match request.method.as_str() {
-            "GET" => stats(registry),
+            "GET" => stats(registry, gauge, config),
             _ => method_not_allowed(request),
         },
         ["v1", tenant] => match request.method.as_str() {
@@ -458,12 +595,21 @@ fn evict(registry: &Registry, tenant: &str) -> Response {
     }
 }
 
-fn stats(registry: &Registry) -> Response {
+fn stats(registry: &Registry, gauge: &ConnGauge, config: &ServeConfig) -> Response {
     let process = tfd_value::intern::stats();
+    let conns = gauge.snapshot();
     let mut body = format!(
         "{{\"process\":{{\"symbols\":{},\"spelling_bytes\":{},\"retained_bytes\":{},\
-         \"arenas\":{}}},\"tenants\":[",
-        process.symbols, process.spelling_bytes, process.retained_bytes, process.arenas
+         \"arenas\":{}}},\"connections\":{{\"active\":{},\"capacity\":{},\"accepted\":{},\
+         \"refused\":{}}},\"tenants\":[",
+        process.symbols,
+        process.spelling_bytes,
+        process.retained_bytes,
+        process.arenas,
+        conns.active,
+        config.max_connections,
+        conns.accepted,
+        conns.refused,
     );
     for (i, t) in registry.stats().iter().enumerate() {
         if i > 0 {

@@ -1,13 +1,23 @@
-//! memchr-style chunked byte scanning (SWAR) for the front-end hot loops.
+//! memchr-style chunked byte scanning with runtime SIMD dispatch for
+//! the front-end hot loops.
 //!
 //! Every byte-level boundary scanner in the workspace spends its time
 //! answering one question: *where is the next special byte?* — the next
 //! delimiter, quote or line ending for CSV, the next `<`/`&` for XML
 //! character data, the next bracket or quote for JSON containers.
 //! Answering it byte-at-a-time wastes the memory bus. These helpers
-//! process eight bytes per iteration with the classic SWAR zero-byte
-//! trick (no intrinsics, no dependencies — the build environment has no
-//! crates.io, so `memchr` itself is out of reach):
+//! split the work in two:
+//!
+//! * a bounded **short-hop probe** (≤ 16 scalar bytes, which LLVM
+//!   autovectorizes) handles the common case of a special a few bytes
+//!   away — the crossover was measured, not guessed (see the
+//!   `csv_scan_swar_vs_naive` entry `pipeline_baseline` writes);
+//! * runs longer than the probe fall through to a **kernel picked once
+//!   per process** from a function-pointer table, memchr-style: AVX2
+//!   when `is_x86_feature_detected!` says so, SSE2 on every x86-64,
+//!   NEON on aarch64, and the portable SWAR word loop everywhere else
+//!   (the build environment has no crates.io, so `memchr` itself is out
+//!   of reach):
 //!
 //! ```text
 //! zero_byte_mask(x) = (x - 0x0101…) & !x & 0x8080…
@@ -18,15 +28,29 @@
 //! `u64::from_le_bytes` + `trailing_zeros` keep the index math
 //! endian-correct everywhere.
 //!
+//! The selected kernel is visible as [`backend_name`] (recorded in the
+//! bench JSONs), every compiled kernel is enumerable via
+//! [`available_backends`] and forcible via [`force_backend`] or the
+//! `TFD_SCAN_BACKEND` environment variable — which is how the
+//! `tests/scan_backends.rs` differential suite proves every kernel
+//! byte-identical to the scalar reference.
+//!
 //! The module lives in `tfd-value` (the one crate every front-end
 //! depends on) so the CSV, JSON and XML scanners all share one
 //! implementation; `tfd_csv::scan` re-exports it for compatibility. The
 //! `*_naive` twins are the byte-at-a-time loops the helpers replaced;
-//! the `pipeline_baseline` benchmark runs both so the speedup stays an
-//! honest, re-measurable number (see `BENCH_PR4.json`/`BENCH_PR5.json`).
+//! the `pipeline_baseline` benchmark runs dispatch, SWAR and naive
+//! side by side so the speedup stays an honest, re-measurable number
+//! (see `BENCH_PR4.json`/`BENCH_PR5.json`/`BENCH_PR10.json`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
 
 const LO: u64 = 0x0101_0101_0101_0101;
 const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Length of the scalar short-hop probe the public wrappers run before
+/// dispatching to a kernel.
+const PROBE: usize = 16;
 
 #[inline]
 fn splat(b: u8) -> u64 {
@@ -39,9 +63,187 @@ fn zero_byte_mask(x: u64) -> u64 {
     x.wrapping_sub(LO) & !x & HI
 }
 
-#[allow(clippy::expect_used)] // checked invariant, documented at each site
-/// Index of the first occurrence of `a` or `b` in `haystack`, SWAR eight
-/// bytes at a time.
+// --- The dispatch table ---
+
+/// One scanner implementation: the four arities the front-ends use.
+#[allow(clippy::type_complexity)] // plain fn-pointer fields; aliases would obscure them
+struct Kernels {
+    name: &'static str,
+    find_byte: fn(&[u8], u8) -> Option<usize>,
+    find_any2: fn(&[u8], u8, u8) -> Option<usize>,
+    find_any3: fn(&[u8], u8, u8, u8) -> Option<usize>,
+    find_any5: fn(&[u8], u8, u8, u8, u8, u8) -> Option<usize>,
+}
+
+static SWAR_KERNELS: Kernels = Kernels {
+    name: "swar",
+    find_byte: swar::find_byte,
+    find_any2: swar::find_any2,
+    find_any3: swar::find_any3,
+    find_any5: swar::find_any5,
+};
+
+#[cfg(target_arch = "x86_64")]
+static SSE2_KERNELS: Kernels = Kernels {
+    name: "sse2",
+    find_byte: x86::sse2_find_byte,
+    find_any2: x86::sse2_find_any2,
+    find_any3: x86::sse2_find_any3,
+    find_any5: x86::sse2_find_any5,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_KERNELS: Kernels = Kernels {
+    name: "avx2",
+    find_byte: x86::avx2_find_byte,
+    find_any2: x86::avx2_find_any2,
+    find_any3: x86::avx2_find_any3,
+    find_any5: x86::avx2_find_any5,
+};
+
+#[cfg(target_arch = "aarch64")]
+static NEON_KERNELS: Kernels = Kernels {
+    name: "neon",
+    find_byte: neon::find_byte,
+    find_any2: neon::find_any2,
+    find_any3: neon::find_any3,
+    find_any5: neon::find_any5,
+};
+
+// Backend selector values for the one-word dispatch state. 0 means
+// "not yet selected"; `kernels()` resolves it exactly once per process
+// (or after a `force_backend` reset) and every later call is one
+// relaxed load + a two-instruction match.
+const B_UNSET: u8 = 0;
+const B_SWAR: u8 = 1;
+#[cfg(target_arch = "x86_64")]
+const B_SSE2: u8 = 2;
+#[cfg(target_arch = "x86_64")]
+const B_AVX2: u8 = 3;
+#[cfg(target_arch = "aarch64")]
+const B_NEON: u8 = 4;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(B_UNSET);
+
+#[inline]
+fn kernels() -> &'static Kernels {
+    match ACTIVE.load(Ordering::Relaxed) {
+        B_SWAR => &SWAR_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        B_SSE2 => &SSE2_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        B_AVX2 => &AVX2_KERNELS,
+        #[cfg(target_arch = "aarch64")]
+        B_NEON => &NEON_KERNELS,
+        _ => select_kernels(),
+    }
+}
+
+/// Cold path: picks the widest kernel the host supports (honouring a
+/// `TFD_SCAN_BACKEND` override), publishes it, and returns it. Racing
+/// initializers agree on the answer, so the store needs no CAS.
+#[cold]
+fn select_kernels() -> &'static Kernels {
+    let forced = std::env::var("TFD_SCAN_BACKEND").ok();
+    let id = forced
+        .as_deref()
+        .and_then(backend_id)
+        .unwrap_or_else(detect_backend);
+    ACTIVE.store(id, Ordering::Relaxed);
+    by_id(id)
+}
+
+/// The widest backend this host can run.
+fn detect_backend() -> u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return B_AVX2;
+        }
+        return B_SSE2;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return B_NEON;
+    }
+    #[allow(unreachable_code)]
+    B_SWAR
+}
+
+/// The selector for `name`, if that backend is compiled in *and*
+/// runnable on this host.
+fn backend_id(name: &str) -> Option<u8> {
+    match name {
+        "swar" => Some(B_SWAR),
+        #[cfg(target_arch = "x86_64")]
+        "sse2" => Some(B_SSE2),
+        #[cfg(target_arch = "x86_64")]
+        "avx2" if std::arch::is_x86_feature_detected!("avx2") => Some(B_AVX2),
+        #[cfg(target_arch = "aarch64")]
+        "neon" => Some(B_NEON),
+        _ => None,
+    }
+}
+
+fn by_id(id: u8) -> &'static Kernels {
+    match id {
+        #[cfg(target_arch = "x86_64")]
+        B_SSE2 => &SSE2_KERNELS,
+        #[cfg(target_arch = "x86_64")]
+        B_AVX2 => &AVX2_KERNELS,
+        #[cfg(target_arch = "aarch64")]
+        B_NEON => &NEON_KERNELS,
+        _ => &SWAR_KERNELS,
+    }
+}
+
+/// The name of the kernel dispatch is currently using: `"avx2"`,
+/// `"sse2"`, `"neon"` or `"swar"`. Selection happens on first use (of
+/// this function or any scanner); the bench harness records it so scan
+/// figures are interpretable across hosts.
+pub fn backend_name() -> &'static str {
+    kernels().name
+}
+
+/// Every backend this build can run on this host, widest first. The
+/// parity suite iterates this list, forcing each in turn.
+pub fn available_backends() -> Vec<&'static str> {
+    let mut out = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            out.push("avx2");
+        }
+        out.push("sse2");
+    }
+    #[cfg(target_arch = "aarch64")]
+    out.push("neon");
+    out.push("swar");
+    out
+}
+
+/// Forces dispatch onto the named backend (`"auto"` re-runs detection).
+/// Returns `false` — leaving the current selection untouched — when the
+/// backend is not compiled in or not runnable on this host. A testing
+/// and benchmarking hook: it swaps a process-global table, so never
+/// call it concurrently with scans whose backend must stay fixed.
+pub fn force_backend(name: &str) -> bool {
+    if name == "auto" {
+        ACTIVE.store(detect_backend(), Ordering::Relaxed);
+        return true;
+    }
+    match backend_id(name) {
+        Some(id) => {
+            ACTIVE.store(id, Ordering::Relaxed);
+            true
+        }
+        None => false,
+    }
+}
+
+// --- Public entry points (probe + dispatch) ---
+
+/// Index of the first occurrence of `a` or `b` in `haystack`.
 ///
 /// ```
 /// use tfd_value::scan::find_any2;
@@ -52,35 +254,19 @@ fn zero_byte_mask(x: u64) -> u64 {
 pub fn find_any2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
     // Short-hop fast path: most runs between specials are a few bytes
     // wide, and for those a bounded scalar probe (which LLVM vectorizes)
-    // beats the word-loop setup. Only runs longer than the probe fall
-    // through to SWAR.
-    let probe = haystack.len().min(16);
+    // beats any kernel's setup. Only runs longer than the probe pay the
+    // dispatch load.
+    let probe = haystack.len().min(PROBE);
     if let Some(p) = haystack[..probe].iter().position(|&x| x == a || x == b) {
         return Some(p);
     }
     if probe == haystack.len() {
         return None;
     }
-    let (sa, sb) = (splat(a), splat(b));
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits = zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == a || x == b)
-        .map(|p| i + p)
+    (kernels().find_any2)(&haystack[probe..], a, b).map(|p| probe + p)
 }
 
-#[allow(clippy::expect_used)] // checked invariant, documented at each site
-/// Index of the first occurrence of `a`, `b` or `c` in `haystack`, SWAR
-/// eight bytes at a time.
+/// Index of the first occurrence of `a`, `b` or `c` in `haystack`.
 ///
 /// ```
 /// use tfd_value::scan::find_any3;
@@ -90,10 +276,7 @@ pub fn find_any2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
 /// ```
 #[inline]
 pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
-    // Same short-hop probe as [`find_any2`]. The crossover was measured,
-    // not guessed — see the `csv_scan_swar_vs_naive` entry
-    // `pipeline_baseline` writes.
-    let probe = haystack.len().min(16);
+    let probe = haystack.len().min(PROBE);
     if let Some(p) = haystack[..probe]
         .iter()
         .position(|&x| x == a || x == b || x == c)
@@ -103,28 +286,11 @@ pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
     if probe == haystack.len() {
         return None;
     }
-    let (sa, sb, sc) = (splat(a), splat(b), splat(c));
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits =
-            zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb) | zero_byte_mask(word ^ sc);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == a || x == b || x == c)
-        .map(|p| i + p)
+    (kernels().find_any3)(&haystack[probe..], a, b, c).map(|p| probe + p)
 }
 
-#[allow(clippy::expect_used)] // checked invariant, documented at each site
-/// Index of the first occurrence of any of five needles, SWAR eight
-/// bytes at a time — sized for the JSON container scanner, whose
-/// specials are `{` `}` `[` `]` `"`.
+/// Index of the first occurrence of any of five needles — sized for the
+/// JSON container scanner, whose specials are `{` `}` `[` `]` `"`.
 ///
 /// ```
 /// use tfd_value::scan::find_any5;
@@ -133,7 +299,7 @@ pub fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
 /// ```
 #[inline]
 pub fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
-    let probe = haystack.len().min(16);
+    let probe = haystack.len().min(PROBE);
     if let Some(p) = haystack[..probe]
         .iter()
         .position(|&x| x == a || x == b || x == c || x == d || x == e)
@@ -143,29 +309,10 @@ pub fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<u
     if probe == haystack.len() {
         return None;
     }
-    let (sa, sb, sc, sd, se) = (splat(a), splat(b), splat(c), splat(d), splat(e));
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits = zero_byte_mask(word ^ sa)
-            | zero_byte_mask(word ^ sb)
-            | zero_byte_mask(word ^ sc)
-            | zero_byte_mask(word ^ sd)
-            | zero_byte_mask(word ^ se);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == a || x == b || x == c || x == d || x == e)
-        .map(|p| i + p)
+    (kernels().find_any5)(&haystack[probe..], a, b, c, d, e).map(|p| probe + p)
 }
 
-#[allow(clippy::expect_used)] // checked invariant, documented at each site
-/// Index of the first occurrence of `needle`, SWAR eight bytes at a time.
+/// Index of the first occurrence of `needle`.
 ///
 /// ```
 /// use tfd_value::scan::find_byte;
@@ -174,43 +321,338 @@ pub fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<u
 /// ```
 #[inline]
 pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
-    // Same short-hop probe as [`find_any3`].
-    let probe = haystack.len().min(16);
+    let probe = haystack.len().min(PROBE);
     if let Some(p) = haystack[..probe].iter().position(|&x| x == needle) {
         return Some(p);
     }
     if probe == haystack.len() {
         return None;
     }
-    let s = splat(needle);
-    let n = haystack.len();
-    let mut i = probe;
-    while i + 8 <= n {
-        let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
-        let hits = zero_byte_mask(word ^ s);
-        if hits != 0 {
-            return Some(i + (hits.trailing_zeros() / 8) as usize);
-        }
-        i += 8;
-    }
-    haystack[i..]
-        .iter()
-        .position(|&x| x == needle)
-        .map(|p| i + p)
+    (kernels().find_byte)(&haystack[probe..], needle).map(|p| probe + p)
 }
 
 /// The byte-at-a-time loop [`find_any3`] replaced — kept as the honesty
-/// baseline for `pipeline_baseline`.
+/// baseline for `pipeline_baseline` and the parity suites.
 #[inline]
 pub fn find_any3_naive(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
     haystack.iter().position(|&x| x == a || x == b || x == c)
 }
 
 /// The byte-at-a-time loop [`find_byte`] replaced — kept as the honesty
-/// baseline for `pipeline_baseline`.
+/// baseline for `pipeline_baseline` and the parity suites.
 #[inline]
 pub fn find_byte_naive(haystack: &[u8], needle: u8) -> Option<usize> {
     haystack.iter().position(|&x| x == needle)
+}
+
+// --- The portable SWAR kernel (PR 4), the fallback every target has ---
+
+mod swar {
+    use super::{splat, zero_byte_mask};
+
+    #[allow(clippy::expect_used)] // 8-byte window, checked by the loop bound
+    pub(super) fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+        let s = splat(needle);
+        let n = haystack.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+            let hits = zero_byte_mask(word ^ s);
+            if hits != 0 {
+                return Some(i + (hits.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        haystack[i..]
+            .iter()
+            .position(|&x| x == needle)
+            .map(|p| i + p)
+    }
+
+    #[allow(clippy::expect_used)] // 8-byte window, checked by the loop bound
+    pub(super) fn find_any2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+        let (sa, sb) = (splat(a), splat(b));
+        let n = haystack.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+            let hits = zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb);
+            if hits != 0 {
+                return Some(i + (hits.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        haystack[i..]
+            .iter()
+            .position(|&x| x == a || x == b)
+            .map(|p| i + p)
+    }
+
+    #[allow(clippy::expect_used)] // 8-byte window, checked by the loop bound
+    pub(super) fn find_any3(haystack: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        let (sa, sb, sc) = (splat(a), splat(b), splat(c));
+        let n = haystack.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+            let hits =
+                zero_byte_mask(word ^ sa) | zero_byte_mask(word ^ sb) | zero_byte_mask(word ^ sc);
+            if hits != 0 {
+                return Some(i + (hits.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        haystack[i..]
+            .iter()
+            .position(|&x| x == a || x == b || x == c)
+            .map(|p| i + p)
+    }
+
+    #[allow(clippy::expect_used)] // 8-byte window, checked by the loop bound
+    pub(super) fn find_any5(haystack: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        let (sa, sb, sc, sd, se) = (splat(a), splat(b), splat(c), splat(d), splat(e));
+        let n = haystack.len();
+        let mut i = 0;
+        while i + 8 <= n {
+            let word = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte chunk"));
+            let hits = zero_byte_mask(word ^ sa)
+                | zero_byte_mask(word ^ sb)
+                | zero_byte_mask(word ^ sc)
+                | zero_byte_mask(word ^ sd)
+                | zero_byte_mask(word ^ se);
+            if hits != 0 {
+                return Some(i + (hits.trailing_zeros() / 8) as usize);
+            }
+            i += 8;
+        }
+        haystack[i..]
+            .iter()
+            .position(|&x| x == a || x == b || x == c || x == d || x == e)
+            .map(|p| i + p)
+    }
+}
+
+// --- x86-64 kernels: SSE2 (baseline) and AVX2 (runtime-detected) ---
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)] // vector loads via raw pointers; every block carries its proof
+mod x86 {
+    use core::arch::x86_64::{
+        __m128i, __m256i, _mm256_cmpeq_epi8, _mm256_loadu_si256, _mm256_movemask_epi8,
+        _mm256_or_si256, _mm256_set1_epi8, _mm256_setzero_si256, _mm_cmpeq_epi8, _mm_loadu_si128,
+        _mm_movemask_epi8, _mm_or_si128, _mm_set1_epi8, _mm_setzero_si128,
+    };
+
+    /// The shared kernel skeleton: full-width unaligned loads over the
+    /// body, then one *overlapped* load covering the final `W` bytes
+    /// (its low lanes re-scan bytes already proven needle-free, so the
+    /// mask is shifted to discard them). `$scalar` is the fallback for
+    /// haystacks shorter than one vector.
+    macro_rules! simd_body {
+        ($h:ident, $w:expr, $setzero:expr, $set1:expr, $loadu:expr, $cmpeq:expr, $or:expr,
+         $movemask:expr, ($($n:ident),+)) => {{
+            let len = $h.len();
+            if len < $w {
+                return $h.iter().position(|&x| false $(|| x == $n)+);
+            }
+            $(let $n = $set1($n as i8);)+
+            let ptr = $h.as_ptr();
+            let mut i = 0usize;
+            while i + $w <= len {
+                // SAFETY: `i + $w <= len`, so the $w-byte unaligned load
+                // stays inside the haystack.
+                let v = unsafe { $loadu(ptr.add(i).cast()) };
+                let mut hits = $setzero();
+                $(hits = $or(hits, $cmpeq(v, $n));)+
+                let m = $movemask(hits) as u32;
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+                i += $w;
+            }
+            if i < len {
+                // Overlapped tail: load the last $w bytes. `len >= $w`
+                // held above, so `j` does not underflow.
+                let j = len - $w;
+                // SAFETY: `j + $w == len`, so the load stays in bounds.
+                let v = unsafe { $loadu(ptr.add(j).cast()) };
+                let mut hits = $setzero();
+                $(hits = $or(hits, $cmpeq(v, $n));)+
+                // Bytes below `i` were already scanned clean; shift
+                // their lanes off so indices stay first-match-correct.
+                let m = ($movemask(hits) as u32) >> (i - j);
+                if m != 0 {
+                    return Some(i + m.trailing_zeros() as usize);
+                }
+            }
+            None
+        }};
+    }
+
+    macro_rules! sse2_body {
+        ($h:ident, ($($n:ident),+)) => {
+            simd_body!($h, 16, _mm_setzero_si128, _mm_set1_epi8,
+                |p: *const __m128i| _mm_loadu_si128(p), _mm_cmpeq_epi8, _mm_or_si128,
+                _mm_movemask_epi8, ($($n),+))
+        };
+    }
+
+    macro_rules! avx2_body {
+        ($h:ident, ($($n:ident),+)) => {
+            simd_body!($h, 32, _mm256_setzero_si256, _mm256_set1_epi8,
+                |p: *const __m256i| _mm256_loadu_si256(p), _mm256_cmpeq_epi8, _mm256_or_si256,
+                _mm256_movemask_epi8, ($($n),+))
+        };
+    }
+
+    // The compiler only treats vector intrinsics as safe inside a
+    // function that lists the feature in `#[target_feature]`, so even
+    // the always-available SSE2 kernels get the impl/wrapper split.
+    // SSE2 is part of the x86-64 baseline ABI, which is what makes the
+    // wrappers' unsafe calls trivially sound.
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sse2_find_byte_impl(h: &[u8], a: u8) -> Option<usize> {
+        sse2_body!(h, (a))
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sse2_find_any2_impl(h: &[u8], a: u8, b: u8) -> Option<usize> {
+        sse2_body!(h, (a, b))
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sse2_find_any3_impl(h: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        sse2_body!(h, (a, b, c))
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn sse2_find_any5_impl(h: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        sse2_body!(h, (a, b, c, d, e))
+    }
+
+    pub(super) fn sse2_find_byte(h: &[u8], a: u8) -> Option<usize> {
+        // SAFETY: SSE2 is unconditionally available on x86-64.
+        unsafe { sse2_find_byte_impl(h, a) }
+    }
+
+    pub(super) fn sse2_find_any2(h: &[u8], a: u8, b: u8) -> Option<usize> {
+        // SAFETY: as `sse2_find_byte`.
+        unsafe { sse2_find_any2_impl(h, a, b) }
+    }
+
+    pub(super) fn sse2_find_any3(h: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        // SAFETY: as `sse2_find_byte`.
+        unsafe { sse2_find_any3_impl(h, a, b, c) }
+    }
+
+    pub(super) fn sse2_find_any5(h: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        // SAFETY: as `sse2_find_byte`.
+        unsafe { sse2_find_any5_impl(h, a, b, c, d, e) }
+    }
+
+    // AVX2 kernels compile with the feature enabled and are only ever
+    // installed in the dispatch table after `is_x86_feature_detected!`
+    // confirms the host supports it (see `backend_id`/`detect_backend`).
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_find_byte_impl(h: &[u8], a: u8) -> Option<usize> {
+        avx2_body!(h, (a))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_find_any2_impl(h: &[u8], a: u8, b: u8) -> Option<usize> {
+        avx2_body!(h, (a, b))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_find_any3_impl(h: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        avx2_body!(h, (a, b, c))
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn avx2_find_any5_impl(h: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        avx2_body!(h, (a, b, c, d, e))
+    }
+
+    pub(super) fn avx2_find_byte(h: &[u8], a: u8) -> Option<usize> {
+        // SAFETY: reachable only through AVX2_KERNELS, which dispatch
+        // installs only after runtime detection confirms AVX2.
+        unsafe { avx2_find_byte_impl(h, a) }
+    }
+
+    pub(super) fn avx2_find_any2(h: &[u8], a: u8, b: u8) -> Option<usize> {
+        // SAFETY: as `avx2_find_byte`.
+        unsafe { avx2_find_any2_impl(h, a, b) }
+    }
+
+    pub(super) fn avx2_find_any3(h: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        // SAFETY: as `avx2_find_byte`.
+        unsafe { avx2_find_any3_impl(h, a, b, c) }
+    }
+
+    pub(super) fn avx2_find_any5(h: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        // SAFETY: as `avx2_find_byte`.
+        unsafe { avx2_find_any5_impl(h, a, b, c, d, e) }
+    }
+}
+
+// --- aarch64 NEON kernels (baseline on aarch64, like SSE2 on x86-64) ---
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)] // vector loads via raw pointers; every block carries its proof
+mod neon {
+    use core::arch::aarch64::{vceqq_u8, vdupq_n_u8, vld1q_u8, vmaxvq_u8, vorrq_u8};
+
+    /// NEON has no movemask: the kernel tests each 16-byte block with
+    /// `vmaxvq_u8` (any lane non-zero) and re-scans the hit block with
+    /// the scalar loop to recover the exact index — the block is tiny
+    /// and hits are rare in long runs, so the rescan is in the noise.
+    macro_rules! neon_body {
+        ($h:ident, ($($n:ident),+)) => {{
+            let len = $h.len();
+            if len < 16 {
+                return $h.iter().position(|&x| false $(|| x == $n)+);
+            }
+            $(let $n = ($n, vdupq_n_u8($n));)+
+            let ptr = $h.as_ptr();
+            let mut i = 0usize;
+            while i + 16 <= len {
+                // SAFETY: `i + 16 <= len`, so the 16-byte load stays
+                // inside the haystack.
+                let v = unsafe { vld1q_u8(ptr.add(i)) };
+                let mut hits = vdupq_n_u8(0);
+                $(hits = vorrq_u8(hits, vceqq_u8(v, $n.1));)+
+                if vmaxvq_u8(hits) != 0 {
+                    return $h[i..i + 16]
+                        .iter()
+                        .position(|&x| false $(|| x == $n.0)+)
+                        .map(|p| i + p);
+                }
+                i += 16;
+            }
+            $h[i..]
+                .iter()
+                .position(|&x| false $(|| x == $n.0)+)
+                .map(|p| i + p)
+        }};
+    }
+
+    pub(super) fn find_byte(h: &[u8], a: u8) -> Option<usize> {
+        neon_body!(h, (a))
+    }
+
+    pub(super) fn find_any2(h: &[u8], a: u8, b: u8) -> Option<usize> {
+        neon_body!(h, (a, b))
+    }
+
+    pub(super) fn find_any3(h: &[u8], a: u8, b: u8, c: u8) -> Option<usize> {
+        neon_body!(h, (a, b, c))
+    }
+
+    pub(super) fn find_any5(h: &[u8], a: u8, b: u8, c: u8, d: u8, e: u8) -> Option<usize> {
+        neon_body!(h, (a, b, c, d, e))
+    }
 }
 
 #[cfg(test)]
@@ -257,23 +699,24 @@ mod tests {
 
     #[test]
     fn agrees_with_naive_exhaustively_on_positions() {
-        // A special byte planted at every position of a 40-byte buffer,
-        // for every needle of every arity — catches any word-boundary or
-        // trailing-zeros math error.
-        for pos in 0..40usize {
+        // A special byte planted at every position of a 100-byte buffer,
+        // for every needle of every arity — catches any word-boundary,
+        // vector-tail or trailing-zeros math error. 100 bytes covers
+        // the probe, several AVX2 vectors and a ragged overlapped tail.
+        for pos in 0..100usize {
             for needle in [b',', b'\n', b'\r'] {
-                let mut hay = vec![b'x'; 40];
+                let mut hay = vec![b'x'; 100];
                 hay[pos] = needle;
                 assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(pos), "pos {pos}");
                 assert_eq!(find_byte(&hay, needle), Some(pos), "pos {pos}");
             }
             for needle in [b'<', b'&'] {
-                let mut hay = vec![b'x'; 40];
+                let mut hay = vec![b'x'; 100];
                 hay[pos] = needle;
                 assert_eq!(find_any2(&hay, b'<', b'&'), Some(pos), "pos {pos}");
             }
             for needle in [b'{', b'}', b'[', b']', b'"'] {
-                let mut hay = vec![b'x'; 40];
+                let mut hay = vec![b'x'; 100];
                 hay[pos] = needle;
                 assert_eq!(
                     find_any5(&hay, b'{', b'}', b'[', b']', b'"'),
@@ -282,6 +725,81 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn every_compiled_kernel_agrees_with_naive() {
+        // Direct kernel-table parity (no probe, no dispatch): plant a
+        // needle at every position, at many lengths around the vector
+        // widths. The process-global force_backend hook is deliberately
+        // NOT used here (unit tests run concurrently in one process);
+        // the forced-dispatch walk lives in tests/scan_backends.rs.
+        let mut tables: Vec<&Kernels> = vec![&SWAR_KERNELS];
+        #[cfg(target_arch = "x86_64")]
+        {
+            tables.push(&SSE2_KERNELS);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                tables.push(&AVX2_KERNELS);
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        tables.push(&NEON_KERNELS);
+        for k in tables {
+            for len in [0usize, 1, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 65, 100] {
+                for pos in 0..len {
+                    let mut hay = vec![b'x'; len];
+                    hay[pos] = b',';
+                    assert_eq!((k.find_byte)(&hay, b','), Some(pos), "{} len {len}", k.name);
+                    assert_eq!(
+                        (k.find_any2)(&hay, b',', b'\n'),
+                        Some(pos),
+                        "{} len {len}",
+                        k.name
+                    );
+                    assert_eq!(
+                        (k.find_any3)(&hay, b',', b'\n', b'\r'),
+                        Some(pos),
+                        "{} len {len}",
+                        k.name
+                    );
+                    assert_eq!(
+                        (k.find_any5)(&hay, b',', b'{', b'}', b'[', b']'),
+                        Some(pos),
+                        "{} len {len}",
+                        k.name
+                    );
+                }
+                let clean = vec![b'x'; len];
+                assert_eq!((k.find_byte)(&clean, b','), None, "{} len {len}", k.name);
+                assert_eq!(
+                    (k.find_any5)(&clean, b',', b'{', b'}', b'[', b']'),
+                    None,
+                    "{} len {len}",
+                    k.name
+                );
+            }
+            // Duplicate needles and late-vs-early ties.
+            let hay = b"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa]aaaa}";
+            assert_eq!(
+                (k.find_any5)(hay, b'}', b']', b']', b'}', b']'),
+                Some(38),
+                "{}",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn backend_introspection_is_coherent() {
+        let available = available_backends();
+        assert!(available.contains(&"swar"));
+        let active = backend_name();
+        assert!(available.contains(&active), "{active} not in {available:?}");
+        #[cfg(target_arch = "x86_64")]
+        assert!(available.contains(&"sse2"));
+        // Unknown backends are refused without disturbing dispatch.
+        assert!(!force_backend("vliw"));
+        assert_eq!(backend_name(), active);
     }
 
     #[test]
@@ -298,13 +816,19 @@ mod tests {
 
     #[test]
     fn high_bit_bytes_do_not_false_positive() {
-        // 0x80/0xFF bytes are where naive SWAR masks go wrong.
+        // 0x80/0xFF bytes are where naive SWAR masks — and signed
+        // vector compares — go wrong.
         let hay = [0x80u8, 0xFF, 0xFE, 0x80, 0xFF, 0xFE, 0x80, 0xFF, b','];
         assert_eq!(find_any3(&hay, b',', b'\n', b'\r'), Some(8));
         assert_eq!(find_byte(&hay, b','), Some(8));
         assert_eq!(find_byte(&hay, 0xFF), Some(1));
         assert_eq!(find_any2(&hay, b',', b'\n'), Some(8));
         assert_eq!(find_any5(&hay, b',', b'{', b'}', b'[', b']'), Some(8));
+        // The same past the probe, where the kernels take over.
+        let mut long = vec![0xFFu8; 80];
+        long[77] = b',';
+        assert_eq!(find_any3(&long, b',', b'\n', b'\r'), Some(77));
+        assert_eq!(find_byte(&long, 0xFF), Some(0));
     }
 
     #[test]

@@ -361,6 +361,103 @@ fn csv_quoting_never_splits_at_shard_cuts() {
     assert_reader_agrees::<CsvFormat>(text.as_bytes());
 }
 
+/// Skewed record sizes — a few huge records among swarms of tiny ones,
+/// in every arrangement (front-loaded, back-loaded, interleaved). Under
+/// the byte-size-aware work queue this is exactly the load round-robin
+/// dealing used to serialize: one worker drew every giant while the
+/// rest idled. Agreement must hold regardless of who drew what.
+#[test]
+fn skewed_record_sizes_agree_with_sequential() {
+    let giant = |i: usize| {
+        let mut s = format!("{{\"id\": {i}, \"blob\": \"");
+        for k in 0..4000 {
+            s.push((b'a' + ((i + k) % 26) as u8) as char);
+        }
+        s.push_str("\"}\n");
+        s
+    };
+    let tiny = |i: usize| format!("{{\"id\": {i}}}\n");
+
+    let mut front = String::new();
+    let mut back = String::new();
+    let mut woven = String::new();
+    for i in 0..4 {
+        front.push_str(&giant(i));
+        back.push_str(&tiny(i));
+        woven.push_str(&giant(i));
+    }
+    for i in 0..200 {
+        front.push_str(&tiny(i));
+        back.push_str(&tiny(i));
+        if i % 50 == 0 {
+            woven.push_str(&giant(i));
+        }
+        woven.push_str(&tiny(i));
+    }
+    for i in 0..4 {
+        back.push_str(&giant(i));
+    }
+    for text in [&front, &back, &woven] {
+        assert_slice_agrees::<JsonFormat>(text.as_bytes());
+        assert_reader_agrees::<JsonFormat>(text.as_bytes());
+    }
+}
+
+/// The corpus layer: `infer_sources_parallel` over many in-memory files
+/// must produce, slot by slot, what the sequential (`jobs = 1`) pass
+/// produces — and the file-ordered `csh` fold over those slots must be
+/// a fixed shape regardless of worker count.
+#[test]
+fn multi_file_corpus_parallelism_agrees_with_sequential_fold() {
+    use tfd_core::engine::{infer_sources_parallel, CorpusSource};
+    use tfd_core::{csh, RecoveryPolicy, Shape};
+
+    let files: Vec<String> = (0..9)
+        .map(|i| {
+            let mut s = String::new();
+            for j in 0..(10 + i * 7) {
+                match (i + j) % 3 {
+                    0 => s.push_str(&format!("{{\"id\": {j}, \"k{i}\": true}}\n")),
+                    1 => s.push_str(&format!("{{\"id\": {j}.5, \"note\": \"n\"}}\n")),
+                    _ => s.push_str(&format!("{{\"id\": {j}, \"note\": null}}\n")),
+                }
+            }
+            s
+        })
+        .collect();
+    let sources: Vec<CorpusSource<'_>> = files
+        .iter()
+        .map(|f| CorpusSource::Bytes(f.as_bytes()))
+        .collect();
+    let options = InferOptions::json();
+    let policy = RecoveryPolicy::default();
+
+    let fold = |jobs: usize| -> (Vec<String>, String, Vec<usize>) {
+        let results = infer_sources_parallel(StreamFormat::Json, &sources, &options, &policy, jobs);
+        assert_eq!(results.len(), sources.len());
+        let mut shapes = Vec::new();
+        let mut records = Vec::new();
+        let mut combined = Shape::Bottom;
+        for r in results {
+            let mut out = r.expect("clean corpora");
+            // Render inside the file's own arena, then fold globally.
+            shapes.push(out.recovered.summary.shape.to_string());
+            records.push(out.recovered.summary.records);
+            out.recovered
+                .summary
+                .shape
+                .reintern(tfd_value::intern::Interner::global());
+            combined = csh(combined, out.recovered.summary.shape);
+        }
+        (shapes, combined.to_string(), records)
+    };
+
+    let seq = fold(1);
+    for jobs in [2, 3, 8, 64] {
+        assert_eq!(fold(jobs), seq, "jobs {jobs}");
+    }
+}
+
 /// The global (§6.2, env-carrying) mode on top of the parallel fold:
 /// globalizing the parallel shape equals globalizing the sequential one
 /// — `--global --jobs N` prints what `--global` prints.
